@@ -1,0 +1,94 @@
+//! A1 (ablation): incremental violation maintenance vs full re-audit.
+//!
+//! DESIGN.md calls out delta maintenance as a design choice: when the house
+//! edits one attribute's policy, the incremental auditor recomputes only the
+//! affected `(attribute, purpose)` groups (`O(n·k)`), while the baseline
+//! re-audits everything (`O(n·m)`). This bench measures both for a
+//! one-attribute change over an 8-attribute policy, so the expected gap is
+//! roughly the attribute fan-in (~8×, minus fixed costs).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qpv_core::incremental::IncrementalAuditor;
+use qpv_core::AuditEngine;
+use qpv_policy::HousePolicy;
+use qpv_synth::population::{generate, AttributeSpec, PopulationSpec};
+use qpv_synth::SegmentMix;
+use qpv_taxonomy::{Dim, PrivacyPoint, PrivacyTuple};
+use std::hint::black_box;
+
+fn spec() -> PopulationSpec {
+    PopulationSpec {
+        attributes: (0..8)
+            .map(|i| {
+                AttributeSpec::new(
+                    format!("attr{i}"),
+                    1 + (i % 4) as u32,
+                    PrivacyPoint::from_raw(2, 2, 3),
+                    (0, 100),
+                )
+            })
+            .collect(),
+        purposes: vec!["service".into(), "research".into()],
+        mix: SegmentMix::WESTIN_2001,
+    }
+}
+
+/// Widen only `attr0`'s granularity by one step.
+fn one_attribute_change(base: &HousePolicy) -> HousePolicy {
+    let mut hp = HousePolicy::new("changed");
+    for t in base.tuples() {
+        let point = if t.attribute == "attr0" {
+            t.tuple
+                .point
+                .with(Dim::Granularity, t.tuple.point.get(Dim::Granularity) + 1)
+        } else {
+            t.tuple.point
+        };
+        hp.add(
+            &t.attribute,
+            PrivacyTuple::from_point(t.tuple.purpose.clone(), point),
+        );
+    }
+    hp
+}
+
+fn bench_policy_change(c: &mut Criterion) {
+    let mut group = c.benchmark_group("policy_change");
+    group.sample_size(20);
+    for n in [1_000usize, 5_000] {
+        let spec = spec();
+        let pop = generate(&spec, n, 7);
+        let base = spec.baseline_policy("base");
+        let changed = one_attribute_change(&base);
+
+        // Baseline: full re-audit with the new policy.
+        let engine = AuditEngine::new(
+            base.clone(),
+            spec.attribute_names(),
+            spec.attribute_weights(),
+        );
+        group.bench_with_input(BenchmarkId::new("full_reaudit", n), &n, |b, _| {
+            b.iter(|| black_box(engine.run_with_policy(&pop.profiles, &changed)));
+        });
+
+        // Incremental: apply the delta, then revert (each iteration does
+        // symmetric work and state stays consistent across iterations).
+        let mut auditor = IncrementalAuditor::new(
+            pop.profiles.clone(),
+            spec.attribute_names(),
+            &spec.attribute_weights(),
+            base.clone(),
+        );
+        group.bench_with_input(BenchmarkId::new("incremental", n), &n, |b, _| {
+            b.iter(|| {
+                auditor.apply_policy(changed.clone());
+                black_box(auditor.total_violations());
+                auditor.apply_policy(base.clone());
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_policy_change);
+criterion_main!(benches);

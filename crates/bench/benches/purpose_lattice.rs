@@ -1,0 +1,104 @@
+//! A2 (ablation): flat purpose matching vs lattice-dominance matching.
+//!
+//! The base model treats purposes as merely distinguishable; the lattice
+//! extension lets a consent for a broad purpose cover narrower policy
+//! purposes. This bench measures the evaluation cost of both matchers and
+//! reports (once, to stderr) how many violations the lattice *removes* —
+//! the semantic payoff that justifies the extra reachability work.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use qpv_core::violation::{witnesses, witnesses_lattice};
+use qpv_core::ProviderProfile;
+use qpv_policy::{HousePolicy, ProviderId, ProviderPreferences};
+use qpv_taxonomy::{PrivacyPoint, PrivacyTuple, PurposeLattice};
+use std::hint::black_box;
+
+/// A purpose hierarchy: billing ⊑ operations ⊑ any; ads ⊑ marketing ⊑ any.
+fn lattice() -> PurposeLattice {
+    let mut l = PurposeLattice::new();
+    l.add_edge("billing", "operations").unwrap();
+    l.add_edge("operations", "any").unwrap();
+    l.add_edge("ads", "marketing").unwrap();
+    l.add_edge("marketing", "any").unwrap();
+    l
+}
+
+/// Providers consent to *broad* purposes; the policy uses *narrow* ones, so
+/// flat matching sees implicit deny-alls everywhere while the lattice sees
+/// coverage.
+fn population(n: u64) -> Vec<ProviderProfile> {
+    (0..n)
+        .map(|i| {
+            let mut p = ProviderProfile::new(ProviderId(i), 100);
+            let mut prefs = ProviderPreferences::new(ProviderId(i));
+            for attr in ["weight", "age", "income"] {
+                prefs.add(
+                    attr,
+                    PrivacyTuple::from_point("operations", PrivacyPoint::from_raw(3, 3, 5)),
+                );
+                prefs.add(
+                    attr,
+                    PrivacyTuple::from_point("marketing", PrivacyPoint::from_raw(2, 2, 3)),
+                );
+            }
+            p.preferences = prefs;
+            p
+        })
+        .collect()
+}
+
+fn policy() -> HousePolicy {
+    let mut hp = HousePolicy::new("narrow-purposes");
+    for attr in ["weight", "age", "income"] {
+        hp.add(
+            attr,
+            PrivacyTuple::from_point("billing", PrivacyPoint::from_raw(2, 2, 3)),
+        );
+        hp.add(
+            attr,
+            PrivacyTuple::from_point("ads", PrivacyPoint::from_raw(2, 2, 3)),
+        );
+    }
+    hp
+}
+
+fn bench_matchers(c: &mut Criterion) {
+    let pop = population(1_000);
+    let hp = policy();
+    let lat = lattice();
+    let attrs = ["weight", "age", "income"];
+
+    // Report the semantic difference once.
+    let flat_violations: usize = pop
+        .iter()
+        .map(|p| witnesses(&p.preferences, &hp, &attrs).len())
+        .sum();
+    let lattice_violations: usize = pop
+        .iter()
+        .map(|p| witnesses_lattice(&p.preferences, &hp, &attrs, &lat).len())
+        .sum();
+    eprintln!(
+        "[A2] violation witnesses over {} providers: flat = {flat_violations}, \
+         lattice = {lattice_violations} (lattice removes {})",
+        pop.len(),
+        flat_violations - lattice_violations
+    );
+
+    c.bench_function("purpose_matching/flat", |b| {
+        b.iter(|| {
+            for p in &pop {
+                black_box(witnesses(&p.preferences, &hp, &attrs));
+            }
+        });
+    });
+    c.bench_function("purpose_matching/lattice", |b| {
+        b.iter(|| {
+            for p in &pop {
+                black_box(witnesses_lattice(&p.preferences, &hp, &attrs, &lat));
+            }
+        });
+    });
+}
+
+criterion_group!(benches, bench_matchers);
+criterion_main!(benches);

@@ -1,0 +1,174 @@
+//! P2: storage-engine primitives.
+//!
+//! Microbenchmarks of the substrate: row codec, slotted-page insert, B+tree
+//! operations, SQL insert/scan through the full stack, and crash recovery
+//! (WAL replay + index rebuild) via a real reopen.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use qpv_reldb::btree::BTreeIndex;
+use qpv_reldb::encoding::{decode_row, encode_row};
+use qpv_reldb::page::Page;
+use qpv_reldb::row::{Row, RowId};
+use qpv_reldb::value::Value;
+use qpv_reldb::Database;
+use std::hint::black_box;
+
+fn sample_row() -> Row {
+    Row::from_values([
+        Value::Int(123456),
+        Value::Text("a provider name".into()),
+        Value::Float(72.5),
+        Value::Bool(true),
+        Value::Null,
+    ])
+}
+
+fn bench_row_codec(c: &mut Criterion) {
+    let row = sample_row();
+    let bytes = encode_row(&row);
+    c.bench_function("reldb/encode_row", |b| {
+        b.iter(|| black_box(encode_row(&row)))
+    });
+    c.bench_function("reldb/decode_row", |b| {
+        b.iter(|| black_box(decode_row(&bytes).unwrap()))
+    });
+}
+
+fn bench_page_insert(c: &mut Criterion) {
+    let record = encode_row(&sample_row());
+    c.bench_function("reldb/page_fill", |b| {
+        b.iter(|| {
+            let mut page = Page::new(0);
+            let mut count = 0u32;
+            while page.insert(&record).is_ok() {
+                count += 1;
+            }
+            black_box(count)
+        });
+    });
+}
+
+fn bench_btree(c: &mut Criterion) {
+    let mut group = c.benchmark_group("reldb/btree");
+    group.bench_function("insert_10k", |b| {
+        b.iter(|| {
+            let mut idx = BTreeIndex::new();
+            for i in 0..10_000i64 {
+                idx.insert(Value::Int(i), RowId::new(i as u64, 0));
+            }
+            black_box(idx.len())
+        });
+    });
+    let mut idx = BTreeIndex::new();
+    for i in 0..10_000i64 {
+        idx.insert(Value::Int(i), RowId::new(i as u64, 0));
+    }
+    group.bench_function("point_lookup", |b| {
+        b.iter(|| {
+            for i in (0..10_000i64).step_by(97) {
+                black_box(idx.get(&Value::Int(i)));
+            }
+        });
+    });
+    group.bench_function("range_scan_1k", |b| {
+        b.iter(|| {
+            let n = idx
+                .range(
+                    std::ops::Bound::Included(&Value::Int(4_000)),
+                    std::ops::Bound::Excluded(&Value::Int(5_000)),
+                )
+                .count();
+            black_box(n)
+        });
+    });
+    group.finish();
+}
+
+fn bench_sql_path(c: &mut Criterion) {
+    let mut group = c.benchmark_group("reldb/sql");
+    group.sample_size(20);
+    group.throughput(Throughput::Elements(100));
+    group.bench_function("insert_100_rows", |b| {
+        b.iter(|| {
+            let mut db = Database::in_memory();
+            db.execute("CREATE TABLE t (id INT, name TEXT, score FLOAT)")
+                .unwrap();
+            let values: Vec<String> = (0..100)
+                .map(|i| format!("({i}, 'name{i}', {i}.5)"))
+                .collect();
+            db.execute(&format!("INSERT INTO t VALUES {}", values.join(",")))
+                .unwrap();
+            black_box(db)
+        });
+    });
+
+    let mut db = Database::in_memory();
+    db.execute("CREATE TABLE t (id INT, name TEXT, score FLOAT)")
+        .unwrap();
+    for chunk in 0..100 {
+        let values: Vec<String> = (0..100)
+            .map(|i| {
+                let id = chunk * 100 + i;
+                format!("({id}, 'name{id}', {id}.5)")
+            })
+            .collect();
+        db.execute(&format!("INSERT INTO t VALUES {}", values.join(",")))
+            .unwrap();
+    }
+    group.bench_function("scan_filter_10k", |b| {
+        b.iter(|| {
+            let rs = db
+                .query("SELECT name FROM t WHERE score > 5000 AND id % 2 = 0")
+                .unwrap();
+            black_box(rs.len())
+        });
+    });
+    group.bench_function("aggregate_10k", |b| {
+        b.iter(|| {
+            let rs = db
+                .query("SELECT COUNT(*), AVG(score) FROM t WHERE id >= 1000")
+                .unwrap();
+            black_box(rs.rows[0].values[0].clone())
+        });
+    });
+    group.finish();
+}
+
+fn bench_recovery(c: &mut Criterion) {
+    // Prepare a durable database once; each iteration reopens it (snapshot
+    // restore + WAL replay + index rebuild).
+    let dir = std::env::temp_dir().join(format!("qpv-bench-recovery-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    {
+        let mut db = Database::open(&dir).unwrap();
+        db.execute("CREATE TABLE t (id INT, payload TEXT)").unwrap();
+        db.execute("CREATE INDEX t_id ON t (id)").unwrap();
+        for chunk in 0..20 {
+            let values: Vec<String> = (0..100)
+                .map(|i| format!("({}, '{}')", chunk * 100 + i, "x".repeat(64)))
+                .collect();
+            db.execute(&format!("INSERT INTO t VALUES {}", values.join(",")))
+                .unwrap();
+        }
+    }
+    let mut group = c.benchmark_group("reldb/recovery");
+    group.sample_size(10);
+    group.bench_function("reopen_2k_rows_wal_only", |b| {
+        b.iter(|| {
+            let db = Database::open(&dir).unwrap();
+            black_box(db)
+        });
+    });
+    group.finish();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+criterion_group!(
+    benches,
+    bench_row_codec,
+    bench_page_insert,
+    bench_btree,
+    bench_sql_path,
+    bench_recovery
+);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! P1: model evaluation throughput.
+//!
+//! How fast are Equation 15 (`Violation_i`) and a full audit (Definitions
+//! 1–5 over a population)? Swept over population size; the audit should
+//! scale linearly in providers × policy tuples.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use qpv_core::profile::assemble;
+use qpv_core::severity::violation_score;
+use qpv_synth::Scenario;
+use std::hint::black_box;
+
+fn bench_full_audit(c: &mut Criterion) {
+    let mut group = c.benchmark_group("audit/full");
+    for n in [100usize, 1_000, 5_000] {
+        let scenario = Scenario::healthcare(n, 42);
+        let engine = scenario.engine();
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| black_box(engine.run(&scenario.population.profiles)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_violation_score(c: &mut Criterion) {
+    let scenario = Scenario::healthcare(1_000, 42);
+    let engine = scenario.engine();
+    let weights = scenario.spec.attribute_weights();
+    let (sensitivity, _) = assemble(&scenario.population.profiles, &weights);
+    let attrs: Vec<&str> = engine.attributes.iter().map(String::as_str).collect();
+    c.bench_function("audit/violation_score_64_providers", |b| {
+        b.iter(|| {
+            for profile in scenario.population.profiles.iter().take(64) {
+                black_box(violation_score(
+                    &profile.preferences,
+                    &engine.policy,
+                    &attrs,
+                    &sensitivity,
+                ));
+            }
+        });
+    });
+}
+
+criterion_group!(benches, bench_full_audit, bench_violation_score);
+criterion_main!(benches);

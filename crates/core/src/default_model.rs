@@ -1,0 +1,105 @@
+//! Provider default (paper §7, Definition 4).
+//!
+//! A provider leaves the system — *defaults* — when their accumulated
+//! violation severity exceeds their personal tolerance:
+//! `default_i = 1 ⟺ Violation_i > v_i` (strict, matching Equations 21–23:
+//! Ted defaults at `60 > 50`, Bob stays at `80 < 100`).
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use qpv_policy::ProviderId;
+
+/// Definition 4 for one provider.
+pub fn defaults(violation_score: u64, threshold: u64) -> bool {
+    violation_score > threshold
+}
+
+/// Per-provider default thresholds `v_i`, with a fallback for providers
+/// without an explicit value.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DefaultThresholds {
+    thresholds: HashMap<ProviderId, u64>,
+    fallback: u64,
+}
+
+impl DefaultThresholds {
+    /// All providers share `fallback` until set individually.
+    pub fn with_fallback(fallback: u64) -> DefaultThresholds {
+        DefaultThresholds {
+            thresholds: HashMap::new(),
+            fallback,
+        }
+    }
+
+    /// Set `v_i` for one provider.
+    pub fn set(&mut self, provider: ProviderId, threshold: u64) -> &mut Self {
+        self.thresholds.insert(provider, threshold);
+        self
+    }
+
+    /// `v_i`, or the fallback.
+    pub fn get(&self, provider: ProviderId) -> u64 {
+        self.thresholds.get(&provider).copied().unwrap_or(self.fallback)
+    }
+
+    /// Whether a provider with the given violation score defaults.
+    pub fn is_default(&self, provider: ProviderId, violation_score: u64) -> bool {
+        defaults(violation_score, self.get(provider))
+    }
+
+    /// Providers with explicit thresholds.
+    pub fn explicit(&self) -> impl Iterator<Item = (ProviderId, u64)> + '_ {
+        self.thresholds.iter().map(|(p, t)| (*p, *t))
+    }
+}
+
+impl Default for DefaultThresholds {
+    /// Fallback threshold 0: any positive violation causes default — the
+    /// most privacy-sensitive posture, which is the conservative default
+    /// for the same reason unstated preferences deny everything.
+    fn default() -> DefaultThresholds {
+        DefaultThresholds::with_fallback(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strict_inequality_per_equations_21_to_23() {
+        assert!(!defaults(0, 10)); // Alice: 0 < 10
+        assert!(defaults(60, 50)); // Ted: 60 > 50
+        assert!(!defaults(80, 100)); // Bob: 80 < 100
+        assert!(!defaults(50, 50)); // boundary: equal is not a default
+    }
+
+    #[test]
+    fn thresholds_with_fallback() {
+        let mut t = DefaultThresholds::with_fallback(25);
+        t.set(ProviderId(1), 50);
+        assert_eq!(t.get(ProviderId(1)), 50);
+        assert_eq!(t.get(ProviderId(2)), 25);
+        assert!(t.is_default(ProviderId(2), 26));
+        assert!(!t.is_default(ProviderId(1), 26));
+        assert_eq!(t.explicit().count(), 1);
+    }
+
+    #[test]
+    fn default_fallback_is_zero_tolerance() {
+        let t = DefaultThresholds::default();
+        assert!(t.is_default(ProviderId(7), 1));
+        assert!(!t.is_default(ProviderId(7), 0));
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let mut t = DefaultThresholds::with_fallback(10);
+        t.set(ProviderId(3), 99);
+        let json = serde_json::to_string(&t).unwrap();
+        let back: DefaultThresholds = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, t);
+    }
+}

@@ -1,0 +1,383 @@
+//! Incremental violation maintenance under policy changes.
+//!
+//! `Violation_i` (Eq. 15) is a sum of independent per-policy-tuple
+//! contributions, so when the house edits its policy only the contributions
+//! of *changed* `(attribute, purpose)` groups need recomputing. For a policy
+//! edit touching `k` of `m` groups over `n` providers, the incremental
+//! update costs `O(n·k)` versus `O(n·m)` for a full re-audit — the ablation
+//! benchmark A1 measures the crossover.
+//!
+//! The auditor also maintains per-provider *violation counts* (how many
+//! policy tuples currently violate), so Definition 1's `w_i` and
+//! Definition 4's `default_i` stay queryable without a rescan.
+
+use std::collections::HashMap;
+
+use qpv_policy::HousePolicy;
+use qpv_taxonomy::{Purpose, ViolationGeometry};
+
+use crate::default_model::DefaultThresholds;
+use crate::profile::ProviderProfile;
+use crate::sensitivity::{AttributeSensitivities, SensitivityModel};
+use crate::severity::tuple_contribution;
+
+/// A policy "group": every tuple for one `(attribute, purpose)` pair.
+type GroupKey = (String, Purpose);
+
+/// Per-provider contribution of one group.
+#[derive(Debug, Clone, Default, PartialEq)]
+struct GroupContribution {
+    /// Severity contribution per provider (indexed like `profiles`).
+    scores: Vec<u64>,
+    /// How many of the group's tuples violate, per provider.
+    violations: Vec<u32>,
+}
+
+/// Maintains per-provider violation state across policy updates.
+#[derive(Debug)]
+pub struct IncrementalAuditor {
+    profiles: Vec<ProviderProfile>,
+    attributes: Vec<String>,
+    sensitivity: SensitivityModel,
+    thresholds: DefaultThresholds,
+    policy: HousePolicy,
+    groups: HashMap<GroupKey, GroupContribution>,
+    scores: Vec<u64>,
+    violation_counts: Vec<u32>,
+}
+
+impl IncrementalAuditor {
+    /// Build the initial state with a full pass (cost identical to one full
+    /// audit).
+    pub fn new(
+        profiles: Vec<ProviderProfile>,
+        attributes: Vec<String>,
+        attribute_weights: &AttributeSensitivities,
+        policy: HousePolicy,
+    ) -> IncrementalAuditor {
+        let (sensitivity, thresholds) = crate::profile::assemble(&profiles, attribute_weights);
+        let mut auditor = IncrementalAuditor {
+            scores: vec![0; profiles.len()],
+            violation_counts: vec![0; profiles.len()],
+            profiles,
+            attributes,
+            sensitivity,
+            thresholds,
+            policy: HousePolicy::new(policy.name.clone()),
+            groups: HashMap::new(),
+        };
+        auditor.apply_policy(policy);
+        auditor
+    }
+
+    /// Replace the policy, recomputing only the changed groups.
+    pub fn apply_policy(&mut self, new_policy: HousePolicy) {
+        let old_groups = group_points(&self.policy, &self.attributes);
+        let new_groups = group_points(&new_policy, &self.attributes);
+
+        // Groups that disappeared or changed: retract their contribution.
+        for (key, old_points) in &old_groups {
+            let unchanged = new_groups.get(key).is_some_and(|n| n == old_points);
+            if unchanged {
+                continue;
+            }
+            if let Some(contrib) = self.groups.remove(key) {
+                for (i, (s, v)) in contrib
+                    .scores
+                    .iter()
+                    .zip(contrib.violations.iter())
+                    .enumerate()
+                {
+                    self.scores[i] -= s;
+                    self.violation_counts[i] -= v;
+                }
+            }
+        }
+        // Groups that appeared or changed: compute and add.
+        for (key, points) in &new_groups {
+            let unchanged = old_groups.get(key).is_some_and(|o| o == points);
+            if unchanged {
+                continue;
+            }
+            let contrib = self.compute_group(key, points);
+            for (i, (s, v)) in contrib
+                .scores
+                .iter()
+                .zip(contrib.violations.iter())
+                .enumerate()
+            {
+                self.scores[i] += s;
+                self.violation_counts[i] += v;
+            }
+            self.groups.insert(key.clone(), contrib);
+        }
+        self.policy = new_policy;
+    }
+
+    fn compute_group(
+        &self,
+        key: &GroupKey,
+        points: &[qpv_taxonomy::PrivacyPoint],
+    ) -> GroupContribution {
+        let (attribute, purpose) = key;
+        let mut scores = vec![0u64; self.profiles.len()];
+        let mut violations = vec![0u32; self.profiles.len()];
+        for (i, profile) in self.profiles.iter().enumerate() {
+            for point in points {
+                scores[i] = scores[i].saturating_add(tuple_contribution(
+                    &profile.preferences,
+                    attribute,
+                    purpose,
+                    point,
+                    &self.sensitivity,
+                ));
+                let pref = profile.preferences.effective_point(attribute, purpose);
+                if ViolationGeometry::compare(&pref, point).is_violation() {
+                    violations[i] += 1;
+                }
+            }
+        }
+        GroupContribution { scores, violations }
+    }
+
+    /// The current policy.
+    pub fn policy(&self) -> &HousePolicy {
+        &self.policy
+    }
+
+    /// `Violation_i` for provider at population index `i`.
+    pub fn score(&self, i: usize) -> u64 {
+        self.scores[i]
+    }
+
+    /// `w_i` for provider at population index `i`.
+    pub fn violated(&self, i: usize) -> bool {
+        self.violation_counts[i] > 0
+    }
+
+    /// `default_i` for provider at population index `i`.
+    pub fn defaulted(&self, i: usize) -> bool {
+        self.thresholds
+            .is_default(self.profiles[i].id(), self.scores[i])
+    }
+
+    /// Equation 16's `Violations`.
+    pub fn total_violations(&self) -> u128 {
+        self.scores.iter().map(|&s| s as u128).sum()
+    }
+
+    /// `P(W)` under the current policy.
+    pub fn p_violation(&self) -> f64 {
+        let outcomes: Vec<bool> = (0..self.profiles.len()).map(|i| self.violated(i)).collect();
+        crate::probability::census_probability(&outcomes)
+    }
+
+    /// `P(Default)` under the current policy.
+    pub fn p_default(&self) -> f64 {
+        let outcomes: Vec<bool> = (0..self.profiles.len()).map(|i| self.defaulted(i)).collect();
+        crate::probability::census_probability(&outcomes)
+    }
+
+    /// Population size.
+    pub fn population(&self) -> usize {
+        self.profiles.len()
+    }
+}
+
+/// Group a policy's tuples by `(attribute, purpose)`, keeping only
+/// attributes the data table stores; points within a group are sorted so
+/// group equality is order-insensitive.
+fn group_points(
+    policy: &HousePolicy,
+    attributes: &[String],
+) -> HashMap<GroupKey, Vec<qpv_taxonomy::PrivacyPoint>> {
+    let mut groups: HashMap<GroupKey, Vec<qpv_taxonomy::PrivacyPoint>> = HashMap::new();
+    for t in policy.tuples() {
+        if !attributes.contains(&t.attribute) {
+            continue;
+        }
+        groups
+            .entry((t.attribute.clone(), t.tuple.purpose.clone()))
+            .or_default()
+            .push(t.tuple.point);
+    }
+    for points in groups.values_mut() {
+        points.sort();
+    }
+    groups
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::audit::AuditEngine;
+    use crate::sensitivity::DatumSensitivity;
+    use qpv_policy::ProviderId;
+    use qpv_taxonomy::{Dim, PrivacyPoint, PrivacyTuple};
+
+    fn pt(v: u32, g: u32, r: u32) -> PrivacyPoint {
+        PrivacyPoint::from_raw(v, g, r)
+    }
+
+    fn population(n: u64) -> Vec<ProviderProfile> {
+        (0..n)
+            .map(|i| {
+                let mut p = ProviderProfile::new(ProviderId(i), 20 + (i % 7) * 10);
+                p.preferences.add(
+                    "weight",
+                    PrivacyTuple::from_point("pr", pt(2 + (i % 3) as u32, 2, 30)),
+                );
+                p.preferences.add(
+                    "age",
+                    PrivacyTuple::from_point("pr", pt(2, 3, 60 + (i % 5) as u32)),
+                );
+                p.sensitivities.insert(
+                    "weight".into(),
+                    DatumSensitivity::new(1 + (i % 4) as u32, 1, 2, 1),
+                );
+                p
+            })
+            .collect()
+    }
+
+    fn weights() -> AttributeSensitivities {
+        let mut w = AttributeSensitivities::new();
+        w.set("weight", 4);
+        w.set("age", 2);
+        w
+    }
+
+    fn policy(level: u32) -> HousePolicy {
+        HousePolicy::builder("h")
+            .tuple("weight", PrivacyTuple::from_point("pr", pt(level, level, 30 + level)))
+            .tuple("age", PrivacyTuple::from_point("pr", pt(2, 2, 50 + level)))
+            .build()
+    }
+
+    /// Reference audit results for cross-checking.
+    fn full_audit(profiles: &[ProviderProfile], hp: &HousePolicy) -> (Vec<u64>, u128) {
+        let engine = AuditEngine::new(hp.clone(), ["weight", "age"], weights());
+        let report = engine.run(profiles);
+        (
+            report.providers.iter().map(|p| p.score).collect(),
+            report.total_violations,
+        )
+    }
+
+    #[test]
+    fn initial_state_matches_full_audit() {
+        let profiles = population(50);
+        let hp = policy(3);
+        let auditor = IncrementalAuditor::new(
+            profiles.clone(),
+            vec!["weight".into(), "age".into()],
+            &weights(),
+            hp.clone(),
+        );
+        let (scores, total) = full_audit(&profiles, &hp);
+        for (i, s) in scores.iter().enumerate() {
+            assert_eq!(auditor.score(i), *s, "provider {i}");
+        }
+        assert_eq!(auditor.total_violations(), total);
+    }
+
+    #[test]
+    fn incremental_updates_agree_with_full_recompute() {
+        let profiles = population(50);
+        let mut auditor = IncrementalAuditor::new(
+            profiles.clone(),
+            vec!["weight".into(), "age".into()],
+            &weights(),
+            policy(0),
+        );
+        for level in [1, 4, 2, 7, 0, 9] {
+            let hp = policy(level);
+            auditor.apply_policy(hp.clone());
+            let (scores, total) = full_audit(&profiles, &hp);
+            for (i, s) in scores.iter().enumerate() {
+                assert_eq!(auditor.score(i), *s, "level {level}, provider {i}");
+            }
+            assert_eq!(auditor.total_violations(), total, "level {level}");
+            // Probabilities agree too.
+            let engine = AuditEngine::new(hp, ["weight", "age"], weights());
+            let report = engine.run(&profiles);
+            assert_eq!(auditor.p_violation(), report.p_violation());
+            assert_eq!(auditor.p_default(), report.p_default());
+        }
+    }
+
+    #[test]
+    fn touching_one_attribute_leaves_other_groups_cached() {
+        let profiles = population(20);
+        let mut auditor = IncrementalAuditor::new(
+            profiles,
+            vec!["weight".into(), "age".into()],
+            &weights(),
+            policy(3),
+        );
+        let age_before = auditor
+            .groups
+            .get(&("age".to_string(), Purpose::new("pr")))
+            .cloned()
+            .expect("age group exists");
+        // Widen only weight.
+        let hp = auditor.policy().widened(Dim::Granularity, 2);
+        // widened() touches every tuple; build a weight-only change instead.
+        let mut weight_only = policy(3);
+        weight_only = HousePolicy::builder(weight_only.name)
+            .tuple("weight", PrivacyTuple::from_point("pr", pt(9, 9, 99)))
+            .tuple("age", PrivacyTuple::from_point("pr", pt(2, 2, 53)))
+            .build();
+        let _ = hp;
+        auditor.apply_policy(weight_only);
+        let age_after = auditor
+            .groups
+            .get(&("age".to_string(), Purpose::new("pr")))
+            .cloned()
+            .expect("age group still exists");
+        assert_eq!(age_before, age_after, "unchanged group was recomputed");
+    }
+
+    #[test]
+    fn new_purposes_and_removed_tuples_are_handled() {
+        let profiles = population(10);
+        let mut auditor = IncrementalAuditor::new(
+            profiles.clone(),
+            vec!["weight".into(), "age".into()],
+            &weights(),
+            policy(2),
+        );
+        // Add an unconsented purpose: scores must rise (implicit deny-all).
+        let before = auditor.total_violations();
+        let with_ads = auditor
+            .policy()
+            .with_new_purpose("ads", pt(3, 3, 365));
+        auditor.apply_policy(with_ads.clone());
+        assert!(auditor.total_violations() > before);
+        let (scores, _) = full_audit(&profiles, &with_ads);
+        for (i, s) in scores.iter().enumerate() {
+            assert_eq!(auditor.score(i), *s);
+        }
+        // Now shrink back to an empty policy: everything returns to zero.
+        auditor.apply_policy(HousePolicy::new("h"));
+        assert_eq!(auditor.total_violations(), 0);
+        assert_eq!(auditor.p_violation(), 0.0);
+    }
+
+    #[test]
+    fn policy_attributes_not_in_table_are_ignored() {
+        let profiles = population(5);
+        let mut hp = policy(2);
+        hp.add("ghost_attr", PrivacyTuple::from_point("pr", pt(9, 9, 9)));
+        let auditor = IncrementalAuditor::new(
+            profiles.clone(),
+            vec!["weight".into(), "age".into()],
+            &weights(),
+            hp.clone(),
+        );
+        let (scores, _) = full_audit(&profiles, &hp);
+        for (i, s) in scores.iter().enumerate() {
+            assert_eq!(auditor.score(i), *s);
+        }
+    }
+}

@@ -1,0 +1,52 @@
+//! # qpv-core
+//!
+//! The privacy-violation model of *Quantifying Privacy Violations*
+//! (Banerjee, Karimi Adl, Wu, Barker; SDM @ VLDB 2011), implemented end to
+//! end:
+//!
+//! | Paper artefact | Here |
+//! |---|---|
+//! | Definition 1 (violation `w_i`) | [`violation::is_violated`], [`violation::witnesses`] |
+//! | Definition 2 (`P(W)`) | [`probability::census_probability`], [`probability::estimate_probability`] |
+//! | Definition 3 (α-PPDB) | [`audit::AuditReport::is_alpha_ppdb`] |
+//! | Equations 10–11 (sensitivity `⟨σ, Σ⟩`) | [`sensitivity::SensitivityModel`] |
+//! | Equations 12–14 (`diff`, `comp`, `conf`) | [`severity::conf`] |
+//! | Equations 15–16 (`Violation_i`, `Violations`) | [`severity::violation_score`], [`severity::total_violations`] |
+//! | Definitions 4–5 (default, `P(Default)`) | [`default_model`], [`probability`] |
+//!
+//! On top of the pure model sit the systems pieces:
+//!
+//! * [`profile`] — a provider's complete privacy posture (preferences,
+//!   sensitivities, default threshold): the unit the synthetic-population
+//!   generator produces and the audit consumes.
+//! * [`ppdb`] — the **privacy-preserving database**: provider data, stated
+//!   preferences, sensitivities, thresholds, and the house policy all live
+//!   in `qpv-reldb` tables, making violations auditable against actual
+//!   storage (the paper's §10 "initial prototype of the α-PPDB").
+//! * [`audit`] — the audit engine producing [`audit::AuditReport`]s.
+//! * [`incremental`] — delta-maintained violation scores under policy
+//!   changes (ablation A1 compares this with full recomputation).
+//! * [`whatif`] — §10's "what-if scenarios that modify a house's privacy
+//!   policies", evaluated without touching the stored policy.
+//! * [`report`] — plain-text rendering of audit results.
+
+pub mod audit;
+pub mod default_model;
+pub mod incremental;
+pub mod ppdb;
+pub mod probability;
+pub mod profile;
+pub mod report;
+pub mod sensitivity;
+pub mod severity;
+pub mod violation;
+pub mod whatif;
+
+pub use audit::{AuditEngine, AuditReport, ProviderAudit};
+pub use default_model::{defaults, DefaultThresholds};
+pub use ppdb::{AuditLogEntry, Ppdb, PpdbConfig};
+pub use profile::ProviderProfile;
+pub use probability::{census_probability, estimate_probability};
+pub use sensitivity::{AttributeSensitivities, DatumSensitivity, SensitivityModel};
+pub use severity::{conf, total_violations, violation_score};
+pub use violation::{is_violated, witnesses, ViolationWitness};

@@ -1,0 +1,779 @@
+//! The privacy-preserving database (α-PPDB prototype, paper §10).
+//!
+//! A [`Ppdb`] binds a `qpv-reldb` database to the violation model: provider
+//! data lives in an ordinary relational table, and the model's metadata —
+//! house policy, stated preferences, sensitivities, thresholds — lives in
+//! companion tables *in the same database*, so the whole privacy posture is
+//! stored, recovered, and queryable exactly like the data it governs. This
+//! is what makes violations auditable: the audit engine reads both sides
+//! from storage rather than trusting in-memory state.
+//!
+//! ## Companion tables
+//!
+//! | table | contents |
+//! |---|---|
+//! | `_qpv_policy` | one row per house-policy tuple |
+//! | `_qpv_prefs` | one row per stated preference tuple |
+//! | `_qpv_sens` | one row per (provider, attribute) sensitivity tuple |
+//! | `_qpv_attr_sens` | one row per attribute weight `Σ^a` |
+//! | `_qpv_thresholds` | one row per provider threshold `v_i` |
+
+use qpv_policy::{HousePolicy, ProviderId, ProviderPreferences};
+use qpv_reldb::db::Database;
+use qpv_reldb::error::{DbError, DbResult};
+use qpv_reldb::row::Row;
+use qpv_reldb::schema::{Schema, SchemaBuilder};
+use qpv_reldb::types::DataType;
+use qpv_reldb::value::Value;
+use qpv_taxonomy::{Level, PrivacyPoint, PrivacyTuple};
+
+use crate::audit::{AuditEngine, AuditReport};
+use crate::profile::ProviderProfile;
+use crate::sensitivity::{AttributeSensitivities, DatumSensitivity};
+
+/// How the data table maps to the model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PpdbConfig {
+    /// The table holding provider data (one row per provider,
+    /// Assumption 5).
+    pub data_table: String,
+    /// The INT column identifying the provider in that table.
+    pub provider_column: String,
+}
+
+impl PpdbConfig {
+    /// Convenience constructor.
+    pub fn new(data_table: impl Into<String>, provider_column: impl Into<String>) -> PpdbConfig {
+        PpdbConfig {
+            data_table: data_table.into(),
+            provider_column: provider_column.into(),
+        }
+    }
+}
+
+/// A relational database with the privacy-violation model stored alongside
+/// the data it protects.
+pub struct Ppdb {
+    db: Database,
+    config: PpdbConfig,
+}
+
+const T_POLICY: &str = "_qpv_policy";
+const T_PREFS: &str = "_qpv_prefs";
+const T_SENS: &str = "_qpv_sens";
+const T_ATTR_SENS: &str = "_qpv_attr_sens";
+const T_THRESHOLDS: &str = "_qpv_thresholds";
+const T_AUDIT_LOG: &str = "_qpv_audit_log";
+
+/// One recorded audit in the PPDB's history (§10's "continuously monitor
+/// the state of their privacy").
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct AuditLogEntry {
+    /// Monotone sequence number.
+    pub seq: i64,
+    /// Caller-supplied label (e.g. a policy version).
+    pub label: String,
+    /// Population size at audit time.
+    pub population: i64,
+    /// Providers with `w_i = 1`.
+    pub violated: i64,
+    /// Providers with `default_i = 1`.
+    pub defaulted: i64,
+    /// Equation 16's `Violations` (saturated to `i64::MAX` for storage).
+    pub total_violations: i64,
+    /// `P(W)`.
+    pub p_violation: f64,
+    /// `P(Default)`.
+    pub p_default: f64,
+}
+
+impl Ppdb {
+    /// Create the data table (from `data_schema`) and all companion tables
+    /// in `db`. The schema must contain the configured provider column with
+    /// type `INT`.
+    pub fn create(mut db: Database, config: PpdbConfig, data_schema: Schema) -> DbResult<Ppdb> {
+        let pc = data_schema.require(&config.provider_column)?;
+        let col = data_schema.column(pc).expect("require returned index");
+        if col.dtype != DataType::Int {
+            return Err(DbError::Schema(format!(
+                "provider column {:?} must be INT, is {}",
+                config.provider_column, col.dtype
+            )));
+        }
+        db.create_table(&config.data_table, data_schema)?;
+        db.create_table(
+            T_POLICY,
+            SchemaBuilder::new()
+                .column("attribute", DataType::Text)
+                .column("purpose", DataType::Text)
+                .column("vis", DataType::Int)
+                .column("gran", DataType::Int)
+                .column("ret", DataType::Int)
+                .build()?,
+        )?;
+        db.create_table(
+            T_PREFS,
+            SchemaBuilder::new()
+                .column("provider", DataType::Int)
+                .column("attribute", DataType::Text)
+                .column("purpose", DataType::Text)
+                .column("vis", DataType::Int)
+                .column("gran", DataType::Int)
+                .column("ret", DataType::Int)
+                .build()?,
+        )?;
+        db.create_index("_qpv_prefs_provider", T_PREFS, "provider")?;
+        db.create_table(
+            T_SENS,
+            SchemaBuilder::new()
+                .column("provider", DataType::Int)
+                .column("attribute", DataType::Text)
+                .column("value_s", DataType::Int)
+                .column("vis_s", DataType::Int)
+                .column("gran_s", DataType::Int)
+                .column("ret_s", DataType::Int)
+                .build()?,
+        )?;
+        db.create_index("_qpv_sens_provider", T_SENS, "provider")?;
+        db.create_table(
+            T_ATTR_SENS,
+            SchemaBuilder::new()
+                .column("attribute", DataType::Text)
+                .column("weight", DataType::Int)
+                .build()?,
+        )?;
+        db.create_table(
+            T_THRESHOLDS,
+            SchemaBuilder::new()
+                .column("provider", DataType::Int)
+                .column("threshold", DataType::Int)
+                .build()?,
+        )?;
+        db.create_table(
+            T_AUDIT_LOG,
+            SchemaBuilder::new()
+                .column("seq", DataType::Int)
+                .column("label", DataType::Text)
+                .column("population", DataType::Int)
+                .column("violated", DataType::Int)
+                .column("defaulted", DataType::Int)
+                .column("total_violations", DataType::Int)
+                .column("p_w", DataType::Float)
+                .column("p_def", DataType::Float)
+                .build()?,
+        )?;
+        Ok(Ppdb { db, config })
+    }
+
+    /// Attach to a database where [`Ppdb::create`] already ran (e.g. after
+    /// reopening a durable database).
+    pub fn open(db: Database, config: PpdbConfig) -> DbResult<Ppdb> {
+        for t in [
+            config.data_table.as_str(),
+            T_POLICY,
+            T_PREFS,
+            T_SENS,
+            T_ATTR_SENS,
+            T_THRESHOLDS,
+            T_AUDIT_LOG,
+        ] {
+            if db.catalog().table(t).is_none() {
+                return Err(DbError::Catalog(format!(
+                    "not a PPDB: missing table {t:?}"
+                )));
+            }
+        }
+        Ok(Ppdb { db, config })
+    }
+
+    /// The underlying database (e.g. for ad-hoc SQL over the data or the
+    /// privacy metadata).
+    pub fn db_mut(&mut self) -> &mut Database {
+        &mut self.db
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &PpdbConfig {
+        &self.config
+    }
+
+    /// The data attributes the model audits: every column of the data table
+    /// except the provider id column.
+    pub fn attributes(&self) -> DbResult<Vec<String>> {
+        let schema = self.db.schema(&self.config.data_table)?;
+        Ok(schema
+            .columns()
+            .iter()
+            .map(|c| c.name.clone())
+            .filter(|n| *n != self.config.provider_column)
+            .collect())
+    }
+
+    /// Replace the stored house policy.
+    pub fn set_policy(&mut self, policy: &HousePolicy) -> DbResult<()> {
+        self.db
+            .execute(&format!("DELETE FROM {T_POLICY}"))
+            .map(|_| ())?;
+        for t in policy.tuples() {
+            self.db.insert(
+                T_POLICY,
+                Row::from_values([
+                    Value::Text(t.attribute.clone()),
+                    Value::Text(t.tuple.purpose.name().to_string()),
+                    Value::Int(t.tuple.point.visibility.raw() as i64),
+                    Value::Int(t.tuple.point.granularity.raw() as i64),
+                    Value::Int(t.tuple.point.retention.raw() as i64),
+                ]),
+            )?;
+        }
+        Ok(())
+    }
+
+    /// Read the stored house policy back.
+    pub fn house_policy(&mut self) -> DbResult<HousePolicy> {
+        let rows = self.db.scan(T_POLICY)?;
+        let mut policy = HousePolicy::new(&*self.config.data_table);
+        for (_, row) in rows {
+            let (attr, tuple) = decode_tuple_row(&row, 0)?;
+            policy.add(attr, tuple);
+        }
+        Ok(policy)
+    }
+
+    /// Set the social weight `Σ^a` of an attribute.
+    pub fn set_attribute_weight(&mut self, attribute: &str, weight: u32) -> DbResult<()> {
+        self.db.execute(&format!(
+            "DELETE FROM {T_ATTR_SENS} WHERE attribute = '{attribute}'"
+        ))?;
+        self.db.insert(
+            T_ATTR_SENS,
+            Row::from_values([
+                Value::Text(attribute.to_string()),
+                Value::Int(weight as i64),
+            ]),
+        )?;
+        Ok(())
+    }
+
+    /// Read all attribute weights.
+    pub fn attribute_weights(&mut self) -> DbResult<AttributeSensitivities> {
+        let mut weights = AttributeSensitivities::new();
+        for (_, row) in self.db.scan(T_ATTR_SENS)? {
+            let attr = text(&row, 0)?;
+            let w = int(&row, 1)? as u32;
+            weights.set(attr, w);
+        }
+        Ok(weights)
+    }
+
+    /// Register a provider: store their data row, stated preferences,
+    /// sensitivities, and threshold, atomically.
+    pub fn register_provider(&mut self, profile: &ProviderProfile, data: Row) -> DbResult<()> {
+        let id = profile.id().0 as i64;
+        // Validate the data row carries the right provider id.
+        let schema = self.db.schema(&self.config.data_table)?;
+        let pc = schema.require(&self.config.provider_column)?;
+        match data.get(pc) {
+            Some(Value::Int(v)) if *v == id => {}
+            other => {
+                return Err(DbError::Schema(format!(
+                    "data row provider column is {other:?}, expected {id}"
+                )));
+            }
+        }
+        self.db.begin()?;
+        let result = (|| -> DbResult<()> {
+            self.db.insert(&self.config.data_table, data)?;
+            for t in profile.preferences.tuples() {
+                self.db.insert(
+                    T_PREFS,
+                    Row::from_values([
+                        Value::Int(id),
+                        Value::Text(t.attribute.clone()),
+                        Value::Text(t.tuple.purpose.name().to_string()),
+                        Value::Int(t.tuple.point.visibility.raw() as i64),
+                        Value::Int(t.tuple.point.granularity.raw() as i64),
+                        Value::Int(t.tuple.point.retention.raw() as i64),
+                    ]),
+                )?;
+            }
+            for (attr, s) in &profile.sensitivities {
+                self.db.insert(
+                    T_SENS,
+                    Row::from_values([
+                        Value::Int(id),
+                        Value::Text(attr.clone()),
+                        Value::Int(s.value as i64),
+                        Value::Int(s.visibility as i64),
+                        Value::Int(s.granularity as i64),
+                        Value::Int(s.retention as i64),
+                    ]),
+                )?;
+            }
+            self.db.insert(
+                T_THRESHOLDS,
+                Row::from_values([Value::Int(id), Value::Int(profile.threshold as i64)]),
+            )?;
+            Ok(())
+        })();
+        match result {
+            Ok(()) => self.db.commit(),
+            Err(e) => {
+                self.db.rollback()?;
+                Err(e)
+            }
+        }
+    }
+
+    /// Remove a provider entirely (their data and all model metadata) —
+    /// what physically happens when a provider defaults.
+    pub fn remove_provider(&mut self, id: ProviderId) -> DbResult<()> {
+        let n = id.0 as i64;
+        self.db.begin()?;
+        let result = (|| -> DbResult<()> {
+            self.db.execute(&format!(
+                "DELETE FROM {} WHERE {} = {n}",
+                self.config.data_table, self.config.provider_column
+            ))?;
+            for t in [T_PREFS, T_SENS, T_THRESHOLDS] {
+                self.db
+                    .execute(&format!("DELETE FROM {t} WHERE provider = {n}"))?;
+            }
+            Ok(())
+        })();
+        match result {
+            Ok(()) => self.db.commit(),
+            Err(e) => {
+                self.db.rollback()?;
+                Err(e)
+            }
+        }
+    }
+
+    /// All provider ids with data stored, in storage order.
+    pub fn provider_ids(&mut self) -> DbResult<Vec<ProviderId>> {
+        let schema = self.db.schema(&self.config.data_table)?;
+        let pc = schema.require(&self.config.provider_column)?;
+        let rows = self.db.scan(&self.config.data_table)?;
+        rows.into_iter()
+            .map(|(_, row)| {
+                row.get(pc)
+                    .and_then(Value::as_int)
+                    .map(|v| ProviderId(v as u64))
+                    .ok_or_else(|| DbError::Schema("non-integer provider id".into()))
+            })
+            .collect()
+    }
+
+    /// Reconstruct one provider's profile from storage.
+    pub fn provider_profile(&mut self, id: ProviderId) -> DbResult<ProviderProfile> {
+        let n = id.0 as i64;
+        let mut profile = ProviderProfile::new(id, 0);
+        let mut prefs = ProviderPreferences::new(id);
+        for (_, row) in self.db.scan(T_PREFS)? {
+            if int(&row, 0)? == n {
+                let (attr, tuple) = decode_tuple_row(&row, 1)?;
+                prefs.add(attr, tuple);
+            }
+        }
+        profile.preferences = prefs;
+        for (_, row) in self.db.scan(T_SENS)? {
+            if int(&row, 0)? == n {
+                let attr = text(&row, 1)?;
+                profile.sensitivities.insert(
+                    attr,
+                    DatumSensitivity::new(
+                        int(&row, 2)? as u32,
+                        int(&row, 3)? as u32,
+                        int(&row, 4)? as u32,
+                        int(&row, 5)? as u32,
+                    ),
+                );
+            }
+        }
+        for (_, row) in self.db.scan(T_THRESHOLDS)? {
+            if int(&row, 0)? == n {
+                profile.threshold = int(&row, 1)? as u64;
+            }
+        }
+        Ok(profile)
+    }
+
+    /// All profiles, in data-table order.
+    pub fn all_profiles(&mut self) -> DbResult<Vec<ProviderProfile>> {
+        let ids = self.provider_ids()?;
+        ids.into_iter().map(|id| self.provider_profile(id)).collect()
+    }
+
+    /// Build an [`AuditEngine`] from stored state.
+    pub fn audit_engine(&mut self) -> DbResult<AuditEngine> {
+        let policy = self.house_policy()?;
+        let attributes = self.attributes()?;
+        let weights = self.attribute_weights()?;
+        Ok(AuditEngine::new(policy, attributes, weights))
+    }
+
+    /// Run a full audit against the stored policy, preferences, and data.
+    pub fn audit(&mut self) -> DbResult<AuditReport> {
+        let engine = self.audit_engine()?;
+        let profiles = self.all_profiles()?;
+        Ok(engine.run(&profiles))
+    }
+
+    /// Run an audit and append its summary to the stored audit history —
+    /// the monitoring loop of the paper's §10. Returns both the full
+    /// report and the recorded entry.
+    pub fn record_audit(&mut self, label: &str) -> DbResult<(AuditReport, AuditLogEntry)> {
+        let report = self.audit()?;
+        let seq = self
+            .audit_history()?
+            .last()
+            .map(|e| e.seq + 1)
+            .unwrap_or(0);
+        let entry = AuditLogEntry {
+            seq,
+            label: label.to_string(),
+            population: report.population() as i64,
+            violated: report.providers.iter().filter(|p| p.violated).count() as i64,
+            defaulted: report.providers.iter().filter(|p| p.defaulted).count() as i64,
+            total_violations: i64::try_from(report.total_violations).unwrap_or(i64::MAX),
+            p_violation: report.p_violation(),
+            p_default: report.p_default(),
+        };
+        self.db.insert(
+            T_AUDIT_LOG,
+            Row::from_values([
+                Value::Int(entry.seq),
+                Value::Text(entry.label.clone()),
+                Value::Int(entry.population),
+                Value::Int(entry.violated),
+                Value::Int(entry.defaulted),
+                Value::Int(entry.total_violations),
+                Value::Float(entry.p_violation),
+                Value::Float(entry.p_default),
+            ]),
+        )?;
+        Ok((report, entry))
+    }
+
+    /// The recorded audit history, oldest first.
+    pub fn audit_history(&mut self) -> DbResult<Vec<AuditLogEntry>> {
+        let mut entries = Vec::new();
+        for (_, row) in self.db.scan(T_AUDIT_LOG)? {
+            entries.push(AuditLogEntry {
+                seq: int(&row, 0)?,
+                label: text(&row, 1)?,
+                population: int(&row, 2)?,
+                violated: int(&row, 3)?,
+                defaulted: int(&row, 4)?,
+                total_violations: int(&row, 5)?,
+                p_violation: float(&row, 6)?,
+                p_default: float(&row, 7)?,
+            });
+        }
+        entries.sort_by_key(|e| e.seq);
+        Ok(entries)
+    }
+
+    /// Record an audit and check Definition 3's α-PPDB condition in one
+    /// step — the "demonstrably shown to be an α-PPDB" workflow.
+    pub fn certify_alpha(&mut self, alpha: f64, label: &str) -> DbResult<bool> {
+        let (report, _) = self.record_audit(label)?;
+        Ok(report.is_alpha_ppdb(alpha))
+    }
+}
+
+// Column accessors with model-level errors.
+fn int(row: &Row, idx: usize) -> DbResult<i64> {
+    row.get(idx)
+        .and_then(Value::as_int)
+        .ok_or_else(|| DbError::Schema(format!("expected INT at column {idx}")))
+}
+
+fn text(row: &Row, idx: usize) -> DbResult<String> {
+    row.get(idx)
+        .and_then(Value::as_text)
+        .map(str::to_string)
+        .ok_or_else(|| DbError::Schema(format!("expected TEXT at column {idx}")))
+}
+
+fn float(row: &Row, idx: usize) -> DbResult<f64> {
+    row.get(idx)
+        .and_then(Value::as_float)
+        .ok_or_else(|| DbError::Schema(format!("expected FLOAT at column {idx}")))
+}
+
+/// Decode `(attribute, purpose, vis, gran, ret)` starting at `base`.
+fn decode_tuple_row(row: &Row, base: usize) -> DbResult<(String, PrivacyTuple)> {
+    let attr = text(row, base)?;
+    let purpose = text(row, base + 1)?;
+    let point = PrivacyPoint::from_raw(
+        int(row, base + 2)? as u32,
+        int(row, base + 3)? as u32,
+        int(row, base + 4)? as u32,
+    );
+    Ok((attr, PrivacyTuple::from_point(purpose.as_str(), point)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn data_schema() -> Schema {
+        SchemaBuilder::new()
+            .column("provider_id", DataType::Int)
+            .nullable_column("age", DataType::Int)
+            .nullable_column("weight", DataType::Int)
+            .build()
+            .unwrap()
+    }
+
+    fn fresh() -> Ppdb {
+        Ppdb::create(
+            Database::in_memory(),
+            PpdbConfig::new("people", "provider_id"),
+            data_schema(),
+        )
+        .unwrap()
+    }
+
+    fn pt(v: u32, g: u32, r: u32) -> PrivacyPoint {
+        PrivacyPoint::from_raw(v, g, r)
+    }
+
+    fn sample_profile(id: u64, threshold: u64) -> ProviderProfile {
+        let mut p = ProviderProfile::new(ProviderId(id), threshold);
+        p.preferences
+            .add("weight", PrivacyTuple::from_point("pr", pt(7, 4, 7)));
+        p.sensitivities
+            .insert("weight".into(), DatumSensitivity::new(3, 1, 5, 2));
+        p
+    }
+
+    fn data_row(id: u64) -> Row {
+        Row::from_values([
+            Value::Int(id as i64),
+            Value::Int(30),
+            Value::Int(70),
+        ])
+    }
+
+    #[test]
+    fn create_validates_provider_column() {
+        // Missing column.
+        let err = Ppdb::create(
+            Database::in_memory(),
+            PpdbConfig::new("people", "nope"),
+            data_schema(),
+        );
+        assert!(err.is_err());
+        // Wrong type.
+        let schema = SchemaBuilder::new()
+            .column("provider_id", DataType::Text)
+            .build()
+            .unwrap();
+        let err = Ppdb::create(
+            Database::in_memory(),
+            PpdbConfig::new("people", "provider_id"),
+            schema,
+        );
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn attributes_exclude_provider_column() {
+        let ppdb = fresh();
+        assert_eq!(ppdb.attributes().unwrap(), vec!["age", "weight"]);
+    }
+
+    #[test]
+    fn policy_round_trips_through_storage() {
+        let mut ppdb = fresh();
+        let policy = HousePolicy::builder("people")
+            .tuple("weight", PrivacyTuple::from_point("pr", pt(5, 5, 5)))
+            .tuple("age", PrivacyTuple::from_point("ads", pt(3, 2, 365)))
+            .build();
+        ppdb.set_policy(&policy).unwrap();
+        let back = ppdb.house_policy().unwrap();
+        assert_eq!(back.len(), 2);
+        assert_eq!(
+            back.get("weight", &qpv_taxonomy::Purpose::new("pr")).unwrap().point,
+            pt(5, 5, 5)
+        );
+        // Replacing overwrites.
+        ppdb.set_policy(&HousePolicy::new("empty")).unwrap();
+        assert!(ppdb.house_policy().unwrap().is_empty());
+    }
+
+    #[test]
+    fn provider_profile_round_trips() {
+        let mut ppdb = fresh();
+        let profile = sample_profile(42, 50);
+        ppdb.register_provider(&profile, data_row(42)).unwrap();
+        let back = ppdb.provider_profile(ProviderId(42)).unwrap();
+        assert_eq!(back, profile);
+        assert_eq!(ppdb.provider_ids().unwrap(), vec![ProviderId(42)]);
+    }
+
+    #[test]
+    fn register_rejects_mismatched_provider_id() {
+        let mut ppdb = fresh();
+        let err = ppdb.register_provider(&sample_profile(42, 50), data_row(43));
+        assert!(err.is_err());
+        // The failed registration left nothing behind (txn rollback).
+        assert!(ppdb.provider_ids().unwrap().is_empty());
+        assert!(ppdb.db_mut().scan(T_THRESHOLDS).unwrap().is_empty());
+    }
+
+    #[test]
+    fn remove_provider_clears_everything() {
+        let mut ppdb = fresh();
+        ppdb.register_provider(&sample_profile(1, 50), data_row(1)).unwrap();
+        ppdb.register_provider(&sample_profile(2, 60), data_row(2)).unwrap();
+        ppdb.remove_provider(ProviderId(1)).unwrap();
+        assert_eq!(ppdb.provider_ids().unwrap(), vec![ProviderId(2)]);
+        for t in [T_PREFS, T_SENS, T_THRESHOLDS] {
+            for (_, row) in ppdb.db_mut().scan(t).unwrap() {
+                assert_ne!(row.values[0], Value::Int(1), "stale row in {t}");
+            }
+        }
+    }
+
+    #[test]
+    fn full_audit_reproduces_the_worked_example_from_storage() {
+        let mut ppdb = fresh();
+        let (v, g, r) = (5u32, 5u32, 5u32);
+        ppdb.set_policy(
+            &HousePolicy::builder("people")
+                .tuple("weight", PrivacyTuple::from_point("pr", pt(v, g, r)))
+                .build(),
+        )
+        .unwrap();
+        ppdb.set_attribute_weight("weight", 4).unwrap();
+
+        let mk = |id: u64, pref: PrivacyPoint, s: DatumSensitivity, thr: u64| {
+            let mut p = ProviderProfile::new(ProviderId(id), thr);
+            p.preferences.add("weight", PrivacyTuple::from_point("pr", pref));
+            p.sensitivities.insert("weight".into(), s);
+            p
+        };
+        ppdb.register_provider(
+            &mk(0, pt(v + 2, g + 1, r + 3), DatumSensitivity::new(1, 1, 2, 1), 10),
+            data_row(0),
+        )
+        .unwrap();
+        ppdb.register_provider(
+            &mk(1, pt(v + 2, g - 1, r + 2), DatumSensitivity::new(3, 1, 5, 2), 50),
+            data_row(1),
+        )
+        .unwrap();
+        ppdb.register_provider(
+            &mk(2, pt(v, g - 1, r - 1), DatumSensitivity::new(4, 1, 3, 2), 100),
+            data_row(2),
+        )
+        .unwrap();
+
+        let report = ppdb.audit().unwrap();
+        let scores: Vec<u64> = report.providers.iter().map(|p| p.score).collect();
+        assert_eq!(scores, vec![0, 60, 80]);
+        assert!((report.p_default() - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(report.total_violations, 140);
+    }
+
+    #[test]
+    fn open_validates_table_presence() {
+        let db = Database::in_memory();
+        assert!(Ppdb::open(db, PpdbConfig::new("people", "provider_id")).is_err());
+        let ppdb = fresh();
+        let db = ppdb.db; // take the database back
+        assert!(Ppdb::open(db, PpdbConfig::new("people", "provider_id")).is_ok());
+    }
+
+    #[test]
+    fn audit_history_accumulates_and_survives_policy_changes() {
+        let mut ppdb = fresh();
+        ppdb.set_attribute_weight("weight", 4).unwrap();
+        ppdb.register_provider(&sample_profile(1, 50), data_row(1)).unwrap();
+        ppdb.set_policy(
+            &HousePolicy::builder("v1")
+                .tuple("weight", PrivacyTuple::from_point("pr", pt(2, 2, 2)))
+                .build(),
+        )
+        .unwrap();
+        let (_, e1) = ppdb.record_audit("v1").unwrap();
+        assert_eq!(e1.seq, 0);
+        assert_eq!(e1.population, 1);
+        assert_eq!(e1.violated, 0, "prefs (7,4,7) bound policy (2,2,2)");
+
+        // Widen beyond the stated preference and re-audit.
+        ppdb.set_policy(
+            &HousePolicy::builder("v2")
+                .tuple("weight", PrivacyTuple::from_point("pr", pt(9, 9, 9)))
+                .build(),
+        )
+        .unwrap();
+        let (_, e2) = ppdb.record_audit("v2").unwrap();
+        assert_eq!(e2.seq, 1);
+        assert_eq!(e2.violated, 1);
+        assert!(e2.total_violations > 0);
+
+        let history = ppdb.audit_history().unwrap();
+        assert_eq!(history.len(), 2);
+        assert_eq!(history[0], e1);
+        assert_eq!(history[1], e2);
+        assert!(history[1].p_violation > history[0].p_violation);
+        // History is plain SQL too.
+        let rs = ppdb
+            .db_mut()
+            .query("SELECT label FROM _qpv_audit_log ORDER BY seq")
+            .unwrap();
+        assert_eq!(rs.rows[1].values[0], Value::Text("v2".into()));
+    }
+
+    #[test]
+    fn certify_alpha_records_and_judges() {
+        let mut ppdb = fresh();
+        ppdb.register_provider(&sample_profile(1, 50), data_row(1)).unwrap();
+        ppdb.set_policy(
+            &HousePolicy::builder("v1")
+                .tuple("weight", PrivacyTuple::from_point("pr", pt(9, 9, 9)))
+                .build(),
+        )
+        .unwrap();
+        // One of one providers violated: P(W) = 1.
+        assert!(!ppdb.certify_alpha(0.5, "check-1").unwrap());
+        assert!(ppdb.certify_alpha(1.0, "check-2").unwrap());
+        assert_eq!(ppdb.audit_history().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn metadata_is_queryable_as_sql() {
+        let mut ppdb = fresh();
+        ppdb.register_provider(&sample_profile(7, 50), data_row(7)).unwrap();
+        let rs = ppdb
+            .db_mut()
+            .query("SELECT COUNT(*) FROM _qpv_prefs WHERE provider = 7")
+            .unwrap();
+        assert_eq!(rs.rows[0].values[0], Value::Int(1));
+    }
+
+    #[test]
+    fn metadata_joins_across_companion_tables() {
+        let mut ppdb = fresh();
+        ppdb.register_provider(&sample_profile(1, 50), data_row(1)).unwrap();
+        ppdb.register_provider(&sample_profile(2, 200), data_row(2)).unwrap();
+        // "Which providers consented to purpose 'pr' and what are their
+        // thresholds?" — one SQL join over the privacy metadata.
+        let rs = ppdb
+            .db_mut()
+            .query(
+                "SELECT p.provider, t.threshold FROM _qpv_prefs p \
+                 JOIN _qpv_thresholds t ON p.provider = t.provider \
+                 WHERE p.purpose = 'pr' ORDER BY p.provider",
+            )
+            .unwrap();
+        assert_eq!(rs.len(), 2);
+        assert_eq!(rs.rows[0].values, vec![Value::Int(1), Value::Int(50)]);
+        assert_eq!(rs.rows[1].values, vec![Value::Int(2), Value::Int(200)]);
+    }
+}

@@ -1,0 +1,84 @@
+//! Probabilities of violation and default (paper §5 Definition 2, §7
+//! Definition 5).
+//!
+//! The paper defines both probabilities by relative frequency: draw a
+//! random provider, check the property, repeat. For a finite database the
+//! limit is simply the census fraction `Σ_i x_i / N`; both are provided —
+//! the estimator mirrors the paper's definition (and is what one would run
+//! against a database too large to census), the census is its limit.
+
+use rand::Rng;
+
+/// The exact probability `Σ_i x_i / N` (Definitions 2 and 5's limit).
+/// Returns 0 for an empty population (no trial can select a provider).
+pub fn census_probability(outcomes: &[bool]) -> f64 {
+    if outcomes.is_empty() {
+        return 0.0;
+    }
+    outcomes.iter().filter(|&&b| b).count() as f64 / outcomes.len() as f64
+}
+
+/// The relative-frequency estimator `τ(A)/τ`: `trials` independent uniform
+/// draws of a provider, counting how often the property holds.
+///
+/// Converges to [`census_probability`] as `trials → ∞` (law of large
+/// numbers); the tests verify the convergence empirically.
+pub fn estimate_probability(outcomes: &[bool], trials: u32, rng: &mut impl Rng) -> f64 {
+    if outcomes.is_empty() || trials == 0 {
+        return 0.0;
+    }
+    let mut hits = 0u32;
+    for _ in 0..trials {
+        let pick = rng.gen_range(0..outcomes.len());
+        if outcomes[pick] {
+            hits += 1;
+        }
+    }
+    hits as f64 / trials as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn census_fractions() {
+        assert_eq!(census_probability(&[]), 0.0);
+        assert_eq!(census_probability(&[false, false]), 0.0);
+        assert_eq!(census_probability(&[true, true]), 1.0);
+        // The worked example: P(Default) = 1/3.
+        let outcomes = [false, true, false];
+        assert!((census_probability(&outcomes) - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn estimator_converges_to_census() {
+        let mut rng = SmallRng::seed_from_u64(42);
+        let outcomes: Vec<bool> = (0..1000).map(|i| i % 4 == 0).collect(); // p = 0.25
+        let p = census_probability(&outcomes);
+        let est = estimate_probability(&outcomes, 200_000, &mut rng);
+        assert!(
+            (est - p).abs() < 0.01,
+            "estimate {est} too far from census {p}"
+        );
+    }
+
+    #[test]
+    fn estimator_edge_cases() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        assert_eq!(estimate_probability(&[], 100, &mut rng), 0.0);
+        assert_eq!(estimate_probability(&[true], 0, &mut rng), 0.0);
+        assert_eq!(estimate_probability(&[true], 100, &mut rng), 1.0);
+        assert_eq!(estimate_probability(&[false], 100, &mut rng), 0.0);
+    }
+
+    #[test]
+    fn estimator_is_deterministic_under_a_seed() {
+        let outcomes: Vec<bool> = (0..100).map(|i| i % 3 == 0).collect();
+        let a = estimate_probability(&outcomes, 1000, &mut SmallRng::seed_from_u64(7));
+        let b = estimate_probability(&outcomes, 1000, &mut SmallRng::seed_from_u64(7));
+        assert_eq!(a, b);
+    }
+}

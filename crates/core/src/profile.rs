@@ -1,0 +1,110 @@
+//! A provider's complete privacy posture.
+//!
+//! [`ProviderProfile`] bundles everything the model knows about one
+//! provider: their stated preferences (Eq. 5), their datum sensitivities
+//! (Eq. 11), and their default threshold `v_i` (Def. 4). The synthetic
+//! population generator (`qpv-synth`) produces these; the audit engine and
+//! the economics crate consume them.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use qpv_policy::{ProviderId, ProviderPreferences};
+
+use crate::sensitivity::DatumSensitivity;
+
+/// Everything the model tracks for one provider.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ProviderProfile {
+    /// Stated privacy preferences.
+    pub preferences: ProviderPreferences,
+    /// Per-attribute datum sensitivities (`σ_i`).
+    pub sensitivities: HashMap<String, DatumSensitivity>,
+    /// Default threshold `v_i`.
+    pub threshold: u64,
+}
+
+impl ProviderProfile {
+    /// A profile with empty (deny-everything) preferences, neutral
+    /// sensitivities, and the given threshold.
+    pub fn new(provider: ProviderId, threshold: u64) -> ProviderProfile {
+        ProviderProfile {
+            preferences: ProviderPreferences::new(provider),
+            sensitivities: HashMap::new(),
+            threshold,
+        }
+    }
+
+    /// The provider's id.
+    pub fn id(&self) -> ProviderId {
+        self.preferences.provider
+    }
+
+    /// The sensitivity tuple for an attribute (neutral if unset).
+    pub fn sensitivity(&self, attribute: &str) -> DatumSensitivity {
+        self.sensitivities
+            .get(attribute)
+            .copied()
+            .unwrap_or_default()
+    }
+}
+
+/// Merge a population of profiles into the shared [`crate::SensitivityModel`]
+/// and [`crate::DefaultThresholds`] structures the model functions take.
+pub fn assemble(
+    profiles: &[ProviderProfile],
+    attribute_weights: &crate::sensitivity::AttributeSensitivities,
+) -> (crate::SensitivityModel, crate::DefaultThresholds) {
+    let mut sens = crate::SensitivityModel::new();
+    sens.attributes = attribute_weights.clone();
+    let mut thresholds = crate::DefaultThresholds::default();
+    for p in profiles {
+        for (attr, s) in &p.sensitivities {
+            sens.set_datum(p.id(), attr.clone(), *s);
+        }
+        thresholds.set(p.id(), p.threshold);
+    }
+    (sens, thresholds)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn profile_defaults() {
+        let p = ProviderProfile::new(ProviderId(3), 50);
+        assert_eq!(p.id(), ProviderId(3));
+        assert_eq!(p.threshold, 50);
+        assert_eq!(p.sensitivity("anything"), DatumSensitivity::neutral());
+        assert!(p.preferences.is_empty());
+    }
+
+    #[test]
+    fn assemble_builds_shared_structures() {
+        let mut a = ProviderProfile::new(ProviderId(0), 10);
+        a.sensitivities
+            .insert("weight".into(), DatumSensitivity::new(1, 1, 2, 1));
+        let mut b = ProviderProfile::new(ProviderId(1), 50);
+        b.sensitivities
+            .insert("weight".into(), DatumSensitivity::new(3, 1, 5, 2));
+        let mut weights = crate::sensitivity::AttributeSensitivities::new();
+        weights.set("weight", 4);
+        let (sens, thresholds) = assemble(&[a, b], &weights);
+        assert_eq!(sens.attribute_weight("weight", "pr"), 4);
+        assert_eq!(sens.datum(ProviderId(1), "weight").granularity, 5);
+        assert_eq!(thresholds.get(ProviderId(0)), 10);
+        assert_eq!(thresholds.get(ProviderId(1)), 50);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let mut p = ProviderProfile::new(ProviderId(9), 77);
+        p.sensitivities
+            .insert("income".into(), DatumSensitivity::new(5, 2, 2, 2));
+        let json = serde_json::to_string(&p).unwrap();
+        let back: ProviderProfile = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, p);
+    }
+}

@@ -1,0 +1,136 @@
+//! Plain-text rendering of audit results.
+//!
+//! Produces the report a data-protection officer (or the experiment
+//! harness) reads: a per-provider table in the style of the paper's
+//! Table 1, followed by the population-level quantities.
+
+use std::fmt::Write as _;
+
+use crate::audit::AuditReport;
+
+/// Render an audit report as aligned plain text.
+pub fn render(report: &AuditReport) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<12} {:>4} {:>12} {:>12} {:>9}  witnesses",
+        "provider", "w_i", "Violation_i", "v_i", "default_i"
+    );
+    for p in &report.providers {
+        let _ = writeln!(
+            out,
+            "{:<12} {:>4} {:>12} {:>12} {:>9}  {}",
+            format!("#{}", p.provider.0),
+            p.violated as u8,
+            p.score,
+            p.threshold,
+            p.defaulted as u8,
+            summarise_witnesses(p),
+        );
+    }
+    let _ = writeln!(out, "---");
+    let _ = writeln!(out, "N                = {}", report.population());
+    let _ = writeln!(out, "Violations       = {}", report.total_violations);
+    let _ = writeln!(out, "P(W)             = {:.4}", report.p_violation());
+    let _ = writeln!(out, "P(Default)       = {:.4}", report.p_default());
+    let _ = writeln!(out, "N_future         = {}", report.remaining());
+    out
+}
+
+fn summarise_witnesses(p: &crate::audit::ProviderAudit) -> String {
+    if p.witnesses.is_empty() {
+        return "-".to_string();
+    }
+    p.witnesses
+        .iter()
+        .map(|w| {
+            let dims: Vec<String> = w
+                .geometry
+                .escaped_dims()
+                .map(|d| d.short_name().to_string())
+                .collect();
+            format!(
+                "{}/{}[{}]{}",
+                w.attribute,
+                w.purpose,
+                dims.join(","),
+                if w.implicit_preference { "*" } else { "" }
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+/// Render a one-line summary (for sweep output).
+pub fn render_summary(label: &str, report: &AuditReport) -> String {
+    format!(
+        "{label}: N={} Violations={} P(W)={:.3} P(Default)={:.3} N_future={}",
+        report.population(),
+        report.total_violations,
+        report.p_violation(),
+        report.p_default(),
+        report.remaining()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::audit::AuditEngine;
+    use crate::profile::ProviderProfile;
+    use crate::sensitivity::{AttributeSensitivities, DatumSensitivity};
+    use qpv_policy::{HousePolicy, ProviderId};
+    use qpv_taxonomy::{PrivacyPoint, PrivacyTuple};
+
+    fn sample_report() -> AuditReport {
+        let policy = HousePolicy::builder("h")
+            .tuple(
+                "weight",
+                PrivacyTuple::from_point("pr", PrivacyPoint::from_raw(5, 5, 5)),
+            )
+            .build();
+        let mut weights = AttributeSensitivities::new();
+        weights.set("weight", 4);
+        let engine = AuditEngine::new(policy, ["weight"], weights);
+        let mut ted = ProviderProfile::new(ProviderId(1), 50);
+        ted.preferences.add(
+            "weight",
+            PrivacyTuple::from_point("pr", PrivacyPoint::from_raw(7, 4, 7)),
+        );
+        ted.sensitivities
+            .insert("weight".into(), DatumSensitivity::new(3, 1, 5, 2));
+        engine.run(&[ted])
+    }
+
+    #[test]
+    fn render_contains_model_quantities() {
+        let text = render(&sample_report());
+        assert!(text.contains("Violation_i"), "{text}");
+        assert!(text.contains("P(Default)"), "{text}");
+        assert!(text.contains("60"), "Ted's score missing: {text}");
+        assert!(text.contains("weight/pr[gran]"), "witness missing: {text}");
+    }
+
+    #[test]
+    fn summary_is_one_line() {
+        let line = render_summary("base", &sample_report());
+        assert!(!line.contains('\n'));
+        assert!(line.starts_with("base:"));
+        assert!(line.contains("P(Default)=1.000"));
+    }
+
+    #[test]
+    fn implicit_witnesses_are_starred() {
+        let policy = HousePolicy::builder("h")
+            .tuple(
+                "weight",
+                PrivacyTuple::from_point("ads", PrivacyPoint::from_raw(1, 1, 1)),
+            )
+            .build();
+        let engine = AuditEngine::new(policy, ["weight"], AttributeSensitivities::new());
+        let profile = ProviderProfile::new(ProviderId(0), 1000);
+        let report = engine.run(&[profile]);
+        let text = render(&report);
+        assert!(text.contains("]*"), "implicit marker missing: {text}");
+    }
+}

@@ -1,0 +1,295 @@
+//! Severity of violations (paper §6.2, Equations 12–16).
+//!
+//! The binary predicate of Definition 1 says *whether* privacy was violated;
+//! the severity machinery says *how badly*:
+//!
+//! * `diff(p, P)` (Eq. 12) — raw order distance, implemented as
+//!   [`qpv_taxonomy::PrivacyPoint::exceedance`];
+//! * `comp` (Eq. 13) — the same-attribute, same-purpose comparability gate;
+//! * `conf` (Eq. 14) — the sensitivity-weighted sum
+//!   `comp × Σ_dim diff(p[dim], P[dim]) · Σ^a · s^a_i · s^a_i[dim]`;
+//! * `Violation_i` (Eq. 15) — `Σ conf` over all comparable pairs, combining
+//!   the paper's *breadth* (many attributes) and *depth* (one large
+//!   exceedance) aspects;
+//! * `Violations` (Eq. 16) — `Σ_i Violation_i` across providers.
+//!
+//! All arithmetic is in `u64`/`u128` with saturation: a severity score is a
+//! ranking device, and saturating at the top of the scale is strictly better
+//! than wrapping to a tiny value.
+
+use qpv_policy::{HousePolicy, ProviderPreferences};
+use qpv_taxonomy::{PrivacyPoint, Purpose};
+
+use crate::sensitivity::SensitivityModel;
+use crate::violation::comparable_pairs;
+
+/// Equation 14's `conf` for one comparable pair, given the provider's
+/// sensitivity context.
+///
+/// The caller guarantees comparability (same attribute and purpose); the
+/// `comp` gate of Equation 13 therefore reduces to "the caller matched the
+/// tuples up", which is what [`comparable_pairs`] does.
+pub fn conf(
+    preference: &PrivacyPoint,
+    policy: &PrivacyPoint,
+    attribute_weight: u32,
+    datum: crate::sensitivity::DatumSensitivity,
+) -> u64 {
+    let mut total: u64 = 0;
+    for (dim, diff) in preference.exceedance(policy) {
+        if diff == 0 {
+            continue;
+        }
+        let term = (diff as u64)
+            .saturating_mul(attribute_weight as u64)
+            .saturating_mul(datum.value as u64)
+            .saturating_mul(datum.along(dim) as u64);
+        total = total.saturating_add(term);
+    }
+    total
+}
+
+/// Equation 15: `Violation_i` — the total severity of all conflicts between
+/// provider `i`'s preferences and the house policy, over the attributes the
+/// provider supplies.
+pub fn violation_score(
+    prefs: &ProviderPreferences,
+    policy: &HousePolicy,
+    attributes: &[&str],
+    sensitivity: &SensitivityModel,
+) -> u64 {
+    comparable_pairs(prefs, policy, attributes)
+        .map(|c| {
+            let weight = sensitivity.attribute_weight(c.attribute, c.purpose.name());
+            let datum = sensitivity.datum(prefs.provider, c.attribute);
+            conf(&c.preference, &c.policy, weight, datum)
+        })
+        .fold(0u64, u64::saturating_add)
+}
+
+/// Equation 15 restricted to one `(attribute, purpose)` policy tuple — the
+/// building block of the incremental auditor, which adds and removes
+/// per-tuple contributions as the policy changes.
+pub fn tuple_contribution(
+    prefs: &ProviderPreferences,
+    attribute: &str,
+    purpose: &Purpose,
+    policy_point: &PrivacyPoint,
+    sensitivity: &SensitivityModel,
+) -> u64 {
+    let preference = prefs.effective_point(attribute, purpose);
+    let weight = sensitivity.attribute_weight(attribute, purpose.name());
+    let datum = sensitivity.datum(prefs.provider, attribute);
+    conf(&preference, policy_point, weight, datum)
+}
+
+/// [`violation_score`] under lattice purpose semantics: each policy tuple
+/// is scored against the provider's lattice-effective preference point
+/// (see [`crate::violation::effective_point_lattice`]).
+pub fn violation_score_lattice(
+    prefs: &ProviderPreferences,
+    policy: &HousePolicy,
+    attributes: &[&str],
+    sensitivity: &SensitivityModel,
+    lattice: &qpv_taxonomy::PurposeLattice,
+) -> u64 {
+    policy
+        .tuples()
+        .iter()
+        .filter(|pt| attributes.contains(&pt.attribute.as_str()))
+        .map(|pt| {
+            let (preference, _) = crate::violation::effective_point_lattice(
+                prefs,
+                &pt.attribute,
+                &pt.tuple.purpose,
+                lattice,
+            );
+            let weight = sensitivity.attribute_weight(&pt.attribute, pt.tuple.purpose.name());
+            let datum = sensitivity.datum(prefs.provider, &pt.attribute);
+            conf(&preference, &pt.tuple.point, weight, datum)
+        })
+        .fold(0u64, u64::saturating_add)
+}
+
+/// Equation 16: `Violations = Σ_i Violation_i`.
+pub fn total_violations<'a>(
+    providers: impl IntoIterator<Item = &'a ProviderPreferences>,
+    policy: &HousePolicy,
+    attributes: &[&str],
+    sensitivity: &SensitivityModel,
+) -> u128 {
+    providers
+        .into_iter()
+        .map(|p| violation_score(p, policy, attributes, sensitivity) as u128)
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sensitivity::DatumSensitivity;
+    use qpv_policy::ProviderId;
+    use qpv_taxonomy::PrivacyTuple;
+
+    fn pt(v: u32, g: u32, r: u32) -> PrivacyPoint {
+        PrivacyPoint::from_raw(v, g, r)
+    }
+
+    #[test]
+    fn conf_weights_each_dimension_independently() {
+        // pref (2,2,2), policy (4,1,5): diffs (2,0,3).
+        let datum = DatumSensitivity::new(2, 3, 5, 7);
+        let score = conf(&pt(2, 2, 2), &pt(4, 1, 5), 10, datum);
+        // vis: 2 * 10 * 2 * 3 = 120; ret: 3 * 10 * 2 * 7 = 420.
+        assert_eq!(score, 540);
+    }
+
+    #[test]
+    fn conf_is_zero_without_exceedance() {
+        let datum = DatumSensitivity::new(100, 100, 100, 100);
+        assert_eq!(conf(&pt(5, 5, 5), &pt(5, 5, 5), 100, datum), 0);
+        assert_eq!(conf(&pt(5, 5, 5), &pt(1, 1, 1), 100, datum), 0);
+    }
+
+    #[test]
+    fn conf_saturates_instead_of_overflowing() {
+        let datum = DatumSensitivity::new(u32::MAX, u32::MAX, u32::MAX, u32::MAX);
+        let score = conf(&pt(0, 0, 0), &pt(u32::MAX, u32::MAX, u32::MAX), u32::MAX, datum);
+        assert_eq!(score, u64::MAX);
+    }
+
+    /// The paper's worked example (§8, Table 1 and Equations 19–24),
+    /// reproduced verbatim: Σ_weight = 4, policy ⟨pr, v, g, r⟩, and the
+    /// three providers' preferences expressed relative to (v, g, r).
+    mod worked_example {
+        use super::*;
+
+        const V: u32 = 5;
+        const G: u32 = 5;
+        const R: u32 = 5;
+
+        fn policy() -> HousePolicy {
+            HousePolicy::builder("house")
+                .tuple("weight", PrivacyTuple::from_point("pr", pt(V, G, R)))
+                .build()
+        }
+
+        fn sensitivity() -> SensitivityModel {
+            let mut m = SensitivityModel::new();
+            m.set_attribute("weight", 4);
+            m.set_datum(ProviderId(0), "weight", DatumSensitivity::new(1, 1, 2, 1)); // Alice
+            m.set_datum(ProviderId(1), "weight", DatumSensitivity::new(3, 1, 5, 2)); // Ted
+            m.set_datum(ProviderId(2), "weight", DatumSensitivity::new(4, 1, 3, 2)); // Bob
+            m
+        }
+
+        fn alice() -> ProviderPreferences {
+            ProviderPreferences::builder(ProviderId(0))
+                .tuple("weight", PrivacyTuple::from_point("pr", pt(V + 2, G + 1, R + 3)))
+                .build()
+        }
+
+        fn ted() -> ProviderPreferences {
+            ProviderPreferences::builder(ProviderId(1))
+                .tuple("weight", PrivacyTuple::from_point("pr", pt(V + 2, G - 1, R + 2)))
+                .build()
+        }
+
+        fn bob() -> ProviderPreferences {
+            ProviderPreferences::builder(ProviderId(2))
+                .tuple("weight", PrivacyTuple::from_point("pr", pt(V, G - 1, R - 1)))
+                .build()
+        }
+
+        #[test]
+        fn equation_20_conf_values() {
+            let s = sensitivity();
+            let hp = policy();
+            assert_eq!(violation_score(&alice(), &hp, &["weight"], &s), 0);
+            assert_eq!(violation_score(&ted(), &hp, &["weight"], &s), 60); // 1·4·3·5
+            assert_eq!(violation_score(&bob(), &hp, &["weight"], &s), 80); // 1·4·4·3 + 1·4·4·2
+        }
+
+        #[test]
+        fn table_1_w_i_flags() {
+            let hp = policy();
+            assert!(!crate::violation::is_violated(&alice(), &hp, &["weight"]));
+            assert!(crate::violation::is_violated(&ted(), &hp, &["weight"]));
+            assert!(crate::violation::is_violated(&bob(), &hp, &["weight"]));
+        }
+
+        #[test]
+        fn equation_16_total() {
+            let s = sensitivity();
+            let hp = policy();
+            let all = [alice(), ted(), bob()];
+            assert_eq!(total_violations(all.iter(), &hp, &["weight"], &s), 140);
+        }
+    }
+
+    #[test]
+    fn tuple_contribution_matches_full_score_for_single_tuple_policy() {
+        let mut s = SensitivityModel::new();
+        s.set_attribute("weight", 4);
+        s.set_datum(ProviderId(1), "weight", DatumSensitivity::new(3, 1, 5, 2));
+        let prefs = ProviderPreferences::builder(ProviderId(1))
+            .tuple("weight", PrivacyTuple::from_point("pr", pt(7, 4, 7)))
+            .build();
+        let hp = HousePolicy::builder("h")
+            .tuple("weight", PrivacyTuple::from_point("pr", pt(5, 5, 5)))
+            .build();
+        let full = violation_score(&prefs, &hp, &["weight"], &s);
+        let single = tuple_contribution(
+            &prefs,
+            "weight",
+            &Purpose::new("pr"),
+            &pt(5, 5, 5),
+            &s,
+        );
+        assert_eq!(full, single);
+        assert_eq!(full, 60);
+    }
+
+    #[test]
+    fn breadth_and_depth_both_accumulate() {
+        // Breadth: small violations on many attributes.
+        let mut s = SensitivityModel::new();
+        for a in ["a", "b", "c"] {
+            s.set_attribute(a, 1);
+        }
+        let prefs_broad = ProviderPreferences::builder(ProviderId(1))
+            .tuple("a", PrivacyTuple::from_point("pr", pt(1, 1, 1)))
+            .tuple("b", PrivacyTuple::from_point("pr", pt(1, 1, 1)))
+            .tuple("c", PrivacyTuple::from_point("pr", pt(1, 1, 1)))
+            .build();
+        let hp_broad = HousePolicy::builder("h")
+            .tuple("a", PrivacyTuple::from_point("pr", pt(2, 1, 1)))
+            .tuple("b", PrivacyTuple::from_point("pr", pt(2, 1, 1)))
+            .tuple("c", PrivacyTuple::from_point("pr", pt(2, 1, 1)))
+            .build();
+        let broad = violation_score(&prefs_broad, &hp_broad, &["a", "b", "c"], &s);
+        // Depth: one large violation on a single attribute.
+        let prefs_deep = ProviderPreferences::builder(ProviderId(1))
+            .tuple("a", PrivacyTuple::from_point("pr", pt(1, 1, 1)))
+            .build();
+        let hp_deep = HousePolicy::builder("h")
+            .tuple("a", PrivacyTuple::from_point("pr", pt(4, 1, 1)))
+            .build();
+        let deep = violation_score(&prefs_deep, &hp_deep, &["a"], &s);
+        assert_eq!(broad, 3);
+        assert_eq!(deep, 3);
+    }
+
+    #[test]
+    fn total_violations_uses_wide_arithmetic() {
+        let s = SensitivityModel::new();
+        let hp = HousePolicy::builder("h")
+            .tuple("a", PrivacyTuple::from_point("pr", pt(9, 9, 9)))
+            .build();
+        let providers: Vec<ProviderPreferences> = (0..100)
+            .map(|i| ProviderPreferences::new(ProviderId(i)))
+            .collect();
+        let total = total_violations(providers.iter(), &hp, &["a"], &s);
+        assert_eq!(total, 100 * 27);
+    }
+}

@@ -1,0 +1,336 @@
+//! The violation predicate (paper §5, Definition 1).
+//!
+//! Provider `i`'s privacy is violated iff there is a preference tuple and a
+//! *comparable* house-policy tuple (same attribute, same purpose) where the
+//! policy exceeds the preference on visibility, granularity, or retention.
+//! Purposes the provider never mentioned are treated as if the provider had
+//! stated `⟨pr, 0, 0, 0⟩` — reveal nothing — so a policy that uses data for
+//! an unconsented purpose always violates.
+
+use serde::{Deserialize, Serialize};
+
+use qpv_policy::{HousePolicy, ProviderPreferences};
+use qpv_taxonomy::{PrivacyPoint, Purpose, PurposeLattice, ViolationGeometry};
+
+/// One comparable preference/policy pair where the policy escapes the
+/// preference box — evidence for `w_i = 1`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ViolationWitness {
+    /// The attribute involved.
+    pub attribute: String,
+    /// The shared purpose.
+    pub purpose: Purpose,
+    /// The provider's effective preference point (the implicit `⟨0,0,0⟩`
+    /// when the purpose was never stated).
+    pub preference: PrivacyPoint,
+    /// Whether the preference was implicit (Definition 1's added tuple).
+    pub implicit_preference: bool,
+    /// The policy point.
+    pub policy: PrivacyPoint,
+    /// Per-dimension exceedance.
+    pub geometry: ViolationGeometry,
+}
+
+/// Iterate every comparable `(preference, policy)` pair for the attributes
+/// the provider supplies data for, materialising implicit deny-all
+/// preferences per Definition 1.
+///
+/// `attributes` is the set of attributes provider `i` has data stored for —
+/// under the paper's Assumption 5 (one row per provider) this is simply the
+/// data table's attribute list. Policy tuples for attributes the provider
+/// does not supply are not comparable to anything and are skipped.
+pub fn comparable_pairs<'a>(
+    prefs: &'a ProviderPreferences,
+    policy: &'a HousePolicy,
+    attributes: &'a [&'a str],
+) -> impl Iterator<Item = ViolationWitnessCandidate<'a>> + 'a {
+    policy
+        .tuples()
+        .iter()
+        .filter(move |pt| attributes.contains(&pt.attribute.as_str()))
+        .map(move |pt| {
+            let stated = prefs.has_stated(&pt.attribute, &pt.tuple.purpose);
+            let preference = prefs.effective_point(&pt.attribute, &pt.tuple.purpose);
+            ViolationWitnessCandidate {
+                attribute: &pt.attribute,
+                purpose: &pt.tuple.purpose,
+                preference,
+                implicit_preference: !stated,
+                policy: pt.tuple.point,
+            }
+        })
+}
+
+/// A comparable pair before the exceedance test.
+#[derive(Debug, Clone)]
+pub struct ViolationWitnessCandidate<'a> {
+    /// The attribute shared by both tuples.
+    pub attribute: &'a str,
+    /// The purpose shared by both tuples.
+    pub purpose: &'a Purpose,
+    /// The provider's effective preference point.
+    pub preference: PrivacyPoint,
+    /// Whether the preference was implicit.
+    pub implicit_preference: bool,
+    /// The policy point.
+    pub policy: PrivacyPoint,
+}
+
+/// Definition 1: `w_i`. `true` iff any comparable pair has the policy
+/// exceeding the preference on some ordered dimension.
+pub fn is_violated(
+    prefs: &ProviderPreferences,
+    policy: &HousePolicy,
+    attributes: &[&str],
+) -> bool {
+    comparable_pairs(prefs, policy, attributes).any(|c| {
+        ViolationGeometry::compare(&c.preference, &c.policy).is_violation()
+    })
+}
+
+/// All violation witnesses for a provider (empty ⇔ `w_i = 0`).
+pub fn witnesses(
+    prefs: &ProviderPreferences,
+    policy: &HousePolicy,
+    attributes: &[&str],
+) -> Vec<ViolationWitness> {
+    comparable_pairs(prefs, policy, attributes)
+        .filter_map(|c| {
+            let geometry = ViolationGeometry::compare(&c.preference, &c.policy);
+            geometry.is_violation().then(|| ViolationWitness {
+                attribute: c.attribute.to_string(),
+                purpose: c.purpose.clone(),
+                preference: c.preference,
+                implicit_preference: c.implicit_preference,
+                policy: c.policy,
+                geometry,
+            })
+        })
+        .collect()
+}
+
+/// The provider's effective preference point for `(attribute, purpose)`
+/// under *lattice* purpose semantics (the §3 extension the paper points at):
+/// a stated consent for purpose `p` also covers any policy purpose `q ⊑ p`
+/// — using data for a *narrower* purpose than consented is within consent.
+///
+/// When several stated purposes cover `q`, the componentwise join of their
+/// points applies (the provider separately consented to each exposure, so
+/// the house may use the most permissive stated bound per dimension).
+/// Returns the point and whether it was implicit (no stated purpose covers
+/// `q`, falling back to Definition 1's deny-all).
+pub fn effective_point_lattice(
+    prefs: &ProviderPreferences,
+    attribute: &str,
+    policy_purpose: &Purpose,
+    lattice: &PurposeLattice,
+) -> (PrivacyPoint, bool) {
+    let mut covered = false;
+    let mut point = PrivacyPoint::ZERO;
+    for t in prefs.for_attribute(attribute) {
+        if lattice.dominated_by(policy_purpose, &t.purpose) {
+            point = point.join(&t.point);
+            covered = true;
+        }
+    }
+    (point, !covered)
+}
+
+/// [`witnesses`] under lattice purpose semantics. With an empty lattice
+/// this degrades exactly to flat matching (distinct purposes incomparable),
+/// so the flat model is the special case — the ablation A2 measures what
+/// the refinement buys.
+pub fn witnesses_lattice(
+    prefs: &ProviderPreferences,
+    policy: &HousePolicy,
+    attributes: &[&str],
+    lattice: &PurposeLattice,
+) -> Vec<ViolationWitness> {
+    policy
+        .tuples()
+        .iter()
+        .filter(|pt| attributes.contains(&pt.attribute.as_str()))
+        .filter_map(|pt| {
+            let (preference, implicit) =
+                effective_point_lattice(prefs, &pt.attribute, &pt.tuple.purpose, lattice);
+            let geometry = ViolationGeometry::compare(&preference, &pt.tuple.point);
+            geometry.is_violation().then(|| ViolationWitness {
+                attribute: pt.attribute.clone(),
+                purpose: pt.tuple.purpose.clone(),
+                preference,
+                implicit_preference: implicit,
+                policy: pt.tuple.point,
+                geometry,
+            })
+        })
+        .collect()
+}
+
+/// Definition 1's `w_i` under lattice purpose semantics.
+pub fn is_violated_lattice(
+    prefs: &ProviderPreferences,
+    policy: &HousePolicy,
+    attributes: &[&str],
+    lattice: &PurposeLattice,
+) -> bool {
+    !witnesses_lattice(prefs, policy, attributes, lattice).is_empty()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qpv_policy::ProviderId;
+    use qpv_taxonomy::{Dim, PrivacyTuple};
+
+    fn tuple(purpose: &str, v: u32, g: u32, r: u32) -> PrivacyTuple {
+        PrivacyTuple::from_point(purpose, PrivacyPoint::from_raw(v, g, r))
+    }
+
+    fn policy() -> HousePolicy {
+        HousePolicy::builder("acme")
+            .tuple("weight", tuple("billing", 2, 3, 90))
+            .tuple("age", tuple("billing", 2, 2, 30))
+            .build()
+    }
+
+    const ATTRS: &[&str] = &["weight", "age"];
+
+    #[test]
+    fn bounded_preferences_are_not_violated() {
+        let prefs = ProviderPreferences::builder(ProviderId(1))
+            .tuple("weight", tuple("billing", 3, 3, 100))
+            .tuple("age", tuple("billing", 2, 2, 30))
+            .build();
+        assert!(!is_violated(&prefs, &policy(), ATTRS));
+        assert!(witnesses(&prefs, &policy(), ATTRS).is_empty());
+    }
+
+    #[test]
+    fn single_dimension_exceedance_violates() {
+        // Policy retention 90 > preference retention 30 on weight.
+        let prefs = ProviderPreferences::builder(ProviderId(1))
+            .tuple("weight", tuple("billing", 3, 3, 30))
+            .tuple("age", tuple("billing", 3, 3, 365))
+            .build();
+        assert!(is_violated(&prefs, &policy(), ATTRS));
+        let w = witnesses(&prefs, &policy(), ATTRS);
+        assert_eq!(w.len(), 1);
+        assert_eq!(w[0].attribute, "weight");
+        assert_eq!(w[0].geometry.along(Dim::Retention), 60);
+        assert_eq!(w[0].geometry.along(Dim::Visibility), 0);
+        assert!(!w[0].implicit_preference);
+    }
+
+    #[test]
+    fn unstated_purpose_is_an_implicit_deny_all() {
+        // Provider consents to billing generously but never mentions "ads".
+        let prefs = ProviderPreferences::builder(ProviderId(1))
+            .tuple("weight", tuple("billing", 9, 9, 999))
+            .tuple("age", tuple("billing", 9, 9, 999))
+            .build();
+        let hp = policy().with_new_purpose("ads", PrivacyPoint::from_raw(1, 1, 1));
+        assert!(is_violated(&prefs, &hp, ATTRS));
+        let w = witnesses(&prefs, &hp, ATTRS);
+        assert_eq!(w.len(), 2); // one per attribute
+        assert!(w.iter().all(|x| x.implicit_preference));
+        assert!(w.iter().all(|x| x.preference == PrivacyPoint::ZERO));
+    }
+
+    #[test]
+    fn policy_attributes_the_provider_does_not_supply_are_skipped() {
+        let prefs = ProviderPreferences::new(ProviderId(1));
+        // Provider supplies nothing: no comparable pairs, no violation —
+        // you cannot violate the privacy of data that was never provided.
+        assert!(!is_violated(&prefs, &policy(), &[]));
+        // Supplies only age, bounded by... nothing stated ⇒ implicit zero ⇒
+        // the age policy (2,2,30) violates.
+        assert!(is_violated(&prefs, &policy(), &["age"]));
+        let w = witnesses(&prefs, &policy(), &["age"]);
+        assert_eq!(w.len(), 1);
+        assert_eq!(w[0].attribute, "age");
+    }
+
+    #[test]
+    fn narrower_policy_never_violates() {
+        // Policy strictly inside the stated preference on every dimension.
+        let prefs = ProviderPreferences::builder(ProviderId(1))
+            .tuple("weight", tuple("billing", 2, 3, 90))
+            .tuple("age", tuple("billing", 2, 2, 30))
+            .build();
+        // Equal points: bounded, not violated (Definition 1 is strict).
+        assert!(!is_violated(&prefs, &policy(), ATTRS));
+    }
+
+    #[test]
+    fn lattice_matching_covers_narrower_purposes() {
+        // Provider consents to the broad purpose "operations"; the policy
+        // uses the narrower "billing".
+        let mut lattice = PurposeLattice::new();
+        lattice.add_edge("billing", "operations").unwrap();
+        let prefs = ProviderPreferences::builder(ProviderId(1))
+            .tuple("weight", tuple("operations", 3, 3, 100))
+            .build();
+        let hp = HousePolicy::builder("h")
+            .tuple("weight", tuple("billing", 2, 2, 50))
+            .build();
+        // Flat matching: "billing" unstated ⇒ implicit deny-all ⇒ violated.
+        assert!(is_violated(&prefs, &hp, &["weight"]));
+        // Lattice matching: the operations consent covers billing.
+        assert!(!is_violated_lattice(&prefs, &hp, &["weight"], &lattice));
+        // But exceeding the stated bound still violates under the lattice.
+        let hp_wide = HousePolicy::builder("h")
+            .tuple("weight", tuple("billing", 4, 2, 50))
+            .build();
+        let w = witnesses_lattice(&prefs, &hp_wide, &["weight"], &lattice);
+        assert_eq!(w.len(), 1);
+        assert!(!w[0].implicit_preference);
+    }
+
+    #[test]
+    fn empty_lattice_equals_flat_matching() {
+        let lattice = PurposeLattice::new();
+        let prefs = ProviderPreferences::builder(ProviderId(1))
+            .tuple("weight", tuple("billing", 9, 9, 999))
+            .build();
+        let hp = policy().with_new_purpose("ads", PrivacyPoint::from_raw(1, 1, 1));
+        let flat = witnesses(&prefs, &hp, ATTRS);
+        let lat = witnesses_lattice(&prefs, &hp, ATTRS, &lattice);
+        assert_eq!(flat, lat);
+    }
+
+    #[test]
+    fn lattice_join_of_multiple_covering_consents() {
+        // Two stated purposes both cover "billing": join applies.
+        let mut lattice = PurposeLattice::new();
+        lattice.add_edge("billing", "operations").unwrap();
+        lattice.add_edge("billing", "finance").unwrap();
+        let prefs = ProviderPreferences::builder(ProviderId(1))
+            .tuple("weight", tuple("operations", 3, 1, 10))
+            .tuple("weight", tuple("finance", 1, 3, 5))
+            .build();
+        let (point, implicit) = effective_point_lattice(
+            &prefs,
+            "weight",
+            &Purpose::new("billing"),
+            &lattice,
+        );
+        assert!(!implicit);
+        assert_eq!(point, PrivacyPoint::from_raw(3, 3, 10));
+    }
+
+    #[test]
+    fn multiple_policy_tuples_per_attribute_all_checked() {
+        let hp = HousePolicy::builder("acme")
+            .tuple("weight", tuple("billing", 1, 1, 1))
+            .tuple("weight", tuple("research", 1, 4, 1))
+            .build();
+        let prefs = ProviderPreferences::builder(ProviderId(1))
+            .tuple("weight", tuple("billing", 2, 2, 2))
+            .tuple("weight", tuple("research", 2, 2, 2))
+            .build();
+        let w = witnesses(&prefs, &hp, &["weight"]);
+        assert_eq!(w.len(), 1);
+        assert_eq!(w[0].purpose, Purpose::new("research"));
+        assert_eq!(w[0].geometry.along(Dim::Granularity), 2);
+    }
+}

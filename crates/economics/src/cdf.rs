@@ -1,0 +1,124 @@
+//! Empirical default CDFs (paper §10).
+//!
+//! The paper proposes estimating, from long-term observation or surveys,
+//! "a cumulative distribution function of the number of defaults as the
+//! house expands its privacy policies", to be used for projecting policy
+//! changes when explicit thresholds `v_i` are unknown. This module builds
+//! that function from observations — pairs of (policy width, defaulted?) or
+//! directly from each provider's first defaulting width — and evaluates it.
+
+use serde::{Deserialize, Serialize};
+
+/// An empirical CDF of defaults versus policy-widening step.
+///
+/// Built from each provider's *first defaulting width* (`None` for
+/// providers never observed to default within the observation horizon).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EmpiricalDefaultCdf {
+    /// Sorted first-default widths of providers that did default.
+    default_widths: Vec<u32>,
+    /// Total observed population (defaulting or not).
+    population: usize,
+}
+
+impl EmpiricalDefaultCdf {
+    /// Build from per-provider observations: `Some(width)` = first width at
+    /// which the provider defaulted, `None` = survived the whole horizon.
+    pub fn from_observations(observations: &[Option<u32>]) -> EmpiricalDefaultCdf {
+        let mut default_widths: Vec<u32> = observations.iter().flatten().copied().collect();
+        default_widths.sort_unstable();
+        EmpiricalDefaultCdf {
+            default_widths,
+            population: observations.len(),
+        }
+    }
+
+    /// Observed population size.
+    pub fn population(&self) -> usize {
+        self.population
+    }
+
+    /// `F(w)`: the fraction of the population that has defaulted at width
+    /// ≤ `w`.
+    pub fn fraction_defaulted(&self, width: u32) -> f64 {
+        if self.population == 0 {
+            return 0.0;
+        }
+        let count = self.default_widths.partition_point(|&d| d <= width);
+        count as f64 / self.population as f64
+    }
+
+    /// The projected number of remaining providers at width `w` for a
+    /// population of `n` (the `N_future` input to Equation 31 when thresholds
+    /// are unknown).
+    pub fn projected_remaining(&self, width: u32, n: usize) -> usize {
+        ((1.0 - self.fraction_defaulted(width)) * n as f64).round() as usize
+    }
+
+    /// The smallest width at which the defaulted fraction exceeds `level`
+    /// (`None` if it never does within observed widths).
+    pub fn width_at_level(&self, level: f64) -> Option<u32> {
+        let max = *self.default_widths.last()?;
+        (0..=max).find(|&w| self.fraction_defaulted(w) > level)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> EmpiricalDefaultCdf {
+        // 10 providers: defaults at widths 1,1,2,3,3,3,5; three survivors.
+        EmpiricalDefaultCdf::from_observations(&[
+            Some(1),
+            Some(1),
+            Some(2),
+            Some(3),
+            Some(3),
+            Some(3),
+            Some(5),
+            None,
+            None,
+            None,
+        ])
+    }
+
+    #[test]
+    fn cdf_is_monotone_and_correct() {
+        let cdf = sample();
+        assert_eq!(cdf.population(), 10);
+        assert_eq!(cdf.fraction_defaulted(0), 0.0);
+        assert_eq!(cdf.fraction_defaulted(1), 0.2);
+        assert_eq!(cdf.fraction_defaulted(2), 0.3);
+        assert_eq!(cdf.fraction_defaulted(3), 0.6);
+        assert_eq!(cdf.fraction_defaulted(4), 0.6);
+        assert_eq!(cdf.fraction_defaulted(5), 0.7);
+        assert_eq!(cdf.fraction_defaulted(100), 0.7); // survivors persist
+        for w in 0..10 {
+            assert!(cdf.fraction_defaulted(w + 1) >= cdf.fraction_defaulted(w));
+        }
+    }
+
+    #[test]
+    fn projection_scales_to_other_population_sizes() {
+        let cdf = sample();
+        assert_eq!(cdf.projected_remaining(3, 1000), 400);
+        assert_eq!(cdf.projected_remaining(0, 1000), 1000);
+    }
+
+    #[test]
+    fn width_at_level() {
+        let cdf = sample();
+        assert_eq!(cdf.width_at_level(0.5), Some(3));
+        assert_eq!(cdf.width_at_level(0.25), Some(2));
+        assert_eq!(cdf.width_at_level(0.9), None); // never reaches 90%
+    }
+
+    #[test]
+    fn empty_observations() {
+        let cdf = EmpiricalDefaultCdf::from_observations(&[]);
+        assert_eq!(cdf.fraction_defaulted(5), 0.0);
+        assert_eq!(cdf.projected_remaining(5, 100), 100);
+        assert_eq!(cdf.width_at_level(0.1), None);
+    }
+}

@@ -1,0 +1,176 @@
+//! A best-response policy game (the paper's closing §9 remark).
+//!
+//! "Weakening of these assumptions leads naturally to a game theoretic
+//! setting where one can examine the balance between the competing
+//! interests of a house and its data providers." The simplest such setting:
+//!
+//! 1. the house picks the uniform widening `s*` maximising its utility
+//!    against the current population (providers' strategies are fixed by
+//!    their thresholds — they default iff `Violation_i > v_i`);
+//! 2. defaulting providers actually leave;
+//! 3. the house re-optimises against the survivors; repeat.
+//!
+//! The process reaches a fixed point (no further widening pays, or nobody
+//! else defaults) in finitely many rounds, because each round either keeps
+//! the population fixed (→ stop) or strictly shrinks it.
+
+use serde::{Deserialize, Serialize};
+
+use qpv_core::{AuditEngine, ProviderProfile};
+
+use crate::expansion::ExpansionSweep;
+use crate::utility::UtilityModel;
+
+/// The outcome of one best-response round.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GameRound {
+    /// Round number (0-based).
+    pub round: u32,
+    /// Population entering the round.
+    pub population: usize,
+    /// The widening step the house chose.
+    pub chosen_step: u32,
+    /// The house's net gain at that step (vs. not widening this round).
+    pub net_gain: f64,
+    /// Providers who defaulted as a result.
+    pub defaults: usize,
+}
+
+/// Runs the iterated house-vs-providers game.
+#[derive(Debug)]
+pub struct BestResponseGame {
+    engine: AuditEngine,
+    utility: UtilityModel,
+    t_per_step: f64,
+    max_step_per_round: u32,
+}
+
+impl BestResponseGame {
+    /// Configure the game.
+    pub fn new(
+        engine: AuditEngine,
+        utility: UtilityModel,
+        t_per_step: f64,
+        max_step_per_round: u32,
+    ) -> BestResponseGame {
+        BestResponseGame {
+            engine,
+            utility,
+            t_per_step,
+            max_step_per_round,
+        }
+    }
+
+    /// Play until a fixed point (or `max_rounds`). Returns the round log and
+    /// the surviving population.
+    pub fn play(
+        &self,
+        mut profiles: Vec<ProviderProfile>,
+        max_rounds: u32,
+    ) -> (Vec<GameRound>, Vec<ProviderProfile>) {
+        let mut rounds = Vec::new();
+        let mut policy = self.engine.policy.clone();
+        for round in 0..max_rounds {
+            let sweep = ExpansionSweep::new(&self.engine, &profiles, self.utility, self.t_per_step);
+            let rows = sweep.run_uniform(&policy, self.max_step_per_round);
+            let best = match ExpansionSweep::optimal_step(&rows) {
+                Some(b) if b.step > 0 && b.net_gain > 0.0 => b.clone(),
+                _ => break, // widening no longer pays: fixed point
+            };
+            // The chosen widening is enacted; defaulting providers leave.
+            let enacted = policy.widened_uniform(best.step);
+            let report = self.engine.run_with_policy(&profiles, &enacted);
+            let survivors: Vec<ProviderProfile> = profiles
+                .iter()
+                .zip(report.providers.iter())
+                .filter(|(_, audit)| !audit.defaulted)
+                .map(|(p, _)| p.clone())
+                .collect();
+            rounds.push(GameRound {
+                round,
+                population: profiles.len(),
+                chosen_step: best.step,
+                net_gain: best.net_gain,
+                defaults: profiles.len() - survivors.len(),
+            });
+            policy = enacted;
+            if survivors.len() == profiles.len() {
+                profiles = survivors;
+                break; // nobody left to squeeze out; next round changes nothing
+            }
+            profiles = survivors;
+        }
+        (rounds, profiles)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qpv_core::sensitivity::AttributeSensitivities;
+    use qpv_policy::{HousePolicy, ProviderId, ProviderPreferences};
+    use qpv_taxonomy::{PrivacyPoint, PrivacyTuple};
+
+    fn pt(v: u32, g: u32, r: u32) -> PrivacyPoint {
+        PrivacyPoint::from_raw(v, g, r)
+    }
+
+    fn setup(n: u64) -> (AuditEngine, Vec<ProviderProfile>) {
+        let policy = HousePolicy::builder("h")
+            .tuple("x", PrivacyTuple::from_point("pr", pt(2, 2, 2)))
+            .build();
+        let engine = AuditEngine::new(policy, ["x"], AttributeSensitivities::new());
+        let profiles = (0..n)
+            .map(|i| {
+                let mut p = ProviderProfile::new(ProviderId(i), 0);
+                let mut prefs = ProviderPreferences::new(ProviderId(i));
+                prefs.add(
+                    "x",
+                    PrivacyTuple::from_point("pr", pt(2 + i as u32, 2 + i as u32, 2 + i as u32)),
+                );
+                p.preferences = prefs;
+                p
+            })
+            .collect();
+        (engine, profiles)
+    }
+
+    #[test]
+    fn game_terminates_at_a_fixed_point() {
+        let (engine, profiles) = setup(20);
+        let game = BestResponseGame::new(engine, UtilityModel::new(10.0), 5.0, 10);
+        let (rounds, survivors) = game.play(profiles, 50);
+        assert!(!rounds.is_empty(), "profitable widening exists at start");
+        // Population never grows, rounds have positive gains.
+        let mut last_pop = 20;
+        for r in &rounds {
+            assert!(r.population <= last_pop);
+            assert!(r.net_gain > 0.0);
+            assert!(r.chosen_step > 0);
+            last_pop = r.population;
+        }
+        assert!(survivors.len() <= 20);
+    }
+
+    #[test]
+    fn unprofitable_widening_means_no_rounds() {
+        let (engine, profiles) = setup(5);
+        // Zero extra utility per step: widening can only lose providers.
+        let game = BestResponseGame::new(engine, UtilityModel::new(10.0), 0.0, 10);
+        let (rounds, survivors) = game.play(profiles, 50);
+        assert!(rounds.is_empty());
+        assert_eq!(survivors.len(), 5);
+    }
+
+    #[test]
+    fn the_house_cannot_squeeze_forever() {
+        // Abundant per-step utility: the house widens aggressively, but the
+        // surviving population shrinks round over round and the game still
+        // terminates with someone (or no one) left.
+        let (engine, profiles) = setup(30);
+        let game = BestResponseGame::new(engine, UtilityModel::new(1.0), 50.0, 5);
+        let (rounds, survivors) = game.play(profiles, 100);
+        assert!(rounds.len() < 100, "game failed to terminate early");
+        assert!(survivors.len() < 30);
+    }
+}

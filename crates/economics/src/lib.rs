@@ -1,0 +1,29 @@
+//! # qpv-economics
+//!
+//! Section 9 of *Quantifying Privacy Violations*: the trade-off between the
+//! utility a house gains by widening its privacy policy and the utility it
+//! loses as data providers default.
+//!
+//! * [`utility`] — Equations 25–31: current and future utility, and the
+//!   break-even extra utility `T > U (N_current / N_future − 1)`.
+//! * [`expansion`] — the policy-expansion sweep: widen the policy step by
+//!   step, audit the population, and tabulate violations, defaults,
+//!   `N_future`, `T_min`, and realised utility — the machinery behind the
+//!   abstract's claim that accumulated violations become *detrimental to
+//!   the data collector*.
+//! * [`cdf`] — §10's proposed empirical route: estimate the cumulative
+//!   distribution of defaults as a function of policy width from observed
+//!   (or simulated) behaviour.
+//! * [`game`] — the paper's closing remark made concrete: a best-response
+//!   game where the house repeatedly picks the utility-maximising widening
+//!   against the remaining population until a fixed point.
+
+pub mod cdf;
+pub mod expansion;
+pub mod game;
+pub mod utility;
+
+pub use cdf::EmpiricalDefaultCdf;
+pub use expansion::{ExpansionRow, ExpansionSweep};
+pub use game::{BestResponseGame, GameRound};
+pub use utility::UtilityModel;

@@ -1,0 +1,97 @@
+//! The utility model of §9 (Equations 25–31).
+
+use serde::{Deserialize, Serialize};
+
+/// Per-provider utility accounting for a house.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct UtilityModel {
+    /// `U`: utility per provider under the current policy (revenue, cost
+    /// savings, or any other consistently valued unit — §9 is explicit that
+    /// the units are domain-specific).
+    pub per_provider: f64,
+}
+
+impl UtilityModel {
+    /// Construct with per-provider utility `U`.
+    pub fn new(per_provider: f64) -> UtilityModel {
+        UtilityModel { per_provider }
+    }
+
+    /// Equation 25: `Utility_current = N_current × U`.
+    pub fn utility_current(&self, n_current: usize) -> f64 {
+        n_current as f64 * self.per_provider
+    }
+
+    /// Equation 27: `Utility_future = N_future × (U + T)`.
+    pub fn utility_future(&self, n_future: usize, extra_per_provider: f64) -> f64 {
+        n_future as f64 * (self.per_provider + extra_per_provider)
+    }
+
+    /// Equation 31: the minimum extra utility per provider `T` that
+    /// justifies an expansion which shrinks the population from
+    /// `n_current` to `n_future`:
+    /// `T > U (N_current / N_future − 1)`.
+    ///
+    /// Returns `f64::INFINITY` when everyone defaults (`n_future = 0`):
+    /// no finite per-provider gain can compensate for an empty database.
+    pub fn break_even_extra(&self, n_current: usize, n_future: usize) -> f64 {
+        if n_future == 0 {
+            return f64::INFINITY;
+        }
+        self.per_provider * (n_current as f64 / n_future as f64 - 1.0)
+    }
+
+    /// Equation 28: whether an expansion with extra utility `T` strictly
+    /// beats the status quo.
+    pub fn is_justified(&self, n_current: usize, n_future: usize, extra: f64) -> bool {
+        self.utility_future(n_future, extra) > self.utility_current(n_current)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equations_25_and_27() {
+        let m = UtilityModel::new(10.0);
+        assert_eq!(m.utility_current(100), 1000.0);
+        assert_eq!(m.utility_future(90, 2.0), 90.0 * 12.0);
+    }
+
+    #[test]
+    fn equation_31_break_even() {
+        let m = UtilityModel::new(10.0);
+        // Losing 10% of 100 providers: T > 10 · (100/90 − 1) ≈ 1.111.
+        let t_min = m.break_even_extra(100, 90);
+        assert!((t_min - 10.0 * (100.0 / 90.0 - 1.0)).abs() < 1e-12);
+        // Exactly T_min is NOT justified (strict inequality)…
+        assert!(!m.is_justified(100, 90, t_min));
+        // …anything above is.
+        assert!(m.is_justified(100, 90, t_min + 1e-9));
+    }
+
+    #[test]
+    fn no_defaults_means_any_positive_extra_pays() {
+        let m = UtilityModel::new(10.0);
+        assert_eq!(m.break_even_extra(100, 100), 0.0);
+        assert!(m.is_justified(100, 100, 0.01));
+        assert!(!m.is_justified(100, 100, 0.0));
+    }
+
+    #[test]
+    fn total_default_is_never_justified() {
+        let m = UtilityModel::new(10.0);
+        assert_eq!(m.break_even_extra(100, 0), f64::INFINITY);
+        assert!(!m.is_justified(100, 0, 1e12));
+    }
+
+    #[test]
+    fn growing_population_has_negative_break_even() {
+        // If expansion somehow *adds* providers, even a small negative T
+        // (a discount) can pay; the formula covers it.
+        let m = UtilityModel::new(10.0);
+        assert!(m.break_even_extra(90, 100) < 0.0);
+        assert!(m.is_justified(90, 100, 0.0));
+    }
+}

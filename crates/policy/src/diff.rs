@@ -1,0 +1,334 @@
+//! Structural diffs between two house policies.
+//!
+//! The paper's §10 motivates continuous monitoring of "frequently changing
+//! privacy policies on social networking sites": the first thing a provider
+//! (or auditor) needs is *what changed*. [`diff`] compares two policies
+//! tuple-by-tuple, classifying each `(attribute, purpose)` pair as added,
+//! removed, widened, narrowed, mixed, or unchanged — with per-dimension
+//! deltas, so the violation impact is readable before any audit runs.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use qpv_taxonomy::{Dim, PrivacyPoint, Purpose};
+
+use crate::house::HousePolicy;
+
+/// How one `(attribute, purpose)` entry changed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ChangeKind {
+    /// Present only in the new policy — a brand-new use of the data
+    /// (always a violation risk under the implicit deny-all rule).
+    Added,
+    /// Present only in the old policy.
+    Removed,
+    /// Every changed dimension moved toward more exposure.
+    Widened,
+    /// Every changed dimension moved toward less exposure.
+    Narrowed,
+    /// Some dimensions widened while others narrowed.
+    Mixed,
+}
+
+/// One entry of a policy diff.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PolicyChange {
+    /// The attribute affected.
+    pub attribute: String,
+    /// The purpose affected.
+    pub purpose: Purpose,
+    /// The classification.
+    pub kind: ChangeKind,
+    /// The old point (`None` for [`ChangeKind::Added`]).
+    pub old: Option<PrivacyPoint>,
+    /// The new point (`None` for [`ChangeKind::Removed`]).
+    pub new: Option<PrivacyPoint>,
+    /// Signed per-dimension delta `new − old` (zeros for add/remove).
+    pub delta: [(Dim, i64); 3],
+}
+
+impl fmt::Display for PolicyChange {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.kind {
+            ChangeKind::Added => write!(
+                f,
+                "+ {}/{} -> {}",
+                self.attribute,
+                self.purpose,
+                self.new.expect("added has new")
+            ),
+            ChangeKind::Removed => write!(
+                f,
+                "- {}/{} (was {})",
+                self.attribute,
+                self.purpose,
+                self.old.expect("removed has old")
+            ),
+            _ => {
+                write!(f, "~ {}/{}:", self.attribute, self.purpose)?;
+                for (dim, d) in self.delta {
+                    if d != 0 {
+                        write!(f, " {}{}{}", dim.short_name(), if d > 0 { "+" } else { "" }, d)?;
+                    }
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+/// The full diff between two policies.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct PolicyDiff {
+    /// All changed entries, in (attribute, purpose) order.
+    pub changes: Vec<PolicyChange>,
+}
+
+impl PolicyDiff {
+    /// Whether the two policies are identical (per (attribute, purpose)
+    /// points).
+    pub fn is_empty(&self) -> bool {
+        self.changes.is_empty()
+    }
+
+    /// Number of changes.
+    pub fn len(&self) -> usize {
+        self.changes.len()
+    }
+
+    /// Entries of one kind.
+    pub fn of_kind(&self, kind: ChangeKind) -> impl Iterator<Item = &PolicyChange> {
+        self.changes.iter().filter(move |c| c.kind == kind)
+    }
+
+    /// Whether any change can *increase* exposure (added, widened, or
+    /// mixed) — the cheap pre-audit screen: a diff with only narrowings
+    /// and removals can never create a new violation.
+    pub fn may_increase_exposure(&self) -> bool {
+        self.changes.iter().any(|c| {
+            matches!(
+                c.kind,
+                ChangeKind::Added | ChangeKind::Widened | ChangeKind::Mixed
+            )
+        })
+    }
+}
+
+impl fmt::Display for PolicyDiff {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.changes.is_empty() {
+            return f.write_str("(no changes)");
+        }
+        for (i, c) in self.changes.iter().enumerate() {
+            if i > 0 {
+                f.write_str("\n")?;
+            }
+            write!(f, "{c}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Compare two policies. Multiple tuples for the same `(attribute,
+/// purpose)` are reduced to their componentwise join first (the effective
+/// exposure), so a diff entry means the *effective* policy changed.
+pub fn diff(old: &HousePolicy, new: &HousePolicy) -> PolicyDiff {
+    let old_map = effective_points(old);
+    let new_map = effective_points(new);
+    let mut keys: Vec<&(String, Purpose)> = old_map.keys().chain(new_map.keys()).collect();
+    keys.sort();
+    keys.dedup();
+
+    let mut changes = Vec::new();
+    for key in keys {
+        let (attribute, purpose) = key;
+        let old_pt = old_map.get(key).copied();
+        let new_pt = new_map.get(key).copied();
+        let change = match (old_pt, new_pt) {
+            (None, Some(new_pt)) => PolicyChange {
+                attribute: attribute.clone(),
+                purpose: purpose.clone(),
+                kind: ChangeKind::Added,
+                old: None,
+                new: Some(new_pt),
+                delta: zero_delta(),
+            },
+            (Some(old_pt), None) => PolicyChange {
+                attribute: attribute.clone(),
+                purpose: purpose.clone(),
+                kind: ChangeKind::Removed,
+                old: Some(old_pt),
+                new: None,
+                delta: zero_delta(),
+            },
+            (Some(old_pt), Some(new_pt)) => {
+                if old_pt == new_pt {
+                    continue;
+                }
+                let delta = [
+                    (
+                        Dim::Visibility,
+                        new_pt.get(Dim::Visibility) as i64 - old_pt.get(Dim::Visibility) as i64,
+                    ),
+                    (
+                        Dim::Granularity,
+                        new_pt.get(Dim::Granularity) as i64 - old_pt.get(Dim::Granularity) as i64,
+                    ),
+                    (
+                        Dim::Retention,
+                        new_pt.get(Dim::Retention) as i64 - old_pt.get(Dim::Retention) as i64,
+                    ),
+                ];
+                let widened = delta.iter().any(|&(_, d)| d > 0);
+                let narrowed = delta.iter().any(|&(_, d)| d < 0);
+                let kind = match (widened, narrowed) {
+                    (true, false) => ChangeKind::Widened,
+                    (false, true) => ChangeKind::Narrowed,
+                    _ => ChangeKind::Mixed,
+                };
+                PolicyChange {
+                    attribute: attribute.clone(),
+                    purpose: purpose.clone(),
+                    kind,
+                    old: Some(old_pt),
+                    new: Some(new_pt),
+                    delta,
+                }
+            }
+            (None, None) => unreachable!("key came from one of the maps"),
+        };
+        changes.push(change);
+    }
+    PolicyDiff { changes }
+}
+
+fn zero_delta() -> [(Dim, i64); 3] {
+    [
+        (Dim::Visibility, 0),
+        (Dim::Granularity, 0),
+        (Dim::Retention, 0),
+    ]
+}
+
+fn effective_points(
+    policy: &HousePolicy,
+) -> std::collections::BTreeMap<(String, Purpose), PrivacyPoint> {
+    let mut map: std::collections::BTreeMap<(String, Purpose), PrivacyPoint> =
+        std::collections::BTreeMap::new();
+    for t in policy.tuples() {
+        map.entry((t.attribute.clone(), t.tuple.purpose.clone()))
+            .and_modify(|p| *p = p.join(&t.tuple.point))
+            .or_insert(t.tuple.point);
+    }
+    map
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qpv_taxonomy::PrivacyTuple;
+
+    fn pt(v: u32, g: u32, r: u32) -> PrivacyPoint {
+        PrivacyPoint::from_raw(v, g, r)
+    }
+
+    fn base() -> HousePolicy {
+        HousePolicy::builder("v1")
+            .tuple("weight", PrivacyTuple::from_point("billing", pt(2, 2, 30)))
+            .tuple("age", PrivacyTuple::from_point("billing", pt(2, 3, 60)))
+            .build()
+    }
+
+    #[test]
+    fn identical_policies_have_empty_diff() {
+        let d = diff(&base(), &base());
+        assert!(d.is_empty());
+        assert!(!d.may_increase_exposure());
+        assert_eq!(d.to_string(), "(no changes)");
+    }
+
+    #[test]
+    fn added_and_removed_purposes() {
+        let mut new = base();
+        new.add("weight", PrivacyTuple::from_point("ads", pt(3, 3, 365)));
+        let d = diff(&base(), &new);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d.changes[0].kind, ChangeKind::Added);
+        assert!(d.may_increase_exposure());
+
+        let reverse = diff(&new, &base());
+        assert_eq!(reverse.changes[0].kind, ChangeKind::Removed);
+        assert!(!reverse.may_increase_exposure());
+    }
+
+    #[test]
+    fn widened_narrowed_mixed() {
+        // Widen weight retention, narrow age granularity, mix both on one.
+        let new = HousePolicy::builder("v2")
+            .tuple("weight", PrivacyTuple::from_point("billing", pt(2, 2, 90)))
+            .tuple("age", PrivacyTuple::from_point("billing", pt(2, 2, 60)))
+            .build();
+        let d = diff(&base(), &new);
+        assert_eq!(d.len(), 2);
+        let age = d.changes.iter().find(|c| c.attribute == "age").unwrap();
+        assert_eq!(age.kind, ChangeKind::Narrowed);
+        let weight = d.changes.iter().find(|c| c.attribute == "weight").unwrap();
+        assert_eq!(weight.kind, ChangeKind::Widened);
+        assert_eq!(weight.delta[2], (Dim::Retention, 60));
+
+        let mixed = HousePolicy::builder("v3")
+            .tuple("weight", PrivacyTuple::from_point("billing", pt(1, 2, 90)))
+            .tuple("age", PrivacyTuple::from_point("billing", pt(2, 3, 60)))
+            .build();
+        let d = diff(&base(), &mixed);
+        assert_eq!(d.changes[0].kind, ChangeKind::Mixed);
+        assert!(d.may_increase_exposure());
+    }
+
+    #[test]
+    fn widened_uniform_diff_is_all_widened() {
+        let old = base();
+        let new = old.widened_uniform(2);
+        let d = diff(&old, &new);
+        assert_eq!(d.len(), 2);
+        assert!(d.changes.iter().all(|c| c.kind == ChangeKind::Widened));
+        assert_eq!(d.of_kind(ChangeKind::Widened).count(), 2);
+        assert_eq!(d.of_kind(ChangeKind::Added).count(), 0);
+    }
+
+    #[test]
+    fn duplicate_tuples_join_before_diffing() {
+        // Two tuples for the same key: effective point is the join.
+        let old = HousePolicy::builder("v1")
+            .tuple("weight", PrivacyTuple::from_point("billing", pt(3, 1, 10)))
+            .tuple("weight", PrivacyTuple::from_point("billing", pt(1, 3, 5)))
+            .build();
+        let new = HousePolicy::builder("v2")
+            .tuple("weight", PrivacyTuple::from_point("billing", pt(3, 3, 10)))
+            .build();
+        // join(old) = (3,3,10) = new: no effective change.
+        assert!(diff(&old, &new).is_empty());
+    }
+
+    #[test]
+    fn display_shows_direction() {
+        let old = base();
+        let new = old.widened(Dim::Retention, 30);
+        let d = diff(&old, &new);
+        let shown = d.to_string();
+        assert!(shown.contains("ret+30"), "{shown}");
+        let mut with_ads = old.clone();
+        with_ads.add("weight", PrivacyTuple::from_point("ads", pt(1, 1, 1)));
+        let shown = diff(&old, &with_ads).to_string();
+        assert!(shown.starts_with("+ weight/ads"), "{shown}");
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let d = diff(&base(), &base().widened_uniform(1));
+        let json = serde_json::to_string(&d).unwrap();
+        let back: PolicyDiff = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, d);
+    }
+}

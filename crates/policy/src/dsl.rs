@@ -1,0 +1,448 @@
+//! A small textual language for policies and preference profiles.
+//!
+//! The paper's transparency argument needs policies that data providers can
+//! *read*: "making the privacy practices of the house transparent enough
+//! that data providers can identify the areas where alignment has not been
+//! achieved". This DSL is that surface — a P3P-like, diff-able text format:
+//!
+//! ```text
+//! // what the house does
+//! policy "acme" {
+//!   attribute weight {
+//!     purpose "billing" { vis house; gran specific; ret 90d; }
+//!     purpose "ads"     { vis third-party; gran partial; ret 2y; }
+//!   }
+//! }
+//!
+//! // what provider 42 consents to
+//! preferences provider 42 {
+//!   attribute weight {
+//!     purpose "billing" { vis house; gran partial; ret 30d; }
+//!   }
+//! }
+//! ```
+//!
+//! Dimension values accept the taxonomy's named levels (`house`,
+//! `third-party`, `specific`, …), raw integers, and retention durations
+//! (`90d`, `6m`, `2y`, `forever`). Every purpose block must state all three
+//! ordered dimensions — the format is for auditing, so nothing is implicit.
+
+use std::fmt::Write as _;
+
+use qpv_taxonomy::{GranularityLevel, PrivacyTuple, RetentionLevel, VisibilityLevel};
+
+use crate::house::HousePolicy;
+use crate::provider::{ProviderId, ProviderPreferences};
+
+/// Parse or print error, with a one-line description.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DslError(pub String);
+
+impl std::fmt::Display for DslError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "policy dsl error: {}", self.0)
+    }
+}
+
+impl std::error::Error for DslError {}
+
+/// A parsed DSL document: any number of policies and preference profiles.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Document {
+    /// House policies, in source order.
+    pub policies: Vec<HousePolicy>,
+    /// Provider preference profiles, in source order.
+    pub preferences: Vec<ProviderPreferences>,
+}
+
+// ---------------------------------------------------------------- lexer --
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Tok {
+    Word(String),
+    Str(String),
+    LBrace,
+    RBrace,
+    Semi,
+    Eof,
+}
+
+fn lex(input: &str) -> Result<Vec<Tok>, DslError> {
+    let mut toks = Vec::new();
+    let bytes = input.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b' ' | b'\t' | b'\r' | b'\n' => i += 1,
+            b'/' if bytes.get(i + 1) == Some(&b'/') => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            b'{' => {
+                toks.push(Tok::LBrace);
+                i += 1;
+            }
+            b'}' => {
+                toks.push(Tok::RBrace);
+                i += 1;
+            }
+            b';' => {
+                toks.push(Tok::Semi);
+                i += 1;
+            }
+            b'"' => {
+                let start = i + 1;
+                i += 1;
+                while i < bytes.len() && bytes[i] != b'"' {
+                    i += 1;
+                }
+                if i >= bytes.len() {
+                    return Err(DslError("unterminated string".into()));
+                }
+                toks.push(Tok::Str(input[start..i].to_string()));
+                i += 1;
+            }
+            c if c.is_ascii_alphanumeric() || c == b'_' || c == b'-' => {
+                let start = i;
+                while i < bytes.len()
+                    && (bytes[i].is_ascii_alphanumeric()
+                        || bytes[i] == b'_'
+                        || bytes[i] == b'-'
+                        || bytes[i] == b':')
+                {
+                    i += 1;
+                }
+                toks.push(Tok::Word(input[start..i].to_string()));
+            }
+            other => {
+                return Err(DslError(format!(
+                    "unexpected character {:?} at byte {i}",
+                    other as char
+                )));
+            }
+        }
+    }
+    toks.push(Tok::Eof);
+    Ok(toks)
+}
+
+// --------------------------------------------------------------- parser --
+
+struct P {
+    toks: Vec<Tok>,
+    pos: usize,
+}
+
+impl P {
+    fn peek(&self) -> &Tok {
+        &self.toks[self.pos]
+    }
+
+    fn next(&mut self) -> Tok {
+        let t = self.toks[self.pos].clone();
+        if self.pos < self.toks.len() - 1 {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn expect(&mut self, t: Tok) -> Result<(), DslError> {
+        let got = self.next();
+        if got == t {
+            Ok(())
+        } else {
+            Err(DslError(format!("expected {t:?}, found {got:?}")))
+        }
+    }
+
+    fn keyword(&mut self, kw: &str) -> Result<(), DslError> {
+        match self.next() {
+            Tok::Word(w) if w == kw => Ok(()),
+            other => Err(DslError(format!("expected {kw:?}, found {other:?}"))),
+        }
+    }
+
+    fn word(&mut self) -> Result<String, DslError> {
+        match self.next() {
+            Tok::Word(w) => Ok(w),
+            other => Err(DslError(format!("expected a word, found {other:?}"))),
+        }
+    }
+
+    fn string(&mut self) -> Result<String, DslError> {
+        match self.next() {
+            Tok::Str(s) => Ok(s),
+            other => Err(DslError(format!("expected a string, found {other:?}"))),
+        }
+    }
+}
+
+/// Parse a DSL document.
+pub fn parse(input: &str) -> Result<Document, DslError> {
+    let mut p = P {
+        toks: lex(input)?,
+        pos: 0,
+    };
+    let mut doc = Document::default();
+    loop {
+        match p.peek() {
+            Tok::Eof => break,
+            Tok::Word(w) if w == "policy" => {
+                p.next();
+                let name = p.string()?;
+                let mut policy = HousePolicy::new(name);
+                parse_body(&mut p, |attr, tuple| policy.add(attr, tuple))?;
+                doc.policies.push(policy);
+            }
+            Tok::Word(w) if w == "preferences" => {
+                p.next();
+                p.keyword("provider")?;
+                let id_word = p.word()?;
+                let id: u64 = id_word
+                    .parse()
+                    .map_err(|_| DslError(format!("bad provider id {id_word:?}")))?;
+                let mut prefs = ProviderPreferences::new(ProviderId(id));
+                parse_body(&mut p, |attr, tuple| prefs.add(attr, tuple))?;
+                doc.preferences.push(prefs);
+            }
+            other => {
+                return Err(DslError(format!(
+                    "expected `policy` or `preferences`, found {other:?}"
+                )));
+            }
+        }
+    }
+    Ok(doc)
+}
+
+/// Parse `{ attribute ... { purpose ... }* }*`, invoking `sink` for each
+/// `(attribute, tuple)` pair.
+fn parse_body(
+    p: &mut P,
+    mut sink: impl FnMut(String, PrivacyTuple),
+) -> Result<(), DslError> {
+    p.expect(Tok::LBrace)?;
+    while *p.peek() != Tok::RBrace {
+        p.keyword("attribute")?;
+        let attribute = p.word()?;
+        p.expect(Tok::LBrace)?;
+        while *p.peek() != Tok::RBrace {
+            p.keyword("purpose")?;
+            let purpose = p.string()?;
+            p.expect(Tok::LBrace)?;
+            let mut vis: Option<VisibilityLevel> = None;
+            let mut gran: Option<GranularityLevel> = None;
+            let mut ret: Option<RetentionLevel> = None;
+            while *p.peek() != Tok::RBrace {
+                let key = p.word()?;
+                let value = p.word()?;
+                match key.as_str() {
+                    "vis" => {
+                        vis = Some(value.parse().map_err(|e| DslError(format!("{e}")))?);
+                    }
+                    "gran" => {
+                        gran = Some(value.parse().map_err(|e| DslError(format!("{e}")))?);
+                    }
+                    "ret" => {
+                        ret = Some(value.parse().map_err(|e| DslError(format!("{e}")))?);
+                    }
+                    other => {
+                        return Err(DslError(format!(
+                            "expected vis/gran/ret, found {other:?}"
+                        )));
+                    }
+                }
+                p.expect(Tok::Semi)?;
+            }
+            p.expect(Tok::RBrace)?;
+            let (Some(vis), Some(gran), Some(ret)) = (vis, gran, ret) else {
+                return Err(DslError(format!(
+                    "purpose {purpose:?} of attribute {attribute:?} must state vis, gran, and ret"
+                )));
+            };
+            sink(
+                attribute.clone(),
+                PrivacyTuple::new(purpose.as_str(), vis, gran, ret),
+            );
+        }
+        p.expect(Tok::RBrace)?;
+    }
+    p.expect(Tok::RBrace)?;
+    Ok(())
+}
+
+// -------------------------------------------------------------- printer --
+
+fn print_tuples<'a>(
+    out: &mut String,
+    tuples: impl Iterator<Item = (&'a str, &'a PrivacyTuple)>,
+) {
+    // Group by attribute, preserving first-seen order.
+    let mut attrs: Vec<(&str, Vec<&PrivacyTuple>)> = Vec::new();
+    for (attr, tuple) in tuples {
+        match attrs.iter_mut().find(|(a, _)| *a == attr) {
+            Some((_, list)) => list.push(tuple),
+            None => attrs.push((attr, vec![tuple])),
+        }
+    }
+    for (attr, list) in attrs {
+        let _ = writeln!(out, "  attribute {attr} {{");
+        for t in list {
+            let _ = writeln!(
+                out,
+                "    purpose \"{}\" {{ vis {}; gran {}; ret {}; }}",
+                t.purpose, t.point.visibility, t.point.granularity, t.point.retention
+            );
+        }
+        let _ = writeln!(out, "  }}");
+    }
+}
+
+/// Render a house policy as DSL text.
+pub fn print_policy(policy: &HousePolicy) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "policy \"{}\" {{", policy.name);
+    print_tuples(
+        &mut out,
+        policy
+            .tuples()
+            .iter()
+            .map(|t| (t.attribute.as_str(), &t.tuple)),
+    );
+    out.push_str("}\n");
+    out
+}
+
+/// Render provider preferences as DSL text.
+pub fn print_preferences(prefs: &ProviderPreferences) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "preferences provider {} {{", prefs.provider.0);
+    print_tuples(
+        &mut out,
+        prefs
+            .tuples()
+            .iter()
+            .map(|t| (t.attribute.as_str(), &t.tuple)),
+    );
+    out.push_str("}\n");
+    out
+}
+
+/// Render a whole document.
+pub fn print_document(doc: &Document) -> String {
+    let mut out = String::new();
+    for p in &doc.policies {
+        out.push_str(&print_policy(p));
+        out.push('\n');
+    }
+    for p in &doc.preferences {
+        out.push_str(&print_preferences(p));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qpv_taxonomy::{Dim, PrivacyPoint, Purpose};
+
+    const SAMPLE: &str = r#"
+        // Acme's stated practices
+        policy "acme" {
+          attribute weight {
+            purpose "billing" { vis house; gran specific; ret 90d; }
+            purpose "ads"     { vis third-party; gran partial; ret 2y; }
+          }
+          attribute age {
+            purpose "billing" { vis house; gran partial; ret 30d; }
+          }
+        }
+
+        preferences provider 42 {
+          attribute weight {
+            purpose "billing" { vis house; gran partial; ret 30d; }
+          }
+        }
+    "#;
+
+    #[test]
+    fn parses_policies_and_preferences() {
+        let doc = parse(SAMPLE).unwrap();
+        assert_eq!(doc.policies.len(), 1);
+        assert_eq!(doc.preferences.len(), 1);
+        let hp = &doc.policies[0];
+        assert_eq!(hp.name, "acme");
+        assert_eq!(hp.len(), 3);
+        let ads = hp.get("weight", &Purpose::new("ads")).unwrap();
+        assert_eq!(ads.point.get(Dim::Visibility), 3); // third-party
+        assert_eq!(ads.point.get(Dim::Retention), 730); // 2y
+        let prefs = &doc.preferences[0];
+        assert_eq!(prefs.provider.0, 42);
+        assert_eq!(
+            prefs.effective_point("weight", &Purpose::new("billing")),
+            PrivacyPoint::from_raw(2, 2, 30)
+        );
+    }
+
+    #[test]
+    fn raw_numeric_levels_are_accepted() {
+        let doc = parse(
+            r#"policy "p" { attribute a { purpose "x" { vis 7; gran 9; ret 1000; } } }"#,
+        )
+        .unwrap();
+        let t = doc.policies[0].get("a", &Purpose::new("x")).unwrap();
+        assert_eq!(t.point, PrivacyPoint::from_raw(7, 9, 1000));
+    }
+
+    #[test]
+    fn forever_retention() {
+        let doc = parse(
+            r#"policy "p" { attribute a { purpose "x" { vis none; gran none; ret forever; } } }"#,
+        )
+        .unwrap();
+        let t = doc.policies[0].get("a", &Purpose::new("x")).unwrap();
+        assert!(t.point.retention.is_forever());
+    }
+
+    #[test]
+    fn missing_dimension_is_an_error() {
+        let err = parse(r#"policy "p" { attribute a { purpose "x" { vis house; } } }"#)
+            .unwrap_err();
+        assert!(err.to_string().contains("must state"), "{err}");
+    }
+
+    #[test]
+    fn garbage_inputs_error_cleanly() {
+        assert!(parse("polcy \"x\" {}").is_err());
+        assert!(parse("policy \"x\" { attribute a }").is_err());
+        assert!(parse("policy \"unterminated").is_err());
+        assert!(parse("preferences provider abc {}").is_err());
+        assert!(parse(r#"policy "p" { attribute a { purpose "x" { speed fast; } } }"#).is_err());
+        assert!(parse("@").is_err());
+    }
+
+    #[test]
+    fn comments_are_ignored() {
+        let doc = parse("// nothing but comments\n// and more\n").unwrap();
+        assert_eq!(doc, Document::default());
+    }
+
+    #[test]
+    fn print_parse_round_trip() {
+        let doc = parse(SAMPLE).unwrap();
+        let text = print_document(&doc);
+        let again = parse(&text).unwrap();
+        assert_eq!(again, doc);
+    }
+
+    #[test]
+    fn printer_groups_attributes() {
+        let doc = parse(SAMPLE).unwrap();
+        let text = print_policy(&doc.policies[0]);
+        // "attribute weight" appears once even though it has two purposes.
+        assert_eq!(text.matches("attribute weight").count(), 1);
+        assert_eq!(text.matches("purpose").count(), 3);
+    }
+}

@@ -1,0 +1,306 @@
+//! House privacy policies (the paper's `HP`).
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use qpv_taxonomy::{Dim, PrivacyPoint, PrivacyTuple, Purpose, PurposeSet};
+
+/// One `⟨attribute, privacy tuple⟩` element of a house policy
+/// (Equation 2's `⟨a, p⟩`).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PolicyTuple {
+    /// The attribute the tuple governs.
+    pub attribute: String,
+    /// What the house does with that attribute's data.
+    pub tuple: PrivacyTuple,
+}
+
+/// A house's privacy policy: the set of privacy tuples it operates under.
+///
+/// The same attribute may carry multiple tuples (one per purpose, or even
+/// several per purpose); Equation 4's `HP^j` projection is
+/// [`HousePolicy::for_attribute`].
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct HousePolicy {
+    /// Human-readable policy name (e.g. the organisation).
+    pub name: String,
+    tuples: Vec<PolicyTuple>,
+}
+
+impl HousePolicy {
+    /// An empty policy.
+    pub fn new(name: impl Into<String>) -> HousePolicy {
+        HousePolicy {
+            name: name.into(),
+            tuples: Vec::new(),
+        }
+    }
+
+    /// Start building a policy fluently.
+    pub fn builder(name: impl Into<String>) -> HousePolicyBuilder {
+        HousePolicyBuilder {
+            policy: HousePolicy::new(name),
+        }
+    }
+
+    /// Add a policy tuple.
+    pub fn add(&mut self, attribute: impl Into<String>, tuple: PrivacyTuple) {
+        self.tuples.push(PolicyTuple {
+            attribute: attribute.into(),
+            tuple,
+        });
+    }
+
+    /// All tuples.
+    pub fn tuples(&self) -> &[PolicyTuple] {
+        &self.tuples
+    }
+
+    /// Number of tuples.
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// Whether the policy is empty.
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+
+    /// `HP^j`: the tuples governing one attribute (Equation 4).
+    pub fn for_attribute<'a>(
+        &'a self,
+        attribute: &'a str,
+    ) -> impl Iterator<Item = &'a PrivacyTuple> + 'a {
+        self.tuples
+            .iter()
+            .filter(move |t| t.attribute == attribute)
+            .map(|t| &t.tuple)
+    }
+
+    /// The policy tuple for an exact `(attribute, purpose)` pair, if any.
+    pub fn get(&self, attribute: &str, purpose: &Purpose) -> Option<&PrivacyTuple> {
+        self.tuples
+            .iter()
+            .find(|t| t.attribute == attribute && t.tuple.purpose == *purpose)
+            .map(|t| &t.tuple)
+    }
+
+    /// Every distinct attribute mentioned, sorted.
+    pub fn attributes(&self) -> Vec<&str> {
+        let mut out: Vec<&str> = self.tuples.iter().map(|t| t.attribute.as_str()).collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// Every distinct purpose mentioned.
+    pub fn purposes(&self) -> PurposeSet {
+        self.tuples
+            .iter()
+            .map(|t| t.tuple.purpose.clone())
+            .collect()
+    }
+
+    /// A copy of the policy with every tuple widened by `amount` raw steps
+    /// along `dim` — the §9 "expansion of the privacy policies" operator.
+    pub fn widened(&self, dim: Dim, amount: u32) -> HousePolicy {
+        let mut out = self.clone();
+        for t in &mut out.tuples {
+            let raw = t.tuple.point.get(dim).saturating_add(amount);
+            t.tuple.point = t.tuple.point.with(dim, raw);
+        }
+        out
+    }
+
+    /// A copy widened along **all three** ordered dimensions by `amount` —
+    /// the uniform expansion used in the policy-expansion experiment.
+    pub fn widened_uniform(&self, amount: u32) -> HousePolicy {
+        let mut out = self.clone();
+        for t in &mut out.tuples {
+            for dim in Dim::ALL {
+                let raw = t.tuple.point.get(dim).saturating_add(amount);
+                t.tuple.point = t.tuple.point.with(dim, raw);
+            }
+        }
+        out
+    }
+
+    /// A copy with an extra purpose granted on every attribute, at the given
+    /// point — expansion along the *purpose* dimension (new uses for old
+    /// data), which Definition 1's implicit-preference rule makes count as a
+    /// violation for any provider who never consented to the purpose.
+    pub fn with_new_purpose(
+        &self,
+        purpose: impl Into<Purpose>,
+        point: PrivacyPoint,
+    ) -> HousePolicy {
+        let purpose = purpose.into();
+        let mut out = self.clone();
+        for attr in self.attributes() {
+            out.add(attr, PrivacyTuple::from_point(purpose.clone(), point));
+        }
+        out
+    }
+
+    /// The policy's maximum exposure along `dim` over all tuples (a simple
+    /// summary used by reports).
+    pub fn max_level(&self, dim: Dim) -> u32 {
+        self.tuples
+            .iter()
+            .map(|t| t.tuple.point.get(dim))
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+impl fmt::Display for HousePolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "policy {:?} {{", self.name)?;
+        for t in &self.tuples {
+            writeln!(f, "  {} -> {}", t.attribute, t.tuple)?;
+        }
+        f.write_str("}")
+    }
+}
+
+/// Fluent builder for [`HousePolicy`].
+///
+/// ```
+/// use qpv_policy::HousePolicy;
+/// use qpv_taxonomy::{GranularityLevel, PrivacyTuple, RetentionLevel, VisibilityLevel};
+///
+/// let policy = HousePolicy::builder("acme")
+///     .tuple("weight", PrivacyTuple::new(
+///         "billing",
+///         VisibilityLevel::HOUSE,
+///         GranularityLevel::PARTIAL,
+///         RetentionLevel::days(90),
+///     ))
+///     .build();
+/// assert_eq!(policy.len(), 1);
+/// ```
+#[derive(Debug)]
+pub struct HousePolicyBuilder {
+    policy: HousePolicy,
+}
+
+impl HousePolicyBuilder {
+    /// Add a tuple for an attribute.
+    pub fn tuple(mut self, attribute: impl Into<String>, tuple: PrivacyTuple) -> Self {
+        self.policy.add(attribute, tuple);
+        self
+    }
+
+    /// Finish building.
+    pub fn build(self) -> HousePolicy {
+        self.policy
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qpv_taxonomy::{GranularityLevel, RetentionLevel, VisibilityLevel};
+
+    fn tuple(purpose: &str, v: u32, g: u32, r: u32) -> PrivacyTuple {
+        PrivacyTuple::from_point(purpose, PrivacyPoint::from_raw(v, g, r))
+    }
+
+    fn sample() -> HousePolicy {
+        HousePolicy::builder("acme")
+            .tuple("weight", tuple("billing", 2, 3, 90))
+            .tuple("weight", tuple("ads", 3, 2, 365))
+            .tuple("age", tuple("billing", 2, 2, 30))
+            .build()
+    }
+
+    #[test]
+    fn for_attribute_projects_hp_j() {
+        let hp = sample();
+        assert_eq!(hp.for_attribute("weight").count(), 2);
+        assert_eq!(hp.for_attribute("age").count(), 1);
+        assert_eq!(hp.for_attribute("shoe_size").count(), 0);
+    }
+
+    #[test]
+    fn get_by_attribute_and_purpose() {
+        let hp = sample();
+        let t = hp.get("weight", &Purpose::new("ads")).unwrap();
+        assert_eq!(t.point.get(Dim::Retention), 365);
+        assert!(hp.get("weight", &Purpose::new("research")).is_none());
+        assert!(hp.get("ghost", &Purpose::new("ads")).is_none());
+    }
+
+    #[test]
+    fn attributes_and_purposes_deduplicate() {
+        let hp = sample();
+        assert_eq!(hp.attributes(), vec!["age", "weight"]);
+        let purposes = hp.purposes();
+        assert_eq!(purposes.len(), 2);
+        assert!(purposes.contains(&Purpose::new("billing")));
+    }
+
+    #[test]
+    fn widened_shifts_one_dimension_only() {
+        let hp = sample();
+        let wide = hp.widened(Dim::Granularity, 2);
+        let before = hp.get("weight", &Purpose::new("billing")).unwrap();
+        let after = wide.get("weight", &Purpose::new("billing")).unwrap();
+        assert_eq!(
+            after.point.get(Dim::Granularity),
+            before.point.get(Dim::Granularity) + 2
+        );
+        assert_eq!(
+            after.point.get(Dim::Visibility),
+            before.point.get(Dim::Visibility)
+        );
+        // Original untouched.
+        assert_eq!(hp.get("weight", &Purpose::new("billing")).unwrap(), before);
+    }
+
+    #[test]
+    fn widened_uniform_shifts_all_dimensions() {
+        let hp = sample();
+        let wide = hp.widened_uniform(1);
+        let t = wide.get("age", &Purpose::new("billing")).unwrap();
+        assert_eq!(t.point, PrivacyPoint::from_raw(3, 3, 31));
+    }
+
+    #[test]
+    fn with_new_purpose_covers_every_attribute() {
+        let hp = sample();
+        let point = PrivacyPoint::new(
+            VisibilityLevel::THIRD_PARTY,
+            GranularityLevel::SPECIFIC,
+            RetentionLevel::FOREVER,
+        );
+        let wide = hp.with_new_purpose("resale", point);
+        assert_eq!(wide.len(), hp.len() + 2);
+        assert!(wide.get("age", &Purpose::new("resale")).is_some());
+        assert!(wide.get("weight", &Purpose::new("resale")).is_some());
+    }
+
+    #[test]
+    fn max_level_summary() {
+        let hp = sample();
+        assert_eq!(hp.max_level(Dim::Retention), 365);
+        assert_eq!(hp.max_level(Dim::Visibility), 3);
+        assert_eq!(HousePolicy::new("empty").max_level(Dim::Retention), 0);
+    }
+
+    #[test]
+    fn display_mentions_every_tuple() {
+        let shown = sample().to_string();
+        assert!(shown.contains("weight"), "{shown}");
+        assert!(shown.contains("billing"), "{shown}");
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let hp = sample();
+        let json = serde_json::to_string(&hp).unwrap();
+        let back: HousePolicy = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, hp);
+    }
+}

@@ -1,0 +1,27 @@
+//! # qpv-policy
+//!
+//! House privacy policies and provider privacy preferences — the two sides
+//! whose misalignment *Quantifying Privacy Violations* measures.
+//!
+//! * A [`HousePolicy`] is the paper's `HP ⊆ Policy = {⟨a, p⟩}` (Equations
+//!   2–4): a set of privacy tuples attached to attributes, describing what
+//!   the house *will do* with collected data.
+//! * A [`ProviderPreferences`] is the paper's `ProviderPref_i` (Equations
+//!   5–6): a set of privacy tuples attached to the same attributes,
+//!   describing what provider *i consents to*.
+//!
+//! Both sides use the `qpv-taxonomy` four-dimensional tuples; the violation
+//! arithmetic itself lives in `qpv-core`.
+//!
+//! The [`dsl`] module provides a small textual policy language so policies
+//! and preference profiles can be written, stored, diffed, and audited as
+//! text — the transparency mechanism the paper's introduction calls for.
+
+pub mod diff;
+pub mod dsl;
+pub mod house;
+pub mod provider;
+
+pub use diff::{ChangeKind, PolicyChange, PolicyDiff};
+pub use house::{HousePolicy, HousePolicyBuilder, PolicyTuple};
+pub use provider::{PreferenceTuple, ProviderId, ProviderPreferences, ProviderPrefsBuilder};

@@ -1,0 +1,229 @@
+//! Provider privacy preferences (the paper's `ProviderPref_i`).
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use qpv_taxonomy::{PrivacyPoint, PrivacyTuple, Purpose, PurposeSet};
+
+/// Identifies a data provider.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize, Default,
+)]
+pub struct ProviderId(pub u64);
+
+impl fmt::Display for ProviderId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "provider#{}", self.0)
+    }
+}
+
+/// One `⟨i, a, p⟩` element of a provider's preferences (Equation 5), with
+/// the provider id held by the owning [`ProviderPreferences`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PreferenceTuple {
+    /// The attribute the preference covers.
+    pub attribute: String,
+    /// The maximum exposure the provider consents to.
+    pub tuple: PrivacyTuple,
+}
+
+/// All privacy preferences of one provider.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ProviderPreferences {
+    /// Whose preferences these are.
+    pub provider: ProviderId,
+    tuples: Vec<PreferenceTuple>,
+}
+
+impl ProviderPreferences {
+    /// Empty preferences for a provider. Under Definition 1's implicit rule,
+    /// "no stated preference" for a purpose means "reveal nothing for that
+    /// purpose" — so an empty preference set is maximally conservative, not
+    /// maximally permissive.
+    pub fn new(provider: ProviderId) -> ProviderPreferences {
+        ProviderPreferences {
+            provider,
+            tuples: Vec::new(),
+        }
+    }
+
+    /// Start building preferences fluently.
+    pub fn builder(provider: ProviderId) -> ProviderPrefsBuilder {
+        ProviderPrefsBuilder {
+            prefs: ProviderPreferences::new(provider),
+        }
+    }
+
+    /// Add a preference tuple.
+    pub fn add(&mut self, attribute: impl Into<String>, tuple: PrivacyTuple) {
+        self.tuples.push(PreferenceTuple {
+            attribute: attribute.into(),
+            tuple,
+        });
+    }
+
+    /// All stated preference tuples.
+    pub fn tuples(&self) -> &[PreferenceTuple] {
+        &self.tuples
+    }
+
+    /// Number of stated tuples.
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// Whether no preferences are stated.
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+
+    /// `ProviderPref_i^j`: preferences for one attribute (Equation 6).
+    pub fn for_attribute<'a>(
+        &'a self,
+        attribute: &'a str,
+    ) -> impl Iterator<Item = &'a PrivacyTuple> + 'a {
+        self.tuples
+            .iter()
+            .filter(move |t| t.attribute == attribute)
+            .map(|t| &t.tuple)
+    }
+
+    /// The stated preference point for `(attribute, purpose)`, or the
+    /// implicit `⟨0,0,0⟩` if the provider never mentioned that purpose for
+    /// that attribute (Definition 1's added tuple `⟨i, a, pr, 0, 0, 0⟩`).
+    pub fn effective_point(&self, attribute: &str, purpose: &Purpose) -> PrivacyPoint {
+        self.tuples
+            .iter()
+            .find(|t| t.attribute == attribute && t.tuple.purpose == *purpose)
+            .map(|t| t.tuple.point)
+            .unwrap_or(PrivacyPoint::ZERO)
+    }
+
+    /// Whether the provider explicitly stated a preference for
+    /// `(attribute, purpose)`.
+    pub fn has_stated(&self, attribute: &str, purpose: &Purpose) -> bool {
+        self.tuples
+            .iter()
+            .any(|t| t.attribute == attribute && t.tuple.purpose == *purpose)
+    }
+
+    /// Every distinct attribute mentioned, sorted.
+    pub fn attributes(&self) -> Vec<&str> {
+        let mut out: Vec<&str> = self.tuples.iter().map(|t| t.attribute.as_str()).collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// Every distinct purpose mentioned.
+    pub fn purposes(&self) -> PurposeSet {
+        self.tuples
+            .iter()
+            .map(|t| t.tuple.purpose.clone())
+            .collect()
+    }
+}
+
+impl fmt::Display for ProviderPreferences {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "preferences {} {{", self.provider)?;
+        for t in &self.tuples {
+            writeln!(f, "  {} -> {}", t.attribute, t.tuple)?;
+        }
+        f.write_str("}")
+    }
+}
+
+/// Fluent builder for [`ProviderPreferences`].
+#[derive(Debug)]
+pub struct ProviderPrefsBuilder {
+    prefs: ProviderPreferences,
+}
+
+impl ProviderPrefsBuilder {
+    /// Add a preference tuple.
+    pub fn tuple(mut self, attribute: impl Into<String>, tuple: PrivacyTuple) -> Self {
+        self.prefs.add(attribute, tuple);
+        self
+    }
+
+    /// Finish building.
+    pub fn build(self) -> ProviderPreferences {
+        self.prefs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qpv_taxonomy::Dim;
+
+    fn tuple(purpose: &str, v: u32, g: u32, r: u32) -> PrivacyTuple {
+        PrivacyTuple::from_point(purpose, PrivacyPoint::from_raw(v, g, r))
+    }
+
+    fn sample() -> ProviderPreferences {
+        ProviderPreferences::builder(ProviderId(7))
+            .tuple("weight", tuple("billing", 2, 2, 30))
+            .tuple("age", tuple("billing", 2, 3, 365))
+            .build()
+    }
+
+    #[test]
+    fn stated_preferences_are_returned() {
+        let p = sample();
+        assert_eq!(
+            p.effective_point("weight", &Purpose::new("billing")),
+            PrivacyPoint::from_raw(2, 2, 30)
+        );
+        assert!(p.has_stated("weight", &Purpose::new("billing")));
+    }
+
+    #[test]
+    fn unstated_purpose_defaults_to_deny_all() {
+        let p = sample();
+        // Definition 1: missing purpose ⇒ ⟨0,0,0⟩.
+        assert_eq!(
+            p.effective_point("weight", &Purpose::new("ads")),
+            PrivacyPoint::ZERO
+        );
+        assert!(!p.has_stated("weight", &Purpose::new("ads")));
+        // Missing attribute too.
+        assert_eq!(
+            p.effective_point("income", &Purpose::new("billing")),
+            PrivacyPoint::ZERO
+        );
+    }
+
+    #[test]
+    fn empty_preferences_deny_everything() {
+        let p = ProviderPreferences::new(ProviderId(1));
+        assert!(p.is_empty());
+        assert_eq!(
+            p.effective_point("anything", &Purpose::new("anything")),
+            PrivacyPoint::ZERO
+        );
+    }
+
+    #[test]
+    fn projections() {
+        let p = sample();
+        assert_eq!(p.for_attribute("weight").count(), 1);
+        assert_eq!(p.attributes(), vec!["age", "weight"]);
+        assert_eq!(p.purposes().len(), 1);
+        assert_eq!(
+            p.for_attribute("age").next().unwrap().point.get(Dim::Retention),
+            365
+        );
+    }
+
+    #[test]
+    fn display_and_serde() {
+        let p = sample();
+        assert!(p.to_string().contains("provider#7"));
+        let json = serde_json::to_string(&p).unwrap();
+        let back: ProviderPreferences = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, p);
+    }
+}

@@ -1,0 +1,519 @@
+//! A from-scratch B+tree secondary index.
+//!
+//! Maps [`Value`] keys to sets of [`RowId`]s (indexes are non-unique).
+//! Internal nodes hold separator keys; all entries live in leaves, which are
+//! linked left-to-right so range scans stream without re-descending.
+//!
+//! Nodes live in an arena and reference each other by
+//! index, which keeps the structure safe-Rust simple and cache-friendly.
+//!
+//! Deletion removes entries but does not rebalance: underfull nodes are left
+//! in place (their slack is reused by later inserts). This "lazy deletion"
+//! keeps the implementation compact and is the behaviour several production
+//! engines shipped with for years; the index is rebuilt from the heap at
+//! recovery anyway (see [`crate::db::Database`]), which re-packs it.
+
+use std::ops::Bound;
+
+use crate::row::RowId;
+use crate::value::Value;
+
+/// Maximum keys per node before a split.
+const ORDER: usize = 32;
+
+#[derive(Debug)]
+enum Node {
+    Leaf {
+        keys: Vec<Value>,
+        /// Row ids per key, kept sorted and deduplicated.
+        postings: Vec<Vec<RowId>>,
+        next: Option<usize>,
+    },
+    Internal {
+        /// `keys[i]` separates `children[i]` (strictly less) from
+        /// `children[i+1]` (greater or equal).
+        keys: Vec<Value>,
+        children: Vec<usize>,
+    },
+}
+
+/// A non-unique ordered index from values to row ids.
+#[derive(Debug)]
+pub struct BTreeIndex {
+    nodes: Vec<Node>,
+    root: usize,
+    entries: usize,
+}
+
+impl Default for BTreeIndex {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl BTreeIndex {
+    /// An empty index.
+    pub fn new() -> BTreeIndex {
+        BTreeIndex {
+            nodes: vec![Node::Leaf {
+                keys: Vec::new(),
+                postings: Vec::new(),
+                next: None,
+            }],
+            root: 0,
+            entries: 0,
+        }
+    }
+
+    /// Number of `(key, row id)` entries.
+    pub fn len(&self) -> usize {
+        self.entries
+    }
+
+    /// Whether the index holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries == 0
+    }
+
+    /// Insert an entry. Returns `false` (and changes nothing) if the exact
+    /// `(key, rid)` pair is already present.
+    pub fn insert(&mut self, key: Value, rid: RowId) -> bool {
+        match self.insert_rec(self.root, key, rid) {
+            InsertOutcome::Duplicate => false,
+            InsertOutcome::Done => {
+                self.entries += 1;
+                true
+            }
+            InsertOutcome::Split(sep, right) => {
+                let new_root = Node::Internal {
+                    keys: vec![sep],
+                    children: vec![self.root, right],
+                };
+                self.nodes.push(new_root);
+                self.root = self.nodes.len() - 1;
+                self.entries += 1;
+                true
+            }
+        }
+    }
+
+    /// Remove an entry. Returns whether the pair was present.
+    pub fn remove(&mut self, key: &Value, rid: RowId) -> bool {
+        let leaf = self.find_leaf(key);
+        let Node::Leaf { keys, postings, .. } = &mut self.nodes[leaf] else {
+            unreachable!("find_leaf returns leaves");
+        };
+        let Ok(pos) = keys.binary_search(key) else {
+            return false;
+        };
+        let Ok(vpos) = postings[pos].binary_search(&rid) else {
+            return false;
+        };
+        postings[pos].remove(vpos);
+        if postings[pos].is_empty() {
+            keys.remove(pos);
+            postings.remove(pos);
+        }
+        self.entries -= 1;
+        true
+    }
+
+    /// The row ids stored under `key` (empty if absent), in `RowId` order.
+    pub fn get(&self, key: &Value) -> &[RowId] {
+        let leaf = self.find_leaf(key);
+        let Node::Leaf { keys, postings, .. } = &self.nodes[leaf] else {
+            unreachable!("find_leaf returns leaves");
+        };
+        match keys.binary_search(key) {
+            Ok(pos) => &postings[pos],
+            Err(_) => &[],
+        }
+    }
+
+    /// Whether any entry exists under `key`.
+    pub fn contains_key(&self, key: &Value) -> bool {
+        !self.get(key).is_empty()
+    }
+
+    /// Stream `(key, rid)` pairs with keys in `[lo, hi]` per the given
+    /// bounds, in key order.
+    pub fn range(&self, lo: Bound<&Value>, hi: Bound<&Value>) -> RangeIter<'_> {
+        let (leaf, idx) = match lo {
+            Bound::Unbounded => (self.leftmost_leaf(), 0),
+            Bound::Included(k) | Bound::Excluded(k) => {
+                let leaf = self.find_leaf(k);
+                let Node::Leaf { keys, .. } = &self.nodes[leaf] else {
+                    unreachable!()
+                };
+                let idx = match keys.binary_search(k) {
+                    Ok(pos) => {
+                        if matches!(lo, Bound::Excluded(_)) {
+                            pos + 1
+                        } else {
+                            pos
+                        }
+                    }
+                    Err(pos) => pos,
+                };
+                (leaf, idx)
+            }
+        };
+        RangeIter {
+            tree: self,
+            leaf: Some(leaf),
+            key_idx: idx,
+            posting_idx: 0,
+            hi: match hi {
+                Bound::Unbounded => Bound::Unbounded,
+                Bound::Included(v) => Bound::Included(v.clone()),
+                Bound::Excluded(v) => Bound::Excluded(v.clone()),
+            },
+        }
+    }
+
+    /// All entries in key order.
+    pub fn iter(&self) -> RangeIter<'_> {
+        self.range(Bound::Unbounded, Bound::Unbounded)
+    }
+
+    /// Depth of the tree (1 = just a root leaf). Exposed for tests and the
+    /// storage benchmarks.
+    pub fn depth(&self) -> usize {
+        let mut depth = 1;
+        let mut node = self.root;
+        while let Node::Internal { children, .. } = &self.nodes[node] {
+            node = children[0];
+            depth += 1;
+        }
+        depth
+    }
+
+    fn find_leaf(&self, key: &Value) -> usize {
+        let mut node = self.root;
+        loop {
+            match &self.nodes[node] {
+                Node::Leaf { .. } => return node,
+                Node::Internal { keys, children } => {
+                    // First separator strictly greater than key → that child.
+                    let idx = keys.partition_point(|k| k <= key);
+                    node = children[idx];
+                }
+            }
+        }
+    }
+
+    fn leftmost_leaf(&self) -> usize {
+        let mut node = self.root;
+        while let Node::Internal { children, .. } = &self.nodes[node] {
+            node = children[0];
+        }
+        node
+    }
+
+    fn insert_rec(&mut self, node: usize, key: Value, rid: RowId) -> InsertOutcome {
+        match &mut self.nodes[node] {
+            Node::Leaf { keys, postings, .. } => {
+                match keys.binary_search(&key) {
+                    Ok(pos) => match postings[pos].binary_search(&rid) {
+                        Ok(_) => return InsertOutcome::Duplicate,
+                        Err(vpos) => {
+                            postings[pos].insert(vpos, rid);
+                            return InsertOutcome::Done;
+                        }
+                    },
+                    Err(pos) => {
+                        keys.insert(pos, key);
+                        postings.insert(pos, vec![rid]);
+                    }
+                }
+                if let Node::Leaf { keys, .. } = &self.nodes[node] {
+                    if keys.len() <= ORDER {
+                        return InsertOutcome::Done;
+                    }
+                }
+                self.split_leaf(node)
+            }
+            Node::Internal { keys, children } => {
+                let idx = keys.partition_point(|k| *k <= key);
+                let child = children[idx];
+                match self.insert_rec(child, key, rid) {
+                    InsertOutcome::Split(sep, right) => {
+                        let Node::Internal { keys, children } = &mut self.nodes[node] else {
+                            unreachable!()
+                        };
+                        keys.insert(idx, sep);
+                        children.insert(idx + 1, right);
+                        if keys.len() <= ORDER {
+                            InsertOutcome::Done
+                        } else {
+                            self.split_internal(node)
+                        }
+                    }
+                    other => other,
+                }
+            }
+        }
+    }
+
+    fn split_leaf(&mut self, node: usize) -> InsertOutcome {
+        let new_id = self.nodes.len();
+        let Node::Leaf { keys, postings, next } = &mut self.nodes[node] else {
+            unreachable!()
+        };
+        let mid = keys.len() / 2;
+        let right_keys = keys.split_off(mid);
+        let right_postings = postings.split_off(mid);
+        let sep = right_keys[0].clone();
+        let right = Node::Leaf {
+            keys: right_keys,
+            postings: right_postings,
+            next: next.take(),
+        };
+        *next = Some(new_id);
+        self.nodes.push(right);
+        InsertOutcome::Split(sep, new_id)
+    }
+
+    fn split_internal(&mut self, node: usize) -> InsertOutcome {
+        let new_id = self.nodes.len();
+        let Node::Internal { keys, children } = &mut self.nodes[node] else {
+            unreachable!()
+        };
+        let mid = keys.len() / 2;
+        // The median key moves up; it separates the two halves.
+        let right_keys = keys.split_off(mid + 1);
+        let sep = keys.pop().expect("mid < len");
+        let right_children = children.split_off(mid + 1);
+        let right = Node::Internal {
+            keys: right_keys,
+            children: right_children,
+        };
+        self.nodes.push(right);
+        InsertOutcome::Split(sep, new_id)
+    }
+}
+
+enum InsertOutcome {
+    Duplicate,
+    Done,
+    Split(Value, usize),
+}
+
+/// Streaming iterator over a key range; see [`BTreeIndex::range`].
+pub struct RangeIter<'a> {
+    tree: &'a BTreeIndex,
+    leaf: Option<usize>,
+    key_idx: usize,
+    posting_idx: usize,
+    hi: Bound<Value>,
+}
+
+impl<'a> Iterator for RangeIter<'a> {
+    type Item = (&'a Value, RowId);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        loop {
+            let leaf = self.leaf?;
+            let Node::Leaf { keys, postings, next } = &self.tree.nodes[leaf] else {
+                unreachable!("leaf chain only contains leaves");
+            };
+            if self.key_idx >= keys.len() {
+                self.leaf = *next;
+                self.key_idx = 0;
+                self.posting_idx = 0;
+                continue;
+            }
+            let key = &keys[self.key_idx];
+            let in_range = match &self.hi {
+                Bound::Unbounded => true,
+                Bound::Included(h) => key <= h,
+                Bound::Excluded(h) => key < h,
+            };
+            if !in_range {
+                self.leaf = None;
+                return None;
+            }
+            let posting = &postings[self.key_idx];
+            if self.posting_idx < posting.len() {
+                let rid = posting[self.posting_idx];
+                self.posting_idx += 1;
+                return Some((key, rid));
+            }
+            self.key_idx += 1;
+            self.posting_idx = 0;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn rid(n: u64) -> RowId {
+        RowId::new(n / 16, (n % 16) as u16)
+    }
+
+    #[test]
+    fn empty_index() {
+        let idx = BTreeIndex::new();
+        assert!(idx.is_empty());
+        assert_eq!(idx.get(&Value::Int(1)), &[]);
+        assert_eq!(idx.iter().count(), 0);
+        assert_eq!(idx.depth(), 1);
+    }
+
+    #[test]
+    fn point_lookup_after_many_inserts() {
+        let mut idx = BTreeIndex::new();
+        for i in 0..1000i64 {
+            assert!(idx.insert(Value::Int(i), rid(i as u64)));
+        }
+        assert_eq!(idx.len(), 1000);
+        assert!(idx.depth() > 1, "1000 keys must have split the root");
+        for i in 0..1000i64 {
+            assert_eq!(idx.get(&Value::Int(i)), &[rid(i as u64)], "key {i}");
+        }
+        assert!(idx.get(&Value::Int(-1)).is_empty());
+        assert!(idx.get(&Value::Int(1000)).is_empty());
+    }
+
+    #[test]
+    fn duplicate_pairs_rejected_but_multi_rid_per_key_allowed() {
+        let mut idx = BTreeIndex::new();
+        assert!(idx.insert(Value::Int(5), rid(1)));
+        assert!(idx.insert(Value::Int(5), rid(2)));
+        assert!(!idx.insert(Value::Int(5), rid(1)));
+        assert_eq!(idx.get(&Value::Int(5)), &[rid(1), rid(2)]);
+        assert_eq!(idx.len(), 2);
+    }
+
+    #[test]
+    fn remove_entries_and_keys() {
+        let mut idx = BTreeIndex::new();
+        idx.insert(Value::Int(5), rid(1));
+        idx.insert(Value::Int(5), rid(2));
+        assert!(idx.remove(&Value::Int(5), rid(1)));
+        assert!(!idx.remove(&Value::Int(5), rid(1)));
+        assert_eq!(idx.get(&Value::Int(5)), &[rid(2)]);
+        assert!(idx.remove(&Value::Int(5), rid(2)));
+        assert!(!idx.contains_key(&Value::Int(5)));
+        assert!(idx.is_empty());
+        assert!(!idx.remove(&Value::Int(99), rid(1)));
+    }
+
+    #[test]
+    fn range_scans_in_key_order() {
+        let mut idx = BTreeIndex::new();
+        // Insert in reverse to exercise ordering.
+        for i in (0..500i64).rev() {
+            idx.insert(Value::Int(i), rid(i as u64));
+        }
+        let all: Vec<i64> = idx.iter().map(|(k, _)| k.as_int().unwrap()).collect();
+        assert_eq!(all, (0..500).collect::<Vec<_>>());
+
+        let mid: Vec<i64> = idx
+            .range(
+                Bound::Included(&Value::Int(100)),
+                Bound::Excluded(&Value::Int(110)),
+            )
+            .map(|(k, _)| k.as_int().unwrap())
+            .collect();
+        assert_eq!(mid, (100..110).collect::<Vec<_>>());
+
+        let excl: Vec<i64> = idx
+            .range(
+                Bound::Excluded(&Value::Int(100)),
+                Bound::Included(&Value::Int(103)),
+            )
+            .map(|(k, _)| k.as_int().unwrap())
+            .collect();
+        assert_eq!(excl, vec![101, 102, 103]);
+    }
+
+    #[test]
+    fn range_with_absent_bounds() {
+        let mut idx = BTreeIndex::new();
+        for i in [10i64, 20, 30] {
+            idx.insert(Value::Int(i), rid(i as u64));
+        }
+        // Bounds that fall between keys.
+        let found: Vec<i64> = idx
+            .range(
+                Bound::Included(&Value::Int(15)),
+                Bound::Included(&Value::Int(25)),
+            )
+            .map(|(k, _)| k.as_int().unwrap())
+            .collect();
+        assert_eq!(found, vec![20]);
+        // Empty range.
+        assert_eq!(
+            idx.range(
+                Bound::Included(&Value::Int(21)),
+                Bound::Excluded(&Value::Int(22)),
+            )
+            .count(),
+            0
+        );
+    }
+
+    #[test]
+    fn text_keys_work() {
+        let mut idx = BTreeIndex::new();
+        for (i, name) in ["delta", "alpha", "charlie", "bravo"].iter().enumerate() {
+            idx.insert(Value::Text(name.to_string()), rid(i as u64));
+        }
+        let names: Vec<&str> = idx.iter().map(|(k, _)| k.as_text().unwrap()).collect();
+        assert_eq!(names, vec!["alpha", "bravo", "charlie", "delta"]);
+    }
+
+    proptest! {
+        /// The index agrees with a BTreeMap shadow model under random
+        /// insert/remove interleavings, for lookups and full ordered scans.
+        #[test]
+        fn prop_matches_shadow_model(
+            ops in proptest::collection::vec((any::<bool>(), -50i64..50, 0u64..20), 1..600)
+        ) {
+            use std::collections::BTreeMap;
+            let mut idx = BTreeIndex::new();
+            let mut model: BTreeMap<i64, Vec<RowId>> = BTreeMap::new();
+            for (is_insert, key, r) in ops {
+                let value = Value::Int(key);
+                let r = rid(r);
+                if is_insert {
+                    let inserted = idx.insert(value, r);
+                    let posting = model.entry(key).or_default();
+                    match posting.binary_search(&r) {
+                        Ok(_) => prop_assert!(!inserted),
+                        Err(pos) => {
+                            prop_assert!(inserted);
+                            posting.insert(pos, r);
+                        }
+                    }
+                } else {
+                    let removed = idx.remove(&value, r);
+                    let model_had = model.get_mut(&key).map(|p| {
+                        if let Ok(pos) = p.binary_search(&r) { p.remove(pos); true } else { false }
+                    }).unwrap_or(false);
+                    if model.get(&key).is_some_and(|p| p.is_empty()) {
+                        model.remove(&key);
+                    }
+                    prop_assert_eq!(removed, model_had);
+                }
+            }
+            // Point lookups agree.
+            for (key, posting) in &model {
+                prop_assert_eq!(idx.get(&Value::Int(*key)), &posting[..]);
+            }
+            // Ordered scan agrees.
+            let scanned: Vec<(i64, RowId)> =
+                idx.iter().map(|(k, r)| (k.as_int().unwrap(), r)).collect();
+            let expected: Vec<(i64, RowId)> = model
+                .iter()
+                .flat_map(|(k, p)| p.iter().map(move |r| (*k, *r)))
+                .collect();
+            prop_assert_eq!(idx.len(), expected.len());
+            prop_assert_eq!(scanned, expected);
+        }
+    }
+}

@@ -1,0 +1,277 @@
+//! An LRU buffer pool between the engine and the page store.
+//!
+//! All page access goes through [`BufferPool`]: pages are loaded into a
+//! bounded set of frames, mutated in place, and written back on eviction or
+//! at a checkpoint ([`BufferPool::flush_all`]). The pool is single-threaded
+//! (`&mut` API) — concurrency is layered above it (see
+//! [`crate::db::SharedDatabase`]), which keeps eviction and borrowing
+//! trivially sound.
+
+use std::collections::HashMap;
+
+use crate::disk::PageStore;
+use crate::error::{DbError, DbResult};
+use crate::page::{Page, PAGE_SIZE};
+
+/// Cache statistics, useful for the storage benchmarks.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Page requests served from a resident frame.
+    pub hits: u64,
+    /// Page requests that had to read from the store.
+    pub misses: u64,
+    /// Dirty pages written back during eviction.
+    pub evictions: u64,
+}
+
+struct Frame {
+    page: Page,
+    /// LRU clock value of the last access.
+    last_used: u64,
+}
+
+/// A bounded page cache with least-recently-used eviction.
+pub struct BufferPool {
+    store: Box<dyn PageStore>,
+    frames: HashMap<u64, Frame>,
+    capacity: usize,
+    clock: u64,
+    next_page_id: u64,
+    stats: PoolStats,
+}
+
+impl BufferPool {
+    /// Default number of resident pages (1024 × 4 KiB = 4 MiB).
+    pub const DEFAULT_CAPACITY: usize = 1024;
+
+    /// Create a pool over `store` holding at most `capacity` pages.
+    pub fn new(store: Box<dyn PageStore>, capacity: usize) -> BufferPool {
+        assert!(capacity > 0, "buffer pool needs at least one frame");
+        let next_page_id = store.num_pages();
+        BufferPool {
+            store,
+            frames: HashMap::with_capacity(capacity),
+            capacity,
+            clock: 0,
+            next_page_id,
+            stats: PoolStats::default(),
+        }
+    }
+
+    /// Allocate a fresh page and return its id. The page is resident and
+    /// dirty.
+    pub fn allocate(&mut self) -> DbResult<u64> {
+        let page_id = self.next_page_id;
+        self.next_page_id += 1;
+        self.make_room()?;
+        let page = Page::new(page_id);
+        // Materialise the page in the store immediately so that page-id
+        // space is dense on disk even if this page is evicted clean later.
+        self.store.write_page(page_id, page.as_bytes())?;
+        self.clock += 1;
+        self.frames.insert(
+            page_id,
+            Frame {
+                page,
+                last_used: self.clock,
+            },
+        );
+        Ok(page_id)
+    }
+
+    /// Borrow a page immutably, faulting it in if needed.
+    pub fn page(&mut self, page_id: u64) -> DbResult<&Page> {
+        self.fault_in(page_id)?;
+        Ok(&self.frames.get(&page_id).expect("just faulted in").page)
+    }
+
+    /// Borrow a page mutably, faulting it in if needed.
+    pub fn page_mut(&mut self, page_id: u64) -> DbResult<&mut Page> {
+        self.fault_in(page_id)?;
+        Ok(&mut self
+            .frames
+            .get_mut(&page_id)
+            .expect("just faulted in")
+            .page)
+    }
+
+    /// Write every dirty resident page back to the store and sync it.
+    pub fn flush_all(&mut self) -> DbResult<()> {
+        for frame in self.frames.values_mut() {
+            if frame.page.is_dirty() {
+                self.store.write_page(frame.page.page_id(), frame.page.as_bytes())?;
+                frame.page.mark_clean();
+            }
+        }
+        self.store.sync()
+    }
+
+    /// Total pages ever allocated (resident or not).
+    pub fn num_pages(&self) -> u64 {
+        self.next_page_id
+    }
+
+    /// Cache statistics since creation.
+    pub fn stats(&self) -> PoolStats {
+        self.stats
+    }
+
+    /// Number of currently resident pages (for tests).
+    pub fn resident(&self) -> usize {
+        self.frames.len()
+    }
+
+    fn fault_in(&mut self, page_id: u64) -> DbResult<()> {
+        self.clock += 1;
+        if let Some(frame) = self.frames.get_mut(&page_id) {
+            frame.last_used = self.clock;
+            self.stats.hits += 1;
+            return Ok(());
+        }
+        self.stats.misses += 1;
+        if page_id >= self.next_page_id {
+            return Err(DbError::Corruption(format!(
+                "access to unallocated page {page_id}"
+            )));
+        }
+        self.make_room()?;
+        let mut buf = [0u8; PAGE_SIZE];
+        self.store.read_page(page_id, &mut buf)?;
+        let page = Page::from_bytes(buf)?;
+        self.frames.insert(
+            page_id,
+            Frame {
+                page,
+                last_used: self.clock,
+            },
+        );
+        Ok(())
+    }
+
+    /// Evict the least-recently-used frame if the pool is full.
+    fn make_room(&mut self) -> DbResult<()> {
+        if self.frames.len() < self.capacity {
+            return Ok(());
+        }
+        let victim = self
+            .frames
+            .iter()
+            .min_by_key(|(_, f)| f.last_used)
+            .map(|(&id, _)| id)
+            .expect("capacity > 0 and pool full implies a frame exists");
+        let frame = self.frames.remove(&victim).expect("victim resident");
+        if frame.page.is_dirty() {
+            self.store.write_page(victim, frame.page.as_bytes())?;
+            self.stats.evictions += 1;
+        }
+        Ok(())
+    }
+}
+
+impl std::fmt::Debug for BufferPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BufferPool")
+            .field("capacity", &self.capacity)
+            .field("resident", &self.frames.len())
+            .field("num_pages", &self.next_page_id)
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::disk::MemStore;
+
+    fn pool(capacity: usize) -> BufferPool {
+        BufferPool::new(Box::new(MemStore::new()), capacity)
+    }
+
+    #[test]
+    fn allocate_and_access() {
+        let mut pool = pool(4);
+        let a = pool.allocate().unwrap();
+        let b = pool.allocate().unwrap();
+        assert_ne!(a, b);
+        pool.page_mut(a).unwrap().insert(b"alpha").unwrap();
+        pool.page_mut(b).unwrap().insert(b"beta").unwrap();
+        assert_eq!(pool.page(a).unwrap().get(0).unwrap(), b"alpha");
+        assert_eq!(pool.page(b).unwrap().get(0).unwrap(), b"beta");
+    }
+
+    #[test]
+    fn eviction_writes_back_dirty_pages() {
+        let mut pool = pool(2);
+        let ids: Vec<u64> = (0..5).map(|_| pool.allocate().unwrap()).collect();
+        for (i, &id) in ids.iter().enumerate() {
+            pool.page_mut(id)
+                .unwrap()
+                .insert(format!("rec{i}").as_bytes())
+                .unwrap();
+        }
+        // Only 2 frames resident, but every page's data must survive.
+        assert!(pool.resident() <= 2);
+        for (i, &id) in ids.iter().enumerate() {
+            let page = pool.page(id).unwrap();
+            assert_eq!(page.get(0).unwrap(), format!("rec{i}").as_bytes());
+        }
+        assert!(pool.stats().evictions > 0);
+        assert!(pool.stats().misses > 0);
+    }
+
+    #[test]
+    fn lru_keeps_hot_pages() {
+        let mut pool = pool(2);
+        let a = pool.allocate().unwrap();
+        let b = pool.allocate().unwrap();
+        pool.page_mut(a).unwrap().insert(b"a").unwrap();
+        pool.page_mut(b).unwrap().insert(b"b").unwrap();
+        pool.flush_all().unwrap();
+        let before = pool.stats();
+        // Touch `a` so `b` is the LRU victim when `c` arrives.
+        pool.page(a).unwrap();
+        let c = pool.allocate().unwrap();
+        pool.page(c).unwrap();
+        // `a` should still be a hit.
+        pool.page(a).unwrap();
+        let after = pool.stats();
+        assert_eq!(after.misses, before.misses, "hot page was evicted");
+    }
+
+    #[test]
+    fn unallocated_access_is_an_error() {
+        let mut pool = pool(2);
+        assert!(pool.page(0).is_err());
+        pool.allocate().unwrap();
+        assert!(pool.page(0).is_ok());
+        assert!(pool.page(1).is_err());
+    }
+
+    #[test]
+    fn flush_all_marks_clean_and_persists() {
+        let mut pool = pool(2);
+        let a = pool.allocate().unwrap();
+        pool.page_mut(a).unwrap().insert(b"x").unwrap();
+        pool.flush_all().unwrap();
+        assert!(!pool.page(a).unwrap().is_dirty());
+    }
+
+    #[test]
+    fn stats_track_hits_and_misses() {
+        let mut pool = pool(1);
+        let a = pool.allocate().unwrap();
+        let b = pool.allocate().unwrap(); // evicts a
+        pool.page(b).unwrap(); // hit
+        pool.page(a).unwrap(); // miss (refault)
+        let stats = pool.stats();
+        assert!(stats.hits >= 1);
+        assert!(stats.misses >= 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one frame")]
+    fn zero_capacity_is_rejected() {
+        pool(0);
+    }
+}

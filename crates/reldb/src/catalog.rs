@@ -1,0 +1,378 @@
+//! Table and index metadata.
+//!
+//! The catalog maps names to [`TableMeta`] / [`IndexMeta`]. It is plain data
+//! (serde-serialisable): the live index structures themselves are owned by
+//! [`crate::db::Database`] and rebuilt from the heaps at recovery.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::{DbError, DbResult};
+use crate::heap::TableHeap;
+use crate::schema::Schema;
+
+/// Identifies a table for the life of the database.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct TableId(pub u32);
+
+/// Identifies an index for the life of the database.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct IndexId(pub u32);
+
+/// Metadata for one table.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TableMeta {
+    /// Stable id.
+    pub id: TableId,
+    /// Unique name.
+    pub name: String,
+    /// Column definitions.
+    pub schema: Schema,
+    /// Storage handle.
+    pub heap: TableHeap,
+}
+
+/// Metadata for one single-column index.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct IndexMeta {
+    /// Stable id.
+    pub id: IndexId,
+    /// Unique name.
+    pub name: String,
+    /// The indexed table.
+    pub table: TableId,
+    /// Which column of the table's schema is indexed.
+    pub column: usize,
+}
+
+/// All schema objects in the database.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Catalog {
+    tables: Vec<TableMeta>,
+    indexes: Vec<IndexMeta>,
+    next_table_id: u32,
+    next_index_id: u32,
+}
+
+impl Catalog {
+    /// An empty catalog.
+    pub fn new() -> Catalog {
+        Catalog::default()
+    }
+
+    /// Register a table. Fails on duplicate names.
+    pub fn create_table(
+        &mut self,
+        name: impl Into<String>,
+        schema: Schema,
+        heap: TableHeap,
+    ) -> DbResult<TableId> {
+        let name = name.into();
+        if self.table(&name).is_some() {
+            return Err(DbError::Catalog(format!("table {name:?} already exists")));
+        }
+        let id = TableId(self.next_table_id);
+        self.next_table_id += 1;
+        self.tables.push(TableMeta {
+            id,
+            name,
+            schema,
+            heap,
+        });
+        Ok(id)
+    }
+
+    /// Look a table up by name.
+    pub fn table(&self, name: &str) -> Option<&TableMeta> {
+        self.tables.iter().find(|t| t.name == name)
+    }
+
+    /// Look a table up by name, as an error-producing operation.
+    pub fn require_table(&self, name: &str) -> DbResult<&TableMeta> {
+        self.table(name)
+            .ok_or_else(|| DbError::Catalog(format!("no such table {name:?}")))
+    }
+
+    /// Look a table up by id.
+    pub fn table_by_id(&self, id: TableId) -> Option<&TableMeta> {
+        self.tables.iter().find(|t| t.id == id)
+    }
+
+    /// Mutable access by id (the heap handle changes as pages are chained).
+    pub fn table_by_id_mut(&mut self, id: TableId) -> Option<&mut TableMeta> {
+        self.tables.iter_mut().find(|t| t.id == id)
+    }
+
+    /// Remove a table and all its indexes. Returns the removed metadata.
+    pub fn drop_table(&mut self, name: &str) -> DbResult<TableMeta> {
+        let pos = self
+            .tables
+            .iter()
+            .position(|t| t.name == name)
+            .ok_or_else(|| DbError::Catalog(format!("no such table {name:?}")))?;
+        let meta = self.tables.remove(pos);
+        self.indexes.retain(|i| i.table != meta.id);
+        Ok(meta)
+    }
+
+    /// Register a single-column index over `table`. Fails on duplicate index
+    /// names, unknown tables, or out-of-range columns.
+    pub fn create_index(
+        &mut self,
+        name: impl Into<String>,
+        table: TableId,
+        column: usize,
+    ) -> DbResult<IndexId> {
+        let name = name.into();
+        if self.indexes.iter().any(|i| i.name == name) {
+            return Err(DbError::Catalog(format!("index {name:?} already exists")));
+        }
+        let meta = self
+            .table_by_id(table)
+            .ok_or_else(|| DbError::Catalog(format!("no table with id {}", table.0)))?;
+        if column >= meta.schema.arity() {
+            return Err(DbError::Catalog(format!(
+                "column index {column} out of range for table {:?}",
+                meta.name
+            )));
+        }
+        let id = IndexId(self.next_index_id);
+        self.next_index_id += 1;
+        self.indexes.push(IndexMeta {
+            id,
+            name,
+            table,
+            column,
+        });
+        Ok(id)
+    }
+
+    /// Look an index up by name.
+    pub fn index(&self, name: &str) -> Option<&IndexMeta> {
+        self.indexes.iter().find(|i| i.name == name)
+    }
+
+    /// All indexes over `table`.
+    pub fn indexes_for(&self, table: TableId) -> impl Iterator<Item = &IndexMeta> {
+        self.indexes.iter().filter(move |i| i.table == table)
+    }
+
+    /// All indexes.
+    pub fn indexes(&self) -> &[IndexMeta] {
+        &self.indexes
+    }
+
+    /// Remove an index by name.
+    pub fn drop_index(&mut self, name: &str) -> DbResult<IndexMeta> {
+        let pos = self
+            .indexes
+            .iter()
+            .position(|i| i.name == name)
+            .ok_or_else(|| DbError::Catalog(format!("no such index {name:?}")))?;
+        Ok(self.indexes.remove(pos))
+    }
+
+    /// All tables, in creation order.
+    pub fn tables(&self) -> &[TableMeta] {
+        &self.tables
+    }
+
+    /// Serialise to the binary snapshot format used by
+    /// [`crate::db::Database::checkpoint`].
+    pub fn encode(&self) -> Vec<u8> {
+        use crate::encoding::put_varint;
+        use crate::wal::{put_schema, put_string};
+        let mut buf = Vec::with_capacity(128);
+        buf.extend_from_slice(&Self::SNAP_MAGIC.to_le_bytes());
+        put_varint(&mut buf, self.next_table_id as u64);
+        put_varint(&mut buf, self.next_index_id as u64);
+        put_varint(&mut buf, self.tables.len() as u64);
+        for t in &self.tables {
+            put_varint(&mut buf, t.id.0 as u64);
+            put_string(&mut buf, &t.name);
+            put_schema(&mut buf, &t.schema);
+            put_varint(&mut buf, t.heap.first_page());
+            put_varint(&mut buf, t.heap.last_page());
+        }
+        put_varint(&mut buf, self.indexes.len() as u64);
+        for i in &self.indexes {
+            put_varint(&mut buf, i.id.0 as u64);
+            put_string(&mut buf, &i.name);
+            put_varint(&mut buf, i.table.0 as u64);
+            put_varint(&mut buf, i.column as u64);
+        }
+        buf
+    }
+
+    /// Deserialise a snapshot written by [`Catalog::encode`].
+    pub fn decode(mut bytes: &[u8]) -> DbResult<Catalog> {
+        use crate::encoding::get_varint;
+        use crate::wal::{get_schema, get_string};
+        let buf = &mut bytes;
+        if buf.len() < 4 || buf[..4] != Self::SNAP_MAGIC.to_le_bytes() {
+            return Err(DbError::Corruption("bad catalog snapshot magic".into()));
+        }
+        *buf = &buf[4..];
+        let next_table_id = get_varint(buf)? as u32;
+        let next_index_id = get_varint(buf)? as u32;
+        let n_tables = get_varint(buf)? as usize;
+        if n_tables > 1 << 20 {
+            return Err(DbError::Corruption("absurd table count".into()));
+        }
+        let mut tables = Vec::with_capacity(n_tables);
+        for _ in 0..n_tables {
+            let id = TableId(get_varint(buf)? as u32);
+            let name = get_string(buf)?;
+            let schema = get_schema(buf)?;
+            let first = get_varint(buf)?;
+            let last = get_varint(buf)?;
+            tables.push(TableMeta {
+                id,
+                name,
+                schema,
+                heap: TableHeap::from_parts(first, last),
+            });
+        }
+        let n_indexes = get_varint(buf)? as usize;
+        if n_indexes > 1 << 20 {
+            return Err(DbError::Corruption("absurd index count".into()));
+        }
+        let mut indexes = Vec::with_capacity(n_indexes);
+        for _ in 0..n_indexes {
+            let id = IndexId(get_varint(buf)? as u32);
+            let name = get_string(buf)?;
+            let table = TableId(get_varint(buf)? as u32);
+            let column = get_varint(buf)? as usize;
+            indexes.push(IndexMeta {
+                id,
+                name,
+                table,
+                column,
+            });
+        }
+        if !bytes.is_empty() {
+            return Err(DbError::Corruption(
+                "trailing bytes in catalog snapshot".into(),
+            ));
+        }
+        Ok(Catalog {
+            tables,
+            indexes,
+            next_table_id,
+            next_index_id,
+        })
+    }
+
+    const SNAP_MAGIC: u32 = 0x5150_5643; // "QPVC"
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::SchemaBuilder;
+    use crate::types::DataType;
+
+    fn schema() -> Schema {
+        SchemaBuilder::new()
+            .column("id", DataType::Int)
+            .column("name", DataType::Text)
+            .build()
+            .unwrap()
+    }
+
+    fn heap() -> TableHeap {
+        TableHeap::from_parts(0, 0)
+    }
+
+    #[test]
+    fn create_and_lookup_tables() {
+        let mut cat = Catalog::new();
+        let id = cat.create_table("users", schema(), heap()).unwrap();
+        assert_eq!(cat.table("users").unwrap().id, id);
+        assert!(cat.table("ghosts").is_none());
+        assert!(cat.require_table("ghosts").is_err());
+        assert_eq!(cat.table_by_id(id).unwrap().name, "users");
+        assert_eq!(cat.tables().len(), 1);
+    }
+
+    #[test]
+    fn duplicate_table_names_rejected() {
+        let mut cat = Catalog::new();
+        cat.create_table("t", schema(), heap()).unwrap();
+        assert!(cat.create_table("t", schema(), heap()).is_err());
+    }
+
+    #[test]
+    fn table_ids_are_never_reused() {
+        let mut cat = Catalog::new();
+        let a = cat.create_table("a", schema(), heap()).unwrap();
+        cat.drop_table("a").unwrap();
+        let b = cat.create_table("b", schema(), heap()).unwrap();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn index_creation_validates() {
+        let mut cat = Catalog::new();
+        let t = cat.create_table("t", schema(), heap()).unwrap();
+        let idx = cat.create_index("t_name", t, 1).unwrap();
+        assert_eq!(cat.index("t_name").unwrap().id, idx);
+        assert_eq!(cat.indexes_for(t).count(), 1);
+        // Duplicate name.
+        assert!(cat.create_index("t_name", t, 0).is_err());
+        // Bad column.
+        assert!(cat.create_index("t_bad", t, 5).is_err());
+        // Bad table.
+        assert!(cat.create_index("t_bad", TableId(99), 0).is_err());
+    }
+
+    #[test]
+    fn drop_table_removes_its_indexes() {
+        let mut cat = Catalog::new();
+        let t = cat.create_table("t", schema(), heap()).unwrap();
+        cat.create_index("t_id", t, 0).unwrap();
+        cat.drop_table("t").unwrap();
+        assert!(cat.index("t_id").is_none());
+        assert!(cat.drop_table("t").is_err());
+    }
+
+    #[test]
+    fn snapshot_encode_decode_round_trips() {
+        let mut cat = Catalog::new();
+        let t = cat
+            .create_table("t", schema(), TableHeap::from_parts(3, 9))
+            .unwrap();
+        cat.create_index("t_id", t, 0).unwrap();
+        cat.create_table("u", schema(), TableHeap::from_parts(10, 10))
+            .unwrap();
+        cat.drop_table("u").unwrap(); // bumps next ids past the live count
+        let bytes = cat.encode();
+        let back = Catalog::decode(&bytes).unwrap();
+        assert_eq!(back.tables().len(), 1);
+        assert_eq!(back.table("t").unwrap().heap.first_page(), 3);
+        assert_eq!(back.index("t_id").unwrap().column, 0);
+        // ids keep advancing from where the original left off
+        let mut back = back;
+        let new_id = back
+            .create_table("v", schema(), TableHeap::from_parts(0, 0))
+            .unwrap();
+        assert!(new_id.0 >= 2);
+    }
+
+    #[test]
+    fn snapshot_rejects_garbage() {
+        assert!(Catalog::decode(&[]).is_err());
+        assert!(Catalog::decode(&[1, 2, 3, 4, 5]).is_err());
+        let mut good = Catalog::new().encode();
+        good.push(7); // trailing byte
+        assert!(Catalog::decode(&good).is_err());
+    }
+
+    #[test]
+    fn drop_index() {
+        let mut cat = Catalog::new();
+        let t = cat.create_table("t", schema(), heap()).unwrap();
+        cat.create_index("i", t, 0).unwrap();
+        assert_eq!(cat.drop_index("i").unwrap().name, "i");
+        assert!(cat.drop_index("i").is_err());
+    }
+}

@@ -1,0 +1,95 @@
+//! Engine-wide error type.
+
+use std::fmt;
+use std::io;
+
+/// Convenient alias for engine results.
+pub type DbResult<T> = Result<T, DbError>;
+
+/// Every way the engine can fail, from storage up through SQL.
+#[derive(Debug)]
+pub enum DbError {
+    /// Underlying file I/O failed.
+    Io(io::Error),
+    /// On-disk or in-log bytes failed validation (bad magic, checksum,
+    /// truncated record, impossible offsets).
+    Corruption(String),
+    /// A page has no room for the requested record.
+    PageFull,
+    /// A record reference pointed at a missing page or slot.
+    RecordNotFound { page: u64, slot: u16 },
+    /// Schema-level misuse: wrong arity, unknown column, bad column name.
+    Schema(String),
+    /// A value did not match the column's declared type.
+    TypeMismatch { expected: String, found: String },
+    /// Catalog-level misuse: duplicate or missing table/index.
+    Catalog(String),
+    /// SQL text failed to lex or parse.
+    SqlParse(String),
+    /// SQL referenced unknown tables/columns or was semantically invalid.
+    SqlBind(String),
+    /// Expression evaluation failed (type error, division by zero, ...).
+    Eval(String),
+    /// Transaction misuse (commit/abort without begin, nested begin).
+    Txn(String),
+}
+
+impl fmt::Display for DbError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DbError::Io(e) => write!(f, "io error: {e}"),
+            DbError::Corruption(msg) => write!(f, "corruption: {msg}"),
+            DbError::PageFull => f.write_str("page full"),
+            DbError::RecordNotFound { page, slot } => {
+                write!(f, "record not found: page {page} slot {slot}")
+            }
+            DbError::Schema(msg) => write!(f, "schema error: {msg}"),
+            DbError::TypeMismatch { expected, found } => {
+                write!(f, "type mismatch: expected {expected}, found {found}")
+            }
+            DbError::Catalog(msg) => write!(f, "catalog error: {msg}"),
+            DbError::SqlParse(msg) => write!(f, "sql parse error: {msg}"),
+            DbError::SqlBind(msg) => write!(f, "sql bind error: {msg}"),
+            DbError::Eval(msg) => write!(f, "evaluation error: {msg}"),
+            DbError::Txn(msg) => write!(f, "transaction error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for DbError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DbError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for DbError {
+    fn from(e: io::Error) -> DbError {
+        DbError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = DbError::RecordNotFound { page: 3, slot: 7 };
+        assert_eq!(e.to_string(), "record not found: page 3 slot 7");
+        let e = DbError::TypeMismatch {
+            expected: "INT".into(),
+            found: "TEXT".into(),
+        };
+        assert!(e.to_string().contains("expected INT"));
+    }
+
+    #[test]
+    fn io_errors_convert_and_chain() {
+        let io = io::Error::new(io::ErrorKind::NotFound, "gone");
+        let e: DbError = io.into();
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

@@ -1,0 +1,606 @@
+//! Expression trees evaluated against rows.
+//!
+//! Expressions follow SQL's three-valued logic: comparisons and arithmetic
+//! involving `NULL` yield `NULL`; `AND`/`OR` use Kleene logic; a `WHERE`
+//! predicate keeps a row only when it evaluates to `TRUE` (not `NULL`).
+
+use std::fmt;
+
+use crate::error::{DbError, DbResult};
+use crate::row::Row;
+use crate::value::Value;
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    /// `=`
+    Eq,
+    /// `<>`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `AND`
+    And,
+    /// `OR`
+    Or,
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `%`
+    Mod,
+}
+
+impl BinOp {
+    fn symbol(self) -> &'static str {
+        match self {
+            BinOp::Eq => "=",
+            BinOp::Ne => "<>",
+            BinOp::Lt => "<",
+            BinOp::Le => "<=",
+            BinOp::Gt => ">",
+            BinOp::Ge => ">=",
+            BinOp::And => "AND",
+            BinOp::Or => "OR",
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mul => "*",
+            BinOp::Div => "/",
+            BinOp::Mod => "%",
+        }
+    }
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnaryOp {
+    /// `NOT`
+    Not,
+    /// `-`
+    Neg,
+}
+
+/// An expression over the columns of a single row.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// The value of column `i` of the input row.
+    Column(usize),
+    /// A constant.
+    Literal(Value),
+    /// `op expr`
+    Unary(UnaryOp, Box<Expr>),
+    /// `left op right`
+    Binary(BinOp, Box<Expr>, Box<Expr>),
+    /// `expr IS NULL` (or `IS NOT NULL` when `negated`).
+    IsNull {
+        /// The tested expression.
+        expr: Box<Expr>,
+        /// True for `IS NOT NULL`.
+        negated: bool,
+    },
+    /// `expr [NOT] LIKE pattern` with SQL semantics: `%` matches any run
+    /// (including empty), `_` matches exactly one character. Matching is
+    /// case-sensitive; a NULL operand yields NULL.
+    Like {
+        /// The tested expression (must evaluate to text or NULL).
+        expr: Box<Expr>,
+        /// The pattern, with `%`/`_` wildcards.
+        pattern: String,
+        /// True for `NOT LIKE`.
+        negated: bool,
+    },
+}
+
+impl Expr {
+    /// Column reference.
+    pub fn col(i: usize) -> Expr {
+        Expr::Column(i)
+    }
+
+    /// Literal constant.
+    pub fn lit(v: impl Into<Value>) -> Expr {
+        Expr::Literal(v.into())
+    }
+
+    /// `self = other`
+    pub fn eq(self, other: Expr) -> Expr {
+        Expr::Binary(BinOp::Eq, Box::new(self), Box::new(other))
+    }
+
+    /// `self <> other`
+    pub fn ne(self, other: Expr) -> Expr {
+        Expr::Binary(BinOp::Ne, Box::new(self), Box::new(other))
+    }
+
+    /// `self < other`
+    pub fn lt(self, other: Expr) -> Expr {
+        Expr::Binary(BinOp::Lt, Box::new(self), Box::new(other))
+    }
+
+    /// `self <= other`
+    pub fn le(self, other: Expr) -> Expr {
+        Expr::Binary(BinOp::Le, Box::new(self), Box::new(other))
+    }
+
+    /// `self > other`
+    pub fn gt(self, other: Expr) -> Expr {
+        Expr::Binary(BinOp::Gt, Box::new(self), Box::new(other))
+    }
+
+    /// `self >= other`
+    pub fn ge(self, other: Expr) -> Expr {
+        Expr::Binary(BinOp::Ge, Box::new(self), Box::new(other))
+    }
+
+    /// `self AND other`
+    pub fn and(self, other: Expr) -> Expr {
+        Expr::Binary(BinOp::And, Box::new(self), Box::new(other))
+    }
+
+    /// `self OR other`
+    pub fn or(self, other: Expr) -> Expr {
+        Expr::Binary(BinOp::Or, Box::new(self), Box::new(other))
+    }
+
+    /// `NOT self`
+    #[allow(clippy::should_implement_trait)]
+    pub fn not(self) -> Expr {
+        Expr::Unary(UnaryOp::Not, Box::new(self))
+    }
+
+    /// `self IS NULL`
+    pub fn is_null(self) -> Expr {
+        Expr::IsNull {
+            expr: Box::new(self),
+            negated: false,
+        }
+    }
+
+    /// `self IS NOT NULL`
+    pub fn is_not_null(self) -> Expr {
+        Expr::IsNull {
+            expr: Box::new(self),
+            negated: true,
+        }
+    }
+
+    /// Evaluate against a row.
+    pub fn eval(&self, row: &Row) -> DbResult<Value> {
+        match self {
+            Expr::Column(i) => row
+                .get(*i)
+                .cloned()
+                .ok_or_else(|| DbError::Eval(format!("column index {i} out of range"))),
+            Expr::Literal(v) => Ok(v.clone()),
+            Expr::Unary(op, inner) => {
+                let v = inner.eval(row)?;
+                match op {
+                    UnaryOp::Not => match v {
+                        Value::Null => Ok(Value::Null),
+                        Value::Bool(b) => Ok(Value::Bool(!b)),
+                        other => Err(DbError::Eval(format!("NOT applied to {other}"))),
+                    },
+                    UnaryOp::Neg => match v {
+                        Value::Null => Ok(Value::Null),
+                        Value::Int(i) => i
+                            .checked_neg()
+                            .map(Value::Int)
+                            .ok_or_else(|| DbError::Eval("integer overflow in negation".into())),
+                        Value::Float(f) => Ok(Value::Float(-f)),
+                        other => Err(DbError::Eval(format!("negation applied to {other}"))),
+                    },
+                }
+            }
+            Expr::Binary(op, l, r) => self.eval_binary(*op, l, r, row),
+            Expr::IsNull { expr, negated } => {
+                let v = expr.eval(row)?;
+                Ok(Value::Bool(v.is_null() != *negated))
+            }
+            Expr::Like {
+                expr,
+                pattern,
+                negated,
+            } => match expr.eval(row)? {
+                Value::Null => Ok(Value::Null),
+                Value::Text(s) => Ok(Value::Bool(like_match(&s, pattern) != *negated)),
+                other => Err(DbError::Eval(format!("LIKE applied to {other}"))),
+            },
+        }
+    }
+
+    /// Evaluate as a predicate: `true` only for `Bool(true)` (`NULL` filters
+    /// the row out, matching SQL `WHERE`).
+    pub fn matches(&self, row: &Row) -> DbResult<bool> {
+        match self.eval(row)? {
+            Value::Bool(b) => Ok(b),
+            Value::Null => Ok(false),
+            other => Err(DbError::Eval(format!(
+                "predicate evaluated to non-boolean {other}"
+            ))),
+        }
+    }
+
+    fn eval_binary(&self, op: BinOp, l: &Expr, r: &Expr, row: &Row) -> DbResult<Value> {
+        // Kleene AND/OR must short-circuit around NULLs specially.
+        if matches!(op, BinOp::And | BinOp::Or) {
+            let lv = l.eval(row)?;
+            let rv = r.eval(row)?;
+            return kleene(op, lv, rv);
+        }
+        let lv = l.eval(row)?;
+        let rv = r.eval(row)?;
+        if lv.is_null() || rv.is_null() {
+            return Ok(Value::Null);
+        }
+        match op {
+            BinOp::Eq => Ok(Value::Bool(compare(&lv, &rv)? == std::cmp::Ordering::Equal)),
+            BinOp::Ne => Ok(Value::Bool(compare(&lv, &rv)? != std::cmp::Ordering::Equal)),
+            BinOp::Lt => Ok(Value::Bool(compare(&lv, &rv)? == std::cmp::Ordering::Less)),
+            BinOp::Le => Ok(Value::Bool(compare(&lv, &rv)? != std::cmp::Ordering::Greater)),
+            BinOp::Gt => Ok(Value::Bool(compare(&lv, &rv)? == std::cmp::Ordering::Greater)),
+            BinOp::Ge => Ok(Value::Bool(compare(&lv, &rv)? != std::cmp::Ordering::Less)),
+            BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div | BinOp::Mod => {
+                arithmetic(op, &lv, &rv)
+            }
+            BinOp::And | BinOp::Or => unreachable!("handled above"),
+        }
+    }
+}
+
+/// SQL `LIKE` matching: `%` = any run, `_` = one character. Iterative
+/// two-pointer algorithm with backtracking to the last `%` — linear in
+/// practice, no recursion, no regex dependency.
+pub fn like_match(text: &str, pattern: &str) -> bool {
+    let t: Vec<char> = text.chars().collect();
+    let p: Vec<char> = pattern.chars().collect();
+    let (mut ti, mut pi) = (0usize, 0usize);
+    let mut star: Option<(usize, usize)> = None; // (pattern idx after %, text idx)
+    while ti < t.len() {
+        // The wildcard test must precede the literal test: a literal '%'
+        // in the *text* would otherwise consume the pattern's wildcard.
+        if pi < p.len() && p[pi] == '%' {
+            star = Some((pi + 1, ti));
+            pi += 1;
+        } else if pi < p.len() && (p[pi] == '_' || p[pi] == t[ti]) {
+            ti += 1;
+            pi += 1;
+        } else if let Some((sp, st)) = star {
+            // Backtrack: let the last % swallow one more character.
+            pi = sp;
+            ti = st + 1;
+            star = Some((sp, st + 1));
+        } else {
+            return false;
+        }
+    }
+    while pi < p.len() && p[pi] == '%' {
+        pi += 1;
+    }
+    pi == p.len()
+}
+
+/// SQL comparison: only like-typed values (or the numeric pair) compare.
+fn compare(l: &Value, r: &Value) -> DbResult<std::cmp::Ordering> {
+    let comparable = matches!(
+        (l, r),
+        (Value::Bool(_), Value::Bool(_))
+            | (Value::Int(_) | Value::Float(_), Value::Int(_) | Value::Float(_))
+            | (Value::Text(_), Value::Text(_))
+            | (Value::Bytes(_), Value::Bytes(_))
+    );
+    if !comparable {
+        return Err(DbError::Eval(format!("cannot compare {l} with {r}")));
+    }
+    Ok(l.cmp(r))
+}
+
+fn kleene(op: BinOp, l: Value, r: Value) -> DbResult<Value> {
+    let as_tristate = |v: &Value| -> DbResult<Option<bool>> {
+        match v {
+            Value::Null => Ok(None),
+            Value::Bool(b) => Ok(Some(*b)),
+            other => Err(DbError::Eval(format!("{} applied to {other}", op.symbol()))),
+        }
+    };
+    let lt = as_tristate(&l)?;
+    let rt = as_tristate(&r)?;
+    let out = match op {
+        BinOp::And => match (lt, rt) {
+            (Some(false), _) | (_, Some(false)) => Some(false),
+            (Some(true), Some(true)) => Some(true),
+            _ => None,
+        },
+        BinOp::Or => match (lt, rt) {
+            (Some(true), _) | (_, Some(true)) => Some(true),
+            (Some(false), Some(false)) => Some(false),
+            _ => None,
+        },
+        _ => unreachable!(),
+    };
+    Ok(out.map(Value::Bool).unwrap_or(Value::Null))
+}
+
+fn arithmetic(op: BinOp, l: &Value, r: &Value) -> DbResult<Value> {
+    match (l, r) {
+        (Value::Int(a), Value::Int(b)) => {
+            let out = match op {
+                BinOp::Add => a.checked_add(*b),
+                BinOp::Sub => a.checked_sub(*b),
+                BinOp::Mul => a.checked_mul(*b),
+                BinOp::Div => {
+                    if *b == 0 {
+                        return Err(DbError::Eval("division by zero".into()));
+                    }
+                    a.checked_div(*b)
+                }
+                BinOp::Mod => {
+                    if *b == 0 {
+                        return Err(DbError::Eval("modulo by zero".into()));
+                    }
+                    a.checked_rem(*b)
+                }
+                _ => unreachable!(),
+            };
+            out.map(Value::Int)
+                .ok_or_else(|| DbError::Eval("integer overflow".into()))
+        }
+        (Value::Int(_) | Value::Float(_), Value::Int(_) | Value::Float(_)) => {
+            let a = l.as_float().expect("numeric");
+            let b = r.as_float().expect("numeric");
+            let out = match op {
+                BinOp::Add => a + b,
+                BinOp::Sub => a - b,
+                BinOp::Mul => a * b,
+                BinOp::Div => {
+                    if b == 0.0 {
+                        return Err(DbError::Eval("division by zero".into()));
+                    }
+                    a / b
+                }
+                BinOp::Mod => {
+                    if b == 0.0 {
+                        return Err(DbError::Eval("modulo by zero".into()));
+                    }
+                    a % b
+                }
+                _ => unreachable!(),
+            };
+            Ok(Value::Float(out))
+        }
+        (Value::Text(a), Value::Text(b)) if op == BinOp::Add => {
+            let mut s = String::with_capacity(a.len() + b.len());
+            s.push_str(a);
+            s.push_str(b);
+            Ok(Value::Text(s))
+        }
+        _ => Err(DbError::Eval(format!(
+            "{} not defined for {l} and {r}",
+            op.symbol()
+        ))),
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Column(i) => write!(f, "#{i}"),
+            Expr::Literal(v) => write!(f, "{v}"),
+            Expr::Unary(UnaryOp::Not, e) => write!(f, "(NOT {e})"),
+            Expr::Unary(UnaryOp::Neg, e) => write!(f, "(-{e})"),
+            Expr::Binary(op, l, r) => write!(f, "({l} {} {r})", op.symbol()),
+            Expr::IsNull { expr, negated } => {
+                write!(f, "({expr} IS {}NULL)", if *negated { "NOT " } else { "" })
+            }
+            Expr::Like {
+                expr,
+                pattern,
+                negated,
+            } => write!(
+                f,
+                "({expr} {}LIKE '{pattern}')",
+                if *negated { "NOT " } else { "" }
+            ),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row() -> Row {
+        Row::from_values([
+            Value::Int(10),
+            Value::Text("bob".into()),
+            Value::Null,
+            Value::Float(2.5),
+            Value::Bool(true),
+        ])
+    }
+
+    #[test]
+    fn column_and_literal() {
+        assert_eq!(Expr::col(0).eval(&row()).unwrap(), Value::Int(10));
+        assert_eq!(Expr::lit(7).eval(&row()).unwrap(), Value::Int(7));
+        assert!(Expr::col(99).eval(&row()).is_err());
+    }
+
+    #[test]
+    fn comparisons() {
+        let r = row();
+        assert_eq!(
+            Expr::col(0).gt(Expr::lit(5)).eval(&r).unwrap(),
+            Value::Bool(true)
+        );
+        assert_eq!(
+            Expr::col(1).eq(Expr::lit("bob")).eval(&r).unwrap(),
+            Value::Bool(true)
+        );
+        // Mixed numeric comparison.
+        assert_eq!(
+            Expr::col(3).lt(Expr::lit(3)).eval(&r).unwrap(),
+            Value::Bool(true)
+        );
+        // Incomparable types error.
+        assert!(Expr::col(0).eq(Expr::lit("x")).eval(&r).is_err());
+    }
+
+    #[test]
+    fn null_propagates_through_comparisons_and_arithmetic() {
+        let r = row();
+        assert_eq!(
+            Expr::col(2).eq(Expr::lit(1)).eval(&r).unwrap(),
+            Value::Null
+        );
+        assert_eq!(
+            Expr::col(2).gt(Expr::col(0)).eval(&r).unwrap(),
+            Value::Null
+        );
+        assert_eq!(
+            Expr::Binary(
+                BinOp::Add,
+                Box::new(Expr::col(2)),
+                Box::new(Expr::lit(1))
+            )
+            .eval(&r)
+            .unwrap(),
+            Value::Null
+        );
+    }
+
+    #[test]
+    fn kleene_logic() {
+        let t = || Expr::lit(true);
+        let f = || Expr::lit(false);
+        let n = || Expr::lit(Value::Null);
+        let r = row();
+        // FALSE AND NULL = FALSE; TRUE AND NULL = NULL.
+        assert_eq!(f().and(n()).eval(&r).unwrap(), Value::Bool(false));
+        assert_eq!(t().and(n()).eval(&r).unwrap(), Value::Null);
+        // TRUE OR NULL = TRUE; FALSE OR NULL = NULL.
+        assert_eq!(t().or(n()).eval(&r).unwrap(), Value::Bool(true));
+        assert_eq!(f().or(n()).eval(&r).unwrap(), Value::Null);
+        // NOT NULL = NULL.
+        assert_eq!(n().not().eval(&r).unwrap(), Value::Null);
+        assert_eq!(t().not().eval(&r).unwrap(), Value::Bool(false));
+    }
+
+    #[test]
+    fn matches_treats_null_as_false() {
+        let r = row();
+        assert!(!Expr::col(2).eq(Expr::lit(1)).matches(&r).unwrap());
+        assert!(Expr::col(4).matches(&r).unwrap());
+        assert!(Expr::col(0).matches(&r).is_err()); // non-boolean predicate
+    }
+
+    #[test]
+    fn is_null_tests() {
+        let r = row();
+        assert_eq!(Expr::col(2).is_null().eval(&r).unwrap(), Value::Bool(true));
+        assert_eq!(
+            Expr::col(0).is_null().eval(&r).unwrap(),
+            Value::Bool(false)
+        );
+        assert_eq!(
+            Expr::col(2).is_not_null().eval(&r).unwrap(),
+            Value::Bool(false)
+        );
+    }
+
+    #[test]
+    fn arithmetic_int_float_text() {
+        let r = row();
+        let add = |a: Expr, b: Expr| Expr::Binary(BinOp::Add, Box::new(a), Box::new(b));
+        assert_eq!(add(Expr::lit(2), Expr::lit(3)).eval(&r).unwrap(), Value::Int(5));
+        assert_eq!(
+            add(Expr::lit(2), Expr::lit(0.5)).eval(&r).unwrap(),
+            Value::Float(2.5)
+        );
+        assert_eq!(
+            add(Expr::lit("foo"), Expr::lit("bar")).eval(&r).unwrap(),
+            Value::Text("foobar".into())
+        );
+        let div = |a: Expr, b: Expr| Expr::Binary(BinOp::Div, Box::new(a), Box::new(b));
+        assert_eq!(div(Expr::lit(7), Expr::lit(2)).eval(&r).unwrap(), Value::Int(3));
+        assert!(div(Expr::lit(7), Expr::lit(0)).eval(&r).is_err());
+        let m = |a: Expr, b: Expr| Expr::Binary(BinOp::Mod, Box::new(a), Box::new(b));
+        assert_eq!(m(Expr::lit(7), Expr::lit(2)).eval(&r).unwrap(), Value::Int(1));
+    }
+
+    #[test]
+    fn overflow_is_an_error_not_a_wrap() {
+        let r = row();
+        let mul = Expr::Binary(
+            BinOp::Mul,
+            Box::new(Expr::lit(i64::MAX)),
+            Box::new(Expr::lit(2)),
+        );
+        assert!(mul.eval(&r).is_err());
+        let neg = Expr::Unary(UnaryOp::Neg, Box::new(Expr::lit(i64::MIN)));
+        assert!(neg.eval(&r).is_err());
+    }
+
+    #[test]
+    fn like_matching_semantics() {
+        assert!(like_match("hello", "hello"));
+        assert!(like_match("hello", "h%"));
+        assert!(like_match("hello", "%o"));
+        assert!(like_match("hello", "%ell%"));
+        assert!(like_match("hello", "h_llo"));
+        assert!(like_match("hello", "%"));
+        assert!(like_match("", "%"));
+        assert!(like_match("abc", "a%c"));
+        assert!(like_match("ac", "a%c"));
+        assert!(like_match("a%c-literal-ish", "a%h"));
+        assert!(!like_match("hello", "h"));
+        assert!(!like_match("hello", "hello!"));
+        assert!(!like_match("", "_"));
+        assert!(!like_match("Hello", "hello")); // case-sensitive
+        // Multiple wildcards with backtracking.
+        assert!(like_match("mississippi", "%iss%pi"));
+        assert!(!like_match("mississippi", "%iss%x"));
+    }
+
+    #[test]
+    fn like_expression_eval() {
+        let r = row();
+        let like = |pat: &str, neg: bool| Expr::Like {
+            expr: Box::new(Expr::col(1)),
+            pattern: pat.to_string(),
+            negated: neg,
+        };
+        assert_eq!(like("b%", false).eval(&r).unwrap(), Value::Bool(true));
+        assert_eq!(like("b%", true).eval(&r).unwrap(), Value::Bool(false));
+        assert_eq!(like("z%", false).eval(&r).unwrap(), Value::Bool(false));
+        // NULL operand → NULL.
+        let null_like = Expr::Like {
+            expr: Box::new(Expr::col(2)),
+            pattern: "%".into(),
+            negated: false,
+        };
+        assert_eq!(null_like.eval(&r).unwrap(), Value::Null);
+        // Non-text operand errors.
+        let bad = Expr::Like {
+            expr: Box::new(Expr::col(0)),
+            pattern: "%".into(),
+            negated: false,
+        };
+        assert!(bad.eval(&r).is_err());
+    }
+
+    #[test]
+    fn display_round_trippable_shape() {
+        let e = Expr::col(0).gt(Expr::lit(5)).and(Expr::col(1).eq(Expr::lit("x")));
+        assert_eq!(e.to_string(), "((#0 > 5) AND (#1 = 'x'))");
+    }
+}

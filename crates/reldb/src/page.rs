@@ -1,0 +1,547 @@
+//! Slotted pages: the unit of storage and buffering.
+//!
+//! A page is a fixed [`PAGE_SIZE`] byte array laid out in the classical
+//! slotted scheme:
+//!
+//! ```text
+//! ┌─────────────┬────────────────┬───── free ─────┬───────────────┐
+//! │ header 24 B │ slot array →   │                │ ← record data │
+//! └─────────────┴────────────────┴────────────────┴───────────────┘
+//! ```
+//!
+//! The slot array grows forward from the header; record bytes grow backward
+//! from the end. Each 4-byte slot holds the record's `(offset, len)`. Deleted
+//! records leave a tombstoned slot (offset 0) so other records' slot numbers
+//! — and therefore [`crate::row::RowId`]s — stay stable; the dead bytes are
+//! reclaimed by [`Page::compact`], which slides live records together without
+//! renumbering slots.
+
+use crate::error::{DbError, DbResult};
+
+/// Size of every page, in bytes.
+pub const PAGE_SIZE: usize = 4096;
+
+/// Sentinel "no next page" value in the heap chain header field.
+pub const NO_PAGE: u64 = u64::MAX;
+
+const MAGIC: u16 = 0x51da; // arbitrary constant guarding against foreign bytes
+const HEADER_SIZE: usize = 24;
+const SLOT_SIZE: usize = 4;
+
+// Header field offsets.
+const OFF_PAGE_ID: usize = 0; // u64
+const OFF_NEXT_PAGE: usize = 8; // u64
+const OFF_SLOT_COUNT: usize = 16; // u16
+const OFF_FREE_PTR: usize = 18; // u16: start of the record-data region
+const OFF_MAGIC: usize = 20; // u16
+const OFF_GARBAGE: usize = 22; // u16: dead record bytes reclaimable by compact
+
+/// One fixed-size slotted page.
+pub struct Page {
+    data: Box<[u8; PAGE_SIZE]>,
+    dirty: bool,
+}
+
+impl Page {
+    /// A fresh, empty page with the given id.
+    pub fn new(page_id: u64) -> Page {
+        let mut page = Page {
+            data: Box::new([0u8; PAGE_SIZE]),
+            dirty: true,
+        };
+        page.put_u64(OFF_PAGE_ID, page_id);
+        page.put_u64(OFF_NEXT_PAGE, NO_PAGE);
+        page.put_u16(OFF_SLOT_COUNT, 0);
+        page.put_u16(OFF_FREE_PTR, PAGE_SIZE as u16);
+        page.put_u16(OFF_MAGIC, MAGIC);
+        page.put_u16(OFF_GARBAGE, 0);
+        page
+    }
+
+    /// Interpret raw bytes (read from disk) as a page, validating the magic
+    /// and structural invariants.
+    pub fn from_bytes(bytes: [u8; PAGE_SIZE]) -> DbResult<Page> {
+        let page = Page {
+            data: Box::new(bytes),
+            dirty: false,
+        };
+        if page.get_u16(OFF_MAGIC) != MAGIC {
+            return Err(DbError::Corruption("bad page magic".into()));
+        }
+        let slot_end = HEADER_SIZE + page.slot_count() as usize * SLOT_SIZE;
+        let free_ptr = page.get_u16(OFF_FREE_PTR) as usize;
+        if slot_end > free_ptr || free_ptr > PAGE_SIZE {
+            return Err(DbError::Corruption(format!(
+                "page {}: slot array (ends {slot_end}) overlaps data region (starts {free_ptr})",
+                page.page_id()
+            )));
+        }
+        Ok(page)
+    }
+
+    /// The raw bytes, e.g. for writing to disk.
+    pub fn as_bytes(&self) -> &[u8; PAGE_SIZE] {
+        &self.data
+    }
+
+    /// This page's id.
+    pub fn page_id(&self) -> u64 {
+        self.get_u64(OFF_PAGE_ID)
+    }
+
+    /// The next page in the owning heap's chain, if any.
+    pub fn next_page(&self) -> Option<u64> {
+        match self.get_u64(OFF_NEXT_PAGE) {
+            NO_PAGE => None,
+            id => Some(id),
+        }
+    }
+
+    /// Link this page to a successor in the heap chain.
+    pub fn set_next_page(&mut self, next: Option<u64>) {
+        self.put_u64(OFF_NEXT_PAGE, next.unwrap_or(NO_PAGE));
+        self.dirty = true;
+    }
+
+    /// Number of slots (live + tombstoned).
+    pub fn slot_count(&self) -> u16 {
+        self.get_u16(OFF_SLOT_COUNT)
+    }
+
+    /// Whether the page has been modified since it was loaded/flushed.
+    pub fn is_dirty(&self) -> bool {
+        self.dirty
+    }
+
+    /// Mark the page clean (called by the buffer pool after flushing).
+    pub fn mark_clean(&mut self) {
+        self.dirty = false;
+    }
+
+    /// Contiguous free bytes between the slot array and the data region.
+    pub fn contiguous_free(&self) -> usize {
+        let slot_end = HEADER_SIZE + self.slot_count() as usize * SLOT_SIZE;
+        self.get_u16(OFF_FREE_PTR) as usize - slot_end
+    }
+
+    /// Dead record bytes that [`Page::compact`] could reclaim.
+    pub fn garbage_bytes(&self) -> usize {
+        self.get_u16(OFF_GARBAGE) as usize
+    }
+
+    /// Whether a record of `len` bytes fits, possibly after compaction.
+    pub fn can_fit(&self, len: usize) -> bool {
+        let need = len + if self.reusable_slot().is_some() { 0 } else { SLOT_SIZE };
+        self.contiguous_free() + self.garbage_bytes() >= need
+    }
+
+    /// Insert a record, compacting first if fragmentation requires it.
+    /// Returns the slot number.
+    pub fn insert(&mut self, record: &[u8]) -> DbResult<u16> {
+        if record.len() > PAGE_SIZE - HEADER_SIZE - SLOT_SIZE {
+            return Err(DbError::PageFull); // can never fit in any page
+        }
+        if !self.can_fit(record.len()) {
+            return Err(DbError::PageFull);
+        }
+        let reuse = self.reusable_slot();
+        let need = record.len() + if reuse.is_some() { 0 } else { SLOT_SIZE };
+        if self.contiguous_free() < need {
+            self.compact();
+        }
+        debug_assert!(self.contiguous_free() >= need);
+
+        let free_ptr = self.get_u16(OFF_FREE_PTR) as usize;
+        let new_off = free_ptr - record.len();
+        self.data[new_off..free_ptr].copy_from_slice(record);
+        self.put_u16(OFF_FREE_PTR, new_off as u16);
+
+        let slot = match reuse {
+            Some(slot) => slot,
+            None => {
+                let slot = self.slot_count();
+                self.put_u16(OFF_SLOT_COUNT, slot + 1);
+                slot
+            }
+        };
+        self.write_slot(slot, new_off as u16, record.len() as u16);
+        self.dirty = true;
+        Ok(slot)
+    }
+
+    /// The record bytes at `slot`, or `None` if the slot is out of range or
+    /// tombstoned.
+    pub fn get(&self, slot: u16) -> Option<&[u8]> {
+        let (off, len) = self.read_slot(slot)?;
+        if off == 0 {
+            return None; // tombstone
+        }
+        Some(&self.data[off as usize..off as usize + len as usize])
+    }
+
+    /// Tombstone the record at `slot`. Returns whether a live record was
+    /// removed.
+    pub fn delete(&mut self, slot: u16) -> bool {
+        match self.read_slot(slot) {
+            Some((off, len)) if off != 0 => {
+                self.write_slot(slot, 0, 0);
+                let garbage = self.get_u16(OFF_GARBAGE) + len;
+                self.put_u16(OFF_GARBAGE, garbage);
+                // A record at the free pointer can be freed immediately.
+                if off == self.get_u16(OFF_FREE_PTR) {
+                    self.put_u16(OFF_FREE_PTR, off + len);
+                    self.put_u16(OFF_GARBAGE, garbage - len);
+                }
+                self.dirty = true;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Replace the record at `slot` in place. Fails with [`DbError::PageFull`]
+    /// if the new bytes cannot fit even after compaction (the caller then
+    /// falls back to delete + reinsert elsewhere).
+    pub fn update(&mut self, slot: u16, record: &[u8]) -> DbResult<()> {
+        let (off, len) = self.read_slot(slot).ok_or(DbError::RecordNotFound {
+            page: self.page_id(),
+            slot,
+        })?;
+        if off == 0 {
+            return Err(DbError::RecordNotFound {
+                page: self.page_id(),
+                slot,
+            });
+        }
+        if record.len() <= len as usize {
+            // Shrinking (or equal) update: rewrite in place.
+            let off = off as usize;
+            self.data[off..off + record.len()].copy_from_slice(record);
+            let shrink = len - record.len() as u16;
+            if shrink > 0 {
+                self.write_slot(slot, off as u16, record.len() as u16);
+                self.put_u16(OFF_GARBAGE, self.get_u16(OFF_GARBAGE) + shrink);
+            }
+            self.dirty = true;
+            return Ok(());
+        }
+        // Growing update: free the old bytes, then insert fresh data while
+        // keeping the same slot number.
+        let old = (off, len);
+        self.write_slot(slot, 0, 0);
+        self.put_u16(OFF_GARBAGE, self.get_u16(OFF_GARBAGE) + old.1);
+        if self.contiguous_free() + self.garbage_bytes() < record.len() {
+            // Roll back the tombstone; the record does not fit here.
+            self.write_slot(slot, old.0, old.1);
+            self.put_u16(OFF_GARBAGE, self.get_u16(OFF_GARBAGE) - old.1);
+            return Err(DbError::PageFull);
+        }
+        if self.contiguous_free() < record.len() {
+            self.compact();
+        }
+        let free_ptr = self.get_u16(OFF_FREE_PTR) as usize;
+        let new_off = free_ptr - record.len();
+        self.data[new_off..free_ptr].copy_from_slice(record);
+        self.put_u16(OFF_FREE_PTR, new_off as u16);
+        self.write_slot(slot, new_off as u16, record.len() as u16);
+        self.dirty = true;
+        Ok(())
+    }
+
+    /// Iterate `(slot, record bytes)` for live records.
+    pub fn records(&self) -> impl Iterator<Item = (u16, &[u8])> {
+        (0..self.slot_count()).filter_map(move |slot| self.get(slot).map(|rec| (slot, rec)))
+    }
+
+    /// Number of live (non-tombstoned) records.
+    pub fn live_records(&self) -> usize {
+        self.records().count()
+    }
+
+    /// Slide live records to the end of the page, eliminating dead bytes.
+    /// Slot numbers are preserved.
+    pub fn compact(&mut self) {
+        let live: Vec<(u16, Vec<u8>)> = self
+            .records()
+            .map(|(slot, rec)| (slot, rec.to_vec()))
+            .collect();
+        let mut write_ptr = PAGE_SIZE;
+        for (slot, rec) in &live {
+            write_ptr -= rec.len();
+            self.data[write_ptr..write_ptr + rec.len()].copy_from_slice(rec);
+            self.write_slot(*slot, write_ptr as u16, rec.len() as u16);
+        }
+        self.put_u16(OFF_FREE_PTR, write_ptr as u16);
+        self.put_u16(OFF_GARBAGE, 0);
+        self.dirty = true;
+    }
+
+    fn reusable_slot(&self) -> Option<u16> {
+        (0..self.slot_count()).find(|&slot| {
+            matches!(self.read_slot(slot), Some((0, _)))
+        })
+    }
+
+    fn slot_pos(slot: u16) -> usize {
+        HEADER_SIZE + slot as usize * SLOT_SIZE
+    }
+
+    fn read_slot(&self, slot: u16) -> Option<(u16, u16)> {
+        if slot >= self.slot_count() {
+            return None;
+        }
+        let pos = Self::slot_pos(slot);
+        Some((self.get_u16(pos), self.get_u16(pos + 2)))
+    }
+
+    fn write_slot(&mut self, slot: u16, off: u16, len: u16) {
+        let pos = Self::slot_pos(slot);
+        self.data[pos..pos + 2].copy_from_slice(&off.to_le_bytes());
+        self.data[pos + 2..pos + 4].copy_from_slice(&len.to_le_bytes());
+    }
+
+    fn get_u16(&self, pos: usize) -> u16 {
+        u16::from_le_bytes([self.data[pos], self.data[pos + 1]])
+    }
+
+    fn put_u16(&mut self, pos: usize, v: u16) {
+        self.data[pos..pos + 2].copy_from_slice(&v.to_le_bytes());
+    }
+
+    fn get_u64(&self, pos: usize) -> u64 {
+        let mut b = [0u8; 8];
+        b.copy_from_slice(&self.data[pos..pos + 8]);
+        u64::from_le_bytes(b)
+    }
+
+    fn put_u64(&mut self, pos: usize, v: u64) {
+        self.data[pos..pos + 8].copy_from_slice(&v.to_le_bytes());
+    }
+}
+
+impl std::fmt::Debug for Page {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Page")
+            .field("page_id", &self.page_id())
+            .field("next_page", &self.next_page())
+            .field("slots", &self.slot_count())
+            .field("live", &self.live_records())
+            .field("free", &self.contiguous_free())
+            .field("garbage", &self.garbage_bytes())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn fresh_page_is_empty() {
+        let p = Page::new(7);
+        assert_eq!(p.page_id(), 7);
+        assert_eq!(p.next_page(), None);
+        assert_eq!(p.slot_count(), 0);
+        assert_eq!(p.live_records(), 0);
+        assert_eq!(p.contiguous_free(), PAGE_SIZE - HEADER_SIZE);
+    }
+
+    #[test]
+    fn insert_get_round_trip() {
+        let mut p = Page::new(0);
+        let a = p.insert(b"hello").unwrap();
+        let b = p.insert(b"world!").unwrap();
+        assert_ne!(a, b);
+        assert_eq!(p.get(a).unwrap(), b"hello");
+        assert_eq!(p.get(b).unwrap(), b"world!");
+        assert_eq!(p.live_records(), 2);
+    }
+
+    #[test]
+    fn delete_tombstones_and_preserves_other_slots() {
+        let mut p = Page::new(0);
+        let a = p.insert(b"aaa").unwrap();
+        let b = p.insert(b"bbb").unwrap();
+        assert!(p.delete(a));
+        assert!(!p.delete(a)); // idempotent
+        assert_eq!(p.get(a), None);
+        assert_eq!(p.get(b).unwrap(), b"bbb");
+    }
+
+    #[test]
+    fn deleted_slots_are_reused() {
+        let mut p = Page::new(0);
+        let a = p.insert(b"one").unwrap();
+        let _b = p.insert(b"two").unwrap();
+        p.delete(a);
+        let c = p.insert(b"three").unwrap();
+        assert_eq!(c, a, "tombstoned slot should be reused");
+        assert_eq!(p.get(c).unwrap(), b"three");
+    }
+
+    #[test]
+    fn fills_up_and_reports_page_full() {
+        let mut p = Page::new(0);
+        let rec = [0xabu8; 100];
+        let mut inserted = 0;
+        while p.insert(&rec).is_ok() {
+            inserted += 1;
+        }
+        // 4096 - 24 header; each record costs 100 + 4 slot bytes.
+        assert_eq!(inserted, (PAGE_SIZE - HEADER_SIZE) / 104);
+        assert!(matches!(p.insert(&rec), Err(DbError::PageFull)));
+        // But there is still room for something small.
+        assert!(p.insert(b"x").is_ok());
+    }
+
+    #[test]
+    fn record_larger_than_page_is_rejected() {
+        let mut p = Page::new(0);
+        let huge = vec![0u8; PAGE_SIZE];
+        assert!(matches!(p.insert(&huge), Err(DbError::PageFull)));
+    }
+
+    #[test]
+    fn compaction_reclaims_deleted_space() {
+        let mut p = Page::new(0);
+        let rec = [1u8; 400];
+        let mut slots = Vec::new();
+        while let Ok(s) = p.insert(&rec) {
+            slots.push(s);
+        }
+        // Delete every other record; fragmented free space appears.
+        let kept: Vec<u16> = slots
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &s)| {
+                if i % 2 == 0 {
+                    p.delete(s);
+                    None
+                } else {
+                    Some(s)
+                }
+            })
+            .collect();
+        assert!(p.garbage_bytes() > 0 || p.contiguous_free() >= 400);
+        // A new record of the same size must fit again (via compaction).
+        let s = p.insert(&rec).unwrap();
+        assert_eq!(p.get(s).unwrap(), &rec[..]);
+        for k in kept {
+            assert_eq!(p.get(k).unwrap(), &rec[..], "slot {k} lost by compaction");
+        }
+    }
+
+    #[test]
+    fn update_in_place_and_growing() {
+        let mut p = Page::new(0);
+        let s = p.insert(b"small").unwrap();
+        // Shrinking update.
+        p.update(s, b"sm").unwrap();
+        assert_eq!(p.get(s).unwrap(), b"sm");
+        // Growing update keeps the slot.
+        p.update(s, b"much larger record").unwrap();
+        assert_eq!(p.get(s).unwrap(), b"much larger record");
+        // Update of a tombstone fails.
+        p.delete(s);
+        assert!(matches!(
+            p.update(s, b"x"),
+            Err(DbError::RecordNotFound { .. })
+        ));
+    }
+
+    #[test]
+    fn growing_update_that_cannot_fit_rolls_back() {
+        let mut p = Page::new(0);
+        let filler = vec![7u8; 1000];
+        let s = p.insert(&filler).unwrap();
+        while p.insert(&filler).is_ok() {}
+        let little = p.insert(b"pad").unwrap();
+        let _ = little;
+        let huge = vec![9u8; 3500];
+        assert!(matches!(p.update(s, &huge), Err(DbError::PageFull)));
+        // Original record still intact after failed grow.
+        assert_eq!(p.get(s).unwrap(), &filler[..]);
+    }
+
+    #[test]
+    fn bytes_round_trip_through_disk_format() {
+        let mut p = Page::new(42);
+        p.set_next_page(Some(43));
+        let s = p.insert(b"persisted").unwrap();
+        let bytes = *p.as_bytes();
+        let q = Page::from_bytes(bytes).unwrap();
+        assert_eq!(q.page_id(), 42);
+        assert_eq!(q.next_page(), Some(43));
+        assert_eq!(q.get(s).unwrap(), b"persisted");
+        assert!(!q.is_dirty());
+    }
+
+    #[test]
+    fn foreign_bytes_are_rejected() {
+        let bytes = [0u8; PAGE_SIZE];
+        assert!(matches!(
+            Page::from_bytes(bytes),
+            Err(DbError::Corruption(_))
+        ));
+    }
+
+    #[test]
+    fn dirty_tracking() {
+        let mut p = Page::new(1);
+        assert!(p.is_dirty()); // fresh pages must be written
+        p.mark_clean();
+        assert!(!p.is_dirty());
+        p.insert(b"x").unwrap();
+        assert!(p.is_dirty());
+    }
+
+    proptest! {
+        /// Random interleavings of insert/delete/update never corrupt the
+        /// page: every live record reads back exactly as last written.
+        #[test]
+        fn prop_page_operations_preserve_records(
+            ops in proptest::collection::vec(
+                (0u8..3, proptest::collection::vec(any::<u8>(), 1..300)),
+                1..120,
+            )
+        ) {
+            let mut page = Page::new(0);
+            // Shadow model: slot -> expected bytes.
+            let mut model: std::collections::HashMap<u16, Vec<u8>> =
+                std::collections::HashMap::new();
+            for (op, bytes) in ops {
+                match op {
+                    0 => {
+                        if let Ok(slot) = page.insert(&bytes) {
+                            model.insert(slot, bytes);
+                        }
+                    }
+                    1 => {
+                        if let Some(&slot) = model.keys().next() {
+                            prop_assert!(page.delete(slot));
+                            model.remove(&slot);
+                        }
+                    }
+                    _ => {
+                        if let Some(&slot) = model.keys().next() {
+                            if page.update(slot, &bytes).is_ok() {
+                                model.insert(slot, bytes);
+                            }
+                        }
+                    }
+                }
+                // Invariant: every modelled record reads back.
+                for (&slot, expected) in &model {
+                    prop_assert_eq!(page.get(slot).unwrap(), &expected[..]);
+                }
+                prop_assert_eq!(page.live_records(), model.len());
+            }
+            // Survives a disk round trip too.
+            let restored = Page::from_bytes(*page.as_bytes()).unwrap();
+            for (&slot, expected) in &model {
+                prop_assert_eq!(restored.get(slot).unwrap(), &expected[..]);
+            }
+        }
+    }
+}

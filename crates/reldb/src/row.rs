@@ -1,0 +1,132 @@
+//! Rows and row identities.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::value::Value;
+
+/// The physical address of a stored record: which page, which slot.
+///
+/// Row ids are stable for the life of a record (updates that fit rewrite in
+/// place; oversized updates are delete+reinsert and do change the id, which
+/// the heap layer reports to callers).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct RowId {
+    /// The page holding the record.
+    pub page: u64,
+    /// The slot within the page.
+    pub slot: u16,
+}
+
+impl RowId {
+    /// Construct a row id.
+    pub const fn new(page: u64, slot: u16) -> RowId {
+        RowId { page, slot }
+    }
+}
+
+impl fmt::Display for RowId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.page, self.slot)
+    }
+}
+
+/// An in-memory tuple of values.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Row {
+    /// The cell values, in schema column order.
+    pub values: Vec<Value>,
+}
+
+impl Row {
+    /// Construct from a vector of values.
+    pub fn new(values: Vec<Value>) -> Row {
+        Row { values }
+    }
+
+    /// Construct from anything iterable of values.
+    pub fn from_values<I: IntoIterator<Item = Value>>(values: I) -> Row {
+        Row {
+            values: values.into_iter().collect(),
+        }
+    }
+
+    /// Number of cells.
+    pub fn arity(&self) -> usize {
+        self.values.len()
+    }
+
+    /// The cell at `idx`, if present.
+    pub fn get(&self, idx: usize) -> Option<&Value> {
+        self.values.get(idx)
+    }
+
+    /// A new row containing the cells at `indexes`, in that order.
+    /// Out-of-range indexes yield `Null` (the binder prevents this for
+    /// well-typed plans; the lenient behaviour keeps ad-hoc projection
+    /// usable in tests).
+    pub fn project(&self, indexes: &[usize]) -> Row {
+        Row {
+            values: indexes
+                .iter()
+                .map(|&i| self.values.get(i).cloned().unwrap_or(Value::Null))
+                .collect(),
+        }
+    }
+}
+
+impl fmt::Display for Row {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("(")?;
+        for (i, v) in self.values.iter().enumerate() {
+            if i > 0 {
+                f.write_str(", ")?;
+            }
+            write!(f, "{v}")?;
+        }
+        f.write_str(")")
+    }
+}
+
+impl From<Vec<Value>> for Row {
+    fn from(values: Vec<Value>) -> Row {
+        Row::new(values)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn row_ids_order_by_page_then_slot() {
+        assert!(RowId::new(1, 9) < RowId::new(2, 0));
+        assert!(RowId::new(2, 1) < RowId::new(2, 2));
+        assert_eq!(RowId::new(3, 4).to_string(), "3:4");
+    }
+
+    #[test]
+    fn projection_reorders_and_fills_nulls() {
+        let row = Row::from_values([Value::Int(1), Value::Text("x".into()), Value::Bool(true)]);
+        let p = row.project(&[2, 0, 9]);
+        assert_eq!(
+            p.values,
+            vec![Value::Bool(true), Value::Int(1), Value::Null]
+        );
+    }
+
+    #[test]
+    fn display_parenthesises() {
+        let row = Row::from_values([Value::Int(1), Value::Text("x".into())]);
+        assert_eq!(row.to_string(), "(1, 'x')");
+    }
+
+    #[test]
+    fn accessors() {
+        let row = Row::from_values([Value::Int(5)]);
+        assert_eq!(row.arity(), 1);
+        assert_eq!(row.get(0), Some(&Value::Int(5)));
+        assert_eq!(row.get(1), None);
+    }
+}

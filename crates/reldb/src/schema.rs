@@ -1,0 +1,328 @@
+//! Table schemas: named, typed, nullability-checked columns.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::{DbError, DbResult};
+use crate::row::Row;
+use crate::types::DataType;
+use crate::value::Value;
+
+/// One column definition.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Column {
+    /// Column name (case-sensitive in the engine; the SQL layer lowercases
+    /// unquoted identifiers before they get here).
+    pub name: String,
+    /// Declared type.
+    pub dtype: DataType,
+    /// Whether NULL is storable.
+    pub nullable: bool,
+}
+
+impl Column {
+    /// A non-nullable column.
+    pub fn new(name: impl Into<String>, dtype: DataType) -> Column {
+        Column {
+            name: name.into(),
+            dtype,
+            nullable: false,
+        }
+    }
+
+    /// A nullable column.
+    pub fn nullable(name: impl Into<String>, dtype: DataType) -> Column {
+        Column {
+            name: name.into(),
+            dtype,
+            nullable: true,
+        }
+    }
+}
+
+impl fmt::Display for Column {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {}", self.name, self.dtype)?;
+        if !self.nullable {
+            f.write_str(" NOT NULL")?;
+        }
+        Ok(())
+    }
+}
+
+/// An ordered list of columns with unique names.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Schema {
+    columns: Vec<Column>,
+}
+
+impl Schema {
+    /// Build a schema, rejecting duplicate column names and empty schemas.
+    pub fn new(columns: Vec<Column>) -> DbResult<Schema> {
+        if columns.is_empty() {
+            return Err(DbError::Schema("a table needs at least one column".into()));
+        }
+        for (i, col) in columns.iter().enumerate() {
+            if col.name.is_empty() {
+                return Err(DbError::Schema("empty column name".into()));
+            }
+            if columns[..i].iter().any(|c| c.name == col.name) {
+                return Err(DbError::Schema(format!("duplicate column {:?}", col.name)));
+            }
+        }
+        Ok(Schema { columns })
+    }
+
+    /// The columns in declaration order.
+    pub fn columns(&self) -> &[Column] {
+        &self.columns
+    }
+
+    /// Number of columns.
+    pub fn arity(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// The index of the named column.
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.columns.iter().position(|c| c.name == name)
+    }
+
+    /// The column at `idx`.
+    pub fn column(&self, idx: usize) -> Option<&Column> {
+        self.columns.get(idx)
+    }
+
+    /// Look up a column by name or fail with a schema error.
+    pub fn require(&self, name: &str) -> DbResult<usize> {
+        self.index_of(name)
+            .ok_or_else(|| DbError::Schema(format!("unknown column {name:?}")))
+    }
+
+    /// Validate and coerce a row for storage under this schema: checks
+    /// arity, per-column type (with Int→Float widening), and nullability.
+    pub fn check_row(&self, row: Row) -> DbResult<Row> {
+        if row.values.len() != self.arity() {
+            return Err(DbError::Schema(format!(
+                "expected {} values, got {}",
+                self.arity(),
+                row.values.len()
+            )));
+        }
+        let mut out = Vec::with_capacity(row.values.len());
+        for (col, value) in self.columns.iter().zip(row.values) {
+            if value.is_null() && !col.nullable {
+                return Err(DbError::Schema(format!(
+                    "column {:?} is NOT NULL but got NULL",
+                    col.name
+                )));
+            }
+            out.push(col.dtype.coerce(value).map_err(|e| match e {
+                DbError::TypeMismatch { expected, found } => DbError::TypeMismatch {
+                    expected: format!("{} for column {:?}", expected, col.name),
+                    found,
+                },
+                other => other,
+            })?);
+        }
+        Ok(Row::new(out))
+    }
+
+    /// A projected schema containing the given column indexes.
+    pub fn project(&self, indexes: &[usize]) -> DbResult<Schema> {
+        let mut columns = Vec::with_capacity(indexes.len());
+        for &i in indexes {
+            let col = self
+                .column(i)
+                .ok_or_else(|| DbError::Schema(format!("column index {i} out of range")))?;
+            columns.push(col.clone());
+        }
+        Schema::new(columns)
+    }
+}
+
+impl fmt::Display for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("(")?;
+        for (i, col) in self.columns.iter().enumerate() {
+            if i > 0 {
+                f.write_str(", ")?;
+            }
+            write!(f, "{col}")?;
+        }
+        f.write_str(")")
+    }
+}
+
+/// Convenience builder used heavily in tests and the privacy layer.
+///
+/// ```
+/// use qpv_reldb::schema::SchemaBuilder;
+/// use qpv_reldb::types::DataType;
+///
+/// let schema = SchemaBuilder::new()
+///     .column("id", DataType::Int)
+///     .nullable_column("nickname", DataType::Text)
+///     .build()
+///     .unwrap();
+/// assert_eq!(schema.arity(), 2);
+/// ```
+#[derive(Debug, Default)]
+pub struct SchemaBuilder {
+    columns: Vec<Column>,
+}
+
+impl SchemaBuilder {
+    /// Start an empty builder.
+    pub fn new() -> SchemaBuilder {
+        SchemaBuilder::default()
+    }
+
+    /// Add a NOT NULL column.
+    pub fn column(mut self, name: impl Into<String>, dtype: DataType) -> SchemaBuilder {
+        self.columns.push(Column::new(name, dtype));
+        self
+    }
+
+    /// Add a nullable column.
+    pub fn nullable_column(mut self, name: impl Into<String>, dtype: DataType) -> SchemaBuilder {
+        self.columns.push(Column::nullable(name, dtype));
+        self
+    }
+
+    /// Finish, validating the column set.
+    pub fn build(self) -> DbResult<Schema> {
+        Schema::new(self.columns)
+    }
+}
+
+/// Check a literal value against a column (used by the binder for
+/// constant-folding errors before execution).
+pub fn check_value(col: &Column, value: &Value) -> DbResult<()> {
+    if value.is_null() {
+        if col.nullable {
+            return Ok(());
+        }
+        return Err(DbError::Schema(format!(
+            "column {:?} is NOT NULL but got NULL",
+            col.name
+        )));
+    }
+    if col.dtype.accepts(value) {
+        Ok(())
+    } else {
+        Err(DbError::TypeMismatch {
+            expected: col.dtype.to_string(),
+            found: value
+                .data_type()
+                .map(|t| t.to_string())
+                .unwrap_or_else(|| "NULL".into()),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Schema {
+        SchemaBuilder::new()
+            .column("id", DataType::Int)
+            .column("name", DataType::Text)
+            .nullable_column("weight", DataType::Float)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn lookup_by_name_and_index() {
+        let s = sample();
+        assert_eq!(s.arity(), 3);
+        assert_eq!(s.index_of("name"), Some(1));
+        assert_eq!(s.index_of("nope"), None);
+        assert!(s.require("weight").is_ok());
+        assert!(s.require("nope").is_err());
+        assert_eq!(s.column(0).unwrap().name, "id");
+        assert!(s.column(9).is_none());
+    }
+
+    #[test]
+    fn duplicate_and_empty_names_rejected() {
+        assert!(Schema::new(vec![
+            Column::new("a", DataType::Int),
+            Column::new("a", DataType::Text),
+        ])
+        .is_err());
+        assert!(Schema::new(vec![Column::new("", DataType::Int)]).is_err());
+        assert!(Schema::new(vec![]).is_err());
+    }
+
+    #[test]
+    fn check_row_validates_arity_types_nullability() {
+        let s = sample();
+        // Good row, with Int→Float widening on `weight`.
+        let row = s
+            .check_row(Row::from_values([
+                Value::Int(1),
+                Value::Text("Alice".into()),
+                Value::Int(60),
+            ]))
+            .unwrap();
+        assert_eq!(row.values[2], Value::Float(60.0));
+        // NULL in nullable column: fine.
+        assert!(s
+            .check_row(Row::from_values([
+                Value::Int(1),
+                Value::Text("A".into()),
+                Value::Null,
+            ]))
+            .is_ok());
+        // NULL in NOT NULL column: rejected.
+        assert!(s
+            .check_row(Row::from_values([
+                Value::Null,
+                Value::Text("A".into()),
+                Value::Null,
+            ]))
+            .is_err());
+        // Wrong arity.
+        assert!(s.check_row(Row::from_values([Value::Int(1)])).is_err());
+        // Wrong type; error mentions the column.
+        let err = s
+            .check_row(Row::from_values([
+                Value::Text("oops".into()),
+                Value::Text("A".into()),
+                Value::Null,
+            ]))
+            .unwrap_err();
+        assert!(err.to_string().contains("id"), "{err}");
+    }
+
+    #[test]
+    fn project_selects_and_validates() {
+        let s = sample();
+        let p = s.project(&[2, 0]).unwrap();
+        assert_eq!(p.columns()[0].name, "weight");
+        assert_eq!(p.columns()[1].name, "id");
+        assert!(s.project(&[7]).is_err());
+    }
+
+    #[test]
+    fn display_looks_like_ddl() {
+        let s = sample();
+        let shown = s.to_string();
+        assert!(shown.contains("id INT NOT NULL"), "{shown}");
+        assert!(shown.contains("weight FLOAT"), "{shown}");
+    }
+
+    #[test]
+    fn check_value_respects_nullability() {
+        let col = Column::new("x", DataType::Int);
+        assert!(check_value(&col, &Value::Int(1)).is_ok());
+        assert!(check_value(&col, &Value::Null).is_err());
+        let ncol = Column::nullable("x", DataType::Int);
+        assert!(check_value(&ncol, &Value::Null).is_ok());
+        assert!(check_value(&ncol, &Value::Text("s".into())).is_err());
+    }
+}

@@ -1,0 +1,250 @@
+//! The abstract syntax tree the parser produces.
+
+use crate::types::DataType;
+use crate::value::Value;
+
+/// An unresolved expression (column names, not indexes).
+#[derive(Debug, Clone, PartialEq)]
+pub enum AstExpr {
+    /// A column reference by name.
+    Ident(String),
+    /// A literal constant.
+    Literal(Value),
+    /// `-expr` or `NOT expr`.
+    Unary {
+        /// `"-"` or `"NOT"`.
+        op: UnaryOp,
+        /// Operand.
+        expr: Box<AstExpr>,
+    },
+    /// Binary operation.
+    Binary {
+        /// Operator.
+        op: BinaryOp,
+        /// Left operand.
+        left: Box<AstExpr>,
+        /// Right operand.
+        right: Box<AstExpr>,
+    },
+    /// `expr IS [NOT] NULL`.
+    IsNull {
+        /// Tested expression.
+        expr: Box<AstExpr>,
+        /// True for `IS NOT NULL`.
+        negated: bool,
+    },
+    /// Function call, e.g. `COUNT(*)`, `SUM(x)`.
+    Call {
+        /// Upper-cased function name.
+        name: String,
+        /// The single argument, or `None` for `COUNT(*)`.
+        arg: Option<Box<AstExpr>>,
+    },
+    /// `expr [NOT] IN (e1, e2, ...)`.
+    InList {
+        /// The tested expression.
+        expr: Box<AstExpr>,
+        /// The candidate list.
+        list: Vec<AstExpr>,
+        /// True for `NOT IN`.
+        negated: bool,
+    },
+    /// `expr [NOT] BETWEEN low AND high`.
+    Between {
+        /// The tested expression.
+        expr: Box<AstExpr>,
+        /// Lower bound (inclusive).
+        low: Box<AstExpr>,
+        /// Upper bound (inclusive).
+        high: Box<AstExpr>,
+        /// True for `NOT BETWEEN`.
+        negated: bool,
+    },
+    /// `expr [NOT] LIKE 'pattern'`.
+    Like {
+        /// The tested expression.
+        expr: Box<AstExpr>,
+        /// The pattern literal.
+        pattern: String,
+        /// True for `NOT LIKE`.
+        negated: bool,
+    },
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnaryOp {
+    /// Arithmetic negation.
+    Neg,
+    /// Logical NOT.
+    Not,
+}
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinaryOp {
+    /// `=`
+    Eq,
+    /// `<>`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `AND`
+    And,
+    /// `OR`
+    Or,
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `%`
+    Mod,
+}
+
+/// One item in a `SELECT` list.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SelectItem {
+    /// `*`
+    Star,
+    /// An expression with an optional alias.
+    Expr {
+        /// The projected expression.
+        expr: AstExpr,
+        /// `AS alias`, if given.
+        alias: Option<String>,
+    },
+}
+
+/// A table reference in `FROM`/`JOIN`, with an optional alias.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TableRef {
+    /// Table name.
+    pub name: String,
+    /// `AS alias` (or bare alias), defaulting to the table name.
+    pub alias: Option<String>,
+}
+
+impl TableRef {
+    /// The name expressions qualify columns with.
+    pub fn effective_alias(&self) -> &str {
+        self.alias.as_deref().unwrap_or(&self.name)
+    }
+}
+
+/// One `JOIN table ON condition` clause (inner joins only).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Join {
+    /// The joined table.
+    pub table: TableRef,
+    /// The `ON` condition.
+    pub on: AstExpr,
+}
+
+/// A parsed `SELECT`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SelectStmt {
+    /// `SELECT DISTINCT`.
+    pub distinct: bool,
+    /// The projection list.
+    pub items: Vec<SelectItem>,
+    /// The first `FROM` table.
+    pub table: TableRef,
+    /// `JOIN` clauses, in source order.
+    pub joins: Vec<Join>,
+    /// `WHERE` predicate.
+    pub predicate: Option<AstExpr>,
+    /// `GROUP BY` expressions.
+    pub group_by: Vec<AstExpr>,
+    /// `ORDER BY` keys with `DESC` flags.
+    pub order_by: Vec<(AstExpr, bool)>,
+    /// `LIMIT`.
+    pub limit: Option<usize>,
+    /// `OFFSET`.
+    pub offset: Option<usize>,
+}
+
+/// One column in `CREATE TABLE`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColumnDef {
+    /// Column name.
+    pub name: String,
+    /// Declared type.
+    pub dtype: DataType,
+    /// Whether NULL is allowed (default: NOT NULL, matching the engine's
+    /// bias toward explicitness; write `NULL` to opt in).
+    pub nullable: bool,
+}
+
+/// A parsed SQL statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Statement {
+    /// `CREATE TABLE`.
+    CreateTable {
+        /// Table name.
+        name: String,
+        /// Column definitions.
+        columns: Vec<ColumnDef>,
+    },
+    /// `CREATE INDEX name ON table (column)`.
+    CreateIndex {
+        /// Index name.
+        name: String,
+        /// Indexed table.
+        table: String,
+        /// Indexed column name.
+        column: String,
+    },
+    /// `DROP TABLE`.
+    DropTable {
+        /// Table name.
+        name: String,
+    },
+    /// `DROP INDEX`.
+    DropIndex {
+        /// Index name.
+        name: String,
+    },
+    /// `INSERT INTO table [(cols)] VALUES (...), (...)`.
+    Insert {
+        /// Target table.
+        table: String,
+        /// Explicit column list, if given.
+        columns: Option<Vec<String>>,
+        /// Rows of constant expressions.
+        rows: Vec<Vec<AstExpr>>,
+    },
+    /// `SELECT`.
+    Select(SelectStmt),
+    /// `UPDATE table SET col = expr, ... [WHERE ...]`.
+    Update {
+        /// Target table.
+        table: String,
+        /// Assignments.
+        sets: Vec<(String, AstExpr)>,
+        /// `WHERE` predicate.
+        predicate: Option<AstExpr>,
+    },
+    /// `DELETE FROM table [WHERE ...]`.
+    Delete {
+        /// Target table.
+        table: String,
+        /// `WHERE` predicate.
+        predicate: Option<AstExpr>,
+    },
+    /// `BEGIN`.
+    Begin,
+    /// `COMMIT`.
+    Commit,
+    /// `ROLLBACK`.
+    Rollback,
+}

@@ -1,0 +1,967 @@
+//! Name resolution and plan construction.
+//!
+//! The binder turns parsed [`AstExpr`]s into executable [`Expr`]s (column
+//! names → positions, with type-existence checks against the catalog) and
+//! assembles query plans:
+//!
+//! ```text
+//! Scan (seq or index) → Filter → Sort → Limit → Project
+//!                              ↘ Aggregate (replaces Sort/Project for GROUP BY)
+//! ```
+//!
+//! Index selection is a simple but real optimisation: the binder walks the
+//! top-level `AND` chain of the `WHERE` clause looking for
+//! `column ⟨cmp⟩ literal` conjuncts over indexed columns, and when it finds
+//! one converts it into B+tree bounds. The full predicate is kept as a
+//! residual filter, so the optimisation can never change results.
+
+use std::ops::Bound;
+
+use crate::catalog::{Catalog, TableId, TableMeta};
+use crate::error::{DbError, DbResult};
+use crate::exec::{AggExpr, AggFunc, Plan, SortKey};
+use crate::expr::{BinOp, Expr, UnaryOp as ExprUnaryOp};
+use crate::row::Row;
+use crate::schema::Schema;
+use crate::value::Value;
+
+use super::ast::{AstExpr, BinaryOp, SelectItem, SelectStmt, UnaryOp};
+
+/// A bound `INSERT`: checked rows ready for storage.
+#[derive(Debug, Clone)]
+pub struct BoundInsert {
+    /// Target table.
+    pub table: TableId,
+    /// Schema-checked rows in column order.
+    pub rows: Vec<Row>,
+}
+
+/// A bound `UPDATE`.
+#[derive(Debug, Clone)]
+pub struct BoundUpdate {
+    /// Target table.
+    pub table: TableId,
+    /// `(column position, value expression)` assignments.
+    pub sets: Vec<(usize, Expr)>,
+    /// Row filter (`None` = all rows).
+    pub predicate: Option<Expr>,
+}
+
+/// A bound `DELETE`.
+#[derive(Debug, Clone)]
+pub struct BoundDelete {
+    /// Target table.
+    pub table: TableId,
+    /// Row filter (`None` = all rows).
+    pub predicate: Option<Expr>,
+}
+
+fn binop(op: BinaryOp) -> BinOp {
+    match op {
+        BinaryOp::Eq => BinOp::Eq,
+        BinaryOp::Ne => BinOp::Ne,
+        BinaryOp::Lt => BinOp::Lt,
+        BinaryOp::Le => BinOp::Le,
+        BinaryOp::Gt => BinOp::Gt,
+        BinaryOp::Ge => BinOp::Ge,
+        BinaryOp::And => BinOp::And,
+        BinaryOp::Or => BinOp::Or,
+        BinaryOp::Add => BinOp::Add,
+        BinaryOp::Sub => BinOp::Sub,
+        BinaryOp::Mul => BinOp::Mul,
+        BinaryOp::Div => BinOp::Div,
+        BinaryOp::Mod => BinOp::Mod,
+    }
+}
+
+/// Column-name resolution strategy: a single schema for DML statements, or
+/// a multi-table [`BindContext`] for `SELECT`s with joins.
+trait Resolve {
+    fn resolve(&self, name: &str) -> DbResult<usize>;
+}
+
+impl Resolve for Schema {
+    fn resolve(&self, name: &str) -> DbResult<usize> {
+        self.index_of(name)
+            .ok_or_else(|| DbError::SqlBind(format!("unknown column {name:?}")))
+    }
+}
+
+/// Name resolution over the tables of a `FROM ... JOIN ...` clause.
+/// Column positions are global: table 0's columns first, then table 1's, …
+pub struct BindContext {
+    /// `(alias, schema, global offset)` per table, in join order.
+    tables: Vec<(String, Schema, usize)>,
+}
+
+impl BindContext {
+    /// Start with the first `FROM` table.
+    pub fn new() -> BindContext {
+        BindContext { tables: Vec::new() }
+    }
+
+    /// Append a table; fails on duplicate aliases.
+    pub fn push(&mut self, alias: &str, schema: Schema) -> DbResult<()> {
+        if self.tables.iter().any(|(a, _, _)| a == alias) {
+            return Err(DbError::SqlBind(format!("duplicate table alias {alias:?}")));
+        }
+        let offset = self.arity();
+        self.tables.push((alias.to_string(), schema, offset));
+        Ok(())
+    }
+
+    /// Total number of columns across all tables.
+    pub fn arity(&self) -> usize {
+        self.tables
+            .last()
+            .map(|(_, s, off)| off + s.arity())
+            .unwrap_or(0)
+    }
+
+    /// Output column names: plain for a single table, alias-qualified once
+    /// a join makes collisions likely.
+    pub fn combined_columns(&self) -> Vec<String> {
+        let qualify = self.tables.len() > 1;
+        let mut out = Vec::with_capacity(self.arity());
+        for (alias, schema, _) in &self.tables {
+            for col in schema.columns() {
+                out.push(if qualify {
+                    format!("{alias}.{}", col.name)
+                } else {
+                    col.name.clone()
+                });
+            }
+        }
+        out
+    }
+}
+
+impl Default for BindContext {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Resolve for BindContext {
+    fn resolve(&self, name: &str) -> DbResult<usize> {
+        if let Some((alias, column)) = name.split_once('.') {
+            let (_, schema, offset) = self
+                .tables
+                .iter()
+                .find(|(a, _, _)| a == alias)
+                .ok_or_else(|| DbError::SqlBind(format!("unknown table alias {alias:?}")))?;
+            return schema
+                .index_of(column)
+                .map(|i| offset + i)
+                .ok_or_else(|| {
+                    DbError::SqlBind(format!("unknown column {alias:?}.{column:?}"))
+                });
+        }
+        let mut found = None;
+        for (alias, schema, offset) in &self.tables {
+            if let Some(i) = schema.index_of(name) {
+                if found.is_some() {
+                    return Err(DbError::SqlBind(format!(
+                        "column {name:?} is ambiguous; qualify it (e.g. {alias}.{name})"
+                    )));
+                }
+                found = Some(offset + i);
+            }
+        }
+        found.ok_or_else(|| DbError::SqlBind(format!("unknown column {name:?}")))
+    }
+}
+
+/// Bind a scalar expression against a schema. Aggregate calls are rejected
+/// here; they are only legal in a `SELECT` list handled by [`bind_select`].
+pub fn bind_expr(ast: &AstExpr, schema: &Schema) -> DbResult<Expr> {
+    bind_expr_res(ast, schema)
+}
+
+fn bind_expr_res(ast: &AstExpr, res: &dyn Resolve) -> DbResult<Expr> {
+    match ast {
+        AstExpr::Ident(name) => Ok(Expr::Column(res.resolve(name)?)),
+        AstExpr::Literal(v) => Ok(Expr::Literal(v.clone())),
+        AstExpr::Unary { op, expr } => {
+            let inner = bind_expr_res(expr, res)?;
+            let op = match op {
+                UnaryOp::Neg => ExprUnaryOp::Neg,
+                UnaryOp::Not => ExprUnaryOp::Not,
+            };
+            Ok(Expr::Unary(op, Box::new(inner)))
+        }
+        AstExpr::Binary { op, left, right } => Ok(Expr::Binary(
+            binop(*op),
+            Box::new(bind_expr_res(left, res)?),
+            Box::new(bind_expr_res(right, res)?),
+        )),
+        AstExpr::IsNull { expr, negated } => Ok(Expr::IsNull {
+            expr: Box::new(bind_expr_res(expr, res)?),
+            negated: *negated,
+        }),
+        AstExpr::Call { name, .. } => Err(DbError::SqlBind(format!(
+            "aggregate {name} is not allowed in this context"
+        ))),
+        // `x IN (a, b, c)` lowers to an OR chain of equalities, which gives
+        // SQL's NULL semantics for free (NULL operands propagate through
+        // the comparisons and Kleene OR).
+        AstExpr::InList {
+            expr,
+            list,
+            negated,
+        } => {
+            let target = bind_expr_res(expr, res)?;
+            let mut chain: Option<Expr> = None;
+            for item in list {
+                let eq = target.clone().eq(bind_expr_res(item, res)?);
+                chain = Some(match chain {
+                    Some(acc) => acc.or(eq),
+                    None => eq,
+                });
+            }
+            let chain = chain.ok_or_else(|| DbError::SqlBind("empty IN list".into()))?;
+            Ok(if *negated { chain.not() } else { chain })
+        }
+        // `x BETWEEN a AND b` lowers to `x >= a AND x <= b`.
+        AstExpr::Between {
+            expr,
+            low,
+            high,
+            negated,
+        } => {
+            let target = bind_expr_res(expr, res)?;
+            let lo = bind_expr_res(low, res)?;
+            let hi = bind_expr_res(high, res)?;
+            let range = target.clone().ge(lo).and(target.le(hi));
+            Ok(if *negated { range.not() } else { range })
+        }
+        AstExpr::Like {
+            expr,
+            pattern,
+            negated,
+        } => Ok(Expr::Like {
+            expr: Box::new(bind_expr_res(expr, res)?),
+            pattern: pattern.clone(),
+            negated: *negated,
+        }),
+    }
+}
+
+fn agg_func(name: &str) -> Option<AggFunc> {
+    match name {
+        "COUNT" => Some(AggFunc::Count),
+        "SUM" => Some(AggFunc::Sum),
+        "AVG" => Some(AggFunc::Avg),
+        "MIN" => Some(AggFunc::Min),
+        "MAX" => Some(AggFunc::Max),
+        _ => None,
+    }
+}
+
+fn contains_aggregate(ast: &AstExpr) -> bool {
+    match ast {
+        AstExpr::Call { name, .. } => agg_func(name).is_some(),
+        AstExpr::Unary { expr, .. } => contains_aggregate(expr),
+        AstExpr::Binary { left, right, .. } => {
+            contains_aggregate(left) || contains_aggregate(right)
+        }
+        AstExpr::IsNull { expr, .. } | AstExpr::Like { expr, .. } => contains_aggregate(expr),
+        AstExpr::InList { expr, list, .. } => {
+            contains_aggregate(expr) || list.iter().any(contains_aggregate)
+        }
+        AstExpr::Between {
+            expr, low, high, ..
+        } => contains_aggregate(expr) || contains_aggregate(low) || contains_aggregate(high),
+        AstExpr::Ident(_) | AstExpr::Literal(_) => false,
+    }
+}
+
+fn default_name(ast: &AstExpr, i: usize) -> String {
+    match ast {
+        // `p.name` projects as `name`, per standard SQL.
+        AstExpr::Ident(name) => name
+            .rsplit_once('.')
+            .map(|(_, col)| col.to_string())
+            .unwrap_or_else(|| name.clone()),
+        AstExpr::Call { name, .. } => name.to_ascii_lowercase(),
+        _ => format!("expr{i}"),
+    }
+}
+
+/// Bind a `SELECT` into an executable plan.
+pub fn bind_select(stmt: &SelectStmt, catalog: &Catalog) -> DbResult<Plan> {
+    // Name-resolution context: the FROM table plus every joined table.
+    let mut ctx = BindContext::new();
+    let base_meta = catalog.require_table(&stmt.table.name)?;
+    ctx.push(stmt.table.effective_alias(), base_meta.schema.clone())?;
+    for join in &stmt.joins {
+        let meta = catalog.require_table(&join.table.name)?;
+        ctx.push(join.table.effective_alias(), meta.schema.clone())?;
+    }
+
+    // Base plan: the FROM table's scan (index-selected when single-table),
+    // then each join. Equi-joins on columns of the two sides become hash
+    // joins; anything else falls back to a nested-loop join.
+    let mut plan = if stmt.joins.is_empty() {
+        choose_access_path(stmt.predicate.as_ref(), base_meta, catalog)?
+    } else {
+        Plan::SeqScan {
+            table: base_meta.id,
+        }
+    };
+    let mut left_arity = base_meta.schema.arity();
+    for join in &stmt.joins {
+        let meta = catalog.require_table(&join.table.name)?;
+        let right_arity = meta.schema.arity();
+        // Bind ON against the tables joined so far plus this one — which
+        // is exactly the ctx prefix; later tables would resolve too, so
+        // validate indices stay in range.
+        let on = bind_expr_res(&join.on, &ctx)?;
+        let right = Plan::SeqScan { table: meta.id };
+        plan = match equi_join_keys(&on, left_arity, left_arity + right_arity) {
+            Some((left_key, right_key)) => Plan::HashJoin {
+                left: Box::new(plan),
+                right: Box::new(right),
+                left_key,
+                right_key,
+            },
+            None => Plan::NestedLoopJoin {
+                left: Box::new(plan),
+                right: Box::new(right),
+                on,
+            },
+        };
+        left_arity += right_arity;
+    }
+
+    let predicate = stmt
+        .predicate
+        .as_ref()
+        .map(|p| bind_expr_res(p, &ctx))
+        .transpose()?;
+    if let Some(pred) = predicate {
+        plan = Plan::Filter {
+            input: Box::new(plan),
+            predicate: pred,
+        };
+    }
+
+    let has_aggregate = !stmt.group_by.is_empty()
+        || stmt.items.iter().any(|item| match item {
+            SelectItem::Expr { expr, .. } => contains_aggregate(expr),
+            SelectItem::Star => false,
+        });
+
+    if has_aggregate {
+        if !stmt.order_by.is_empty() {
+            return Err(DbError::SqlBind(
+                "ORDER BY with GROUP BY/aggregates is not supported; grouped output \
+                 is already ordered by group key"
+                    .into(),
+            ));
+        }
+        if stmt.distinct {
+            return Err(DbError::SqlBind(
+                "DISTINCT with GROUP BY/aggregates is redundant and not supported".into(),
+            ));
+        }
+        let group_by = stmt
+            .group_by
+            .iter()
+            .map(|g| bind_expr_res(g, &ctx))
+            .collect::<DbResult<Vec<Expr>>>()?;
+        let mut aggregates = Vec::new();
+        let mut names = Vec::new();
+        // Output layout: group columns first (in GROUP BY order), then
+        // aggregates — which means every projected group expression must
+        // appear in the GROUP BY list, and we reorder the projection to the
+        // canonical layout.
+        let mut group_names: Vec<Option<String>> = vec![None; group_by.len()];
+        for (i, item) in stmt.items.iter().enumerate() {
+            let SelectItem::Expr { expr, alias } = item else {
+                return Err(DbError::SqlBind(
+                    "SELECT * cannot be combined with aggregates".into(),
+                ));
+            };
+            match expr {
+                AstExpr::Call { name, arg } if agg_func(name).is_some() => {
+                    let func = agg_func(name).expect("checked");
+                    let bound_arg = arg
+                        .as_ref()
+                        .map(|a| bind_expr_res(a, &ctx))
+                        .transpose()?;
+                    if bound_arg.is_none() && func != AggFunc::Count {
+                        return Err(DbError::SqlBind(format!("{name}(*) is not defined")));
+                    }
+                    aggregates.push(AggExpr {
+                        func,
+                        arg: bound_arg,
+                    });
+                    names.push(alias.clone().unwrap_or_else(|| default_name(expr, i)));
+                }
+                other => {
+                    let bound = bind_expr_res(other, &ctx)?;
+                    let pos = group_by.iter().position(|g| *g == bound).ok_or_else(|| {
+                        DbError::SqlBind(format!(
+                            "non-aggregate projection {other:?} must appear in GROUP BY"
+                        ))
+                    })?;
+                    group_names[pos] =
+                        Some(alias.clone().unwrap_or_else(|| default_name(other, i)));
+                }
+            }
+        }
+        let mut all_names: Vec<String> = group_names
+            .into_iter()
+            .enumerate()
+            .map(|(i, n)| n.unwrap_or_else(|| format!("group{i}")))
+            .collect();
+        all_names.append(&mut names);
+        plan = Plan::Aggregate {
+            input: Box::new(plan),
+            group_by,
+            aggregates,
+            names: all_names,
+        };
+        if stmt.limit.is_some() || stmt.offset.is_some() {
+            plan = Plan::Limit {
+                input: Box::new(plan),
+                offset: stmt.offset.unwrap_or(0),
+                limit: stmt.limit,
+            };
+        }
+        return Ok(plan);
+    }
+
+    // Non-aggregate pipeline: sort and limit on the base schema, then
+    // project (so ORDER BY can use non-projected columns).
+    if !stmt.order_by.is_empty() {
+        let keys = stmt
+            .order_by
+            .iter()
+            .map(|(e, desc)| {
+                Ok(SortKey {
+                    expr: bind_expr_res(e, &ctx)?,
+                    descending: *desc,
+                })
+            })
+            .collect::<DbResult<Vec<SortKey>>>()?;
+        plan = Plan::Sort {
+            input: Box::new(plan),
+            keys,
+        };
+    }
+    if stmt.limit.is_some() || stmt.offset.is_some() {
+        plan = Plan::Limit {
+            input: Box::new(plan),
+            offset: stmt.offset.unwrap_or(0),
+            limit: stmt.limit,
+        };
+    }
+    // A plain single-table `SELECT *` keeps the scan's schema; everything
+    // else (including any join) projects explicitly so output names are
+    // well-defined.
+    let is_plain_star =
+        stmt.items.len() == 1 && stmt.items[0] == SelectItem::Star && stmt.joins.is_empty();
+    if !is_plain_star {
+        let combined = ctx.combined_columns();
+        let mut exprs = Vec::new();
+        let mut names = Vec::new();
+        for (i, item) in stmt.items.iter().enumerate() {
+            match item {
+                SelectItem::Star => {
+                    for (idx, name) in combined.iter().enumerate() {
+                        exprs.push(Expr::Column(idx));
+                        names.push(name.clone());
+                    }
+                }
+                SelectItem::Expr { expr, alias } => {
+                    exprs.push(bind_expr_res(expr, &ctx)?);
+                    names.push(alias.clone().unwrap_or_else(|| default_name(expr, i)));
+                }
+            }
+        }
+        plan = Plan::Project {
+            input: Box::new(plan),
+            exprs,
+            names,
+        };
+    }
+    if stmt.distinct {
+        plan = Plan::Distinct {
+            input: Box::new(plan),
+        };
+    }
+    Ok(plan)
+}
+
+/// If `on` is exactly `Column(i) = Column(j)` with one side in the left
+/// input (`< left_arity`) and the other in the right (`< total_arity`),
+/// return hash-join keys: the left key as-is, the right key shifted to the
+/// right row's local coordinates.
+fn equi_join_keys(on: &Expr, left_arity: usize, total_arity: usize) -> Option<(Expr, Expr)> {
+    let Expr::Binary(BinOp::Eq, a, b) = on else {
+        return None;
+    };
+    let (Expr::Column(i), Expr::Column(j)) = (&**a, &**b) else {
+        return None;
+    };
+    let (i, j) = (*i, *j);
+    if i < left_arity && j >= left_arity && j < total_arity {
+        Some((Expr::Column(i), Expr::Column(j - left_arity)))
+    } else if j < left_arity && i >= left_arity && i < total_arity {
+        Some((Expr::Column(j), Expr::Column(i - left_arity)))
+    } else {
+        None
+    }
+}
+
+/// Pick the base scan for a query: an index range scan when some top-level
+/// conjunct is `indexed_column ⟨cmp⟩ literal`, else a sequential scan.
+fn choose_access_path(
+    predicate: Option<&AstExpr>,
+    meta: &TableMeta,
+    catalog: &Catalog,
+) -> DbResult<Plan> {
+    let seq = Plan::SeqScan { table: meta.id };
+    let Some(predicate) = predicate else {
+        return Ok(seq);
+    };
+    let mut conjuncts = Vec::new();
+    collect_conjuncts(predicate, &mut conjuncts);
+    // Prefer equality pins over ranges.
+    let mut best: Option<(usize, Bound<Value>, Bound<Value>, bool)> = None;
+    for conj in conjuncts {
+        if let Some((col, lo, hi, is_eq)) = conjunct_bounds(conj, meta) {
+            let better = match &best {
+                None => true,
+                Some((_, _, _, best_eq)) => is_eq && !best_eq,
+            };
+            if better {
+                best = Some((col, lo, hi, is_eq));
+            }
+        }
+    }
+    if let Some((col, lo, hi, _)) = best {
+        if let Some(index) = catalog.indexes_for(meta.id).find(|i| i.column == col) {
+            return Ok(Plan::IndexScan {
+                table: meta.id,
+                index: index.id,
+                lo,
+                hi,
+            });
+        }
+    }
+    Ok(seq)
+}
+
+fn collect_conjuncts<'a>(ast: &'a AstExpr, out: &mut Vec<&'a AstExpr>) {
+    if let AstExpr::Binary {
+        op: BinaryOp::And,
+        left,
+        right,
+    } = ast
+    {
+        collect_conjuncts(left, out);
+        collect_conjuncts(right, out);
+    } else {
+        out.push(ast);
+    }
+}
+
+/// If `ast` is `column ⟨cmp⟩ literal` (either orientation) over a column of
+/// `meta`, return `(column, lo, hi, is_equality)` B+tree bounds.
+fn conjunct_bounds(
+    ast: &AstExpr,
+    meta: &TableMeta,
+) -> Option<(usize, Bound<Value>, Bound<Value>, bool)> {
+    // `col BETWEEN lit AND lit` gives both bounds at once.
+    if let AstExpr::Between {
+        expr,
+        low,
+        high,
+        negated: false,
+    } = ast
+    {
+        if let (AstExpr::Ident(name), AstExpr::Literal(lo), AstExpr::Literal(hi)) =
+            (&**expr, &**low, &**high)
+        {
+            if !lo.is_null() && !hi.is_null() {
+                let col = meta.schema.index_of(name)?;
+                return Some((
+                    col,
+                    Bound::Included(lo.clone()),
+                    Bound::Included(hi.clone()),
+                    false,
+                ));
+            }
+        }
+        return None;
+    }
+    let AstExpr::Binary { op, left, right } = ast else {
+        return None;
+    };
+    let (name, lit, op) = match (&**left, &**right) {
+        (AstExpr::Ident(name), AstExpr::Literal(v)) => (name, v, *op),
+        (AstExpr::Literal(v), AstExpr::Ident(name)) => (name, v, flip(*op)?),
+        _ => return None,
+    };
+    if lit.is_null() {
+        return None; // NULL comparisons never match anything
+    }
+    let col = meta.schema.index_of(name)?;
+    let bounds = match op {
+        BinaryOp::Eq => (
+            Bound::Included(lit.clone()),
+            Bound::Included(lit.clone()),
+            true,
+        ),
+        BinaryOp::Lt => (Bound::Unbounded, Bound::Excluded(lit.clone()), false),
+        BinaryOp::Le => (Bound::Unbounded, Bound::Included(lit.clone()), false),
+        BinaryOp::Gt => (Bound::Excluded(lit.clone()), Bound::Unbounded, false),
+        BinaryOp::Ge => (Bound::Included(lit.clone()), Bound::Unbounded, false),
+        _ => return None,
+    };
+    Some((col, bounds.0, bounds.1, bounds.2))
+}
+
+/// Mirror a comparison so the column is on the left: `5 < a` ⇒ `a > 5`.
+fn flip(op: BinaryOp) -> Option<BinaryOp> {
+    Some(match op {
+        BinaryOp::Eq => BinaryOp::Eq,
+        BinaryOp::Lt => BinaryOp::Gt,
+        BinaryOp::Le => BinaryOp::Ge,
+        BinaryOp::Gt => BinaryOp::Lt,
+        BinaryOp::Ge => BinaryOp::Le,
+        _ => return None,
+    })
+}
+
+/// Bind an `INSERT`'s rows: constant-fold value expressions, map explicit
+/// column lists to schema order (missing columns become `NULL`), and
+/// type-check against the schema.
+pub fn bind_insert(
+    table: &str,
+    columns: Option<&[String]>,
+    rows: &[Vec<AstExpr>],
+    catalog: &Catalog,
+) -> DbResult<BoundInsert> {
+    let meta = catalog.require_table(table)?;
+    let schema = &meta.schema;
+    // Map from value position to schema position.
+    let positions: Vec<usize> = match columns {
+        None => (0..schema.arity()).collect(),
+        Some(cols) => {
+            let mut seen = std::collections::HashSet::new();
+            cols.iter()
+                .map(|c| {
+                    let idx = schema
+                        .index_of(c)
+                        .ok_or_else(|| DbError::SqlBind(format!("unknown column {c:?}")))?;
+                    if !seen.insert(idx) {
+                        return Err(DbError::SqlBind(format!("duplicate column {c:?}")));
+                    }
+                    Ok(idx)
+                })
+                .collect::<DbResult<Vec<usize>>>()?
+        }
+    };
+    let empty = Row::from_values([]);
+    let empty_schema_check = |ast: &AstExpr| -> DbResult<Value> {
+        // VALUES expressions may not reference columns; binding against an
+        // impossible schema catches that with a clear error.
+        match ast {
+            AstExpr::Ident(name) => Err(DbError::SqlBind(format!(
+                "column reference {name:?} not allowed in VALUES"
+            ))),
+            _ => {
+                let one_col = Schema::new(vec![crate::schema::Column::nullable(
+                    "_",
+                    crate::types::DataType::Int,
+                )])
+                .expect("static schema");
+                bind_expr(ast, &one_col)?.eval(&empty)
+            }
+        }
+    };
+    let mut bound_rows = Vec::with_capacity(rows.len());
+    for row in rows {
+        if row.len() != positions.len() {
+            return Err(DbError::SqlBind(format!(
+                "expected {} values, got {}",
+                positions.len(),
+                row.len()
+            )));
+        }
+        let mut values = vec![Value::Null; schema.arity()];
+        for (ast, &pos) in row.iter().zip(&positions) {
+            values[pos] = empty_schema_check(ast)?;
+        }
+        bound_rows.push(schema.check_row(Row::new(values))?);
+    }
+    Ok(BoundInsert {
+        table: meta.id,
+        rows: bound_rows,
+    })
+}
+
+/// Bind an `UPDATE`.
+pub fn bind_update(
+    table: &str,
+    sets: &[(String, AstExpr)],
+    predicate: Option<&AstExpr>,
+    catalog: &Catalog,
+) -> DbResult<BoundUpdate> {
+    let meta = catalog.require_table(table)?;
+    let schema = &meta.schema;
+    let mut bound_sets = Vec::with_capacity(sets.len());
+    let mut seen = std::collections::HashSet::new();
+    for (name, ast) in sets {
+        let idx = schema
+            .index_of(name)
+            .ok_or_else(|| DbError::SqlBind(format!("unknown column {name:?}")))?;
+        if !seen.insert(idx) {
+            return Err(DbError::SqlBind(format!("column {name:?} set twice")));
+        }
+        bound_sets.push((idx, bind_expr(ast, schema)?));
+    }
+    let predicate = predicate.map(|p| bind_expr(p, schema)).transpose()?;
+    Ok(BoundUpdate {
+        table: meta.id,
+        sets: bound_sets,
+        predicate,
+    })
+}
+
+/// Bind a `DELETE`.
+pub fn bind_delete(
+    table: &str,
+    predicate: Option<&AstExpr>,
+    catalog: &Catalog,
+) -> DbResult<BoundDelete> {
+    let meta = catalog.require_table(table)?;
+    let predicate = predicate.map(|p| bind_expr(p, &meta.schema)).transpose()?;
+    Ok(BoundDelete {
+        table: meta.id,
+        predicate,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::heap::TableHeap;
+    use crate::schema::SchemaBuilder;
+    use crate::sql::parser::parse;
+    use crate::sql::Statement;
+    use crate::types::DataType;
+
+    fn catalog() -> Catalog {
+        let mut cat = Catalog::new();
+        let schema = SchemaBuilder::new()
+            .column("id", DataType::Int)
+            .column("name", DataType::Text)
+            .nullable_column("age", DataType::Int)
+            .build()
+            .unwrap();
+        let t = cat
+            .create_table("people", schema, TableHeap::from_parts(0, 0))
+            .unwrap();
+        cat.create_index("people_age", t, 2).unwrap();
+        cat
+    }
+
+    fn bind(sql: &str) -> DbResult<Plan> {
+        let Statement::Select(sel) = parse(sql).unwrap() else {
+            panic!("not a select");
+        };
+        bind_select(&sel, &catalog())
+    }
+
+    #[test]
+    fn star_select_is_a_bare_scan() {
+        let plan = bind("SELECT * FROM people").unwrap();
+        assert!(matches!(plan, Plan::SeqScan { .. }));
+    }
+
+    #[test]
+    fn where_on_indexed_column_uses_index_scan() {
+        let plan = bind("SELECT * FROM people WHERE age = 30").unwrap();
+        let Plan::Filter { input, .. } = plan else {
+            panic!("expected residual filter, got {plan:?}");
+        };
+        assert!(matches!(*input, Plan::IndexScan { .. }), "{input:?}");
+    }
+
+    #[test]
+    fn range_predicates_produce_index_bounds() {
+        for sql in [
+            "SELECT * FROM people WHERE age > 21",
+            "SELECT * FROM people WHERE 21 < age",
+            "SELECT * FROM people WHERE age <= 65 AND name <> 'x'",
+        ] {
+            let plan = bind(sql).unwrap();
+            let Plan::Filter { input, .. } = plan else {
+                panic!("{sql}: no filter");
+            };
+            assert!(matches!(*input, Plan::IndexScan { .. }), "{sql}");
+        }
+    }
+
+    #[test]
+    fn where_on_unindexed_column_stays_sequential() {
+        let plan = bind("SELECT * FROM people WHERE name = 'bob'").unwrap();
+        let Plan::Filter { input, .. } = plan else {
+            panic!();
+        };
+        assert!(matches!(*input, Plan::SeqScan { .. }));
+    }
+
+    #[test]
+    fn null_literal_comparison_never_uses_index() {
+        let plan = bind("SELECT * FROM people WHERE age = NULL").unwrap();
+        let Plan::Filter { input, .. } = plan else {
+            panic!();
+        };
+        assert!(matches!(*input, Plan::SeqScan { .. }));
+    }
+
+    #[test]
+    fn projection_order_and_names() {
+        let plan = bind("SELECT name AS who, id FROM people").unwrap();
+        let Plan::Project { names, exprs, .. } = plan else {
+            panic!();
+        };
+        assert_eq!(names, vec!["who", "id"]);
+        assert_eq!(exprs, vec![Expr::Column(1), Expr::Column(0)]);
+    }
+
+    #[test]
+    fn order_by_sorts_before_projecting() {
+        let plan = bind("SELECT name FROM people ORDER BY age DESC LIMIT 3").unwrap();
+        // Expect Project(Limit(Sort(Scan))).
+        let Plan::Project { input, .. } = plan else {
+            panic!();
+        };
+        let Plan::Limit { input, .. } = *input else {
+            panic!();
+        };
+        assert!(matches!(*input, Plan::Sort { .. }));
+    }
+
+    #[test]
+    fn aggregates_bind_to_aggregate_plan() {
+        let plan = bind("SELECT age, COUNT(*) AS n, AVG(id) FROM people GROUP BY age").unwrap();
+        let Plan::Aggregate {
+            group_by,
+            aggregates,
+            names,
+            ..
+        } = plan
+        else {
+            panic!();
+        };
+        assert_eq!(group_by, vec![Expr::Column(2)]);
+        assert_eq!(aggregates.len(), 2);
+        assert_eq!(names, vec!["age", "n", "avg"]);
+    }
+
+    #[test]
+    fn projecting_ungrouped_column_is_an_error() {
+        let err = bind("SELECT name, COUNT(*) FROM people GROUP BY age").unwrap_err();
+        assert!(err.to_string().contains("GROUP BY"), "{err}");
+    }
+
+    #[test]
+    fn order_by_with_group_by_is_rejected() {
+        assert!(bind("SELECT age, COUNT(*) FROM people GROUP BY age ORDER BY age").is_err());
+    }
+
+    #[test]
+    fn unknown_names_are_bind_errors() {
+        assert!(bind("SELECT nope FROM people").is_err());
+        assert!(bind("SELECT * FROM ghosts").is_err());
+        assert!(bind("SELECT LOWER(name) FROM people").is_err());
+    }
+
+    #[test]
+    fn insert_binding_reorders_and_defaults() {
+        let cat = catalog();
+        let Statement::Insert {
+            table,
+            columns,
+            rows,
+        } = parse("INSERT INTO people (name, id) VALUES ('zed', 9)").unwrap()
+        else {
+            panic!();
+        };
+        let bound = bind_insert(&table, columns.as_deref(), &rows, &cat).unwrap();
+        assert_eq!(
+            bound.rows[0].values,
+            vec![Value::Int(9), Value::Text("zed".into()), Value::Null]
+        );
+    }
+
+    #[test]
+    fn insert_rejects_bad_shapes() {
+        let cat = catalog();
+        let check = |sql: &str| {
+            let Statement::Insert {
+                table,
+                columns,
+                rows,
+            } = parse(sql).unwrap()
+            else {
+                panic!();
+            };
+            bind_insert(&table, columns.as_deref(), &rows, &cat)
+        };
+        // NOT NULL violation (id missing).
+        assert!(check("INSERT INTO people (name) VALUES ('x')").is_err());
+        // Arity mismatch.
+        assert!(check("INSERT INTO people VALUES (1, 'x')").is_err());
+        // Type mismatch.
+        assert!(check("INSERT INTO people VALUES ('x', 'y', 3)").is_err());
+        // Duplicate column.
+        assert!(check("INSERT INTO people (id, id, name) VALUES (1, 2, 'x')").is_err());
+        // Column reference in VALUES.
+        assert!(check("INSERT INTO people VALUES (id, 'x', 3)").is_err());
+        // Constant arithmetic is allowed.
+        assert!(check("INSERT INTO people VALUES (1 + 1, 'x', -3)").is_ok());
+    }
+
+    #[test]
+    fn update_binding() {
+        let cat = catalog();
+        let Statement::Update {
+            table,
+            sets,
+            predicate,
+        } = parse("UPDATE people SET age = age + 1 WHERE id = 1").unwrap()
+        else {
+            panic!();
+        };
+        let bound = bind_update(&table, &sets, predicate.as_ref(), &cat).unwrap();
+        assert_eq!(bound.sets[0].0, 2);
+        assert!(bound.predicate.is_some());
+        // Setting the same column twice is rejected.
+        let Statement::Update { table, sets, .. } =
+            parse("UPDATE people SET age = 1, age = 2").unwrap()
+        else {
+            panic!();
+        };
+        assert!(bind_update(&table, &sets, None, &cat).is_err());
+    }
+
+    #[test]
+    fn delete_binding() {
+        let cat = catalog();
+        let Statement::Delete { table, predicate } =
+            parse("DELETE FROM people WHERE age IS NULL").unwrap()
+        else {
+            panic!();
+        };
+        let bound = bind_delete(&table, predicate.as_ref(), &cat).unwrap();
+        assert!(bound.predicate.is_some());
+    }
+}

@@ -1,0 +1,301 @@
+//! SQL tokenisation.
+
+use crate::error::{DbError, DbResult};
+
+/// Punctuation and operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Sym {
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `,`
+    Comma,
+    /// `;`
+    Semi,
+    /// `*`
+    Star,
+    /// `=`
+    Eq,
+    /// `<>` or `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `/`
+    Slash,
+    /// `%`
+    Percent,
+    /// `.`
+    Dot,
+}
+
+/// One lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// Identifier or keyword (keywords are recognised by the parser,
+    /// case-insensitively).
+    Ident(String),
+    /// Numeric literal, kept as text until the parser types it.
+    Number(String),
+    /// String literal with quotes and escapes resolved.
+    StringLit(String),
+    /// Punctuation / operator.
+    Symbol(Sym),
+    /// End of input.
+    Eof,
+}
+
+impl Token {
+    /// Whether this token is the given keyword (case-insensitive).
+    pub fn is_kw(&self, kw: &str) -> bool {
+        matches!(self, Token::Ident(s) if s.eq_ignore_ascii_case(kw))
+    }
+}
+
+/// Tokenise SQL text. Always ends with [`Token::Eof`].
+pub fn lex(input: &str) -> DbResult<Vec<Token>> {
+    let bytes = input.as_bytes();
+    let mut tokens = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i];
+        match c {
+            b' ' | b'\t' | b'\r' | b'\n' => i += 1,
+            b'-' if bytes.get(i + 1) == Some(&b'-') => {
+                // Line comment.
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            b'(' => {
+                tokens.push(Token::Symbol(Sym::LParen));
+                i += 1;
+            }
+            b')' => {
+                tokens.push(Token::Symbol(Sym::RParen));
+                i += 1;
+            }
+            b',' => {
+                tokens.push(Token::Symbol(Sym::Comma));
+                i += 1;
+            }
+            b';' => {
+                tokens.push(Token::Symbol(Sym::Semi));
+                i += 1;
+            }
+            b'*' => {
+                tokens.push(Token::Symbol(Sym::Star));
+                i += 1;
+            }
+            b'=' => {
+                tokens.push(Token::Symbol(Sym::Eq));
+                i += 1;
+            }
+            b'+' => {
+                tokens.push(Token::Symbol(Sym::Plus));
+                i += 1;
+            }
+            b'-' => {
+                tokens.push(Token::Symbol(Sym::Minus));
+                i += 1;
+            }
+            b'/' => {
+                tokens.push(Token::Symbol(Sym::Slash));
+                i += 1;
+            }
+            b'%' => {
+                tokens.push(Token::Symbol(Sym::Percent));
+                i += 1;
+            }
+            b'.' => {
+                tokens.push(Token::Symbol(Sym::Dot));
+                i += 1;
+            }
+            b'!' if bytes.get(i + 1) == Some(&b'=') => {
+                tokens.push(Token::Symbol(Sym::Ne));
+                i += 2;
+            }
+            b'<' => {
+                match bytes.get(i + 1) {
+                    Some(b'=') => {
+                        tokens.push(Token::Symbol(Sym::Le));
+                        i += 2;
+                    }
+                    Some(b'>') => {
+                        tokens.push(Token::Symbol(Sym::Ne));
+                        i += 2;
+                    }
+                    _ => {
+                        tokens.push(Token::Symbol(Sym::Lt));
+                        i += 1;
+                    }
+                }
+            }
+            b'>' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push(Token::Symbol(Sym::Ge));
+                    i += 2;
+                } else {
+                    tokens.push(Token::Symbol(Sym::Gt));
+                    i += 1;
+                }
+            }
+            b'\'' => {
+                // String literal; '' escapes a quote.
+                let mut out = String::new();
+                i += 1;
+                loop {
+                    if i >= bytes.len() {
+                        return Err(DbError::SqlParse("unterminated string literal".into()));
+                    }
+                    if bytes[i] == b'\'' {
+                        if bytes.get(i + 1) == Some(&b'\'') {
+                            out.push('\'');
+                            i += 2;
+                        } else {
+                            i += 1;
+                            break;
+                        }
+                    } else {
+                        // Copy a full UTF-8 character.
+                        let s = &input[i..];
+                        let ch = s.chars().next().expect("in-bounds");
+                        out.push(ch);
+                        i += ch.len_utf8();
+                    }
+                }
+                tokens.push(Token::StringLit(out));
+            }
+            b'0'..=b'9' => {
+                let start = i;
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    i += 1;
+                }
+                if i < bytes.len() && bytes[i] == b'.' {
+                    i += 1;
+                    while i < bytes.len() && bytes[i].is_ascii_digit() {
+                        i += 1;
+                    }
+                }
+                tokens.push(Token::Number(input[start..i].to_string()));
+            }
+            b'a'..=b'z' | b'A'..=b'Z' | b'_' => {
+                let start = i;
+                while i < bytes.len()
+                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                tokens.push(Token::Ident(input[start..i].to_string()));
+            }
+            b'"' => {
+                // Quoted identifier (kept verbatim).
+                let start = i + 1;
+                i += 1;
+                while i < bytes.len() && bytes[i] != b'"' {
+                    i += 1;
+                }
+                if i >= bytes.len() {
+                    return Err(DbError::SqlParse("unterminated quoted identifier".into()));
+                }
+                tokens.push(Token::Ident(input[start..i].to_string()));
+                i += 1;
+            }
+            other => {
+                return Err(DbError::SqlParse(format!(
+                    "unexpected character {:?} at byte {i}",
+                    other as char
+                )));
+            }
+        }
+    }
+    tokens.push(Token::Eof);
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lexes_a_full_statement() {
+        let toks = lex("SELECT a, b FROM t WHERE a >= 1.5 AND b <> 'it''s';").unwrap();
+        assert!(toks.contains(&Token::Symbol(Sym::Ge)));
+        assert!(toks.contains(&Token::Symbol(Sym::Ne)));
+        assert!(toks.contains(&Token::Number("1.5".into())));
+        assert!(toks.contains(&Token::StringLit("it's".into())));
+        assert_eq!(toks.last(), Some(&Token::Eof));
+    }
+
+    #[test]
+    fn comments_and_whitespace_are_skipped() {
+        let toks = lex("SELECT -- all the things\n  *\tFROM t").unwrap();
+        assert_eq!(
+            toks,
+            vec![
+                Token::Ident("SELECT".into()),
+                Token::Symbol(Sym::Star),
+                Token::Ident("FROM".into()),
+                Token::Ident("t".into()),
+                Token::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn minus_vs_comment_disambiguation() {
+        let toks = lex("1 - 2").unwrap();
+        assert_eq!(
+            toks,
+            vec![
+                Token::Number("1".into()),
+                Token::Symbol(Sym::Minus),
+                Token::Number("2".into()),
+                Token::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn not_equals_spellings() {
+        assert_eq!(lex("<>").unwrap()[0], Token::Symbol(Sym::Ne));
+        assert_eq!(lex("!=").unwrap()[0], Token::Symbol(Sym::Ne));
+    }
+
+    #[test]
+    fn quoted_identifiers() {
+        let toks = lex("\"Weird Name\"").unwrap();
+        assert_eq!(toks[0], Token::Ident("Weird Name".into()));
+    }
+
+    #[test]
+    fn unterminated_string_is_an_error() {
+        assert!(lex("'oops").is_err());
+        assert!(lex("\"oops").is_err());
+        assert!(lex("SELECT ?").is_err());
+    }
+
+    #[test]
+    fn unicode_in_strings() {
+        let toks = lex("'héllo — wörld'").unwrap();
+        assert_eq!(toks[0], Token::StringLit("héllo — wörld".into()));
+    }
+
+    #[test]
+    fn kw_matching_is_case_insensitive() {
+        let toks = lex("select").unwrap();
+        assert!(toks[0].is_kw("SELECT"));
+        assert!(toks[0].is_kw("select"));
+        assert!(!toks[0].is_kw("FROM"));
+    }
+}

@@ -1,0 +1,41 @@
+//! The SQL front end.
+//!
+//! A hand-written pipeline: [`lexer`] turns text into tokens, [`parser`]
+//! builds the [`ast`], and [`binder`] resolves names against the catalog and
+//! produces executable [`crate::exec::Plan`]s (for queries) or bound mutation
+//! descriptions (for DML).
+//!
+//! ## Supported dialect
+//!
+//! ```sql
+//! CREATE TABLE t (id INT, name TEXT, age INT NULL);
+//! CREATE INDEX t_age ON t (age);
+//! DROP TABLE t;  DROP INDEX t_age;
+//! INSERT INTO t VALUES (1, 'a', 30), (2, 'b', NULL);
+//! INSERT INTO t (id, name) VALUES (3, 'c');
+//! SELECT * FROM t WHERE age >= 21 AND name <> 'b' ORDER BY age DESC LIMIT 10 OFFSET 2;
+//! SELECT DISTINCT name FROM t WHERE name LIKE 'a%' AND age BETWEEN 18 AND 65;
+//! SELECT age, COUNT(*), AVG(id) FROM t GROUP BY age;
+//! SELECT p.name, SUM(o.amount) FROM t p JOIN orders o ON p.id = o.person_id GROUP BY p.name;
+//! UPDATE t SET age = age + 1 WHERE id = 3;
+//! DELETE FROM t WHERE age IS NULL OR id IN (7, 8);
+//! BEGIN; COMMIT; ROLLBACK;
+//! ```
+//!
+//! Joins are inner joins (`JOIN`/`INNER JOIN ... ON`); equi-joins execute
+//! as hash joins, everything else as nested loops. Known, deliberate
+//! limitations: no outer joins or subqueries, `ORDER BY` is not combined
+//! with `GROUP BY` (grouped output is already deterministically ordered by
+//! group key), and expressions in `VALUES` must be constant.
+
+pub mod ast;
+pub mod binder;
+pub mod lexer;
+pub mod parser;
+
+pub use ast::Statement;
+pub use binder::{
+    bind_delete, bind_expr, bind_insert, bind_select, bind_update, BoundDelete, BoundInsert,
+    BoundUpdate,
+};
+pub use parser::parse;

@@ -1,0 +1,875 @@
+//! Recursive-descent SQL parser.
+
+use crate::error::{DbError, DbResult};
+use crate::types::DataType;
+use crate::value::Value;
+
+use super::ast::{
+    AstExpr, BinaryOp, ColumnDef, Join, SelectItem, SelectStmt, Statement, TableRef, UnaryOp,
+};
+use super::lexer::{lex, Sym, Token};
+
+/// Keywords that may follow a table reference, and therefore can never be
+/// bare table aliases.
+const CLAUSE_KEYWORDS: &[&str] = &[
+    "WHERE", "GROUP", "ORDER", "LIMIT", "OFFSET", "JOIN", "INNER", "ON", "AND", "OR",
+];
+
+/// Parse a single SQL statement (a trailing `;` is allowed).
+pub fn parse(input: &str) -> DbResult<Statement> {
+    let tokens = lex(input)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let stmt = p.statement()?;
+    p.eat_symbol(Sym::Semi); // optional terminator
+    p.expect_eof()?;
+    Ok(stmt)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Token {
+        &self.tokens[self.pos]
+    }
+
+    fn advance(&mut self) -> Token {
+        let tok = self.tokens[self.pos].clone();
+        if self.pos < self.tokens.len() - 1 {
+            self.pos += 1;
+        }
+        tok
+    }
+
+    fn error(&self, expected: &str) -> DbError {
+        DbError::SqlParse(format!("expected {expected}, found {:?}", self.peek()))
+    }
+
+    /// Consume the keyword if present; return whether it was.
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        if self.peek().is_kw(kw) {
+            self.advance();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_kw(&mut self, kw: &str) -> DbResult<()> {
+        if self.eat_kw(kw) {
+            Ok(())
+        } else {
+            Err(self.error(kw))
+        }
+    }
+
+    fn eat_symbol(&mut self, sym: Sym) -> bool {
+        if *self.peek() == Token::Symbol(sym) {
+            self.advance();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_symbol(&mut self, sym: Sym) -> DbResult<()> {
+        if self.eat_symbol(sym) {
+            Ok(())
+        } else {
+            Err(self.error(&format!("{sym:?}")))
+        }
+    }
+
+    fn expect_eof(&self) -> DbResult<()> {
+        if *self.peek() == Token::Eof {
+            Ok(())
+        } else {
+            Err(self.error("end of statement"))
+        }
+    }
+
+    /// An identifier that is not being used as a keyword here. Unquoted
+    /// identifiers are lowercased (SQL case-insensitivity); quoted ones were
+    /// preserved by the lexer.
+    fn ident(&mut self) -> DbResult<String> {
+        match self.advance() {
+            Token::Ident(s) => Ok(s.to_ascii_lowercase()),
+            _ => {
+                self.pos -= 1;
+                Err(self.error("identifier"))
+            }
+        }
+    }
+
+    fn number_usize(&mut self) -> DbResult<usize> {
+        match self.advance() {
+            Token::Number(n) => n
+                .parse::<usize>()
+                .map_err(|_| DbError::SqlParse(format!("expected integer, found {n}"))),
+            _ => {
+                self.pos -= 1;
+                Err(self.error("integer"))
+            }
+        }
+    }
+
+    fn statement(&mut self) -> DbResult<Statement> {
+        if self.eat_kw("CREATE") {
+            if self.eat_kw("TABLE") {
+                return self.create_table();
+            }
+            if self.eat_kw("INDEX") {
+                return self.create_index();
+            }
+            return Err(self.error("TABLE or INDEX"));
+        }
+        if self.eat_kw("DROP") {
+            if self.eat_kw("TABLE") {
+                return Ok(Statement::DropTable { name: self.ident()? });
+            }
+            if self.eat_kw("INDEX") {
+                return Ok(Statement::DropIndex { name: self.ident()? });
+            }
+            return Err(self.error("TABLE or INDEX"));
+        }
+        if self.eat_kw("INSERT") {
+            return self.insert();
+        }
+        if self.eat_kw("SELECT") {
+            return self.select().map(Statement::Select);
+        }
+        if self.eat_kw("UPDATE") {
+            return self.update();
+        }
+        if self.eat_kw("DELETE") {
+            return self.delete();
+        }
+        if self.eat_kw("BEGIN") {
+            return Ok(Statement::Begin);
+        }
+        if self.eat_kw("COMMIT") {
+            return Ok(Statement::Commit);
+        }
+        if self.eat_kw("ROLLBACK") {
+            return Ok(Statement::Rollback);
+        }
+        Err(self.error("a statement"))
+    }
+
+    fn create_table(&mut self) -> DbResult<Statement> {
+        let name = self.ident()?;
+        self.expect_symbol(Sym::LParen)?;
+        let mut columns = Vec::new();
+        loop {
+            let col_name = self.ident()?;
+            let type_name = self.ident()?;
+            let dtype: DataType = type_name.parse()?;
+            // Nullability: `NOT NULL` (default), or `NULL` to opt in.
+            let mut nullable = false;
+            if self.eat_kw("NOT") {
+                self.expect_kw("NULL")?;
+            } else if self.eat_kw("NULL") {
+                nullable = true;
+            }
+            columns.push(ColumnDef {
+                name: col_name,
+                dtype,
+                nullable,
+            });
+            if !self.eat_symbol(Sym::Comma) {
+                break;
+            }
+        }
+        self.expect_symbol(Sym::RParen)?;
+        Ok(Statement::CreateTable { name, columns })
+    }
+
+    fn create_index(&mut self) -> DbResult<Statement> {
+        let name = self.ident()?;
+        self.expect_kw("ON")?;
+        let table = self.ident()?;
+        self.expect_symbol(Sym::LParen)?;
+        let column = self.ident()?;
+        self.expect_symbol(Sym::RParen)?;
+        Ok(Statement::CreateIndex {
+            name,
+            table,
+            column,
+        })
+    }
+
+    fn insert(&mut self) -> DbResult<Statement> {
+        self.expect_kw("INTO")?;
+        let table = self.ident()?;
+        let columns = if self.eat_symbol(Sym::LParen) {
+            let mut cols = vec![self.ident()?];
+            while self.eat_symbol(Sym::Comma) {
+                cols.push(self.ident()?);
+            }
+            self.expect_symbol(Sym::RParen)?;
+            Some(cols)
+        } else {
+            None
+        };
+        self.expect_kw("VALUES")?;
+        let mut rows = Vec::new();
+        loop {
+            self.expect_symbol(Sym::LParen)?;
+            let mut row = vec![self.expr()?];
+            while self.eat_symbol(Sym::Comma) {
+                row.push(self.expr()?);
+            }
+            self.expect_symbol(Sym::RParen)?;
+            rows.push(row);
+            if !self.eat_symbol(Sym::Comma) {
+                break;
+            }
+        }
+        Ok(Statement::Insert {
+            table,
+            columns,
+            rows,
+        })
+    }
+
+    fn select(&mut self) -> DbResult<SelectStmt> {
+        let distinct = self.eat_kw("DISTINCT");
+        let mut items = Vec::new();
+        loop {
+            if self.eat_symbol(Sym::Star) {
+                items.push(SelectItem::Star);
+            } else {
+                let expr = self.expr()?;
+                let alias = if self.eat_kw("AS") {
+                    Some(self.ident()?)
+                } else {
+                    None
+                };
+                items.push(SelectItem::Expr { expr, alias });
+            }
+            if !self.eat_symbol(Sym::Comma) {
+                break;
+            }
+        }
+        self.expect_kw("FROM")?;
+        let table = self.table_ref()?;
+        let mut joins = Vec::new();
+        loop {
+            // `JOIN` and `INNER JOIN` are the same thing here.
+            if self.eat_kw("INNER") {
+                self.expect_kw("JOIN")?;
+            } else if !self.eat_kw("JOIN") {
+                break;
+            }
+            let join_table = self.table_ref()?;
+            self.expect_kw("ON")?;
+            let on = self.expr()?;
+            joins.push(Join {
+                table: join_table,
+                on,
+            });
+        }
+        let predicate = if self.eat_kw("WHERE") {
+            Some(self.expr()?)
+        } else {
+            None
+        };
+        let mut group_by = Vec::new();
+        if self.eat_kw("GROUP") {
+            self.expect_kw("BY")?;
+            group_by.push(self.expr()?);
+            while self.eat_symbol(Sym::Comma) {
+                group_by.push(self.expr()?);
+            }
+        }
+        let mut order_by = Vec::new();
+        if self.eat_kw("ORDER") {
+            self.expect_kw("BY")?;
+            loop {
+                let key = self.expr()?;
+                let desc = if self.eat_kw("DESC") {
+                    true
+                } else {
+                    self.eat_kw("ASC");
+                    false
+                };
+                order_by.push((key, desc));
+                if !self.eat_symbol(Sym::Comma) {
+                    break;
+                }
+            }
+        }
+        let limit = if self.eat_kw("LIMIT") {
+            Some(self.number_usize()?)
+        } else {
+            None
+        };
+        let offset = if self.eat_kw("OFFSET") {
+            Some(self.number_usize()?)
+        } else {
+            None
+        };
+        Ok(SelectStmt {
+            distinct,
+            items,
+            table,
+            joins,
+            predicate,
+            group_by,
+            order_by,
+            limit,
+            offset,
+        })
+    }
+
+    /// `table [AS alias | alias]`.
+    fn table_ref(&mut self) -> DbResult<TableRef> {
+        let name = self.ident()?;
+        let alias = if self.eat_kw("AS") {
+            Some(self.ident()?)
+        } else {
+            // A bare identifier that is not a clause keyword is an alias.
+            match self.peek() {
+                Token::Ident(word)
+                    if !CLAUSE_KEYWORDS.iter().any(|k| word.eq_ignore_ascii_case(k)) =>
+                {
+                    Some(self.ident()?)
+                }
+                _ => None,
+            }
+        };
+        Ok(TableRef { name, alias })
+    }
+
+    fn update(&mut self) -> DbResult<Statement> {
+        let table = self.ident()?;
+        self.expect_kw("SET")?;
+        let mut sets = Vec::new();
+        loop {
+            let col = self.ident()?;
+            self.expect_symbol(Sym::Eq)?;
+            sets.push((col, self.expr()?));
+            if !self.eat_symbol(Sym::Comma) {
+                break;
+            }
+        }
+        let predicate = if self.eat_kw("WHERE") {
+            Some(self.expr()?)
+        } else {
+            None
+        };
+        Ok(Statement::Update {
+            table,
+            sets,
+            predicate,
+        })
+    }
+
+    fn delete(&mut self) -> DbResult<Statement> {
+        self.expect_kw("FROM")?;
+        let table = self.ident()?;
+        let predicate = if self.eat_kw("WHERE") {
+            Some(self.expr()?)
+        } else {
+            None
+        };
+        Ok(Statement::Delete { table, predicate })
+    }
+
+    // ---- expressions, by descending precedence ----
+
+    fn expr(&mut self) -> DbResult<AstExpr> {
+        self.or_expr()
+    }
+
+    fn or_expr(&mut self) -> DbResult<AstExpr> {
+        let mut left = self.and_expr()?;
+        while self.eat_kw("OR") {
+            let right = self.and_expr()?;
+            left = AstExpr::Binary {
+                op: BinaryOp::Or,
+                left: Box::new(left),
+                right: Box::new(right),
+            };
+        }
+        Ok(left)
+    }
+
+    fn and_expr(&mut self) -> DbResult<AstExpr> {
+        let mut left = self.not_expr()?;
+        while self.eat_kw("AND") {
+            let right = self.not_expr()?;
+            left = AstExpr::Binary {
+                op: BinaryOp::And,
+                left: Box::new(left),
+                right: Box::new(right),
+            };
+        }
+        Ok(left)
+    }
+
+    fn not_expr(&mut self) -> DbResult<AstExpr> {
+        if self.eat_kw("NOT") {
+            let inner = self.not_expr()?;
+            return Ok(AstExpr::Unary {
+                op: UnaryOp::Not,
+                expr: Box::new(inner),
+            });
+        }
+        self.comparison()
+    }
+
+    fn comparison(&mut self) -> DbResult<AstExpr> {
+        let left = self.additive()?;
+        // `IS [NOT] NULL` postfix.
+        if self.eat_kw("IS") {
+            let negated = self.eat_kw("NOT");
+            self.expect_kw("NULL")?;
+            return Ok(AstExpr::IsNull {
+                expr: Box::new(left),
+                negated,
+            });
+        }
+        // `[NOT] IN / BETWEEN / LIKE` postfix operators.
+        let negated = if self.peek().is_kw("NOT") {
+            // Only consume NOT if an IN/BETWEEN/LIKE follows (it may also
+            // be a parse error, which the check below surfaces).
+            self.advance();
+            true
+        } else {
+            false
+        };
+        if self.eat_kw("IN") {
+            self.expect_symbol(Sym::LParen)?;
+            let mut list = vec![self.expr()?];
+            while self.eat_symbol(Sym::Comma) {
+                list.push(self.expr()?);
+            }
+            self.expect_symbol(Sym::RParen)?;
+            return Ok(AstExpr::InList {
+                expr: Box::new(left),
+                list,
+                negated,
+            });
+        }
+        if self.eat_kw("BETWEEN") {
+            let low = self.additive()?;
+            self.expect_kw("AND")?;
+            let high = self.additive()?;
+            return Ok(AstExpr::Between {
+                expr: Box::new(left),
+                low: Box::new(low),
+                high: Box::new(high),
+                negated,
+            });
+        }
+        if self.eat_kw("LIKE") {
+            let pattern = match self.advance() {
+                Token::StringLit(s) => s,
+                other => {
+                    return Err(DbError::SqlParse(format!(
+                        "LIKE expects a string pattern, found {other:?}"
+                    )));
+                }
+            };
+            return Ok(AstExpr::Like {
+                expr: Box::new(left),
+                pattern,
+                negated,
+            });
+        }
+        if negated {
+            return Err(self.error("IN, BETWEEN, or LIKE after NOT"));
+        }
+        let op = match self.peek() {
+            Token::Symbol(Sym::Eq) => Some(BinaryOp::Eq),
+            Token::Symbol(Sym::Ne) => Some(BinaryOp::Ne),
+            Token::Symbol(Sym::Lt) => Some(BinaryOp::Lt),
+            Token::Symbol(Sym::Le) => Some(BinaryOp::Le),
+            Token::Symbol(Sym::Gt) => Some(BinaryOp::Gt),
+            Token::Symbol(Sym::Ge) => Some(BinaryOp::Ge),
+            _ => None,
+        };
+        if let Some(op) = op {
+            self.advance();
+            let right = self.additive()?;
+            return Ok(AstExpr::Binary {
+                op,
+                left: Box::new(left),
+                right: Box::new(right),
+            });
+        }
+        Ok(left)
+    }
+
+    fn additive(&mut self) -> DbResult<AstExpr> {
+        let mut left = self.multiplicative()?;
+        loop {
+            let op = match self.peek() {
+                Token::Symbol(Sym::Plus) => BinaryOp::Add,
+                Token::Symbol(Sym::Minus) => BinaryOp::Sub,
+                _ => break,
+            };
+            self.advance();
+            let right = self.multiplicative()?;
+            left = AstExpr::Binary {
+                op,
+                left: Box::new(left),
+                right: Box::new(right),
+            };
+        }
+        Ok(left)
+    }
+
+    fn multiplicative(&mut self) -> DbResult<AstExpr> {
+        let mut left = self.unary()?;
+        loop {
+            let op = match self.peek() {
+                Token::Symbol(Sym::Star) => BinaryOp::Mul,
+                Token::Symbol(Sym::Slash) => BinaryOp::Div,
+                Token::Symbol(Sym::Percent) => BinaryOp::Mod,
+                _ => break,
+            };
+            self.advance();
+            let right = self.unary()?;
+            left = AstExpr::Binary {
+                op,
+                left: Box::new(left),
+                right: Box::new(right),
+            };
+        }
+        Ok(left)
+    }
+
+    fn unary(&mut self) -> DbResult<AstExpr> {
+        if self.eat_symbol(Sym::Minus) {
+            let inner = self.unary()?;
+            return Ok(AstExpr::Unary {
+                op: UnaryOp::Neg,
+                expr: Box::new(inner),
+            });
+        }
+        self.primary()
+    }
+
+    fn primary(&mut self) -> DbResult<AstExpr> {
+        match self.advance() {
+            Token::Number(n) => {
+                if n.contains('.') {
+                    n.parse::<f64>()
+                        .map(|f| AstExpr::Literal(Value::Float(f)))
+                        .map_err(|_| DbError::SqlParse(format!("bad float literal {n}")))
+                } else {
+                    n.parse::<i64>()
+                        .map(|i| AstExpr::Literal(Value::Int(i)))
+                        .map_err(|_| DbError::SqlParse(format!("bad integer literal {n}")))
+                }
+            }
+            Token::StringLit(s) => Ok(AstExpr::Literal(Value::Text(s))),
+            Token::Symbol(Sym::LParen) => {
+                let inner = self.expr()?;
+                self.expect_symbol(Sym::RParen)?;
+                Ok(inner)
+            }
+            Token::Ident(name) => {
+                if name.eq_ignore_ascii_case("NULL") {
+                    return Ok(AstExpr::Literal(Value::Null));
+                }
+                if name.eq_ignore_ascii_case("TRUE") {
+                    return Ok(AstExpr::Literal(Value::Bool(true)));
+                }
+                if name.eq_ignore_ascii_case("FALSE") {
+                    return Ok(AstExpr::Literal(Value::Bool(false)));
+                }
+                // Function call?
+                if self.eat_symbol(Sym::LParen) {
+                    if self.eat_symbol(Sym::Star) {
+                        self.expect_symbol(Sym::RParen)?;
+                        return Ok(AstExpr::Call {
+                            name: name.to_ascii_uppercase(),
+                            arg: None,
+                        });
+                    }
+                    let arg = self.expr()?;
+                    self.expect_symbol(Sym::RParen)?;
+                    return Ok(AstExpr::Call {
+                        name: name.to_ascii_uppercase(),
+                        arg: Some(Box::new(arg)),
+                    });
+                }
+                // Qualified column `alias.column`, encoded as a dotted name
+                // the binder splits.
+                if self.eat_symbol(Sym::Dot) {
+                    let column = self.ident()?;
+                    return Ok(AstExpr::Ident(format!(
+                        "{}.{}",
+                        name.to_ascii_lowercase(),
+                        column
+                    )));
+                }
+                Ok(AstExpr::Ident(name.to_ascii_lowercase()))
+            }
+            other => {
+                self.pos -= 1;
+                Err(DbError::SqlParse(format!(
+                    "expected expression, found {other:?}"
+                )))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn create_table_with_nullability() {
+        let stmt = parse(
+            "CREATE TABLE t (id INT, name TEXT NOT NULL, age INT NULL, w FLOAT)",
+        )
+        .unwrap();
+        let Statement::CreateTable { name, columns } = stmt else {
+            panic!("wrong variant");
+        };
+        assert_eq!(name, "t");
+        assert_eq!(columns.len(), 4);
+        assert!(!columns[0].nullable);
+        assert!(!columns[1].nullable);
+        assert!(columns[2].nullable);
+        assert_eq!(columns[3].dtype, DataType::Float);
+    }
+
+    #[test]
+    fn create_and_drop_index() {
+        let stmt = parse("CREATE INDEX i ON t (col)").unwrap();
+        assert_eq!(
+            stmt,
+            Statement::CreateIndex {
+                name: "i".into(),
+                table: "t".into(),
+                column: "col".into(),
+            }
+        );
+        assert_eq!(
+            parse("DROP INDEX i;").unwrap(),
+            Statement::DropIndex { name: "i".into() }
+        );
+        assert_eq!(
+            parse("DROP TABLE t").unwrap(),
+            Statement::DropTable { name: "t".into() }
+        );
+    }
+
+    #[test]
+    fn insert_multi_row_with_columns() {
+        let stmt = parse("INSERT INTO t (a, b) VALUES (1, 'x'), (-2, NULL)").unwrap();
+        let Statement::Insert {
+            table,
+            columns,
+            rows,
+        } = stmt
+        else {
+            panic!("wrong variant");
+        };
+        assert_eq!(table, "t");
+        assert_eq!(columns, Some(vec!["a".into(), "b".into()]));
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0][0], AstExpr::Literal(Value::Int(1)));
+        assert_eq!(
+            rows[1][0],
+            AstExpr::Unary {
+                op: UnaryOp::Neg,
+                expr: Box::new(AstExpr::Literal(Value::Int(2)))
+            }
+        );
+        assert_eq!(rows[1][1], AstExpr::Literal(Value::Null));
+    }
+
+    #[test]
+    fn select_full_clause_set() {
+        let stmt = parse(
+            "SELECT a, b AS bee FROM t WHERE a > 1 AND b IS NOT NULL \
+             ORDER BY a DESC, b LIMIT 5 OFFSET 10",
+        )
+        .unwrap();
+        let Statement::Select(sel) = stmt else {
+            panic!("wrong variant");
+        };
+        assert_eq!(sel.items.len(), 2);
+        assert!(matches!(
+            &sel.items[1],
+            SelectItem::Expr { alias: Some(a), .. } if a == "bee"
+        ));
+        assert!(sel.predicate.is_some());
+        assert_eq!(sel.order_by.len(), 2);
+        assert!(sel.order_by[0].1);
+        assert!(!sel.order_by[1].1);
+        assert_eq!(sel.limit, Some(5));
+        assert_eq!(sel.offset, Some(10));
+    }
+
+    #[test]
+    fn select_star_and_aggregates() {
+        let stmt = parse("SELECT * FROM t").unwrap();
+        let Statement::Select(sel) = stmt else {
+            panic!();
+        };
+        assert_eq!(sel.items, vec![SelectItem::Star]);
+
+        let stmt = parse("SELECT age, COUNT(*), AVG(id) FROM t GROUP BY age").unwrap();
+        let Statement::Select(sel) = stmt else {
+            panic!();
+        };
+        assert_eq!(sel.group_by.len(), 1);
+        assert!(matches!(
+            &sel.items[1],
+            SelectItem::Expr { expr: AstExpr::Call { name, arg: None }, .. } if name == "COUNT"
+        ));
+    }
+
+    #[test]
+    fn operator_precedence() {
+        // a OR b AND c  ⇒  a OR (b AND c)
+        let Statement::Select(sel) = parse("SELECT * FROM t WHERE a OR b AND c").unwrap()
+        else {
+            panic!();
+        };
+        let AstExpr::Binary { op: BinaryOp::Or, right, .. } = sel.predicate.unwrap() else {
+            panic!("OR should be outermost");
+        };
+        assert!(matches!(
+            *right,
+            AstExpr::Binary { op: BinaryOp::And, .. }
+        ));
+        // 1 + 2 * 3  ⇒  1 + (2 * 3)
+        let Statement::Select(sel) = parse("SELECT 1 + 2 * 3 FROM t").unwrap() else {
+            panic!();
+        };
+        let SelectItem::Expr { expr, .. } = &sel.items[0] else {
+            panic!();
+        };
+        assert!(matches!(
+            expr,
+            AstExpr::Binary { op: BinaryOp::Add, .. }
+        ));
+    }
+
+    #[test]
+    fn parenthesised_expressions() {
+        let Statement::Select(sel) = parse("SELECT (1 + 2) * 3 FROM t").unwrap() else {
+            panic!();
+        };
+        let SelectItem::Expr { expr, .. } = &sel.items[0] else {
+            panic!();
+        };
+        assert!(matches!(
+            expr,
+            AstExpr::Binary { op: BinaryOp::Mul, .. }
+        ));
+    }
+
+    #[test]
+    fn update_and_delete() {
+        let stmt = parse("UPDATE t SET a = a + 1, b = 'x' WHERE id = 3").unwrap();
+        let Statement::Update { table, sets, predicate } = stmt else {
+            panic!();
+        };
+        assert_eq!(table, "t");
+        assert_eq!(sets.len(), 2);
+        assert!(predicate.is_some());
+
+        let stmt = parse("DELETE FROM t WHERE a IS NULL").unwrap();
+        assert!(matches!(stmt, Statement::Delete { .. }));
+        let stmt = parse("DELETE FROM t").unwrap();
+        let Statement::Delete { predicate, .. } = stmt else {
+            panic!();
+        };
+        assert!(predicate.is_none());
+    }
+
+    #[test]
+    fn in_between_like_postfix_operators() {
+        let Statement::Select(sel) =
+            parse("SELECT * FROM t WHERE a IN (1, 2, 3) AND b NOT IN ('x')").unwrap()
+        else {
+            panic!();
+        };
+        let AstExpr::Binary { left, right, .. } = sel.predicate.unwrap() else {
+            panic!();
+        };
+        assert!(matches!(
+            *left,
+            AstExpr::InList { negated: false, ref list, .. } if list.len() == 3
+        ));
+        assert!(matches!(*right, AstExpr::InList { negated: true, .. }));
+
+        let Statement::Select(sel) =
+            parse("SELECT * FROM t WHERE a BETWEEN 1 AND 10").unwrap()
+        else {
+            panic!();
+        };
+        assert!(matches!(
+            sel.predicate.unwrap(),
+            AstExpr::Between { negated: false, .. }
+        ));
+        // BETWEEN binds tighter than the surrounding AND.
+        let Statement::Select(sel) =
+            parse("SELECT * FROM t WHERE a NOT BETWEEN 1 AND 10 AND b = 2").unwrap()
+        else {
+            panic!();
+        };
+        let AstExpr::Binary { op: BinaryOp::And, left, .. } = sel.predicate.unwrap() else {
+            panic!("outer AND expected");
+        };
+        assert!(matches!(*left, AstExpr::Between { negated: true, .. }));
+
+        let Statement::Select(sel) =
+            parse("SELECT * FROM t WHERE name LIKE 'a%' OR name NOT LIKE '_b'").unwrap()
+        else {
+            panic!();
+        };
+        assert!(sel.predicate.is_some());
+        // LIKE requires a string literal pattern.
+        assert!(parse("SELECT * FROM t WHERE a LIKE 5").is_err());
+        // Dangling NOT without IN/BETWEEN/LIKE.
+        assert!(parse("SELECT * FROM t WHERE a NOT 5").is_err());
+    }
+
+    #[test]
+    fn select_distinct_flag() {
+        let Statement::Select(sel) = parse("SELECT DISTINCT a FROM t").unwrap() else {
+            panic!();
+        };
+        assert!(sel.distinct);
+        let Statement::Select(sel) = parse("SELECT a FROM t").unwrap() else {
+            panic!();
+        };
+        assert!(!sel.distinct);
+    }
+
+    #[test]
+    fn txn_statements() {
+        assert_eq!(parse("BEGIN").unwrap(), Statement::Begin);
+        assert_eq!(parse("COMMIT;").unwrap(), Statement::Commit);
+        assert_eq!(parse("rollback").unwrap(), Statement::Rollback);
+    }
+
+    #[test]
+    fn errors_are_descriptive() {
+        let err = parse("SELECT FROM").unwrap_err().to_string();
+        assert!(err.contains("expected"), "{err}");
+        assert!(parse("CREATE VIEW v").is_err());
+        assert!(parse("SELECT * FROM t one two").is_err()); // second bare word cannot be an alias
+        assert!(parse("INSERT INTO t VALUES").is_err());
+        assert!(parse("CREATE TABLE t (a DECIMAL)").is_err());
+    }
+
+    #[test]
+    fn keywords_not_usable_as_bare_expression() {
+        // `WHERE` with nothing after it.
+        assert!(parse("SELECT * FROM t WHERE").is_err());
+    }
+}

@@ -1,0 +1,201 @@
+//! Coarse-grained transactions with undo-based rollback.
+//!
+//! The engine is single-writer: at most one transaction is open on a
+//! [`crate::db::Database`] at a time (`BEGIN` inside a transaction is an
+//! error). Each mutation appends an [`UndoOp`]; `ROLLBACK` applies them in
+//! reverse through the normal heap code paths. Durability is the WAL's job —
+//! this module only handles atomicity.
+
+use crate::error::{DbError, DbResult};
+use crate::row::RowId;
+
+/// The inverse of one mutation, applied on rollback.
+#[derive(Debug, Clone, PartialEq)]
+pub enum UndoOp {
+    /// An insert happened; rollback deletes `rid`.
+    Insert {
+        /// Table that received the row.
+        table: u32,
+        /// Where it landed.
+        rid: RowId,
+    },
+    /// A delete happened; rollback re-inserts the old bytes.
+    Delete {
+        /// Table the row was deleted from.
+        table: u32,
+        /// The deleted row's encoded bytes.
+        old_bytes: Vec<u8>,
+    },
+    /// An update happened; rollback restores the old bytes at the row's
+    /// current address.
+    Update {
+        /// Table holding the row.
+        table: u32,
+        /// The row's address *after* the update (it may have moved).
+        current_rid: RowId,
+        /// The pre-update encoded bytes.
+        old_bytes: Vec<u8>,
+    },
+}
+
+/// State of one open transaction.
+#[derive(Debug)]
+pub struct TxnState {
+    /// The transaction id, as logged to the WAL.
+    pub id: u64,
+    /// Undo log, oldest first.
+    pub undo: Vec<UndoOp>,
+}
+
+/// Hands out transaction ids and tracks the (single) open transaction.
+#[derive(Debug, Default)]
+pub struct TxnManager {
+    next_id: u64,
+    active: Option<TxnState>,
+}
+
+impl TxnManager {
+    /// A manager with no open transaction.
+    pub fn new() -> TxnManager {
+        TxnManager::default()
+    }
+
+    /// Start a transaction. Fails if one is already open.
+    pub fn begin(&mut self) -> DbResult<u64> {
+        if self.active.is_some() {
+            return Err(DbError::Txn("a transaction is already open".into()));
+        }
+        let id = self.next_id;
+        self.next_id += 1;
+        self.active = Some(TxnState {
+            id,
+            undo: Vec::new(),
+        });
+        Ok(id)
+    }
+
+    /// Allocate an id for an autocommit statement (no open transaction
+    /// state; the statement logs Begin/Commit around itself).
+    pub fn autocommit_id(&mut self) -> u64 {
+        let id = self.next_id;
+        self.next_id += 1;
+        id
+    }
+
+    /// The open transaction, if any.
+    pub fn active(&self) -> Option<&TxnState> {
+        self.active.as_ref()
+    }
+
+    /// Whether a transaction is open.
+    pub fn in_txn(&self) -> bool {
+        self.active.is_some()
+    }
+
+    /// Record an undo op against the open transaction (no-op in
+    /// autocommit — a failed autocommit statement surfaces its error
+    /// directly and partial statements are rolled back by the caller).
+    pub fn record(&mut self, op: UndoOp) {
+        if let Some(txn) = &mut self.active {
+            txn.undo.push(op);
+        }
+    }
+
+    /// Close the open transaction for commit, returning its id.
+    pub fn take_commit(&mut self) -> DbResult<u64> {
+        match self.active.take() {
+            Some(txn) => Ok(txn.id),
+            None => Err(DbError::Txn("COMMIT without an open transaction".into())),
+        }
+    }
+
+    /// Close the open transaction for rollback, returning its id and the
+    /// undo ops in reverse (application) order.
+    pub fn take_rollback(&mut self) -> DbResult<(u64, Vec<UndoOp>)> {
+        match self.active.take() {
+            Some(mut txn) => {
+                txn.undo.reverse();
+                Ok((txn.id, txn.undo))
+            }
+            None => Err(DbError::Txn("ROLLBACK without an open transaction".into())),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn begin_commit_cycle() {
+        let mut mgr = TxnManager::new();
+        assert!(!mgr.in_txn());
+        let id = mgr.begin().unwrap();
+        assert!(mgr.in_txn());
+        assert_eq!(mgr.active().unwrap().id, id);
+        assert_eq!(mgr.take_commit().unwrap(), id);
+        assert!(!mgr.in_txn());
+    }
+
+    #[test]
+    fn nested_begin_rejected() {
+        let mut mgr = TxnManager::new();
+        mgr.begin().unwrap();
+        assert!(mgr.begin().is_err());
+    }
+
+    #[test]
+    fn commit_and_rollback_require_open_txn() {
+        let mut mgr = TxnManager::new();
+        assert!(mgr.take_commit().is_err());
+        assert!(mgr.take_rollback().is_err());
+    }
+
+    #[test]
+    fn ids_are_unique_across_modes() {
+        let mut mgr = TxnManager::new();
+        let a = mgr.autocommit_id();
+        let b = mgr.begin().unwrap();
+        mgr.take_commit().unwrap();
+        let c = mgr.autocommit_id();
+        assert!(a < b && b < c);
+    }
+
+    #[test]
+    fn rollback_returns_undo_in_reverse() {
+        let mut mgr = TxnManager::new();
+        mgr.begin().unwrap();
+        mgr.record(UndoOp::Insert {
+            table: 0,
+            rid: RowId::new(0, 0),
+        });
+        mgr.record(UndoOp::Insert {
+            table: 0,
+            rid: RowId::new(0, 1),
+        });
+        let (_, undo) = mgr.take_rollback().unwrap();
+        assert_eq!(
+            undo,
+            vec![
+                UndoOp::Insert {
+                    table: 0,
+                    rid: RowId::new(0, 1)
+                },
+                UndoOp::Insert {
+                    table: 0,
+                    rid: RowId::new(0, 0)
+                },
+            ]
+        );
+    }
+
+    #[test]
+    fn record_outside_txn_is_noop() {
+        let mut mgr = TxnManager::new();
+        mgr.record(UndoOp::Delete {
+            table: 0,
+            old_bytes: vec![1],
+        });
+        assert!(!mgr.in_txn());
+    }
+}

@@ -1,0 +1,143 @@
+//! Declared column types and the value/type compatibility rules.
+
+use std::fmt;
+use std::str::FromStr;
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::DbError;
+use crate::value::Value;
+
+/// The engine's column types.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DataType {
+    /// Boolean.
+    Bool,
+    /// 64-bit signed integer.
+    Int,
+    /// 64-bit float.
+    Float,
+    /// UTF-8 text.
+    Text,
+    /// Raw bytes.
+    Bytes,
+}
+
+impl DataType {
+    /// Whether `value` may be stored in a column of this type.
+    ///
+    /// `Null` is accepted by every type (nullability is a separate,
+    /// per-column property checked by the schema). An `Int` is accepted by a
+    /// `Float` column (widening); nothing else coerces implicitly.
+    pub fn accepts(self, value: &Value) -> bool {
+        match value.data_type() {
+            None => true, // NULL
+            Some(vt) => vt == self || (self == DataType::Float && vt == DataType::Int),
+        }
+    }
+
+    /// Coerce `value` for storage in this type, applying the Int→Float
+    /// widening. Errors on any other mismatch.
+    pub fn coerce(self, value: Value) -> Result<Value, DbError> {
+        if value.is_null() {
+            return Ok(value);
+        }
+        match (self, &value) {
+            (DataType::Float, Value::Int(i)) => Ok(Value::Float(*i as f64)),
+            _ if self.accepts(&value) => Ok(value),
+            _ => Err(DbError::TypeMismatch {
+                expected: self.to_string(),
+                found: value
+                    .data_type()
+                    .map(|t| t.to_string())
+                    .unwrap_or_else(|| "NULL".to_string()),
+            }),
+        }
+    }
+}
+
+impl fmt::Display for DataType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            DataType::Bool => "BOOL",
+            DataType::Int => "INT",
+            DataType::Float => "FLOAT",
+            DataType::Text => "TEXT",
+            DataType::Bytes => "BYTES",
+        };
+        f.write_str(name)
+    }
+}
+
+impl FromStr for DataType {
+    type Err = DbError;
+
+    /// Parses the SQL spellings (case-insensitive), including the common
+    /// aliases `INTEGER`, `BIGINT`, `DOUBLE`, `REAL`, `VARCHAR`, `STRING`,
+    /// `BOOLEAN`, and `BLOB`.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_uppercase().as_str() {
+            "BOOL" | "BOOLEAN" => Ok(DataType::Bool),
+            "INT" | "INTEGER" | "BIGINT" => Ok(DataType::Int),
+            "FLOAT" | "DOUBLE" | "REAL" => Ok(DataType::Float),
+            "TEXT" | "VARCHAR" | "STRING" => Ok(DataType::Text),
+            "BYTES" | "BLOB" => Ok(DataType::Bytes),
+            other => Err(DbError::SqlParse(format!("unknown type {other:?}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_type_accepts_null() {
+        for t in [
+            DataType::Bool,
+            DataType::Int,
+            DataType::Float,
+            DataType::Text,
+            DataType::Bytes,
+        ] {
+            assert!(t.accepts(&Value::Null));
+            assert_eq!(t.coerce(Value::Null).unwrap(), Value::Null);
+        }
+    }
+
+    #[test]
+    fn exact_matches_accepted() {
+        assert!(DataType::Int.accepts(&Value::Int(1)));
+        assert!(DataType::Text.accepts(&Value::Text("x".into())));
+        assert!(!DataType::Int.accepts(&Value::Text("x".into())));
+        assert!(!DataType::Bool.accepts(&Value::Int(1)));
+    }
+
+    #[test]
+    fn int_widens_to_float_only() {
+        assert!(DataType::Float.accepts(&Value::Int(3)));
+        assert_eq!(
+            DataType::Float.coerce(Value::Int(3)).unwrap(),
+            Value::Float(3.0)
+        );
+        // No float→int narrowing.
+        assert!(!DataType::Int.accepts(&Value::Float(3.0)));
+        assert!(DataType::Int.coerce(Value::Float(3.0)).is_err());
+    }
+
+    #[test]
+    fn parse_aliases() {
+        assert_eq!("integer".parse::<DataType>().unwrap(), DataType::Int);
+        assert_eq!("VARCHAR".parse::<DataType>().unwrap(), DataType::Text);
+        assert_eq!("double".parse::<DataType>().unwrap(), DataType::Float);
+        assert_eq!("blob".parse::<DataType>().unwrap(), DataType::Bytes);
+        assert!("DECIMAL".parse::<DataType>().is_err());
+    }
+
+    #[test]
+    fn coerce_error_names_both_types() {
+        let err = DataType::Bool.coerce(Value::Text("t".into())).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("BOOL") && msg.contains("TEXT"), "{msg}");
+    }
+}

@@ -1,0 +1,641 @@
+//! The write-ahead log.
+//!
+//! The engine uses *logical* logging: every DDL statement and every committed
+//! row mutation since the last checkpoint is recorded, and replayed through
+//! the normal heap/catalog code paths on recovery (see
+//! [`crate::db::Database::open`]). A checkpoint flushes all pages, snapshots
+//! the catalog, and truncates the log.
+//!
+//! ## Frame format
+//!
+//! ```text
+//! [len: u32 LE][crc32(payload): u32 LE][payload bytes]
+//! ```
+//!
+//! A torn tail (crash mid-append) is detected by length/checksum validation
+//! and cleanly ignored: replay stops at the first invalid frame, which is
+//! exactly the prefix-durability WAL semantics require.
+
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::Path;
+
+use bytes::{Buf, BufMut};
+
+use crate::encoding::{get_varint, put_varint};
+use crate::error::{DbError, DbResult};
+use crate::row::RowId;
+use crate::schema::{Column, Schema};
+use crate::types::DataType;
+
+/// CRC-32 (IEEE 802.3, reflected) lookup table, built at compile time.
+const CRC_TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ 0xedb8_8320
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+};
+
+/// CRC-32 checksum of `bytes`.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = 0xffff_ffffu32;
+    for &b in bytes {
+        crc = (crc >> 8) ^ CRC_TABLE[((crc ^ b as u32) & 0xff) as usize];
+    }
+    !crc
+}
+
+/// One logical log record.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WalRecord {
+    /// A transaction started.
+    Begin {
+        /// Transaction id.
+        txn: u64,
+    },
+    /// A transaction committed; its mutations are durable.
+    Commit {
+        /// Transaction id.
+        txn: u64,
+    },
+    /// A transaction aborted; its mutations must not be replayed.
+    Abort {
+        /// Transaction id.
+        txn: u64,
+    },
+    /// A row was inserted.
+    Insert {
+        /// Owning transaction.
+        txn: u64,
+        /// Target table id.
+        table: u32,
+        /// Where the row landed at runtime (replay may relocate it).
+        rid: RowId,
+        /// Encoded row bytes.
+        bytes: Vec<u8>,
+    },
+    /// A row was deleted.
+    Delete {
+        /// Owning transaction.
+        txn: u64,
+        /// Target table id.
+        table: u32,
+        /// The deleted row's address.
+        rid: RowId,
+    },
+    /// A row was replaced.
+    Update {
+        /// Owning transaction.
+        txn: u64,
+        /// Target table id.
+        table: u32,
+        /// The row's address before the update.
+        rid: RowId,
+        /// The new encoded row bytes.
+        bytes: Vec<u8>,
+    },
+    /// DDL: a table was created (auto-committed).
+    CreateTable {
+        /// Table name.
+        name: String,
+        /// Column definitions.
+        schema: Schema,
+    },
+    /// DDL: an index was created (auto-committed).
+    CreateIndex {
+        /// Index name.
+        name: String,
+        /// Table name (names survive replay; ids may not).
+        table: String,
+        /// Indexed column position.
+        column: u32,
+    },
+    /// DDL: a table (and its indexes) was dropped.
+    DropTable {
+        /// Table name.
+        name: String,
+    },
+    /// DDL: an index was dropped.
+    DropIndex {
+        /// Index name.
+        name: String,
+    },
+}
+
+/// Append a length-prefixed UTF-8 string.
+pub fn put_string(buf: &mut Vec<u8>, s: &str) {
+    put_varint(buf, s.len() as u64);
+    buf.put_slice(s.as_bytes());
+}
+
+/// Read a string written by [`put_string`].
+pub fn get_string(buf: &mut &[u8]) -> DbResult<String> {
+    let len = get_varint(buf)? as usize;
+    if buf.remaining() < len {
+        return Err(DbError::Corruption("truncated string in wal".into()));
+    }
+    let s = String::from_utf8(buf[..len].to_vec())
+        .map_err(|_| DbError::Corruption("invalid utf-8 in wal".into()))?;
+    buf.advance(len);
+    Ok(s)
+}
+
+/// Append a length-prefixed byte blob.
+pub fn put_blob(buf: &mut Vec<u8>, b: &[u8]) {
+    put_varint(buf, b.len() as u64);
+    buf.put_slice(b);
+}
+
+/// Read a blob written by [`put_blob`].
+pub fn get_blob(buf: &mut &[u8]) -> DbResult<Vec<u8>> {
+    let len = get_varint(buf)? as usize;
+    if buf.remaining() < len {
+        return Err(DbError::Corruption("truncated blob in wal".into()));
+    }
+    let b = buf[..len].to_vec();
+    buf.advance(len);
+    Ok(b)
+}
+
+fn put_rid(buf: &mut Vec<u8>, rid: RowId) {
+    put_varint(buf, rid.page);
+    put_varint(buf, rid.slot as u64);
+}
+
+fn get_rid(buf: &mut &[u8]) -> DbResult<RowId> {
+    let page = get_varint(buf)?;
+    let slot = get_varint(buf)? as u16;
+    Ok(RowId::new(page, slot))
+}
+
+fn dtype_tag(t: DataType) -> u8 {
+    match t {
+        DataType::Bool => 0,
+        DataType::Int => 1,
+        DataType::Float => 2,
+        DataType::Text => 3,
+        DataType::Bytes => 4,
+    }
+}
+
+fn dtype_from_tag(tag: u8) -> DbResult<DataType> {
+    Ok(match tag {
+        0 => DataType::Bool,
+        1 => DataType::Int,
+        2 => DataType::Float,
+        3 => DataType::Text,
+        4 => DataType::Bytes,
+        other => return Err(DbError::Corruption(format!("bad dtype tag {other}"))),
+    })
+}
+
+/// Encode a schema for the log / catalog snapshot.
+pub fn put_schema(buf: &mut Vec<u8>, schema: &Schema) {
+    put_varint(buf, schema.arity() as u64);
+    for col in schema.columns() {
+        put_string(buf, &col.name);
+        buf.put_u8(dtype_tag(col.dtype));
+        buf.put_u8(col.nullable as u8);
+    }
+}
+
+/// Decode a schema written by [`put_schema`].
+pub fn get_schema(buf: &mut &[u8]) -> DbResult<Schema> {
+    let n = get_varint(buf)? as usize;
+    if n > 4096 {
+        return Err(DbError::Corruption(format!("schema claims {n} columns")));
+    }
+    let mut columns = Vec::with_capacity(n);
+    for _ in 0..n {
+        let name = get_string(buf)?;
+        if buf.remaining() < 2 {
+            return Err(DbError::Corruption("truncated column in wal".into()));
+        }
+        let dtype = dtype_from_tag(buf.get_u8())?;
+        let nullable = buf.get_u8() != 0;
+        columns.push(if nullable {
+            Column::nullable(name, dtype)
+        } else {
+            Column::new(name, dtype)
+        });
+    }
+    Schema::new(columns)
+}
+
+impl WalRecord {
+    const T_BEGIN: u8 = 1;
+    const T_COMMIT: u8 = 2;
+    const T_ABORT: u8 = 3;
+    const T_INSERT: u8 = 4;
+    const T_DELETE: u8 = 5;
+    const T_UPDATE: u8 = 6;
+    const T_CREATE_TABLE: u8 = 7;
+    const T_CREATE_INDEX: u8 = 8;
+    const T_DROP_TABLE: u8 = 9;
+    const T_DROP_INDEX: u8 = 10;
+
+    /// Serialise into frame payload bytes.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(32);
+        match self {
+            WalRecord::Begin { txn } => {
+                buf.put_u8(Self::T_BEGIN);
+                put_varint(&mut buf, *txn);
+            }
+            WalRecord::Commit { txn } => {
+                buf.put_u8(Self::T_COMMIT);
+                put_varint(&mut buf, *txn);
+            }
+            WalRecord::Abort { txn } => {
+                buf.put_u8(Self::T_ABORT);
+                put_varint(&mut buf, *txn);
+            }
+            WalRecord::Insert {
+                txn,
+                table,
+                rid,
+                bytes,
+            } => {
+                buf.put_u8(Self::T_INSERT);
+                put_varint(&mut buf, *txn);
+                put_varint(&mut buf, *table as u64);
+                put_rid(&mut buf, *rid);
+                put_blob(&mut buf, bytes);
+            }
+            WalRecord::Delete { txn, table, rid } => {
+                buf.put_u8(Self::T_DELETE);
+                put_varint(&mut buf, *txn);
+                put_varint(&mut buf, *table as u64);
+                put_rid(&mut buf, *rid);
+            }
+            WalRecord::Update {
+                txn,
+                table,
+                rid,
+                bytes,
+            } => {
+                buf.put_u8(Self::T_UPDATE);
+                put_varint(&mut buf, *txn);
+                put_varint(&mut buf, *table as u64);
+                put_rid(&mut buf, *rid);
+                put_blob(&mut buf, bytes);
+            }
+            WalRecord::CreateTable { name, schema } => {
+                buf.put_u8(Self::T_CREATE_TABLE);
+                put_string(&mut buf, name);
+                put_schema(&mut buf, schema);
+            }
+            WalRecord::CreateIndex {
+                name,
+                table,
+                column,
+            } => {
+                buf.put_u8(Self::T_CREATE_INDEX);
+                put_string(&mut buf, name);
+                put_string(&mut buf, table);
+                put_varint(&mut buf, *column as u64);
+            }
+            WalRecord::DropTable { name } => {
+                buf.put_u8(Self::T_DROP_TABLE);
+                put_string(&mut buf, name);
+            }
+            WalRecord::DropIndex { name } => {
+                buf.put_u8(Self::T_DROP_INDEX);
+                put_string(&mut buf, name);
+            }
+        }
+        buf
+    }
+
+    /// Deserialise from frame payload bytes.
+    pub fn decode(mut payload: &[u8]) -> DbResult<WalRecord> {
+        let buf = &mut payload;
+        if !buf.has_remaining() {
+            return Err(DbError::Corruption("empty wal record".into()));
+        }
+        let tag = buf.get_u8();
+        let record = match tag {
+            Self::T_BEGIN => WalRecord::Begin {
+                txn: get_varint(buf)?,
+            },
+            Self::T_COMMIT => WalRecord::Commit {
+                txn: get_varint(buf)?,
+            },
+            Self::T_ABORT => WalRecord::Abort {
+                txn: get_varint(buf)?,
+            },
+            Self::T_INSERT => WalRecord::Insert {
+                txn: get_varint(buf)?,
+                table: get_varint(buf)? as u32,
+                rid: get_rid(buf)?,
+                bytes: get_blob(buf)?,
+            },
+            Self::T_DELETE => WalRecord::Delete {
+                txn: get_varint(buf)?,
+                table: get_varint(buf)? as u32,
+                rid: get_rid(buf)?,
+            },
+            Self::T_UPDATE => WalRecord::Update {
+                txn: get_varint(buf)?,
+                table: get_varint(buf)? as u32,
+                rid: get_rid(buf)?,
+                bytes: get_blob(buf)?,
+            },
+            Self::T_CREATE_TABLE => WalRecord::CreateTable {
+                name: get_string(buf)?,
+                schema: get_schema(buf)?,
+            },
+            Self::T_CREATE_INDEX => WalRecord::CreateIndex {
+                name: get_string(buf)?,
+                table: get_string(buf)?,
+                column: get_varint(buf)? as u32,
+            },
+            Self::T_DROP_TABLE => WalRecord::DropTable {
+                name: get_string(buf)?,
+            },
+            Self::T_DROP_INDEX => WalRecord::DropIndex {
+                name: get_string(buf)?,
+            },
+            other => {
+                return Err(DbError::Corruption(format!("unknown wal tag {other}")));
+            }
+        };
+        if buf.has_remaining() {
+            return Err(DbError::Corruption("trailing bytes in wal record".into()));
+        }
+        Ok(record)
+    }
+}
+
+enum WalBackend {
+    Memory(Vec<u8>),
+    File(File),
+}
+
+/// An append-only, checksummed record log.
+pub struct Wal {
+    backend: WalBackend,
+    /// Appended frames since the last sync, for group commit.
+    pending: Vec<u8>,
+}
+
+impl Wal {
+    /// A volatile in-memory log (used by [`crate::db::Database::in_memory`];
+    /// exercises the same code paths as the file log).
+    pub fn in_memory() -> Wal {
+        Wal {
+            backend: WalBackend::Memory(Vec::new()),
+            pending: Vec::new(),
+        }
+    }
+
+    /// Open (or create) a log file at `path`.
+    pub fn open(path: impl AsRef<Path>) -> DbResult<Wal> {
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(path)?;
+        Ok(Wal {
+            backend: WalBackend::File(file),
+            pending: Vec::new(),
+        })
+    }
+
+    /// Append a record. Buffered until [`Wal::sync`].
+    pub fn append(&mut self, record: &WalRecord) {
+        let payload = record.encode();
+        self.pending.put_u32_le(payload.len() as u32);
+        self.pending.put_u32_le(crc32(&payload));
+        self.pending.put_slice(&payload);
+    }
+
+    /// Durably write all appended records.
+    pub fn sync(&mut self) -> DbResult<()> {
+        if self.pending.is_empty() {
+            return Ok(());
+        }
+        let pending = std::mem::take(&mut self.pending);
+        match &mut self.backend {
+            WalBackend::Memory(buf) => buf.extend_from_slice(&pending),
+            WalBackend::File(file) => {
+                file.seek(SeekFrom::End(0))?;
+                file.write_all(&pending)?;
+                file.sync_data()?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Read every valid record from the start of the log. Stops cleanly at a
+    /// torn tail: frames after the first invalid one were never acknowledged
+    /// as durable, so ignoring them is exactly prefix durability.
+    pub fn replay(&mut self) -> DbResult<Vec<WalRecord>> {
+        let bytes = match &mut self.backend {
+            WalBackend::Memory(buf) => buf.clone(),
+            WalBackend::File(file) => {
+                let mut buf = Vec::new();
+                file.seek(SeekFrom::Start(0))?;
+                file.read_to_end(&mut buf)?;
+                buf
+            }
+        };
+        let mut records = Vec::new();
+        let mut slice = bytes.as_slice();
+        while slice.len() >= 8 {
+            let len = u32::from_le_bytes([slice[0], slice[1], slice[2], slice[3]]) as usize;
+            let crc = u32::from_le_bytes([slice[4], slice[5], slice[6], slice[7]]);
+            if slice.len() < 8 + len {
+                break; // torn tail
+            }
+            let payload = &slice[8..8 + len];
+            if crc32(payload) != crc {
+                break; // torn/corrupt tail
+            }
+            records.push(WalRecord::decode(payload)?);
+            slice = &slice[8 + len..];
+        }
+        Ok(records)
+    }
+
+    /// Discard the log contents (after a checkpoint made them redundant).
+    pub fn truncate(&mut self) -> DbResult<()> {
+        self.pending.clear();
+        match &mut self.backend {
+            WalBackend::Memory(buf) => buf.clear(),
+            WalBackend::File(file) => {
+                file.set_len(0)?;
+                file.sync_data()?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Bytes durably in the log (diagnostics).
+    pub fn len(&self) -> u64 {
+        match &self.backend {
+            WalBackend::Memory(buf) => buf.len() as u64,
+            WalBackend::File(file) => file.metadata().map(|m| m.len()).unwrap_or(0),
+        }
+    }
+
+    /// Whether the durable log is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::SchemaBuilder;
+
+    fn sample_records() -> Vec<WalRecord> {
+        let schema = SchemaBuilder::new()
+            .column("id", DataType::Int)
+            .nullable_column("note", DataType::Text)
+            .build()
+            .unwrap();
+        vec![
+            WalRecord::CreateTable {
+                name: "t".into(),
+                schema,
+            },
+            WalRecord::CreateIndex {
+                name: "t_id".into(),
+                table: "t".into(),
+                column: 0,
+            },
+            WalRecord::Begin { txn: 1 },
+            WalRecord::Insert {
+                txn: 1,
+                table: 0,
+                rid: RowId::new(3, 4),
+                bytes: vec![1, 2, 3],
+            },
+            WalRecord::Update {
+                txn: 1,
+                table: 0,
+                rid: RowId::new(3, 4),
+                bytes: vec![9, 9],
+            },
+            WalRecord::Delete {
+                txn: 1,
+                table: 0,
+                rid: RowId::new(3, 4),
+            },
+            WalRecord::Commit { txn: 1 },
+            WalRecord::Begin { txn: 2 },
+            WalRecord::Abort { txn: 2 },
+            WalRecord::DropIndex {
+                name: "t_id".into(),
+            },
+            WalRecord::DropTable { name: "t".into() },
+        ]
+    }
+
+    #[test]
+    fn crc32_known_vectors() {
+        // Standard test vector.
+        assert_eq!(crc32(b"123456789"), 0xcbf4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn records_encode_decode_round_trip() {
+        for record in sample_records() {
+            let bytes = record.encode();
+            assert_eq!(WalRecord::decode(&bytes).unwrap(), record, "{record:?}");
+        }
+    }
+
+    #[test]
+    fn decode_rejects_trailing_and_unknown() {
+        let mut bytes = WalRecord::Begin { txn: 1 }.encode();
+        bytes.push(0);
+        assert!(WalRecord::decode(&bytes).is_err());
+        assert!(WalRecord::decode(&[200]).is_err());
+        assert!(WalRecord::decode(&[]).is_err());
+    }
+
+    #[test]
+    fn memory_wal_append_sync_replay() {
+        let mut wal = Wal::in_memory();
+        for r in sample_records() {
+            wal.append(&r);
+        }
+        // Nothing durable before sync.
+        assert!(wal.replay().unwrap().is_empty());
+        wal.sync().unwrap();
+        assert_eq!(wal.replay().unwrap(), sample_records());
+        wal.truncate().unwrap();
+        assert!(wal.replay().unwrap().is_empty());
+        assert!(wal.is_empty());
+    }
+
+    #[test]
+    fn file_wal_survives_reopen_and_ignores_torn_tail() {
+        let dir = std::env::temp_dir().join(format!("qpv-wal-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("wal.log");
+        let _ = std::fs::remove_file(&path);
+        {
+            let mut wal = Wal::open(&path).unwrap();
+            for r in sample_records() {
+                wal.append(&r);
+            }
+            wal.sync().unwrap();
+        }
+        // Simulate a crash mid-append: garbage half-frame at the tail.
+        {
+            let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+            f.write_all(&[0x10, 0x00, 0x00, 0x00, 0xde, 0xad]).unwrap();
+        }
+        let mut wal = Wal::open(&path).unwrap();
+        assert_eq!(wal.replay().unwrap(), sample_records());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn corrupted_payload_ends_replay() {
+        let mut wal = Wal::in_memory();
+        wal.append(&WalRecord::Begin { txn: 1 });
+        wal.append(&WalRecord::Commit { txn: 1 });
+        wal.sync().unwrap();
+        // Flip a byte in the first frame's payload.
+        if let WalBackend::Memory(buf) = &mut wal.backend {
+            buf[9] ^= 0xff;
+        }
+        // Checksum catches it; replay returns the valid prefix (none).
+        assert!(wal.replay().unwrap().is_empty());
+    }
+
+    #[test]
+    fn schema_codec_round_trips() {
+        let schema = SchemaBuilder::new()
+            .column("a", DataType::Bool)
+            .column("b", DataType::Float)
+            .nullable_column("c", DataType::Bytes)
+            .build()
+            .unwrap();
+        let mut buf = Vec::new();
+        put_schema(&mut buf, &schema);
+        let mut slice = buf.as_slice();
+        assert_eq!(get_schema(&mut slice).unwrap(), schema);
+        assert!(slice.is_empty());
+    }
+}

@@ -1,0 +1,149 @@
+//! Randomised SQL workload against a shadow model.
+//!
+//! Applies random insert/update/delete batches through the SQL layer and
+//! checks, after every batch, that a full `SELECT` agrees with a plain
+//! in-memory model of the table — catching cross-layer bugs (binder ×
+//! executor × heap × page × index) that unit tests of each layer miss.
+
+use proptest::prelude::*;
+use qpv_reldb::{Database, Value};
+use std::collections::BTreeMap;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Insert { id: i64, score: i64 },
+    UpdateScore { id: i64, score: i64 },
+    Delete { id: i64 },
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0i64..50, -100i64..100).prop_map(|(id, score)| Op::Insert { id, score }),
+        (0i64..50, -100i64..100).prop_map(|(id, score)| Op::UpdateScore { id, score }),
+        (0i64..50).prop_map(|id| Op::Delete { id }),
+    ]
+}
+
+/// Multiset model: id → scores (inserts may duplicate ids).
+type Model = BTreeMap<i64, Vec<i64>>;
+
+fn check_against_model(db: &mut Database, model: &Model) {
+    let rs = db.query("SELECT id, score FROM t ORDER BY id, score").unwrap();
+    let mut expected: Vec<(i64, i64)> = model
+        .iter()
+        .flat_map(|(id, scores)| scores.iter().map(move |s| (*id, *s)))
+        .collect();
+    expected.sort();
+    let actual: Vec<(i64, i64)> = rs
+        .rows
+        .iter()
+        .map(|r| {
+            (
+                r.values[0].as_int().unwrap(),
+                r.values[1].as_int().unwrap(),
+            )
+        })
+        .collect();
+    assert_eq!(actual, expected);
+
+    // Aggregates agree too.
+    let count = db.query("SELECT COUNT(*) FROM t").unwrap();
+    assert_eq!(
+        count.rows[0].values[0],
+        Value::Int(expected.len() as i64)
+    );
+    if !expected.is_empty() {
+        let max = db.query("SELECT MAX(score) FROM t").unwrap();
+        assert_eq!(
+            max.rows[0].values[0],
+            Value::Int(expected.iter().map(|(_, s)| *s).max().unwrap())
+        );
+    }
+    // The index agrees with the scan for a point query.
+    if let Some((id, _)) = expected.first() {
+        let by_index = db
+            .query(&format!("SELECT COUNT(*) FROM t WHERE id = {id}"))
+            .unwrap();
+        let want = model.get(id).map(Vec::len).unwrap_or(0) as i64;
+        assert_eq!(by_index.rows[0].values[0], Value::Int(want));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+    #[test]
+    fn random_sql_workload_matches_shadow_model(
+        ops in proptest::collection::vec(arb_op(), 1..80)
+    ) {
+        let mut db = Database::in_memory();
+        db.execute("CREATE TABLE t (id INT, score INT)").unwrap();
+        db.execute("CREATE INDEX t_id ON t (id)").unwrap();
+        let mut model: Model = BTreeMap::new();
+
+        for op in ops {
+            match op {
+                Op::Insert { id, score } => {
+                    db.execute(&format!("INSERT INTO t VALUES ({id}, {score})")).unwrap();
+                    model.entry(id).or_default().push(score);
+                }
+                Op::UpdateScore { id, score } => {
+                    let n = db
+                        .execute(&format!("UPDATE t SET score = {score} WHERE id = {id}"))
+                        .unwrap()
+                        .rows_affected;
+                    let entry = model.get_mut(&id);
+                    let expected = entry.as_ref().map(|v| v.len()).unwrap_or(0);
+                    prop_assert_eq!(n, expected);
+                    if let Some(scores) = entry {
+                        for s in scores.iter_mut() {
+                            *s = score;
+                        }
+                    }
+                }
+                Op::Delete { id } => {
+                    let n = db
+                        .execute(&format!("DELETE FROM t WHERE id = {id}"))
+                        .unwrap()
+                        .rows_affected;
+                    let expected = model.remove(&id).map(|v| v.len()).unwrap_or(0);
+                    prop_assert_eq!(n, expected);
+                }
+            }
+            check_against_model(&mut db, &model);
+        }
+    }
+
+    /// The same workload inside one explicit transaction, rolled back,
+    /// must leave the table exactly as it started.
+    #[test]
+    fn rollback_undoes_arbitrary_workloads(
+        ops in proptest::collection::vec(arb_op(), 1..40)
+    ) {
+        let mut db = Database::in_memory();
+        db.execute("CREATE TABLE t (id INT, score INT)").unwrap();
+        db.execute("CREATE INDEX t_id ON t (id)").unwrap();
+        db.execute("INSERT INTO t VALUES (100, 1), (101, 2), (102, 3)").unwrap();
+        let before = db.query("SELECT id, score FROM t ORDER BY id, score").unwrap();
+
+        db.execute("BEGIN").unwrap();
+        for op in ops {
+            match op {
+                Op::Insert { id, score } => {
+                    db.execute(&format!("INSERT INTO t VALUES ({id}, {score})")).unwrap();
+                }
+                Op::UpdateScore { id, score } => {
+                    db.execute(&format!("UPDATE t SET score = {score} WHERE id = {id}")).unwrap();
+                }
+                Op::Delete { id } => {
+                    db.execute(&format!("DELETE FROM t WHERE id = {id}")).unwrap();
+                }
+            }
+        }
+        db.execute("ROLLBACK").unwrap();
+        let after = db.query("SELECT id, score FROM t ORDER BY id, score").unwrap();
+        prop_assert_eq!(before, after);
+        // Index is restored too.
+        let rs = db.query("SELECT COUNT(*) FROM t WHERE id = 101").unwrap();
+        prop_assert_eq!(rs.rows[0].values[0].clone(), Value::Int(1));
+    }
+}

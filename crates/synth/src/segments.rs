@@ -1,0 +1,264 @@
+//! Westin privacy segments as generative parameters.
+//!
+//! Kumaraguru & Cranor's compilation of Westin's surveys (the paper's
+//! ref \[11\]) splits populations into three stable segments; the 2001 survey
+//! proportions — roughly 25% fundamentalists, 63% pragmatists, 12%
+//! unconcerned — are this module's default [`SegmentMix`].
+//!
+//! Each segment maps to distributions over the three per-provider knobs of
+//! the violation model:
+//!
+//! * **headroom** — how far above (or below) the house's baseline exposure
+//!   the provider's stated preferences sit. Fundamentalists often sit
+//!   *below* the baseline (they are violated by the status quo);
+//!   unconcerned providers leave generous room.
+//! * **sensitivity** — the `σ_i` weights of Equation 11.
+//! * **threshold** — the default tolerance `v_i` of Definition 4.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// The three Westin segments.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Segment {
+    /// Highly protective: tight preferences, high sensitivities, low
+    /// default thresholds.
+    Fundamentalist,
+    /// The broad middle: moderate on every axis.
+    Pragmatist,
+    /// Permissive: loose preferences, low sensitivities, high thresholds.
+    Unconcerned,
+}
+
+impl Segment {
+    /// All segments.
+    pub const ALL: [Segment; 3] = [
+        Segment::Fundamentalist,
+        Segment::Pragmatist,
+        Segment::Unconcerned,
+    ];
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Segment::Fundamentalist => "fundamentalist",
+            Segment::Pragmatist => "pragmatist",
+            Segment::Unconcerned => "unconcerned",
+        }
+    }
+
+    /// The default generative parameters for this segment.
+    pub fn default_params(self) -> SegmentParams {
+        match self {
+            // Calibrated to the ordinal level scale the scenarios use
+            // (retention in coarse buckets, not raw days), so that a
+            // baseline policy violates mostly fundamentalists mildly and
+            // widening drives pragmatists over their thresholds step by
+            // step — the §9 dynamics.
+            Segment::Fundamentalist => SegmentParams {
+                headroom: (-1, 2),
+                stated_purpose_fraction: 0.9,
+                value_sensitivity: (2, 5),
+                dim_sensitivity: (2, 5),
+                threshold: (100, 400),
+            },
+            Segment::Pragmatist => SegmentParams {
+                headroom: (0, 4),
+                stated_purpose_fraction: 1.0,
+                value_sensitivity: (1, 3),
+                dim_sensitivity: (1, 3),
+                threshold: (100, 800),
+            },
+            Segment::Unconcerned => SegmentParams {
+                headroom: (3, 8),
+                stated_purpose_fraction: 1.0,
+                value_sensitivity: (1, 1),
+                dim_sensitivity: (1, 2),
+                threshold: (800, 3000),
+            },
+        }
+    }
+}
+
+/// Generative ranges for one segment. All ranges are inclusive.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SegmentParams {
+    /// Preference headroom relative to the scenario's baseline exposure,
+    /// per ordered dimension (may be negative).
+    pub headroom: (i32, i32),
+    /// Probability that the provider states a preference for any given
+    /// purpose at all (unstated ⇒ implicit deny-all under Definition 1).
+    pub stated_purpose_fraction: f64,
+    /// Range of the datum value sensitivity `s^a_i`.
+    pub value_sensitivity: (u32, u32),
+    /// Range of each per-dimension sensitivity `s^a_i[dim]`.
+    pub dim_sensitivity: (u32, u32),
+    /// Range of the default threshold `v_i`.
+    pub threshold: (u64, u64),
+}
+
+impl SegmentParams {
+    /// Sample a headroom offset.
+    pub fn sample_headroom(&self, rng: &mut impl Rng) -> i32 {
+        rng.gen_range(self.headroom.0..=self.headroom.1)
+    }
+
+    /// Sample a value sensitivity.
+    pub fn sample_value_sensitivity(&self, rng: &mut impl Rng) -> u32 {
+        rng.gen_range(self.value_sensitivity.0..=self.value_sensitivity.1)
+    }
+
+    /// Sample a per-dimension sensitivity.
+    pub fn sample_dim_sensitivity(&self, rng: &mut impl Rng) -> u32 {
+        rng.gen_range(self.dim_sensitivity.0..=self.dim_sensitivity.1)
+    }
+
+    /// Sample a default threshold.
+    pub fn sample_threshold(&self, rng: &mut impl Rng) -> u64 {
+        rng.gen_range(self.threshold.0..=self.threshold.1)
+    }
+
+    /// Whether the provider states a preference for some purpose.
+    pub fn sample_states_purpose(&self, rng: &mut impl Rng) -> bool {
+        rng.gen_bool(self.stated_purpose_fraction.clamp(0.0, 1.0))
+    }
+}
+
+/// A population mix over the segments (weights need not sum to 1; they are
+/// normalised).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SegmentMix {
+    /// Weight of fundamentalists.
+    pub fundamentalist: f64,
+    /// Weight of pragmatists.
+    pub pragmatist: f64,
+    /// Weight of unconcerned.
+    pub unconcerned: f64,
+}
+
+impl SegmentMix {
+    /// The Westin 2001 proportions: 25 / 63 / 12.
+    pub const WESTIN_2001: SegmentMix = SegmentMix {
+        fundamentalist: 0.25,
+        pragmatist: 0.63,
+        unconcerned: 0.12,
+    };
+
+    /// A uniform mix.
+    pub const UNIFORM: SegmentMix = SegmentMix {
+        fundamentalist: 1.0,
+        pragmatist: 1.0,
+        unconcerned: 1.0,
+    };
+
+    /// Everyone in one segment.
+    pub fn pure(segment: Segment) -> SegmentMix {
+        let mut mix = SegmentMix {
+            fundamentalist: 0.0,
+            pragmatist: 0.0,
+            unconcerned: 0.0,
+        };
+        match segment {
+            Segment::Fundamentalist => mix.fundamentalist = 1.0,
+            Segment::Pragmatist => mix.pragmatist = 1.0,
+            Segment::Unconcerned => mix.unconcerned = 1.0,
+        }
+        mix
+    }
+
+    /// Sample a segment according to the mix.
+    pub fn sample(&self, rng: &mut impl Rng) -> Segment {
+        let total = self.fundamentalist + self.pragmatist + self.unconcerned;
+        assert!(total > 0.0, "segment mix must have positive total weight");
+        let x = rng.gen_range(0.0..total);
+        if x < self.fundamentalist {
+            Segment::Fundamentalist
+        } else if x < self.fundamentalist + self.pragmatist {
+            Segment::Pragmatist
+        } else {
+            Segment::Unconcerned
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn segment_names() {
+        assert_eq!(Segment::Fundamentalist.name(), "fundamentalist");
+        assert_eq!(Segment::ALL.len(), 3);
+    }
+
+    #[test]
+    fn default_params_are_ordered_by_protectiveness() {
+        let f = Segment::Fundamentalist.default_params();
+        let p = Segment::Pragmatist.default_params();
+        let u = Segment::Unconcerned.default_params();
+        // Headroom loosens.
+        assert!(f.headroom.1 <= p.headroom.1 && p.headroom.1 <= u.headroom.1);
+        // Thresholds rise.
+        assert!(f.threshold.1 <= p.threshold.1 && p.threshold.1 <= u.threshold.1);
+        // Sensitivities fall.
+        assert!(f.value_sensitivity.1 >= p.value_sensitivity.1);
+        assert!(p.value_sensitivity.1 >= u.value_sensitivity.1);
+    }
+
+    #[test]
+    fn samples_stay_in_range() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let params = Segment::Pragmatist.default_params();
+        for _ in 0..200 {
+            let h = params.sample_headroom(&mut rng);
+            assert!(h >= params.headroom.0 && h <= params.headroom.1);
+            let t = params.sample_threshold(&mut rng);
+            assert!(t >= params.threshold.0 && t <= params.threshold.1);
+            let v = params.sample_value_sensitivity(&mut rng);
+            assert!(v >= 1);
+        }
+    }
+
+    #[test]
+    fn mix_sampling_tracks_weights() {
+        let mut rng = SmallRng::seed_from_u64(99);
+        let mix = SegmentMix::WESTIN_2001;
+        let mut counts = [0usize; 3];
+        let n = 20_000;
+        for _ in 0..n {
+            match mix.sample(&mut rng) {
+                Segment::Fundamentalist => counts[0] += 1,
+                Segment::Pragmatist => counts[1] += 1,
+                Segment::Unconcerned => counts[2] += 1,
+            }
+        }
+        let f = counts[0] as f64 / n as f64;
+        let p = counts[1] as f64 / n as f64;
+        let u = counts[2] as f64 / n as f64;
+        assert!((f - 0.25).abs() < 0.02, "fundamentalist {f}");
+        assert!((p - 0.63).abs() < 0.02, "pragmatist {p}");
+        assert!((u - 0.12).abs() < 0.02, "unconcerned {u}");
+    }
+
+    #[test]
+    fn pure_mix_always_samples_that_segment() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        let mix = SegmentMix::pure(Segment::Unconcerned);
+        for _ in 0..100 {
+            assert_eq!(mix.sample(&mut rng), Segment::Unconcerned);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "positive total weight")]
+    fn zero_mix_panics() {
+        let mix = SegmentMix {
+            fundamentalist: 0.0,
+            pragmatist: 0.0,
+            unconcerned: 0.0,
+        };
+        mix.sample(&mut SmallRng::seed_from_u64(0));
+    }
+}

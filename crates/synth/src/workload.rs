@@ -1,0 +1,103 @@
+//! Experiment workloads: policy sweeps and sizing grids.
+
+use qpv_policy::HousePolicy;
+use qpv_taxonomy::{Dim, PrivacyPoint};
+
+/// A labelled sequence of increasingly wide policies derived from a base —
+/// the driver for the §9 expansion experiment and the α-PPDB frontier.
+#[derive(Debug, Clone)]
+pub struct PolicySweep {
+    /// `(label, policy)` pairs in sweep order.
+    pub steps: Vec<(String, HousePolicy)>,
+}
+
+impl PolicySweep {
+    /// Uniform widening of every tuple along every ordered dimension:
+    /// step `s` is `base.widened_uniform(s)` for `s ∈ 0..=max_steps`.
+    pub fn uniform(base: &HousePolicy, max_steps: u32) -> PolicySweep {
+        PolicySweep {
+            steps: (0..=max_steps)
+                .map(|s| (format!("widen+{s}"), base.widened_uniform(s)))
+                .collect(),
+        }
+    }
+
+    /// Widening along a single dimension only (for per-dimension ablations).
+    pub fn along(base: &HousePolicy, dim: Dim, max_steps: u32) -> PolicySweep {
+        PolicySweep {
+            steps: (0..=max_steps)
+                .map(|s| (format!("{}+{s}", dim.short_name()), base.widened(dim, s)))
+                .collect(),
+        }
+    }
+
+    /// Progressive purpose creep: step `s` adds `s` new unconsented
+    /// purposes (named `extra0`, `extra1`, …) at the given exposure point.
+    pub fn purpose_creep(base: &HousePolicy, point: PrivacyPoint, max_new: u32) -> PolicySweep {
+        let mut steps = Vec::with_capacity(max_new as usize + 1);
+        let mut current = base.clone();
+        steps.push(("purposes+0".to_string(), current.clone()));
+        for s in 0..max_new {
+            current = current.with_new_purpose(format!("extra{s}").as_str(), point);
+            steps.push((format!("purposes+{}", s + 1), current.clone()));
+        }
+        PolicySweep { steps }
+    }
+
+    /// Number of steps.
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// Whether the sweep is empty.
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+}
+
+/// Standard population sizes for scaling benchmarks.
+pub const SCALING_SIZES: [usize; 4] = [100, 1_000, 5_000, 20_000];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qpv_taxonomy::PrivacyTuple;
+
+    fn base() -> HousePolicy {
+        HousePolicy::builder("h")
+            .tuple(
+                "a",
+                PrivacyTuple::from_point("pr", PrivacyPoint::from_raw(1, 1, 1)),
+            )
+            .build()
+    }
+
+    #[test]
+    fn uniform_sweep_widens_monotonically() {
+        let sweep = PolicySweep::uniform(&base(), 5);
+        assert_eq!(sweep.len(), 6);
+        for (i, (label, hp)) in sweep.steps.iter().enumerate() {
+            assert_eq!(label, &format!("widen+{i}"));
+            assert_eq!(hp.max_level(Dim::Visibility), 1 + i as u32);
+        }
+    }
+
+    #[test]
+    fn single_dimension_sweep_leaves_others_fixed() {
+        let sweep = PolicySweep::along(&base(), Dim::Retention, 3);
+        let last = &sweep.steps[3].1;
+        assert_eq!(last.max_level(Dim::Retention), 4);
+        assert_eq!(last.max_level(Dim::Visibility), 1);
+    }
+
+    #[test]
+    fn purpose_creep_accumulates_purposes() {
+        let sweep = PolicySweep::purpose_creep(&base(), PrivacyPoint::from_raw(2, 2, 2), 3);
+        assert_eq!(sweep.len(), 4);
+        assert_eq!(sweep.steps[0].1.purposes().len(), 1);
+        assert_eq!(sweep.steps[3].1.purposes().len(), 4);
+        // Earlier steps are unchanged by later ones.
+        assert_eq!(sweep.steps[1].1.purposes().len(), 2);
+        assert!(!sweep.is_empty());
+    }
+}

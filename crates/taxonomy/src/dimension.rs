@@ -1,0 +1,177 @@
+//! The ordered privacy dimensions and the [`Level`] abstraction they share.
+//!
+//! The paper treats purpose as a grouping key (Assumption 4) and requires a
+//! total order only on the remaining three dimensions (Assumption 2). [`Dim`]
+//! enumerates those three ordered dimensions so that model code can iterate
+//! `dim ∈ {V, G, R}` exactly as Equation 14 does.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// The three *ordered* privacy dimensions of the taxonomy.
+///
+/// Purpose is deliberately absent: the base model treats it as a categorical
+/// grouping key, not an ordered axis (paper §3, Assumption 4). Code that
+/// needs "all four dimensions" should handle purpose separately, as the
+/// violation definitions themselves do.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Dim {
+    /// Who may access the datum while stored.
+    Visibility,
+    /// How precisely the datum is revealed.
+    Granularity,
+    /// How long the datum is retained.
+    Retention,
+}
+
+impl Dim {
+    /// All ordered dimensions, in the order Equation 14 sums over them.
+    pub const ALL: [Dim; 3] = [Dim::Visibility, Dim::Granularity, Dim::Retention];
+
+    /// A stable short name used by the policy DSL and reports.
+    pub fn short_name(self) -> &'static str {
+        match self {
+            Dim::Visibility => "vis",
+            Dim::Granularity => "gran",
+            Dim::Retention => "ret",
+        }
+    }
+
+    /// Parse a short name produced by [`Dim::short_name`].
+    pub fn from_short_name(name: &str) -> Option<Dim> {
+        match name {
+            "vis" => Some(Dim::Visibility),
+            "gran" => Some(Dim::Granularity),
+            "ret" => Some(Dim::Retention),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Dim {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            Dim::Visibility => "visibility",
+            Dim::Granularity => "granularity",
+            Dim::Retention => "retention",
+        };
+        f.write_str(name)
+    }
+}
+
+/// A value on one ordered privacy dimension.
+///
+/// Every ordered dimension is a total order over non-negative integers where
+/// a larger raw value means *more exposure* (wider visibility, finer
+/// granularity, longer retention). The trait pins down the pieces of that
+/// contract the violation model relies on:
+///
+/// * [`Level::raw`] is monotone in the dimension's order, and
+/// * [`Level::ZERO`] is the global minimum, used by the paper's implicit
+///   preference `⟨pr, 0, 0, 0⟩` for unspecified purposes (Definition 1).
+pub trait Level: Copy + Ord + Sized {
+    /// The dimension this level belongs to.
+    const DIM: Dim;
+
+    /// The global minimum of the dimension ("reveal nothing").
+    const ZERO: Self;
+
+    /// The raw order-embedding of the level.
+    fn raw(self) -> u32;
+
+    /// Construct a level from its raw order value.
+    fn from_raw(raw: u32) -> Self;
+
+    /// The level `n` steps *up* the order (towards more exposure),
+    /// saturating at `u32::MAX`. Mirrors the paper's `v + 2` notation.
+    fn plus(self, n: u32) -> Self {
+        Self::from_raw(self.raw().saturating_add(n))
+    }
+
+    /// The level `n` steps *down* the order (towards less exposure),
+    /// saturating at zero. Mirrors the paper's `g − 1` notation.
+    fn minus(self, n: u32) -> Self {
+        Self::from_raw(self.raw().saturating_sub(n))
+    }
+
+    /// The order distance `diff(p, P)` of Equation 12: how far `policy`
+    /// exceeds `self`, and `0` when it does not exceed.
+    ///
+    /// This is the severity model's per-dimension building block; it is
+    /// deliberately asymmetric — a policy *narrower* than the preference is
+    /// not a (negative) violation, it is simply no violation.
+    fn exceedance(self, policy: Self) -> u32 {
+        policy.raw().saturating_sub(self.raw())
+    }
+}
+
+/// Error returned when parsing a named level or raw number fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseLevelError {
+    /// The dimension being parsed.
+    pub dim: Dim,
+    /// The input that failed to parse.
+    pub input: String,
+}
+
+impl fmt::Display for ParseLevelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid {} level: {:?}", self.dim, self.input)
+    }
+}
+
+impl std::error::Error for ParseLevelError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{GranularityLevel, RetentionLevel, VisibilityLevel};
+
+    #[test]
+    fn all_lists_each_dimension_once() {
+        assert_eq!(Dim::ALL.len(), 3);
+        assert!(Dim::ALL.contains(&Dim::Visibility));
+        assert!(Dim::ALL.contains(&Dim::Granularity));
+        assert!(Dim::ALL.contains(&Dim::Retention));
+    }
+
+    #[test]
+    fn short_names_round_trip() {
+        for dim in Dim::ALL {
+            assert_eq!(Dim::from_short_name(dim.short_name()), Some(dim));
+        }
+        assert_eq!(Dim::from_short_name("bogus"), None);
+    }
+
+    #[test]
+    fn display_names_are_lowercase_words() {
+        assert_eq!(Dim::Visibility.to_string(), "visibility");
+        assert_eq!(Dim::Granularity.to_string(), "granularity");
+        assert_eq!(Dim::Retention.to_string(), "retention");
+    }
+
+    #[test]
+    fn plus_and_minus_saturate() {
+        let v = VisibilityLevel::from_raw(u32::MAX - 1);
+        assert_eq!(v.plus(5).raw(), u32::MAX);
+        let g = GranularityLevel::from_raw(1);
+        assert_eq!(g.minus(10), GranularityLevel::ZERO);
+    }
+
+    #[test]
+    fn exceedance_matches_equation_12() {
+        // diff(p, P) = P − p when P > p, 0 otherwise.
+        let pref = RetentionLevel::from_raw(10);
+        assert_eq!(pref.exceedance(RetentionLevel::from_raw(17)), 7);
+        assert_eq!(pref.exceedance(RetentionLevel::from_raw(10)), 0);
+        assert_eq!(pref.exceedance(RetentionLevel::from_raw(3)), 0);
+    }
+
+    #[test]
+    fn zero_is_global_minimum() {
+        assert_eq!(VisibilityLevel::ZERO.raw(), 0);
+        assert_eq!(GranularityLevel::ZERO.raw(), 0);
+        assert_eq!(RetentionLevel::ZERO.raw(), 0);
+    }
+}

@@ -1,0 +1,221 @@
+//! The geometric view of privacy violations (paper §3, Figure 1).
+//!
+//! A preference point `p` defines an axis-aligned box `[0, p]` in the ordered
+//! `(V, G, R)` space; a policy point `P` defines the box `[0, P]`. The policy
+//! violates the preference exactly when the policy box is *not* contained in
+//! the preference box — equivalently, when `P` exceeds `p` on at least one
+//! ordered dimension. [`ViolationGeometry`] records which dimensions escape
+//! and by how much, which is what Figure 1's three panels illustrate:
+//!
+//! * panel (a): containment, no violation;
+//! * panel (b): escape along one dimension;
+//! * panel (c): escape along two dimensions.
+
+use serde::{Deserialize, Serialize};
+
+use crate::dimension::Dim;
+use crate::tuple::PrivacyPoint;
+
+/// Classification of the policy box relative to the preference box,
+/// matching the panels of the paper's Figure 1 (extended to three ordered
+/// dimensions).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BoxRelation {
+    /// The policy box is contained in the preference box: no violation
+    /// (Figure 1a).
+    Contained,
+    /// The policy escapes along exactly one dimension (Figure 1b).
+    EscapesOne(Dim),
+    /// The policy escapes along exactly two dimensions (Figure 1c).
+    EscapesTwo(Dim, Dim),
+    /// The policy escapes along all three ordered dimensions.
+    EscapesAll,
+}
+
+impl BoxRelation {
+    /// Number of dimensions along which the policy escapes.
+    pub fn escape_count(&self) -> usize {
+        match self {
+            BoxRelation::Contained => 0,
+            BoxRelation::EscapesOne(_) => 1,
+            BoxRelation::EscapesTwo(_, _) => 2,
+            BoxRelation::EscapesAll => 3,
+        }
+    }
+
+    /// Whether this relation constitutes a violation (Definition 1).
+    pub fn is_violation(&self) -> bool {
+        self.escape_count() > 0
+    }
+}
+
+/// The full geometry of one preference-vs-policy comparison: which ordered
+/// dimensions the policy exceeds, and by how much on each.
+///
+/// The exceedance amounts are exactly Equation 12's `diff` values; the
+/// violation model weights them by sensitivities to obtain Equation 14's
+/// `conf`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ViolationGeometry {
+    /// Per-dimension exceedance `(dim, diff)`, zeros retained, in
+    /// `Dim::ALL` order.
+    pub exceedance: [(Dim, u32); 3],
+}
+
+impl ViolationGeometry {
+    /// Compare a policy point against a preference point.
+    pub fn compare(preference: &PrivacyPoint, policy: &PrivacyPoint) -> ViolationGeometry {
+        ViolationGeometry {
+            exceedance: preference.exceedance(policy),
+        }
+    }
+
+    /// The dimensions with strictly positive exceedance.
+    pub fn escaped_dims(&self) -> impl Iterator<Item = Dim> + '_ {
+        self.exceedance
+            .iter()
+            .filter(|(_, amount)| *amount > 0)
+            .map(|(dim, _)| *dim)
+    }
+
+    /// The exceedance along a specific dimension.
+    pub fn along(&self, dim: Dim) -> u32 {
+        self.exceedance
+            .iter()
+            .find(|(d, _)| *d == dim)
+            .map(|(_, amount)| *amount)
+            .expect("exceedance always covers all three ordered dimensions")
+    }
+
+    /// Sum of exceedances over all dimensions — the unweighted core of
+    /// Equation 14 (all sensitivities 1).
+    pub fn total_exceedance(&self) -> u64 {
+        self.exceedance.iter().map(|&(_, a)| a as u64).sum()
+    }
+
+    /// Whether any dimension escapes (Definition 1's violation test).
+    pub fn is_violation(&self) -> bool {
+        self.exceedance.iter().any(|&(_, a)| a > 0)
+    }
+
+    /// Classify into the Figure 1 panel taxonomy.
+    pub fn relation(&self) -> BoxRelation {
+        let escaped: Vec<Dim> = self.escaped_dims().collect();
+        match escaped.as_slice() {
+            [] => BoxRelation::Contained,
+            [d] => BoxRelation::EscapesOne(*d),
+            [d1, d2] => BoxRelation::EscapesTwo(*d1, *d2),
+            _ => BoxRelation::EscapesAll,
+        }
+    }
+}
+
+/// A rectangular sweep over one 2-D slice of the privacy space, reproducing
+/// the data behind Figure 1: for a fixed preference point, classify every
+/// policy point on the `(dim_x, dim_y)` grid.
+///
+/// Returns `(x, y, relation)` triples in row-major order. Dimensions other
+/// than `dim_x`/`dim_y` are held at the preference's own value (so they never
+/// escape, and the classification is purely two-dimensional, as in the
+/// figure).
+pub fn figure1_grid(
+    preference: &PrivacyPoint,
+    dim_x: Dim,
+    dim_y: Dim,
+    max_x: u32,
+    max_y: u32,
+) -> Vec<(u32, u32, BoxRelation)> {
+    assert_ne!(dim_x, dim_y, "figure axes must be distinct dimensions");
+    let mut out = Vec::with_capacity(((max_x + 1) * (max_y + 1)) as usize);
+    for y in 0..=max_y {
+        for x in 0..=max_x {
+            let policy = preference.with(dim_x, x).with(dim_y, y);
+            let geom = ViolationGeometry::compare(preference, &policy);
+            out.push((x, y, geom.relation()));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pt(v: u32, g: u32, r: u32) -> PrivacyPoint {
+        PrivacyPoint::from_raw(v, g, r)
+    }
+
+    #[test]
+    fn containment_is_not_a_violation() {
+        let geom = ViolationGeometry::compare(&pt(2, 2, 2), &pt(1, 2, 0));
+        assert_eq!(geom.relation(), BoxRelation::Contained);
+        assert!(!geom.is_violation());
+        assert_eq!(geom.total_exceedance(), 0);
+    }
+
+    #[test]
+    fn single_dimension_escape_matches_figure_1b() {
+        let geom = ViolationGeometry::compare(&pt(2, 2, 2), &pt(2, 4, 1));
+        assert_eq!(geom.relation(), BoxRelation::EscapesOne(Dim::Granularity));
+        assert!(geom.is_violation());
+        assert_eq!(geom.along(Dim::Granularity), 2);
+        assert_eq!(geom.along(Dim::Visibility), 0);
+    }
+
+    #[test]
+    fn two_dimension_escape_matches_figure_1c() {
+        let geom = ViolationGeometry::compare(&pt(2, 2, 2), &pt(3, 1, 5));
+        assert_eq!(
+            geom.relation(),
+            BoxRelation::EscapesTwo(Dim::Visibility, Dim::Retention)
+        );
+        assert_eq!(geom.total_exceedance(), 1 + 3);
+    }
+
+    #[test]
+    fn all_dimension_escape() {
+        let geom = ViolationGeometry::compare(&pt(0, 0, 0), &pt(1, 1, 1));
+        assert_eq!(geom.relation(), BoxRelation::EscapesAll);
+        assert_eq!(geom.escaped_dims().count(), 3);
+    }
+
+    #[test]
+    fn escape_count_is_consistent_with_relation() {
+        for (pref, policy, n) in [
+            (pt(1, 1, 1), pt(1, 1, 1), 0usize),
+            (pt(1, 1, 1), pt(2, 1, 1), 1),
+            (pt(1, 1, 1), pt(2, 2, 1), 2),
+            (pt(1, 1, 1), pt(2, 2, 2), 3),
+        ] {
+            let geom = ViolationGeometry::compare(&pref, &policy);
+            assert_eq!(geom.relation().escape_count(), n);
+            assert_eq!(geom.relation().is_violation(), n > 0);
+        }
+    }
+
+    #[test]
+    fn figure1_grid_partitions_the_plane() {
+        // Preference at (v=2, g=3) in the (Visibility, Granularity) slice.
+        let pref = pt(2, 3, 1);
+        let grid = figure1_grid(&pref, Dim::Visibility, Dim::Granularity, 5, 5);
+        assert_eq!(grid.len(), 36);
+        let contained = grid
+            .iter()
+            .filter(|(_, _, rel)| *rel == BoxRelation::Contained)
+            .count();
+        // Containment region is the (2+1)×(3+1) rectangle below the point.
+        assert_eq!(contained, 12);
+        // Everything strictly beyond both coordinates escapes along both.
+        for (x, y, rel) in &grid {
+            if *x > 2 && *y > 3 {
+                assert_eq!(rel.escape_count(), 2, "at ({x},{y})");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "distinct")]
+    fn figure1_grid_rejects_duplicate_axes() {
+        figure1_grid(&pt(1, 1, 1), Dim::Retention, Dim::Retention, 2, 2);
+    }
+}

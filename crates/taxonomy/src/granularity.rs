@@ -1,0 +1,139 @@
+//! The granularity dimension: *how precisely* a datum is revealed.
+//!
+//! The taxonomy distinguishes whether a datum is revealed at all
+//! (existential), as an aggregate/range (partial), or exactly (specific).
+//! Finer detail = larger raw value = more exposure. Earlier work cited by the
+//! paper (Williams & Barker 2007) found providers share *more* when allowed
+//! to share *coarser*, which is why granularity is central to the worked
+//! example (Ted's most sensitive dimension).
+
+use std::fmt;
+use std::str::FromStr;
+
+use serde::{Deserialize, Serialize};
+
+use crate::dimension::{Dim, Level, ParseLevelError};
+
+/// A point on the granularity order. Larger = finer detail = more exposure.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default, Serialize, Deserialize,
+)]
+#[serde(transparent)]
+pub struct GranularityLevel(u32);
+
+impl GranularityLevel {
+    /// The datum is not revealed in any form.
+    pub const NONE: GranularityLevel = GranularityLevel(0);
+    /// Only the datum's existence is revealed ("has a weight on file").
+    pub const EXISTENTIAL: GranularityLevel = GranularityLevel(1);
+    /// A generalised form is revealed (a range, bucket, or aggregate).
+    pub const PARTIAL: GranularityLevel = GranularityLevel(2);
+    /// The exact atomic value is revealed.
+    pub const SPECIFIC: GranularityLevel = GranularityLevel(3);
+
+    /// The named taxonomy levels in increasing order of exposure.
+    pub const NAMED: [GranularityLevel; 4] =
+        [Self::NONE, Self::EXISTENTIAL, Self::PARTIAL, Self::SPECIFIC];
+
+    /// The canonical name of this level if it is a named taxonomy level.
+    pub fn name(self) -> Option<&'static str> {
+        match self {
+            Self::NONE => Some("none"),
+            Self::EXISTENTIAL => Some("existential"),
+            Self::PARTIAL => Some("partial"),
+            Self::SPECIFIC => Some("specific"),
+            _ => None,
+        }
+    }
+}
+
+impl Level for GranularityLevel {
+    const DIM: Dim = Dim::Granularity;
+    const ZERO: Self = Self::NONE;
+
+    fn raw(self) -> u32 {
+        self.0
+    }
+
+    fn from_raw(raw: u32) -> Self {
+        GranularityLevel(raw)
+    }
+}
+
+impl fmt::Display for GranularityLevel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.name() {
+            Some(name) => f.write_str(name),
+            None => write!(f, "gran:{}", self.0),
+        }
+    }
+}
+
+impl FromStr for GranularityLevel {
+    type Err = ParseLevelError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let lower = s.trim().to_ascii_lowercase();
+        let level = match lower.as_str() {
+            "none" => Some(Self::NONE),
+            "existential" | "exists" => Some(Self::EXISTENTIAL),
+            "partial" | "range" => Some(Self::PARTIAL),
+            "specific" | "exact" => Some(Self::SPECIFIC),
+            other => other
+                .strip_prefix("gran:")
+                .unwrap_or(other)
+                .parse::<u32>()
+                .ok()
+                .map(GranularityLevel),
+        };
+        level.ok_or_else(|| ParseLevelError {
+            dim: Dim::Granularity,
+            input: s.to_string(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn named_levels_are_strictly_increasing() {
+        for pair in GranularityLevel::NAMED.windows(2) {
+            assert!(pair[0] < pair[1]);
+        }
+    }
+
+    #[test]
+    fn coarser_is_less_exposed() {
+        // The corollary the paper draws from Williams & Barker: a range is
+        // strictly less exposed than the exact value.
+        assert!(GranularityLevel::PARTIAL < GranularityLevel::SPECIFIC);
+    }
+
+    #[test]
+    fn display_and_parse_round_trip() {
+        for level in GranularityLevel::NAMED {
+            assert_eq!(level.to_string().parse::<GranularityLevel>().unwrap(), level);
+        }
+        let odd = GranularityLevel::from_raw(9);
+        assert_eq!(odd.to_string().parse::<GranularityLevel>().unwrap(), odd);
+    }
+
+    #[test]
+    fn parse_accepts_aliases() {
+        assert_eq!(
+            "exact".parse::<GranularityLevel>().unwrap(),
+            GranularityLevel::SPECIFIC
+        );
+        assert_eq!(
+            "range".parse::<GranularityLevel>().unwrap(),
+            GranularityLevel::PARTIAL
+        );
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!("ultra".parse::<GranularityLevel>().is_err());
+    }
+}

@@ -1,0 +1,371 @@
+//! A dominance lattice over purposes (the paper's §3, Assumption 4 note).
+//!
+//! The base model treats purposes as merely distinguishable. The paper points
+//! at ongoing work (Ghazinour & Barker's enforceable lattice structure for
+//! P3P semantics) that arranges purposes in a lattice; under that extension,
+//! a policy tuple for purpose `q` is comparable with a preference tuple for
+//! purpose `p` whenever `q` is dominated by `p` (using data for a *narrower*
+//! purpose than consented is fine; a *broader* one is not).
+//!
+//! [`PurposeLattice`] is a DAG of `narrower → broader` edges with reachability
+//! queries, cycle rejection, and least-upper-bound computation. The ablation
+//! experiment A2 compares violation counts under flat purpose matching vs
+//! lattice-dominance matching.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::purpose::Purpose;
+
+/// Error building or querying a [`PurposeLattice`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LatticeError {
+    /// Adding the edge would create a cycle, breaking the partial order.
+    CycleDetected {
+        /// The narrower end of the offending edge.
+        narrower: Purpose,
+        /// The broader end of the offending edge.
+        broader: Purpose,
+    },
+    /// The purpose is not a member of the lattice.
+    UnknownPurpose(Purpose),
+}
+
+impl fmt::Display for LatticeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LatticeError::CycleDetected { narrower, broader } => write!(
+                f,
+                "edge {narrower} ⊑ {broader} would create a cycle in the purpose lattice"
+            ),
+            LatticeError::UnknownPurpose(p) => write!(f, "purpose {p} is not in the lattice"),
+        }
+    }
+}
+
+impl std::error::Error for LatticeError {}
+
+/// A partial order over purposes, `narrower ⊑ broader`.
+///
+/// Stored as a DAG with memo-free reachability (the lattices in policy work
+/// are small — tens of nodes — so a DFS per query is cheap and keeps the
+/// structure trivially correct under mutation).
+#[derive(Debug, Clone, Default)]
+pub struct PurposeLattice {
+    /// node id per purpose
+    ids: HashMap<Purpose, usize>,
+    /// purpose per node id
+    purposes: Vec<Purpose>,
+    /// adjacency: edges from narrower to broader
+    up_edges: Vec<Vec<usize>>,
+}
+
+impl PurposeLattice {
+    /// An empty lattice (every purpose incomparable — the base model).
+    pub fn new() -> PurposeLattice {
+        PurposeLattice::default()
+    }
+
+    /// Insert a purpose as a node (idempotent). Returns its node id.
+    pub fn add_purpose(&mut self, purpose: impl Into<Purpose>) -> usize {
+        let purpose = purpose.into();
+        if let Some(&id) = self.ids.get(&purpose) {
+            return id;
+        }
+        let id = self.purposes.len();
+        self.ids.insert(purpose.clone(), id);
+        self.purposes.push(purpose);
+        self.up_edges.push(Vec::new());
+        id
+    }
+
+    /// Declare `narrower ⊑ broader`. Both purposes are added if missing.
+    ///
+    /// Fails (leaving the lattice unchanged) if the edge would create a
+    /// cycle, which would make "dominates" reflexive between distinct
+    /// purposes and break the partial order.
+    pub fn add_edge(
+        &mut self,
+        narrower: impl Into<Purpose>,
+        broader: impl Into<Purpose>,
+    ) -> Result<(), LatticeError> {
+        let narrower = narrower.into();
+        let broader = broader.into();
+        let n = self.add_purpose(narrower.clone());
+        let b = self.add_purpose(broader.clone());
+        if n == b || self.reachable(b, n) {
+            return Err(LatticeError::CycleDetected { narrower, broader });
+        }
+        if !self.up_edges[n].contains(&b) {
+            self.up_edges[n].push(b);
+        }
+        Ok(())
+    }
+
+    /// Number of purposes in the lattice.
+    pub fn len(&self) -> usize {
+        self.purposes.len()
+    }
+
+    /// Whether the lattice has no purposes.
+    pub fn is_empty(&self) -> bool {
+        self.purposes.is_empty()
+    }
+
+    /// Whether `purpose` is a member.
+    pub fn contains(&self, purpose: &Purpose) -> bool {
+        self.ids.contains_key(purpose)
+    }
+
+    /// Whether `sub ⊑ sup` in the lattice (reflexive).
+    ///
+    /// Unknown purposes are only comparable to themselves, which makes the
+    /// lattice a conservative refinement of flat matching: adding a lattice
+    /// can only *add* comparability between distinct purposes, never remove
+    /// the identity comparisons the base model performs.
+    pub fn dominated_by(&self, sub: &Purpose, sup: &Purpose) -> bool {
+        if sub == sup {
+            return true;
+        }
+        match (self.ids.get(sub), self.ids.get(sup)) {
+            (Some(&a), Some(&b)) => self.reachable(a, b),
+            _ => false,
+        }
+    }
+
+    /// All purposes that dominate `purpose` (including itself).
+    pub fn ancestors(&self, purpose: &Purpose) -> Result<Vec<Purpose>, LatticeError> {
+        let &start = self
+            .ids
+            .get(purpose)
+            .ok_or_else(|| LatticeError::UnknownPurpose(purpose.clone()))?;
+        let mut seen = vec![false; self.purposes.len()];
+        let mut stack = vec![start];
+        let mut out = Vec::new();
+        while let Some(node) = stack.pop() {
+            if std::mem::replace(&mut seen[node], true) {
+                continue;
+            }
+            out.push(self.purposes[node].clone());
+            stack.extend(&self.up_edges[node]);
+        }
+        out.sort();
+        Ok(out)
+    }
+
+    /// Least upper bounds of two purposes: the minimal common ancestors.
+    ///
+    /// In a true lattice this is a single purpose; in a general DAG there may
+    /// be several (or none), all of which are returned.
+    pub fn least_upper_bounds(
+        &self,
+        a: &Purpose,
+        b: &Purpose,
+    ) -> Result<Vec<Purpose>, LatticeError> {
+        let anc_a = self.ancestors(a)?;
+        let anc_b = self.ancestors(b)?;
+        let common: Vec<Purpose> = anc_a.iter().filter(|p| anc_b.contains(p)).cloned().collect();
+        // Keep only the minimal elements of the common-ancestor set.
+        let minimal: Vec<Purpose> = common
+            .iter()
+            .filter(|c| {
+                !common
+                    .iter()
+                    .any(|other| *other != **c && self.dominated_by(other, c))
+            })
+            .cloned()
+            .collect();
+        Ok(minimal)
+    }
+
+    fn reachable(&self, from: usize, to: usize) -> bool {
+        if from == to {
+            return true;
+        }
+        let mut seen = vec![false; self.purposes.len()];
+        let mut stack = vec![from];
+        while let Some(node) = stack.pop() {
+            if std::mem::replace(&mut seen[node], true) {
+                continue;
+            }
+            if node == to {
+                return true;
+            }
+            stack.extend(&self.up_edges[node]);
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(name: &str) -> Purpose {
+        Purpose::new(name)
+    }
+
+    /// billing ⊑ operations ⊑ any; ads ⊑ marketing ⊑ any
+    fn sample() -> PurposeLattice {
+        let mut l = PurposeLattice::new();
+        l.add_edge("billing", "operations").unwrap();
+        l.add_edge("operations", "any").unwrap();
+        l.add_edge("ads", "marketing").unwrap();
+        l.add_edge("marketing", "any").unwrap();
+        l
+    }
+
+    #[test]
+    fn dominance_is_reflexive_and_transitive() {
+        let l = sample();
+        assert!(l.dominated_by(&p("billing"), &p("billing")));
+        assert!(l.dominated_by(&p("billing"), &p("operations")));
+        assert!(l.dominated_by(&p("billing"), &p("any")));
+        assert!(!l.dominated_by(&p("operations"), &p("billing")));
+        assert!(!l.dominated_by(&p("billing"), &p("marketing")));
+    }
+
+    #[test]
+    fn unknown_purposes_are_only_self_comparable() {
+        let l = sample();
+        assert!(l.dominated_by(&p("mystery"), &p("mystery")));
+        assert!(!l.dominated_by(&p("mystery"), &p("any")));
+        assert!(!l.dominated_by(&p("any"), &p("mystery")));
+    }
+
+    #[test]
+    fn cycles_are_rejected() {
+        let mut l = sample();
+        let err = l.add_edge("any", "billing").unwrap_err();
+        assert!(matches!(err, LatticeError::CycleDetected { .. }));
+        // Self loops too.
+        assert!(l.add_edge("ads", "ads").is_err());
+        // The failed insert must not have corrupted the order.
+        assert!(l.dominated_by(&p("billing"), &p("any")));
+        assert!(!l.dominated_by(&p("any"), &p("billing")));
+    }
+
+    #[test]
+    fn ancestors_include_self_and_all_broader() {
+        let l = sample();
+        let anc = l.ancestors(&p("billing")).unwrap();
+        assert_eq!(anc, vec![p("any"), p("billing"), p("operations")]);
+        assert!(matches!(
+            l.ancestors(&p("nope")),
+            Err(LatticeError::UnknownPurpose(_))
+        ));
+    }
+
+    #[test]
+    fn least_upper_bounds_finds_the_join() {
+        let l = sample();
+        assert_eq!(
+            l.least_upper_bounds(&p("billing"), &p("ads")).unwrap(),
+            vec![p("any")]
+        );
+        assert_eq!(
+            l.least_upper_bounds(&p("billing"), &p("operations")).unwrap(),
+            vec![p("operations")]
+        );
+        assert_eq!(
+            l.least_upper_bounds(&p("ads"), &p("ads")).unwrap(),
+            vec![p("ads")]
+        );
+    }
+
+    #[test]
+    fn duplicate_edges_and_nodes_are_idempotent() {
+        let mut l = sample();
+        let before = l.len();
+        l.add_edge("billing", "operations").unwrap();
+        l.add_purpose("billing");
+        assert_eq!(l.len(), before);
+    }
+
+    #[test]
+    fn empty_lattice_behaves_like_flat_matching() {
+        let l = PurposeLattice::new();
+        assert!(l.is_empty());
+        assert!(l.dominated_by(&p("x"), &p("x")));
+        assert!(!l.dominated_by(&p("x"), &p("y")));
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        /// Build a lattice from random edges over a small purpose universe,
+        /// silently skipping the ones the cycle check rejects — the result
+        /// is always a valid DAG.
+        fn build(edges: &[(u8, u8)]) -> PurposeLattice {
+            let mut l = PurposeLattice::new();
+            for (a, b) in edges {
+                let _ = l.add_edge(format!("p{a}"), format!("p{b}"));
+            }
+            l
+        }
+
+        proptest! {
+            /// Whatever edges are thrown at it, the accepted relation is a
+            /// partial order: reflexive, transitive, antisymmetric.
+            #[test]
+            fn random_edges_always_yield_a_partial_order(
+                edges in proptest::collection::vec((0u8..8, 0u8..8), 0..24)
+            ) {
+                let l = build(&edges);
+                let ps: Vec<Purpose> = (0..8).map(|i| p(&format!("p{i}"))).collect();
+                for a in &ps {
+                    prop_assert!(l.dominated_by(a, a), "reflexivity");
+                    for b in &ps {
+                        if a != b && l.dominated_by(a, b) {
+                            prop_assert!(!l.dominated_by(b, a), "antisymmetry {a} {b}");
+                        }
+                        for c in &ps {
+                            if l.dominated_by(a, b) && l.dominated_by(b, c) {
+                                prop_assert!(l.dominated_by(a, c), "transitivity {a} {b} {c}");
+                            }
+                        }
+                    }
+                }
+            }
+
+            /// `ancestors` agrees with `dominated_by`, and every common
+            /// upper bound dominates some least upper bound.
+            #[test]
+            fn ancestors_and_lubs_are_consistent(
+                edges in proptest::collection::vec((0u8..6, 0u8..6), 0..18)
+            ) {
+                let l = build(&edges);
+                let ps: Vec<Purpose> = (0..6)
+                    .map(|i| p(&format!("p{i}")))
+                    .filter(|x| l.contains(x))
+                    .collect();
+                for a in &ps {
+                    let anc = l.ancestors(a).unwrap();
+                    for b in &ps {
+                        prop_assert_eq!(anc.contains(b), l.dominated_by(a, b));
+                    }
+                }
+                for a in &ps {
+                    for b in &ps {
+                        let lubs = l.least_upper_bounds(a, b).unwrap();
+                        for lub in &lubs {
+                            prop_assert!(l.dominated_by(a, lub));
+                            prop_assert!(l.dominated_by(b, lub));
+                        }
+                        // Every common ancestor dominates some LUB... i.e.
+                        // is dominated BY no LUB it strictly precedes;
+                        // check minimality: no LUB dominates another.
+                        for x in &lubs {
+                            for y in &lubs {
+                                if x != y {
+                                    prop_assert!(!l.dominated_by(x, y), "non-minimal LUB");
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+}

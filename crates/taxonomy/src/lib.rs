@@ -1,0 +1,54 @@
+//! # qpv-taxonomy
+//!
+//! The four-dimensional data-privacy taxonomy underlying *Quantifying Privacy
+//! Violations* (Banerjee, Karimi Adl, Wu, Barker; SDM @ VLDB 2011), which in
+//! turn builds on *A Data Privacy Taxonomy* (Barker et al., BNCOD 2009).
+//!
+//! Privacy is modelled as a point in a four-dimensional space:
+//!
+//! * [`Purpose`] — *why* the datum is used. Categorical: different purposes
+//!   are distinguishable but (in the base model) not ordered. An optional
+//!   [`lattice::PurposeLattice`] refines this into a dominance hierarchy,
+//!   following the paper's reference to lattice-structured purposes.
+//! * [`VisibilityLevel`] — *who* may see the datum while stored. Totally
+//!   ordered from [`VisibilityLevel::NONE`] (no one) to
+//!   [`VisibilityLevel::WORLD`] (public).
+//! * [`GranularityLevel`] — *how precisely* the datum is revealed. Totally
+//!   ordered from [`GranularityLevel::NONE`] (not revealed) to
+//!   [`GranularityLevel::SPECIFIC`] (exact value).
+//! * [`RetentionLevel`] — *how long* the datum is kept. Ordered time,
+//!   measured in days.
+//!
+//! A [`PrivacyTuple`] combines one value from each dimension. House policies
+//! and provider preferences are sets of such tuples (built in the
+//! `qpv-policy` crate); a *violation* occurs when a policy tuple exceeds a
+//! comparable preference tuple on any ordered dimension — the geometric
+//! "escape from the bounding box" of the paper's Figure 1, implemented in
+//! [`geometry`].
+//!
+//! ## Design notes
+//!
+//! The paper's worked example performs arithmetic on dimension values
+//! (`v + 2`, `g − 1`, …), so each ordered dimension is represented as a
+//! newtype over `u32` rather than a closed enum: the well-known taxonomy
+//! levels are associated constants, and any intermediate level is
+//! representable. Saturating arithmetic helpers ([`VisibilityLevel::plus`],
+//! etc.) make the example's notation directly expressible.
+
+pub mod dimension;
+pub mod geometry;
+pub mod granularity;
+pub mod lattice;
+pub mod purpose;
+pub mod retention;
+pub mod tuple;
+pub mod visibility;
+
+pub use dimension::{Dim, Level, ParseLevelError};
+pub use geometry::{BoxRelation, ViolationGeometry};
+pub use granularity::GranularityLevel;
+pub use lattice::{LatticeError, PurposeLattice};
+pub use purpose::{Purpose, PurposeSet};
+pub use retention::RetentionLevel;
+pub use tuple::{PrivacyPoint, PrivacyTuple};
+pub use visibility::VisibilityLevel;

@@ -1,0 +1,204 @@
+//! The purpose dimension: *why* a datum is collected and used.
+//!
+//! In the base model, purpose is categorical — the only assumption the paper
+//! makes is that distinct purposes are distinguishable (Assumption 4). It
+//! acts as the *grouping key* for violation assessment: policy and preference
+//! tuples are compared only within the same purpose. The optional
+//! [`crate::lattice::PurposeLattice`] adds the dominance structure the paper
+//! points to as ongoing research.
+
+use std::borrow::Borrow;
+use std::fmt;
+use std::sync::Arc;
+
+use serde::de::{Deserialize, Deserializer};
+use serde::ser::{Serialize, Serializer};
+
+/// A named purpose, e.g. `"billing"`, `"marketing"`, `"research"`.
+///
+/// Purposes are interned behind an [`Arc`], so cloning is a reference-count
+/// bump; privacy tuples carry their purpose by value throughout the model.
+/// Comparison is by case-sensitive name.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Purpose(Arc<str>);
+
+impl Purpose {
+    /// Create a purpose with the given name.
+    pub fn new(name: impl AsRef<str>) -> Purpose {
+        Purpose(Arc::from(name.as_ref()))
+    }
+
+    /// The purpose's name.
+    pub fn name(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Display for Purpose {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl From<&str> for Purpose {
+    fn from(name: &str) -> Purpose {
+        Purpose::new(name)
+    }
+}
+
+impl From<String> for Purpose {
+    fn from(name: String) -> Purpose {
+        Purpose(Arc::from(name))
+    }
+}
+
+impl Borrow<str> for Purpose {
+    fn borrow(&self) -> &str {
+        &self.0
+    }
+}
+
+impl Serialize for Purpose {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_str(&self.0)
+    }
+}
+
+impl<'de> Deserialize<'de> for Purpose {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let s = String::deserialize(deserializer)?;
+        Ok(Purpose::from(s))
+    }
+}
+
+/// A deduplicated, ordered set of purposes.
+///
+/// Policies and preference sets need "all purposes mentioned anywhere" when
+/// applying Definition 1's implicit-preference rule; this small sorted-vec
+/// set keeps that computation allocation-light and deterministic.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PurposeSet {
+    items: Vec<Purpose>,
+}
+
+impl PurposeSet {
+    /// An empty set.
+    pub fn new() -> PurposeSet {
+        PurposeSet::default()
+    }
+
+    /// Insert a purpose; returns `true` if it was not already present.
+    pub fn insert(&mut self, purpose: Purpose) -> bool {
+        match self.items.binary_search(&purpose) {
+            Ok(_) => false,
+            Err(pos) => {
+                self.items.insert(pos, purpose);
+                true
+            }
+        }
+    }
+
+    /// Whether the set contains `purpose`.
+    pub fn contains(&self, purpose: &Purpose) -> bool {
+        self.items.binary_search(purpose).is_ok()
+    }
+
+    /// Number of distinct purposes.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Iterate purposes in name order.
+    pub fn iter(&self) -> impl Iterator<Item = &Purpose> {
+        self.items.iter()
+    }
+
+    /// The set union of `self` and `other`.
+    pub fn union(&self, other: &PurposeSet) -> PurposeSet {
+        let mut out = self.clone();
+        for p in other.iter() {
+            out.insert(p.clone());
+        }
+        out
+    }
+}
+
+impl FromIterator<Purpose> for PurposeSet {
+    fn from_iter<I: IntoIterator<Item = Purpose>>(iter: I) -> PurposeSet {
+        let mut set = PurposeSet::new();
+        for p in iter {
+            set.insert(p);
+        }
+        set
+    }
+}
+
+impl<'a> IntoIterator for &'a PurposeSet {
+    type Item = &'a Purpose;
+    type IntoIter = std::slice::Iter<'a, Purpose>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.items.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn purposes_compare_by_name() {
+        assert_eq!(Purpose::new("billing"), Purpose::from("billing"));
+        assert_ne!(Purpose::new("billing"), Purpose::new("Billing"));
+    }
+
+    #[test]
+    fn clone_is_cheap_and_equal() {
+        let p = Purpose::new("research");
+        let q = p.clone();
+        assert_eq!(p, q);
+        assert_eq!(q.name(), "research");
+    }
+
+    #[test]
+    fn set_deduplicates_and_sorts() {
+        let mut set = PurposeSet::new();
+        assert!(set.insert(Purpose::new("marketing")));
+        assert!(set.insert(Purpose::new("billing")));
+        assert!(!set.insert(Purpose::new("marketing")));
+        let names: Vec<_> = set.iter().map(Purpose::name).collect();
+        assert_eq!(names, ["billing", "marketing"]);
+        assert_eq!(set.len(), 2);
+    }
+
+    #[test]
+    fn set_union_merges_without_duplicates() {
+        let a: PurposeSet = ["billing", "ads"].into_iter().map(Purpose::from).collect();
+        let b: PurposeSet = ["ads", "research"].into_iter().map(Purpose::from).collect();
+        let u = a.union(&b);
+        assert_eq!(u.len(), 3);
+        assert!(u.contains(&Purpose::new("billing")));
+        assert!(u.contains(&Purpose::new("research")));
+    }
+
+    #[test]
+    fn empty_set_behaviour() {
+        let set = PurposeSet::new();
+        assert!(set.is_empty());
+        assert!(!set.contains(&Purpose::new("x")));
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let p = Purpose::new("analytics");
+        let json = serde_json::to_string(&p).unwrap();
+        assert_eq!(json, "\"analytics\"");
+        let back: Purpose = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, p);
+    }
+}

@@ -1,0 +1,163 @@
+//! The retention dimension: *how long* a datum is kept.
+//!
+//! Retention is naturally ordered time. We measure it in whole days, which is
+//! fine-grained enough for policy statements ("90 days", "7 years") while
+//! keeping the raw order an integer like the other dimensions. The special
+//! value [`RetentionLevel::FOREVER`] (the order's maximum) models indefinite
+//! retention — the paper's motivating "retention of data for an unspecified
+//! period in time".
+
+use std::fmt;
+use std::str::FromStr;
+
+use serde::{Deserialize, Serialize};
+
+use crate::dimension::{Dim, Level, ParseLevelError};
+
+/// A point on the retention order, in days. Larger = kept longer = more
+/// exposure.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default, Serialize, Deserialize,
+)]
+#[serde(transparent)]
+pub struct RetentionLevel(u32);
+
+impl RetentionLevel {
+    /// The datum is not retained at all (processed and discarded).
+    pub const NONE: RetentionLevel = RetentionLevel(0);
+    /// Indefinite retention: the maximum of the order.
+    pub const FOREVER: RetentionLevel = RetentionLevel(u32::MAX);
+
+    /// Retention for `n` days.
+    pub const fn days(n: u32) -> RetentionLevel {
+        RetentionLevel(n)
+    }
+
+    /// Retention for `n` weeks (7-day weeks), saturating.
+    pub const fn weeks(n: u32) -> RetentionLevel {
+        RetentionLevel(n.saturating_mul(7))
+    }
+
+    /// Retention for `n` 30-day months, saturating.
+    pub const fn months(n: u32) -> RetentionLevel {
+        RetentionLevel(n.saturating_mul(30))
+    }
+
+    /// Retention for `n` 365-day years, saturating.
+    pub const fn years(n: u32) -> RetentionLevel {
+        RetentionLevel(n.saturating_mul(365))
+    }
+
+    /// The retention period in whole days.
+    pub const fn as_days(self) -> u32 {
+        self.0
+    }
+
+    /// Whether this is indefinite retention.
+    pub const fn is_forever(self) -> bool {
+        self.0 == u32::MAX
+    }
+}
+
+impl Level for RetentionLevel {
+    const DIM: Dim = Dim::Retention;
+    const ZERO: Self = Self::NONE;
+
+    fn raw(self) -> u32 {
+        self.0
+    }
+
+    fn from_raw(raw: u32) -> Self {
+        RetentionLevel(raw)
+    }
+}
+
+impl fmt::Display for RetentionLevel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_forever() {
+            f.write_str("forever")
+        } else {
+            write!(f, "{}d", self.0)
+        }
+    }
+}
+
+impl FromStr for RetentionLevel {
+    type Err = ParseLevelError;
+
+    /// Accepts `"forever"`, `"none"`, a raw day count, or a count with a
+    /// `d`/`w`/`m`/`y` suffix (days, weeks, 30-day months, 365-day years).
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let err = || ParseLevelError {
+            dim: Dim::Retention,
+            input: s.to_string(),
+        };
+        let lower = s.trim().to_ascii_lowercase();
+        match lower.as_str() {
+            "forever" | "indefinite" => return Ok(Self::FOREVER),
+            "none" => return Ok(Self::NONE),
+            _ => {}
+        }
+        let (digits, scale) = match lower.as_bytes().last() {
+            Some(b'd') => (&lower[..lower.len() - 1], 1u32),
+            Some(b'w') => (&lower[..lower.len() - 1], 7),
+            Some(b'm') => (&lower[..lower.len() - 1], 30),
+            Some(b'y') => (&lower[..lower.len() - 1], 365),
+            _ => (lower.as_str(), 1),
+        };
+        let n: u32 = digits.parse().map_err(|_| err())?;
+        Ok(RetentionLevel(n.saturating_mul(scale)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_agree_on_units() {
+        assert_eq!(RetentionLevel::weeks(2), RetentionLevel::days(14));
+        assert_eq!(RetentionLevel::months(3), RetentionLevel::days(90));
+        assert_eq!(RetentionLevel::years(1), RetentionLevel::days(365));
+    }
+
+    #[test]
+    fn forever_dominates_everything() {
+        assert!(RetentionLevel::FOREVER > RetentionLevel::years(1000));
+        assert!(RetentionLevel::FOREVER.is_forever());
+        assert!(!RetentionLevel::years(1).is_forever());
+    }
+
+    #[test]
+    fn display_round_trips() {
+        for level in [
+            RetentionLevel::NONE,
+            RetentionLevel::days(90),
+            RetentionLevel::FOREVER,
+        ] {
+            assert_eq!(level.to_string().parse::<RetentionLevel>().unwrap(), level);
+        }
+    }
+
+    #[test]
+    fn parse_suffixes() {
+        assert_eq!("90d".parse::<RetentionLevel>().unwrap(), RetentionLevel::days(90));
+        assert_eq!("2w".parse::<RetentionLevel>().unwrap(), RetentionLevel::days(14));
+        assert_eq!("6m".parse::<RetentionLevel>().unwrap(), RetentionLevel::days(180));
+        assert_eq!("7y".parse::<RetentionLevel>().unwrap(), RetentionLevel::years(7));
+        assert_eq!("120".parse::<RetentionLevel>().unwrap(), RetentionLevel::days(120));
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!("ninety days".parse::<RetentionLevel>().is_err());
+        assert!("".parse::<RetentionLevel>().is_err());
+        assert!("d".parse::<RetentionLevel>().is_err());
+    }
+
+    #[test]
+    fn years_saturate_instead_of_overflowing() {
+        let huge = RetentionLevel::years(u32::MAX);
+        assert_eq!(huge, RetentionLevel::FOREVER);
+    }
+}

@@ -1,0 +1,327 @@
+//! Privacy tuples: points in the four-dimensional privacy space.
+//!
+//! A [`PrivacyTuple`] is the paper's `p ∈ P = Pr × V × G × R` (Equation 1).
+//! Because purpose is categorical while the other three dimensions are
+//! ordered, the ordered part is factored out as a [`PrivacyPoint`] — the
+//! coordinates in `(V, G, R)` space on which all geometric comparisons
+//! (dominance, bounding, per-dimension exceedance) operate.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::dimension::{Dim, Level};
+use crate::granularity::GranularityLevel;
+use crate::purpose::Purpose;
+use crate::retention::RetentionLevel;
+use crate::visibility::VisibilityLevel;
+
+/// Coordinates in the ordered `(visibility, granularity, retention)` space.
+///
+/// The componentwise partial order on points is the backbone of the violation
+/// model: a preference point `p` "bounds" a policy point `P` iff `P ≤ p` on
+/// every ordered dimension (the box containment of the paper's Figure 1).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize, PartialOrd, Ord,
+)]
+pub struct PrivacyPoint {
+    /// Who may access the datum.
+    pub visibility: VisibilityLevel,
+    /// How precisely the datum is revealed.
+    pub granularity: GranularityLevel,
+    /// How long the datum is retained.
+    pub retention: RetentionLevel,
+}
+
+impl PrivacyPoint {
+    /// The origin `⟨0, 0, 0⟩`: reveal nothing, to no one, for no time.
+    ///
+    /// Definition 1 assigns this point as the *implicit preference* for any
+    /// purpose the provider did not mention.
+    pub const ZERO: PrivacyPoint = PrivacyPoint {
+        visibility: VisibilityLevel::NONE,
+        granularity: GranularityLevel::NONE,
+        retention: RetentionLevel::NONE,
+    };
+
+    /// Construct a point from its three coordinates.
+    pub const fn new(
+        visibility: VisibilityLevel,
+        granularity: GranularityLevel,
+        retention: RetentionLevel,
+    ) -> PrivacyPoint {
+        PrivacyPoint {
+            visibility,
+            granularity,
+            retention,
+        }
+    }
+
+    /// Construct a point from raw order values `(v, g, r)`.
+    pub fn from_raw(v: u32, g: u32, r: u32) -> PrivacyPoint {
+        PrivacyPoint {
+            visibility: VisibilityLevel::from_raw(v),
+            granularity: GranularityLevel::from_raw(g),
+            retention: RetentionLevel::from_raw(r),
+        }
+    }
+
+    /// The raw order value of the given ordered dimension — the paper's
+    /// `p[dim]` notation.
+    pub fn get(&self, dim: Dim) -> u32 {
+        match dim {
+            Dim::Visibility => self.visibility.raw(),
+            Dim::Granularity => self.granularity.raw(),
+            Dim::Retention => self.retention.raw(),
+        }
+    }
+
+    /// Replace the given ordered dimension with a raw order value.
+    pub fn with(&self, dim: Dim, raw: u32) -> PrivacyPoint {
+        let mut out = *self;
+        match dim {
+            Dim::Visibility => out.visibility = VisibilityLevel::from_raw(raw),
+            Dim::Granularity => out.granularity = GranularityLevel::from_raw(raw),
+            Dim::Retention => out.retention = RetentionLevel::from_raw(raw),
+        }
+        out
+    }
+
+    /// Componentwise `≤`: `self` is within the box bounded by `bound`.
+    ///
+    /// This is Figure 1(a): the policy box is completely contained in the
+    /// preference box.
+    pub fn bounded_by(&self, bound: &PrivacyPoint) -> bool {
+        Dim::ALL.iter().all(|&d| self.get(d) <= bound.get(d))
+    }
+
+    /// Componentwise `≥` with at least one strict: `self` strictly dominates
+    /// `other` (is at least as exposed everywhere and more exposed
+    /// somewhere).
+    pub fn dominates(&self, other: &PrivacyPoint) -> bool {
+        let ge = Dim::ALL.iter().all(|&d| self.get(d) >= other.get(d));
+        ge && *self != *other
+    }
+
+    /// The dimensions on which `policy` exceeds `self` (Definition 1's
+    /// existential test, reported per dimension).
+    pub fn exceeded_dims(&self, policy: &PrivacyPoint) -> Vec<Dim> {
+        Dim::ALL
+            .iter()
+            .copied()
+            .filter(|&d| policy.get(d) > self.get(d))
+            .collect()
+    }
+
+    /// Per-dimension exceedance `diff(p[dim], P[dim])` of Equation 12, as a
+    /// `(dim, amount)` triple with zeros retained.
+    pub fn exceedance(&self, policy: &PrivacyPoint) -> [(Dim, u32); 3] {
+        [
+            (
+                Dim::Visibility,
+                self.visibility.exceedance(policy.visibility),
+            ),
+            (
+                Dim::Granularity,
+                self.granularity.exceedance(policy.granularity),
+            ),
+            (Dim::Retention, self.retention.exceedance(policy.retention)),
+        ]
+    }
+
+    /// The componentwise maximum of two points (the join in the product
+    /// order).
+    pub fn join(&self, other: &PrivacyPoint) -> PrivacyPoint {
+        PrivacyPoint::from_raw(
+            self.get(Dim::Visibility).max(other.get(Dim::Visibility)),
+            self.get(Dim::Granularity).max(other.get(Dim::Granularity)),
+            self.get(Dim::Retention).max(other.get(Dim::Retention)),
+        )
+    }
+
+    /// The componentwise minimum of two points (the meet in the product
+    /// order).
+    pub fn meet(&self, other: &PrivacyPoint) -> PrivacyPoint {
+        PrivacyPoint::from_raw(
+            self.get(Dim::Visibility).min(other.get(Dim::Visibility)),
+            self.get(Dim::Granularity).min(other.get(Dim::Granularity)),
+            self.get(Dim::Retention).min(other.get(Dim::Retention)),
+        )
+    }
+}
+
+impl fmt::Display for PrivacyPoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "⟨{}, {}, {}⟩",
+            self.visibility, self.granularity, self.retention
+        )
+    }
+}
+
+/// A full privacy tuple `⟨purpose, visibility, granularity, retention⟩`.
+///
+/// House policies attach these to attributes; providers attach them to the
+/// data they supply. Tuples with different purposes are incomparable
+/// (Equation 13's `comp` gate).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct PrivacyTuple {
+    /// The purpose this tuple applies to.
+    pub purpose: Purpose,
+    /// The ordered coordinates.
+    pub point: PrivacyPoint,
+}
+
+impl PrivacyTuple {
+    /// Construct a tuple from a purpose and explicit levels.
+    pub fn new(
+        purpose: impl Into<Purpose>,
+        visibility: VisibilityLevel,
+        granularity: GranularityLevel,
+        retention: RetentionLevel,
+    ) -> PrivacyTuple {
+        PrivacyTuple {
+            purpose: purpose.into(),
+            point: PrivacyPoint::new(visibility, granularity, retention),
+        }
+    }
+
+    /// Construct a tuple from a purpose and a point.
+    pub fn from_point(purpose: impl Into<Purpose>, point: PrivacyPoint) -> PrivacyTuple {
+        PrivacyTuple {
+            purpose: purpose.into(),
+            point,
+        }
+    }
+
+    /// The implicit "reveal nothing" tuple `⟨pr, 0, 0, 0⟩` Definition 1
+    /// assumes for purposes a provider did not mention.
+    pub fn deny_all(purpose: impl Into<Purpose>) -> PrivacyTuple {
+        PrivacyTuple::from_point(purpose, PrivacyPoint::ZERO)
+    }
+
+    /// The raw order value of an ordered dimension — `p[dim]`.
+    pub fn get(&self, dim: Dim) -> u32 {
+        self.point.get(dim)
+    }
+
+    /// Whether two tuples share a purpose (the purpose half of Equation 13;
+    /// the attribute half lives in the policy layer, which knows which
+    /// attribute each tuple is attached to).
+    pub fn same_purpose(&self, other: &PrivacyTuple) -> bool {
+        self.purpose == other.purpose
+    }
+}
+
+impl fmt::Display for PrivacyTuple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "⟨{}, {}, {}, {}⟩",
+            self.purpose, self.point.visibility, self.point.granularity, self.point.retention
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pt(v: u32, g: u32, r: u32) -> PrivacyPoint {
+        PrivacyPoint::from_raw(v, g, r)
+    }
+
+    #[test]
+    fn get_and_with_agree() {
+        let p = pt(1, 2, 3);
+        assert_eq!(p.get(Dim::Visibility), 1);
+        assert_eq!(p.get(Dim::Granularity), 2);
+        assert_eq!(p.get(Dim::Retention), 3);
+        for d in Dim::ALL {
+            assert_eq!(p.with(d, 9).get(d), 9);
+        }
+    }
+
+    #[test]
+    fn bounded_by_is_componentwise_le() {
+        assert!(pt(1, 1, 1).bounded_by(&pt(1, 2, 3)));
+        assert!(pt(1, 2, 3).bounded_by(&pt(1, 2, 3)));
+        assert!(!pt(2, 1, 1).bounded_by(&pt(1, 2, 3)));
+    }
+
+    #[test]
+    fn dominates_requires_strictness() {
+        assert!(pt(2, 2, 2).dominates(&pt(1, 2, 2)));
+        assert!(!pt(2, 2, 2).dominates(&pt(2, 2, 2)));
+        assert!(!pt(2, 0, 2).dominates(&pt(1, 1, 1)));
+    }
+
+    #[test]
+    fn exceeded_dims_reports_only_strict_exceedance() {
+        let pref = pt(2, 2, 2);
+        let policy = pt(3, 2, 1);
+        assert_eq!(pref.exceeded_dims(&policy), vec![Dim::Visibility]);
+        assert!(pref.exceeded_dims(&pref).is_empty());
+    }
+
+    #[test]
+    fn exceedance_matches_equation_12_per_dimension() {
+        let pref = pt(2, 3, 10);
+        let policy = pt(4, 1, 12);
+        let exc = pref.exceedance(&policy);
+        assert_eq!(exc[0], (Dim::Visibility, 2));
+        assert_eq!(exc[1], (Dim::Granularity, 0)); // policy narrower: no violation
+        assert_eq!(exc[2], (Dim::Retention, 2));
+    }
+
+    #[test]
+    fn join_meet_are_lattice_ops() {
+        let a = pt(1, 5, 2);
+        let b = pt(3, 1, 2);
+        assert_eq!(a.join(&b), pt(3, 5, 2));
+        assert_eq!(a.meet(&b), pt(1, 1, 2));
+        assert!(a.bounded_by(&a.join(&b)));
+        assert!(a.meet(&b).bounded_by(&a));
+    }
+
+    #[test]
+    fn deny_all_is_the_origin() {
+        let t = PrivacyTuple::deny_all("ads");
+        assert_eq!(t.point, PrivacyPoint::ZERO);
+        assert_eq!(t.purpose, Purpose::new("ads"));
+    }
+
+    #[test]
+    fn same_purpose_gate() {
+        let a = PrivacyTuple::from_point("billing", pt(1, 1, 1));
+        let b = PrivacyTuple::from_point("billing", pt(2, 2, 2));
+        let c = PrivacyTuple::from_point("ads", pt(2, 2, 2));
+        assert!(a.same_purpose(&b));
+        assert!(!a.same_purpose(&c));
+    }
+
+    #[test]
+    fn display_is_human_readable() {
+        let t = PrivacyTuple::new(
+            "billing",
+            VisibilityLevel::HOUSE,
+            GranularityLevel::PARTIAL,
+            RetentionLevel::days(90),
+        );
+        assert_eq!(t.to_string(), "⟨billing, house, partial, 90d⟩");
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let t = PrivacyTuple::new(
+            "research",
+            VisibilityLevel::THIRD_PARTY,
+            GranularityLevel::SPECIFIC,
+            RetentionLevel::FOREVER,
+        );
+        let json = serde_json::to_string(&t).unwrap();
+        let back: PrivacyTuple = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, t);
+    }
+}

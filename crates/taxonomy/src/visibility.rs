@@ -1,0 +1,167 @@
+//! The visibility dimension: *who* may access a stored datum.
+//!
+//! The taxonomy paper orders visibility by the breadth of the audience. We
+//! embed its named levels at fixed raw values, leaving gaps unnecessary: the
+//! order is dense enough for the worked example's `v + 2` arithmetic because
+//! any intermediate `u32` is a valid level.
+
+use std::fmt;
+use std::str::FromStr;
+
+use serde::{Deserialize, Serialize};
+
+use crate::dimension::{Dim, Level, ParseLevelError};
+
+/// A point on the visibility order. Larger = wider audience = more exposure.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default, Serialize, Deserialize,
+)]
+#[serde(transparent)]
+pub struct VisibilityLevel(u32);
+
+impl VisibilityLevel {
+    /// No one may access the datum (it is effectively not collected).
+    pub const NONE: VisibilityLevel = VisibilityLevel(0);
+    /// Only the data provider themself.
+    pub const OWNER: VisibilityLevel = VisibilityLevel(1);
+    /// The house (the organisation operating the repository).
+    pub const HOUSE: VisibilityLevel = VisibilityLevel(2);
+    /// Named third parties the house shares data with.
+    pub const THIRD_PARTY: VisibilityLevel = VisibilityLevel(3);
+    /// Anyone; the datum is public.
+    pub const WORLD: VisibilityLevel = VisibilityLevel(4);
+
+    /// The named taxonomy levels in increasing order of exposure.
+    pub const NAMED: [VisibilityLevel; 5] = [
+        Self::NONE,
+        Self::OWNER,
+        Self::HOUSE,
+        Self::THIRD_PARTY,
+        Self::WORLD,
+    ];
+
+    /// The canonical name of this level if it is one of the taxonomy's named
+    /// levels, else `None`.
+    pub fn name(self) -> Option<&'static str> {
+        match self {
+            Self::NONE => Some("none"),
+            Self::OWNER => Some("owner"),
+            Self::HOUSE => Some("house"),
+            Self::THIRD_PARTY => Some("third-party"),
+            Self::WORLD => Some("world"),
+            _ => None,
+        }
+    }
+}
+
+impl Level for VisibilityLevel {
+    const DIM: Dim = Dim::Visibility;
+    const ZERO: Self = Self::NONE;
+
+    fn raw(self) -> u32 {
+        self.0
+    }
+
+    fn from_raw(raw: u32) -> Self {
+        VisibilityLevel(raw)
+    }
+}
+
+impl fmt::Display for VisibilityLevel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.name() {
+            Some(name) => f.write_str(name),
+            None => write!(f, "vis:{}", self.0),
+        }
+    }
+}
+
+impl FromStr for VisibilityLevel {
+    type Err = ParseLevelError;
+
+    /// Accepts the canonical names (`"house"`, `"third-party"`, …) or a raw
+    /// integer, matching what [`fmt::Display`] produces and what the policy
+    /// DSL writes.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let lower = s.trim().to_ascii_lowercase();
+        let level = match lower.as_str() {
+            "none" => Some(Self::NONE),
+            "owner" => Some(Self::OWNER),
+            "house" => Some(Self::HOUSE),
+            "third-party" | "third_party" | "thirdparty" => Some(Self::THIRD_PARTY),
+            "world" | "public" => Some(Self::WORLD),
+            other => other
+                .strip_prefix("vis:")
+                .unwrap_or(other)
+                .parse::<u32>()
+                .ok()
+                .map(VisibilityLevel),
+        };
+        level.ok_or_else(|| ParseLevelError {
+            dim: Dim::Visibility,
+            input: s.to_string(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn named_levels_are_strictly_increasing() {
+        for pair in VisibilityLevel::NAMED.windows(2) {
+            assert!(pair[0] < pair[1], "{} !< {}", pair[0], pair[1]);
+        }
+    }
+
+    #[test]
+    fn ordering_matches_audience_breadth() {
+        assert!(VisibilityLevel::NONE < VisibilityLevel::OWNER);
+        assert!(VisibilityLevel::HOUSE < VisibilityLevel::THIRD_PARTY);
+        assert!(VisibilityLevel::THIRD_PARTY < VisibilityLevel::WORLD);
+    }
+
+    #[test]
+    fn display_and_parse_round_trip_named() {
+        for level in VisibilityLevel::NAMED {
+            let shown = level.to_string();
+            assert_eq!(shown.parse::<VisibilityLevel>().unwrap(), level);
+        }
+    }
+
+    #[test]
+    fn display_and_parse_round_trip_unnamed() {
+        let level = VisibilityLevel::from_raw(7);
+        assert_eq!(level.name(), None);
+        assert_eq!(level.to_string(), "vis:7");
+        assert_eq!("vis:7".parse::<VisibilityLevel>().unwrap(), level);
+        assert_eq!("7".parse::<VisibilityLevel>().unwrap(), level);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        let err = "everyone-ish".parse::<VisibilityLevel>().unwrap_err();
+        assert_eq!(err.dim, Dim::Visibility);
+    }
+
+    #[test]
+    fn parse_accepts_aliases_and_whitespace() {
+        assert_eq!(
+            " third_party ".parse::<VisibilityLevel>().unwrap(),
+            VisibilityLevel::THIRD_PARTY
+        );
+        assert_eq!(
+            "PUBLIC".parse::<VisibilityLevel>().unwrap(),
+            VisibilityLevel::WORLD
+        );
+    }
+
+    #[test]
+    fn serde_is_transparent() {
+        let json = serde_json::to_string(&VisibilityLevel::THIRD_PARTY).unwrap();
+        assert_eq!(json, "3");
+        let back: VisibilityLevel = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, VisibilityLevel::THIRD_PARTY);
+    }
+}

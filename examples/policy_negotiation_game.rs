@@ -1,0 +1,77 @@
+//! The §9 economics: when does widening the policy stop paying?
+//!
+//! A house earns `U` per provider, and each widening step unlocks extra
+//! per-provider utility `T` — but also violates more preferences, pushing
+//! providers over their default thresholds. This example tabulates the
+//! whole trade-off (Equations 25–31) for a healthcare registry, finds the
+//! house's optimal widening, and then plays the iterated best-response game
+//! from the paper's closing remark.
+//!
+//! Run with: `cargo run --example policy_negotiation_game`
+
+use quantifying_privacy_violations::economics::expansion::render_table;
+use quantifying_privacy_violations::economics::game::BestResponseGame;
+use quantifying_privacy_violations::prelude::*;
+
+fn main() {
+    let scenario = Scenario::healthcare(1_000, 11);
+    let engine = scenario.engine();
+    let utility = UtilityModel::new(scenario.utility_per_provider);
+
+    // §9's premise: "currently, no data providers have defaulted" — the
+    // population in the system is, by construction, the set of providers
+    // the *current* policy does not push out. Condition on them.
+    let baseline_report = engine.run(&scenario.population.profiles);
+    let current: Vec<ProviderProfile> = scenario
+        .population
+        .profiles
+        .iter()
+        .zip(baseline_report.providers.iter())
+        .filter(|(_, audit)| !audit.defaulted)
+        .map(|(p, _)| p.clone())
+        .collect();
+    println!(
+        "population: {} generated, {} compatible with the current policy\n",
+        scenario.population.len(),
+        current.len()
+    );
+
+    // Each widening step is worth an extra 15% of U per provider.
+    let t_per_step = scenario.utility_per_provider * 0.15;
+    let sweep = ExpansionSweep::new(&engine, &current, utility, t_per_step);
+    let rows = sweep.run_uniform(&scenario.baseline_policy, 10);
+
+    println!("== Policy expansion table (Eqs. 25-31) ==\n");
+    print!("{}", render_table(&rows));
+
+    if let Some(best) = ExpansionSweep::optimal_step(&rows) {
+        println!(
+            "\nhouse optimum: widen by +{} (net gain {:+.1}); wider is self-defeating",
+            best.step, best.net_gain
+        );
+    }
+    let last = rows.last().expect("non-empty sweep");
+    println!(
+        "at +{} widening: {} of {} providers default — the detriment the abstract warns about",
+        last.step,
+        last.defaults,
+        current.len()
+    );
+
+    // The iterated game: enact the optimum, let defaulters leave, repeat.
+    println!("\n== Iterated best-response game ==\n");
+    let game = BestResponseGame::new(engine, utility, t_per_step, 10);
+    let (log, survivors) = game.play(current.clone(), 20);
+    for round in &log {
+        println!(
+            "round {}: N = {:>4}, house widens +{}, net gain {:+.1}, {} providers leave",
+            round.round, round.population, round.chosen_step, round.net_gain, round.defaults
+        );
+    }
+    println!(
+        "\nfixed point after {} round(s): {} of {} providers remain",
+        log.len(),
+        survivors.len(),
+        current.len()
+    );
+}

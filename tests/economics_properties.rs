@@ -1,0 +1,106 @@
+//! Property-based tests of the §9 economics.
+
+use proptest::prelude::*;
+
+use quantifying_privacy_violations::economics::expansion::ExpansionSweep;
+use quantifying_privacy_violations::prelude::*;
+
+proptest! {
+    /// Equation 31 is exactly the boundary of Equation 28:
+    /// `Utility_future > Utility_current ⟺ T > U(Nc/Nf − 1)` (Nf > 0).
+    #[test]
+    fn eq31_is_the_boundary_of_eq28(
+        u in 0.01f64..1000.0,
+        n_current in 1usize..10_000,
+        lost in 0usize..10_000,
+        t in 0.0f64..1000.0,
+    ) {
+        let n_future = n_current.saturating_sub(lost);
+        let model = UtilityModel::new(u);
+        if n_future == 0 {
+            prop_assert!(!model.is_justified(n_current, 0, t));
+            prop_assert!(model.break_even_extra(n_current, 0).is_infinite());
+        } else {
+            let t_min = model.break_even_extra(n_current, n_future);
+            // Comfortably above/below the boundary to dodge float equality.
+            prop_assert!(model.is_justified(n_current, n_future, t_min + 1e-6 * (1.0 + t_min.abs())));
+            if t_min > 0.0 {
+                prop_assert!(!model.is_justified(n_current, n_future, t_min * (1.0 - 1e-9) - 1e-9));
+            }
+        }
+    }
+
+    /// Utility accounting is linear and exact.
+    #[test]
+    fn utilities_are_linear(u in 0.0f64..100.0, n in 0usize..1000, t in 0.0f64..100.0) {
+        let model = UtilityModel::new(u);
+        prop_assert!((model.utility_current(n) - n as f64 * u).abs() < 1e-9);
+        prop_assert!((model.utility_future(n, t) - n as f64 * (u + t)).abs() < 1e-9);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+    /// Sweep sanity over random populations: defaults are monotone in
+    /// widening, `N_future + defaults = N`, and `t_offered` follows the
+    /// linear offer curve.
+    #[test]
+    fn sweep_rows_are_internally_consistent(seed in 0u64..200) {
+        let scenario = Scenario::healthcare(80, seed);
+        let engine = scenario.engine();
+        let sweep = ExpansionSweep::new(
+            &engine,
+            &scenario.population.profiles,
+            UtilityModel::new(scenario.utility_per_provider),
+            3.0,
+        );
+        let rows = sweep.run_uniform(&scenario.baseline_policy, 6);
+        prop_assert_eq!(rows.len(), 7);
+        for (i, row) in rows.iter().enumerate() {
+            prop_assert_eq!(row.step as usize, i);
+            prop_assert_eq!(row.n_future + row.defaults, 80);
+            prop_assert!((row.t_offered - 3.0 * i as f64).abs() < 1e-12);
+            // Net gain consistency with the utility model.
+            let expect = row.utility_future - scenario.utility_per_provider * 80.0;
+            prop_assert!((row.net_gain - expect).abs() < 1e-9);
+        }
+        for pair in rows.windows(2) {
+            prop_assert!(pair[1].defaults >= pair[0].defaults);
+            prop_assert!(pair[1].total_violations >= pair[0].total_violations);
+            prop_assert!(pair[1].p_violation >= pair[0].p_violation - 1e-12);
+        }
+    }
+}
+
+/// The iterated game's population is non-increasing and the log is finite.
+#[test]
+fn best_response_game_population_shrinks_monotonically() {
+    use quantifying_privacy_violations::economics::game::BestResponseGame;
+    let scenario = Scenario::healthcare(300, 77);
+    let engine = scenario.engine();
+    // Condition on baseline survivors, as in E3.
+    let baseline = engine.run(&scenario.population.profiles);
+    let current: Vec<ProviderProfile> = scenario
+        .population
+        .profiles
+        .iter()
+        .zip(baseline.providers.iter())
+        .filter(|(_, a)| !a.defaulted)
+        .map(|(p, _)| p.clone())
+        .collect();
+    let n0 = current.len();
+    let game = BestResponseGame::new(
+        engine,
+        UtilityModel::new(scenario.utility_per_provider),
+        scenario.utility_per_provider * 0.2,
+        8,
+    );
+    let (rounds, survivors) = game.play(current, 50);
+    let mut pop = n0;
+    for r in &rounds {
+        assert!(r.population <= pop);
+        assert!(r.net_gain > 0.0, "round {} had non-positive gain", r.round);
+        pop = r.population - r.defaults;
+    }
+    assert_eq!(survivors.len(), pop);
+}

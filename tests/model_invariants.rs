@@ -1,0 +1,215 @@
+//! Property-based tests of the violation model's invariants.
+//!
+//! These pin down the semantics the paper states informally:
+//!
+//! * Definition 1 agrees with the Figure 1 geometry (violated ⇔ the policy
+//!   escapes the preference box);
+//! * `Violation_i` is monotone under policy widening and additive over
+//!   policy tuples;
+//! * with all-1 sensitivities, `Violation_i` equals the raw order distance;
+//! * `w_i = 1 ⟺ Violation_i > 0` whenever all sensitivities are positive;
+//! * the implicit deny-all preference is exactly "stating ⟨0,0,0⟩".
+
+use proptest::prelude::*;
+
+use quantifying_privacy_violations::core::sensitivity::{
+    AttributeSensitivities, SensitivityModel,
+};
+use quantifying_privacy_violations::core::severity::violation_score;
+use quantifying_privacy_violations::core::violation::{is_violated, witnesses};
+use quantifying_privacy_violations::core::DatumSensitivity;
+use quantifying_privacy_violations::prelude::*;
+
+fn arb_point() -> impl Strategy<Value = PrivacyPoint> {
+    (0u32..8, 0u32..8, 0u32..8).prop_map(|(v, g, r)| PrivacyPoint::from_raw(v, g, r))
+}
+
+fn arb_sens() -> impl Strategy<Value = DatumSensitivity> {
+    (1u32..5, 1u32..5, 1u32..5, 1u32..5)
+        .prop_map(|(a, b, c, d)| DatumSensitivity::new(a, b, c, d))
+}
+
+/// A provider with one stated preference and a policy over the same
+/// attribute/purpose.
+fn single_pair(
+    pref: PrivacyPoint,
+    pol: PrivacyPoint,
+    sens: DatumSensitivity,
+    weight: u32,
+) -> (ProviderPreferences, HousePolicy, SensitivityModel) {
+    let prefs = ProviderPreferences::builder(ProviderId(0))
+        .tuple("a", PrivacyTuple::from_point("pr", pref))
+        .build();
+    let policy = HousePolicy::builder("h")
+        .tuple("a", PrivacyTuple::from_point("pr", pol))
+        .build();
+    let mut model = SensitivityModel::new();
+    model.set_attribute("a", weight);
+    model.set_datum(ProviderId(0), "a", sens);
+    (prefs, policy, model)
+}
+
+proptest! {
+    /// Definition 1 ⇔ Figure 1 geometry.
+    #[test]
+    fn violated_iff_policy_escapes_the_box(pref in arb_point(), pol in arb_point()) {
+        let (prefs, policy, _) = single_pair(pref, pol, DatumSensitivity::neutral(), 1);
+        let escaped = !pol.bounded_by(&pref);
+        prop_assert_eq!(is_violated(&prefs, &policy, &["a"]), escaped);
+        prop_assert_eq!(!witnesses(&prefs, &policy, &["a"]).is_empty(), escaped);
+    }
+
+    /// With neutral sensitivities the score is the raw order distance.
+    #[test]
+    fn neutral_score_is_total_exceedance(pref in arb_point(), pol in arb_point()) {
+        let (prefs, policy, model) = single_pair(pref, pol, DatumSensitivity::neutral(), 1);
+        let score = violation_score(&prefs, &policy, &["a"], &model);
+        let expected: u64 = pref.exceedance(&pol).iter().map(|&(_, d)| d as u64).sum();
+        prop_assert_eq!(score, expected);
+    }
+
+    /// Positive sensitivities: w_i = 1 ⟺ Violation_i > 0.
+    #[test]
+    fn flag_and_score_agree(
+        pref in arb_point(),
+        pol in arb_point(),
+        sens in arb_sens(),
+        weight in 1u32..6,
+    ) {
+        let (prefs, policy, model) = single_pair(pref, pol, sens, weight);
+        let score = violation_score(&prefs, &policy, &["a"], &model);
+        prop_assert_eq!(is_violated(&prefs, &policy, &["a"]), score > 0);
+    }
+
+    /// Monotonicity: widening a policy never decreases any provider's score.
+    #[test]
+    fn widening_is_monotone(
+        pref in arb_point(),
+        pol in arb_point(),
+        sens in arb_sens(),
+        weight in 1u32..6,
+        dim_idx in 0usize..3,
+        amount in 0u32..5,
+    ) {
+        let (prefs, policy, model) = single_pair(pref, pol, sens, weight);
+        let before = violation_score(&prefs, &policy, &["a"], &model);
+        let wider = policy.widened(Dim::ALL[dim_idx], amount);
+        let after = violation_score(&prefs, &wider, &["a"], &model);
+        prop_assert!(after >= before, "widening decreased the score: {before} -> {after}");
+    }
+
+    /// Additivity: the score over a two-tuple policy is the sum of the
+    /// per-tuple scores (Equation 15 is a plain sum).
+    #[test]
+    fn score_is_additive_over_policy_tuples(
+        pref in arb_point(),
+        pol1 in arb_point(),
+        pol2 in arb_point(),
+        sens in arb_sens(),
+    ) {
+        let prefs = ProviderPreferences::builder(ProviderId(0))
+            .tuple("a", PrivacyTuple::from_point("pr", pref))
+            .tuple("a", PrivacyTuple::from_point("qr", pref))
+            .build();
+        let mut model = SensitivityModel::new();
+        model.set_datum(ProviderId(0), "a", sens);
+        let hp1 = HousePolicy::builder("h")
+            .tuple("a", PrivacyTuple::from_point("pr", pol1))
+            .build();
+        let hp2 = HousePolicy::builder("h")
+            .tuple("a", PrivacyTuple::from_point("qr", pol2))
+            .build();
+        let combined = HousePolicy::builder("h")
+            .tuple("a", PrivacyTuple::from_point("pr", pol1))
+            .tuple("a", PrivacyTuple::from_point("qr", pol2))
+            .build();
+        let s1 = violation_score(&prefs, &hp1, &["a"], &model);
+        let s2 = violation_score(&prefs, &hp2, &["a"], &model);
+        let s = violation_score(&prefs, &combined, &["a"], &model);
+        prop_assert_eq!(s, s1 + s2);
+    }
+
+    /// The implicit preference rule: never stating a purpose is exactly the
+    /// same as stating ⟨0,0,0⟩ for it.
+    #[test]
+    fn implicit_equals_explicit_zero(pol in arb_point(), sens in arb_sens()) {
+        let silent = ProviderPreferences::new(ProviderId(0));
+        let explicit = ProviderPreferences::builder(ProviderId(0))
+            .tuple("a", PrivacyTuple::from_point("pr", PrivacyPoint::ZERO))
+            .build();
+        let policy = HousePolicy::builder("h")
+            .tuple("a", PrivacyTuple::from_point("pr", pol))
+            .build();
+        let mut model = SensitivityModel::new();
+        model.set_datum(ProviderId(0), "a", sens);
+        prop_assert_eq!(
+            violation_score(&silent, &policy, &["a"], &model),
+            violation_score(&explicit, &policy, &["a"], &model)
+        );
+        prop_assert_eq!(
+            is_violated(&silent, &policy, &["a"]),
+            is_violated(&explicit, &policy, &["a"])
+        );
+    }
+
+    /// Sensitivity scaling: doubling the attribute weight exactly doubles
+    /// the score (Equation 14 is linear in each factor).
+    #[test]
+    fn score_is_linear_in_attribute_weight(
+        pref in arb_point(),
+        pol in arb_point(),
+        sens in arb_sens(),
+        weight in 1u32..8,
+    ) {
+        let (prefs, policy, mut model) = single_pair(pref, pol, sens, weight);
+        let base = violation_score(&prefs, &policy, &["a"], &model);
+        model.set_attribute("a", weight * 2);
+        let doubled = violation_score(&prefs, &policy, &["a"], &model);
+        prop_assert_eq!(doubled, base * 2);
+    }
+}
+
+// Deterministic spot check that the audit report's population quantities
+// stay consistent with the per-provider records under arbitrary mixes.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+    #[test]
+    fn report_quantities_are_self_consistent(seed in 0u64..500) {
+        let scenario = Scenario::healthcare(60, seed);
+        let report = scenario.engine().run(&scenario.population.profiles);
+        let violated = report.providers.iter().filter(|p| p.violated).count();
+        let defaulted = report.providers.iter().filter(|p| p.defaulted).count();
+        prop_assert!((report.p_violation() - violated as f64 / 60.0).abs() < 1e-12);
+        prop_assert!((report.p_default() - defaulted as f64 / 60.0).abs() < 1e-12);
+        prop_assert_eq!(report.remaining(), 60 - defaulted);
+        let sum: u128 = report.providers.iter().map(|p| p.score as u128).sum();
+        prop_assert_eq!(report.total_violations, sum);
+        // Defaulting requires violation (score > threshold ≥ 0 ⇒ score > 0
+        // ⇒ some witness, given positive sensitivities from the generator).
+        for p in &report.providers {
+            if p.defaulted {
+                prop_assert!(p.violated, "{:?} defaulted without violation", p.provider);
+            }
+        }
+    }
+}
+
+/// Sensitivities of zero silence severity but not the violation flag —
+/// Definition 1 is sensitivity-free. (Regression guard for the distinction
+/// between `w_i` and `Violation_i`.)
+#[test]
+fn zero_sensitivity_keeps_flag_but_zeroes_score() {
+    let pref = PrivacyPoint::from_raw(1, 1, 1);
+    let pol = PrivacyPoint::from_raw(3, 3, 3);
+    let prefs = ProviderPreferences::builder(ProviderId(0))
+        .tuple("a", PrivacyTuple::from_point("pr", pref))
+        .build();
+    let policy = HousePolicy::builder("h")
+        .tuple("a", PrivacyTuple::from_point("pr", pol))
+        .build();
+    let mut model = SensitivityModel::new();
+    model.attributes = AttributeSensitivities::new();
+    model.set_datum(ProviderId(0), "a", DatumSensitivity::new(0, 1, 1, 1));
+    assert!(is_violated(&prefs, &policy, &["a"]));
+    assert_eq!(violation_score(&prefs, &policy, &["a"], &model), 0);
+}

@@ -1,0 +1,149 @@
+//! End-to-end: the paper's §8 worked example through every layer —
+//! DSL text → policy objects → durable relational storage → crash
+//! recovery → audit — must still produce Table 1 exactly.
+
+use quantifying_privacy_violations::core::report;
+use quantifying_privacy_violations::policy::dsl;
+use quantifying_privacy_violations::prelude::*;
+
+/// The §8 configuration written in the policy DSL (v=5, g=5, r=5 as raw
+/// levels; preferences per Table 1).
+const TABLE1_DSL: &str = r#"
+    policy "house" {
+      attribute weight {
+        purpose "pr" { vis 5; gran 5; ret 5; }
+      }
+    }
+    preferences provider 0 { // Alice: <v+2, g+1, r+3>
+      attribute weight { purpose "pr" { vis 7; gran 6; ret 8; } }
+    }
+    preferences provider 1 { // Ted: <v+2, g-1, r+2>
+      attribute weight { purpose "pr" { vis 7; gran 4; ret 7; } }
+    }
+    preferences provider 2 { // Bob: <v, g-1, r-1>
+      attribute weight { purpose "pr" { vis 5; gran 4; ret 4; } }
+    }
+"#;
+
+fn temp_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "qpv-e2e-{tag}-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn table1_from_dsl_through_durable_storage() {
+    let doc = dsl::parse(TABLE1_DSL).expect("dsl parses");
+    assert_eq!(doc.policies.len(), 1);
+    assert_eq!(doc.preferences.len(), 3);
+
+    let dir = temp_dir("table1");
+    let scenario = Scenario::worked_example();
+
+    // Phase 1: build a durable PPDB from the DSL document.
+    {
+        let db = Database::open(&dir).expect("open durable db");
+        let mut ppdb = Ppdb::create(
+            db,
+            PpdbConfig::new("people", "provider_id"),
+            scenario.data_schema(),
+        )
+        .expect("create ppdb");
+        ppdb.set_policy(&doc.policies[0]).unwrap();
+        ppdb.set_attribute_weight("weight", 4).unwrap();
+
+        // Sensitivities and thresholds from Table 1; preferences from DSL.
+        let sens = [
+            DatumSensitivity::new(1, 1, 2, 1),
+            DatumSensitivity::new(3, 1, 5, 2),
+            DatumSensitivity::new(4, 1, 3, 2),
+        ];
+        let thresholds = [10u64, 50, 100];
+        for (i, prefs) in doc.preferences.iter().enumerate() {
+            let mut profile = ProviderProfile::new(prefs.provider, thresholds[i]);
+            profile.preferences = prefs.clone();
+            profile.sensitivities.insert("weight".into(), sens[i]);
+            ppdb.register_provider(
+                &profile,
+                Row::from_values([Value::Int(i as i64), Value::Int(70)]),
+            )
+            .unwrap();
+        }
+        // Drop without checkpoint: recovery must come from the WAL.
+    }
+
+    // Phase 2: reopen (crash recovery) and audit.
+    {
+        let db = Database::open(&dir).expect("recovering open");
+        let mut ppdb = Ppdb::open(db, PpdbConfig::new("people", "provider_id")).unwrap();
+        let audit = ppdb.audit().unwrap();
+
+        let scores: Vec<u64> = audit.providers.iter().map(|p| p.score).collect();
+        assert_eq!(scores, vec![0, 60, 80], "Eq. 20 after recovery");
+        let defaults: Vec<bool> = audit.providers.iter().map(|p| p.defaulted).collect();
+        assert_eq!(defaults, vec![false, true, false], "Eqs. 21-23");
+        assert!((audit.p_default() - 1.0 / 3.0).abs() < 1e-12, "Eq. 24");
+        assert_eq!(audit.total_violations, 140);
+
+        // The rendered report names the violated dimensions.
+        let text = report::render(&audit);
+        assert!(text.contains("weight/pr[gran]"), "{text}");
+        assert!(text.contains("weight/pr[gran,ret]"), "{text}");
+    }
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn dsl_round_trip_preserves_audit_results() {
+    // policy → DSL text → policy must audit identically.
+    let scenario = Scenario::worked_example();
+    let printed = dsl::print_policy(&scenario.baseline_policy);
+    let reparsed = dsl::parse(&printed).unwrap();
+    assert_eq!(reparsed.policies.len(), 1);
+
+    let engine = scenario.engine();
+    let before = engine.run(&scenario.population.profiles);
+    let after = engine.run_with_policy(&scenario.population.profiles, &reparsed.policies[0]);
+    assert_eq!(before.total_violations, after.total_violations);
+    assert_eq!(before.p_violation(), after.p_violation());
+}
+
+#[test]
+fn removing_ted_restores_alpha_compliance() {
+    // After Ted defaults and leaves, P(W) drops from 2/3 to 1/2.
+    let scenario = Scenario::worked_example();
+    let mut ppdb = Ppdb::create(
+        Database::in_memory(),
+        PpdbConfig::new("people", "provider_id"),
+        scenario.data_schema(),
+    )
+    .unwrap();
+    ppdb.set_policy(&scenario.baseline_policy).unwrap();
+    ppdb.set_attribute_weight("weight", 4).unwrap();
+    for (profile, row) in scenario
+        .population
+        .profiles
+        .iter()
+        .zip(&scenario.population.data_rows)
+    {
+        ppdb.register_provider(profile, row.clone()).unwrap();
+    }
+    let before = ppdb.audit().unwrap();
+    assert!(!before.is_alpha_ppdb(0.5));
+
+    let leavers: Vec<ProviderId> = before.defaulters().map(|p| p.provider).collect();
+    assert_eq!(leavers, vec![ProviderId(1)]); // Ted
+    for id in leavers {
+        ppdb.remove_provider(id).unwrap();
+    }
+    let after = ppdb.audit().unwrap();
+    assert_eq!(after.population(), 2);
+    // Bob is still violated (w=1) but does not default.
+    assert!((after.p_violation() - 0.5).abs() < 1e-12);
+    assert!(after.is_alpha_ppdb(0.5));
+    assert_eq!(after.p_default(), 0.0);
+}
