@@ -1,0 +1,65 @@
+//! P6: sharded parallel audit scaling.
+//!
+//! The audit is embarrassingly parallel per provider (Eq. 15's terms are
+//! independent), so wall-clock should drop with worker count until the
+//! machine runs out of cores. This bench sweeps thread counts over a
+//! 100k-provider population and also measures the shard-stable generator,
+//! asserting on every sample that the parallel report stays identical to
+//! the sequential one.
+//!
+//! Emit JSON with: `QPV_BENCH_JSON=BENCH_parallel_audit.json \
+//!     cargo bench -p qpv-bench --bench parallel_audit`
+
+use std::num::NonZeroUsize;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use qpv_synth::population::par_generate;
+use qpv_synth::Scenario;
+use std::hint::black_box;
+
+const N: usize = 100_000;
+const THREADS: [usize; 4] = [1, 2, 4, 8];
+
+fn bench_parallel_audit(c: &mut Criterion) {
+    let scenario = Scenario::healthcare(64, 42); // spec donor
+    let population = par_generate(
+        &scenario.spec,
+        N,
+        42,
+        NonZeroUsize::new(4).expect("nonzero"),
+    );
+    let engine = scenario.engine();
+    let sequential = engine.run(&population.profiles);
+
+    let mut group = c.benchmark_group("audit/parallel");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(N as u64));
+    for threads in THREADS {
+        let nz = NonZeroUsize::new(threads).expect("nonzero");
+        group.bench_with_input(BenchmarkId::new("threads", threads), &threads, |b, _| {
+            b.iter(|| {
+                let report = engine.par_audit(black_box(&population.profiles), nz);
+                assert_eq!(report.total_violations, sequential.total_violations);
+                black_box(report)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_parallel_generation(c: &mut Criterion) {
+    let scenario = Scenario::healthcare(64, 42);
+    let mut group = c.benchmark_group("synth/par_generate");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(N as u64));
+    for threads in THREADS {
+        let nz = NonZeroUsize::new(threads).expect("nonzero");
+        group.bench_with_input(BenchmarkId::new("threads", threads), &threads, |b, _| {
+            b.iter(|| black_box(par_generate(&scenario.spec, N, 42, nz)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_parallel_audit, bench_parallel_generation);
+criterion_main!(benches);

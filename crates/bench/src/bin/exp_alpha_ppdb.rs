@@ -48,7 +48,10 @@ fn main() {
         for segment in Segment::ALL {
             let members = scenario.population.segment_members(segment);
             let seg_outcomes: Vec<bool> = members.iter().map(|&i| outcomes[i]).collect();
-            by_segment.push((segment.name().to_string(), census_probability(&seg_outcomes)));
+            by_segment.push((
+                segment.name().to_string(),
+                census_probability(&seg_outcomes),
+            ));
         }
         println!(
             "{:>5} {:>8.3} {:>10.3}   {:>14.3} {:>12.3} {:>12.3}",
@@ -71,7 +74,11 @@ fn main() {
     let ordered = rows
         .iter()
         .all(|r| r.p_w_by_segment[0].1 >= r.p_w_by_segment[2].1);
-    check("P(W|fundamentalist) ≥ P(W|unconcerned) ∀ steps", true, ordered);
+    check(
+        "P(W|fundamentalist) ≥ P(W|unconcerned) ∀ steps",
+        true,
+        ordered,
+    );
 
     // 2. Definition 2's estimator converges to the census value.
     println!("\nMonte-Carlo estimator of Definition 2 (baseline policy):");
@@ -120,6 +127,32 @@ fn main() {
         .windows(2)
         .all(|w| w[1].unwrap_or(0) >= w[0].unwrap_or(0));
     check("frontier monotone in α", true, mono);
+
+    // 4. Thread-count sweep: the census audit itself, sharded. The paper
+    // frames Definitions 2/5 as census quantities over the *whole*
+    // population, so this is where parallelism pays at scale.
+    println!("\nparallel audit thread sweep (50k providers):");
+    let big = qpv_synth::par_generate(&scenario.spec, 50_000, 42, qpv_core::default_threads());
+    let _warmup = engine.run(&big.profiles); // fault pages in before timing
+    let t = std::time::Instant::now();
+    let sequential = engine.run(&big.profiles);
+    let base = t.elapsed();
+    println!("  sequential: {base:>10.2?}");
+    for threads in [2usize, 4, 8] {
+        let nz = std::num::NonZeroUsize::new(threads).expect("nonzero");
+        let t = std::time::Instant::now();
+        let parallel = engine.par_audit(&big.profiles, nz);
+        let took = t.elapsed();
+        check(
+            &format!("par_audit({threads}) report identical"),
+            true,
+            parallel == sequential,
+        );
+        println!(
+            "  {threads} threads:  {took:>10.2?}  ({:.2}x)",
+            base.as_secs_f64() / took.as_secs_f64()
+        );
+    }
 
     let path = write_result("exp_alpha_ppdb", &rows);
     println!("\nresult JSON: {}", path.display());

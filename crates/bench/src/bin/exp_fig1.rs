@@ -36,7 +36,9 @@ fn main() {
 
     // Render: rows = granularity (top = high), cols = visibility.
     println!("preference point P = (vis=3, gran=4); policy grid classification:");
-    println!("  '.' contained (panel a)   '1' one-dim escape (panel b)   '2' two-dim escape (panel c)\n");
+    println!(
+        "  '.' contained (panel a)   '1' one-dim escape (panel b)   '2' two-dim escape (panel c)\n"
+    );
     for y in (0..=max_y).rev() {
         let mut line = format!("  gran={y} |");
         for x in 0..=max_x {
@@ -59,8 +61,14 @@ fn main() {
         .iter()
         .filter(|(_, _, r)| *r == BoxRelation::Contained)
         .count();
-    let one = grid.iter().filter(|(_, _, r)| r.escape_count() == 1).count();
-    let two = grid.iter().filter(|(_, _, r)| r.escape_count() == 2).count();
+    let one = grid
+        .iter()
+        .filter(|(_, _, r)| r.escape_count() == 1)
+        .count();
+    let two = grid
+        .iter()
+        .filter(|(_, _, r)| r.escape_count() == 2)
+        .count();
 
     // The figure's structural claims, checked as exact areas:
     // containment region = (3+1)×(4+1) cells; everything else escapes.

@@ -127,46 +127,60 @@ impl AuditEngine {
         let mut providers = Vec::with_capacity(profiles.len());
         let mut total: u128 = 0;
         for profile in profiles {
-            let (wit, score) = match &self.lattice {
-                None => (
-                    witnesses(&profile.preferences, &self.policy, &attrs),
-                    crate::severity::violation_score(
-                        &profile.preferences,
-                        &self.policy,
-                        &attrs,
-                        &sensitivity,
-                    ),
-                ),
-                Some(lattice) => (
-                    crate::violation::witnesses_lattice(
-                        &profile.preferences,
-                        &self.policy,
-                        &attrs,
-                        lattice,
-                    ),
-                    crate::severity::violation_score_lattice(
-                        &profile.preferences,
-                        &self.policy,
-                        &attrs,
-                        &sensitivity,
-                        lattice,
-                    ),
-                ),
-            };
-            total += score as u128;
-            let threshold = thresholds.get(profile.id());
-            providers.push(ProviderAudit {
-                provider: profile.id(),
-                violated: !wit.is_empty(),
-                score,
-                threshold,
-                defaulted: crate::default_model::defaults(score, threshold),
-                witnesses: wit,
-            });
+            let audit = self.audit_profile(profile, &attrs, &sensitivity, &thresholds);
+            total += audit.score as u128;
+            providers.push(audit);
         }
         AuditReport {
             providers,
             total_violations: total,
+        }
+    }
+
+    /// Audit one provider against the house configuration. Both the
+    /// sequential and the sharded parallel paths go through here, which is
+    /// what makes their per-provider results identical by construction.
+    pub(crate) fn audit_profile(
+        &self,
+        profile: &ProviderProfile,
+        attrs: &[&str],
+        sensitivity: &crate::sensitivity::SensitivityModel,
+        thresholds: &crate::default_model::DefaultThresholds,
+    ) -> ProviderAudit {
+        let (wit, score) = match &self.lattice {
+            None => (
+                witnesses(&profile.preferences, &self.policy, attrs),
+                crate::severity::violation_score(
+                    &profile.preferences,
+                    &self.policy,
+                    attrs,
+                    sensitivity,
+                ),
+            ),
+            Some(lattice) => (
+                crate::violation::witnesses_lattice(
+                    &profile.preferences,
+                    &self.policy,
+                    attrs,
+                    lattice,
+                ),
+                crate::severity::violation_score_lattice(
+                    &profile.preferences,
+                    &self.policy,
+                    attrs,
+                    sensitivity,
+                    lattice,
+                ),
+            ),
+        };
+        let threshold = thresholds.get(profile.id());
+        ProviderAudit {
+            provider: profile.id(),
+            violated: !wit.is_empty(),
+            score,
+            threshold,
+            defaulted: crate::default_model::defaults(score, threshold),
+            witnesses: wit,
         }
     }
 
@@ -216,9 +230,24 @@ mod tests {
             profile
         };
         let profiles = vec![
-            mk(0, pt(v + 2, g + 1, r + 3), DatumSensitivity::new(1, 1, 2, 1), 10), // Alice
-            mk(1, pt(v + 2, g - 1, r + 2), DatumSensitivity::new(3, 1, 5, 2), 50), // Ted
-            mk(2, pt(v, g - 1, r - 1), DatumSensitivity::new(4, 1, 3, 2), 100),    // Bob
+            mk(
+                0,
+                pt(v + 2, g + 1, r + 3),
+                DatumSensitivity::new(1, 1, 2, 1),
+                10,
+            ), // Alice
+            mk(
+                1,
+                pt(v + 2, g - 1, r + 2),
+                DatumSensitivity::new(3, 1, 5, 2),
+                50,
+            ), // Ted
+            mk(
+                2,
+                pt(v, g - 1, r - 1),
+                DatumSensitivity::new(4, 1, 3, 2),
+                100,
+            ), // Bob
         ];
         (engine, profiles)
     }
@@ -281,7 +310,9 @@ mod tests {
         let ted = &report.providers[1];
         assert_eq!(ted.witnesses.len(), 1);
         assert_eq!(
-            ted.witnesses[0].geometry.along(qpv_taxonomy::Dim::Granularity),
+            ted.witnesses[0]
+                .geometry
+                .along(qpv_taxonomy::Dim::Granularity),
             1
         );
         // Bob violated on granularity and retention (Figure-1c-style).
@@ -310,14 +341,11 @@ mod tests {
             .tuple("weight", PrivacyTuple::from_point("billing", pt(2, 2, 2)))
             .build();
         let mut profile = ProviderProfile::new(ProviderId(0), 100);
-        profile
-            .preferences
-            .add("weight", PrivacyTuple::from_point("operations", pt(3, 3, 3)));
-        let flat = AuditEngine::new(
-            policy.clone(),
-            ["weight"],
-            AttributeSensitivities::new(),
+        profile.preferences.add(
+            "weight",
+            PrivacyTuple::from_point("operations", pt(3, 3, 3)),
         );
+        let flat = AuditEngine::new(policy.clone(), ["weight"], AttributeSensitivities::new());
         let flat_report = flat.run(std::slice::from_ref(&profile));
         assert!(flat_report.providers[0].violated, "flat: implicit deny-all");
         assert!(flat_report.providers[0].score > 0);
@@ -331,7 +359,10 @@ mod tests {
         // run_with_policy keeps the lattice.
         let wider = policy.widened_uniform(5);
         let wide_report = latticed.run_with_policy(std::slice::from_ref(&profile), &wider);
-        assert!(wide_report.providers[0].violated, "exceeding consent still violates");
+        assert!(
+            wide_report.providers[0].violated,
+            "exceeding consent still violates"
+        );
     }
 
     #[test]

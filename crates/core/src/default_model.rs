@@ -41,7 +41,10 @@ impl DefaultThresholds {
 
     /// `v_i`, or the fallback.
     pub fn get(&self, provider: ProviderId) -> u64 {
-        self.thresholds.get(&provider).copied().unwrap_or(self.fallback)
+        self.thresholds
+            .get(&provider)
+            .copied()
+            .unwrap_or(self.fallback)
     }
 
     /// Whether a provider with the given violation score defaults.

@@ -12,6 +12,7 @@
 //! Definition 4's `default_i` stay queryable without a rescan.
 
 use std::collections::HashMap;
+use std::num::NonZeroUsize;
 
 use qpv_policy::HousePolicy;
 use qpv_taxonomy::{Purpose, ViolationGeometry};
@@ -70,12 +71,54 @@ impl IncrementalAuditor {
         auditor
     }
 
+    /// [`IncrementalAuditor::new`], with the initial full pass sharded
+    /// across `threads` worker threads.
+    pub fn new_parallel(
+        profiles: Vec<ProviderProfile>,
+        attributes: Vec<String>,
+        attribute_weights: &AttributeSensitivities,
+        policy: HousePolicy,
+        threads: NonZeroUsize,
+    ) -> IncrementalAuditor {
+        let (sensitivity, thresholds) = crate::profile::assemble(&profiles, attribute_weights);
+        let mut auditor = IncrementalAuditor {
+            scores: vec![0; profiles.len()],
+            violation_counts: vec![0; profiles.len()],
+            profiles,
+            attributes,
+            sensitivity,
+            thresholds,
+            policy: HousePolicy::new(policy.name.clone()),
+            groups: HashMap::new(),
+        };
+        auditor.apply_policy_parallel(policy, threads);
+        auditor
+    }
+
     /// Replace the policy, recomputing only the changed groups.
     pub fn apply_policy(&mut self, new_policy: HousePolicy) {
+        self.apply_policy_inner(new_policy, NonZeroUsize::MIN);
+    }
+
+    /// [`IncrementalAuditor::apply_policy`], with each changed group's
+    /// per-provider recomputation sharded across `threads` worker threads.
+    /// Produces state identical to the sequential path for any thread
+    /// count: providers are re-scored independently and merged in
+    /// population order.
+    pub fn apply_policy_parallel(&mut self, new_policy: HousePolicy, threads: NonZeroUsize) {
+        self.apply_policy_inner(new_policy, threads);
+    }
+
+    fn apply_policy_inner(&mut self, new_policy: HousePolicy, threads: NonZeroUsize) {
         let old_groups = group_points(&self.policy, &self.attributes);
         let new_groups = group_points(&new_policy, &self.attributes);
 
         // Groups that disappeared or changed: retract their contribution.
+        // Saturating, symmetric with accumulation below: once a score has
+        // clamped at `u64::MAX` the exact pre-clamp sum is gone, so checked
+        // subtraction could underflow; clamping at zero instead keeps the
+        // auditor total-ordered and panic-free (callers needing exactness
+        // near the clamp rebuild with `new`).
         for (key, old_points) in &old_groups {
             let unchanged = new_groups.get(key).is_some_and(|n| n == old_points);
             if unchanged {
@@ -88,8 +131,8 @@ impl IncrementalAuditor {
                     .zip(contrib.violations.iter())
                     .enumerate()
                 {
-                    self.scores[i] -= s;
-                    self.violation_counts[i] -= v;
+                    self.scores[i] = self.scores[i].saturating_sub(*s);
+                    self.violation_counts[i] = self.violation_counts[i].saturating_sub(*v);
                 }
             }
         }
@@ -99,15 +142,15 @@ impl IncrementalAuditor {
             if unchanged {
                 continue;
             }
-            let contrib = self.compute_group(key, points);
+            let contrib = self.compute_group(key, points, threads);
             for (i, (s, v)) in contrib
                 .scores
                 .iter()
                 .zip(contrib.violations.iter())
                 .enumerate()
             {
-                self.scores[i] += s;
-                self.violation_counts[i] += v;
+                self.scores[i] = self.scores[i].saturating_add(*s);
+                self.violation_counts[i] = self.violation_counts[i].saturating_add(*v);
             }
             self.groups.insert(key.clone(), contrib);
         }
@@ -118,11 +161,51 @@ impl IncrementalAuditor {
         &self,
         key: &GroupKey,
         points: &[qpv_taxonomy::PrivacyPoint],
+        threads: NonZeroUsize,
+    ) -> GroupContribution {
+        if threads.get() > 1 && self.profiles.len() >= crate::par::PAR_THRESHOLD {
+            let bounds = crate::par::shard_bounds(self.profiles.len(), threads.get());
+            let parts: Vec<GroupContribution> = std::thread::scope(|scope| {
+                let handles: Vec<_> = bounds
+                    .iter()
+                    .map(|&(start, end)| {
+                        scope.spawn(move || self.compute_group_range(key, points, start, end))
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("incremental audit worker panicked"))
+                    .collect()
+            });
+            let mut merged = GroupContribution {
+                scores: Vec::with_capacity(self.profiles.len()),
+                violations: Vec::with_capacity(self.profiles.len()),
+            };
+            for part in parts {
+                merged.scores.extend(part.scores);
+                merged.violations.extend(part.violations);
+            }
+            merged
+        } else {
+            self.compute_group_range(key, points, 0, self.profiles.len())
+        }
+    }
+
+    /// One group's contribution for providers in `[start, end)`. Each
+    /// provider is independent, so sharding this range across threads and
+    /// concatenating in shard order reproduces the sequential result
+    /// exactly.
+    fn compute_group_range(
+        &self,
+        key: &GroupKey,
+        points: &[qpv_taxonomy::PrivacyPoint],
+        start: usize,
+        end: usize,
     ) -> GroupContribution {
         let (attribute, purpose) = key;
-        let mut scores = vec![0u64; self.profiles.len()];
-        let mut violations = vec![0u32; self.profiles.len()];
-        for (i, profile) in self.profiles.iter().enumerate() {
+        let mut scores = vec![0u64; end - start];
+        let mut violations = vec![0u32; end - start];
+        for (i, profile) in self.profiles[start..end].iter().enumerate() {
             for point in points {
                 scores[i] = scores[i].saturating_add(tuple_contribution(
                     &profile.preferences,
@@ -174,7 +257,9 @@ impl IncrementalAuditor {
 
     /// `P(Default)` under the current policy.
     pub fn p_default(&self) -> f64 {
-        let outcomes: Vec<bool> = (0..self.profiles.len()).map(|i| self.defaulted(i)).collect();
+        let outcomes: Vec<bool> = (0..self.profiles.len())
+            .map(|i| self.defaulted(i))
+            .collect();
         crate::probability::census_probability(&outcomes)
     }
 
@@ -249,7 +334,10 @@ mod tests {
 
     fn policy(level: u32) -> HousePolicy {
         HousePolicy::builder("h")
-            .tuple("weight", PrivacyTuple::from_point("pr", pt(level, level, 30 + level)))
+            .tuple(
+                "weight",
+                PrivacyTuple::from_point("pr", pt(level, level, 30 + level)),
+            )
             .tuple("age", PrivacyTuple::from_point("pr", pt(2, 2, 50 + level)))
             .build()
     }
@@ -349,9 +437,7 @@ mod tests {
         );
         // Add an unconsented purpose: scores must rise (implicit deny-all).
         let before = auditor.total_violations();
-        let with_ads = auditor
-            .policy()
-            .with_new_purpose("ads", pt(3, 3, 365));
+        let with_ads = auditor.policy().with_new_purpose("ads", pt(3, 3, 365));
         auditor.apply_policy(with_ads.clone());
         assert!(auditor.total_violations() > before);
         let (scores, _) = full_audit(&profiles, &with_ads);
@@ -362,6 +448,94 @@ mod tests {
         auditor.apply_policy(HousePolicy::new("h"));
         assert_eq!(auditor.total_violations(), 0);
         assert_eq!(auditor.p_violation(), 0.0);
+    }
+
+    /// Regression test for the retraction underflow: with datum
+    /// sensitivities near `u32::MAX` two policy groups each contribute a
+    /// saturated `u64::MAX`, so the seed's unchecked `+=` / `-=`
+    /// accumulation panicked in debug builds (add overflow on the second
+    /// group, sub underflow on retraction). Both directions now saturate
+    /// symmetrically.
+    #[test]
+    fn saturated_scores_survive_policy_retraction() {
+        let mut p = ProviderProfile::new(ProviderId(0), u64::MAX);
+        p.preferences
+            .add("a", PrivacyTuple::from_point("pr", pt(1, 1, 1)));
+        p.preferences
+            .add("b", PrivacyTuple::from_point("pr", pt(1, 1, 1)));
+        for attr in ["a", "b"] {
+            p.sensitivities.insert(
+                attr.into(),
+                DatumSensitivity::new(u32::MAX, u32::MAX, u32::MAX, u32::MAX),
+            );
+        }
+        let mut w = AttributeSensitivities::new();
+        w.set("a", u32::MAX);
+        w.set("b", u32::MAX);
+        let both = HousePolicy::builder("h")
+            .tuple("a", PrivacyTuple::from_point("pr", pt(9, 9, 9)))
+            .tuple("b", PrivacyTuple::from_point("pr", pt(9, 9, 9)))
+            .build();
+        // Accumulating two saturated groups must clamp, not overflow.
+        let mut auditor = IncrementalAuditor::new(vec![p], vec!["a".into(), "b".into()], &w, both);
+        assert_eq!(auditor.score(0), u64::MAX);
+        assert!(auditor.violated(0));
+        // Retracting one of them must clamp, not underflow.
+        let only_a = HousePolicy::builder("h")
+            .tuple("a", PrivacyTuple::from_point("pr", pt(9, 9, 9)))
+            .build();
+        auditor.apply_policy(only_a);
+        assert!(auditor.violated(0), "group a still violates");
+        // Shrinking to an empty policy fully clears the provider.
+        auditor.apply_policy(HousePolicy::new("h"));
+        assert_eq!(auditor.score(0), 0);
+        assert_eq!(auditor.total_violations(), 0);
+        assert!(!auditor.violated(0));
+    }
+
+    #[test]
+    fn parallel_apply_policy_matches_sequential_for_all_thread_counts() {
+        let profiles = population(700); // above PAR_THRESHOLD
+        let levels = [3u32, 1, 6, 0, 9];
+        let mut sequential = IncrementalAuditor::new(
+            profiles.clone(),
+            vec!["weight".into(), "age".into()],
+            &weights(),
+            policy(2),
+        );
+        for threads in [1usize, 2, 4, 8] {
+            let nz = std::num::NonZeroUsize::new(threads).unwrap();
+            let mut parallel = IncrementalAuditor::new_parallel(
+                profiles.clone(),
+                vec!["weight".into(), "age".into()],
+                &weights(),
+                policy(2),
+                nz,
+            );
+            for level in levels {
+                sequential.apply_policy(policy(level));
+                parallel.apply_policy_parallel(policy(level), nz);
+                for i in 0..parallel.population() {
+                    assert_eq!(
+                        parallel.score(i),
+                        sequential.score(i),
+                        "threads {threads}, level {level}, provider {i}"
+                    );
+                    assert_eq!(parallel.violated(i), sequential.violated(i));
+                    assert_eq!(parallel.defaulted(i), sequential.defaulted(i));
+                }
+                assert_eq!(parallel.total_violations(), sequential.total_violations());
+                assert_eq!(parallel.p_violation(), sequential.p_violation());
+                assert_eq!(parallel.p_default(), sequential.p_default());
+            }
+            // Reset the sequential reference for the next thread count.
+            sequential = IncrementalAuditor::new(
+                profiles.clone(),
+                vec!["weight".into(), "age".into()],
+                &weights(),
+                policy(2),
+            );
+        }
     }
 
     #[test]

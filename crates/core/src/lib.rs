@@ -33,6 +33,7 @@
 pub mod audit;
 pub mod default_model;
 pub mod incremental;
+pub mod par;
 pub mod ppdb;
 pub mod probability;
 pub mod profile;
@@ -44,9 +45,10 @@ pub mod whatif;
 
 pub use audit::{AuditEngine, AuditReport, ProviderAudit};
 pub use default_model::{defaults, DefaultThresholds};
+pub use par::{default_threads, shard_bounds, PAR_THRESHOLD};
 pub use ppdb::{AuditLogEntry, Ppdb, PpdbConfig};
-pub use profile::ProviderProfile;
 pub use probability::{census_probability, estimate_probability};
+pub use profile::ProviderProfile;
 pub use sensitivity::{AttributeSensitivities, DatumSensitivity, SensitivityModel};
 pub use severity::{conf, total_violations, violation_score};
 pub use violation::{is_violated, witnesses, ViolationWitness};

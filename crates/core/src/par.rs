@@ -1,0 +1,301 @@
+//! Sharded, multi-threaded audit execution.
+//!
+//! Equation 15's `Violation_i` is a sum of independent per-provider terms,
+//! and Definition 1's `w_i` and Definition 4's `default_i` are pure
+//! functions of one provider's profile against the fixed house side — so an
+//! audit partitions perfectly: split the population into contiguous shards,
+//! audit each shard on its own worker thread, and stitch shard results back
+//! together in shard order.
+//!
+//! Because every provider goes through the same
+//! [`AuditEngine::audit_profile`] code path as the sequential audit, and
+//! `u128` addition of per-shard subtotals in shard order regroups the exact
+//! integer sum, [`AuditEngine::par_audit`] returns an [`AuditReport`] that
+//! compares **equal** to [`AuditEngine::run`]'s — same scores, same
+//! witnesses, same totals, same derived probabilities — for every thread
+//! count. Tests and a property suite pin this.
+//!
+//! Threading uses `std::thread::scope`, so there is no dependency beyond
+//! std and no lifetime gymnastics: borrowed profiles flow straight into
+//! workers.
+
+use std::num::NonZeroUsize;
+
+use crate::audit::{AuditEngine, AuditReport, ProviderAudit};
+use crate::profile::{assemble, ProviderProfile};
+
+/// Below this population size the parallel entry points fall back to the
+/// sequential path: thread spawn overhead would dominate.
+pub const PAR_THRESHOLD: usize = 256;
+
+/// The number of worker threads to use when the caller has no opinion:
+/// the machine's available parallelism, with a fallback of 1.
+pub fn default_threads() -> NonZeroUsize {
+    std::thread::available_parallelism().unwrap_or(NonZeroUsize::MIN)
+}
+
+/// Split `len` items into at most `shards` contiguous `(start, end)`
+/// ranges of near-equal size (the first `len % shards` ranges get one
+/// extra item). Empty ranges are never produced.
+pub fn shard_bounds(len: usize, shards: usize) -> Vec<(usize, usize)> {
+    let shards = shards.max(1).min(len.max(1));
+    let base = len / shards;
+    let extra = len % shards;
+    let mut bounds = Vec::with_capacity(shards);
+    let mut start = 0;
+    for s in 0..shards {
+        let size = base + usize::from(s < extra);
+        if size == 0 {
+            break;
+        }
+        bounds.push((start, start + size));
+        start += size;
+    }
+    bounds
+}
+
+/// One shard's worth of audit output, tagged for in-order reassembly.
+struct ShardResult {
+    audits: Vec<ProviderAudit>,
+    subtotal: u128,
+}
+
+impl AuditEngine {
+    /// Audit a population across `threads` worker threads.
+    ///
+    /// Produces a report equal to [`AuditEngine::run`]'s for any thread
+    /// count. Small populations (below [`PAR_THRESHOLD`]) and
+    /// single-thread requests run sequentially.
+    pub fn par_audit(&self, profiles: &[ProviderProfile], threads: NonZeroUsize) -> AuditReport {
+        if threads.get() == 1 || profiles.len() < PAR_THRESHOLD {
+            return self.run(profiles);
+        }
+        // The house-side assembly (sensitivity model, thresholds) is one
+        // cheap pass; workers share it read-only.
+        let (sensitivity, thresholds) = assemble(profiles, &self.attribute_weights);
+        let attrs: Vec<&str> = self.attributes.iter().map(String::as_str).collect();
+        let bounds = shard_bounds(profiles.len(), threads.get());
+
+        let shard_results: Vec<ShardResult> = std::thread::scope(|scope| {
+            let handles: Vec<_> = bounds
+                .iter()
+                .map(|&(start, end)| {
+                    let (sensitivity, thresholds, attrs) = (&sensitivity, &thresholds, &attrs);
+                    let shard = &profiles[start..end];
+                    scope.spawn(move || {
+                        let mut subtotal: u128 = 0;
+                        let audits = shard
+                            .iter()
+                            .map(|profile| {
+                                let audit =
+                                    self.audit_profile(profile, attrs, sensitivity, thresholds);
+                                subtotal += audit.score as u128;
+                                audit
+                            })
+                            .collect();
+                        ShardResult { audits, subtotal }
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("audit worker panicked"))
+                .collect()
+        });
+
+        // Merge in shard order: provider order and the u128 total regroup
+        // exactly as the sequential pass computes them.
+        let mut providers = Vec::with_capacity(profiles.len());
+        let mut total: u128 = 0;
+        for shard in shard_results {
+            total += shard.subtotal;
+            providers.extend(shard.audits);
+        }
+        AuditReport {
+            providers,
+            total_violations: total,
+        }
+    }
+
+    /// [`AuditEngine::run_with_policy`], sharded across `threads`.
+    pub fn par_audit_with_policy(
+        &self,
+        profiles: &[ProviderProfile],
+        policy: &qpv_policy::HousePolicy,
+        threads: NonZeroUsize,
+    ) -> AuditReport {
+        let alt = AuditEngine {
+            policy: policy.clone(),
+            attributes: self.attributes.clone(),
+            attribute_weights: self.attribute_weights.clone(),
+            lattice: self.lattice.clone(),
+        };
+        alt.par_audit(profiles, threads)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sensitivity::{AttributeSensitivities, DatumSensitivity};
+    use qpv_policy::{HousePolicy, ProviderId};
+    use qpv_taxonomy::{PrivacyPoint, PrivacyTuple, PurposeLattice};
+
+    fn pt(v: u32, g: u32, r: u32) -> PrivacyPoint {
+        PrivacyPoint::from_raw(v, g, r)
+    }
+
+    fn population(n: u64) -> Vec<ProviderProfile> {
+        (0..n)
+            .map(|i| {
+                let mut p = ProviderProfile::new(ProviderId(i), 20 + (i % 9) * 10);
+                p.preferences.add(
+                    "weight",
+                    PrivacyTuple::from_point("pr", pt(2 + (i % 4) as u32, 2, 30)),
+                );
+                p.preferences.add(
+                    "age",
+                    PrivacyTuple::from_point("research", pt(3, 1 + (i % 3) as u32, 45)),
+                );
+                p.sensitivities.insert(
+                    "weight".into(),
+                    DatumSensitivity::new(1 + (i % 5) as u32, 1, 2, 1),
+                );
+                p
+            })
+            .collect()
+    }
+
+    fn engine() -> AuditEngine {
+        let policy = HousePolicy::builder("h")
+            .tuple("weight", PrivacyTuple::from_point("pr", pt(4, 3, 40)))
+            .tuple("age", PrivacyTuple::from_point("research", pt(4, 2, 60)))
+            .build();
+        let mut weights = AttributeSensitivities::new();
+        weights.set("weight", 4);
+        weights.set("age", 2);
+        AuditEngine::new(policy, ["weight", "age"], weights)
+    }
+
+    fn nz(n: usize) -> NonZeroUsize {
+        NonZeroUsize::new(n).unwrap()
+    }
+
+    #[test]
+    fn shard_bounds_cover_exactly_once() {
+        for len in [0usize, 1, 2, 7, 255, 256, 1000, 1001] {
+            for shards in [1usize, 2, 3, 4, 8, 17, 2000] {
+                let bounds = shard_bounds(len, shards);
+                let mut expect = 0;
+                for &(start, end) in &bounds {
+                    assert_eq!(start, expect, "len {len} shards {shards}");
+                    assert!(end > start, "empty shard: len {len} shards {shards}");
+                    expect = end;
+                }
+                assert_eq!(expect, len, "len {len} shards {shards}");
+                assert!(bounds.len() <= shards.max(1));
+                // Near-equal: sizes differ by at most one.
+                if let (Some(min), Some(max)) = (
+                    bounds.iter().map(|(s, e)| e - s).min(),
+                    bounds.iter().map(|(s, e)| e - s).max(),
+                ) {
+                    assert!(max - min <= 1, "len {len} shards {shards}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_report_equals_sequential_for_all_thread_counts() {
+        let profiles = population(997); // prime: uneven shards
+        let engine = engine();
+        let sequential = engine.run(&profiles);
+        for threads in [1, 2, 3, 4, 8] {
+            let parallel = engine.par_audit(&profiles, nz(threads));
+            assert_eq!(parallel, sequential, "{threads} threads");
+            assert_eq!(parallel.p_violation(), sequential.p_violation());
+            assert_eq!(parallel.p_default(), sequential.p_default());
+        }
+    }
+
+    #[test]
+    fn parallel_lattice_audit_matches_sequential() {
+        let mut lattice = PurposeLattice::new();
+        lattice.add_edge("pr", "research").unwrap();
+        let engine = engine().with_lattice(lattice);
+        let profiles = population(600);
+        let sequential = engine.run(&profiles);
+        let parallel = engine.par_audit(&profiles, nz(4));
+        assert_eq!(parallel, sequential);
+    }
+
+    #[test]
+    fn small_populations_fall_back_to_sequential() {
+        let engine = engine();
+        let profiles = population(PAR_THRESHOLD as u64 - 1);
+        let report = engine.par_audit(&profiles, nz(8));
+        assert_eq!(report, engine.run(&profiles));
+        let empty = engine.par_audit(&[], nz(4));
+        assert_eq!(empty.population(), 0);
+    }
+
+    #[test]
+    fn par_audit_with_policy_matches_run_with_policy() {
+        let engine = engine();
+        let profiles = population(500);
+        let wider = engine.policy.widened_uniform(2);
+        assert_eq!(
+            engine.par_audit_with_policy(&profiles, &wider, nz(4)),
+            engine.run_with_policy(&profiles, &wider),
+        );
+    }
+
+    #[test]
+    fn worked_example_is_stable_under_par_audit() {
+        // Table 1 must come out identically through the parallel entry
+        // point (it falls back to sequential below the threshold, which is
+        // itself part of the contract).
+        let (v, g, r) = (5u32, 5u32, 5u32);
+        let policy = HousePolicy::builder("house")
+            .tuple("weight", PrivacyTuple::from_point("pr", pt(v, g, r)))
+            .build();
+        let mut weights = AttributeSensitivities::new();
+        weights.set("weight", 4);
+        let engine = AuditEngine::new(policy, ["weight"], weights);
+        let mk = |id: u64, pref: PrivacyPoint, sens: DatumSensitivity, threshold: u64| {
+            let mut profile = ProviderProfile::new(ProviderId(id), threshold);
+            profile
+                .preferences
+                .add("weight", PrivacyTuple::from_point("pr", pref));
+            profile.sensitivities.insert("weight".into(), sens);
+            profile
+        };
+        let profiles = vec![
+            mk(
+                0,
+                pt(v + 2, g + 1, r + 3),
+                DatumSensitivity::new(1, 1, 2, 1),
+                10,
+            ),
+            mk(
+                1,
+                pt(v + 2, g - 1, r + 2),
+                DatumSensitivity::new(3, 1, 5, 2),
+                50,
+            ),
+            mk(
+                2,
+                pt(v, g - 1, r - 1),
+                DatumSensitivity::new(4, 1, 3, 2),
+                100,
+            ),
+        ];
+        let report = engine.par_audit(&profiles, default_threads());
+        assert_eq!(
+            report.providers.iter().map(|p| p.score).collect::<Vec<_>>(),
+            vec![0, 60, 80]
+        );
+        assert_eq!(report.total_violations, 140);
+        assert!((report.p_default() - 1.0 / 3.0).abs() < 1e-12);
+    }
+}

@@ -178,9 +178,7 @@ impl Ppdb {
             T_AUDIT_LOG,
         ] {
             if db.catalog().table(t).is_none() {
-                return Err(DbError::Catalog(format!(
-                    "not a PPDB: missing table {t:?}"
-                )));
+                return Err(DbError::Catalog(format!("not a PPDB: missing table {t:?}")));
             }
         }
         Ok(Ppdb { db, config })
@@ -402,7 +400,9 @@ impl Ppdb {
     /// All profiles, in data-table order.
     pub fn all_profiles(&mut self) -> DbResult<Vec<ProviderProfile>> {
         let ids = self.provider_ids()?;
-        ids.into_iter().map(|id| self.provider_profile(id)).collect()
+        ids.into_iter()
+            .map(|id| self.provider_profile(id))
+            .collect()
     }
 
     /// Build an [`AuditEngine`] from stored state.
@@ -420,16 +420,24 @@ impl Ppdb {
         Ok(engine.run(&profiles))
     }
 
+    /// [`Ppdb::audit`] sharded across `threads` worker threads.
+    ///
+    /// Storage reads (profiles, policy, weights) stay sequential — the
+    /// database is single-writer — but the audit itself runs through
+    /// [`AuditEngine::par_audit`], so the report is equal to
+    /// [`Ppdb::audit`]'s for every thread count.
+    pub fn par_audit(&mut self, threads: std::num::NonZeroUsize) -> DbResult<AuditReport> {
+        let engine = self.audit_engine()?;
+        let profiles = self.all_profiles()?;
+        Ok(engine.par_audit(&profiles, threads))
+    }
+
     /// Run an audit and append its summary to the stored audit history —
     /// the monitoring loop of the paper's §10. Returns both the full
     /// report and the recorded entry.
     pub fn record_audit(&mut self, label: &str) -> DbResult<(AuditReport, AuditLogEntry)> {
         let report = self.audit()?;
-        let seq = self
-            .audit_history()?
-            .last()
-            .map(|e| e.seq + 1)
-            .unwrap_or(0);
+        let seq = self.audit_history()?.last().map(|e| e.seq + 1).unwrap_or(0);
         let entry = AuditLogEntry {
             seq,
             label: label.to_string(),
@@ -551,11 +559,7 @@ mod tests {
     }
 
     fn data_row(id: u64) -> Row {
-        Row::from_values([
-            Value::Int(id as i64),
-            Value::Int(30),
-            Value::Int(70),
-        ])
+        Row::from_values([Value::Int(id as i64), Value::Int(30), Value::Int(70)])
     }
 
     #[test]
@@ -597,7 +601,9 @@ mod tests {
         let back = ppdb.house_policy().unwrap();
         assert_eq!(back.len(), 2);
         assert_eq!(
-            back.get("weight", &qpv_taxonomy::Purpose::new("pr")).unwrap().point,
+            back.get("weight", &qpv_taxonomy::Purpose::new("pr"))
+                .unwrap()
+                .point,
             pt(5, 5, 5)
         );
         // Replacing overwrites.
@@ -628,8 +634,10 @@ mod tests {
     #[test]
     fn remove_provider_clears_everything() {
         let mut ppdb = fresh();
-        ppdb.register_provider(&sample_profile(1, 50), data_row(1)).unwrap();
-        ppdb.register_provider(&sample_profile(2, 60), data_row(2)).unwrap();
+        ppdb.register_provider(&sample_profile(1, 50), data_row(1))
+            .unwrap();
+        ppdb.register_provider(&sample_profile(2, 60), data_row(2))
+            .unwrap();
         ppdb.remove_provider(ProviderId(1)).unwrap();
         assert_eq!(ppdb.provider_ids().unwrap(), vec![ProviderId(2)]);
         for t in [T_PREFS, T_SENS, T_THRESHOLDS] {
@@ -653,22 +661,38 @@ mod tests {
 
         let mk = |id: u64, pref: PrivacyPoint, s: DatumSensitivity, thr: u64| {
             let mut p = ProviderProfile::new(ProviderId(id), thr);
-            p.preferences.add("weight", PrivacyTuple::from_point("pr", pref));
+            p.preferences
+                .add("weight", PrivacyTuple::from_point("pr", pref));
             p.sensitivities.insert("weight".into(), s);
             p
         };
         ppdb.register_provider(
-            &mk(0, pt(v + 2, g + 1, r + 3), DatumSensitivity::new(1, 1, 2, 1), 10),
+            &mk(
+                0,
+                pt(v + 2, g + 1, r + 3),
+                DatumSensitivity::new(1, 1, 2, 1),
+                10,
+            ),
             data_row(0),
         )
         .unwrap();
         ppdb.register_provider(
-            &mk(1, pt(v + 2, g - 1, r + 2), DatumSensitivity::new(3, 1, 5, 2), 50),
+            &mk(
+                1,
+                pt(v + 2, g - 1, r + 2),
+                DatumSensitivity::new(3, 1, 5, 2),
+                50,
+            ),
             data_row(1),
         )
         .unwrap();
         ppdb.register_provider(
-            &mk(2, pt(v, g - 1, r - 1), DatumSensitivity::new(4, 1, 3, 2), 100),
+            &mk(
+                2,
+                pt(v, g - 1, r - 1),
+                DatumSensitivity::new(4, 1, 3, 2),
+                100,
+            ),
             data_row(2),
         )
         .unwrap();
@@ -678,6 +702,35 @@ mod tests {
         assert_eq!(scores, vec![0, 60, 80]);
         assert!((report.p_default() - 1.0 / 3.0).abs() < 1e-12);
         assert_eq!(report.total_violations, 140);
+    }
+
+    #[test]
+    fn par_audit_matches_sequential_audit_from_storage() {
+        let mut ppdb = fresh();
+        ppdb.set_policy(
+            &HousePolicy::builder("people")
+                .tuple("weight", PrivacyTuple::from_point("pr", pt(5, 5, 5)))
+                .build(),
+        )
+        .unwrap();
+        ppdb.set_attribute_weight("weight", 4).unwrap();
+        for id in 0..12u64 {
+            let mut p = ProviderProfile::new(ProviderId(id), 30 + id * 5);
+            p.preferences.add(
+                "weight",
+                PrivacyTuple::from_point("pr", pt(4 + (id % 4) as u32, 5, 6)),
+            );
+            p.sensitivities
+                .insert("weight".into(), DatumSensitivity::new(2, 1, 3, 1));
+            ppdb.register_provider(&p, data_row(id)).unwrap();
+        }
+        let sequential = ppdb.audit().unwrap();
+        for threads in [1usize, 2, 4, 8] {
+            let parallel = ppdb
+                .par_audit(std::num::NonZeroUsize::new(threads).unwrap())
+                .unwrap();
+            assert_eq!(parallel, sequential, "{threads} threads");
+        }
     }
 
     #[test]
@@ -693,7 +746,8 @@ mod tests {
     fn audit_history_accumulates_and_survives_policy_changes() {
         let mut ppdb = fresh();
         ppdb.set_attribute_weight("weight", 4).unwrap();
-        ppdb.register_provider(&sample_profile(1, 50), data_row(1)).unwrap();
+        ppdb.register_provider(&sample_profile(1, 50), data_row(1))
+            .unwrap();
         ppdb.set_policy(
             &HousePolicy::builder("v1")
                 .tuple("weight", PrivacyTuple::from_point("pr", pt(2, 2, 2)))
@@ -733,7 +787,8 @@ mod tests {
     #[test]
     fn certify_alpha_records_and_judges() {
         let mut ppdb = fresh();
-        ppdb.register_provider(&sample_profile(1, 50), data_row(1)).unwrap();
+        ppdb.register_provider(&sample_profile(1, 50), data_row(1))
+            .unwrap();
         ppdb.set_policy(
             &HousePolicy::builder("v1")
                 .tuple("weight", PrivacyTuple::from_point("pr", pt(9, 9, 9)))
@@ -749,7 +804,8 @@ mod tests {
     #[test]
     fn metadata_is_queryable_as_sql() {
         let mut ppdb = fresh();
-        ppdb.register_provider(&sample_profile(7, 50), data_row(7)).unwrap();
+        ppdb.register_provider(&sample_profile(7, 50), data_row(7))
+            .unwrap();
         let rs = ppdb
             .db_mut()
             .query("SELECT COUNT(*) FROM _qpv_prefs WHERE provider = 7")
@@ -760,8 +816,10 @@ mod tests {
     #[test]
     fn metadata_joins_across_companion_tables() {
         let mut ppdb = fresh();
-        ppdb.register_provider(&sample_profile(1, 50), data_row(1)).unwrap();
-        ppdb.register_provider(&sample_profile(2, 200), data_row(2)).unwrap();
+        ppdb.register_provider(&sample_profile(1, 50), data_row(1))
+            .unwrap();
+        ppdb.register_provider(&sample_profile(2, 200), data_row(2))
+            .unwrap();
         // "Which providers consented to purpose 'pr' and what are their
         // thresholds?" — one SQL join over the privacy metadata.
         let rs = ppdb

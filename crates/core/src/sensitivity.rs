@@ -202,7 +202,10 @@ mod tests {
     fn defaults_are_neutral() {
         let m = SensitivityModel::new();
         assert_eq!(m.attribute_weight("weight", "billing"), 1);
-        assert_eq!(m.datum(ProviderId(1), "weight"), DatumSensitivity::neutral());
+        assert_eq!(
+            m.datum(ProviderId(1), "weight"),
+            DatumSensitivity::neutral()
+        );
     }
 
     #[test]
@@ -223,7 +226,10 @@ mod tests {
         assert_eq!(ted.along(Dim::Visibility), 1);
         assert_eq!(ted.along(Dim::Retention), 2);
         // Another provider stays neutral.
-        assert_eq!(m.datum(ProviderId(2), "weight"), DatumSensitivity::neutral());
+        assert_eq!(
+            m.datum(ProviderId(2), "weight"),
+            DatumSensitivity::neutral()
+        );
     }
 
     #[test]

@@ -154,7 +154,12 @@ mod tests {
     #[test]
     fn conf_saturates_instead_of_overflowing() {
         let datum = DatumSensitivity::new(u32::MAX, u32::MAX, u32::MAX, u32::MAX);
-        let score = conf(&pt(0, 0, 0), &pt(u32::MAX, u32::MAX, u32::MAX), u32::MAX, datum);
+        let score = conf(
+            &pt(0, 0, 0),
+            &pt(u32::MAX, u32::MAX, u32::MAX),
+            u32::MAX,
+            datum,
+        );
         assert_eq!(score, u64::MAX);
     }
 
@@ -185,19 +190,28 @@ mod tests {
 
         fn alice() -> ProviderPreferences {
             ProviderPreferences::builder(ProviderId(0))
-                .tuple("weight", PrivacyTuple::from_point("pr", pt(V + 2, G + 1, R + 3)))
+                .tuple(
+                    "weight",
+                    PrivacyTuple::from_point("pr", pt(V + 2, G + 1, R + 3)),
+                )
                 .build()
         }
 
         fn ted() -> ProviderPreferences {
             ProviderPreferences::builder(ProviderId(1))
-                .tuple("weight", PrivacyTuple::from_point("pr", pt(V + 2, G - 1, R + 2)))
+                .tuple(
+                    "weight",
+                    PrivacyTuple::from_point("pr", pt(V + 2, G - 1, R + 2)),
+                )
                 .build()
         }
 
         fn bob() -> ProviderPreferences {
             ProviderPreferences::builder(ProviderId(2))
-                .tuple("weight", PrivacyTuple::from_point("pr", pt(V, G - 1, R - 1)))
+                .tuple(
+                    "weight",
+                    PrivacyTuple::from_point("pr", pt(V, G - 1, R - 1)),
+                )
                 .build()
         }
 
@@ -239,13 +253,7 @@ mod tests {
             .tuple("weight", PrivacyTuple::from_point("pr", pt(5, 5, 5)))
             .build();
         let full = violation_score(&prefs, &hp, &["weight"], &s);
-        let single = tuple_contribution(
-            &prefs,
-            "weight",
-            &Purpose::new("pr"),
-            &pt(5, 5, 5),
-            &s,
-        );
+        let single = tuple_contribution(&prefs, "weight", &Purpose::new("pr"), &pt(5, 5, 5), &s);
         assert_eq!(full, single);
         assert_eq!(full, 60);
     }

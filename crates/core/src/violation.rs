@@ -78,14 +78,9 @@ pub struct ViolationWitnessCandidate<'a> {
 
 /// Definition 1: `w_i`. `true` iff any comparable pair has the policy
 /// exceeding the preference on some ordered dimension.
-pub fn is_violated(
-    prefs: &ProviderPreferences,
-    policy: &HousePolicy,
-    attributes: &[&str],
-) -> bool {
-    comparable_pairs(prefs, policy, attributes).any(|c| {
-        ViolationGeometry::compare(&c.preference, &c.policy).is_violation()
-    })
+pub fn is_violated(prefs: &ProviderPreferences, policy: &HousePolicy, attributes: &[&str]) -> bool {
+    comparable_pairs(prefs, policy, attributes)
+        .any(|c| ViolationGeometry::compare(&c.preference, &c.policy).is_violation())
 }
 
 /// All violation witnesses for a provider (empty ⇔ `w_i = 0`).
@@ -308,12 +303,8 @@ mod tests {
             .tuple("weight", tuple("operations", 3, 1, 10))
             .tuple("weight", tuple("finance", 1, 3, 5))
             .build();
-        let (point, implicit) = effective_point_lattice(
-            &prefs,
-            "weight",
-            &Purpose::new("billing"),
-            &lattice,
-        );
+        let (point, implicit) =
+            effective_point_lattice(&prefs, "weight", &Purpose::new("billing"), &lattice);
         assert!(!implicit);
         assert_eq!(point, PrivacyPoint::from_raw(3, 3, 10));
     }

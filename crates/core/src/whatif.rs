@@ -62,10 +62,7 @@ impl<'a> WhatIf<'a> {
     }
 
     /// Evaluate a batch of labelled candidates, in order.
-    pub fn evaluate_all(
-        &self,
-        scenarios: &[(String, HousePolicy)],
-    ) -> Vec<ScenarioOutcome> {
+    pub fn evaluate_all(&self, scenarios: &[(String, HousePolicy)]) -> Vec<ScenarioOutcome> {
         scenarios
             .iter()
             .map(|(label, policy)| self.evaluate(label.clone(), policy))

@@ -1,0 +1,168 @@
+//! Property suite for the two equivalence contracts this crate promises:
+//!
+//! 1. [`qpv_core::incremental::IncrementalAuditor`] reaches exactly the
+//!    state a full [`qpv_core::AuditEngine`] re-audit computes, for *any*
+//!    sequence of policy edits (the ablation A1 soundness condition).
+//! 2. [`qpv_core::AuditEngine::par_audit`] returns a report equal to the
+//!    sequential [`qpv_core::AuditEngine::run`] for every thread count.
+//!
+//! Populations and edit sequences are drawn from a seeded strategy so each
+//! property is checked across many structurally different inputs, not one
+//! hand-picked fixture.
+
+use std::num::NonZeroUsize;
+
+use proptest::prelude::*;
+
+use qpv_core::incremental::IncrementalAuditor;
+use qpv_core::sensitivity::{AttributeSensitivities, DatumSensitivity};
+use qpv_core::{AuditEngine, ProviderProfile};
+use qpv_policy::{HousePolicy, ProviderId};
+use qpv_taxonomy::{PrivacyPoint, PrivacyTuple};
+
+fn pt(v: u32, g: u32, r: u32) -> PrivacyPoint {
+    PrivacyPoint::from_raw(v, g, r)
+}
+
+/// A structurally varied population derived from a single seed: mixed
+/// purposes, partially stated preferences, uneven sensitivities and
+/// thresholds.
+fn population(n: usize, seed: u64) -> Vec<ProviderProfile> {
+    (0..n as u64)
+        .map(|i| {
+            let x = i.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(seed);
+            let mut p = ProviderProfile::new(ProviderId(i), 10 + (x % 140));
+            p.preferences.add(
+                "weight",
+                PrivacyTuple::from_point("pr", pt(1 + (x % 5) as u32, 2, 20 + (x % 30) as u32)),
+            );
+            if x % 3 != 0 {
+                // A third of providers leave "age" unstated: implicit
+                // deny-all must flow through both code paths identically.
+                p.preferences.add(
+                    "age",
+                    PrivacyTuple::from_point(
+                        "research",
+                        pt(2 + (x % 3) as u32, 1 + (x % 4) as u32, 45),
+                    ),
+                );
+            }
+            p.sensitivities.insert(
+                "weight".into(),
+                DatumSensitivity::new(1 + (x % 6) as u32, 1, 1 + (x % 3) as u32, 2),
+            );
+            if x % 2 == 0 {
+                p.sensitivities
+                    .insert("age".into(), DatumSensitivity::new(2, 1, 1, 1));
+            }
+            p
+        })
+        .collect()
+}
+
+fn weights() -> AttributeSensitivities {
+    let mut w = AttributeSensitivities::new();
+    w.set("weight", 4);
+    w.set("age", 2);
+    w
+}
+
+/// A policy parameterised by one edit level; different levels move
+/// different subsets of the `(attribute, purpose)` groups, so a sequence
+/// of levels exercises add/retract/replace paths.
+fn policy(level: u32) -> HousePolicy {
+    let mut b = HousePolicy::builder("h").tuple(
+        "weight",
+        PrivacyTuple::from_point("pr", pt(level, 3, 30 + level)),
+    );
+    if level.is_multiple_of(2) {
+        b = b.tuple(
+            "age",
+            PrivacyTuple::from_point("research", pt(2 + level / 3, 2, 60)),
+        );
+    }
+    if level >= 7 {
+        // Purpose creep: a purpose nobody consented to.
+        b = b.tuple("weight", PrivacyTuple::from_point("ads", pt(3, 3, 365)));
+    }
+    b.build()
+}
+
+fn engine(hp: &HousePolicy) -> AuditEngine {
+    AuditEngine::new(hp.clone(), ["weight", "age"], weights())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Contract 1: any edit sequence leaves the incremental auditor in
+    /// exactly the state a from-scratch audit of the final policy computes.
+    #[test]
+    fn incremental_auditor_matches_full_reaudit(
+        seed in 0u64..1_000_000,
+        edits in proptest::collection::vec(0u32..10, 1..7),
+    ) {
+        let profiles = population(60, seed);
+        let mut auditor = IncrementalAuditor::new(
+            profiles.clone(),
+            vec!["weight".into(), "age".into()],
+            &weights(),
+            policy(5),
+        );
+        for level in edits {
+            let hp = policy(level);
+            auditor.apply_policy(hp.clone());
+            let report = engine(&hp).run(&profiles);
+            for (i, audited) in report.providers.iter().enumerate() {
+                prop_assert_eq!(auditor.score(i), audited.score, "provider {}", i);
+                prop_assert_eq!(auditor.violated(i), audited.violated);
+                prop_assert_eq!(auditor.defaulted(i), audited.defaulted);
+            }
+            prop_assert_eq!(auditor.total_violations(), report.total_violations);
+            prop_assert_eq!(auditor.p_violation(), report.p_violation());
+            prop_assert_eq!(auditor.p_default(), report.p_default());
+        }
+    }
+
+    /// Contract 2: the sharded audit is indistinguishable from the
+    /// sequential one at every thread count, over populations straddling
+    /// the fall-back threshold.
+    #[test]
+    fn par_audit_equals_sequential_for_all_thread_counts(
+        seed in 0u64..1_000_000,
+        n in 200usize..600,
+        level in 0u32..10,
+    ) {
+        let profiles = population(n, seed);
+        let eng = engine(&policy(level));
+        let sequential = eng.run(&profiles);
+        for threads in [1usize, 2, 4, 8] {
+            let parallel = eng.par_audit(&profiles, NonZeroUsize::new(threads).unwrap());
+            prop_assert_eq!(&parallel, &sequential, "{} threads", threads);
+        }
+    }
+
+    /// The two parallel layers compose: a sharded initial pass plus
+    /// sharded edits equals the sequential incremental path.
+    #[test]
+    fn parallel_incremental_matches_sequential_incremental(
+        seed in 0u64..1_000_000,
+        edits in proptest::collection::vec(0u32..10, 1..4),
+    ) {
+        let profiles = population(300, seed);
+        let attrs = || vec!["weight".to_string(), "age".to_string()];
+        let nz = NonZeroUsize::new(4).unwrap();
+        let mut seq =
+            IncrementalAuditor::new(profiles.clone(), attrs(), &weights(), policy(5));
+        let mut par =
+            IncrementalAuditor::new_parallel(profiles, attrs(), &weights(), policy(5), nz);
+        for level in edits {
+            seq.apply_policy(policy(level));
+            par.apply_policy_parallel(policy(level), nz);
+            for i in 0..seq.population() {
+                prop_assert_eq!(par.score(i), seq.score(i), "provider {}", i);
+            }
+            prop_assert_eq!(par.total_violations(), seq.total_violations());
+        }
+    }
+}

@@ -101,9 +101,7 @@ impl<'a> ExpansionSweep<'a> {
     /// Run a uniform-widening sweep of `max_steps` steps.
     pub fn run_uniform(&self, base: &HousePolicy, max_steps: u32) -> Vec<ExpansionRow> {
         (0..=max_steps)
-            .map(|s| {
-                self.evaluate(s, &format!("widen+{s}"), &base.widened_uniform(s))
-            })
+            .map(|s| self.evaluate(s, &format!("widen+{s}"), &base.widened_uniform(s)))
             .collect()
     }
 
@@ -186,10 +184,7 @@ mod tests {
                 let mut prefs = ProviderPreferences::new(ProviderId(i));
                 prefs.add(
                     "x",
-                    PrivacyTuple::from_point(
-                        "pr",
-                        pt(2 + i as u32, 2 + i as u32, 2 + i as u32),
-                    ),
+                    PrivacyTuple::from_point("pr", pt(2 + i as u32, 2 + i as u32, 2 + i as u32)),
                 );
                 p.preferences = prefs;
                 p.sensitivities
@@ -256,7 +251,10 @@ mod tests {
         for row in &rows {
             let expected = u.break_even_extra(10, row.n_future);
             assert_eq!(row.t_min, expected);
-            assert_eq!(row.justified, u.is_justified(10, row.n_future, row.t_offered));
+            assert_eq!(
+                row.justified,
+                u.is_justified(10, row.n_future, row.t_offered)
+            );
         }
     }
 

@@ -69,7 +69,13 @@ impl fmt::Display for PolicyChange {
                 write!(f, "~ {}/{}:", self.attribute, self.purpose)?;
                 for (dim, d) in self.delta {
                     if d != 0 {
-                        write!(f, " {}{}{}", dim.short_name(), if d > 0 { "+" } else { "" }, d)?;
+                        write!(
+                            f,
+                            " {}{}{}",
+                            dim.short_name(),
+                            if d > 0 { "+" } else { "" },
+                            d
+                        )?;
                     }
                 }
                 Ok(())

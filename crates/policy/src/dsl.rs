@@ -218,10 +218,7 @@ pub fn parse(input: &str) -> Result<Document, DslError> {
 
 /// Parse `{ attribute ... { purpose ... }* }*`, invoking `sink` for each
 /// `(attribute, tuple)` pair.
-fn parse_body(
-    p: &mut P,
-    mut sink: impl FnMut(String, PrivacyTuple),
-) -> Result<(), DslError> {
+fn parse_body(p: &mut P, mut sink: impl FnMut(String, PrivacyTuple)) -> Result<(), DslError> {
     p.expect(Tok::LBrace)?;
     while *p.peek() != Tok::RBrace {
         p.keyword("attribute")?;
@@ -248,9 +245,7 @@ fn parse_body(
                         ret = Some(value.parse().map_err(|e| DslError(format!("{e}")))?);
                     }
                     other => {
-                        return Err(DslError(format!(
-                            "expected vis/gran/ret, found {other:?}"
-                        )));
+                        return Err(DslError(format!("expected vis/gran/ret, found {other:?}")));
                     }
                 }
                 p.expect(Tok::Semi)?;
@@ -274,10 +269,7 @@ fn parse_body(
 
 // -------------------------------------------------------------- printer --
 
-fn print_tuples<'a>(
-    out: &mut String,
-    tuples: impl Iterator<Item = (&'a str, &'a PrivacyTuple)>,
-) {
+fn print_tuples<'a>(out: &mut String, tuples: impl Iterator<Item = (&'a str, &'a PrivacyTuple)>) {
     // Group by attribute, preserving first-seen order.
     let mut attrs: Vec<(&str, Vec<&PrivacyTuple>)> = Vec::new();
     for (attr, tuple) in tuples {
@@ -388,10 +380,9 @@ mod tests {
 
     #[test]
     fn raw_numeric_levels_are_accepted() {
-        let doc = parse(
-            r#"policy "p" { attribute a { purpose "x" { vis 7; gran 9; ret 1000; } } }"#,
-        )
-        .unwrap();
+        let doc =
+            parse(r#"policy "p" { attribute a { purpose "x" { vis 7; gran 9; ret 1000; } } }"#)
+                .unwrap();
         let t = doc.policies[0].get("a", &Purpose::new("x")).unwrap();
         assert_eq!(t.point, PrivacyPoint::from_raw(7, 9, 1000));
     }
@@ -408,8 +399,8 @@ mod tests {
 
     #[test]
     fn missing_dimension_is_an_error() {
-        let err = parse(r#"policy "p" { attribute a { purpose "x" { vis house; } } }"#)
-            .unwrap_err();
+        let err =
+            parse(r#"policy "p" { attribute a { purpose "x" { vis house; } } }"#).unwrap_err();
         assert!(err.to_string().contains("must state"), "{err}");
     }
 

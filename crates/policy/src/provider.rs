@@ -213,7 +213,11 @@ mod tests {
         assert_eq!(p.attributes(), vec!["age", "weight"]);
         assert_eq!(p.purposes().len(), 1);
         assert_eq!(
-            p.for_attribute("age").next().unwrap().point.get(Dim::Retention),
+            p.for_attribute("age")
+                .next()
+                .unwrap()
+                .point
+                .get(Dim::Retention),
             365
         );
     }

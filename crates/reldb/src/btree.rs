@@ -257,7 +257,12 @@ impl BTreeIndex {
 
     fn split_leaf(&mut self, node: usize) -> InsertOutcome {
         let new_id = self.nodes.len();
-        let Node::Leaf { keys, postings, next } = &mut self.nodes[node] else {
+        let Node::Leaf {
+            keys,
+            postings,
+            next,
+        } = &mut self.nodes[node]
+        else {
             unreachable!()
         };
         let mid = keys.len() / 2;
@@ -314,7 +319,12 @@ impl<'a> Iterator for RangeIter<'a> {
     fn next(&mut self) -> Option<Self::Item> {
         loop {
             let leaf = self.leaf?;
-            let Node::Leaf { keys, postings, next } = &self.tree.nodes[leaf] else {
+            let Node::Leaf {
+                keys,
+                postings,
+                next,
+            } = &self.tree.nodes[leaf]
+            else {
                 unreachable!("leaf chain only contains leaves");
             };
             if self.key_idx >= keys.len() {

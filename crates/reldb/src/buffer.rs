@@ -88,18 +88,15 @@ impl BufferPool {
     /// Borrow a page mutably, faulting it in if needed.
     pub fn page_mut(&mut self, page_id: u64) -> DbResult<&mut Page> {
         self.fault_in(page_id)?;
-        Ok(&mut self
-            .frames
-            .get_mut(&page_id)
-            .expect("just faulted in")
-            .page)
+        Ok(&mut self.frames.get_mut(&page_id).expect("just faulted in").page)
     }
 
     /// Write every dirty resident page back to the store and sync it.
     pub fn flush_all(&mut self) -> DbResult<()> {
         for frame in self.frames.values_mut() {
             if frame.page.is_dirty() {
-                self.store.write_page(frame.page.page_id(), frame.page.as_bytes())?;
+                self.store
+                    .write_page(frame.page.page_id(), frame.page.as_bytes())?;
                 frame.page.mark_clean();
             }
         }

@@ -133,11 +133,8 @@ impl Database {
                 }
                 WalRecord::DropTable { name } => {
                     let meta = self.catalog.drop_table(&name)?;
-                    let dropped: Vec<IndexId> = self
-                        .catalog
-                        .indexes_for(meta.id)
-                        .map(|i| i.id)
-                        .collect();
+                    let dropped: Vec<IndexId> =
+                        self.catalog.indexes_for(meta.id).map(|i| i.id).collect();
                     for id in dropped {
                         self.indexes.remove(&id);
                     }
@@ -943,23 +940,30 @@ mod tests {
     #[test]
     fn index_is_used_and_maintained() {
         let mut db = seeded();
-        db.execute("CREATE INDEX people_age ON people (age)").unwrap();
+        db.execute("CREATE INDEX people_age ON people (age)")
+            .unwrap();
         let rs = db.query("SELECT name FROM people WHERE age = 28").unwrap();
         assert_eq!(rs.len(), 1);
         // Mutations keep the index fresh.
         db.execute("UPDATE people SET age = 29 WHERE name = 'bob'")
             .unwrap();
         assert_eq!(
-            db.query("SELECT name FROM people WHERE age = 28").unwrap().len(),
+            db.query("SELECT name FROM people WHERE age = 28")
+                .unwrap()
+                .len(),
             0
         );
         assert_eq!(
-            db.query("SELECT name FROM people WHERE age = 29").unwrap().len(),
+            db.query("SELECT name FROM people WHERE age = 29")
+                .unwrap()
+                .len(),
             1
         );
         db.execute("DELETE FROM people WHERE age = 29").unwrap();
         assert_eq!(
-            db.query("SELECT name FROM people WHERE age = 29").unwrap().len(),
+            db.query("SELECT name FROM people WHERE age = 29")
+                .unwrap()
+                .len(),
             0
         );
     }
@@ -974,7 +978,10 @@ mod tests {
             .unwrap();
         db.create_table("kv", schema).unwrap();
         let rid = db
-            .insert("kv", Row::from_values([Value::Int(1), Value::Text("one".into())]))
+            .insert(
+                "kv",
+                Row::from_values([Value::Int(1), Value::Text("one".into())]),
+            )
             .unwrap();
         assert_eq!(
             db.get("kv", rid).unwrap().values[1],
@@ -987,7 +994,10 @@ mod tests {
                 Row::from_values([Value::Int(1), Value::Text("uno".into())]),
             )
             .unwrap();
-        assert_eq!(db.get("kv", rid2).unwrap().values[1], Value::Text("uno".into()));
+        assert_eq!(
+            db.get("kv", rid2).unwrap().values[1],
+            Value::Text("uno".into())
+        );
         db.delete("kv", rid2).unwrap();
         assert!(db.scan("kv").unwrap().is_empty());
     }
@@ -996,8 +1006,10 @@ mod tests {
     fn transactions_commit_and_rollback() {
         let mut db = seeded();
         db.execute("BEGIN").unwrap();
-        db.execute("INSERT INTO people VALUES (5, 'eve', 52)").unwrap();
-        db.execute("DELETE FROM people WHERE name = 'alice'").unwrap();
+        db.execute("INSERT INTO people VALUES (5, 'eve', 52)")
+            .unwrap();
+        db.execute("DELETE FROM people WHERE name = 'alice'")
+            .unwrap();
         db.execute("UPDATE people SET age = 100 WHERE name = 'bob'")
             .unwrap();
         assert!(db.in_transaction());
@@ -1009,16 +1021,21 @@ mod tests {
             Value::Int(4)
         );
         assert_eq!(
-            db.query("SELECT * FROM people WHERE name = 'alice'").unwrap().len(),
+            db.query("SELECT * FROM people WHERE name = 'alice'")
+                .unwrap()
+                .len(),
             1
         );
         assert_eq!(
-            db.query("SELECT * FROM people WHERE age = 100").unwrap().len(),
+            db.query("SELECT * FROM people WHERE age = 100")
+                .unwrap()
+                .len(),
             0
         );
         // And commit works.
         db.execute("BEGIN").unwrap();
-        db.execute("INSERT INTO people VALUES (5, 'eve', 52)").unwrap();
+        db.execute("INSERT INTO people VALUES (5, 'eve', 52)")
+            .unwrap();
         db.execute("COMMIT").unwrap();
         assert_eq!(
             query_scalar(&mut db, "SELECT COUNT(*) FROM people").unwrap(),
@@ -1029,17 +1046,22 @@ mod tests {
     #[test]
     fn rollback_restores_indexes_too() {
         let mut db = seeded();
-        db.execute("CREATE INDEX people_age ON people (age)").unwrap();
+        db.execute("CREATE INDEX people_age ON people (age)")
+            .unwrap();
         db.execute("BEGIN").unwrap();
         db.execute("UPDATE people SET age = 99 WHERE name = 'alice'")
             .unwrap();
         db.execute("ROLLBACK").unwrap();
         assert_eq!(
-            db.query("SELECT * FROM people WHERE age = 34").unwrap().len(),
+            db.query("SELECT * FROM people WHERE age = 34")
+                .unwrap()
+                .len(),
             1
         );
         assert_eq!(
-            db.query("SELECT * FROM people WHERE age = 99").unwrap().len(),
+            db.query("SELECT * FROM people WHERE age = 99")
+                .unwrap()
+                .len(),
             0
         );
     }
@@ -1071,7 +1093,8 @@ mod tests {
             let mut db = Database::open(&dir).unwrap();
             db.execute("CREATE TABLE t (id INT, v TEXT)").unwrap();
             db.execute("CREATE INDEX t_id ON t (id)").unwrap();
-            db.execute("INSERT INTO t VALUES (1, 'one'), (2, 'two')").unwrap();
+            db.execute("INSERT INTO t VALUES (1, 'one'), (2, 'two')")
+                .unwrap();
             db.execute("UPDATE t SET v = 'TWO' WHERE id = 2").unwrap();
             db.execute("DELETE FROM t WHERE id = 1").unwrap();
             // No checkpoint: recovery must come from the WAL alone.
@@ -1122,7 +1145,11 @@ mod tests {
         }
         let mut db = Database::open(&dir).unwrap();
         let rs = db.query("SELECT id FROM t ORDER BY id").unwrap();
-        let ids: Vec<i64> = rs.rows.iter().map(|r| r.values[0].as_int().unwrap()).collect();
+        let ids: Vec<i64> = rs
+            .rows
+            .iter()
+            .map(|r| r.values[0].as_int().unwrap())
+            .collect();
         assert_eq!(ids, vec![2, 3, 4]);
         std::fs::remove_dir_all(&dir).unwrap();
     }
@@ -1148,7 +1175,8 @@ mod tests {
     #[test]
     fn drop_table_and_index_via_sql() {
         let mut db = seeded();
-        db.execute("CREATE INDEX people_age ON people (age)").unwrap();
+        db.execute("CREATE INDEX people_age ON people (age)")
+            .unwrap();
         db.execute("DROP INDEX people_age").unwrap();
         db.execute("DROP TABLE people").unwrap();
         assert!(db.query("SELECT * FROM people").is_err());
@@ -1162,7 +1190,11 @@ mod tests {
                 let shared = shared.clone();
                 std::thread::spawn(move || {
                     shared
-                        .execute(&format!("INSERT INTO people VALUES ({}, 'p{}', 20)", 10 + i, i))
+                        .execute(&format!(
+                            "INSERT INTO people VALUES ({}, 'p{}', 20)",
+                            10 + i,
+                            i
+                        ))
                         .unwrap();
                 })
             })
@@ -1274,8 +1306,10 @@ mod tests {
     #[test]
     fn three_way_join() {
         let mut db = seeded_with_orders();
-        db.execute("CREATE TABLE refunds (order_ref INT, pct INT)").unwrap();
-        db.execute("INSERT INTO refunds VALUES (101, 50), (102, 100)").unwrap();
+        db.execute("CREATE TABLE refunds (order_ref INT, pct INT)")
+            .unwrap();
+        db.execute("INSERT INTO refunds VALUES (101, 50), (102, 100)")
+            .unwrap();
         let rs = db
             .query(
                 "SELECT p.name, r.pct FROM people p \
@@ -1287,7 +1321,12 @@ mod tests {
         let got: Vec<(&str, i64)> = rs
             .rows
             .iter()
-            .map(|r| (r.values[0].as_text().unwrap(), r.values[1].as_int().unwrap()))
+            .map(|r| {
+                (
+                    r.values[0].as_text().unwrap(),
+                    r.values[1].as_int().unwrap(),
+                )
+            })
             .collect();
         assert_eq!(got, vec![("alice", 50), ("bob", 100)]);
     }
@@ -1298,7 +1337,8 @@ mod tests {
         // Ambiguous unqualified column (both tables lack it → unknown; both
         // have `id`-ish names? people.id only, so use a genuinely ambiguous
         // setup):
-        db.execute("CREATE TABLE people2 (id INT, name TEXT)").unwrap();
+        db.execute("CREATE TABLE people2 (id INT, name TEXT)")
+            .unwrap();
         let err = db
             .query("SELECT id FROM people p JOIN people2 q ON p.id = q.id")
             .unwrap_err();
@@ -1358,7 +1398,10 @@ mod tests {
             }
             len
         };
-        assert!(new_chain_len <= 5, "vacuumed chain is {new_chain_len} pages");
+        assert!(
+            new_chain_len <= 5,
+            "vacuumed chain is {new_chain_len} pages"
+        );
         let _ = pages_before;
         // Vacuum in a transaction is rejected.
         db.execute("BEGIN").unwrap();
@@ -1372,14 +1415,19 @@ mod tests {
         {
             let mut db = Database::open(&dir).unwrap();
             db.execute("CREATE TABLE t (id INT)").unwrap();
-            db.execute("INSERT INTO t VALUES (1), (2), (3), (4)").unwrap();
+            db.execute("INSERT INTO t VALUES (1), (2), (3), (4)")
+                .unwrap();
             db.execute("DELETE FROM t WHERE id > 2").unwrap();
             db.vacuum("t").unwrap();
             db.execute("INSERT INTO t VALUES (9)").unwrap();
         }
         let mut db = Database::open(&dir).unwrap();
         let rs = db.query("SELECT id FROM t ORDER BY id").unwrap();
-        let ids: Vec<i64> = rs.rows.iter().map(|r| r.values[0].as_int().unwrap()).collect();
+        let ids: Vec<i64> = rs
+            .rows
+            .iter()
+            .map(|r| r.values[0].as_int().unwrap())
+            .collect();
         assert_eq!(ids, vec![1, 2, 9]);
         std::fs::remove_dir_all(&dir).unwrap();
     }
@@ -1390,13 +1438,19 @@ mod tests {
         let rs = db
             .query("SELECT name FROM people WHERE id IN (1, 3, 99) ORDER BY id")
             .unwrap();
-        let names: Vec<&str> = rs.rows.iter().map(|r| r.values[0].as_text().unwrap()).collect();
+        let names: Vec<&str> = rs
+            .rows
+            .iter()
+            .map(|r| r.values[0].as_text().unwrap())
+            .collect();
         assert_eq!(names, vec!["alice", "carol"]);
         // NOT IN with NULL semantics: `age NOT IN (28)` filters the NULL
         // age row (NULL <> 28 is NULL, filtered by WHERE).
-        let rs = db.query("SELECT name FROM people WHERE age NOT IN (28)").unwrap();
+        let rs = db
+            .query("SELECT name FROM people WHERE age NOT IN (28)")
+            .unwrap();
         assert_eq!(rs.len(), 2); // alice(34), carol(41); dan(NULL) excluded
-        // IN over text.
+                                 // IN over text.
         let rs = db
             .query("SELECT id FROM people WHERE name IN ('bob', 'dan')")
             .unwrap();
@@ -1406,7 +1460,8 @@ mod tests {
     #[test]
     fn between_queries_and_index_bounds() {
         let mut db = seeded();
-        db.execute("CREATE INDEX people_age ON people (age)").unwrap();
+        db.execute("CREATE INDEX people_age ON people (age)")
+            .unwrap();
         let rs = db
             .query("SELECT name FROM people WHERE age BETWEEN 28 AND 34")
             .unwrap();
@@ -1415,7 +1470,7 @@ mod tests {
             .query("SELECT name FROM people WHERE age NOT BETWEEN 28 AND 34")
             .unwrap();
         assert_eq!(rs.len(), 1); // carol(41); dan's NULL filtered
-        // The binder must turn BETWEEN over an indexed column into bounds.
+                                 // The binder must turn BETWEEN over an indexed column into bounds.
         let Statement::Select(sel) =
             parse("SELECT * FROM people WHERE age BETWEEN 28 AND 34").unwrap()
         else {
@@ -1431,7 +1486,9 @@ mod tests {
     #[test]
     fn like_queries() {
         let mut db = seeded();
-        let rs = db.query("SELECT name FROM people WHERE name LIKE 'c%'").unwrap();
+        let rs = db
+            .query("SELECT name FROM people WHERE name LIKE 'c%'")
+            .unwrap();
         assert_eq!(rs.rows[0].values[0], Value::Text("carol".into()));
         let rs = db
             .query("SELECT name FROM people WHERE name LIKE '%a%' AND name NOT LIKE 'd_n'")
@@ -1444,7 +1501,8 @@ mod tests {
     #[test]
     fn distinct_queries() {
         let mut db = seeded();
-        db.execute("INSERT INTO people VALUES (5, 'alice', 34)").unwrap();
+        db.execute("INSERT INTO people VALUES (5, 'alice', 34)")
+            .unwrap();
         let all = db.query("SELECT name FROM people").unwrap();
         assert_eq!(all.len(), 5);
         let distinct = db.query("SELECT DISTINCT name FROM people").unwrap();
@@ -1461,7 +1519,8 @@ mod tests {
     #[test]
     fn bulk_load_spans_many_pages() {
         let mut db = Database::in_memory();
-        db.execute("CREATE TABLE big (id INT, payload TEXT)").unwrap();
+        db.execute("CREATE TABLE big (id INT, payload TEXT)")
+            .unwrap();
         for chunk in 0..20 {
             let values: Vec<String> = (0..50)
                 .map(|i| format!("({}, '{}')", chunk * 50 + i, "x".repeat(100)))

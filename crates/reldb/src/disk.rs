@@ -101,13 +101,15 @@ impl PageStore for FileStore {
                 self.num_pages
             )));
         }
-        self.file.seek(SeekFrom::Start(page_id * PAGE_SIZE as u64))?;
+        self.file
+            .seek(SeekFrom::Start(page_id * PAGE_SIZE as u64))?;
         self.file.read_exact(buf)?;
         Ok(())
     }
 
     fn write_page(&mut self, page_id: u64, buf: &[u8; PAGE_SIZE]) -> DbResult<()> {
-        self.file.seek(SeekFrom::Start(page_id * PAGE_SIZE as u64))?;
+        self.file
+            .seek(SeekFrom::Start(page_id * PAGE_SIZE as u64))?;
         self.file.write_all(buf)?;
         self.num_pages = self.num_pages.max(page_id + 1);
         Ok(())

@@ -231,10 +231,7 @@ mod tests {
     fn trailing_garbage_is_corruption() {
         let mut bytes = encode_row(&Row::from_values([Value::Int(1)]));
         bytes.push(0);
-        assert!(matches!(
-            decode_row(&bytes),
-            Err(DbError::Corruption(_))
-        ));
+        assert!(matches!(decode_row(&bytes), Err(DbError::Corruption(_))));
     }
 
     #[test]

@@ -217,10 +217,9 @@ pub fn execute(plan: &Plan, ctx: &mut ExecContext<'_>) -> DbResult<ResultSet> {
                 .table_by_id(*table)
                 .ok_or_else(|| DbError::Catalog(format!("no table with id {}", table.0)))?;
             let columns = column_names(ctx.catalog, *table)?;
-            let btree = ctx
-                .indexes
-                .get(index)
-                .ok_or_else(|| DbError::Catalog(format!("no index structure for id {}", index.0)))?;
+            let btree = ctx.indexes.get(index).ok_or_else(|| {
+                DbError::Catalog(format!("no index structure for id {}", index.0))
+            })?;
             let rids: Vec<_> = btree
                 .range(bound_ref(lo), bound_ref(hi))
                 .map(|(_, rid)| rid)
@@ -468,9 +467,9 @@ impl AggState {
                 if self.saw_float {
                     Ok(Value::Float(self.sum_float))
                 } else {
-                    self.sum_int
-                        .map(Value::Int)
-                        .ok_or_else(|| DbError::Eval("SUM over non-numeric or overflowing values".into()))
+                    self.sum_int.map(Value::Int).ok_or_else(|| {
+                        DbError::Eval("SUM over non-numeric or overflowing values".into())
+                    })
                 }
             }
             AggFunc::Avg => {

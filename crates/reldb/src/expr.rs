@@ -246,8 +246,12 @@ impl Expr {
             BinOp::Eq => Ok(Value::Bool(compare(&lv, &rv)? == std::cmp::Ordering::Equal)),
             BinOp::Ne => Ok(Value::Bool(compare(&lv, &rv)? != std::cmp::Ordering::Equal)),
             BinOp::Lt => Ok(Value::Bool(compare(&lv, &rv)? == std::cmp::Ordering::Less)),
-            BinOp::Le => Ok(Value::Bool(compare(&lv, &rv)? != std::cmp::Ordering::Greater)),
-            BinOp::Gt => Ok(Value::Bool(compare(&lv, &rv)? == std::cmp::Ordering::Greater)),
+            BinOp::Le => Ok(Value::Bool(
+                compare(&lv, &rv)? != std::cmp::Ordering::Greater,
+            )),
+            BinOp::Gt => Ok(Value::Bool(
+                compare(&lv, &rv)? == std::cmp::Ordering::Greater,
+            )),
             BinOp::Ge => Ok(Value::Bool(compare(&lv, &rv)? != std::cmp::Ordering::Less)),
             BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div | BinOp::Mod => {
                 arithmetic(op, &lv, &rv)
@@ -294,7 +298,10 @@ fn compare(l: &Value, r: &Value) -> DbResult<std::cmp::Ordering> {
     let comparable = matches!(
         (l, r),
         (Value::Bool(_), Value::Bool(_))
-            | (Value::Int(_) | Value::Float(_), Value::Int(_) | Value::Float(_))
+            | (
+                Value::Int(_) | Value::Float(_),
+                Value::Int(_) | Value::Float(_)
+            )
             | (Value::Text(_), Value::Text(_))
             | (Value::Bytes(_), Value::Bytes(_))
     );
@@ -458,22 +465,12 @@ mod tests {
     #[test]
     fn null_propagates_through_comparisons_and_arithmetic() {
         let r = row();
+        assert_eq!(Expr::col(2).eq(Expr::lit(1)).eval(&r).unwrap(), Value::Null);
+        assert_eq!(Expr::col(2).gt(Expr::col(0)).eval(&r).unwrap(), Value::Null);
         assert_eq!(
-            Expr::col(2).eq(Expr::lit(1)).eval(&r).unwrap(),
-            Value::Null
-        );
-        assert_eq!(
-            Expr::col(2).gt(Expr::col(0)).eval(&r).unwrap(),
-            Value::Null
-        );
-        assert_eq!(
-            Expr::Binary(
-                BinOp::Add,
-                Box::new(Expr::col(2)),
-                Box::new(Expr::lit(1))
-            )
-            .eval(&r)
-            .unwrap(),
+            Expr::Binary(BinOp::Add, Box::new(Expr::col(2)), Box::new(Expr::lit(1)))
+                .eval(&r)
+                .unwrap(),
             Value::Null
         );
     }
@@ -507,10 +504,7 @@ mod tests {
     fn is_null_tests() {
         let r = row();
         assert_eq!(Expr::col(2).is_null().eval(&r).unwrap(), Value::Bool(true));
-        assert_eq!(
-            Expr::col(0).is_null().eval(&r).unwrap(),
-            Value::Bool(false)
-        );
+        assert_eq!(Expr::col(0).is_null().eval(&r).unwrap(), Value::Bool(false));
         assert_eq!(
             Expr::col(2).is_not_null().eval(&r).unwrap(),
             Value::Bool(false)
@@ -521,7 +515,10 @@ mod tests {
     fn arithmetic_int_float_text() {
         let r = row();
         let add = |a: Expr, b: Expr| Expr::Binary(BinOp::Add, Box::new(a), Box::new(b));
-        assert_eq!(add(Expr::lit(2), Expr::lit(3)).eval(&r).unwrap(), Value::Int(5));
+        assert_eq!(
+            add(Expr::lit(2), Expr::lit(3)).eval(&r).unwrap(),
+            Value::Int(5)
+        );
         assert_eq!(
             add(Expr::lit(2), Expr::lit(0.5)).eval(&r).unwrap(),
             Value::Float(2.5)
@@ -531,10 +528,16 @@ mod tests {
             Value::Text("foobar".into())
         );
         let div = |a: Expr, b: Expr| Expr::Binary(BinOp::Div, Box::new(a), Box::new(b));
-        assert_eq!(div(Expr::lit(7), Expr::lit(2)).eval(&r).unwrap(), Value::Int(3));
+        assert_eq!(
+            div(Expr::lit(7), Expr::lit(2)).eval(&r).unwrap(),
+            Value::Int(3)
+        );
         assert!(div(Expr::lit(7), Expr::lit(0)).eval(&r).is_err());
         let m = |a: Expr, b: Expr| Expr::Binary(BinOp::Mod, Box::new(a), Box::new(b));
-        assert_eq!(m(Expr::lit(7), Expr::lit(2)).eval(&r).unwrap(), Value::Int(1));
+        assert_eq!(
+            m(Expr::lit(7), Expr::lit(2)).eval(&r).unwrap(),
+            Value::Int(1)
+        );
     }
 
     #[test]
@@ -566,7 +569,7 @@ mod tests {
         assert!(!like_match("hello", "hello!"));
         assert!(!like_match("", "_"));
         assert!(!like_match("Hello", "hello")); // case-sensitive
-        // Multiple wildcards with backtracking.
+                                                // Multiple wildcards with backtracking.
         assert!(like_match("mississippi", "%iss%pi"));
         assert!(!like_match("mississippi", "%iss%x"));
     }
@@ -600,7 +603,9 @@ mod tests {
 
     #[test]
     fn display_round_trippable_shape() {
-        let e = Expr::col(0).gt(Expr::lit(5)).and(Expr::col(1).eq(Expr::lit("x")));
+        let e = Expr::col(0)
+            .gt(Expr::lit(5))
+            .and(Expr::col(1).eq(Expr::lit("x")));
         assert_eq!(e.to_string(), "((#0 > 5) AND (#1 = 'x'))");
     }
 }

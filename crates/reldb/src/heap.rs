@@ -258,10 +258,7 @@ mod tests {
             rids.push(heap.insert(&mut pool, &i.to_le_bytes()).unwrap());
         }
         for (i, rid) in rids.iter().enumerate() {
-            assert_eq!(
-                heap.get(&mut pool, *rid).unwrap(),
-                (i as u32).to_le_bytes()
-            );
+            assert_eq!(heap.get(&mut pool, *rid).unwrap(), (i as u32).to_le_bytes());
         }
         assert_eq!(heap.count(&mut pool).unwrap(), 200);
     }

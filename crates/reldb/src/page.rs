@@ -131,7 +131,12 @@ impl Page {
 
     /// Whether a record of `len` bytes fits, possibly after compaction.
     pub fn can_fit(&self, len: usize) -> bool {
-        let need = len + if self.reusable_slot().is_some() { 0 } else { SLOT_SIZE };
+        let need = len
+            + if self.reusable_slot().is_some() {
+                0
+            } else {
+                SLOT_SIZE
+            };
         self.contiguous_free() + self.garbage_bytes() >= need
     }
 
@@ -277,9 +282,7 @@ impl Page {
     }
 
     fn reusable_slot(&self) -> Option<u16> {
-        (0..self.slot_count()).find(|&slot| {
-            matches!(self.read_slot(slot), Some((0, _)))
-        })
+        (0..self.slot_count()).find(|&slot| matches!(self.read_slot(slot), Some((0, _))))
     }
 
     fn slot_pos(slot: u16) -> usize {

@@ -153,9 +153,7 @@ impl Resolve for BindContext {
             return schema
                 .index_of(column)
                 .map(|i| offset + i)
-                .ok_or_else(|| {
-                    DbError::SqlBind(format!("unknown column {alias:?}.{column:?}"))
-                });
+                .ok_or_else(|| DbError::SqlBind(format!("unknown column {alias:?}.{column:?}")));
         }
         let mut found = None;
         for (alias, schema, offset) in &self.tables {
@@ -386,10 +384,7 @@ pub fn bind_select(stmt: &SelectStmt, catalog: &Catalog) -> DbResult<Plan> {
             match expr {
                 AstExpr::Call { name, arg } if agg_func(name).is_some() => {
                     let func = agg_func(name).expect("checked");
-                    let bound_arg = arg
-                        .as_ref()
-                        .map(|a| bind_expr_res(a, &ctx))
-                        .transpose()?;
+                    let bound_arg = arg.as_ref().map(|a| bind_expr_res(a, &ctx)).transpose()?;
                     if bound_arg.is_none() && func != AggFunc::Count {
                         return Err(DbError::SqlBind(format!("{name}(*) is not defined")));
                     }

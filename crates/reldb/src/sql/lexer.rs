@@ -125,22 +125,20 @@ pub fn lex(input: &str) -> DbResult<Vec<Token>> {
                 tokens.push(Token::Symbol(Sym::Ne));
                 i += 2;
             }
-            b'<' => {
-                match bytes.get(i + 1) {
-                    Some(b'=') => {
-                        tokens.push(Token::Symbol(Sym::Le));
-                        i += 2;
-                    }
-                    Some(b'>') => {
-                        tokens.push(Token::Symbol(Sym::Ne));
-                        i += 2;
-                    }
-                    _ => {
-                        tokens.push(Token::Symbol(Sym::Lt));
-                        i += 1;
-                    }
+            b'<' => match bytes.get(i + 1) {
+                Some(b'=') => {
+                    tokens.push(Token::Symbol(Sym::Le));
+                    i += 2;
                 }
-            }
+                Some(b'>') => {
+                    tokens.push(Token::Symbol(Sym::Ne));
+                    i += 2;
+                }
+                _ => {
+                    tokens.push(Token::Symbol(Sym::Lt));
+                    i += 1;
+                }
+            },
             b'>' => {
                 if bytes.get(i + 1) == Some(&b'=') {
                     tokens.push(Token::Symbol(Sym::Ge));
@@ -191,9 +189,7 @@ pub fn lex(input: &str) -> DbResult<Vec<Token>> {
             }
             b'a'..=b'z' | b'A'..=b'Z' | b'_' => {
                 let start = i;
-                while i < bytes.len()
-                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_')
-                {
+                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
                     i += 1;
                 }
                 tokens.push(Token::Ident(input[start..i].to_string()));

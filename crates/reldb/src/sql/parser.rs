@@ -127,10 +127,14 @@ impl Parser {
         }
         if self.eat_kw("DROP") {
             if self.eat_kw("TABLE") {
-                return Ok(Statement::DropTable { name: self.ident()? });
+                return Ok(Statement::DropTable {
+                    name: self.ident()?,
+                });
             }
             if self.eat_kw("INDEX") {
-                return Ok(Statement::DropIndex { name: self.ident()? });
+                return Ok(Statement::DropIndex {
+                    name: self.ident()?,
+                });
             }
             return Err(self.error("TABLE or INDEX"));
         }
@@ -627,10 +631,8 @@ mod tests {
 
     #[test]
     fn create_table_with_nullability() {
-        let stmt = parse(
-            "CREATE TABLE t (id INT, name TEXT NOT NULL, age INT NULL, w FLOAT)",
-        )
-        .unwrap();
+        let stmt =
+            parse("CREATE TABLE t (id INT, name TEXT NOT NULL, age INT NULL, w FLOAT)").unwrap();
         let Statement::CreateTable { name, columns } = stmt else {
             panic!("wrong variant");
         };
@@ -733,16 +735,23 @@ mod tests {
     #[test]
     fn operator_precedence() {
         // a OR b AND c  ⇒  a OR (b AND c)
-        let Statement::Select(sel) = parse("SELECT * FROM t WHERE a OR b AND c").unwrap()
-        else {
+        let Statement::Select(sel) = parse("SELECT * FROM t WHERE a OR b AND c").unwrap() else {
             panic!();
         };
-        let AstExpr::Binary { op: BinaryOp::Or, right, .. } = sel.predicate.unwrap() else {
+        let AstExpr::Binary {
+            op: BinaryOp::Or,
+            right,
+            ..
+        } = sel.predicate.unwrap()
+        else {
             panic!("OR should be outermost");
         };
         assert!(matches!(
             *right,
-            AstExpr::Binary { op: BinaryOp::And, .. }
+            AstExpr::Binary {
+                op: BinaryOp::And,
+                ..
+            }
         ));
         // 1 + 2 * 3  ⇒  1 + (2 * 3)
         let Statement::Select(sel) = parse("SELECT 1 + 2 * 3 FROM t").unwrap() else {
@@ -753,7 +762,10 @@ mod tests {
         };
         assert!(matches!(
             expr,
-            AstExpr::Binary { op: BinaryOp::Add, .. }
+            AstExpr::Binary {
+                op: BinaryOp::Add,
+                ..
+            }
         ));
     }
 
@@ -767,14 +779,22 @@ mod tests {
         };
         assert!(matches!(
             expr,
-            AstExpr::Binary { op: BinaryOp::Mul, .. }
+            AstExpr::Binary {
+                op: BinaryOp::Mul,
+                ..
+            }
         ));
     }
 
     #[test]
     fn update_and_delete() {
         let stmt = parse("UPDATE t SET a = a + 1, b = 'x' WHERE id = 3").unwrap();
-        let Statement::Update { table, sets, predicate } = stmt else {
+        let Statement::Update {
+            table,
+            sets,
+            predicate,
+        } = stmt
+        else {
             panic!();
         };
         assert_eq!(table, "t");
@@ -806,8 +826,7 @@ mod tests {
         ));
         assert!(matches!(*right, AstExpr::InList { negated: true, .. }));
 
-        let Statement::Select(sel) =
-            parse("SELECT * FROM t WHERE a BETWEEN 1 AND 10").unwrap()
+        let Statement::Select(sel) = parse("SELECT * FROM t WHERE a BETWEEN 1 AND 10").unwrap()
         else {
             panic!();
         };
@@ -821,7 +840,12 @@ mod tests {
         else {
             panic!();
         };
-        let AstExpr::Binary { op: BinaryOp::And, left, .. } = sel.predicate.unwrap() else {
+        let AstExpr::Binary {
+            op: BinaryOp::And,
+            left,
+            ..
+        } = sel.predicate.unwrap()
+        else {
             panic!("outer AND expected");
         };
         assert!(matches!(*left, AstExpr::Between { negated: true, .. }));

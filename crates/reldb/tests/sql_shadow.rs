@@ -28,7 +28,9 @@ fn arb_op() -> impl Strategy<Value = Op> {
 type Model = BTreeMap<i64, Vec<i64>>;
 
 fn check_against_model(db: &mut Database, model: &Model) {
-    let rs = db.query("SELECT id, score FROM t ORDER BY id, score").unwrap();
+    let rs = db
+        .query("SELECT id, score FROM t ORDER BY id, score")
+        .unwrap();
     let mut expected: Vec<(i64, i64)> = model
         .iter()
         .flat_map(|(id, scores)| scores.iter().map(move |s| (*id, *s)))
@@ -37,21 +39,13 @@ fn check_against_model(db: &mut Database, model: &Model) {
     let actual: Vec<(i64, i64)> = rs
         .rows
         .iter()
-        .map(|r| {
-            (
-                r.values[0].as_int().unwrap(),
-                r.values[1].as_int().unwrap(),
-            )
-        })
+        .map(|r| (r.values[0].as_int().unwrap(), r.values[1].as_int().unwrap()))
         .collect();
     assert_eq!(actual, expected);
 
     // Aggregates agree too.
     let count = db.query("SELECT COUNT(*) FROM t").unwrap();
-    assert_eq!(
-        count.rows[0].values[0],
-        Value::Int(expected.len() as i64)
-    );
+    assert_eq!(count.rows[0].values[0], Value::Int(expected.len() as i64));
     if !expected.is_empty() {
         let max = db.query("SELECT MAX(score) FROM t").unwrap();
         assert_eq!(

@@ -22,6 +22,6 @@ pub mod scenario;
 pub mod segments;
 pub mod workload;
 
-pub use population::{Population, PopulationSpec};
+pub use population::{generate, generate_stable, par_generate, Population, PopulationSpec};
 pub use scenario::Scenario;
 pub use segments::{Segment, SegmentMix, SegmentParams};

@@ -125,59 +125,160 @@ impl Population {
     }
 }
 
-/// Generate a population of `n` providers. Deterministic per `seed`.
-pub fn generate(spec: &PopulationSpec, n: usize, seed: u64) -> Population {
-    let mut rng = SmallRng::seed_from_u64(seed);
-    let mut profiles = Vec::with_capacity(n);
-    let mut data_rows = Vec::with_capacity(n);
-    let mut segments = Vec::with_capacity(n);
-    for i in 0..n {
-        let segment = spec.mix.sample(&mut rng);
-        let params = segment.default_params();
-        let id = ProviderId(i as u64);
-        let mut profile = ProviderProfile::new(id, params.sample_threshold(&mut rng));
-        let mut row = vec![Value::Int(i as i64)];
-        for attr in &spec.attributes {
-            // Data value.
-            row.push(Value::Int(
-                rng.gen_range(attr.value_range.0..=attr.value_range.1),
-            ));
-            // Stated preferences: one tuple per purpose the provider chose
-            // to state; unstated purposes fall to the implicit deny-all.
-            for purpose in &spec.purposes {
-                if !params.sample_states_purpose(&mut rng) {
-                    continue;
-                }
-                let mut point = attr.baseline;
-                for dim in Dim::ALL {
-                    let offset = params.sample_headroom(&mut rng);
-                    let level = (attr.baseline.get(dim) as i64 + offset as i64).max(0) as u32;
-                    point = point.with(dim, level);
-                }
-                profile
-                    .preferences
-                    .add(&attr.name, PrivacyTuple::from_point(purpose.as_str(), point));
+/// Generate provider `i` from the given RNG: profile, data row, segment.
+/// All randomness for one provider comes from `rng`, in a fixed draw
+/// order — the invariant both generation paths share.
+fn generate_provider(
+    spec: &PopulationSpec,
+    i: usize,
+    rng: &mut SmallRng,
+) -> (ProviderProfile, Row, Segment) {
+    let segment = spec.mix.sample(rng);
+    let params = segment.default_params();
+    let id = ProviderId(i as u64);
+    let mut profile = ProviderProfile::new(id, params.sample_threshold(rng));
+    let mut row = vec![Value::Int(i as i64)];
+    for attr in &spec.attributes {
+        // Data value.
+        row.push(Value::Int(
+            rng.gen_range(attr.value_range.0..=attr.value_range.1),
+        ));
+        // Stated preferences: one tuple per purpose the provider chose
+        // to state; unstated purposes fall to the implicit deny-all.
+        for purpose in &spec.purposes {
+            if !params.sample_states_purpose(rng) {
+                continue;
             }
-            // Sensitivities.
-            profile.sensitivities.insert(
-                attr.name.clone(),
-                DatumSensitivity::new(
-                    params.sample_value_sensitivity(&mut rng),
-                    params.sample_dim_sensitivity(&mut rng),
-                    params.sample_dim_sensitivity(&mut rng),
-                    params.sample_dim_sensitivity(&mut rng),
-                ),
+            let mut point = attr.baseline;
+            for dim in Dim::ALL {
+                let offset = params.sample_headroom(rng);
+                let level = (attr.baseline.get(dim) as i64 + offset as i64).max(0) as u32;
+                point = point.with(dim, level);
+            }
+            profile.preferences.add(
+                &attr.name,
+                PrivacyTuple::from_point(purpose.as_str(), point),
             );
         }
-        profiles.push(profile);
-        data_rows.push(Row::new(row));
-        segments.push(segment);
+        // Sensitivities.
+        profile.sensitivities.insert(
+            attr.name.clone(),
+            DatumSensitivity::new(
+                params.sample_value_sensitivity(rng),
+                params.sample_dim_sensitivity(rng),
+                params.sample_dim_sensitivity(rng),
+                params.sample_dim_sensitivity(rng),
+            ),
+        );
     }
-    Population {
-        profiles,
-        data_rows,
-        segments,
+    (profile, Row::new(row), segment)
+}
+
+/// Generate a population of `n` providers. Deterministic per `seed`.
+///
+/// One RNG stream feeds the whole population, so provider `i`'s draws
+/// depend on providers `0..i` — fine sequentially, but not shardable.
+/// Use [`generate_stable`] / [`par_generate`] when the population must be
+/// reproducible independent of how generation is split across workers.
+pub fn generate(spec: &PopulationSpec, n: usize, seed: u64) -> Population {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut pop = Population {
+        profiles: Vec::with_capacity(n),
+        data_rows: Vec::with_capacity(n),
+        segments: Vec::with_capacity(n),
+    };
+    for i in 0..n {
+        let (profile, row, segment) = generate_provider(spec, i, &mut rng);
+        pop.profiles.push(profile);
+        pop.data_rows.push(row);
+        pop.segments.push(segment);
     }
+    pop
+}
+
+/// Derive provider `index`'s private RNG seed from the population seed
+/// (SplitMix64 finalizer — decorrelates consecutive indexes).
+fn provider_seed(seed: u64, index: u64) -> u64 {
+    let mut z = seed
+        .wrapping_add(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(index.wrapping_mul(0xD1B5_4A32_D192_ED03));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Shard-stable generation: provider `i` draws from an RNG keyed on
+/// `(seed, i)` alone, so the output does not depend on how the index
+/// range is split across workers. [`par_generate`] produces exactly this
+/// population for every thread count.
+pub fn generate_stable(spec: &PopulationSpec, n: usize, seed: u64) -> Population {
+    let mut pop = Population {
+        profiles: Vec::with_capacity(n),
+        data_rows: Vec::with_capacity(n),
+        segments: Vec::with_capacity(n),
+    };
+    for i in 0..n {
+        let mut rng = SmallRng::seed_from_u64(provider_seed(seed, i as u64));
+        let (profile, row, segment) = generate_provider(spec, i, &mut rng);
+        pop.profiles.push(profile);
+        pop.data_rows.push(row);
+        pop.segments.push(segment);
+    }
+    pop
+}
+
+/// [`generate_stable`] sharded across `threads` worker threads.
+///
+/// Identical to [`generate_stable`]'s output for any thread count: each
+/// provider's randomness is keyed on `(seed, index)`, and shards are
+/// stitched back in index order.
+pub fn par_generate(
+    spec: &PopulationSpec,
+    n: usize,
+    seed: u64,
+    threads: std::num::NonZeroUsize,
+) -> Population {
+    if threads.get() == 1 || n < qpv_core::PAR_THRESHOLD {
+        return generate_stable(spec, n, seed);
+    }
+    let bounds = qpv_core::shard_bounds(n, threads.get());
+    let shards: Vec<Population> = std::thread::scope(|scope| {
+        let handles: Vec<_> = bounds
+            .iter()
+            .map(|&(start, end)| {
+                scope.spawn(move || {
+                    let mut pop = Population {
+                        profiles: Vec::with_capacity(end - start),
+                        data_rows: Vec::with_capacity(end - start),
+                        segments: Vec::with_capacity(end - start),
+                    };
+                    for i in start..end {
+                        let mut rng = SmallRng::seed_from_u64(provider_seed(seed, i as u64));
+                        let (profile, row, segment) = generate_provider(spec, i, &mut rng);
+                        pop.profiles.push(profile);
+                        pop.data_rows.push(row);
+                        pop.segments.push(segment);
+                    }
+                    pop
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("generation worker panicked"))
+            .collect()
+    });
+    let mut pop = Population {
+        profiles: Vec::with_capacity(n),
+        data_rows: Vec::with_capacity(n),
+        segments: Vec::with_capacity(n),
+    };
+    for shard in shards {
+        pop.profiles.extend(shard.profiles);
+        pop.data_rows.extend(shard.data_rows);
+        pop.segments.extend(shard.segments);
+    }
+    pop
 }
 
 #[cfg(test)]
@@ -204,6 +305,34 @@ mod tests {
         assert_eq!(a.segments, b.segments);
         let c = generate(&spec(), 100, 8);
         assert_ne!(a.profiles, c.profiles);
+    }
+
+    #[test]
+    fn stable_generation_is_deterministic_and_shard_stable() {
+        let n = 600; // above PAR_THRESHOLD so par_generate actually shards
+        let a = generate_stable(&spec(), n, 7);
+        let b = generate_stable(&spec(), n, 7);
+        assert_eq!(a.profiles, b.profiles);
+        assert_eq!(a.data_rows, b.data_rows);
+        assert_eq!(a.segments, b.segments);
+        for threads in [1usize, 2, 3, 4, 8] {
+            let p = par_generate(&spec(), n, 7, std::num::NonZeroUsize::new(threads).unwrap());
+            assert_eq!(p.profiles, a.profiles, "{threads} threads");
+            assert_eq!(p.data_rows, a.data_rows, "{threads} threads");
+            assert_eq!(p.segments, a.segments, "{threads} threads");
+        }
+        let c = generate_stable(&spec(), n, 8);
+        assert_ne!(a.profiles, c.profiles);
+    }
+
+    #[test]
+    fn stable_generation_is_prefix_stable() {
+        // Growing the population never rewrites existing providers — a
+        // consequence of per-index seeding that plain `generate` lacks.
+        let small = generate_stable(&spec(), 50, 7);
+        let large = generate_stable(&spec(), 80, 7);
+        assert_eq!(small.profiles[..], large.profiles[..50]);
+        assert_eq!(small.data_rows[..], large.data_rows[..50]);
     }
 
     #[test]

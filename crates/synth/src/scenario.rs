@@ -13,7 +13,6 @@
 //!   sensitivity, wide baseline), the "social networking" application and
 //!   the setting of the taxonomy's follow-up work.
 
-
 use qpv_core::{AuditEngine, DatumSensitivity, ProviderProfile};
 use qpv_policy::{HousePolicy, ProviderId};
 use qpv_reldb::row::Row;
@@ -77,17 +76,17 @@ impl Scenario {
         };
         let baseline_policy = spec.baseline_policy("house");
 
-        let mk = |id: u64,
-                  pref: PrivacyPoint,
-                  sens: DatumSensitivity,
-                  threshold: u64,
-                  weight: i64| {
-            let mut p = ProviderProfile::new(ProviderId(id), threshold);
-            p.preferences
-                .add("weight", PrivacyTuple::from_point("pr", pref));
-            p.sensitivities.insert("weight".into(), sens);
-            (p, Row::from_values([Value::Int(id as i64), Value::Int(weight)]))
-        };
+        let mk =
+            |id: u64, pref: PrivacyPoint, sens: DatumSensitivity, threshold: u64, weight: i64| {
+                let mut p = ProviderProfile::new(ProviderId(id), threshold);
+                p.preferences
+                    .add("weight", PrivacyTuple::from_point("pr", pref));
+                p.sensitivities.insert("weight".into(), sens);
+                (
+                    p,
+                    Row::from_values([Value::Int(id as i64), Value::Int(weight)]),
+                )
+            };
         let (alice, ra) = mk(
             0,
             PrivacyPoint::from_raw(v + 2, g + 1, r + 3),
@@ -198,7 +197,10 @@ mod tests {
 
     #[test]
     fn scenarios_generate_consistent_shapes() {
-        for s in [Scenario::healthcare(120, 1), Scenario::social_network(120, 1)] {
+        for s in [
+            Scenario::healthcare(120, 1),
+            Scenario::social_network(120, 1),
+        ] {
             assert_eq!(s.population.len(), 120);
             assert_eq!(
                 s.data_schema().arity(),
@@ -222,8 +224,18 @@ mod tests {
         let soc = Scenario::social_network(200, 3);
         let h_weights = h.spec.attribute_weights();
         let s_weights = soc.spec.attribute_weights();
-        let h_max = h.spec.attributes.iter().map(|a| h_weights.get(&a.name)).max();
-        let s_max = soc.spec.attributes.iter().map(|a| s_weights.get(&a.name)).max();
+        let h_max = h
+            .spec
+            .attributes
+            .iter()
+            .map(|a| h_weights.get(&a.name))
+            .max();
+        let s_max = soc
+            .spec
+            .attributes
+            .iter()
+            .map(|a| s_weights.get(&a.name))
+            .max();
         assert!(h_max > s_max);
     }
 

@@ -114,7 +114,10 @@ mod tests {
     #[test]
     fn display_and_parse_round_trip() {
         for level in GranularityLevel::NAMED {
-            assert_eq!(level.to_string().parse::<GranularityLevel>().unwrap(), level);
+            assert_eq!(
+                level.to_string().parse::<GranularityLevel>().unwrap(),
+                level
+            );
         }
         let odd = GranularityLevel::from_raw(9);
         assert_eq!(odd.to_string().parse::<GranularityLevel>().unwrap(), odd);

@@ -164,7 +164,11 @@ impl PurposeLattice {
     ) -> Result<Vec<Purpose>, LatticeError> {
         let anc_a = self.ancestors(a)?;
         let anc_b = self.ancestors(b)?;
-        let common: Vec<Purpose> = anc_a.iter().filter(|p| anc_b.contains(p)).cloned().collect();
+        let common: Vec<Purpose> = anc_a
+            .iter()
+            .filter(|p| anc_b.contains(p))
+            .cloned()
+            .collect();
         // Keep only the minimal elements of the common-ancestor set.
         let minimal: Vec<Purpose> = common
             .iter()
@@ -264,7 +268,8 @@ mod tests {
             vec![p("any")]
         );
         assert_eq!(
-            l.least_upper_bounds(&p("billing"), &p("operations")).unwrap(),
+            l.least_upper_bounds(&p("billing"), &p("operations"))
+                .unwrap(),
             vec![p("operations")]
         );
         assert_eq!(

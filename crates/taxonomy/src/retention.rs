@@ -141,11 +141,26 @@ mod tests {
 
     #[test]
     fn parse_suffixes() {
-        assert_eq!("90d".parse::<RetentionLevel>().unwrap(), RetentionLevel::days(90));
-        assert_eq!("2w".parse::<RetentionLevel>().unwrap(), RetentionLevel::days(14));
-        assert_eq!("6m".parse::<RetentionLevel>().unwrap(), RetentionLevel::days(180));
-        assert_eq!("7y".parse::<RetentionLevel>().unwrap(), RetentionLevel::years(7));
-        assert_eq!("120".parse::<RetentionLevel>().unwrap(), RetentionLevel::days(120));
+        assert_eq!(
+            "90d".parse::<RetentionLevel>().unwrap(),
+            RetentionLevel::days(90)
+        );
+        assert_eq!(
+            "2w".parse::<RetentionLevel>().unwrap(),
+            RetentionLevel::days(14)
+        );
+        assert_eq!(
+            "6m".parse::<RetentionLevel>().unwrap(),
+            RetentionLevel::days(180)
+        );
+        assert_eq!(
+            "7y".parse::<RetentionLevel>().unwrap(),
+            RetentionLevel::years(7)
+        );
+        assert_eq!(
+            "120".parse::<RetentionLevel>().unwrap(),
+            RetentionLevel::days(120)
+        );
     }
 
     #[test]

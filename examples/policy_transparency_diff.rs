@@ -92,7 +92,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }
         population.push(p);
     }
-    let mut weights = quantifying_privacy_violations::core::sensitivity::AttributeSensitivities::new();
+    let mut weights =
+        quantifying_privacy_violations::core::sensitivity::AttributeSensitivities::new();
     weights.set("age", 2);
     weights.set("location", 3);
     weights.set("interests", 1);
@@ -101,7 +102,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let before = whatif.evaluate("v1", &v1);
     let after = whatif.evaluate("v2", &v2);
-    println!("            {:>14} {:>8} {:>10} {:>9}", "Violations", "P(W)", "P(Default)", "N_future");
+    println!(
+        "            {:>14} {:>8} {:>10} {:>9}",
+        "Violations", "P(W)", "P(Default)", "N_future"
+    );
     for o in [&before, &after] {
         println!(
             "{:<10} {:>14} {:>8.3} {:>10.3} {:>9}",
@@ -115,7 +119,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         before.remaining - after.remaining,
     );
     assert_eq!(before.p_violation, 0.0, "v1 is the consented baseline");
-    assert!(after.p_violation > 0.9, "the ads purposes violate nearly everyone");
-    assert!(after.p_default > 0.0 && after.p_default < 1.0, "defaults split the population");
+    assert!(
+        after.p_violation > 0.9,
+        "the ads purposes violate nearly everyone"
+    );
+    assert!(
+        after.p_default > 0.0 && after.p_default < 1.0,
+        "defaults split the population"
+    );
     Ok(())
 }

@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Tier-1 gate: everything a PR must keep green, in the order that fails
+# fastest. Run from the repo root:
+#
+#   scripts/tier1.sh            # gate only
+#   scripts/tier1.sh --bench    # gate + parallel-audit bench JSON
+#
+# The bench step writes BENCH_parallel_audit.json at the repo root
+# (median/mean ns per thread count; see crates/bench/benches/parallel_audit.rs).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== fmt =="
+cargo fmt --check
+
+echo "== clippy =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== build (release) =="
+cargo build --release
+
+echo "== tests =="
+cargo test -q
+
+if [[ "${1:-}" == "--bench" ]]; then
+    echo "== parallel audit bench =="
+    QPV_BENCH_FULL=1 QPV_BENCH_JSON="$PWD/BENCH_parallel_audit.json" \
+        cargo bench -p qpv-bench --bench parallel_audit
+fi
+
+echo "tier-1: OK"

@@ -12,9 +12,7 @@
 
 use proptest::prelude::*;
 
-use quantifying_privacy_violations::core::sensitivity::{
-    AttributeSensitivities, SensitivityModel,
-};
+use quantifying_privacy_violations::core::sensitivity::{AttributeSensitivities, SensitivityModel};
 use quantifying_privacy_violations::core::severity::violation_score;
 use quantifying_privacy_violations::core::violation::{is_violated, witnesses};
 use quantifying_privacy_violations::core::DatumSensitivity;
@@ -25,8 +23,7 @@ fn arb_point() -> impl Strategy<Value = PrivacyPoint> {
 }
 
 fn arb_sens() -> impl Strategy<Value = DatumSensitivity> {
-    (1u32..5, 1u32..5, 1u32..5, 1u32..5)
-        .prop_map(|(a, b, c, d)| DatumSensitivity::new(a, b, c, d))
+    (1u32..5, 1u32..5, 1u32..5, 1u32..5).prop_map(|(a, b, c, d)| DatumSensitivity::new(a, b, c, d))
 }
 
 /// A provider with one stated preference and a policy over the same

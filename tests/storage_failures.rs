@@ -43,7 +43,8 @@ fn torn_wal_tail_loses_only_unacknowledged_writes() {
             .append(true)
             .open(dir.join("wal.log"))
             .unwrap();
-        f.write_all(&[0x40, 0x00, 0x00, 0x00, 0xde, 0xad, 0xbe]).unwrap();
+        f.write_all(&[0x40, 0x00, 0x00, 0x00, 0xde, 0xad, 0xbe])
+            .unwrap();
     }
     // All three committed rows survive; the torn frame is ignored.
     assert_eq!(count_rows(&dir), 3);

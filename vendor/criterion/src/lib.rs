@@ -1,0 +1,331 @@
+//! Vendored `criterion`: a small wall-clock benchmarking harness exposing
+//! the slice of the real API these benches use (`criterion_group!`,
+//! `criterion_main!`, `Criterion`, groups, `BenchmarkId`, `Throughput`).
+//!
+//! Compared to real Criterion there is no statistical analysis, plotting,
+//! or baseline storage: each benchmark is calibrated once, timed for a
+//! fixed number of samples, and reported as median/mean ns per iteration.
+//!
+//! Knobs (environment variables):
+//!
+//! * `QPV_BENCH_JSON=<path>` — also write results as a JSON array.
+//! * `QPV_BENCH_FULL=1` — larger per-sample time budget for stabler numbers.
+
+use std::fmt::Display;
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Units of work per iteration, for derived throughput reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark's display identifier.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter`.
+    pub fn new(function_name: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// Just the parameter (the group name supplies the rest).
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Passed to the benchmark closure; runs and times the hot loop.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `iters` executions of `routine`.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// One finished measurement.
+#[derive(Debug, Clone)]
+struct BenchResult {
+    id: String,
+    mean_ns: f64,
+    median_ns: f64,
+    samples: usize,
+    iters_per_sample: u64,
+    throughput: Option<Throughput>,
+}
+
+/// The top-level harness state.
+pub struct Criterion {
+    results: Vec<BenchResult>,
+    default_sample_size: usize,
+    sample_budget: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let full = std::env::var("QPV_BENCH_FULL").is_ok_and(|v| v == "1");
+        Criterion {
+            results: Vec::new(),
+            default_sample_size: 10,
+            sample_budget: if full {
+                Duration::from_millis(50)
+            } else {
+                Duration::from_millis(2)
+            },
+        }
+    }
+}
+
+impl Criterion {
+    /// Benchmark a closure under the given name.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        let sample_size = self.default_sample_size;
+        self.run_one(id.to_string(), sample_size, None, f);
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            sample_size: self.default_sample_size,
+            criterion: self,
+            name: name.to_string(),
+            throughput: None,
+        }
+    }
+
+    /// Print the summary table; write JSON when `QPV_BENCH_JSON` is set.
+    /// Called by `criterion_main!` after all groups run.
+    pub fn final_summary(&self) {
+        if let Ok(path) = std::env::var("QPV_BENCH_JSON") {
+            let json = self.results_json();
+            if let Err(e) = std::fs::write(&path, json) {
+                eprintln!("warning: could not write {path}: {e}");
+            } else {
+                eprintln!("benchmark results written to {path}");
+            }
+        }
+    }
+
+    fn results_json(&self) -> String {
+        let mut out = String::from("[\n");
+        for (i, r) in self.results.iter().enumerate() {
+            if i > 0 {
+                out.push_str(",\n");
+            }
+            let _ = write!(
+                out,
+                "  {{\"id\": {:?}, \"mean_ns\": {:.1}, \"median_ns\": {:.1}, \
+                 \"samples\": {}, \"iters_per_sample\": {}",
+                r.id, r.mean_ns, r.median_ns, r.samples, r.iters_per_sample
+            );
+            if let Some(tp) = &r.throughput {
+                let (unit, amount) = match tp {
+                    Throughput::Elements(n) => ("elements", *n),
+                    Throughput::Bytes(n) => ("bytes", *n),
+                };
+                let per_sec = amount as f64 * 1e9 / r.median_ns.max(1.0);
+                let _ = write!(
+                    out,
+                    ", \"throughput_unit\": {unit:?}, \"throughput_per_iter\": {amount}, \
+                     \"per_second\": {per_sec:.1}"
+                );
+            }
+            out.push('}');
+        }
+        out.push_str("\n]\n");
+        out
+    }
+
+    fn run_one<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: String,
+        sample_size: usize,
+        throughput: Option<Throughput>,
+        mut f: F,
+    ) {
+        // Calibrate: one iteration tells us roughly how expensive this is.
+        let mut bencher = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut bencher);
+        let once = bencher.elapsed.max(Duration::from_nanos(1));
+        let iters = (self.sample_budget.as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as u64;
+
+        let mut sample_ns: Vec<f64> = Vec::with_capacity(sample_size);
+        for _ in 0..sample_size {
+            bencher.iters = iters;
+            f(&mut bencher);
+            sample_ns.push(bencher.elapsed.as_nanos() as f64 / iters as f64);
+        }
+        sample_ns.sort_by(|a, b| a.total_cmp(b));
+        let median_ns = sample_ns[sample_ns.len() / 2];
+        let mean_ns = sample_ns.iter().sum::<f64>() / sample_ns.len() as f64;
+
+        let mut line = format!(
+            "{id:<48} median {} mean {}",
+            fmt_ns(median_ns),
+            fmt_ns(mean_ns)
+        );
+        if let Some(tp) = &throughput {
+            let (amount, unit) = match tp {
+                Throughput::Elements(n) => (*n, "elem"),
+                Throughput::Bytes(n) => (*n, "B"),
+            };
+            let per_sec = amount as f64 * 1e9 / median_ns.max(1.0);
+            let _ = write!(line, "  ({per_sec:.0} {unit}/s)");
+        }
+        println!("{line}");
+
+        self.results.push(BenchResult {
+            id,
+            mean_ns,
+            median_ns,
+            samples: sample_size,
+            iters_per_sample: iters,
+            throughput,
+        });
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:>8.3} s ", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:>8.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:>8.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:>8.1} ns")
+    }
+}
+
+/// A set of related benchmarks sharing a name prefix and settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Samples per benchmark in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Work per iteration, for throughput reporting.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Benchmark a closure under `group_name/id`.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: F,
+    ) -> &mut Self {
+        let full_id = format!("{}/{}", self.name, id.into().id);
+        self.criterion
+            .run_one(full_id, self.sample_size, self.throughput, f);
+        self
+    }
+
+    /// Benchmark a closure over an explicit input value.
+    pub fn bench_with_input<I, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let full_id = format!("{}/{}", self.name, id.id);
+        self.criterion
+            .run_one(full_id, self.sample_size, self.throughput, |b| f(b, input));
+        self
+    }
+
+    /// End the group (kept for API compatibility; settings die with it).
+    pub fn finish(self) {}
+}
+
+/// Collect benchmark functions into one group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name(c: &mut $crate::Criterion) {
+            $( $target(c); )+
+        }
+    };
+}
+
+/// Generate `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::default();
+            $( $group(&mut c); )+
+            c.final_summary();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_and_records() {
+        let mut c = Criterion::default();
+        c.bench_function("noop", |b| b.iter(|| 1 + 1));
+        let mut group = c.benchmark_group("grp");
+        group.sample_size(3).throughput(Throughput::Elements(10));
+        group.bench_with_input(BenchmarkId::new("with_input", 5), &5u64, |b, n| {
+            b.iter(|| n * 2)
+        });
+        group.finish();
+        assert_eq!(c.results.len(), 2);
+        assert_eq!(c.results[1].id, "grp/with_input/5");
+        assert!(c.results[0].median_ns >= 0.0);
+        let json = c.results_json();
+        assert!(json.contains("\"id\": \"noop\""));
+        assert!(json.contains("throughput_unit"));
+    }
+}

@@ -1,0 +1,82 @@
+//! Collection strategies.
+
+use std::ops::Range;
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// How many elements a collection strategy may produce.
+#[derive(Debug, Clone)]
+pub struct SizeRange {
+    min: usize,
+    max_exclusive: usize,
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty size range");
+        SizeRange {
+            min: r.start,
+            max_exclusive: r.end,
+        }
+    }
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange {
+            min: n,
+            max_exclusive: n + 1,
+        }
+    }
+}
+
+/// A strategy producing `Vec`s of values from an element strategy.
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+/// Generate vectors whose length falls in `size`.
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let span = (self.size.max_exclusive - self.size.min) as u64;
+        let len = self.size.min + rng.below(span.max(1)) as usize;
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strategy::any;
+
+    #[test]
+    fn lengths_respect_size_range() {
+        let mut rng = TestRng::deterministic("vec_sizes");
+        let strat = vec(any::<u8>(), 3..7);
+        for _ in 0..128 {
+            let v = strat.generate(&mut rng);
+            assert!((3..7).contains(&v.len()));
+        }
+        let fixed = vec(any::<u8>(), 5usize);
+        assert_eq!(fixed.generate(&mut rng).len(), 5);
+    }
+
+    #[test]
+    fn nested_vec_strategies() {
+        let mut rng = TestRng::deterministic("nested");
+        let strat = vec(vec(any::<bool>(), 0..4), 1..5);
+        let v = strat.generate(&mut rng);
+        assert!(!v.is_empty() && v.len() < 5);
+        assert!(v.iter().all(|inner| inner.len() < 4));
+    }
+}

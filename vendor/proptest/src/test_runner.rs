@@ -1,0 +1,116 @@
+//! Deterministic RNG and per-test configuration.
+
+/// Configuration for one `proptest!` block.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// How many random cases each test runs.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // Lower than real proptest's 256: these suites run in debug builds
+        // under tier-1, and without shrinking a failure prints the raw case
+        // anyway.
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// xoshiro256++, seeded deterministically from the test name so failures
+/// reproduce across runs and machines.
+pub struct TestRng {
+    state: [u64; 4],
+}
+
+impl TestRng {
+    /// Seed from a test name.
+    pub fn deterministic(name: &str) -> Self {
+        // FNV-1a folds the name into one u64; SplitMix64 expands it.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        Self::from_seed(h)
+    }
+
+    /// Seed from a raw u64.
+    pub fn from_seed(seed: u64) -> Self {
+        let mut sm = seed;
+        let mut next = || {
+            sm = sm.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        };
+        TestRng {
+            state: [next(), next(), next(), next()],
+        }
+    }
+
+    /// The next raw 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        let [s0, s1, s2, s3] = self.state;
+        let result = s0.wrapping_add(s3).rotate_left(23).wrapping_add(s0);
+        let t = s1 << 17;
+        let mut s = [s0, s1, s2, s3];
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        self.state = s;
+        result
+    }
+
+    /// A uniform value in `[0, bound)`; `bound` must be non-zero.
+    /// Lemire widening-multiply with rejection, so it is unbiased.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        let mut m = (self.next_u64() as u128) * (bound as u128);
+        let mut low = m as u64;
+        if low < bound {
+            let threshold = bound.wrapping_neg() % bound;
+            while low < threshold {
+                m = (self.next_u64() as u128) * (bound as u128);
+                low = m as u64;
+            }
+        }
+        (m >> 64) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_across_instances() {
+        let mut a = TestRng::deterministic("some_test");
+        let mut b = TestRng::deterministic("some_test");
+        for _ in 0..16 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = TestRng::deterministic("other_test");
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn below_respects_bound() {
+        let mut rng = TestRng::deterministic("bounds");
+        for bound in [1u64, 2, 3, 7, 100, u64::MAX] {
+            for _ in 0..64 {
+                assert!(rng.below(bound) < bound);
+            }
+        }
+    }
+}

@@ -1,0 +1,282 @@
+//! Deserialization: types rebuild themselves from the [`Value`] a
+//! [`Deserializer`] yields.
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt::{self, Display};
+use std::hash::{BuildHasher, Hash};
+
+use crate::value::Value;
+
+/// Errors a deserializer may produce.
+pub trait Error: Sized + std::fmt::Debug {
+    /// Build an error from a message.
+    fn custom<T: Display>(msg: T) -> Self;
+}
+
+/// The concrete error used by value-tree deserialization.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeError(pub String);
+
+impl Error for DeError {
+    fn custom<T: Display>(msg: T) -> Self {
+        DeError(msg.to_string())
+    }
+}
+
+impl Display for DeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// A source of one value.
+///
+/// The lifetime parameter mirrors real serde's signature so impls written
+/// as `impl<'de> Deserialize<'de> for T` compile unchanged; all values here
+/// are owned, so nothing actually borrows from the input.
+pub trait Deserializer<'de>: Sized {
+    /// The error type.
+    type Error: Error;
+
+    /// Yield the complete data-model value.
+    fn take_value(self) -> Result<Value, Self::Error>;
+}
+
+/// A deserializable type.
+pub trait Deserialize<'de>: Sized {
+    /// Rebuild `Self` from the given deserializer.
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error>;
+}
+
+/// The canonical deserializer over an owned [`Value`].
+pub struct ValueDeserializer(pub Value);
+
+impl<'de> Deserializer<'de> for ValueDeserializer {
+    type Error = DeError;
+
+    fn take_value(self) -> Result<Value, DeError> {
+        Ok(self.0)
+    }
+}
+
+/// Rebuild any deserializable type from a data-model [`Value`].
+pub fn from_value<'de, T: Deserialize<'de>>(value: Value) -> Result<T, DeError> {
+    T::deserialize(ValueDeserializer(value))
+}
+
+fn type_err<T>(expected: &str, found: &Value) -> Result<T, DeError> {
+    Err(DeError::custom(format!(
+        "expected {expected}, found {}",
+        found.kind()
+    )))
+}
+
+// ---- impls for std types ----
+
+impl<'de> Deserialize<'de> for bool {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.take_value()? {
+            Value::Bool(b) => Ok(b),
+            other => type_err("bool", &other).map_err(convert::<D>),
+        }
+    }
+}
+
+/// Re-wrap a `DeError` into the deserializer's error type.
+fn convert<'de, D: Deserializer<'de>>(e: DeError) -> D::Error {
+    D::Error::custom(e)
+}
+
+macro_rules! impl_de_int {
+    ($($t:ty),*) => {$(
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+                match d.take_value()? {
+                    Value::Int(i) => <$t>::try_from(i).map_err(|_| {
+                        D::Error::custom(format!(
+                            "integer {i} out of range for {}",
+                            stringify!($t)
+                        ))
+                    }),
+                    other => type_err(stringify!($t), &other).map_err(convert::<D>),
+                }
+            }
+        }
+    )*};
+}
+impl_de_int!(u8, u16, u32, u64, usize, u128, i8, i16, i32, i64, isize, i128);
+
+impl<'de> Deserialize<'de> for f64 {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.take_value()? {
+            Value::Float(f) => Ok(f),
+            Value::Int(i) => Ok(i as f64),
+            other => type_err("f64", &other).map_err(convert::<D>),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for f32 {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        f64::deserialize(d).map(|f| f as f32)
+    }
+}
+
+impl<'de> Deserialize<'de> for String {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.take_value()? {
+            Value::Str(s) => Ok(s),
+            other => type_err("string", &other).map_err(convert::<D>),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for char {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        let s = String::deserialize(d)?;
+        let mut chars = s.chars();
+        match (chars.next(), chars.next()) {
+            (Some(c), None) => Ok(c),
+            _ => Err(D::Error::custom("expected a single-character string")),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for () {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.take_value()? {
+            Value::Null => Ok(()),
+            other => type_err("null", &other).map_err(convert::<D>),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for Value {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        d.take_value()
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Box<T> {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        T::deserialize(d).map(Box::new)
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.take_value()? {
+            Value::Null => Ok(None),
+            v => from_value(v).map(Some).map_err(convert::<D>),
+        }
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.take_value()? {
+            Value::Array(items) => items
+                .into_iter()
+                .map(|v| from_value(v).map_err(convert::<D>))
+                .collect(),
+            other => type_err("array", &other).map_err(convert::<D>),
+        }
+    }
+}
+
+impl<'de, T: Deserialize<'de>, const N: usize> Deserialize<'de> for [T; N] {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        let items = Vec::<T>::deserialize(d)?;
+        let len = items.len();
+        <[T; N]>::try_from(items)
+            .map_err(|_| D::Error::custom(format!("expected array of length {N}, found {len}")))
+    }
+}
+
+macro_rules! impl_de_tuple {
+    ($(($len:literal; $($n:tt $t:ident),+))*) => {$(
+        impl<'de, $($t: Deserialize<'de>),+> Deserialize<'de> for ($($t,)+) {
+            fn deserialize<De: Deserializer<'de>>(d: De) -> Result<Self, De::Error> {
+                match d.take_value()? {
+                    Value::Array(items) if items.len() == $len => {
+                        let mut it = items.into_iter();
+                        Ok(($(
+                            from_value::<$t>(it.next().expect("length checked"))
+                                .map_err(convert::<De>)?,
+                        )+))
+                    }
+                    Value::Array(items) => Err(De::Error::custom(format!(
+                        "expected {}-tuple, found array of {}",
+                        $len,
+                        items.len()
+                    ))),
+                    other => type_err("tuple array", &other).map_err(convert::<De>),
+                }
+            }
+        }
+    )*};
+}
+impl_de_tuple! {
+    (2; 0 A, 1 B)
+    (3; 0 A, 1 B, 2 C)
+    (4; 0 A, 1 B, 2 C, 3 D)
+    (5; 0 A, 1 B, 2 C, 3 D, 4 E)
+}
+
+/// Decode one map key: try the raw string, then (for integer-newtype keys
+/// like `ProviderId`) its integer reading.
+fn key_from_string<'de, K: Deserialize<'de>>(key: String) -> Result<K, DeError> {
+    let parsed_int = key.parse::<i128>();
+    match from_value::<K>(Value::Str(key)) {
+        Ok(k) => Ok(k),
+        Err(e) => match parsed_int {
+            Ok(i) => from_value::<K>(Value::Int(i)).map_err(|_| e),
+            Err(_) => Err(e),
+        },
+    }
+}
+
+impl<'de, K, V, H> Deserialize<'de> for HashMap<K, V, H>
+where
+    K: Deserialize<'de> + Eq + Hash,
+    V: Deserialize<'de>,
+    H: BuildHasher + Default,
+{
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.take_value()? {
+            Value::Object(fields) => fields
+                .into_iter()
+                .map(|(k, v)| {
+                    Ok((
+                        key_from_string::<K>(k).map_err(convert::<D>)?,
+                        from_value::<V>(v).map_err(convert::<D>)?,
+                    ))
+                })
+                .collect(),
+            other => type_err("object", &other).map_err(convert::<D>),
+        }
+    }
+}
+
+impl<'de, K, V> Deserialize<'de> for BTreeMap<K, V>
+where
+    K: Deserialize<'de> + Ord,
+    V: Deserialize<'de>,
+{
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.take_value()? {
+            Value::Object(fields) => fields
+                .into_iter()
+                .map(|(k, v)| {
+                    Ok((
+                        key_from_string::<K>(k).map_err(convert::<D>)?,
+                        from_value::<V>(v).map_err(convert::<D>)?,
+                    ))
+                })
+                .collect(),
+            other => type_err("object", &other).map_err(convert::<D>),
+        }
+    }
+}

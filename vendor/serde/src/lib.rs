@@ -1,0 +1,77 @@
+//! Vendored serde core.
+//!
+//! A value-tree serialization framework exposing the subset of the real
+//! `serde` API this workspace uses: the [`Serialize`] / [`Deserialize`]
+//! traits (with matching `#[derive]` macros from `serde_derive`), the
+//! `ser`/`de` module paths, and `#[serde(transparent)]`.
+//!
+//! Unlike real serde's streaming visitor architecture, serialization here
+//! goes through an owned [`value::Value`] tree: `Serialize` renders into a
+//! `Value` via any [`ser::Serializer`], and `Deserialize` consumes a
+//! `Value` pulled from any [`de::Deserializer`]. That keeps custom impls
+//! written against the real serde signatures (`serializer.serialize_str`,
+//! `String::deserialize(deserializer)?`) source-compatible while staying a
+//! few hundred lines with no proc-macro dependencies beyond the companion
+//! derive crate.
+
+pub mod de;
+pub mod ser;
+pub mod value;
+
+pub use de::{Deserialize, Deserializer};
+pub use ser::{Serialize, Serializer};
+
+// Derive macros share their trait names, living in the macro namespace.
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Support machinery for the derive macros. Not a public API.
+#[doc(hidden)]
+pub mod __private {
+    use crate::de::{DeError, Error as _};
+    use crate::value::Value;
+
+    pub use crate::de::from_value;
+    pub use crate::ser::to_value;
+
+    /// Unwrap an object payload, or error with the expected type name.
+    pub fn expect_object(v: Value, ty: &str) -> Result<Vec<(String, Value)>, DeError> {
+        match v {
+            Value::Object(fields) => Ok(fields),
+            other => Err(DeError::custom(format!(
+                "expected object for {ty}, found {}",
+                other.kind()
+            ))),
+        }
+    }
+
+    /// Unwrap an array payload, or error with the expected type name.
+    pub fn expect_array(v: Value, ty: &str) -> Result<Vec<Value>, DeError> {
+        match v {
+            Value::Array(items) => Ok(items),
+            other => Err(DeError::custom(format!(
+                "expected array for {ty}, found {}",
+                other.kind()
+            ))),
+        }
+    }
+
+    /// Remove a named field from an object; missing fields read as `Null`
+    /// (so `Option` fields deserialize to `None`, and every other type
+    /// reports a type error naming the field).
+    pub fn take_field(fields: &mut Vec<(String, Value)>, name: &str) -> Value {
+        match fields.iter().position(|(k, _)| k == name) {
+            Some(i) => fields.swap_remove(i).1,
+            None => Value::Null,
+        }
+    }
+
+    /// Deserialize one struct field, contextualizing errors with its name.
+    pub fn parse_field<T: for<'de> crate::Deserialize<'de>>(
+        fields: &mut Vec<(String, Value)>,
+        ty: &str,
+        name: &str,
+    ) -> Result<T, DeError> {
+        from_value(take_field(fields, name))
+            .map_err(|e| DeError::custom(format!("{ty}.{name}: {e}")))
+    }
+}

@@ -1,0 +1,263 @@
+//! The owned data-model tree every serialization passes through.
+
+use std::fmt;
+use std::ops::Index;
+
+/// A JSON-shaped value.
+///
+/// Integers are held as `i128` so every `u64` (and the workspace's `u128`
+/// violation totals, which stay far below `i128::MAX`) round-trips exactly.
+/// Objects preserve insertion order.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub enum Value {
+    /// JSON `null`.
+    #[default]
+    Null,
+    /// JSON booleans.
+    Bool(bool),
+    /// JSON integers.
+    Int(i128),
+    /// JSON non-integral numbers.
+    Float(f64),
+    /// JSON strings.
+    Str(String),
+    /// JSON arrays.
+    Array(Vec<Value>),
+    /// JSON objects, insertion-ordered.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// A short name for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Int(_) => "integer",
+            Value::Float(_) => "float",
+            Value::Str(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        }
+    }
+
+    /// Member lookup on objects; `None` elsewhere.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The boolean payload, if any.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The integer payload as i64, if any and in range.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => i64::try_from(*i).ok(),
+            _ => None,
+        }
+    }
+
+    /// The integer payload as u64, if any and in range.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Int(i) => u64::try_from(*i).ok(),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload as f64 (integers convert), if any.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(i) => Some(*i as f64),
+            Value::Float(f) => Some(*f),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if any.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The array payload, if any.
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// Whether this is `Null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+}
+
+/// `value["key"]` on objects; `Null` for missing members or non-objects
+/// (matching `serde_json`'s panic-free indexing).
+impl Index<&str> for Value {
+    type Output = Value;
+    fn index(&self, key: &str) -> &Value {
+        const NULL: &Value = &Value::Null;
+        self.get(key).unwrap_or(NULL)
+    }
+}
+
+/// `value[i]` on arrays; `Null` out of range or on non-arrays.
+impl Index<usize> for Value {
+    type Output = Value;
+    fn index(&self, idx: usize) -> &Value {
+        const NULL: &Value = &Value::Null;
+        match self {
+            Value::Array(items) => items.get(idx).unwrap_or(NULL),
+            _ => NULL,
+        }
+    }
+}
+
+impl PartialEq<bool> for Value {
+    fn eq(&self, other: &bool) -> bool {
+        self.as_bool() == Some(*other)
+    }
+}
+
+impl PartialEq<Value> for bool {
+    fn eq(&self, other: &Value) -> bool {
+        other == self
+    }
+}
+
+impl PartialEq<i64> for Value {
+    fn eq(&self, other: &i64) -> bool {
+        self.as_i64() == Some(*other)
+    }
+}
+
+impl PartialEq<u64> for Value {
+    fn eq(&self, other: &u64) -> bool {
+        self.as_u64() == Some(*other)
+    }
+}
+
+impl PartialEq<f64> for Value {
+    fn eq(&self, other: &f64) -> bool {
+        matches!(self, Value::Float(f) if f == other)
+    }
+}
+
+impl PartialEq<&str> for Value {
+    fn eq(&self, other: &&str) -> bool {
+        self.as_str() == Some(*other)
+    }
+}
+
+impl PartialEq<str> for Value {
+    fn eq(&self, other: &str) -> bool {
+        self.as_str() == Some(other)
+    }
+}
+
+impl fmt::Display for Value {
+    /// Compact JSON rendering (used by `serde_json::to_string`).
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => f.write_str("null"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Float(x) => write_f64(f, *x),
+            Value::Str(s) => write_json_string(f, s),
+            Value::Array(items) => {
+                f.write_str("[")?;
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    write!(f, "{item}")?;
+                }
+                f.write_str("]")
+            }
+            Value::Object(fields) => {
+                f.write_str("{")?;
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    write_json_string(f, k)?;
+                    f.write_str(":")?;
+                    write!(f, "{v}")?;
+                }
+                f.write_str("}")
+            }
+        }
+    }
+}
+
+/// Render an f64 as JSON: non-finite becomes `null` (as `serde_json` has no
+/// representation for it), and finite values keep a `.0` so they re-parse
+/// as floats.
+pub(crate) fn write_f64(f: &mut fmt::Formatter<'_>, x: f64) -> fmt::Result {
+    if !x.is_finite() {
+        return f.write_str("null");
+    }
+    if x == x.trunc() && x.abs() < 1e15 {
+        write!(f, "{x:.1}")
+    } else {
+        write!(f, "{x}")
+    }
+}
+
+/// Render a string with JSON escaping.
+pub(crate) fn write_json_string(f: &mut fmt::Formatter<'_>, s: &str) -> fmt::Result {
+    f.write_str("\"")?;
+    for c in s.chars() {
+        match c {
+            '"' => f.write_str("\\\"")?,
+            '\\' => f.write_str("\\\\")?,
+            '\n' => f.write_str("\\n")?,
+            '\r' => f.write_str("\\r")?,
+            '\t' => f.write_str("\\t")?,
+            '\u{08}' => f.write_str("\\b")?,
+            '\u{0C}' => f.write_str("\\f")?,
+            c if (c as u32) < 0x20 => write!(f, "\\u{:04x}", c as u32)?,
+            c => write!(f, "{c}")?,
+        }
+    }
+    f.write_str("\"")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn indexing_is_total() {
+        let v = Value::Object(vec![("a".into(), Value::Int(1))]);
+        assert_eq!(v["a"], 1i64);
+        assert!(v["missing"].is_null());
+        assert!(v[0].is_null());
+        let arr = Value::Array(vec![Value::Bool(true)]);
+        assert_eq!(arr[0], true);
+        assert!(arr[9].is_null());
+    }
+
+    #[test]
+    fn display_is_compact_json() {
+        let v = Value::Object(vec![
+            ("s".into(), Value::Str("a\"b".into())),
+            ("n".into(), Value::Float(1.0)),
+            ("l".into(), Value::Array(vec![Value::Null, Value::Int(-3)])),
+        ]);
+        assert_eq!(v.to_string(), r#"{"s":"a\"b","n":1.0,"l":[null,-3]}"#);
+    }
+}

@@ -1,0 +1,522 @@
+//! Vendored `Serialize` / `Deserialize` derive macros.
+//!
+//! Implemented directly on `proc_macro` (no `syn`/`quote`, which are
+//! unavailable offline): a small token walker parses the struct or enum
+//! shape, and codegen emits impls against the value-tree core in the
+//! vendored `serde` crate.
+//!
+//! Supported shapes — the full set this workspace uses:
+//!
+//! * structs with named fields (plus `#[serde(transparent)]` newtypes)
+//! * tuple structs (1-field newtypes serialize as their inner value,
+//!   wider ones as arrays)
+//! * unit structs
+//! * enums with unit, newtype, tuple, and struct variants, in serde's
+//!   externally-tagged representation
+//!
+//! Generic type parameters are not supported (nothing in the workspace
+//! derives on a generic type); the macro panics with a clear message if it
+//! meets one.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+struct Field {
+    name: String,
+    ty: String,
+}
+
+#[derive(Debug)]
+enum Shape {
+    Unit,
+    Tuple(Vec<String>),
+    Named(Vec<Field>),
+}
+
+#[derive(Debug)]
+enum Kind {
+    Struct(Shape),
+    Enum(Vec<(String, Shape)>),
+}
+
+#[derive(Debug)]
+struct Input {
+    name: String,
+    transparent: bool,
+    kind: Kind,
+}
+
+/// Derive `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    gen_serialize(&parsed)
+        .parse()
+        .expect("serde_derive generated invalid Serialize impl")
+}
+
+/// Derive `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    gen_deserialize(&parsed)
+        .parse()
+        .expect("serde_derive generated invalid Deserialize impl")
+}
+
+// ---- parsing ----
+
+fn parse_input(input: TokenStream) -> Input {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    let mut transparent = false;
+
+    // Outer attributes (doc comments and #[serde(...)]).
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                if let Some(TokenTree::Group(g)) = tokens.get(i + 1) {
+                    if attr_is_serde_transparent(g.stream()) {
+                        transparent = true;
+                    }
+                }
+                i += 2;
+            }
+            TokenTree::Ident(id) if id.to_string() == "pub" => {
+                i += 1;
+                // pub(crate) and friends.
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+
+    let item_kind = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde_derive: expected struct/enum, found {other}"),
+    };
+    i += 1;
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde_derive: expected type name, found {other}"),
+    };
+    i += 1;
+    if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde_derive: generic type `{name}` is not supported by the vendored derive");
+    }
+
+    let kind = match item_kind.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Kind::Struct(Shape::Named(parse_named_fields(g.stream())))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Kind::Struct(Shape::Tuple(parse_tuple_fields(g.stream())))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Kind::Struct(Shape::Unit),
+            other => panic!("serde_derive: unsupported struct body for {name}: {other:?}"),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Kind::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("serde_derive: expected enum body for {name}, found {other:?}"),
+        },
+        other => panic!("serde_derive: cannot derive for item kind `{other}`"),
+    };
+
+    Input {
+        name,
+        transparent,
+        kind,
+    }
+}
+
+fn attr_is_serde_transparent(stream: TokenStream) -> bool {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    match tokens.first() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "serde" => {}
+        _ => return false,
+    }
+    match tokens.get(1) {
+        Some(TokenTree::Group(g)) => g
+            .stream()
+            .into_iter()
+            .any(|t| matches!(&t, TokenTree::Ident(id) if id.to_string() == "transparent")),
+        _ => false,
+    }
+}
+
+/// Split a token sequence on top-level commas, treating `<...>` nesting as
+/// opaque (group delimiters are already single trees).
+fn split_commas(stream: TokenStream) -> Vec<Vec<TokenTree>> {
+    let mut out = Vec::new();
+    let mut current = Vec::new();
+    let mut angle_depth = 0i32;
+    for tt in stream {
+        match &tt {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                if !current.is_empty() {
+                    out.push(std::mem::take(&mut current));
+                }
+                continue;
+            }
+            _ => {}
+        }
+        current.push(tt);
+    }
+    if !current.is_empty() {
+        out.push(current);
+    }
+    out
+}
+
+/// Drop leading attributes and visibility from one field/variant chunk.
+fn strip_attrs_and_vis(tokens: &[TokenTree]) -> &[TokenTree] {
+    let mut i = 0;
+    loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => i += 2,
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+            _ => return &tokens[i..],
+        }
+    }
+}
+
+fn tokens_to_string(tokens: &[TokenTree]) -> String {
+    tokens.iter().cloned().collect::<TokenStream>().to_string()
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    split_commas(stream)
+        .iter()
+        .map(|chunk| {
+            let chunk = strip_attrs_and_vis(chunk);
+            let name = match chunk.first() {
+                Some(TokenTree::Ident(id)) => id.to_string(),
+                other => panic!("serde_derive: expected field name, found {other:?}"),
+            };
+            match chunk.get(1) {
+                Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+                other => panic!("serde_derive: expected ':' after field {name}, found {other:?}"),
+            }
+            Field {
+                name,
+                ty: tokens_to_string(&chunk[2..]),
+            }
+        })
+        .collect()
+}
+
+fn parse_tuple_fields(stream: TokenStream) -> Vec<String> {
+    split_commas(stream)
+        .iter()
+        .map(|chunk| tokens_to_string(strip_attrs_and_vis(chunk)))
+        .collect()
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<(String, Shape)> {
+    split_commas(stream)
+        .iter()
+        .map(|chunk| {
+            let chunk = strip_attrs_and_vis(chunk);
+            let name = match chunk.first() {
+                Some(TokenTree::Ident(id)) => id.to_string(),
+                other => panic!("serde_derive: expected variant name, found {other:?}"),
+            };
+            let shape = match chunk.get(1) {
+                None => Shape::Unit,
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Shape::Tuple(parse_tuple_fields(g.stream()))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Shape::Named(parse_named_fields(g.stream()))
+                }
+                // `Variant = 3` discriminants: value irrelevant to serde's
+                // name-based representation.
+                Some(TokenTree::Punct(p)) if p.as_char() == '=' => Shape::Unit,
+                other => panic!("serde_derive: unsupported variant body for {name}: {other:?}"),
+            };
+            (name, shape)
+        })
+        .collect()
+}
+
+// ---- codegen ----
+
+const VALUE: &str = "::serde::value::Value";
+const TO_VALUE: &str = "::serde::__private::to_value";
+const FROM_VALUE: &str = "::serde::__private::from_value";
+
+/// `.map_err` suffix converting a `DeError` into the deserializer's error.
+fn demap() -> String {
+    ".map_err(|__e| <__D::Error as ::serde::de::Error>::custom(__e))?".to_string()
+}
+
+fn gen_serialize(input: &Input) -> String {
+    let name = &input.name;
+    let body = match &input.kind {
+        Kind::Struct(Shape::Unit) => "__serializer.serialize_unit()".to_string(),
+        Kind::Struct(Shape::Tuple(tys)) if tys.len() == 1 => {
+            // Newtype (and transparent): serialize as the inner value.
+            "::serde::ser::Serialize::serialize(&self.0, __serializer)".to_string()
+        }
+        Kind::Struct(Shape::Named(fields)) if input.transparent && fields.len() == 1 => {
+            format!(
+                "::serde::ser::Serialize::serialize(&self.{}, __serializer)",
+                fields[0].name
+            )
+        }
+        Kind::Struct(Shape::Tuple(tys)) => {
+            let items: Vec<String> = (0..tys.len())
+                .map(|i| format!("{TO_VALUE}(&self.{i})"))
+                .collect();
+            format!(
+                "__serializer.serialize_value({VALUE}::Array(vec![{}]))",
+                items.join(", ")
+            )
+        }
+        Kind::Struct(Shape::Named(fields)) => {
+            let pushes: Vec<String> = fields
+                .iter()
+                .map(|f| format!("(\"{n}\".to_string(), {TO_VALUE}(&self.{n}))", n = f.name))
+                .collect();
+            format!(
+                "__serializer.serialize_value({VALUE}::Object(vec![{}]))",
+                pushes.join(", ")
+            )
+        }
+        Kind::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|(vname, shape)| match shape {
+                    Shape::Unit => format!(
+                        "{name}::{vname} => __serializer.serialize_value({VALUE}::Str(\"{vname}\".to_string())),"
+                    ),
+                    Shape::Tuple(tys) if tys.len() == 1 => format!(
+                        "{name}::{vname}(__f0) => __serializer.serialize_value({VALUE}::Object(vec![(\"{vname}\".to_string(), {TO_VALUE}(__f0))])),"
+                    ),
+                    Shape::Tuple(tys) => {
+                        let binds: Vec<String> =
+                            (0..tys.len()).map(|i| format!("__f{i}")).collect();
+                        let items: Vec<String> = binds
+                            .iter()
+                            .map(|b| format!("{TO_VALUE}({b})"))
+                            .collect();
+                        format!(
+                            "{name}::{vname}({binds}) => __serializer.serialize_value({VALUE}::Object(vec![(\"{vname}\".to_string(), {VALUE}::Array(vec![{items}]))])),",
+                            binds = binds.join(", "),
+                            items = items.join(", "),
+                        )
+                    }
+                    Shape::Named(fields) => {
+                        let binds: Vec<String> = fields
+                            .iter()
+                            .map(|f| format!("{n}: __b_{n}", n = f.name))
+                            .collect();
+                        let items: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "(\"{n}\".to_string(), {TO_VALUE}(__b_{n}))",
+                                    n = f.name
+                                )
+                            })
+                            .collect();
+                        format!(
+                            "{name}::{vname} {{ {binds} }} => __serializer.serialize_value({VALUE}::Object(vec![(\"{vname}\".to_string(), {VALUE}::Object(vec![{items}]))])),",
+                            binds = binds.join(", "),
+                            items = items.join(", "),
+                        )
+                    }
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join("\n"))
+        }
+    };
+    format!(
+        "impl ::serde::ser::Serialize for {name} {{\n\
+         fn serialize<__S: ::serde::ser::Serializer>(&self, __serializer: __S)\n\
+         -> ::std::result::Result<__S::Ok, __S::Error> {{\n{body}\n}}\n}}"
+    )
+}
+
+fn gen_deserialize(input: &Input) -> String {
+    let name = &input.name;
+    let body = match &input.kind {
+        Kind::Struct(Shape::Unit) => {
+            format!("let _ = __d.take_value()?; ::std::result::Result::Ok({name})")
+        }
+        Kind::Struct(Shape::Tuple(tys)) if tys.len() == 1 => format!(
+            "let __inner: {} = ::serde::de::Deserialize::deserialize(__d)?;\n\
+             ::std::result::Result::Ok({name}(__inner))",
+            tys[0]
+        ),
+        Kind::Struct(Shape::Named(fields)) if input.transparent && fields.len() == 1 => format!(
+            "let __inner: {} = ::serde::de::Deserialize::deserialize(__d)?;\n\
+             ::std::result::Result::Ok({name} {{ {}: __inner }})",
+            fields[0].ty, fields[0].name
+        ),
+        Kind::Struct(Shape::Tuple(tys)) => {
+            let n = tys.len();
+            let parses: Vec<String> = tys
+                .iter()
+                .map(|ty| {
+                    format!(
+                        "{FROM_VALUE}::<{ty}>(__items.next().expect(\"length checked\")){}",
+                        demap()
+                    )
+                })
+                .collect();
+            format!(
+                "let __v = __d.take_value()?;\n\
+                 let __arr = ::serde::__private::expect_array(__v, \"{name}\"){m}; \n\
+                 if __arr.len() != {n} {{\n\
+                   return ::std::result::Result::Err(<__D::Error as ::serde::de::Error>::custom(\n\
+                     format!(\"expected array of {n} for {name}, found {{}}\", __arr.len())));\n\
+                 }}\n\
+                 let mut __items = __arr.into_iter();\n\
+                 ::std::result::Result::Ok({name}({parses}))",
+                m = demap_direct(),
+                parses = parses.join(", ")
+            )
+        }
+        Kind::Struct(Shape::Named(fields)) => {
+            let parses: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{n}: ::serde::__private::parse_field::<{ty}>(&mut __fields, \"{name}\", \"{n}\"){m}",
+                        n = f.name,
+                        ty = f.ty,
+                        m = demap()
+                    )
+                })
+                .collect();
+            format!(
+                "let __v = __d.take_value()?;\n\
+                 let mut __fields = ::serde::__private::expect_object(__v, \"{name}\"){m};\n\
+                 ::std::result::Result::Ok({name} {{ {parses} }})",
+                m = demap_direct(),
+                parses = parses.join(", ")
+            )
+        }
+        Kind::Enum(variants) => gen_deserialize_enum(name, variants),
+    };
+    format!(
+        "impl<'de> ::serde::de::Deserialize<'de> for {name} {{\n\
+         fn deserialize<__D: ::serde::de::Deserializer<'de>>(__d: __D)\n\
+         -> ::std::result::Result<Self, __D::Error> {{\n{body}\n}}\n}}"
+    )
+}
+
+/// Like [`demap`] but for expressions already yielding `Result<_, DeError>`
+/// where the `?` is applied in the same statement.
+fn demap_direct() -> String {
+    demap()
+}
+
+fn gen_deserialize_enum(name: &str, variants: &[(String, Shape)]) -> String {
+    let unit_arms: Vec<String> = variants
+        .iter()
+        .filter(|(_, s)| matches!(s, Shape::Unit))
+        .map(|(vname, _)| format!("\"{vname}\" => ::std::result::Result::Ok({name}::{vname}),"))
+        .collect();
+    let tagged_arms: Vec<String> = variants
+        .iter()
+        .filter(|(_, s)| !matches!(s, Shape::Unit))
+        .map(|(vname, shape)| match shape {
+            Shape::Unit => unreachable!(),
+            Shape::Tuple(tys) if tys.len() == 1 => format!(
+                "\"{vname}\" => {{\n\
+                   let __inner: {ty} = {FROM_VALUE}(__payload){m};\n\
+                   ::std::result::Result::Ok({name}::{vname}(__inner))\n\
+                 }}",
+                ty = tys[0],
+                m = demap()
+            ),
+            Shape::Tuple(tys) => {
+                let n = tys.len();
+                let parses: Vec<String> = tys
+                    .iter()
+                    .map(|ty| {
+                        format!(
+                            "{FROM_VALUE}::<{ty}>(__items.next().expect(\"length checked\")){}",
+                            demap()
+                        )
+                    })
+                    .collect();
+                format!(
+                    "\"{vname}\" => {{\n\
+                       let __arr = ::serde::__private::expect_array(__payload, \"{name}::{vname}\"){m};\n\
+                       if __arr.len() != {n} {{\n\
+                         return ::std::result::Result::Err(<__D::Error as ::serde::de::Error>::custom(\n\
+                           \"wrong tuple arity for {name}::{vname}\"));\n\
+                       }}\n\
+                       let mut __items = __arr.into_iter();\n\
+                       ::std::result::Result::Ok({name}::{vname}({parses}))\n\
+                     }}",
+                    m = demap(),
+                    parses = parses.join(", ")
+                )
+            }
+            Shape::Named(fields) => {
+                let parses: Vec<String> = fields
+                    .iter()
+                    .map(|f| {
+                        format!(
+                            "{n}: ::serde::__private::parse_field::<{ty}>(&mut __fields, \"{name}::{vname}\", \"{n}\"){m}",
+                            n = f.name,
+                            ty = f.ty,
+                            m = demap()
+                        )
+                    })
+                    .collect();
+                format!(
+                    "\"{vname}\" => {{\n\
+                       let mut __fields = ::serde::__private::expect_object(__payload, \"{name}::{vname}\"){m};\n\
+                       ::std::result::Result::Ok({name}::{vname} {{ {parses} }})\n\
+                     }}",
+                    m = demap(),
+                    parses = parses.join(", ")
+                )
+            }
+        })
+        .collect();
+
+    format!(
+        "let __v = __d.take_value()?;\n\
+         match __v {{\n\
+           {VALUE}::Str(__s) => match __s.as_str() {{\n\
+             {unit_arms}\n\
+             __other => ::std::result::Result::Err(<__D::Error as ::serde::de::Error>::custom(\n\
+               format!(\"unknown variant {{__other}} for {name}\"))),\n\
+           }},\n\
+           {VALUE}::Object(mut __fields) if __fields.len() == 1 => {{\n\
+             let (__tag, __payload) = __fields.pop().expect(\"length checked\");\n\
+             match __tag.as_str() {{\n\
+               {tagged_arms}\n\
+               __other => ::std::result::Result::Err(<__D::Error as ::serde::de::Error>::custom(\n\
+                 format!(\"unknown variant {{__other}} for {name}\"))),\n\
+             }}\n\
+           }}\n\
+           __other => ::std::result::Result::Err(<__D::Error as ::serde::de::Error>::custom(\n\
+             format!(\"expected enum {name}, found {{}}\", __other.kind()))),\n\
+         }}",
+        unit_arms = unit_arms.join("\n"),
+        tagged_arms = tagged_arms.join("\n"),
+    )
+}
