@@ -6,13 +6,17 @@
 //! quantity the paper defines: per-provider `w_i` and `Violation_i`,
 //! `Violations`, `P(W)`, `P(Default)`, and the α-PPDB check (Definition 3).
 
+use std::collections::HashMap;
+
 use serde::{Deserialize, Serialize};
 
 use qpv_policy::{HousePolicy, ProviderId};
 
-use crate::probability::census_probability;
+use crate::default_model::DefaultThresholds;
+use crate::plan::{CompiledAuditPlan, PlanScratch};
+use crate::probability::census_fraction;
 use crate::profile::{assemble, ProviderProfile};
-use crate::sensitivity::AttributeSensitivities;
+use crate::sensitivity::{AttributeSensitivities, DatumSensitivity, SensitivityModel};
 use crate::violation::{witnesses, ViolationWitness};
 
 /// The audit outcome for one provider.
@@ -47,14 +51,22 @@ impl AuditReport {
         self.providers.len()
     }
 
-    /// Definition 2's `P(W)` (census form).
+    /// Definition 2's `P(W)` (census form). Counts in one pass; no
+    /// intermediate outcome vector is allocated.
     pub fn p_violation(&self) -> f64 {
-        census_probability(&self.violation_outcomes())
+        census_fraction(
+            self.providers.iter().filter(|p| p.violated).count(),
+            self.providers.len(),
+        )
     }
 
-    /// Definition 5's `P(Default)` (census form).
+    /// Definition 5's `P(Default)` (census form). Counts in one pass; no
+    /// intermediate outcome vector is allocated.
     pub fn p_default(&self) -> f64 {
-        census_probability(&self.default_outcomes())
+        census_fraction(
+            self.providers.iter().filter(|p| p.defaulted).count(),
+            self.providers.len(),
+        )
     }
 
     /// Definition 3: is this an α-PPDB, i.e. `P(W) ≤ α`?
@@ -120,8 +132,36 @@ impl AuditEngine {
         self
     }
 
-    /// Audit a population.
+    /// Audit a population. Compiles the policy into a [`CompiledAuditPlan`]
+    /// once (strings → dense ids, lattice coverage sets precomputed) and
+    /// runs every provider through the string-free hot loop; per-provider
+    /// datums and thresholds resolve via [`PopulationIndex`] (straight off
+    /// each profile when ids are unique — no population-wide assembly).
+    /// Results are bitwise-identical to [`Self::run_reference`], pinned by
+    /// the property suite in `tests/plan_equivalence.rs`.
     pub fn run(&self, profiles: &[ProviderProfile]) -> AuditReport {
+        let plan = self.compile_house();
+        let index = PopulationIndex::build(profiles, &self.attribute_weights);
+        let mut scratch = PlanScratch::new();
+        let mut providers = Vec::with_capacity(profiles.len());
+        let mut total: u128 = 0;
+        for profile in profiles {
+            let (datums, threshold) = index.resolve(profile);
+            let audit = plan.audit_profile(profile, datums, threshold, &mut scratch);
+            total += audit.score as u128;
+            providers.push(audit);
+        }
+        AuditReport {
+            providers,
+            total_violations: total,
+        }
+    }
+
+    /// Audit a population through the original string-resolving path —
+    /// the direct transcription of the paper's definitions. Kept as the
+    /// oracle the compiled plan is property-tested against, and as the
+    /// baseline leg of `benches/audit_plan.rs`.
+    pub fn run_reference(&self, profiles: &[ProviderProfile]) -> AuditReport {
         let (sensitivity, thresholds) = assemble(profiles, &self.attribute_weights);
         let attrs: Vec<&str> = self.attributes.iter().map(String::as_str).collect();
         let mut providers = Vec::with_capacity(profiles.len());
@@ -137,9 +177,29 @@ impl AuditEngine {
         }
     }
 
-    /// Audit one provider against the house configuration. Both the
-    /// sequential and the sharded parallel paths go through here, which is
-    /// what makes their per-provider results identical by construction.
+    /// Compile this engine's configuration against a sensitivity model.
+    /// The parallel path compiles once and shares the plan across workers.
+    pub fn compile(&self, sensitivity: &SensitivityModel) -> CompiledAuditPlan {
+        CompiledAuditPlan::compile(
+            &self.policy,
+            &self.attributes,
+            sensitivity,
+            self.lattice.as_ref(),
+        )
+    }
+
+    /// [`Self::compile`] against the engine's own attribute weights —
+    /// plan compilation only reads `Σ^a`, so no per-provider assembly is
+    /// needed to build the plan.
+    pub(crate) fn compile_house(&self) -> CompiledAuditPlan {
+        self.compile(&SensitivityModel::from_attribute_weights(
+            &self.attribute_weights,
+        ))
+    }
+
+    /// Audit one provider by resolving strings directly (the reference
+    /// path). The production sequential and parallel paths now go through
+    /// [`CompiledAuditPlan::audit_profile`]; this stays as the oracle.
     pub(crate) fn audit_profile(
         &self,
         profile: &ProviderProfile,
@@ -198,6 +258,53 @@ impl AuditEngine {
             lattice: self.lattice.clone(),
         };
         alt.run(profiles)
+    }
+}
+
+/// Resolves per-provider datum sensitivities and thresholds for the
+/// compiled audit path.
+///
+/// The reference path routes every datum lookup through the structures
+/// [`assemble`] builds, whose semantics for a provider id occurring more
+/// than once are *merge with last-wins* — so every occurrence of the id
+/// sees the same merged view. When ids are unique (checked in one cheap
+/// pass), each profile's own `sensitivities`/`threshold` ARE that view, so
+/// the expensive population-wide assembly (cloning every provider's
+/// sensitivity map) is skipped entirely. Duplicate ids fall back to the
+/// real assembly, keeping results bitwise-identical either way.
+pub(crate) enum PopulationIndex {
+    /// Unique provider ids: read straight off each profile.
+    Direct,
+    /// Duplicate ids present: resolve through the assembled structures.
+    Assembled(SensitivityModel, DefaultThresholds),
+}
+
+impl PopulationIndex {
+    pub(crate) fn build(
+        profiles: &[ProviderProfile],
+        attribute_weights: &AttributeSensitivities,
+    ) -> PopulationIndex {
+        let mut seen = std::collections::HashSet::with_capacity(profiles.len());
+        if profiles.iter().all(|p| seen.insert(p.id())) {
+            PopulationIndex::Direct
+        } else {
+            let (sensitivity, thresholds) = assemble(profiles, attribute_weights);
+            PopulationIndex::Assembled(sensitivity, thresholds)
+        }
+    }
+
+    /// The profile's resolved `(datum map, threshold)` pair.
+    pub(crate) fn resolve<'a>(
+        &'a self,
+        profile: &'a ProviderProfile,
+    ) -> (Option<&'a HashMap<String, DatumSensitivity>>, u64) {
+        match self {
+            PopulationIndex::Direct => (Some(&profile.sensitivities), profile.threshold),
+            PopulationIndex::Assembled(sensitivity, thresholds) => (
+                sensitivity.provider_datums(profile.id()),
+                thresholds.get(profile.id()),
+            ),
+        }
     }
 }
 

@@ -10,17 +10,26 @@
 //! The auditor also maintains per-provider *violation counts* (how many
 //! policy tuples currently violate), so Definition 1's `w_i` and
 //! Definition 4's `default_i` stay queryable without a rescan.
+//!
+//! Like the batch engine, the recomputation hot loop is string-free: at
+//! construction the auditor interns attributes and stated purposes
+//! ([`crate::intern::SymbolTable`]), indexes every provider's preferences
+//! into an id-keyed sorted table, and flattens datum sensitivities into a
+//! dense `providers × attributes` array. A group recompute then resolves
+//! its `(attribute, purpose)` key to ids once and probes per provider with
+//! binary search — no per-provider string hashing.
 
 use std::collections::HashMap;
 use std::num::NonZeroUsize;
 
 use qpv_policy::HousePolicy;
-use qpv_taxonomy::{Purpose, ViolationGeometry};
+use qpv_taxonomy::{PrivacyPoint, Purpose, ViolationGeometry};
 
 use crate::default_model::DefaultThresholds;
+use crate::intern::SymbolTable;
 use crate::profile::ProviderProfile;
-use crate::sensitivity::{AttributeSensitivities, SensitivityModel};
-use crate::severity::tuple_contribution;
+use crate::sensitivity::{AttributeSensitivities, DatumSensitivity, SensitivityModel};
+use crate::severity::conf;
 
 /// A policy "group": every tuple for one `(attribute, purpose)` pair.
 type GroupKey = (String, Purpose);
@@ -34,6 +43,23 @@ struct GroupContribution {
     violations: Vec<u32>,
 }
 
+/// One provider's preferences, keyed by interned `(attribute, purpose)`
+/// ids. Entries are sorted for binary search; duplicate keys keep the
+/// *first* stated tuple, matching `effective_point`'s find-first contract.
+#[derive(Debug, Clone, Default)]
+struct ProviderPrefIndex {
+    entries: Vec<(u32, u32, PrivacyPoint)>,
+}
+
+impl ProviderPrefIndex {
+    fn lookup(&self, attr: u32, purpose: u32) -> Option<PrivacyPoint> {
+        self.entries
+            .binary_search_by_key(&(attr, purpose), |e| (e.0, e.1))
+            .ok()
+            .map(|i| self.entries[i].2)
+    }
+}
+
 /// Maintains per-provider violation state across policy updates.
 #[derive(Debug)]
 pub struct IncrementalAuditor {
@@ -45,6 +71,17 @@ pub struct IncrementalAuditor {
     groups: HashMap<GroupKey, GroupContribution>,
     scores: Vec<u64>,
     violation_counts: Vec<u32>,
+    /// Interned table attributes (id order = first occurrence in
+    /// `attributes`).
+    attr_ids: SymbolTable,
+    /// Interned purposes stated by any provider. A policy purpose absent
+    /// here was stated by nobody: everyone's preference is the implicit
+    /// deny-all.
+    purpose_ids: SymbolTable,
+    /// Per-provider id-keyed preference tables (indexed like `profiles`).
+    pref_index: Vec<ProviderPrefIndex>,
+    /// Dense `providers × attr_ids` datum sensitivities.
+    datums: Vec<DatumSensitivity>,
 }
 
 impl IncrementalAuditor {
@@ -56,17 +93,7 @@ impl IncrementalAuditor {
         attribute_weights: &AttributeSensitivities,
         policy: HousePolicy,
     ) -> IncrementalAuditor {
-        let (sensitivity, thresholds) = crate::profile::assemble(&profiles, attribute_weights);
-        let mut auditor = IncrementalAuditor {
-            scores: vec![0; profiles.len()],
-            violation_counts: vec![0; profiles.len()],
-            profiles,
-            attributes,
-            sensitivity,
-            thresholds,
-            policy: HousePolicy::new(policy.name.clone()),
-            groups: HashMap::new(),
-        };
+        let mut auditor = IncrementalAuditor::build(profiles, attributes, attribute_weights);
         auditor.apply_policy(policy);
         auditor
     }
@@ -80,19 +107,62 @@ impl IncrementalAuditor {
         policy: HousePolicy,
         threads: NonZeroUsize,
     ) -> IncrementalAuditor {
+        let mut auditor = IncrementalAuditor::build(profiles, attributes, attribute_weights);
+        auditor.apply_policy_parallel(policy, threads);
+        auditor
+    }
+
+    /// Assemble house-side state and the interned preference/datum indexes
+    /// (one pass over the population), with an empty policy applied.
+    fn build(
+        profiles: Vec<ProviderProfile>,
+        attributes: Vec<String>,
+        attribute_weights: &AttributeSensitivities,
+    ) -> IncrementalAuditor {
         let (sensitivity, thresholds) = crate::profile::assemble(&profiles, attribute_weights);
-        let mut auditor = IncrementalAuditor {
+        let mut attr_ids = SymbolTable::new();
+        for a in &attributes {
+            attr_ids.intern(a);
+        }
+        let mut purpose_ids = SymbolTable::new();
+        let mut pref_index = Vec::with_capacity(profiles.len());
+        for profile in &profiles {
+            let mut entries = Vec::new();
+            for t in profile.preferences.tuples() {
+                // Attributes the table doesn't store can never be queried
+                // (group keys are filtered against `attributes`).
+                let Some(a) = attr_ids.get(&t.attribute) else {
+                    continue;
+                };
+                let p = purpose_ids.intern(t.tuple.purpose.name());
+                entries.push((a, p, t.tuple.point));
+            }
+            // Stable sort + keep-first dedup reproduce `effective_point`'s
+            // find-first semantics in a binary-searchable table.
+            entries.sort_by_key(|e| (e.0, e.1));
+            entries.dedup_by_key(|e| (e.0, e.1));
+            pref_index.push(ProviderPrefIndex { entries });
+        }
+        let mut datums = Vec::with_capacity(profiles.len() * attr_ids.len());
+        for profile in &profiles {
+            for name in attr_ids.names() {
+                datums.push(sensitivity.datum(profile.id(), name));
+            }
+        }
+        IncrementalAuditor {
             scores: vec![0; profiles.len()],
             violation_counts: vec![0; profiles.len()],
             profiles,
             attributes,
             sensitivity,
             thresholds,
-            policy: HousePolicy::new(policy.name.clone()),
+            policy: HousePolicy::new("empty"),
             groups: HashMap::new(),
-        };
-        auditor.apply_policy_parallel(policy, threads);
-        auditor
+            attr_ids,
+            purpose_ids,
+            pref_index,
+            datums,
+        }
     }
 
     /// Replace the policy, recomputing only the changed groups.
@@ -163,23 +233,15 @@ impl IncrementalAuditor {
         points: &[qpv_taxonomy::PrivacyPoint],
         threads: NonZeroUsize,
     ) -> GroupContribution {
-        if threads.get() > 1 && self.profiles.len() >= crate::par::PAR_THRESHOLD {
-            let bounds = crate::par::shard_bounds(self.profiles.len(), threads.get());
-            let parts: Vec<GroupContribution> = std::thread::scope(|scope| {
-                let handles: Vec<_> = bounds
-                    .iter()
-                    .map(|&(start, end)| {
-                        scope.spawn(move || self.compute_group_range(key, points, start, end))
-                    })
-                    .collect();
-                handles
-                    .into_iter()
-                    .map(|h| h.join().expect("incremental audit worker panicked"))
-                    .collect()
+        let len = self.profiles.len();
+        if threads.get() > 1 && len >= crate::par::PAR_THRESHOLD {
+            let chunk = crate::par::chunk_size(len, threads.get());
+            let parts = crate::par::par_map_chunks(len, threads.get(), chunk, |start, end| {
+                self.compute_group_range(key, points, start, end)
             });
             let mut merged = GroupContribution {
-                scores: Vec::with_capacity(self.profiles.len()),
-                violations: Vec::with_capacity(self.profiles.len()),
+                scores: Vec::with_capacity(len),
+                violations: Vec::with_capacity(len),
             };
             for part in parts {
                 merged.scores.extend(part.scores);
@@ -187,34 +249,42 @@ impl IncrementalAuditor {
             }
             merged
         } else {
-            self.compute_group_range(key, points, 0, self.profiles.len())
+            self.compute_group_range(key, points, 0, len)
         }
     }
 
-    /// One group's contribution for providers in `[start, end)`. Each
-    /// provider is independent, so sharding this range across threads and
-    /// concatenating in shard order reproduces the sequential result
-    /// exactly.
+    /// One group's contribution for providers in `[start, end)`, on the
+    /// interned fast path: the `(attribute, purpose)` key and the `Σ^a`
+    /// weight resolve once, then each provider costs one binary search
+    /// plus one dense datum load. Each provider is independent, so cutting
+    /// this range into chunks and concatenating in index order reproduces
+    /// the sequential result exactly.
     fn compute_group_range(
         &self,
         key: &GroupKey,
-        points: &[qpv_taxonomy::PrivacyPoint],
+        points: &[PrivacyPoint],
         start: usize,
         end: usize,
     ) -> GroupContribution {
         let (attribute, purpose) = key;
+        let weight = self.sensitivity.attribute_weight(attribute, purpose.name());
+        let attr = self.attr_ids.get(attribute);
+        // A purpose no provider ever stated leaves `purpose` unresolved:
+        // every preference is then the implicit deny-all `⟨0,0,0⟩`.
+        let ids = attr.zip(self.purpose_ids.get(purpose.name()));
+        let n_attrs = self.attr_ids.len();
         let mut scores = vec![0u64; end - start];
         let mut violations = vec![0u32; end - start];
-        for (i, profile) in self.profiles[start..end].iter().enumerate() {
+        for (i, idx) in (start..end).enumerate() {
+            let pref = ids
+                .and_then(|(a, p)| self.pref_index[idx].lookup(a, p))
+                .unwrap_or(PrivacyPoint::ZERO);
+            let datum = match attr {
+                Some(a) => self.datums[idx * n_attrs + a as usize],
+                None => self.sensitivity.datum(self.profiles[idx].id(), attribute),
+            };
             for point in points {
-                scores[i] = scores[i].saturating_add(tuple_contribution(
-                    &profile.preferences,
-                    attribute,
-                    purpose,
-                    point,
-                    &self.sensitivity,
-                ));
-                let pref = profile.preferences.effective_point(attribute, purpose);
+                scores[i] = scores[i].saturating_add(conf(&pref, point, weight, datum));
                 if ViolationGeometry::compare(&pref, point).is_violation() {
                     violations[i] += 1;
                 }
@@ -249,18 +319,23 @@ impl IncrementalAuditor {
         self.scores.iter().map(|&s| s as u128).sum()
     }
 
-    /// `P(W)` under the current policy.
+    /// `P(W)` under the current policy (counted directly, no allocation).
     pub fn p_violation(&self) -> f64 {
-        let outcomes: Vec<bool> = (0..self.profiles.len()).map(|i| self.violated(i)).collect();
-        crate::probability::census_probability(&outcomes)
+        crate::probability::census_fraction(
+            self.violation_counts.iter().filter(|&&c| c > 0).count(),
+            self.profiles.len(),
+        )
     }
 
-    /// `P(Default)` under the current policy.
+    /// `P(Default)` under the current policy (counted directly, no
+    /// allocation).
     pub fn p_default(&self) -> f64 {
-        let outcomes: Vec<bool> = (0..self.profiles.len())
-            .map(|i| self.defaulted(i))
-            .collect();
-        crate::probability::census_probability(&outcomes)
+        crate::probability::census_fraction(
+            (0..self.profiles.len())
+                .filter(|&i| self.defaulted(i))
+                .count(),
+            self.profiles.len(),
+        )
     }
 
     /// Population size.

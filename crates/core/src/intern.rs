@@ -1,0 +1,100 @@
+//! Symbol interning for the compiled audit path.
+//!
+//! The model's hot loops compare attribute and purpose *names* — strings —
+//! once per provider per policy tuple. A [`SymbolTable`] maps each distinct
+//! name to a dense `u32` id exactly once, so everything downstream
+//! ([`crate::plan::CompiledAuditPlan`], the incremental auditor's
+//! preference index) runs on integer ids: array indexing instead of string
+//! hashing, and `u32` equality instead of byte comparison.
+
+use std::collections::HashMap;
+
+/// A dense string → `u32` interner. Ids are assigned in first-intern order
+/// starting at 0, so a table of `n` symbols indexes a `Vec` of length `n`
+/// directly.
+#[derive(Debug, Clone, Default)]
+pub struct SymbolTable {
+    ids: HashMap<String, u32>,
+    names: Vec<String>,
+}
+
+impl SymbolTable {
+    /// An empty table.
+    pub fn new() -> SymbolTable {
+        SymbolTable::default()
+    }
+
+    /// Intern a name, returning its id (existing or freshly assigned).
+    pub fn intern(&mut self, name: &str) -> u32 {
+        if let Some(&id) = self.ids.get(name) {
+            return id;
+        }
+        let id = u32::try_from(self.names.len()).expect("symbol table overflow");
+        self.ids.insert(name.to_string(), id);
+        self.names.push(name.to_string());
+        id
+    }
+
+    /// The id of an already-interned name. `None` means the name was never
+    /// seen at compile time — for the audit plan that means no policy row
+    /// can possibly match it.
+    pub fn get(&self, name: &str) -> Option<u32> {
+        self.ids.get(name).copied()
+    }
+
+    /// The name behind an id.
+    ///
+    /// # Panics
+    /// If the id was not produced by this table.
+    pub fn resolve(&self, id: u32) -> &str {
+        &self.names[id as usize]
+    }
+
+    /// Number of interned symbols.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Whether nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// All interned names, in id order (index = id).
+    pub fn names(&self) -> &[String] {
+        &self.names
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_are_dense_and_stable() {
+        let mut t = SymbolTable::new();
+        assert_eq!(t.intern("weight"), 0);
+        assert_eq!(t.intern("age"), 1);
+        assert_eq!(t.intern("weight"), 0, "re-interning is idempotent");
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.resolve(0), "weight");
+        assert_eq!(t.resolve(1), "age");
+        assert_eq!(t.names(), &["weight".to_string(), "age".to_string()]);
+    }
+
+    #[test]
+    fn get_does_not_intern() {
+        let mut t = SymbolTable::new();
+        t.intern("a");
+        assert_eq!(t.get("a"), Some(0));
+        assert_eq!(t.get("b"), None);
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn empty_table() {
+        let t = SymbolTable::new();
+        assert!(t.is_empty());
+        assert_eq!(t.get("anything"), None);
+    }
+}

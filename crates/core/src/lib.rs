@@ -26,6 +26,13 @@
 //! * [`audit`] — the audit engine producing [`audit::AuditReport`]s.
 //! * [`incremental`] — delta-maintained violation scores under policy
 //!   changes (ablation A1 compares this with full recomputation).
+//! * [`intern`] / [`plan`] — the compiled audit path: attributes and
+//!   purposes interned to dense ids, policy tuples pre-resolved to
+//!   [`plan::CompiledAuditPlan`] rows, lattice coverage precomputed — the
+//!   hot loop runs with zero string hashing. [`audit::AuditEngine::run`],
+//!   the parallel path, and the incremental auditor all route through it;
+//!   [`audit::AuditEngine::run_reference`] keeps the direct string path as
+//!   the property-tested oracle.
 //! * [`whatif`] — §10's "what-if scenarios that modify a house's privacy
 //!   policies", evaluated without touching the stored policy.
 //! * [`report`] — plain-text rendering of audit results.
@@ -33,7 +40,9 @@
 pub mod audit;
 pub mod default_model;
 pub mod incremental;
+pub mod intern;
 pub mod par;
+pub mod plan;
 pub mod ppdb;
 pub mod probability;
 pub mod profile;
@@ -45,9 +54,11 @@ pub mod whatif;
 
 pub use audit::{AuditEngine, AuditReport, ProviderAudit};
 pub use default_model::{defaults, DefaultThresholds};
-pub use par::{default_threads, shard_bounds, PAR_THRESHOLD};
+pub use intern::SymbolTable;
+pub use par::{chunk_size, default_threads, par_map_chunks, shard_bounds, PAR_THRESHOLD};
+pub use plan::{CompiledAuditPlan, PlanScratch};
 pub use ppdb::{AuditLogEntry, Ppdb, PpdbConfig};
-pub use probability::{census_probability, estimate_probability};
+pub use probability::{census_fraction, census_probability, estimate_probability};
 pub use profile::ProviderProfile;
 pub use sensitivity::{AttributeSensitivities, DatumSensitivity, SensitivityModel};
 pub use severity::{conf, total_violations, violation_score};

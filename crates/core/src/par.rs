@@ -1,28 +1,36 @@
-//! Sharded, multi-threaded audit execution.
+//! Sharded, multi-threaded audit execution with work-stealing chunks.
 //!
 //! Equation 15's `Violation_i` is a sum of independent per-provider terms,
 //! and Definition 1's `w_i` and Definition 4's `default_i` are pure
 //! functions of one provider's profile against the fixed house side — so an
-//! audit partitions perfectly: split the population into contiguous shards,
-//! audit each shard on its own worker thread, and stitch shard results back
-//! together in shard order.
+//! audit partitions perfectly across worker threads.
 //!
-//! Because every provider goes through the same
-//! [`AuditEngine::audit_profile`] code path as the sequential audit, and
-//! `u128` addition of per-shard subtotals in shard order regroups the exact
-//! integer sum, [`AuditEngine::par_audit`] returns an [`AuditReport`] that
-//! compares **equal** to [`AuditEngine::run`]'s — same scores, same
-//! witnesses, same totals, same derived probabilities — for every thread
-//! count. Tests and a property suite pin this.
+//! Scheduling is **dynamic**: the population is cut into fixed index
+//! chunks ([`chunk_size`]) and workers pull the next unclaimed chunk off a
+//! shared atomic counter ([`par_map_chunks`]). Unlike the PR-1 contiguous
+//! [`shard_bounds`] split (one pre-assigned range per worker), a provider
+//! with 100× the average preference tuples only delays its *chunk*, not a
+//! whole shard — the other workers keep stealing the remaining chunks.
+//! Chunks are merged back in index order, every provider goes through the
+//! same [`crate::plan::CompiledAuditPlan::audit_profile`] hot loop as the
+//! sequential audit, and `u128` addition of per-chunk subtotals in index
+//! order regroups the exact integer sum — so [`AuditEngine::par_audit`]
+//! returns an [`AuditReport`] that compares **equal** to
+//! [`AuditEngine::run`]'s (same scores, same witnesses, same totals, same
+//! derived probabilities) for every thread count and any skew. Tests and a
+//! property suite pin this, including a serialized byte-identity check.
 //!
 //! Threading uses `std::thread::scope`, so there is no dependency beyond
 //! std and no lifetime gymnastics: borrowed profiles flow straight into
-//! workers.
+//! workers. [`shard_bounds`] remains for callers that want a static
+//! contiguous split (stable generation uses it for seed bookkeeping).
 
 use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
-use crate::audit::{AuditEngine, AuditReport, ProviderAudit};
-use crate::profile::{assemble, ProviderProfile};
+use crate::audit::{AuditEngine, AuditReport, PopulationIndex, ProviderAudit};
+use crate::plan::PlanScratch;
+use crate::profile::ProviderProfile;
 
 /// Below this population size the parallel entry points fall back to the
 /// sequential path: thread spawn overhead would dominate.
@@ -54,8 +62,73 @@ pub fn shard_bounds(len: usize, shards: usize) -> Vec<(usize, usize)> {
     bounds
 }
 
-/// One shard's worth of audit output, tagged for in-order reassembly.
-struct ShardResult {
+/// The chunk granularity for dynamic assignment: aim for ~8 chunks per
+/// worker (enough slack to absorb skewed providers) while keeping chunks
+/// large enough (≥64) that counter traffic is negligible and small enough
+/// (≤4096) that one pathological chunk cannot recreate a shard-sized
+/// stall.
+pub fn chunk_size(len: usize, threads: usize) -> usize {
+    (len / (threads.max(1) * 8)).clamp(64, 4096)
+}
+
+/// Run `f(start, end)` over `len` items cut into `chunk`-sized index
+/// ranges, with `threads` workers claiming chunks dynamically off a shared
+/// atomic counter (work-stealing by competitive claiming). Results come
+/// back **in chunk index order** regardless of which worker computed what
+/// or when — the scheduling is invisible in the output, which is what lets
+/// the audit report stay byte-identical under skew.
+///
+/// Falls back to a plain sequential loop for one worker (or one chunk).
+pub fn par_map_chunks<T, F>(len: usize, threads: usize, chunk: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize, usize) -> T + Sync,
+{
+    let chunk = chunk.max(1);
+    let n_chunks = len.div_ceil(chunk);
+    if n_chunks == 0 {
+        return Vec::new();
+    }
+    let workers = threads.max(1).min(n_chunks);
+    if workers <= 1 {
+        return (0..n_chunks)
+            .map(|i| f(i * chunk, ((i + 1) * chunk).min(len)))
+            .collect();
+    }
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Option<T>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                let (next, f) = (&next, &f);
+                scope.spawn(move || {
+                    let mut produced = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n_chunks {
+                            break;
+                        }
+                        produced.push((i, f(i * chunk, ((i + 1) * chunk).min(len))));
+                    }
+                    produced
+                })
+            })
+            .collect();
+        let mut slots: Vec<Option<T>> = (0..n_chunks).map(|_| None).collect();
+        for handle in handles {
+            for (i, value) in handle.join().expect("chunk worker panicked") {
+                slots[i] = Some(value);
+            }
+        }
+        slots
+    });
+    slots
+        .into_iter()
+        .map(|s| s.expect("every chunk is claimed exactly once"))
+        .collect()
+}
+
+/// One chunk's worth of audit output.
+struct ChunkResult {
     audits: Vec<ProviderAudit>,
     subtotal: u128,
 }
@@ -63,53 +136,43 @@ struct ShardResult {
 impl AuditEngine {
     /// Audit a population across `threads` worker threads.
     ///
-    /// Produces a report equal to [`AuditEngine::run`]'s for any thread
-    /// count. Small populations (below [`PAR_THRESHOLD`]) and
-    /// single-thread requests run sequentially.
+    /// Compiles the audit plan once, then workers claim fixed index chunks
+    /// dynamically ([`par_map_chunks`]), each with its own reusable
+    /// [`PlanScratch`]. Produces a report equal to [`AuditEngine::run`]'s
+    /// for any thread count and any per-provider cost skew. Small
+    /// populations (below [`PAR_THRESHOLD`]) and single-thread requests
+    /// run sequentially.
     pub fn par_audit(&self, profiles: &[ProviderProfile], threads: NonZeroUsize) -> AuditReport {
         if threads.get() == 1 || profiles.len() < PAR_THRESHOLD {
             return self.run(profiles);
         }
-        // The house-side assembly (sensitivity model, thresholds) is one
-        // cheap pass; workers share it read-only.
-        let (sensitivity, thresholds) = assemble(profiles, &self.attribute_weights);
-        let attrs: Vec<&str> = self.attributes.iter().map(String::as_str).collect();
-        let bounds = shard_bounds(profiles.len(), threads.get());
-
-        let shard_results: Vec<ShardResult> = std::thread::scope(|scope| {
-            let handles: Vec<_> = bounds
+        // Plan compilation and the population index are one pass each;
+        // workers share both read-only.
+        let plan = self.compile_house();
+        let index = PopulationIndex::build(profiles, &self.attribute_weights);
+        let chunk = chunk_size(profiles.len(), threads.get());
+        let chunks = par_map_chunks(profiles.len(), threads.get(), chunk, |start, end| {
+            let mut scratch = PlanScratch::new();
+            let mut subtotal: u128 = 0;
+            let audits = profiles[start..end]
                 .iter()
-                .map(|&(start, end)| {
-                    let (sensitivity, thresholds, attrs) = (&sensitivity, &thresholds, &attrs);
-                    let shard = &profiles[start..end];
-                    scope.spawn(move || {
-                        let mut subtotal: u128 = 0;
-                        let audits = shard
-                            .iter()
-                            .map(|profile| {
-                                let audit =
-                                    self.audit_profile(profile, attrs, sensitivity, thresholds);
-                                subtotal += audit.score as u128;
-                                audit
-                            })
-                            .collect();
-                        ShardResult { audits, subtotal }
-                    })
+                .map(|profile| {
+                    let (datums, threshold) = index.resolve(profile);
+                    let audit = plan.audit_profile(profile, datums, threshold, &mut scratch);
+                    subtotal += audit.score as u128;
+                    audit
                 })
                 .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("audit worker panicked"))
-                .collect()
+            ChunkResult { audits, subtotal }
         });
 
-        // Merge in shard order: provider order and the u128 total regroup
-        // exactly as the sequential pass computes them.
+        // Merge in chunk index order: provider order and the u128 total
+        // regroup exactly as the sequential pass computes them.
         let mut providers = Vec::with_capacity(profiles.len());
         let mut total: u128 = 0;
-        for shard in shard_results {
-            total += shard.subtotal;
-            providers.extend(shard.audits);
+        for chunk in chunks {
+            total += chunk.subtotal;
+            providers.extend(chunk.audits);
         }
         AuditReport {
             providers,
@@ -202,6 +265,58 @@ mod tests {
                     assert!(max - min <= 1, "len {len} shards {shards}");
                 }
             }
+        }
+    }
+
+    #[test]
+    fn par_map_chunks_covers_in_order() {
+        for len in [0usize, 1, 63, 64, 65, 997, 4096, 5000] {
+            for threads in [1usize, 2, 3, 8] {
+                for chunk in [1usize, 7, 64, 4096] {
+                    let got: Vec<(usize, usize)> =
+                        par_map_chunks(len, threads, chunk, |s, e| (s, e));
+                    let mut expect = 0;
+                    for &(s, e) in &got {
+                        assert_eq!(s, expect, "len {len} threads {threads} chunk {chunk}");
+                        assert!(e > s && e <= len);
+                        expect = e;
+                    }
+                    assert_eq!(expect, len, "len {len} threads {threads} chunk {chunk}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn chunk_size_stays_in_bounds() {
+        assert_eq!(chunk_size(0, 4), 64);
+        assert_eq!(chunk_size(1000, 0), 125, "zero threads treated as one");
+        assert_eq!(chunk_size(100_000, 4), 3125);
+        assert_eq!(chunk_size(10_000_000, 4), 4096, "upper clamp");
+        assert_eq!(chunk_size(100, 8), 64, "lower clamp");
+    }
+
+    #[test]
+    fn skewed_population_report_is_byte_identical() {
+        // One provider with ~100× the average preference tuples: the
+        // dynamic scheduler must absorb the skew without the report
+        // changing a byte relative to the sequential pass.
+        let mut profiles = population(600);
+        for i in 0..600 {
+            profiles[300].preferences.add(
+                "weight",
+                PrivacyTuple::from_point("pr", pt(2 + (i % 3), 2, 30)),
+            );
+        }
+        let engine = engine();
+        let sequential = engine.run(&profiles);
+        for threads in [2, 3, 8] {
+            let parallel = engine.par_audit(&profiles, nz(threads));
+            assert_eq!(
+                serde_json::to_string(&parallel).unwrap(),
+                serde_json::to_string(&sequential).unwrap(),
+                "{threads} threads"
+            );
         }
     }
 

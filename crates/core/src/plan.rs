@@ -1,0 +1,459 @@
+//! Compiled audit plans: the string-free hot path.
+//!
+//! The reference implementation re-resolves attribute and purpose strings
+//! for every `(provider, policy tuple)` pair: `attributes.contains(..)` per
+//! tuple, linear `effective_point` scans over the provider's stated
+//! preferences, a `dominated_by` DFS per lattice comparison, and two hash
+//! lookups per pair for the sensitivity weights. All of that is invariant
+//! across providers, so a [`CompiledAuditPlan`] hoists it out:
+//!
+//! * attributes and purposes are interned to dense `u32` ids once
+//!   ([`crate::intern::SymbolTable`]);
+//! * every policy tuple becomes a [`PlanRow`] `(attr_id, purpose_id,
+//!   point, weight)` with the attribute filter applied and the per-purpose
+//!   `Σ^a` weight pre-resolved;
+//! * under lattice semantics, each policy purpose's *coverage set* (every
+//!   purpose whose stated consent dominates it — the ancestor closure) is
+//!   precomputed to a list of purpose ids, so `effective_point_lattice`
+//!   becomes a few array probes instead of repeated DFS walks;
+//! * each provider's preferences are indexed once per audit into an
+//!   id-keyed dense table (the [`PlanScratch`], epoch-stamped so it is
+//!   reused across providers without clearing).
+//!
+//! The inner loop then touches no strings at all: per provider it hashes
+//! each stated preference once to index it, and every policy row after
+//! that is integer arithmetic. The property suite
+//! (`crates/core/tests/plan_equivalence.rs`) pins the compiled results
+//! bitwise-equal to the reference path — same witnesses in the same order,
+//! same saturating score accumulation order, same totals.
+
+use std::collections::HashMap;
+
+use qpv_policy::{HousePolicy, ProviderPreferences};
+use qpv_taxonomy::{PrivacyPoint, Purpose, PurposeLattice, ViolationGeometry};
+
+use crate::audit::ProviderAudit;
+use crate::default_model::defaults;
+use crate::intern::SymbolTable;
+use crate::profile::ProviderProfile;
+use crate::sensitivity::{DatumSensitivity, SensitivityModel};
+use crate::severity::conf;
+use crate::violation::ViolationWitness;
+
+/// One pre-resolved policy tuple. Rows keep the policy's insertion order
+/// (filtered to stored attributes), which is what makes compiled witness
+/// lists and saturating score sums identical to the reference path.
+#[derive(Debug, Clone)]
+struct PlanRow {
+    /// Dense attribute id.
+    attr: u32,
+    /// Dense purpose id (flat matching key).
+    purpose: u32,
+    /// Attribute name, kept for witness construction.
+    attribute: String,
+    /// Purpose, kept for witness construction (cheap `Arc` clone).
+    purpose_name: Purpose,
+    /// The policy point.
+    point: PrivacyPoint,
+    /// Pre-resolved `Σ^a` honouring any per-purpose override.
+    weight: u32,
+    /// Index into [`CompiledAuditPlan::covers`] (lattice mode only).
+    covers: u32,
+}
+
+/// A [`HousePolicy`] × attribute list × [`SensitivityModel`] × optional
+/// [`PurposeLattice`], compiled once and then applied to any number of
+/// providers. See the module docs for what is pre-resolved.
+#[derive(Debug, Clone)]
+pub struct CompiledAuditPlan {
+    attrs: SymbolTable,
+    purposes: SymbolTable,
+    rows: Vec<PlanRow>,
+    /// Per-distinct-policy-purpose coverage sets: the purpose ids whose
+    /// stated consent covers that policy purpose (ancestor closure,
+    /// including the purpose itself). Empty in flat mode.
+    covers: Vec<Vec<u32>>,
+    lattice_mode: bool,
+}
+
+/// Reusable per-worker working memory for [`CompiledAuditPlan`] audits:
+/// the id-keyed dense preference table and per-attribute datum
+/// sensitivities for the provider currently being audited. Epoch-stamped,
+/// so moving to the next provider is one counter increment, not a clear.
+#[derive(Debug, Clone, Default)]
+pub struct PlanScratch {
+    epoch: u64,
+    /// `attrs.len() × purposes.len()` slots, row-major by attribute.
+    slots: Vec<PrefSlot>,
+    /// One datum sensitivity per interned attribute.
+    datums: Vec<DatumSensitivity>,
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct PrefSlot {
+    /// Slot is live iff this equals the scratch epoch.
+    epoch: u64,
+    point: PrivacyPoint,
+}
+
+impl PlanScratch {
+    /// Fresh, empty scratch (sized lazily by the first audit).
+    pub fn new() -> PlanScratch {
+        PlanScratch::default()
+    }
+}
+
+impl CompiledAuditPlan {
+    /// Compile a plan. `attributes` is the data table's attribute list
+    /// (what providers supply); policy tuples outside it are dropped at
+    /// compile time instead of being re-filtered per provider. Pass the
+    /// lattice to compile for lattice purpose semantics.
+    pub fn compile(
+        policy: &HousePolicy,
+        attributes: &[String],
+        sensitivity: &SensitivityModel,
+        lattice: Option<&PurposeLattice>,
+    ) -> CompiledAuditPlan {
+        let mut attrs = SymbolTable::new();
+        let mut purposes = SymbolTable::new();
+        let mut rows = Vec::new();
+        let mut covers: Vec<Vec<u32>> = Vec::new();
+        let mut cover_of: std::collections::HashMap<u32, u32> = std::collections::HashMap::new();
+        for pt in policy.tuples() {
+            if !attributes.contains(&pt.attribute) {
+                continue;
+            }
+            let attr = attrs.intern(&pt.attribute);
+            let purpose = purposes.intern(pt.tuple.purpose.name());
+            let covers_idx = match lattice {
+                None => 0,
+                Some(l) => *cover_of.entry(purpose).or_insert_with(|| {
+                    let mut ids: Vec<u32> = l
+                        .covering_set(&pt.tuple.purpose)
+                        .iter()
+                        .map(|p| purposes.intern(p.name()))
+                        .collect();
+                    ids.sort_unstable();
+                    ids.dedup();
+                    covers.push(ids);
+                    (covers.len() - 1) as u32
+                }),
+            };
+            rows.push(PlanRow {
+                attr,
+                purpose,
+                attribute: pt.attribute.clone(),
+                purpose_name: pt.tuple.purpose.clone(),
+                point: pt.tuple.point,
+                weight: sensitivity.attribute_weight(&pt.attribute, pt.tuple.purpose.name()),
+                covers: covers_idx,
+            });
+        }
+        CompiledAuditPlan {
+            attrs,
+            purposes,
+            rows,
+            covers,
+            lattice_mode: lattice.is_some(),
+        }
+    }
+
+    /// Number of compiled policy rows.
+    pub fn row_count(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Number of interned attributes / purposes.
+    pub fn symbol_counts(&self) -> (usize, usize) {
+        (self.attrs.len(), self.purposes.len())
+    }
+
+    /// Whether the plan was compiled for lattice purpose semantics.
+    pub fn is_lattice(&self) -> bool {
+        self.lattice_mode
+    }
+
+    /// Index one provider's preferences and datum sensitivities into the
+    /// scratch's dense tables. Preference tuples naming attributes or
+    /// purposes the plan never interned are skipped — by construction no
+    /// policy row can match them (in lattice mode every covering purpose
+    /// of every policy purpose *is* interned, so an unknown purpose covers
+    /// nothing).
+    fn index_profile(
+        &self,
+        prefs: &ProviderPreferences,
+        datums: Option<&HashMap<String, DatumSensitivity>>,
+        scratch: &mut PlanScratch,
+    ) {
+        let np = self.purposes.len();
+        let need = self.attrs.len() * np;
+        if scratch.slots.len() != need || scratch.datums.len() != self.attrs.len() {
+            scratch.slots = vec![PrefSlot::default(); need];
+            scratch.datums = vec![DatumSensitivity::neutral(); self.attrs.len()];
+            scratch.epoch = 0;
+        }
+        scratch.epoch += 1;
+        let epoch = scratch.epoch;
+        for t in prefs.tuples() {
+            let Some(a) = self.attrs.get(&t.attribute) else {
+                continue;
+            };
+            let Some(p) = self.purposes.get(t.tuple.purpose.name()) else {
+                continue;
+            };
+            let slot = &mut scratch.slots[a as usize * np + p as usize];
+            if slot.epoch != epoch {
+                slot.epoch = epoch;
+                slot.point = t.tuple.point;
+            } else if self.lattice_mode {
+                // Lattice semantics join *all* stated points for a
+                // purpose; flat semantics keep the first stated tuple
+                // (matching `effective_point`'s find-first contract).
+                slot.point = slot.point.join(&t.tuple.point);
+            }
+        }
+        for (a, name) in self.attrs.names().iter().enumerate() {
+            scratch.datums[a] = datums
+                .and_then(|m| m.get(name))
+                .copied()
+                .unwrap_or_default();
+        }
+    }
+
+    /// Audit one provider through the compiled plan. Produces exactly what
+    /// the reference path produces for the same inputs (witness order =
+    /// policy insertion order, identical saturating accumulation order).
+    ///
+    /// `datums` and `threshold` are the provider's resolved sensitivity map
+    /// and default threshold. Callers with unique provider ids pass the
+    /// profile's own fields directly (no population-wide assembly needed);
+    /// [`crate::audit::PopulationIndex`] handles the duplicate-id fallback.
+    pub fn audit_profile(
+        &self,
+        profile: &ProviderProfile,
+        datums: Option<&HashMap<String, DatumSensitivity>>,
+        threshold: u64,
+        scratch: &mut PlanScratch,
+    ) -> ProviderAudit {
+        self.index_profile(&profile.preferences, datums, scratch);
+        let epoch = scratch.epoch;
+        let np = self.purposes.len();
+        let mut score: u64 = 0;
+        let mut wit = Vec::new();
+        for row in &self.rows {
+            let (preference, implicit) = if self.lattice_mode {
+                let mut point = PrivacyPoint::ZERO;
+                let mut covered = false;
+                for &p in &self.covers[row.covers as usize] {
+                    let slot = &scratch.slots[row.attr as usize * np + p as usize];
+                    if slot.epoch == epoch {
+                        point = point.join(&slot.point);
+                        covered = true;
+                    }
+                }
+                (point, !covered)
+            } else {
+                let slot = &scratch.slots[row.attr as usize * np + row.purpose as usize];
+                if slot.epoch == epoch {
+                    (slot.point, false)
+                } else {
+                    (PrivacyPoint::ZERO, true)
+                }
+            };
+            let geometry = ViolationGeometry::compare(&preference, &row.point);
+            if geometry.is_violation() {
+                wit.push(ViolationWitness {
+                    attribute: row.attribute.clone(),
+                    purpose: row.purpose_name.clone(),
+                    preference,
+                    implicit_preference: implicit,
+                    policy: row.point,
+                    geometry,
+                });
+            }
+            score = score.saturating_add(conf(
+                &preference,
+                &row.point,
+                row.weight,
+                scratch.datums[row.attr as usize],
+            ));
+        }
+        ProviderAudit {
+            provider: profile.id(),
+            violated: !wit.is_empty(),
+            score,
+            threshold,
+            defaulted: defaults(score, threshold),
+            witnesses: wit,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::audit::AuditEngine;
+    use crate::profile::assemble;
+    use crate::sensitivity::AttributeSensitivities;
+    use qpv_policy::ProviderId;
+    use qpv_taxonomy::PrivacyTuple;
+
+    fn pt(v: u32, g: u32, r: u32) -> PrivacyPoint {
+        PrivacyPoint::from_raw(v, g, r)
+    }
+
+    fn worked_example() -> (AuditEngine, Vec<ProviderProfile>) {
+        let (v, g, r) = (5u32, 5u32, 5u32);
+        let policy = HousePolicy::builder("house")
+            .tuple("weight", PrivacyTuple::from_point("pr", pt(v, g, r)))
+            .build();
+        let mut weights = AttributeSensitivities::new();
+        weights.set("weight", 4);
+        let engine = AuditEngine::new(policy, ["weight"], weights);
+        let mk = |id: u64, pref: PrivacyPoint, sens: DatumSensitivity, threshold: u64| {
+            let mut profile = ProviderProfile::new(ProviderId(id), threshold);
+            profile
+                .preferences
+                .add("weight", PrivacyTuple::from_point("pr", pref));
+            profile.sensitivities.insert("weight".into(), sens);
+            profile
+        };
+        let profiles = vec![
+            mk(
+                0,
+                pt(v + 2, g + 1, r + 3),
+                DatumSensitivity::new(1, 1, 2, 1),
+                10,
+            ),
+            mk(
+                1,
+                pt(v + 2, g - 1, r + 2),
+                DatumSensitivity::new(3, 1, 5, 2),
+                50,
+            ),
+            mk(
+                2,
+                pt(v, g - 1, r - 1),
+                DatumSensitivity::new(4, 1, 3, 2),
+                100,
+            ),
+        ];
+        (engine, profiles)
+    }
+
+    #[test]
+    fn compiled_plan_reproduces_table_1() {
+        let (engine, profiles) = worked_example();
+        let (sensitivity, _) = assemble(&profiles, &engine.attribute_weights);
+        let plan =
+            CompiledAuditPlan::compile(&engine.policy, &engine.attributes, &sensitivity, None);
+        assert_eq!(plan.row_count(), 1);
+        assert_eq!(plan.symbol_counts(), (1, 1));
+        let mut scratch = PlanScratch::new();
+        let scores: Vec<u64> = profiles
+            .iter()
+            .map(|p| {
+                plan.audit_profile(p, Some(&p.sensitivities), p.threshold, &mut scratch)
+                    .score
+            })
+            .collect();
+        assert_eq!(scores, vec![0, 60, 80]);
+    }
+
+    #[test]
+    fn compiled_equals_reference_per_provider() {
+        let (engine, profiles) = worked_example();
+        let compiled = engine.run(&profiles);
+        let reference = engine.run_reference(&profiles);
+        assert_eq!(compiled, reference);
+    }
+
+    #[test]
+    fn flat_duplicate_preferences_keep_first_stated_tuple() {
+        // `effective_point` is find-first; the dense table must not let a
+        // later duplicate overwrite the first stated point.
+        let policy = HousePolicy::builder("h")
+            .tuple("weight", PrivacyTuple::from_point("pr", pt(3, 3, 3)))
+            .build();
+        let mut profile = ProviderProfile::new(ProviderId(0), 100);
+        profile
+            .preferences
+            .add("weight", PrivacyTuple::from_point("pr", pt(1, 1, 1)));
+        profile
+            .preferences
+            .add("weight", PrivacyTuple::from_point("pr", pt(9, 9, 9)));
+        let engine = AuditEngine::new(policy, ["weight"], AttributeSensitivities::new());
+        let compiled = engine.run(std::slice::from_ref(&profile));
+        let reference = engine.run_reference(std::slice::from_ref(&profile));
+        assert_eq!(compiled, reference);
+        assert_eq!(compiled.providers[0].witnesses[0].preference, pt(1, 1, 1));
+    }
+
+    #[test]
+    fn lattice_duplicate_preferences_join_all_stated_points() {
+        // Under the lattice, *all* stated tuples for a covering purpose
+        // join — including duplicates of the same purpose.
+        let mut lattice = PurposeLattice::new();
+        lattice.add_edge("billing", "operations").unwrap();
+        let policy = HousePolicy::builder("h")
+            .tuple("weight", PrivacyTuple::from_point("billing", pt(3, 3, 3)))
+            .build();
+        let mut profile = ProviderProfile::new(ProviderId(0), 100);
+        profile.preferences.add(
+            "weight",
+            PrivacyTuple::from_point("operations", pt(3, 1, 1)),
+        );
+        profile.preferences.add(
+            "weight",
+            PrivacyTuple::from_point("operations", pt(1, 3, 3)),
+        );
+        let engine = AuditEngine::new(policy, ["weight"], AttributeSensitivities::new())
+            .with_lattice(lattice);
+        let compiled = engine.run(std::slice::from_ref(&profile));
+        let reference = engine.run_reference(std::slice::from_ref(&profile));
+        assert_eq!(compiled, reference);
+        assert!(
+            !compiled.providers[0].violated,
+            "joined point (3,3,3) bounds"
+        );
+    }
+
+    #[test]
+    fn unknown_purposes_and_attributes_are_skipped() {
+        let policy = HousePolicy::builder("h")
+            .tuple("weight", PrivacyTuple::from_point("pr", pt(2, 2, 2)))
+            .tuple("ghost", PrivacyTuple::from_point("pr", pt(9, 9, 9)))
+            .build();
+        let mut profile = ProviderProfile::new(ProviderId(0), 100);
+        profile
+            .preferences
+            .add("weight", PrivacyTuple::from_point("mystery", pt(9, 9, 9)));
+        profile
+            .preferences
+            .add("other", PrivacyTuple::from_point("pr", pt(9, 9, 9)));
+        let engine = AuditEngine::new(policy, ["weight"], AttributeSensitivities::new());
+        let compiled = engine.run(std::slice::from_ref(&profile));
+        let reference = engine.run_reference(std::slice::from_ref(&profile));
+        assert_eq!(compiled, reference);
+        // The ghost policy row was dropped at compile time; "mystery" and
+        // "other" never matched anything: implicit deny-all violation.
+        assert!(compiled.providers[0].witnesses[0].implicit_preference);
+    }
+
+    #[test]
+    fn scratch_is_reusable_across_plans() {
+        let (engine, profiles) = worked_example();
+        let (sensitivity, _) = assemble(&profiles, &engine.attribute_weights);
+        let plan =
+            CompiledAuditPlan::compile(&engine.policy, &engine.attributes, &sensitivity, None);
+        let ted = &profiles[1];
+        let mut scratch = PlanScratch::new();
+        let a = plan.audit_profile(ted, Some(&ted.sensitivities), ted.threshold, &mut scratch);
+        // A differently-shaped plan resizes the scratch transparently.
+        let wider = engine.policy.widened_uniform(1);
+        let plan2 = CompiledAuditPlan::compile(&wider, &engine.attributes, &sensitivity, None);
+        let _ = plan2.audit_profile(ted, Some(&ted.sensitivities), ted.threshold, &mut scratch);
+        let b = plan.audit_profile(ted, Some(&ted.sensitivities), ted.threshold, &mut scratch);
+        assert_eq!(a, b, "scratch reuse must not leak state");
+    }
+}

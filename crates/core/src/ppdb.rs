@@ -18,6 +18,8 @@
 //! | `_qpv_attr_sens` | one row per attribute weight `Σ^a` |
 //! | `_qpv_thresholds` | one row per provider threshold `v_i` |
 
+use std::collections::HashMap;
+
 use qpv_policy::{HousePolicy, ProviderId, ProviderPreferences};
 use qpv_reldb::db::Database;
 use qpv_reldb::error::{DbError, DbResult};
@@ -398,11 +400,52 @@ impl Ppdb {
     }
 
     /// All profiles, in data-table order.
+    ///
+    /// Batched: one scan over each of the preference, sensitivity, and
+    /// threshold tables, bucketed by provider id — `O(rows)` instead of
+    /// the per-provider [`Ppdb::provider_profile`] rescans (`O(providers ×
+    /// rows)`). Accumulation mirrors the point-lookup path exactly:
+    /// preference tuples append in scan order, and later sensitivity /
+    /// threshold rows for the same provider overwrite earlier ones. A
+    /// provider id occurring more than once in the data table yields one
+    /// (identical) profile per occurrence, as before.
     pub fn all_profiles(&mut self) -> DbResult<Vec<ProviderProfile>> {
         let ids = self.provider_ids()?;
-        ids.into_iter()
-            .map(|id| self.provider_profile(id))
-            .collect()
+        let mut by_id: HashMap<i64, ProviderProfile> = HashMap::with_capacity(ids.len());
+        for &id in &ids {
+            by_id
+                .entry(id.0 as i64)
+                .or_insert_with(|| ProviderProfile::new(id, 0));
+        }
+        for (_, row) in self.db.scan(T_PREFS)? {
+            if let Some(profile) = by_id.get_mut(&int(&row, 0)?) {
+                let (attr, tuple) = decode_tuple_row(&row, 1)?;
+                profile.preferences.add(attr, tuple);
+            }
+        }
+        for (_, row) in self.db.scan(T_SENS)? {
+            if let Some(profile) = by_id.get_mut(&int(&row, 0)?) {
+                let attr = text(&row, 1)?;
+                profile.sensitivities.insert(
+                    attr,
+                    DatumSensitivity::new(
+                        int(&row, 2)? as u32,
+                        int(&row, 3)? as u32,
+                        int(&row, 4)? as u32,
+                        int(&row, 5)? as u32,
+                    ),
+                );
+            }
+        }
+        for (_, row) in self.db.scan(T_THRESHOLDS)? {
+            if let Some(profile) = by_id.get_mut(&int(&row, 0)?) {
+                profile.threshold = int(&row, 1)? as u64;
+            }
+        }
+        Ok(ids
+            .into_iter()
+            .map(|id| by_id[&(id.0 as i64)].clone())
+            .collect())
     }
 
     /// Build an [`AuditEngine`] from stored state.
@@ -422,10 +465,11 @@ impl Ppdb {
 
     /// [`Ppdb::audit`] sharded across `threads` worker threads.
     ///
-    /// Storage reads (profiles, policy, weights) stay sequential — the
-    /// database is single-writer — but the audit itself runs through
-    /// [`AuditEngine::par_audit`], so the report is equal to
-    /// [`Ppdb::audit`]'s for every thread count.
+    /// Storage reads (profiles, policy, weights) stay on one thread — the
+    /// database is single-writer — but they are batched single-pass scans
+    /// ([`Ppdb::all_profiles`]), and the audit itself runs through
+    /// [`AuditEngine::par_audit`]'s work-stealing chunks, so the report is
+    /// equal to [`Ppdb::audit`]'s for every thread count.
     pub fn par_audit(&mut self, threads: std::num::NonZeroUsize) -> DbResult<AuditReport> {
         let engine = self.audit_engine()?;
         let profiles = self.all_profiles()?;

@@ -12,10 +12,17 @@ use rand::Rng;
 /// The exact probability `Σ_i x_i / N` (Definitions 2 and 5's limit).
 /// Returns 0 for an empty population (no trial can select a provider).
 pub fn census_probability(outcomes: &[bool]) -> f64 {
-    if outcomes.is_empty() {
+    census_fraction(outcomes.iter().filter(|&&b| b).count(), outcomes.len())
+}
+
+/// [`census_probability`] from pre-counted hits, for callers that can
+/// count in a single pass instead of materialising an outcome vector.
+/// Identical float math: `hits / population`, 0 for an empty population.
+pub fn census_fraction(hits: usize, population: usize) -> f64 {
+    if population == 0 {
         return 0.0;
     }
-    outcomes.iter().filter(|&&b| b).count() as f64 / outcomes.len() as f64
+    hits as f64 / population as f64
 }
 
 /// The relative-frequency estimator `τ(A)/τ`: `trials` independent uniform
@@ -51,6 +58,14 @@ mod tests {
         // The worked example: P(Default) = 1/3.
         let outcomes = [false, true, false];
         assert!((census_probability(&outcomes) - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fraction_agrees_with_census_bitwise() {
+        for (hits, n) in [(0usize, 0usize), (0, 3), (1, 3), (2, 3), (7, 11)] {
+            let outcomes: Vec<bool> = (0..n).map(|i| i < hits).collect();
+            assert_eq!(census_fraction(hits, n), census_probability(&outcomes));
+        }
     }
 
     #[test]

@@ -123,6 +123,18 @@ impl SensitivityModel {
         SensitivityModel::default()
     }
 
+    /// A model carrying only the house-side attribute weights `Σ` — no
+    /// per-provider datums, no purpose overrides. `attribute_weight` on
+    /// this model answers exactly what [`crate::profile::assemble`]'s
+    /// output would (assembly never sets overrides), which is all plan
+    /// compilation reads; per-provider datums resolve separately.
+    pub fn from_attribute_weights(weights: &AttributeSensitivities) -> SensitivityModel {
+        SensitivityModel {
+            attributes: weights.clone(),
+            ..SensitivityModel::default()
+        }
+    }
+
     /// Set the social weight `Σ^a`.
     pub fn set_attribute(&mut self, attribute: impl Into<String>, weight: u32) -> &mut Self {
         self.attributes.set(attribute, weight);
@@ -174,6 +186,17 @@ impl SensitivityModel {
             .and_then(|m| m.get(attribute))
             .copied()
             .unwrap_or_default()
+    }
+
+    /// The full datum-sensitivity map for a provider, if any were set.
+    /// Lets batch consumers (the compiled audit plan) resolve the provider
+    /// once and probe per-attribute, instead of hashing the provider id
+    /// again for every attribute.
+    pub fn provider_datums(
+        &self,
+        provider: ProviderId,
+    ) -> Option<&HashMap<String, DatumSensitivity>> {
+        self.providers.get(&provider)
     }
 
     /// All explicitly-set datum sensitivities for a provider.

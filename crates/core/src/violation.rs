@@ -161,14 +161,24 @@ pub fn witnesses_lattice(
         .collect()
 }
 
-/// Definition 1's `w_i` under lattice purpose semantics.
+/// Definition 1's `w_i` under lattice purpose semantics. Short-circuits on
+/// the first violating pair, like the flat [`is_violated`] — no witness
+/// vector is materialised.
 pub fn is_violated_lattice(
     prefs: &ProviderPreferences,
     policy: &HousePolicy,
     attributes: &[&str],
     lattice: &PurposeLattice,
 ) -> bool {
-    !witnesses_lattice(prefs, policy, attributes, lattice).is_empty()
+    policy
+        .tuples()
+        .iter()
+        .filter(|pt| attributes.contains(&pt.attribute.as_str()))
+        .any(|pt| {
+            let (preference, _) =
+                effective_point_lattice(prefs, &pt.attribute, &pt.tuple.purpose, lattice);
+            ViolationGeometry::compare(&preference, &pt.tuple.point).is_violation()
+        })
 }
 
 #[cfg(test)]

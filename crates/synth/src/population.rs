@@ -227,11 +227,13 @@ pub fn generate_stable(spec: &PopulationSpec, n: usize, seed: u64) -> Population
     pop
 }
 
-/// [`generate_stable`] sharded across `threads` worker threads.
+/// [`generate_stable`] across `threads` worker threads, scheduled with
+/// the work-stealing chunk scheduler (`qpv_core::par_map_chunks`).
 ///
 /// Identical to [`generate_stable`]'s output for any thread count: each
-/// provider's randomness is keyed on `(seed, index)`, and shards are
-/// stitched back in index order.
+/// provider's randomness is keyed on `(seed, index)` alone, and chunks
+/// are stitched back in index order — which worker generated which chunk
+/// is invisible in the output.
 pub fn par_generate(
     spec: &PopulationSpec,
     n: usize,
@@ -241,42 +243,31 @@ pub fn par_generate(
     if threads.get() == 1 || n < qpv_core::PAR_THRESHOLD {
         return generate_stable(spec, n, seed);
     }
-    let bounds = qpv_core::shard_bounds(n, threads.get());
-    let shards: Vec<Population> = std::thread::scope(|scope| {
-        let handles: Vec<_> = bounds
-            .iter()
-            .map(|&(start, end)| {
-                scope.spawn(move || {
-                    let mut pop = Population {
-                        profiles: Vec::with_capacity(end - start),
-                        data_rows: Vec::with_capacity(end - start),
-                        segments: Vec::with_capacity(end - start),
-                    };
-                    for i in start..end {
-                        let mut rng = SmallRng::seed_from_u64(provider_seed(seed, i as u64));
-                        let (profile, row, segment) = generate_provider(spec, i, &mut rng);
-                        pop.profiles.push(profile);
-                        pop.data_rows.push(row);
-                        pop.segments.push(segment);
-                    }
-                    pop
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("generation worker panicked"))
-            .collect()
+    let chunk = qpv_core::chunk_size(n, threads.get());
+    let chunks = qpv_core::par_map_chunks(n, threads.get(), chunk, |start, end| {
+        let mut pop = Population {
+            profiles: Vec::with_capacity(end - start),
+            data_rows: Vec::with_capacity(end - start),
+            segments: Vec::with_capacity(end - start),
+        };
+        for i in start..end {
+            let mut rng = SmallRng::seed_from_u64(provider_seed(seed, i as u64));
+            let (profile, row, segment) = generate_provider(spec, i, &mut rng);
+            pop.profiles.push(profile);
+            pop.data_rows.push(row);
+            pop.segments.push(segment);
+        }
+        pop
     });
     let mut pop = Population {
         profiles: Vec::with_capacity(n),
         data_rows: Vec::with_capacity(n),
         segments: Vec::with_capacity(n),
     };
-    for shard in shards {
-        pop.profiles.extend(shard.profiles);
-        pop.data_rows.extend(shard.data_rows);
-        pop.segments.extend(shard.segments);
+    for part in chunks {
+        pop.profiles.extend(part.profiles);
+        pop.data_rows.extend(part.data_rows);
+        pop.segments.extend(part.segments);
     }
     pop
 }

@@ -153,6 +153,18 @@ impl PurposeLattice {
         Ok(out)
     }
 
+    /// The set of purposes whose stated consent covers `purpose`: every
+    /// purpose that dominates it, including itself. This is `ancestors`
+    /// extended to unknown purposes — a purpose outside the lattice is
+    /// only comparable to itself (matching [`Self::dominated_by`]), so its
+    /// covering set is the singleton `{purpose}`. Plan compilation uses
+    /// this to replace per-pair `dominated_by` walks with precomputed id
+    /// lists.
+    pub fn covering_set(&self, purpose: &Purpose) -> Vec<Purpose> {
+        self.ancestors(purpose)
+            .unwrap_or_else(|_| vec![purpose.clone()])
+    }
+
     /// Least upper bounds of two purposes: the minimal common ancestors.
     ///
     /// In a true lattice this is a single purpose; in a general DAG there may
@@ -217,6 +229,26 @@ mod tests {
         l.add_edge("ads", "marketing").unwrap();
         l.add_edge("marketing", "any").unwrap();
         l
+    }
+
+    #[test]
+    fn covering_set_matches_dominated_by() {
+        let l = sample();
+        let covering = l.covering_set(&p("billing"));
+        assert_eq!(
+            covering,
+            vec![p("any"), p("billing"), p("operations")],
+            "sorted ancestor closure including self"
+        );
+        for q in ["billing", "operations", "any", "ads", "marketing", "ghost"] {
+            assert_eq!(
+                covering.contains(&p(q)),
+                l.dominated_by(&p("billing"), &p(q)),
+                "covering_set must agree with dominated_by for {q}"
+            );
+        }
+        // Unknown purposes cover only themselves.
+        assert_eq!(l.covering_set(&p("ghost")), vec![p("ghost")]);
     }
 
     #[test]

@@ -3,10 +3,10 @@
 # fastest. Run from the repo root:
 #
 #   scripts/tier1.sh            # gate only
-#   scripts/tier1.sh --bench    # gate + parallel-audit bench JSON
+#   scripts/tier1.sh --bench    # gate + bench JSONs
 #
-# The bench step writes BENCH_parallel_audit.json at the repo root
-# (median/mean ns per thread count; see crates/bench/benches/parallel_audit.rs).
+# The bench step writes BENCH_parallel_audit.json and BENCH_audit_plan.json
+# at the repo root (median/mean ns; see crates/bench/benches/).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -22,10 +22,18 @@ cargo build --release
 echo "== tests =="
 cargo test -q
 
+echo "== plan equivalence (release) =="
+# The compiled-plan == string-path contract, re-checked under the exact
+# optimization level the benches and production builds use.
+cargo test -q --release -p qpv-core --test plan_equivalence
+
 if [[ "${1:-}" == "--bench" ]]; then
     echo "== parallel audit bench =="
     QPV_BENCH_FULL=1 QPV_BENCH_JSON="$PWD/BENCH_parallel_audit.json" \
         cargo bench -p qpv-bench --bench parallel_audit
+    echo "== audit plan bench =="
+    QPV_BENCH_FULL=1 QPV_BENCH_JSON="$PWD/BENCH_audit_plan.json" \
+        cargo bench -p qpv-bench --bench audit_plan
 fi
 
 echo "tier-1: OK"
