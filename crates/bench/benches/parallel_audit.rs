@@ -38,7 +38,9 @@ fn bench_parallel_audit(c: &mut Criterion) {
         let nz = NonZeroUsize::new(threads).expect("nonzero");
         group.bench_with_input(BenchmarkId::new("threads", threads), &threads, |b, _| {
             b.iter(|| {
-                let report = engine.par_audit(black_box(&population.profiles), nz);
+                let report = engine
+                    .par_audit(black_box(&population.profiles), nz)
+                    .expect("no fault injection in benchmarks");
                 assert_eq!(report.total_violations, sequential.total_violations);
                 black_box(report)
             });

@@ -141,7 +141,9 @@ fn main() {
     for threads in [2usize, 4, 8] {
         let nz = std::num::NonZeroUsize::new(threads).expect("nonzero");
         let t = std::time::Instant::now();
-        let parallel = engine.par_audit(&big.profiles, nz);
+        let parallel = engine
+            .par_audit(&big.profiles, nz)
+            .expect("no fault injection in experiments");
         let took = t.elapsed();
         check(
             &format!("par_audit({threads}) report identical"),

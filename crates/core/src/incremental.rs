@@ -238,7 +238,8 @@ impl IncrementalAuditor {
             let chunk = crate::par::chunk_size(len, threads.get());
             let parts = crate::par::par_map_chunks(len, threads.get(), chunk, |start, end| {
                 self.compute_group_range(key, points, start, end)
-            });
+            })
+            .expect("incremental group computation is panic-free");
             let mut merged = GroupContribution {
                 scores: Vec::with_capacity(len),
                 violations: Vec::with_capacity(len),

@@ -55,7 +55,9 @@ pub mod whatif;
 pub use audit::{AuditEngine, AuditReport, ProviderAudit};
 pub use default_model::{defaults, DefaultThresholds};
 pub use intern::SymbolTable;
-pub use par::{chunk_size, default_threads, par_map_chunks, shard_bounds, PAR_THRESHOLD};
+pub use par::{
+    chunk_size, default_threads, par_map_chunks, shard_bounds, AuditError, PAR_THRESHOLD,
+};
 pub use plan::{CompiledAuditPlan, PlanScratch};
 pub use ppdb::{AuditLogEntry, Ppdb, PpdbConfig};
 pub use probability::{census_fraction, census_probability, estimate_probability};

@@ -26,11 +26,119 @@
 //! contiguous split (stable generation uses it for seed bookkeeping).
 
 use std::num::NonZeroUsize;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 
 use crate::audit::{AuditEngine, AuditReport, PopulationIndex, ProviderAudit};
 use crate::plan::PlanScratch;
 use crate::profile::ProviderProfile;
+
+/// Structured failure from the audit machinery: the process survives a
+/// poisoned worker and the caller learns exactly which slice of the
+/// population is implicated.
+#[derive(Debug)]
+pub enum AuditError {
+    /// A worker closure panicked on a chunk — twice, since every chunk
+    /// gets one deterministic in-place retry before being declared
+    /// poisoned.
+    WorkerPanicked {
+        /// Index of the poisoned chunk.
+        chunk: usize,
+        /// First provider index of the chunk.
+        start: usize,
+        /// One-past-last provider index of the chunk.
+        end: usize,
+        /// The panic payload, stringified when possible.
+        message: String,
+    },
+    /// The storage layer failed while assembling or persisting audit
+    /// state (`Ppdb`-backed audits).
+    Storage(qpv_reldb::DbError),
+}
+
+impl std::fmt::Display for AuditError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AuditError::WorkerPanicked {
+                chunk,
+                start,
+                end,
+                message,
+            } => write!(
+                f,
+                "audit worker panicked on chunk {chunk} (providers {start}..{end}), \
+                 twice after one retry: {message}"
+            ),
+            AuditError::Storage(e) => write!(f, "audit storage error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for AuditError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            AuditError::Storage(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<qpv_reldb::DbError> for AuditError {
+    fn from(e: qpv_reldb::DbError) -> AuditError {
+        AuditError::Storage(e)
+    }
+}
+
+/// Deterministic panic injection for the parallel audit machinery, used
+/// by the fault-tolerance regression tests. Not part of the public API
+/// contract.
+#[doc(hidden)]
+pub mod failpoint {
+    use std::sync::atomic::{AtomicI64, AtomicUsize, Ordering};
+    use std::sync::{Mutex, MutexGuard};
+
+    static CHUNK: AtomicUsize = AtomicUsize::new(usize::MAX);
+    static REMAINING: AtomicI64 = AtomicI64::new(0);
+    static SERIAL: Mutex<()> = Mutex::new(());
+
+    /// Serialize failpoint-arming tests: `cargo test` runs tests in one
+    /// process, and the failpoint is global state.
+    pub fn serialize() -> MutexGuard<'static, ()> {
+        SERIAL
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    /// Arm the failpoint: the next `times` executions of `chunk` panic.
+    /// `times = 1` makes the in-place retry succeed; `i64::MAX` makes the
+    /// chunk permanently poisoned.
+    pub fn arm(chunk: usize, times: i64) {
+        REMAINING.store(times, Ordering::SeqCst);
+        CHUNK.store(chunk, Ordering::SeqCst);
+    }
+
+    /// Disarm the failpoint.
+    pub fn disarm() {
+        CHUNK.store(usize::MAX, Ordering::SeqCst);
+        REMAINING.store(0, Ordering::SeqCst);
+    }
+
+    pub(crate) fn maybe_panic(chunk: usize) {
+        if CHUNK.load(Ordering::SeqCst) == chunk && REMAINING.fetch_sub(1, Ordering::SeqCst) > 0 {
+            panic!("injected audit worker fault in chunk {chunk}");
+        }
+    }
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&'static str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
 
 /// Below this population size the parallel entry points fall back to the
 /// sequential path: thread spawn overhead would dominate.
@@ -71,6 +179,35 @@ pub fn chunk_size(len: usize, threads: usize) -> usize {
     (len / (threads.max(1) * 8)).clamp(64, 4096)
 }
 
+/// Run one chunk under `catch_unwind` with one deterministic in-place
+/// retry: a panic from `f` (a poisoned provider record, a bug tripped by
+/// one slice of the population) is confined to its chunk, retried once
+/// immediately on the same thread, and only then reported as a structured
+/// [`AuditError::WorkerPanicked`] naming the chunk and its index range.
+fn run_chunk<T, F>(f: &F, i: usize, chunk: usize, len: usize) -> Result<T, AuditError>
+where
+    F: Fn(usize, usize) -> T + Sync,
+{
+    let start = i * chunk;
+    let end = ((i + 1) * chunk).min(len);
+    let attempt = || {
+        failpoint::maybe_panic(i);
+        f(start, end)
+    };
+    match catch_unwind(AssertUnwindSafe(attempt)) {
+        Ok(value) => Ok(value),
+        Err(_first) => match catch_unwind(AssertUnwindSafe(attempt)) {
+            Ok(value) => Ok(value),
+            Err(payload) => Err(AuditError::WorkerPanicked {
+                chunk: i,
+                start,
+                end,
+                message: panic_message(payload.as_ref()),
+            }),
+        },
+    }
+}
+
 /// Run `f(start, end)` over `len` items cut into `chunk`-sized index
 /// ranges, with `threads` workers claiming chunks dynamically off a shared
 /// atomic counter (work-stealing by competitive claiming). Results come
@@ -78,8 +215,19 @@ pub fn chunk_size(len: usize, threads: usize) -> usize {
 /// or when — the scheduling is invisible in the output, which is what lets
 /// the audit report stay byte-identical under skew.
 ///
-/// Falls back to a plain sequential loop for one worker (or one chunk).
-pub fn par_map_chunks<T, F>(len: usize, threads: usize, chunk: usize, f: F) -> Vec<T>
+/// Falls back to a plain sequential loop for one worker (or one chunk) —
+/// with the same panic-confinement semantics as the threaded path.
+///
+/// A chunk whose closure panics is retried once in place ([`run_chunk`]);
+/// if it panics again the whole call returns the lowest-index failure as
+/// [`AuditError::WorkerPanicked`] and the remaining workers stop claiming
+/// new chunks. The process itself never unwinds past this function.
+pub fn par_map_chunks<T, F>(
+    len: usize,
+    threads: usize,
+    chunk: usize,
+    f: F,
+) -> Result<Vec<T>, AuditError>
 where
     T: Send,
     F: Fn(usize, usize) -> T + Sync,
@@ -87,44 +235,86 @@ where
     let chunk = chunk.max(1);
     let n_chunks = len.div_ceil(chunk);
     if n_chunks == 0 {
-        return Vec::new();
+        return Ok(Vec::new());
     }
     let workers = threads.max(1).min(n_chunks);
     if workers <= 1 {
         return (0..n_chunks)
-            .map(|i| f(i * chunk, ((i + 1) * chunk).min(len)))
+            .map(|i| run_chunk(&f, i, chunk, len))
             .collect();
     }
     let next = AtomicUsize::new(0);
-    let slots: Vec<Option<T>> = std::thread::scope(|scope| {
+    let poisoned = AtomicBool::new(false);
+    let outcome: Result<Vec<Option<T>>, Vec<AuditError>> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..workers)
             .map(|_| {
-                let (next, f) = (&next, &f);
+                let (next, poisoned, f) = (&next, &poisoned, &f);
                 scope.spawn(move || {
                     let mut produced = Vec::new();
+                    let mut failures = Vec::new();
                     loop {
+                        if poisoned.load(Ordering::Relaxed) {
+                            break;
+                        }
                         let i = next.fetch_add(1, Ordering::Relaxed);
                         if i >= n_chunks {
                             break;
                         }
-                        produced.push((i, f(i * chunk, ((i + 1) * chunk).min(len))));
+                        match run_chunk(f, i, chunk, len) {
+                            Ok(value) => produced.push((i, value)),
+                            Err(e) => {
+                                // Confirmed failure (already retried once):
+                                // tell the other workers to stop claiming.
+                                poisoned.store(true, Ordering::Relaxed);
+                                failures.push((i, e));
+                                break;
+                            }
+                        }
                     }
-                    produced
+                    (produced, failures)
                 })
             })
             .collect();
         let mut slots: Vec<Option<T>> = (0..n_chunks).map(|_| None).collect();
+        let mut failures: Vec<(usize, AuditError)> = Vec::new();
         for handle in handles {
-            for (i, value) in handle.join().expect("chunk worker panicked") {
-                slots[i] = Some(value);
+            // Workers catch panics internally, so a join failure would mean
+            // the thread itself died — fold it into the same error shape
+            // rather than unwinding the caller.
+            match handle.join() {
+                Ok((produced, worker_failures)) => {
+                    for (i, value) in produced {
+                        slots[i] = Some(value);
+                    }
+                    failures.extend(worker_failures);
+                }
+                Err(payload) => failures.push((
+                    usize::MAX,
+                    AuditError::WorkerPanicked {
+                        chunk: usize::MAX,
+                        start: 0,
+                        end: len,
+                        message: panic_message(payload.as_ref()),
+                    },
+                )),
             }
         }
-        slots
+        if failures.is_empty() {
+            Ok(slots)
+        } else {
+            // Deterministic report: the lowest-index failed chunk wins, no
+            // matter which worker hit it or in which order threads joined.
+            failures.sort_by_key(|(i, _)| *i);
+            Err(failures.into_iter().map(|(_, e)| e).collect())
+        }
     });
-    slots
-        .into_iter()
-        .map(|s| s.expect("every chunk is claimed exactly once"))
-        .collect()
+    match outcome {
+        Ok(slots) => Ok(slots
+            .into_iter()
+            .map(|s| s.expect("every chunk is claimed exactly once"))
+            .collect()),
+        Err(mut failures) => Err(failures.remove(0)),
+    }
 }
 
 /// One chunk's worth of audit output.
@@ -142,9 +332,18 @@ impl AuditEngine {
     /// for any thread count and any per-provider cost skew. Small
     /// populations (below [`PAR_THRESHOLD`]) and single-thread requests
     /// run sequentially.
-    pub fn par_audit(&self, profiles: &[ProviderProfile], threads: NonZeroUsize) -> AuditReport {
+    ///
+    /// A worker panic (after one in-place retry of the offending chunk) is
+    /// returned as [`AuditError::WorkerPanicked`] identifying the poisoned
+    /// chunk instead of aborting the process; a fault-free run produces a
+    /// report equal to the sequential one.
+    pub fn par_audit(
+        &self,
+        profiles: &[ProviderProfile],
+        threads: NonZeroUsize,
+    ) -> Result<AuditReport, AuditError> {
         if threads.get() == 1 || profiles.len() < PAR_THRESHOLD {
-            return self.run(profiles);
+            return Ok(self.run(profiles));
         }
         // Plan compilation and the population index are one pass each;
         // workers share both read-only.
@@ -164,7 +363,7 @@ impl AuditEngine {
                 })
                 .collect();
             ChunkResult { audits, subtotal }
-        });
+        })?;
 
         // Merge in chunk index order: provider order and the u128 total
         // regroup exactly as the sequential pass computes them.
@@ -174,10 +373,10 @@ impl AuditEngine {
             total += chunk.subtotal;
             providers.extend(chunk.audits);
         }
-        AuditReport {
+        Ok(AuditReport {
             providers,
             total_violations: total,
-        }
+        })
     }
 
     /// [`AuditEngine::run_with_policy`], sharded across `threads`.
@@ -186,7 +385,7 @@ impl AuditEngine {
         profiles: &[ProviderProfile],
         policy: &qpv_policy::HousePolicy,
         threads: NonZeroUsize,
-    ) -> AuditReport {
+    ) -> Result<AuditReport, AuditError> {
         let alt = AuditEngine {
             policy: policy.clone(),
             attributes: self.attributes.clone(),
@@ -274,7 +473,7 @@ mod tests {
             for threads in [1usize, 2, 3, 8] {
                 for chunk in [1usize, 7, 64, 4096] {
                     let got: Vec<(usize, usize)> =
-                        par_map_chunks(len, threads, chunk, |s, e| (s, e));
+                        par_map_chunks(len, threads, chunk, |s, e| (s, e)).unwrap();
                     let mut expect = 0;
                     for &(s, e) in &got {
                         assert_eq!(s, expect, "len {len} threads {threads} chunk {chunk}");
@@ -311,7 +510,7 @@ mod tests {
         let engine = engine();
         let sequential = engine.run(&profiles);
         for threads in [2, 3, 8] {
-            let parallel = engine.par_audit(&profiles, nz(threads));
+            let parallel = engine.par_audit(&profiles, nz(threads)).unwrap();
             assert_eq!(
                 serde_json::to_string(&parallel).unwrap(),
                 serde_json::to_string(&sequential).unwrap(),
@@ -326,7 +525,7 @@ mod tests {
         let engine = engine();
         let sequential = engine.run(&profiles);
         for threads in [1, 2, 3, 4, 8] {
-            let parallel = engine.par_audit(&profiles, nz(threads));
+            let parallel = engine.par_audit(&profiles, nz(threads)).unwrap();
             assert_eq!(parallel, sequential, "{threads} threads");
             assert_eq!(parallel.p_violation(), sequential.p_violation());
             assert_eq!(parallel.p_default(), sequential.p_default());
@@ -340,7 +539,7 @@ mod tests {
         let engine = engine().with_lattice(lattice);
         let profiles = population(600);
         let sequential = engine.run(&profiles);
-        let parallel = engine.par_audit(&profiles, nz(4));
+        let parallel = engine.par_audit(&profiles, nz(4)).unwrap();
         assert_eq!(parallel, sequential);
     }
 
@@ -348,9 +547,9 @@ mod tests {
     fn small_populations_fall_back_to_sequential() {
         let engine = engine();
         let profiles = population(PAR_THRESHOLD as u64 - 1);
-        let report = engine.par_audit(&profiles, nz(8));
+        let report = engine.par_audit(&profiles, nz(8)).unwrap();
         assert_eq!(report, engine.run(&profiles));
-        let empty = engine.par_audit(&[], nz(4));
+        let empty = engine.par_audit(&[], nz(4)).unwrap();
         assert_eq!(empty.population(), 0);
     }
 
@@ -360,9 +559,71 @@ mod tests {
         let profiles = population(500);
         let wider = engine.policy.widened_uniform(2);
         assert_eq!(
-            engine.par_audit_with_policy(&profiles, &wider, nz(4)),
+            engine
+                .par_audit_with_policy(&profiles, &wider, nz(4))
+                .unwrap(),
             engine.run_with_policy(&profiles, &wider),
         );
+    }
+
+    #[test]
+    fn single_worker_panic_is_retried_once_and_absorbed() {
+        let _guard = failpoint::serialize();
+        failpoint::arm(2, 1); // chunk 2 panics exactly once
+        let got = par_map_chunks(100, 4, 10, |s, e| e - s);
+        failpoint::disarm();
+        assert_eq!(got.unwrap(), vec![10; 10]);
+    }
+
+    #[test]
+    fn permanently_poisoned_chunk_is_reported_not_propagated() {
+        let _guard = failpoint::serialize();
+        failpoint::arm(3, i64::MAX); // chunk 3 panics every time
+        let got = par_map_chunks(100, 4, 10, |s, e| e - s);
+        failpoint::disarm();
+        match got {
+            Err(AuditError::WorkerPanicked {
+                chunk,
+                start,
+                end,
+                ref message,
+            }) => {
+                assert_eq!((chunk, start, end), (3, 30, 40));
+                assert!(message.contains("injected"), "{message}");
+            }
+            other => panic!("expected WorkerPanicked, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn sequential_fallback_confines_panics_identically() {
+        let _guard = failpoint::serialize();
+        failpoint::arm(0, i64::MAX);
+        let got = par_map_chunks(10, 1, 10, |s, e| e - s); // workers <= 1 path
+        failpoint::disarm();
+        match got {
+            Err(AuditError::WorkerPanicked { chunk, .. }) => assert_eq!(chunk, 0),
+            other => panic!("expected WorkerPanicked, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn poisoned_par_audit_returns_err_and_engine_stays_usable() {
+        let _guard = failpoint::serialize();
+        let engine = engine();
+        let profiles = population(600);
+        failpoint::arm(1, i64::MAX);
+        let err = engine.par_audit(&profiles, nz(4)).unwrap_err();
+        failpoint::disarm();
+        assert!(
+            matches!(err, AuditError::WorkerPanicked { chunk: 1, .. }),
+            "{err}"
+        );
+        assert!(err.to_string().contains("chunk 1"), "{err}");
+        // The engine is not consumed or corrupted by the failure: the next
+        // audit (no faults) matches the sequential report exactly.
+        let clean = engine.par_audit(&profiles, nz(4)).unwrap();
+        assert_eq!(clean, engine.run(&profiles));
     }
 
     #[test]
@@ -405,7 +666,7 @@ mod tests {
                 100,
             ),
         ];
-        let report = engine.par_audit(&profiles, default_threads());
+        let report = engine.par_audit(&profiles, default_threads()).unwrap();
         assert_eq!(
             report.providers.iter().map(|p| p.score).collect::<Vec<_>>(),
             vec![0, 60, 80]

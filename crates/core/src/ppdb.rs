@@ -29,7 +29,10 @@ use qpv_reldb::types::DataType;
 use qpv_reldb::value::Value;
 use qpv_taxonomy::{Level, PrivacyPoint, PrivacyTuple};
 
+use qpv_reldb::fault::RetryPolicy;
+
 use crate::audit::{AuditEngine, AuditReport};
+use crate::par::AuditError;
 use crate::profile::ProviderProfile;
 use crate::sensitivity::{AttributeSensitivities, DatumSensitivity};
 
@@ -94,6 +97,9 @@ impl Ppdb {
     /// in `db`. The schema must contain the configured provider column with
     /// type `INT`.
     pub fn create(mut db: Database, config: PpdbConfig, data_schema: Schema) -> DbResult<Ppdb> {
+        // The privacy layer's write path absorbs transient storage faults
+        // with a bounded retry rather than surfacing every blip.
+        db.set_retry_policy(RetryPolicy::standard());
         let pc = data_schema.require(&config.provider_column)?;
         let col = data_schema.column(pc).expect("require returned index");
         if col.dtype != DataType::Int {
@@ -169,7 +175,8 @@ impl Ppdb {
 
     /// Attach to a database where [`Ppdb::create`] already ran (e.g. after
     /// reopening a durable database).
-    pub fn open(db: Database, config: PpdbConfig) -> DbResult<Ppdb> {
+    pub fn open(mut db: Database, config: PpdbConfig) -> DbResult<Ppdb> {
+        db.set_retry_policy(RetryPolicy::standard());
         for t in [
             config.data_table.as_str(),
             T_POLICY,
@@ -470,10 +477,19 @@ impl Ppdb {
     /// ([`Ppdb::all_profiles`]), and the audit itself runs through
     /// [`AuditEngine::par_audit`]'s work-stealing chunks, so the report is
     /// equal to [`Ppdb::audit`]'s for every thread count.
-    pub fn par_audit(&mut self, threads: std::num::NonZeroUsize) -> DbResult<AuditReport> {
+    ///
+    /// Both failure domains surface as one structured [`AuditError`]:
+    /// storage faults arrive as [`AuditError::Storage`], and a worker
+    /// panic (after the chunk's one in-place retry) arrives as
+    /// [`AuditError::WorkerPanicked`] naming the poisoned chunk — the
+    /// process survives either.
+    pub fn par_audit(
+        &mut self,
+        threads: std::num::NonZeroUsize,
+    ) -> Result<AuditReport, AuditError> {
         let engine = self.audit_engine()?;
         let profiles = self.all_profiles()?;
-        Ok(engine.par_audit(&profiles, threads))
+        engine.par_audit(&profiles, threads)
     }
 
     /// Run an audit and append its summary to the stored audit history —

@@ -137,7 +137,7 @@ proptest! {
         let eng = engine(&policy(level));
         let sequential = eng.run(&profiles);
         for threads in [1usize, 2, 4, 8] {
-            let parallel = eng.par_audit(&profiles, NonZeroUsize::new(threads).unwrap());
+            let parallel = eng.par_audit(&profiles, NonZeroUsize::new(threads).unwrap()).unwrap();
             prop_assert_eq!(&parallel, &sequential, "{} threads", threads);
         }
     }

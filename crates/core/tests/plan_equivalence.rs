@@ -176,7 +176,7 @@ proptest! {
         }
         let reference = eng.run_reference(&profiles);
         for threads in [1usize, 2, 4, 8] {
-            let parallel = eng.par_audit(&profiles, NonZeroUsize::new(threads).unwrap());
+            let parallel = eng.par_audit(&profiles, NonZeroUsize::new(threads).unwrap()).unwrap();
             prop_assert_eq!(&parallel, &reference, "{} threads", threads);
         }
     }
@@ -258,7 +258,9 @@ fn skewed_parallel_report_is_byte_identical() {
         assert_eq!(sequential, reference, "lattice={with_lattice}");
         let seq_json = serde_json::to_string(&sequential).unwrap();
         for threads in [2usize, 3, 8] {
-            let parallel = eng.par_audit(&profiles, NonZeroUsize::new(threads).unwrap());
+            let parallel = eng
+                .par_audit(&profiles, NonZeroUsize::new(threads).unwrap())
+                .unwrap();
             assert_eq!(
                 serde_json::to_string(&parallel).unwrap(),
                 seq_json,

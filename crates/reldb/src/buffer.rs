@@ -11,6 +11,7 @@ use std::collections::HashMap;
 
 use crate::disk::PageStore;
 use crate::error::{DbError, DbResult};
+use crate::fault::{retry_transient, RetryPolicy};
 use crate::page::{Page, PAGE_SIZE};
 
 /// Cache statistics, useful for the storage benchmarks.
@@ -38,6 +39,9 @@ pub struct BufferPool {
     clock: u64,
     next_page_id: u64,
     stats: PoolStats,
+    /// Bounded retry for transient store faults. Page reads, writes, and
+    /// syncs are idempotent, so retrying any of them is always safe.
+    retry: RetryPolicy,
 }
 
 impl BufferPool {
@@ -55,7 +59,13 @@ impl BufferPool {
             clock: 0,
             next_page_id,
             stats: PoolStats::default(),
+            retry: RetryPolicy::none(),
         }
+    }
+
+    /// Set the bounded-retry policy applied to transient store faults.
+    pub fn set_retry_policy(&mut self, retry: RetryPolicy) {
+        self.retry = retry;
     }
 
     /// Allocate a fresh page and return its id. The page is resident and
@@ -67,7 +77,8 @@ impl BufferPool {
         let page = Page::new(page_id);
         // Materialise the page in the store immediately so that page-id
         // space is dense on disk even if this page is evicted clean later.
-        self.store.write_page(page_id, page.as_bytes())?;
+        let retry = self.retry;
+        retry_transient(retry, || self.store.write_page(page_id, page.as_bytes()))?;
         self.clock += 1;
         self.frames.insert(
             page_id,
@@ -92,15 +103,25 @@ impl BufferPool {
     }
 
     /// Write every dirty resident page back to the store and sync it.
+    ///
+    /// Pages are written in ascending page-id order (not `HashMap` order)
+    /// so the store's I/O op stream is identical across runs — the fault
+    /// injector's "crash at the Nth op" is meaningless otherwise.
     pub fn flush_all(&mut self) -> DbResult<()> {
-        for frame in self.frames.values_mut() {
-            if frame.page.is_dirty() {
-                self.store
-                    .write_page(frame.page.page_id(), frame.page.as_bytes())?;
-                frame.page.mark_clean();
-            }
+        let mut dirty: Vec<u64> = self
+            .frames
+            .iter()
+            .filter(|(_, f)| f.page.is_dirty())
+            .map(|(&id, _)| id)
+            .collect();
+        dirty.sort_unstable();
+        let retry = self.retry;
+        for id in dirty {
+            let frame = self.frames.get_mut(&id).expect("id collected above");
+            retry_transient(retry, || self.store.write_page(id, frame.page.as_bytes()))?;
+            frame.page.mark_clean();
         }
-        self.store.sync()
+        retry_transient(retry, || self.store.sync())
     }
 
     /// Total pages ever allocated (resident or not).
@@ -133,7 +154,8 @@ impl BufferPool {
         }
         self.make_room()?;
         let mut buf = [0u8; PAGE_SIZE];
-        self.store.read_page(page_id, &mut buf)?;
+        let retry = self.retry;
+        retry_transient(retry, || self.store.read_page(page_id, &mut buf))?;
         let page = Page::from_bytes(buf)?;
         self.frames.insert(
             page_id,
@@ -158,7 +180,10 @@ impl BufferPool {
             .expect("capacity > 0 and pool full implies a frame exists");
         let frame = self.frames.remove(&victim).expect("victim resident");
         if frame.page.is_dirty() {
-            self.store.write_page(victim, frame.page.as_bytes())?;
+            let retry = self.retry;
+            retry_transient(retry, || {
+                self.store.write_page(victim, frame.page.as_bytes())
+            })?;
             self.stats.evictions += 1;
         }
         Ok(())

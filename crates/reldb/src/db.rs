@@ -2,22 +2,34 @@
 //!
 //! ## Durability model
 //!
-//! The database keeps three artefacts in its directory:
+//! On disk, every checkpoint is a numbered *generation* published through a
+//! `CURRENT` pointer file (the LevelDB `CURRENT`/`MANIFEST` pattern):
 //!
-//! * `pages.db` — the *working* page file the buffer pool reads and writes;
-//! * `pages.snap` + `catalog.snap` — the last *checkpoint snapshot*;
-//! * `wal.log` — every committed mutation since that snapshot.
+//! * `CURRENT` — ASCII generation number `G` of the live checkpoint;
+//! * `pages.<G>.snap` + `catalog.<G>.snap` — generation `G`'s snapshot;
+//! * `wal.<G>.log` — every committed mutation since that snapshot;
+//! * `pages.db` — the *working* page file the buffer pool reads and
+//!   writes, rebuilt from the snapshot on every open (scratch state).
 //!
-//! [`Database::open`] restores the snapshot into the working file and
-//! replays the WAL's committed transactions through the ordinary heap and
-//! catalog code paths; secondary indexes are then rebuilt by scanning the
-//! heaps. [`Database::checkpoint`] flushes all pages, atomically publishes a
-//! new snapshot (write-temp-then-rename), and truncates the WAL. Because the
-//! snapshot is never touched between checkpoints, recovery is deterministic
-//! no matter what the buffer pool evicted before the crash.
+//! [`Database::open`] reads `CURRENT` (0 if absent), restores that
+//! generation's snapshot into the working file, and replays its WAL's
+//! committed transactions through the ordinary heap and catalog code paths;
+//! secondary indexes are then rebuilt by scanning the heaps.
 //!
-//! In-memory databases ([`Database::in_memory`]) run the identical machinery
-//! over volatile backends.
+//! [`Database::checkpoint`] flushes all pages, durably writes generation
+//! `G+1`'s snapshot and a fresh empty WAL under their *new* names, and only
+//! then atomically swings `CURRENT` (write `CURRENT.tmp`, rename, fsync
+//! dir). A crash anywhere before the swing leaves generation `G` — snapshot
+//! *and* WAL — fully intact; a crash after it leaves generation `G+1` with
+//! an empty log. There is no window in which a new snapshot can be paired
+//! with the old WAL (which would double-apply on recovery). Old-generation
+//! files are deleted only after the swing, as best-effort garbage
+//! collection.
+//!
+//! In-memory databases ([`Database::in_memory`]) run the identical
+//! machinery over volatile backends. [`Database::open_with_faults`] routes
+//! every page and WAL I/O op through a [`crate::fault::FaultInjector`],
+//! which is how the crash-torture suite exercises all of the above.
 
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
@@ -25,10 +37,11 @@ use std::path::{Path, PathBuf};
 use crate::btree::BTreeIndex;
 use crate::buffer::BufferPool;
 use crate::catalog::{Catalog, IndexId, TableId};
-use crate::disk::{FileStore, MemStore};
+use crate::disk::{sync_dir, FileStore, MemStore, PageStore};
 use crate::encoding::{decode_row, encode_row};
 use crate::error::{DbError, DbResult};
 use crate::exec::{execute, ExecContext, Plan, ResultSet};
+use crate::fault::{retry_transient, FaultInjector, FaultStore, RetryPolicy};
 use crate::heap::TableHeap;
 use crate::row::{Row, RowId};
 use crate::schema::Schema;
@@ -46,6 +59,65 @@ pub struct Database {
     wal: Wal,
     txn: TxnManager,
     dir: Option<PathBuf>,
+    /// Live checkpoint generation (what `CURRENT` points at).
+    generation: u64,
+    /// Failpoints threaded through every page/WAL op when fault-injecting.
+    faults: Option<FaultInjector>,
+    /// Bounded-retry policy for transient faults on the durable write path.
+    retry: RetryPolicy,
+}
+
+/// Path of the `CURRENT` generation pointer file.
+pub fn current_path(dir: &Path) -> PathBuf {
+    dir.join("CURRENT")
+}
+
+/// Path of generation `generation`'s page snapshot.
+pub fn pages_snap_path(dir: &Path, generation: u64) -> PathBuf {
+    dir.join(format!("pages.{generation}.snap"))
+}
+
+/// Path of generation `generation`'s catalog snapshot.
+pub fn catalog_snap_path(dir: &Path, generation: u64) -> PathBuf {
+    dir.join(format!("catalog.{generation}.snap"))
+}
+
+/// Path of generation `generation`'s write-ahead log.
+pub fn wal_path(dir: &Path, generation: u64) -> PathBuf {
+    dir.join(format!("wal.{generation}.log"))
+}
+
+/// Read the live generation from `CURRENT` (0 when the file is absent —
+/// a freshly created database).
+pub fn read_current(dir: &Path) -> DbResult<u64> {
+    let path = current_path(dir);
+    if !path.exists() {
+        return Ok(0);
+    }
+    let text = std::fs::read_to_string(&path)?;
+    text.trim()
+        .parse::<u64>()
+        .map_err(|_| DbError::Corruption(format!("CURRENT holds {:?}, not a generation", text)))
+}
+
+/// Fsync an already-written file by path.
+fn fsync_file(path: &Path) -> DbResult<()> {
+    std::fs::File::open(path)?.sync_all()?;
+    Ok(())
+}
+
+/// Atomically point `CURRENT` at `generation`: write `CURRENT.tmp`, fsync
+/// it, rename over `CURRENT`, fsync the directory.
+fn publish_current(dir: &Path, generation: u64) -> DbResult<()> {
+    let tmp = dir.join("CURRENT.tmp");
+    {
+        let mut f = std::fs::File::create(&tmp)?;
+        use std::io::Write as _;
+        f.write_all(generation.to_string().as_bytes())?;
+        f.sync_all()?;
+    }
+    std::fs::rename(&tmp, current_path(dir))?;
+    sync_dir(current_path(dir))
 }
 
 /// What a non-query statement did.
@@ -65,6 +137,9 @@ impl Database {
             wal: Wal::in_memory(),
             txn: TxnManager::new(),
             dir: None,
+            generation: 0,
+            faults: None,
+            retry: RetryPolicy::none(),
         }
     }
 
@@ -72,11 +147,23 @@ impl Database {
     /// crash recovery: restore the last checkpoint snapshot, then replay the
     /// WAL's committed transactions.
     pub fn open(dir: impl AsRef<Path>) -> DbResult<Database> {
+        Database::open_with_faults(dir, None)
+    }
+
+    /// [`Database::open`] with every page and WAL I/O op routed through
+    /// `faults`' failpoints (including the recovery reads this open itself
+    /// performs). The injector's op counter therefore indexes a
+    /// deterministic stream across the whole database lifetime.
+    pub fn open_with_faults(
+        dir: impl AsRef<Path>,
+        faults: Option<FaultInjector>,
+    ) -> DbResult<Database> {
         let dir = dir.as_ref().to_path_buf();
         std::fs::create_dir_all(&dir)?;
+        let generation = read_current(&dir)?;
         let pages_path = dir.join("pages.db");
-        let snap_path = dir.join("pages.snap");
-        let catalog_path = dir.join("catalog.snap");
+        let snap_path = pages_snap_path(&dir, generation);
+        let catalog_path = catalog_snap_path(&dir, generation);
 
         // Working file starts as a copy of the snapshot (or empty).
         if snap_path.exists() {
@@ -89,18 +176,40 @@ impl Database {
         } else {
             Catalog::new()
         };
-        let store = FileStore::open(&pages_path)?;
+        let store: Box<dyn PageStore> = match &faults {
+            Some(injector) => Box::new(FaultStore::new(
+                Box::new(FileStore::open(&pages_path)?),
+                injector.clone(),
+            )),
+            None => Box::new(FileStore::open(&pages_path)?),
+        };
         let mut db = Database {
-            pool: BufferPool::new(Box::new(store), BufferPool::DEFAULT_CAPACITY),
+            pool: BufferPool::new(store, BufferPool::DEFAULT_CAPACITY),
             catalog,
             indexes: HashMap::new(),
-            wal: Wal::open(dir.join("wal.log"))?,
+            wal: Wal::open_with(wal_path(&dir, generation), faults.clone())?,
             txn: TxnManager::new(),
             dir: Some(dir),
+            generation,
+            faults,
+            retry: RetryPolicy::none(),
         };
         db.recover()?;
         db.rebuild_indexes()?;
         Ok(db)
+    }
+
+    /// Set the bounded-retry policy applied to transient faults on the
+    /// durable path: WAL syncs, and every page read/write/sync through the
+    /// buffer pool (all idempotent, so retrying is always safe).
+    pub fn set_retry_policy(&mut self, retry: RetryPolicy) {
+        self.retry = retry;
+        self.pool.set_retry_policy(retry);
+    }
+
+    /// The live checkpoint generation.
+    pub fn generation(&self) -> u64 {
+        self.generation
     }
 
     /// Apply the WAL's committed transactions on top of the snapshot state.
@@ -196,19 +305,42 @@ impl Database {
         Ok(())
     }
 
-    /// Flush pages, publish a new snapshot, and truncate the WAL.
+    /// Flush pages and publish the next checkpoint generation.
+    ///
+    /// The snapshot and a fresh empty WAL are fully written under
+    /// generation `G+1`'s names *before* `CURRENT` is atomically swung, so
+    /// a crash at any injectable failpoint leaves either generation `G`
+    /// (snapshot + WAL intact) or generation `G+1` (snapshot + empty WAL)
+    /// — never a new snapshot paired with the old log.
     pub fn checkpoint(&mut self) -> DbResult<()> {
-        self.pool.flush_all()?;
-        if let Some(dir) = self.dir.clone() {
-            // Atomic publish: write to temp names, then rename over.
-            let tmp_pages = dir.join("pages.snap.tmp");
-            let tmp_catalog = dir.join("catalog.snap.tmp");
-            std::fs::copy(dir.join("pages.db"), &tmp_pages)?;
-            std::fs::write(&tmp_catalog, self.catalog.encode())?;
-            std::fs::rename(&tmp_pages, dir.join("pages.snap"))?;
-            std::fs::rename(&tmp_catalog, dir.join("catalog.snap"))?;
-        }
-        self.wal.truncate()
+        let retry = self.retry;
+        self.pool.flush_all()?; // per-op transient retry inside the pool
+        let Some(dir) = self.dir.clone() else {
+            return self.wal.truncate();
+        };
+        let next = self.generation + 1;
+        // 1. Write generation G+1's snapshot durably under its new names.
+        //    (`copy` + explicit fsync: rename-based publish is unnecessary
+        //    because nothing reads these names until CURRENT says so.)
+        std::fs::copy(dir.join("pages.db"), pages_snap_path(&dir, next))?;
+        fsync_file(&pages_snap_path(&dir, next))?;
+        std::fs::write(catalog_snap_path(&dir, next), self.catalog.encode())?;
+        fsync_file(&catalog_snap_path(&dir, next))?;
+        // 2. Create G+1's empty WAL; truncate defensively in case a crashed
+        //    earlier checkpoint attempt left bytes under this name.
+        let mut new_wal = Wal::open_with(wal_path(&dir, next), self.faults.clone())?;
+        retry_transient(retry, || new_wal.truncate())?;
+        sync_dir(wal_path(&dir, next))?;
+        // 3. Atomically swing CURRENT. This is the commit point.
+        publish_current(&dir, next)?;
+        // 4. Generation G is now garbage; delete best-effort.
+        self.wal = new_wal;
+        let prev = self.generation;
+        self.generation = next;
+        let _ = std::fs::remove_file(pages_snap_path(&dir, prev));
+        let _ = std::fs::remove_file(catalog_snap_path(&dir, prev));
+        let _ = std::fs::remove_file(wal_path(&dir, prev));
+        Ok(())
     }
 
     // ------------------------------------------------------------------
@@ -360,7 +492,7 @@ impl Database {
             name: name.to_string(),
             schema,
         });
-        self.wal.sync()?;
+        self.sync_wal()?;
         Ok(id)
     }
 
@@ -389,7 +521,7 @@ impl Database {
             table: table.to_string(),
             column: col_idx as u32,
         });
-        self.wal.sync()?;
+        self.sync_wal()?;
         Ok(id)
     }
 
@@ -404,7 +536,7 @@ impl Database {
         self.wal.append(&WalRecord::DropTable {
             name: name.to_string(),
         });
-        self.wal.sync()
+        self.sync_wal()
     }
 
     /// Drop an index by name.
@@ -414,7 +546,7 @@ impl Database {
         self.wal.append(&WalRecord::DropIndex {
             name: name.to_string(),
         });
-        self.wal.sync()
+        self.sync_wal()
     }
 
     /// Insert a row (schema-checked), returning its address.
@@ -534,7 +666,7 @@ impl Database {
             .expect("looked up above")
             .heap = new_heap;
         self.wal.append(&WalRecord::Commit { txn: txn_id });
-        self.wal.sync()?;
+        self.sync_wal()?;
         self.rebuild_indexes_for(table_id)?;
         Ok(n)
     }
@@ -569,7 +701,7 @@ impl Database {
     pub fn commit(&mut self) -> DbResult<()> {
         let id = self.txn.take_commit()?;
         self.wal.append(&WalRecord::Commit { txn: id });
-        self.wal.sync()
+        self.sync_wal()
     }
 
     /// Roll back the open transaction, undoing its mutations.
@@ -579,7 +711,7 @@ impl Database {
             self.apply_undo(op)?;
         }
         self.wal.append(&WalRecord::Abort { txn: id });
-        self.wal.sync()
+        self.sync_wal()
     }
 
     /// Whether an explicit transaction is open.
@@ -590,6 +722,15 @@ impl Database {
     // ------------------------------------------------------------------
     // internals
     // ------------------------------------------------------------------
+
+    /// Durably sync the WAL, retrying transient faults per the retry
+    /// policy. Safe to retry: on a transient failure [`Wal::sync`] retains
+    /// its pending buffer, so the retried sync persists the complete batch
+    /// exactly once.
+    fn sync_wal(&mut self) -> DbResult<()> {
+        let retry = self.retry;
+        retry_transient(retry, || self.wal.sync())
+    }
 
     /// Run `body` under the open transaction if there is one, else under a
     /// fresh autocommit transaction (Begin/Commit logged around it, synced).
@@ -605,7 +746,7 @@ impl Database {
             self.wal.append(&WalRecord::Begin { txn: id });
             body(self, id)?;
             self.wal.append(&WalRecord::Commit { txn: id });
-            self.wal.sync()
+            self.sync_wal()
         }
     }
 

@@ -12,6 +12,22 @@ use std::path::Path;
 use crate::error::{DbError, DbResult};
 use crate::page::PAGE_SIZE;
 
+/// Fsync the parent directory of `path`, making a file creation, rename, or
+/// truncation durable across power loss. POSIX only guarantees a new or
+/// renamed directory entry survives once the *directory* itself is synced;
+/// syncing just the file is not enough. Platforms whose directories cannot
+/// be opened for sync are tolerated (the open itself failing is ignored).
+pub fn sync_dir(path: impl AsRef<Path>) -> DbResult<()> {
+    let dir = match path.as_ref().parent() {
+        Some(d) if !d.as_os_str().is_empty() => d,
+        _ => Path::new("."),
+    };
+    if let Ok(handle) = File::open(dir) {
+        handle.sync_all()?;
+    }
+    Ok(())
+}
+
 /// A medium that stores fixed-size pages addressed by page id.
 pub trait PageStore: Send {
     /// Read page `page_id` into `buf`.
@@ -72,14 +88,21 @@ pub struct FileStore {
 }
 
 impl FileStore {
-    /// Open (or create) the page file at `path`.
+    /// Open (or create) the page file at `path`. When the file is newly
+    /// created, the parent directory is fsynced so the creation itself is
+    /// durable.
     pub fn open(path: impl AsRef<Path>) -> DbResult<FileStore> {
+        let path = path.as_ref();
+        let created = !path.exists();
         let file = OpenOptions::new()
             .read(true)
             .write(true)
             .create(true)
             .truncate(false)
             .open(path)?;
+        if created {
+            sync_dir(path)?;
+        }
         let len = file.metadata()?.len();
         if len % PAGE_SIZE as u64 != 0 {
             return Err(DbError::Corruption(format!(

@@ -7,10 +7,21 @@ use std::io;
 pub type DbResult<T> = Result<T, DbError>;
 
 /// Every way the engine can fail, from storage up through SQL.
+///
+/// ## Error taxonomy: transient vs permanent
+///
+/// [`DbError::Transient`] marks faults that are expected to succeed on a
+/// bounded retry (a spurious `EIO`, a sync the medium reported as failed
+/// without losing state). Everything else is permanent: retrying cannot
+/// help, and callers should surface the error. [`DbError::is_transient`]
+/// is the single classification point the retry policies key off.
 #[derive(Debug)]
 pub enum DbError {
     /// Underlying file I/O failed.
     Io(io::Error),
+    /// A fault that is expected to clear on retry (spurious `EIO`, failed
+    /// sync with state intact). The operation was *not* performed.
+    Transient(String),
     /// On-disk or in-log bytes failed validation (bad magic, checksum,
     /// truncated record, impossible offsets).
     Corruption(String),
@@ -38,6 +49,7 @@ impl fmt::Display for DbError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             DbError::Io(e) => write!(f, "io error: {e}"),
+            DbError::Transient(msg) => write!(f, "transient i/o error: {msg}"),
             DbError::Corruption(msg) => write!(f, "corruption: {msg}"),
             DbError::PageFull => f.write_str("page full"),
             DbError::RecordNotFound { page, slot } => {
@@ -52,6 +64,18 @@ impl fmt::Display for DbError {
             DbError::SqlBind(msg) => write!(f, "sql bind error: {msg}"),
             DbError::Eval(msg) => write!(f, "evaluation error: {msg}"),
             DbError::Txn(msg) => write!(f, "transaction error: {msg}"),
+        }
+    }
+}
+
+impl DbError {
+    /// Whether a bounded retry is expected to succeed. `Interrupted` I/O
+    /// errors are transient by POSIX semantics; everything else permanent.
+    pub fn is_transient(&self) -> bool {
+        match self {
+            DbError::Transient(_) => true,
+            DbError::Io(e) => e.kind() == io::ErrorKind::Interrupted,
+            _ => false,
         }
     }
 }
@@ -84,6 +108,17 @@ mod tests {
             found: "TEXT".into(),
         };
         assert!(e.to_string().contains("expected INT"));
+    }
+
+    #[test]
+    fn transient_classification() {
+        assert!(DbError::Transient("spurious EIO".into()).is_transient());
+        assert!(DbError::Io(io::Error::new(io::ErrorKind::Interrupted, "eintr")).is_transient());
+        assert!(!DbError::Io(io::Error::new(io::ErrorKind::NotFound, "gone")).is_transient());
+        assert!(!DbError::Corruption("bad crc".into()).is_transient());
+        assert!(DbError::Transient("x".into())
+            .to_string()
+            .contains("transient"));
     }
 
     #[test]

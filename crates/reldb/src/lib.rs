@@ -17,6 +17,9 @@
 //! * [`buffer`] — an LRU buffer pool with pin counts over the disk manager.
 //! * [`wal`] — a physical write-ahead log with checksummed records and
 //!   crash recovery (redo on open).
+//! * [`fault`] — deterministic fault injection: every page/WAL I/O op is a
+//!   failpoint driven by a clock-free, seed-deterministic
+//!   [`fault::FaultPlan`] (used by the crash-torture suite).
 //! * [`heap`] — table heaps: unordered record storage across page chains.
 //! * [`btree`] — a from-scratch B+tree secondary index with linked leaves
 //!   for range scans.
@@ -52,6 +55,7 @@ pub mod encoding;
 pub mod error;
 pub mod exec;
 pub mod expr;
+pub mod fault;
 pub mod heap;
 pub mod page;
 pub mod row;
@@ -64,6 +68,7 @@ pub mod wal;
 
 pub use db::Database;
 pub use error::{DbError, DbResult};
+pub use fault::{FaultInjector, FaultKind, FaultPlan, FaultStore, RetryPolicy};
 pub use row::{Row, RowId};
 pub use schema::{Column, Schema};
 pub use types::DataType;

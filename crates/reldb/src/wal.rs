@@ -22,8 +22,10 @@ use std::path::Path;
 
 use bytes::{Buf, BufMut};
 
+use crate::disk::sync_dir;
 use crate::encoding::{get_varint, put_varint};
 use crate::error::{DbError, DbResult};
+use crate::fault::{crash_error, FaultDecision, FaultInjector, FaultOp};
 use crate::row::RowId;
 use crate::schema::{Column, Schema};
 use crate::types::DataType;
@@ -390,6 +392,10 @@ pub struct Wal {
     backend: WalBackend,
     /// Appended frames since the last sync, for group commit.
     pending: Vec<u8>,
+    /// The log file's path (durable backend only), for directory syncs.
+    path: Option<std::path::PathBuf>,
+    /// Failpoints for deterministic fault injection (tests / torture runs).
+    injector: Option<FaultInjector>,
 }
 
 impl Wal {
@@ -399,20 +405,37 @@ impl Wal {
         Wal {
             backend: WalBackend::Memory(Vec::new()),
             pending: Vec::new(),
+            path: None,
+            injector: None,
         }
     }
 
     /// Open (or create) a log file at `path`.
     pub fn open(path: impl AsRef<Path>) -> DbResult<Wal> {
+        Wal::open_with(path, None)
+    }
+
+    /// Open (or create) a log file at `path`, routing every durable op
+    /// (sync, truncate, replay) through `injector`'s failpoints. When the
+    /// file is newly created, the parent directory is fsynced so the
+    /// creation itself is durable.
+    pub fn open_with(path: impl AsRef<Path>, injector: Option<FaultInjector>) -> DbResult<Wal> {
+        let path = path.as_ref();
+        let created = !path.exists();
         let file = OpenOptions::new()
             .read(true)
             .write(true)
             .create(true)
             .truncate(false)
             .open(path)?;
+        if created {
+            sync_dir(path)?;
+        }
         Ok(Wal {
             backend: WalBackend::File(file),
             pending: Vec::new(),
+            path: Some(path.to_path_buf()),
+            injector,
         })
     }
 
@@ -425,16 +448,39 @@ impl Wal {
     }
 
     /// Durably write all appended records.
+    ///
+    /// On a transient injected fault nothing is written and the pending
+    /// buffer is retained, so a retried `sync` persists the complete batch
+    /// — retrying is always safe. A torn fault persists a deterministic
+    /// byte prefix of the batch (a real power-loss torn tail) and then
+    /// crash-stops the injector.
     pub fn sync(&mut self) -> DbResult<()> {
         if self.pending.is_empty() {
             return Ok(());
         }
+        if let Some(injector) = &self.injector {
+            match injector.check(FaultOp::WalSync, self.pending.len()) {
+                FaultDecision::Proceed => {}
+                FaultDecision::Torn { keep } => {
+                    let pending = std::mem::take(&mut self.pending);
+                    self.write_durable(&pending[..keep])?;
+                    return Err(crash_error(FaultOp::WalSync));
+                }
+                // Pending is retained: the op was not performed.
+                FaultDecision::Fail(e) => return Err(e),
+            }
+        }
         let pending = std::mem::take(&mut self.pending);
+        self.write_durable(&pending)
+    }
+
+    /// Append `bytes` to the durable log and fsync.
+    fn write_durable(&mut self, bytes: &[u8]) -> DbResult<()> {
         match &mut self.backend {
-            WalBackend::Memory(buf) => buf.extend_from_slice(&pending),
+            WalBackend::Memory(buf) => buf.extend_from_slice(bytes),
             WalBackend::File(file) => {
                 file.seek(SeekFrom::End(0))?;
-                file.write_all(&pending)?;
+                file.write_all(bytes)?;
                 file.sync_data()?;
             }
         }
@@ -445,6 +491,13 @@ impl Wal {
     /// torn tail: frames after the first invalid one were never acknowledged
     /// as durable, so ignoring them is exactly prefix durability.
     pub fn replay(&mut self) -> DbResult<Vec<WalRecord>> {
+        if let Some(injector) = &self.injector {
+            match injector.check(FaultOp::WalReplay, 0) {
+                FaultDecision::Proceed => {}
+                FaultDecision::Torn { .. } => unreachable!("replay carries no write bytes"),
+                FaultDecision::Fail(e) => return Err(e),
+            }
+        }
         let bytes = match &mut self.backend {
             WalBackend::Memory(buf) => buf.clone(),
             WalBackend::File(file) => {
@@ -473,13 +526,26 @@ impl Wal {
     }
 
     /// Discard the log contents (after a checkpoint made them redundant).
+    ///
+    /// On a transient injected fault nothing is discarded, so a retry
+    /// performs the complete truncation.
     pub fn truncate(&mut self) -> DbResult<()> {
+        if let Some(injector) = &self.injector {
+            match injector.check(FaultOp::WalTruncate, 0) {
+                FaultDecision::Proceed => {}
+                FaultDecision::Torn { .. } => unreachable!("truncate carries no write bytes"),
+                FaultDecision::Fail(e) => return Err(e),
+            }
+        }
         self.pending.clear();
         match &mut self.backend {
             WalBackend::Memory(buf) => buf.clear(),
             WalBackend::File(file) => {
                 file.set_len(0)?;
                 file.sync_data()?;
+                if let Some(path) = &self.path {
+                    sync_dir(path)?;
+                }
             }
         }
         Ok(())

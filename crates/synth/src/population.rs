@@ -258,7 +258,8 @@ pub fn par_generate(
             pop.segments.push(segment);
         }
         pop
-    });
+    })
+    .expect("seeded generation closures are panic-free");
     let mut pop = Population {
         profiles: Vec::with_capacity(n),
         data_rows: Vec::with_capacity(n),

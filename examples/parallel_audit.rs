@@ -47,10 +47,12 @@ fn main() {
 
     for workers in [2usize, 4, 8] {
         let t = Instant::now();
-        let parallel = engine.par_audit(
-            &population.profiles,
-            NonZeroUsize::new(workers).expect("nonzero"),
-        );
+        let parallel = engine
+            .par_audit(
+                &population.profiles,
+                NonZeroUsize::new(workers).expect("nonzero"),
+            )
+            .expect("no fault injection in this example");
         let took = t.elapsed();
         assert_eq!(
             parallel, sequential,

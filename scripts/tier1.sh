@@ -4,9 +4,18 @@
 #
 #   scripts/tier1.sh            # gate only
 #   scripts/tier1.sh --bench    # gate + bench JSONs
+#   scripts/tier1.sh --faults   # gate + release-mode fault-injection suite
 #
 # The bench step writes BENCH_parallel_audit.json and BENCH_audit_plan.json
 # at the repo root (median/mean ns; see crates/bench/benches/).
+#
+# The fault step re-runs the crash-torture matrix (crash-stop/torn-write at
+# every I/O op index) and the WAL bit/byte-flip corruption properties under
+# the release optimizer. Both suites are clock-free and seed-pinned (the
+# torture seeds are the op indices themselves; the vendored proptest
+# derives its RNG from the test name), so a failure here reproduces
+# byte-for-byte on any machine. Any panic fails the stage, and backtraces
+# are captured.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -26,6 +35,22 @@ echo "== plan equivalence (release) =="
 # The compiled-plan == string-path contract, re-checked under the exact
 # optimization level the benches and production builds use.
 cargo test -q --release -p qpv-core --test plan_equivalence
+
+if [[ "${1:-}" == "--faults" ]]; then
+    # Wall-clock budget: the whole fault stage must finish inside this
+    # many seconds (the matrix is ~2 s in release; the cap catches
+    # recovery livelocks, not slowness).
+    FAULT_BUDGET="${QPV_FAULT_BUDGET:-300}"
+    echo "== fault injection: crash torture matrix (release, ${FAULT_BUDGET}s budget) =="
+    RUST_BACKTRACE=1 timeout "$FAULT_BUDGET" \
+        cargo test -q --release -p qpv-reldb --test torture -- --nocapture
+    echo "== fault injection: WAL corruption properties (release) =="
+    RUST_BACKTRACE=1 timeout "$FAULT_BUDGET" \
+        cargo test -q --release -p qpv-reldb --test wal_corruption
+    echo "== fault injection: audit worker panic containment (release) =="
+    RUST_BACKTRACE=1 timeout "$FAULT_BUDGET" \
+        cargo test -q --release --test par_faults
+fi
 
 if [[ "${1:-}" == "--bench" ]]; then
     echo "== parallel audit bench =="

@@ -7,6 +7,7 @@
 //! refuses to open.
 
 use quantifying_privacy_violations::prelude::*;
+use quantifying_privacy_violations::reldb::db::{catalog_snap_path, pages_snap_path, wal_path};
 use quantifying_privacy_violations::reldb::DbError;
 
 fn temp_dir(tag: &str) -> std::path::PathBuf {
@@ -41,7 +42,7 @@ fn torn_wal_tail_loses_only_unacknowledged_writes() {
         use std::io::Write;
         let mut f = std::fs::OpenOptions::new()
             .append(true)
-            .open(dir.join("wal.log"))
+            .open(wal_path(&dir, 0))
             .unwrap();
         f.write_all(&[0x40, 0x00, 0x00, 0x00, 0xde, 0xad, 0xbe])
             .unwrap();
@@ -58,11 +59,11 @@ fn wal_corruption_midfile_truncates_to_the_valid_prefix() {
     // Flip a byte early in the WAL: everything after the first bad frame
     // is unrecoverable, and recovery must not invent data. (The DDL frame
     // comes first, so corrupting a *late* byte keeps the table itself.)
-    let wal_path = dir.join("wal.log");
-    let mut bytes = std::fs::read(&wal_path).unwrap();
+    let wal = wal_path(&dir, 0);
+    let mut bytes = std::fs::read(&wal).unwrap();
     let target = bytes.len() - 10; // inside the last frames
     bytes[target] ^= 0xff;
-    std::fs::write(&wal_path, bytes).unwrap();
+    std::fs::write(&wal, bytes).unwrap();
     let mut db = Database::open(&dir).unwrap();
     // The table exists (its DDL frame precedes the corruption)…
     let rs = db.query("SELECT COUNT(*) FROM t").unwrap();
@@ -81,8 +82,9 @@ fn corrupt_catalog_snapshot_is_refused() {
         db.execute("INSERT INTO t VALUES (1)").unwrap();
         db.checkpoint().unwrap();
     }
-    // Scribble over the catalog snapshot.
-    std::fs::write(dir.join("catalog.snap"), b"not a catalog").unwrap();
+    // Scribble over the catalog snapshot (generation 1 after the
+    // checkpoint above).
+    std::fs::write(catalog_snap_path(&dir, 1), b"not a catalog").unwrap();
     let err = Database::open(&dir).unwrap_err();
     assert!(matches!(err, DbError::Corruption(_)), "{err}");
     std::fs::remove_dir_all(&dir).unwrap();
@@ -98,7 +100,7 @@ fn corrupt_page_snapshot_is_refused() {
         db.checkpoint().unwrap();
     }
     // Truncate the page snapshot to a non-page-multiple length.
-    let snap = dir.join("pages.snap");
+    let snap = pages_snap_path(&dir, 1);
     let bytes = std::fs::read(&snap).unwrap();
     std::fs::write(&snap, &bytes[..bytes.len() - 100]).unwrap();
     let err = Database::open(&dir).unwrap_err();
@@ -123,7 +125,7 @@ fn zeroed_page_in_snapshot_is_detected_on_access() {
         db.checkpoint().unwrap();
     }
     // Zero out a page in the middle of the snapshot (bad magic).
-    let snap = dir.join("pages.snap");
+    let snap = pages_snap_path(&dir, 1);
     let mut bytes = std::fs::read(&snap).unwrap();
     let page_size = 4096;
     assert!(bytes.len() >= 3 * page_size);
