@@ -37,10 +37,11 @@ fn skew(profiles: &mut [qpv_core::ProviderProfile]) {
 }
 
 fn bench_audit_plan(c: &mut Criterion) {
+    let n = qpv_bench::bench_n(N);
     let scenario = Scenario::healthcare(64, 42); // spec donor
     let uniform = par_generate(
         &scenario.spec,
-        N,
+        n,
         42,
         NonZeroUsize::new(4).expect("nonzero"),
     );
@@ -50,7 +51,7 @@ fn bench_audit_plan(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("audit_plan");
     group.sample_size(10);
-    group.throughput(Throughput::Elements(N as u64));
+    group.throughput(Throughput::Elements(n as u64));
     for (shape, profiles) in [("uniform", &uniform.profiles), ("skewed", &skewed_profiles)] {
         let expected = engine.run_reference(profiles).total_violations;
         group.bench_with_input(BenchmarkId::new("string", shape), profiles, |b, p| {

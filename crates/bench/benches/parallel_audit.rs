@@ -21,10 +21,11 @@ const N: usize = 100_000;
 const THREADS: [usize; 4] = [1, 2, 4, 8];
 
 fn bench_parallel_audit(c: &mut Criterion) {
+    let n = qpv_bench::bench_n(N);
     let scenario = Scenario::healthcare(64, 42); // spec donor
     let population = par_generate(
         &scenario.spec,
-        N,
+        n,
         42,
         NonZeroUsize::new(4).expect("nonzero"),
     );
@@ -33,7 +34,7 @@ fn bench_parallel_audit(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("audit/parallel");
     group.sample_size(10);
-    group.throughput(Throughput::Elements(N as u64));
+    group.throughput(Throughput::Elements(n as u64));
     for threads in THREADS {
         let nz = NonZeroUsize::new(threads).expect("nonzero");
         group.bench_with_input(BenchmarkId::new("threads", threads), &threads, |b, _| {
@@ -50,14 +51,15 @@ fn bench_parallel_audit(c: &mut Criterion) {
 }
 
 fn bench_parallel_generation(c: &mut Criterion) {
+    let n = qpv_bench::bench_n(N);
     let scenario = Scenario::healthcare(64, 42);
     let mut group = c.benchmark_group("synth/par_generate");
     group.sample_size(10);
-    group.throughput(Throughput::Elements(N as u64));
+    group.throughput(Throughput::Elements(n as u64));
     for threads in THREADS {
         let nz = NonZeroUsize::new(threads).expect("nonzero");
         group.bench_with_input(BenchmarkId::new("threads", threads), &threads, |b, _| {
-            b.iter(|| black_box(par_generate(&scenario.spec, N, 42, nz)));
+            b.iter(|| black_box(par_generate(&scenario.spec, n, 42, nz)));
         });
     }
     group.finish();

@@ -35,6 +35,19 @@ pub fn write_result(name: &str, value: &impl serde::Serialize) -> PathBuf {
     path
 }
 
+/// The population size a bench should use: `full` normally, or a tiny
+/// fraction of it when `QPV_BENCH_SMOKE=1` is set. The smoke mode is how
+/// `scripts/tier1.sh --bench-smoke` runs every bench binary as a
+/// correctness test (each sample still asserts against its oracle) in
+/// seconds instead of minutes — the timings it prints are meaningless.
+pub fn bench_n(full: usize) -> usize {
+    if std::env::var("QPV_BENCH_SMOKE").is_ok_and(|v| v == "1") {
+        (full / 64).clamp(32, 2048)
+    } else {
+        full
+    }
+}
+
 /// A paper-vs-measured comparison line for EXPERIMENTS.md-style output.
 pub fn check(label: &str, expected: impl std::fmt::Display, actual: impl std::fmt::Display) {
     let expected = expected.to_string();

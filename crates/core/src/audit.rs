@@ -132,14 +132,25 @@ impl AuditEngine {
         self
     }
 
-    /// Audit a population. Compiles the policy into a [`CompiledAuditPlan`]
-    /// once (strings → dense ids, lattice coverage sets precomputed) and
-    /// runs every provider through the string-free hot loop; per-provider
-    /// datums and thresholds resolve via [`PopulationIndex`] (straight off
-    /// each profile when ids are unique — no population-wide assembly).
+    /// Audit a population. Interns the whole population into a
+    /// [`crate::pop::CompiledPopulation`] (SoA preference rows, dense
+    /// datum/threshold tables) and audits it against the compiled plan —
+    /// the hot loop touches no strings and no per-provider hash maps.
     /// Results are bitwise-identical to [`Self::run_reference`], pinned by
-    /// the property suite in `tests/plan_equivalence.rs`.
+    /// the property suites in `tests/plan_equivalence.rs` and
+    /// `tests/pop_equivalence.rs`.
     pub fn run(&self, profiles: &[ProviderProfile]) -> AuditReport {
+        self.audit_compiled(&crate::pop::CompiledPopulation::from_profiles(profiles))
+    }
+
+    /// The PR 2 audit path: one [`CompiledAuditPlan`], but providers
+    /// re-indexed from their array-of-structs profiles per audit, with
+    /// datums and thresholds resolved through [`PopulationIndex`]. Kept
+    /// as the baseline leg of `benches/compiled_population.rs` (what the
+    /// SoA population is measured against) and as the host of the
+    /// duplicate-id fallback contract. Output is bitwise-identical to
+    /// [`Self::run`].
+    pub fn run_per_profile(&self, profiles: &[ProviderProfile]) -> AuditReport {
         let plan = self.compile_house();
         let index = PopulationIndex::build(profiles, &self.attribute_weights);
         let mut scratch = PlanScratch::new();
@@ -192,9 +203,19 @@ impl AuditEngine {
     /// plan compilation only reads `Σ^a`, so no per-provider assembly is
     /// needed to build the plan.
     pub(crate) fn compile_house(&self) -> CompiledAuditPlan {
-        self.compile(&SensitivityModel::from_attribute_weights(
-            &self.attribute_weights,
-        ))
+        self.compile_policy(&self.policy)
+    }
+
+    /// Compile an arbitrary candidate policy against this engine's
+    /// attributes, weights, and lattice — the per-policy half of the
+    /// what-if fast path ([`crate::pop`]).
+    pub(crate) fn compile_policy(&self, policy: &HousePolicy) -> CompiledAuditPlan {
+        CompiledAuditPlan::compile(
+            policy,
+            &self.attributes,
+            &SensitivityModel::from_attribute_weights(&self.attribute_weights),
+            self.lattice.as_ref(),
+        )
     }
 
     /// Audit one provider by resolving strings directly (the reference
@@ -470,6 +491,72 @@ mod tests {
             wide_report.providers[0].violated,
             "exceeding consent still violates"
         );
+    }
+
+    #[test]
+    fn population_index_unique_ids_take_the_direct_path() {
+        let (_, profiles) = worked_example();
+        let index = PopulationIndex::build(&profiles, &AttributeSensitivities::new());
+        assert!(matches!(index, PopulationIndex::Direct));
+        let (datums, threshold) = index.resolve(&profiles[1]);
+        assert_eq!(threshold, profiles[1].threshold);
+        assert_eq!(
+            datums.unwrap().get("weight"),
+            profiles[1].sensitivities.get("weight")
+        );
+    }
+
+    #[test]
+    fn population_index_duplicate_ids_fall_back_to_merged_assembly() {
+        let (engine, mut profiles) = worked_example();
+        // Re-register Ted (id 1) with a different sensitivity map and
+        // threshold: the fallback must give *both* occurrences the merged
+        // (last-wins) view, not their own fields.
+        let mut dup = ProviderProfile::new(ProviderId(1), 7);
+        dup.preferences
+            .add("weight", PrivacyTuple::from_point("pr", pt(9, 9, 9)));
+        dup.sensitivities
+            .insert("weight".into(), DatumSensitivity::new(2, 2, 2, 2));
+        dup.sensitivities
+            .insert("age".into(), DatumSensitivity::new(5, 1, 1, 4));
+        profiles.push(dup);
+
+        let index = PopulationIndex::build(&profiles, &engine.attribute_weights);
+        assert!(matches!(index, PopulationIndex::Assembled(..)));
+        for occurrence in [&profiles[1], &profiles[3]] {
+            let (datums, threshold) = index.resolve(occurrence);
+            assert_eq!(threshold, 7, "last-registered threshold wins");
+            let datums = datums.expect("id 1 has datum entries");
+            assert_eq!(
+                datums.get("weight"),
+                Some(&DatumSensitivity::new(2, 2, 2, 2)),
+                "last-registered sensitivity wins for both occurrences"
+            );
+            assert_eq!(datums.get("age"), Some(&DatumSensitivity::new(5, 1, 1, 4)));
+        }
+
+        // End to end: the fallback path agrees with the reference audit,
+        // and with the unique-id fast path on the same population made
+        // unique (distinct ids, identical contents).
+        assert_eq!(
+            engine.run_per_profile(&profiles),
+            engine.run_reference(&profiles)
+        );
+        let mut unique = profiles.clone();
+        unique[3].preferences.provider = ProviderId(99);
+        assert!(matches!(
+            PopulationIndex::build(&unique, &engine.attribute_weights),
+            PopulationIndex::Direct
+        ));
+        // Provider 3's own fields now apply: its merged view above (7,
+        // ⟨2,2,2,2⟩) equals its own fields, so scores at index 3 match.
+        let direct = engine.run_per_profile(&unique);
+        let merged = engine.run_per_profile(&profiles);
+        assert_eq!(direct.providers[3].score, merged.providers[3].score);
+        assert_eq!(direct.providers[3].threshold, merged.providers[3].threshold);
+        // But occurrence 1 (old Ted) diverges: merged resolution replaced
+        // its sensitivities with the duplicate's.
+        assert_ne!(direct.providers[1].score, merged.providers[1].score);
     }
 
     #[test]

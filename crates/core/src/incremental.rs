@@ -11,13 +11,13 @@
 //! policy tuples currently violate), so Definition 1's `w_i` and
 //! Definition 4's `default_i` stay queryable without a rescan.
 //!
-//! Like the batch engine, the recomputation hot loop is string-free: at
-//! construction the auditor interns attributes and stated purposes
-//! ([`crate::intern::SymbolTable`]), indexes every provider's preferences
-//! into an id-keyed sorted table, and flattens datum sensitivities into a
-//! dense `providers × attributes` array. A group recompute then resolves
-//! its `(attribute, purpose)` key to ids once and probes per provider with
-//! binary search — no per-provider string hashing.
+//! Like the batch engine, the recomputation hot loop is string-free: the
+//! auditor builds on [`crate::pop::CompiledPopulation`] — the population
+//! interned once into flat structure-of-arrays storage — and derives from
+//! its dense preference rows an id-keyed sorted table per provider. A group
+//! recompute then resolves its `(attribute, purpose)` key to ids once and
+//! probes per provider with binary search plus one flat datum load — no
+//! per-provider string hashing.
 
 use std::collections::HashMap;
 use std::num::NonZeroUsize;
@@ -25,8 +25,8 @@ use std::num::NonZeroUsize;
 use qpv_policy::HousePolicy;
 use qpv_taxonomy::{PrivacyPoint, Purpose, ViolationGeometry};
 
-use crate::default_model::DefaultThresholds;
-use crate::intern::SymbolTable;
+use crate::default_model::defaults;
+use crate::pop::CompiledPopulation;
 use crate::profile::ProviderProfile;
 use crate::sensitivity::{AttributeSensitivities, DatumSensitivity, SensitivityModel};
 use crate::severity::conf;
@@ -63,25 +63,19 @@ impl ProviderPrefIndex {
 /// Maintains per-provider violation state across policy updates.
 #[derive(Debug)]
 pub struct IncrementalAuditor {
-    profiles: Vec<ProviderProfile>,
+    /// The population in flat structure-of-arrays form: interned symbol
+    /// tables, dense preference rows, merged datum sensitivities, and
+    /// default thresholds all live here.
+    pop: CompiledPopulation,
     attributes: Vec<String>,
     sensitivity: SensitivityModel,
-    thresholds: DefaultThresholds,
     policy: HousePolicy,
     groups: HashMap<GroupKey, GroupContribution>,
     scores: Vec<u64>,
     violation_counts: Vec<u32>,
-    /// Interned table attributes (id order = first occurrence in
-    /// `attributes`).
-    attr_ids: SymbolTable,
-    /// Interned purposes stated by any provider. A policy purpose absent
-    /// here was stated by nobody: everyone's preference is the implicit
-    /// deny-all.
-    purpose_ids: SymbolTable,
-    /// Per-provider id-keyed preference tables (indexed like `profiles`).
+    /// Per-provider id-keyed preference tables (indexed like the
+    /// population), keyed by the population's symbol ids.
     pref_index: Vec<ProviderPrefIndex>,
-    /// Dense `providers × attr_ids` datum sensitivities.
-    datums: Vec<DatumSensitivity>,
 }
 
 impl IncrementalAuditor {
@@ -112,56 +106,66 @@ impl IncrementalAuditor {
         auditor
     }
 
-    /// Assemble house-side state and the interned preference/datum indexes
-    /// (one pass over the population), with an empty policy applied.
+    /// [`IncrementalAuditor::new`], but starting from an already-compiled
+    /// population — the rebuild path callers use when a
+    /// [`CompiledPopulation`] is on hand (e.g. from a `Ppdb` scan).
+    pub fn from_population(
+        pop: CompiledPopulation,
+        attributes: Vec<String>,
+        attribute_weights: &AttributeSensitivities,
+        policy: HousePolicy,
+    ) -> IncrementalAuditor {
+        let mut auditor = IncrementalAuditor::build_from_pop(pop, attributes, attribute_weights);
+        auditor.apply_policy(policy);
+        auditor
+    }
+
+    /// Compile the population and index it (one pass), with an empty policy
+    /// applied.
     fn build(
         profiles: Vec<ProviderProfile>,
         attributes: Vec<String>,
         attribute_weights: &AttributeSensitivities,
     ) -> IncrementalAuditor {
-        let (sensitivity, thresholds) = crate::profile::assemble(&profiles, attribute_weights);
-        let mut attr_ids = SymbolTable::new();
-        for a in &attributes {
-            attr_ids.intern(a);
-        }
-        let mut purpose_ids = SymbolTable::new();
-        let mut pref_index = Vec::with_capacity(profiles.len());
-        for profile in &profiles {
-            let mut entries = Vec::new();
-            for t in profile.preferences.tuples() {
-                // Attributes the table doesn't store can never be queried
-                // (group keys are filtered against `attributes`).
-                let Some(a) = attr_ids.get(&t.attribute) else {
-                    continue;
-                };
-                let p = purpose_ids.intern(t.tuple.purpose.name());
-                entries.push((a, p, t.tuple.point));
-            }
+        let pop = CompiledPopulation::from_profiles(&profiles);
+        IncrementalAuditor::build_from_pop(pop, attributes, attribute_weights)
+    }
+
+    /// Derive the binary-searchable per-provider preference tables from the
+    /// compiled population's dense rows.
+    fn build_from_pop(
+        pop: CompiledPopulation,
+        attributes: Vec<String>,
+        attribute_weights: &AttributeSensitivities,
+    ) -> IncrementalAuditor {
+        // The assembled model's attribute weights are exactly the house
+        // weights (per-provider datums live in `pop`'s flat table instead).
+        let sensitivity = SensitivityModel::from_attribute_weights(attribute_weights);
+        let mut pref_index = Vec::with_capacity(pop.len());
+        for i in 0..pop.len() {
+            let mut entries: Vec<(u32, u32, PrivacyPoint)> = pop
+                .pref_rows_of(i)
+                .iter()
+                .map(|r| (r.attr, r.purpose, r.point))
+                .collect();
             // Stable sort + keep-first dedup reproduce `effective_point`'s
-            // find-first semantics in a binary-searchable table.
+            // find-first semantics in a binary-searchable table. Rows for
+            // attributes outside `attributes` are harmless dead weight:
+            // group keys are filtered against `attributes`, so their ids
+            // are never looked up.
             entries.sort_by_key(|e| (e.0, e.1));
             entries.dedup_by_key(|e| (e.0, e.1));
             pref_index.push(ProviderPrefIndex { entries });
         }
-        let mut datums = Vec::with_capacity(profiles.len() * attr_ids.len());
-        for profile in &profiles {
-            for name in attr_ids.names() {
-                datums.push(sensitivity.datum(profile.id(), name));
-            }
-        }
         IncrementalAuditor {
-            scores: vec![0; profiles.len()],
-            violation_counts: vec![0; profiles.len()],
-            profiles,
+            scores: vec![0; pop.len()],
+            violation_counts: vec![0; pop.len()],
+            pop,
             attributes,
             sensitivity,
-            thresholds,
             policy: HousePolicy::new("empty"),
             groups: HashMap::new(),
-            attr_ids,
-            purpose_ids,
             pref_index,
-            datums,
         }
     }
 
@@ -233,7 +237,7 @@ impl IncrementalAuditor {
         points: &[qpv_taxonomy::PrivacyPoint],
         threads: NonZeroUsize,
     ) -> GroupContribution {
-        let len = self.profiles.len();
+        let len = self.pop.len();
         if threads.get() > 1 && len >= crate::par::PAR_THRESHOLD {
             let chunk = crate::par::chunk_size(len, threads.get());
             let parts = crate::par::par_map_chunks(len, threads.get(), chunk, |start, end| {
@@ -269,11 +273,12 @@ impl IncrementalAuditor {
     ) -> GroupContribution {
         let (attribute, purpose) = key;
         let weight = self.sensitivity.attribute_weight(attribute, purpose.name());
-        let attr = self.attr_ids.get(attribute);
-        // A purpose no provider ever stated leaves `purpose` unresolved:
-        // every preference is then the implicit deny-all `⟨0,0,0⟩`.
-        let ids = attr.zip(self.purpose_ids.get(purpose.name()));
-        let n_attrs = self.attr_ids.len();
+        let (attrs, purposes) = self.pop.symbols();
+        // An attribute or purpose no provider ever mentioned is absent from
+        // the population's tables: every preference is then the implicit
+        // deny-all `⟨0,0,0⟩` and every datum the neutral sensitivity.
+        let attr = attrs.get(attribute);
+        let ids = attr.zip(purposes.get(purpose.name()));
         let mut scores = vec![0u64; end - start];
         let mut violations = vec![0u32; end - start];
         for (i, idx) in (start..end).enumerate() {
@@ -281,8 +286,8 @@ impl IncrementalAuditor {
                 .and_then(|(a, p)| self.pref_index[idx].lookup(a, p))
                 .unwrap_or(PrivacyPoint::ZERO);
             let datum = match attr {
-                Some(a) => self.datums[idx * n_attrs + a as usize],
-                None => self.sensitivity.datum(self.profiles[idx].id(), attribute),
+                Some(a) => self.pop.datum(idx, a),
+                None => DatumSensitivity::neutral(),
             };
             for point in points {
                 scores[i] = scores[i].saturating_add(conf(&pref, point, weight, datum));
@@ -311,8 +316,7 @@ impl IncrementalAuditor {
 
     /// `default_i` for provider at population index `i`.
     pub fn defaulted(&self, i: usize) -> bool {
-        self.thresholds
-            .is_default(self.profiles[i].id(), self.scores[i])
+        defaults(self.scores[i], self.pop.threshold_of(i))
     }
 
     /// Equation 16's `Violations`.
@@ -324,7 +328,7 @@ impl IncrementalAuditor {
     pub fn p_violation(&self) -> f64 {
         crate::probability::census_fraction(
             self.violation_counts.iter().filter(|&&c| c > 0).count(),
-            self.profiles.len(),
+            self.pop.len(),
         )
     }
 
@@ -332,16 +336,14 @@ impl IncrementalAuditor {
     /// allocation).
     pub fn p_default(&self) -> f64 {
         crate::probability::census_fraction(
-            (0..self.profiles.len())
-                .filter(|&i| self.defaulted(i))
-                .count(),
-            self.profiles.len(),
+            (0..self.pop.len()).filter(|&i| self.defaulted(i)).count(),
+            self.pop.len(),
         )
     }
 
     /// Population size.
     pub fn population(&self) -> usize {
-        self.profiles.len()
+        self.pop.len()
     }
 }
 
@@ -567,6 +569,62 @@ mod tests {
         assert_eq!(auditor.score(0), 0);
         assert_eq!(auditor.total_violations(), 0);
         assert!(!auditor.violated(0));
+    }
+
+    /// Regression for the saturation edge itself: near `u64::MAX` the
+    /// auditor clamps rather than wraps — retraction undershoots the exact
+    /// score instead of wrapping past it — and a fresh `new`-rebuild (or
+    /// [`IncrementalAuditor::from_population`]) restores exactness.
+    #[test]
+    fn clamped_retraction_is_inexact_until_rebuilt() {
+        // Group "a" saturates the provider's score on its own; group "b"
+        // contributes a small, exactly-known amount.
+        let mut p = ProviderProfile::new(ProviderId(0), u64::MAX);
+        p.preferences
+            .add("a", PrivacyTuple::from_point("pr", pt(1, 1, 1)));
+        p.preferences
+            .add("b", PrivacyTuple::from_point("pr", pt(1, 1, 1)));
+        p.sensitivities.insert(
+            "a".into(),
+            DatumSensitivity::new(u32::MAX, u32::MAX, u32::MAX, u32::MAX),
+        );
+        let mut w = AttributeSensitivities::new();
+        w.set("a", u32::MAX);
+        w.set("b", 2);
+        let attrs = vec!["a".to_string(), "b".to_string()];
+        let b_only = HousePolicy::builder("h")
+            .tuple("b", PrivacyTuple::from_point("pr", pt(9, 9, 9)))
+            .build();
+        // The exact score under the b-only policy, from the batch engine.
+        let engine = AuditEngine::new(b_only.clone(), ["a", "b"], w.clone());
+        let exact = engine.run(std::slice::from_ref(&p)).providers[0].score;
+        assert!(exact > 0 && exact < u64::MAX);
+
+        let both = HousePolicy::builder("h")
+            .tuple("a", PrivacyTuple::from_point("pr", pt(9, 9, 9)))
+            .tuple("b", PrivacyTuple::from_point("pr", pt(9, 9, 9)))
+            .build();
+        let mut auditor = IncrementalAuditor::new(vec![p.clone()], attrs.clone(), &w, both);
+        assert_eq!(auditor.score(0), u64::MAX, "group a clamps on its own");
+        // Retracting "a" clamps at zero rather than wrapping: the pre-clamp
+        // excess is unrecoverable, so the score undershoots the exact value
+        // instead of wrapping past it or panicking.
+        auditor.apply_policy(b_only.clone());
+        assert!(auditor.score(0) <= exact, "clamped, never wrapped");
+        assert_ne!(auditor.score(0), exact, "exactness is lost at the clamp");
+        assert!(auditor.violated(0), "the b violation is still counted");
+        // Fresh rebuilds restore exactness — via profiles and via an
+        // already-compiled population.
+        let rebuilt = IncrementalAuditor::new(vec![p.clone()], attrs.clone(), &w, b_only.clone());
+        assert_eq!(rebuilt.score(0), exact);
+        let from_pop = IncrementalAuditor::from_population(
+            CompiledPopulation::from_profiles(std::slice::from_ref(&p)),
+            attrs,
+            &w,
+            b_only,
+        );
+        assert_eq!(from_pop.score(0), exact);
+        assert!(from_pop.violated(0));
     }
 
     #[test]

@@ -3,19 +3,25 @@
 //! The model's hot loops compare attribute and purpose *names* — strings —
 //! once per provider per policy tuple. A [`SymbolTable`] maps each distinct
 //! name to a dense `u32` id exactly once, so everything downstream
-//! ([`crate::plan::CompiledAuditPlan`], the incremental auditor's
-//! preference index) runs on integer ids: array indexing instead of string
-//! hashing, and `u32` equality instead of byte comparison.
+//! ([`crate::plan::CompiledAuditPlan`], [`crate::pop::CompiledPopulation`],
+//! the incremental auditor's preference index) runs on integer ids: array
+//! indexing instead of string hashing, and `u32` equality instead of byte
+//! comparison.
+//!
+//! Names are stored behind `Arc<str>`, so resolving an id back to a name
+//! for witness construction ([`SymbolTable::resolve_shared`]) is a
+//! reference-count bump, never a string copy.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// A dense string → `u32` interner. Ids are assigned in first-intern order
 /// starting at 0, so a table of `n` symbols indexes a `Vec` of length `n`
 /// directly.
 #[derive(Debug, Clone, Default)]
 pub struct SymbolTable {
-    ids: HashMap<String, u32>,
-    names: Vec<String>,
+    ids: HashMap<Arc<str>, u32>,
+    names: Vec<Arc<str>>,
 }
 
 impl SymbolTable {
@@ -30,8 +36,9 @@ impl SymbolTable {
             return id;
         }
         let id = u32::try_from(self.names.len()).expect("symbol table overflow");
-        self.ids.insert(name.to_string(), id);
-        self.names.push(name.to_string());
+        let shared: Arc<str> = Arc::from(name);
+        self.ids.insert(shared.clone(), id);
+        self.names.push(shared);
         id
     }
 
@@ -50,6 +57,14 @@ impl SymbolTable {
         &self.names[id as usize]
     }
 
+    /// The shared handle behind an id — a reference-count bump, no copy.
+    ///
+    /// # Panics
+    /// If the id was not produced by this table.
+    pub fn resolve_shared(&self, id: u32) -> Arc<str> {
+        self.names[id as usize].clone()
+    }
+
     /// Number of interned symbols.
     pub fn len(&self) -> usize {
         self.names.len()
@@ -61,7 +76,7 @@ impl SymbolTable {
     }
 
     /// All interned names, in id order (index = id).
-    pub fn names(&self) -> &[String] {
+    pub fn names(&self) -> &[Arc<str>] {
         &self.names
     }
 }
@@ -79,7 +94,18 @@ mod tests {
         assert_eq!(t.len(), 2);
         assert_eq!(t.resolve(0), "weight");
         assert_eq!(t.resolve(1), "age");
-        assert_eq!(t.names(), &["weight".to_string(), "age".to_string()]);
+        let names: Vec<&str> = t.names().iter().map(|n| &**n).collect();
+        assert_eq!(names, ["weight", "age"]);
+    }
+
+    #[test]
+    fn resolve_shared_shares_the_interned_allocation() {
+        let mut t = SymbolTable::new();
+        let id = t.intern("weight");
+        let a = t.resolve_shared(id);
+        let b = t.resolve_shared(id);
+        assert!(Arc::ptr_eq(&a, &b), "one interned allocation per symbol");
+        assert_eq!(&*a, "weight");
     }
 
     #[test]

@@ -33,6 +33,11 @@
 //!   the parallel path, and the incremental auditor all route through it;
 //!   [`audit::AuditEngine::run_reference`] keeps the direct string path as
 //!   the property-tested oracle.
+//! * [`pop`] — the population compiled once into flat structure-of-arrays
+//!   storage ([`pop::CompiledPopulation`]): dense interned preference rows,
+//!   a flat datum-sensitivity table, and a flat threshold array. Build once,
+//!   audit many policies ([`audit::AuditEngine::audit_many_policies`]) with
+//!   a counts-only fast path that allocates nothing per provider.
 //! * [`whatif`] — §10's "what-if scenarios that modify a house's privacy
 //!   policies", evaluated without touching the stored policy.
 //! * [`report`] — plain-text rendering of audit results.
@@ -43,6 +48,7 @@ pub mod incremental;
 pub mod intern;
 pub mod par;
 pub mod plan;
+pub mod pop;
 pub mod ppdb;
 pub mod probability;
 pub mod profile;
@@ -59,6 +65,7 @@ pub use par::{
     chunk_size, default_threads, par_map_chunks, shard_bounds, AuditError, PAR_THRESHOLD,
 };
 pub use plan::{CompiledAuditPlan, PlanScratch};
+pub use pop::{CompiledPopulation, PolicyOutcome, PopulationBuilder};
 pub use ppdb::{AuditLogEntry, Ppdb, PpdbConfig};
 pub use probability::{census_fraction, census_probability, estimate_probability};
 pub use profile::ProviderProfile;

@@ -28,9 +28,11 @@
 use std::num::NonZeroUsize;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Mutex;
 
-use crate::audit::{AuditEngine, AuditReport, PopulationIndex, ProviderAudit};
+use crate::audit::{AuditEngine, AuditReport, ProviderAudit};
 use crate::plan::PlanScratch;
+use crate::pop::CompiledPopulation;
 use crate::profile::ProviderProfile;
 
 /// Structured failure from the audit machinery: the process survives a
@@ -323,15 +325,47 @@ struct ChunkResult {
     subtotal: u128,
 }
 
+/// A lock-guarded free list of [`PlanScratch`]es shared by the chunk
+/// workers: a worker pops one (or starts fresh) per chunk and returns it
+/// afterwards, so a run allocates at most one scratch per *worker* instead
+/// of one per chunk. The lock is held only for the pop/push, never while
+/// auditing.
+struct ScratchPool(Mutex<Vec<PlanScratch>>);
+
+impl ScratchPool {
+    fn new() -> ScratchPool {
+        ScratchPool(Mutex::new(Vec::new()))
+    }
+
+    fn take(&self) -> PlanScratch {
+        self.lock().pop().unwrap_or_default()
+    }
+
+    fn put(&self, scratch: PlanScratch) {
+        self.lock().push(scratch);
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Vec<PlanScratch>> {
+        // The lock is only ever held across a Vec pop/push, which cannot
+        // panic meaningfully; if a poisoned worker still managed to poison
+        // it, the free list itself is always valid to reuse.
+        self.0
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+}
+
 impl AuditEngine {
     /// Audit a population across `threads` worker threads.
     ///
-    /// Compiles the audit plan once, then workers claim fixed index chunks
-    /// dynamically ([`par_map_chunks`]), each with its own reusable
-    /// [`PlanScratch`]. Produces a report equal to [`AuditEngine::run`]'s
-    /// for any thread count and any per-provider cost skew. Small
-    /// populations (below [`PAR_THRESHOLD`]) and single-thread requests
-    /// run sequentially.
+    /// Compiles the audit plan *and* the SoA population
+    /// ([`CompiledPopulation`]) once; workers claim fixed index chunks
+    /// dynamically ([`par_map_chunks`]) and audit string-free, drawing
+    /// reusable [`PlanScratch`]es from a shared pool (one allocation per
+    /// worker, not per chunk). Produces a report equal to
+    /// [`AuditEngine::run`]'s for any thread count and any per-provider
+    /// cost skew. Small populations (below [`PAR_THRESHOLD`]) and
+    /// single-thread requests run sequentially.
     ///
     /// A worker panic (after one in-place retry of the offending chunk) is
     /// returned as [`AuditError::WorkerPanicked`] identifying the poisoned
@@ -345,29 +379,42 @@ impl AuditEngine {
         if threads.get() == 1 || profiles.len() < PAR_THRESHOLD {
             return Ok(self.run(profiles));
         }
-        // Plan compilation and the population index are one pass each;
-        // workers share both read-only.
+        let pop = CompiledPopulation::from_profiles(profiles);
+        self.par_audit_compiled(&pop, threads)
+    }
+
+    /// [`AuditEngine::par_audit`] over an already-compiled population.
+    pub fn par_audit_compiled(
+        &self,
+        pop: &CompiledPopulation,
+        threads: NonZeroUsize,
+    ) -> Result<AuditReport, AuditError> {
+        if threads.get() == 1 || pop.len() < PAR_THRESHOLD {
+            return Ok(self.audit_compiled(pop));
+        }
+        // Plan compilation and the population→plan binding are one pass
+        // each; workers share both read-only.
         let plan = self.compile_house();
-        let index = PopulationIndex::build(profiles, &self.attribute_weights);
-        let chunk = chunk_size(profiles.len(), threads.get());
-        let chunks = par_map_chunks(profiles.len(), threads.get(), chunk, |start, end| {
-            let mut scratch = PlanScratch::new();
+        let binding = pop.bind(&plan);
+        let pool = ScratchPool::new();
+        let chunk = chunk_size(pop.len(), threads.get());
+        let chunks = par_map_chunks(pop.len(), threads.get(), chunk, |start, end| {
+            let mut scratch = pool.take();
             let mut subtotal: u128 = 0;
-            let audits = profiles[start..end]
-                .iter()
-                .map(|profile| {
-                    let (datums, threshold) = index.resolve(profile);
-                    let audit = plan.audit_profile(profile, datums, threshold, &mut scratch);
+            let audits = (start..end)
+                .map(|i| {
+                    let audit = pop.audit_provider(&plan, &binding, i, &mut scratch);
                     subtotal += audit.score as u128;
                     audit
                 })
                 .collect();
+            pool.put(scratch);
             ChunkResult { audits, subtotal }
         })?;
 
         // Merge in chunk index order: provider order and the u128 total
         // regroup exactly as the sequential pass computes them.
-        let mut providers = Vec::with_capacity(profiles.len());
+        let mut providers = Vec::with_capacity(pop.len());
         let mut total: u128 = 0;
         for chunk in chunks {
             total += chunk.subtotal;

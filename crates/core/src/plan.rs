@@ -30,7 +30,7 @@
 use std::collections::HashMap;
 
 use qpv_policy::{HousePolicy, ProviderPreferences};
-use qpv_taxonomy::{PrivacyPoint, Purpose, PurposeLattice, ViolationGeometry};
+use qpv_taxonomy::{AttrName, PrivacyPoint, Purpose, PurposeLattice, ViolationGeometry};
 
 use crate::audit::ProviderAudit;
 use crate::default_model::defaults;
@@ -43,22 +43,22 @@ use crate::violation::ViolationWitness;
 /// One pre-resolved policy tuple. Rows keep the policy's insertion order
 /// (filtered to stored attributes), which is what makes compiled witness
 /// lists and saturating score sums identical to the reference path.
+///
+/// Rows carry only symbol ids — witness construction resolves names back
+/// through the plan's `SymbolTable`s (a reference-count bump per witness,
+/// no string copies).
 #[derive(Debug, Clone)]
-struct PlanRow {
+pub(crate) struct PlanRow {
     /// Dense attribute id.
-    attr: u32,
+    pub(crate) attr: u32,
     /// Dense purpose id (flat matching key).
-    purpose: u32,
-    /// Attribute name, kept for witness construction.
-    attribute: String,
-    /// Purpose, kept for witness construction (cheap `Arc` clone).
-    purpose_name: Purpose,
+    pub(crate) purpose: u32,
     /// The policy point.
-    point: PrivacyPoint,
+    pub(crate) point: PrivacyPoint,
     /// Pre-resolved `Σ^a` honouring any per-purpose override.
-    weight: u32,
+    pub(crate) weight: u32,
     /// Index into [`CompiledAuditPlan::covers`] (lattice mode only).
-    covers: u32,
+    pub(crate) covers: u32,
 }
 
 /// A [`HousePolicy`] × attribute list × [`SensitivityModel`] × optional
@@ -66,14 +66,14 @@ struct PlanRow {
 /// providers. See the module docs for what is pre-resolved.
 #[derive(Debug, Clone)]
 pub struct CompiledAuditPlan {
-    attrs: SymbolTable,
-    purposes: SymbolTable,
-    rows: Vec<PlanRow>,
+    pub(crate) attrs: SymbolTable,
+    pub(crate) purposes: SymbolTable,
+    pub(crate) rows: Vec<PlanRow>,
     /// Per-distinct-policy-purpose coverage sets: the purpose ids whose
     /// stated consent covers that policy purpose (ancestor closure,
     /// including the purpose itself). Empty in flat mode.
-    covers: Vec<Vec<u32>>,
-    lattice_mode: bool,
+    pub(crate) covers: Vec<Vec<u32>>,
+    pub(crate) lattice_mode: bool,
 }
 
 /// Reusable per-worker working memory for [`CompiledAuditPlan`] audits:
@@ -82,18 +82,18 @@ pub struct CompiledAuditPlan {
 /// so moving to the next provider is one counter increment, not a clear.
 #[derive(Debug, Clone, Default)]
 pub struct PlanScratch {
-    epoch: u64,
+    pub(crate) epoch: u64,
     /// `attrs.len() × purposes.len()` slots, row-major by attribute.
-    slots: Vec<PrefSlot>,
+    pub(crate) slots: Vec<PrefSlot>,
     /// One datum sensitivity per interned attribute.
-    datums: Vec<DatumSensitivity>,
+    pub(crate) datums: Vec<DatumSensitivity>,
 }
 
 #[derive(Debug, Clone, Copy, Default)]
-struct PrefSlot {
+pub(crate) struct PrefSlot {
     /// Slot is live iff this equals the scratch epoch.
-    epoch: u64,
-    point: PrivacyPoint,
+    pub(crate) epoch: u64,
+    pub(crate) point: PrivacyPoint,
 }
 
 impl PlanScratch {
@@ -142,8 +142,6 @@ impl CompiledAuditPlan {
             rows.push(PlanRow {
                 attr,
                 purpose,
-                attribute: pt.attribute.clone(),
-                purpose_name: pt.tuple.purpose.clone(),
                 point: pt.tuple.point,
                 weight: sensitivity.attribute_weight(&pt.attribute, pt.tuple.purpose.name()),
                 covers: covers_idx,
@@ -186,14 +184,7 @@ impl CompiledAuditPlan {
         scratch: &mut PlanScratch,
     ) {
         let np = self.purposes.len();
-        let need = self.attrs.len() * np;
-        if scratch.slots.len() != need || scratch.datums.len() != self.attrs.len() {
-            scratch.slots = vec![PrefSlot::default(); need];
-            scratch.datums = vec![DatumSensitivity::neutral(); self.attrs.len()];
-            scratch.epoch = 0;
-        }
-        scratch.epoch += 1;
-        let epoch = scratch.epoch;
+        let epoch = self.prepare_scratch(scratch);
         for t in prefs.tuples() {
             let Some(a) = self.attrs.get(&t.attribute) else {
                 continue;
@@ -214,10 +205,24 @@ impl CompiledAuditPlan {
         }
         for (a, name) in self.attrs.names().iter().enumerate() {
             scratch.datums[a] = datums
-                .and_then(|m| m.get(name))
+                .and_then(|m| m.get(&**name))
                 .copied()
                 .unwrap_or_default();
         }
+    }
+
+    /// Size the scratch for this plan's shape (resizing resets the epoch)
+    /// and open a fresh epoch, returning it. Every indexing path —
+    /// per-profile here, SoA in [`crate::pop`] — starts with this.
+    pub(crate) fn prepare_scratch(&self, scratch: &mut PlanScratch) -> u64 {
+        let need = self.attrs.len() * self.purposes.len();
+        if scratch.slots.len() != need || scratch.datums.len() != self.attrs.len() {
+            scratch.slots = vec![PrefSlot::default(); need];
+            scratch.datums = vec![DatumSensitivity::neutral(); self.attrs.len()];
+            scratch.epoch = 0;
+        }
+        scratch.epoch += 1;
+        scratch.epoch
     }
 
     /// Audit one provider through the compiled plan. Produces exactly what
@@ -236,10 +241,34 @@ impl CompiledAuditPlan {
         scratch: &mut PlanScratch,
     ) -> ProviderAudit {
         self.index_profile(&profile.preferences, datums, scratch);
+        let mut wit = Vec::new();
+        let (score, _) = self.eval_scratch(scratch, Some(&mut wit));
+        ProviderAudit {
+            provider: profile.id(),
+            violated: !wit.is_empty(),
+            score,
+            threshold,
+            defaulted: defaults(score, threshold),
+            witnesses: wit,
+        }
+    }
+
+    /// Run every compiled row against an indexed scratch, returning the
+    /// saturating violation score and the number of violating rows. With
+    /// `witnesses: None` this is the counts-only fast path: it touches no
+    /// strings and allocates nothing. With `Some`, each violating row
+    /// pushes a witness whose attribute/purpose are resolved from the
+    /// symbol tables (reference-count bumps, not copies) — identical,
+    /// field for field, to what the reference path produces.
+    pub(crate) fn eval_scratch(
+        &self,
+        scratch: &PlanScratch,
+        mut witnesses: Option<&mut Vec<ViolationWitness>>,
+    ) -> (u64, u32) {
         let epoch = scratch.epoch;
         let np = self.purposes.len();
         let mut score: u64 = 0;
-        let mut wit = Vec::new();
+        let mut violations: u32 = 0;
         for row in &self.rows {
             let (preference, implicit) = if self.lattice_mode {
                 let mut point = PrivacyPoint::ZERO;
@@ -262,14 +291,17 @@ impl CompiledAuditPlan {
             };
             let geometry = ViolationGeometry::compare(&preference, &row.point);
             if geometry.is_violation() {
-                wit.push(ViolationWitness {
-                    attribute: row.attribute.clone(),
-                    purpose: row.purpose_name.clone(),
-                    preference,
-                    implicit_preference: implicit,
-                    policy: row.point,
-                    geometry,
-                });
+                violations += 1;
+                if let Some(wit) = witnesses.as_deref_mut() {
+                    wit.push(ViolationWitness {
+                        attribute: AttrName::from(self.attrs.resolve_shared(row.attr)),
+                        purpose: Purpose::from(self.purposes.resolve_shared(row.purpose)),
+                        preference,
+                        implicit_preference: implicit,
+                        policy: row.point,
+                        geometry,
+                    });
+                }
             }
             score = score.saturating_add(conf(
                 &preference,
@@ -278,14 +310,7 @@ impl CompiledAuditPlan {
                 scratch.datums[row.attr as usize],
             ));
         }
-        ProviderAudit {
-            provider: profile.id(),
-            violated: !wit.is_empty(),
-            score,
-            threshold,
-            defaulted: defaults(score, threshold),
-            witnesses: wit,
-        }
+        (score, violations)
     }
 }
 

@@ -1,0 +1,724 @@
+//! The compiled population: structure-of-arrays provider storage.
+//!
+//! [`crate::plan::CompiledAuditPlan`] (PR 2) compiled the *house* side of
+//! the audit — policy tuples to dense rows, lattice coverage to id lists.
+//! The provider side stayed an array-of-structs: every audit re-hashes
+//! every stated preference string of every [`ProviderProfile`], and §9's
+//! policy-expansion economics (Eq. 31) repeats that work for every
+//! candidate policy. A [`CompiledPopulation`] interns the whole population
+//! **once**:
+//!
+//! * every stated preference becomes a dense `(attr_id, purpose_id,
+//!   point)` [`PrefRow`], with per-provider offset ranges into one flat
+//!   row array;
+//! * datum sensitivities densify into one flat `providers × attributes`
+//!   table (merged last-wins per provider id, exactly like
+//!   [`crate::profile::assemble`] — so duplicate-id populations resolve
+//!   identically to the reference path);
+//! * thresholds flatten into one array per distinct id.
+//!
+//! Auditing against a plan then needs no string hashing at all: a
+//! [`PlanBinding`] translates population symbol ids to plan symbol ids
+//! through two plain arrays, built once per (population, plan) pair. The
+//! counts-only path ([`AuditEngine::counts`],
+//! [`AuditEngine::audit_many_policies`]) allocates **zero heap per
+//! provider** — witness strings are resolved from the symbol tables only
+//! when a full report is requested.
+//!
+//! Everything here is pinned bitwise-equal to
+//! [`AuditEngine::run_reference`] by `tests/pop_equivalence.rs`.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use qpv_policy::{HousePolicy, ProviderId};
+use qpv_taxonomy::PrivacyPoint;
+
+use crate::audit::{AuditEngine, AuditReport, ProviderAudit};
+use crate::default_model::defaults;
+use crate::intern::SymbolTable;
+use crate::plan::{CompiledAuditPlan, PlanScratch};
+use crate::probability::census_fraction;
+use crate::profile::ProviderProfile;
+use crate::sensitivity::DatumSensitivity;
+
+/// One interned stated preference: the SoA row.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct PrefRow {
+    /// Population attribute id.
+    pub(crate) attr: u32,
+    /// Population purpose id.
+    pub(crate) purpose: u32,
+    /// The stated point.
+    pub(crate) point: PrivacyPoint,
+}
+
+/// A whole population interned into flat structure-of-arrays storage.
+/// Build once ([`CompiledPopulation::from_profiles`], a
+/// [`PopulationBuilder`], or `Ppdb::compiled_population`), audit many
+/// times — see the module docs.
+#[derive(Debug, Clone)]
+pub struct CompiledPopulation {
+    /// Every attribute name stated in a preference or carrying a datum
+    /// sensitivity, interned once for the whole population.
+    attrs: SymbolTable,
+    /// Every stated purpose name, interned once.
+    purposes: SymbolTable,
+    /// Provider ids, one per *occurrence*, in input order.
+    ids: Vec<ProviderId>,
+    /// Per-occurrence `[start, end)` ranges into `pref_rows`. Preferences
+    /// are per-occurrence: when an id occurs twice with different stated
+    /// preferences, each occurrence audits its own — exactly what the
+    /// reference path does.
+    pref_ranges: Vec<(u32, u32)>,
+    /// All interned preference rows, statement order within each range.
+    pref_rows: Vec<PrefRow>,
+    /// Occurrence index → merged id-row index (`datums` / `thresholds`).
+    /// Datums and thresholds are per-*id*, merged last-wins across
+    /// occurrences, matching [`crate::profile::assemble`].
+    row_of: Vec<u32>,
+    /// `id_rows × attrs.len()` datum sensitivities, row-major, neutral
+    /// where never set.
+    datums: Vec<DatumSensitivity>,
+    /// Per id-row default threshold `v_i` (last occurrence wins).
+    thresholds: Vec<u64>,
+}
+
+impl CompiledPopulation {
+    /// Intern a whole population in one pass.
+    pub fn from_profiles(profiles: &[ProviderProfile]) -> CompiledPopulation {
+        let mut b = PopulationBuilder::new();
+        for p in profiles {
+            b.push_profile(p);
+        }
+        b.finish()
+    }
+
+    /// Number of provider occurrences (the audit's `N`).
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// Whether the population is empty.
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
+    /// The id of occurrence `i`.
+    pub fn id(&self, i: usize) -> ProviderId {
+        self.ids[i]
+    }
+
+    /// The resolved (merged, last-wins) threshold for occurrence `i`.
+    pub fn threshold_of(&self, i: usize) -> u64 {
+        self.thresholds[self.row_of[i] as usize]
+    }
+
+    /// Total interned preference rows across the population.
+    pub fn pref_row_count(&self) -> usize {
+        self.pref_rows.len()
+    }
+
+    /// Number of distinct interned attribute / purpose names.
+    pub fn symbol_counts(&self) -> (usize, usize) {
+        (self.attrs.len(), self.purposes.len())
+    }
+
+    /// The interned preference rows of occurrence `i`.
+    pub(crate) fn pref_rows_of(&self, i: usize) -> &[PrefRow] {
+        let (start, end) = self.pref_ranges[i];
+        &self.pref_rows[start as usize..end as usize]
+    }
+
+    /// The merged datum sensitivity of occurrence `i` for a population
+    /// attribute id.
+    pub(crate) fn datum(&self, i: usize, attr: u32) -> DatumSensitivity {
+        self.datums[self.row_of[i] as usize * self.attrs.len() + attr as usize]
+    }
+
+    /// The population-side symbol tables (attributes, purposes).
+    pub(crate) fn symbols(&self) -> (&SymbolTable, &SymbolTable) {
+        (&self.attrs, &self.purposes)
+    }
+
+    /// Translate this population's symbol ids to a plan's. Two array
+    /// probes replace two hash lookups per preference row in the hot
+    /// loop; build once per (population, plan) pair.
+    pub(crate) fn bind(&self, plan: &CompiledAuditPlan) -> PlanBinding {
+        PlanBinding {
+            attr_to_plan: self
+                .attrs
+                .names()
+                .iter()
+                .map(|n| plan.attrs.get(n).unwrap_or(u32::MAX))
+                .collect(),
+            purpose_to_plan: self
+                .purposes
+                .names()
+                .iter()
+                .map(|n| plan.purposes.get(n).unwrap_or(u32::MAX))
+                .collect(),
+            plan_attr_to_pop: plan
+                .attrs
+                .names()
+                .iter()
+                .map(|n| self.attrs.get(n))
+                .collect(),
+        }
+    }
+
+    /// Index occurrence `i` into the plan-shaped scratch: the SoA
+    /// equivalent of `CompiledAuditPlan::index_profile`, with the string
+    /// hashing replaced by binding-array probes. Semantics are identical:
+    /// flat mode keeps the first stated tuple per `(attr, purpose)`,
+    /// lattice mode joins all of them, rows naming symbols the plan never
+    /// interned are skipped, and datum slots for plan attributes the
+    /// population never saw stay neutral (no provider can have set them).
+    fn index_provider(
+        &self,
+        plan: &CompiledAuditPlan,
+        binding: &PlanBinding,
+        i: usize,
+        scratch: &mut PlanScratch,
+    ) {
+        let np = plan.purposes.len();
+        let epoch = plan.prepare_scratch(scratch);
+        for row in self.pref_rows_of(i) {
+            let a = binding.attr_to_plan[row.attr as usize];
+            if a == u32::MAX {
+                continue;
+            }
+            let p = binding.purpose_to_plan[row.purpose as usize];
+            if p == u32::MAX {
+                continue;
+            }
+            let slot = &mut scratch.slots[a as usize * np + p as usize];
+            if slot.epoch != epoch {
+                slot.epoch = epoch;
+                slot.point = row.point;
+            } else if plan.lattice_mode {
+                slot.point = slot.point.join(&row.point);
+            }
+        }
+        for (a, pop_attr) in binding.plan_attr_to_pop.iter().enumerate() {
+            scratch.datums[a] = match pop_attr {
+                Some(pa) => self.datum(i, *pa),
+                None => DatumSensitivity::neutral(),
+            };
+        }
+    }
+
+    /// Fully audit occurrence `i` (witnesses resolved from the symbol
+    /// tables).
+    pub(crate) fn audit_provider(
+        &self,
+        plan: &CompiledAuditPlan,
+        binding: &PlanBinding,
+        i: usize,
+        scratch: &mut PlanScratch,
+    ) -> ProviderAudit {
+        self.index_provider(plan, binding, i, scratch);
+        let mut wit = Vec::new();
+        let (score, _) = plan.eval_scratch(scratch, Some(&mut wit));
+        let threshold = self.threshold_of(i);
+        ProviderAudit {
+            provider: self.ids[i],
+            violated: !wit.is_empty(),
+            score,
+            threshold,
+            defaulted: defaults(score, threshold),
+            witnesses: wit,
+        }
+    }
+
+    /// Counts-only audit of occurrence `i`: `(score, violated,
+    /// defaulted)`. Touches no strings, allocates nothing.
+    fn count_provider(
+        &self,
+        plan: &CompiledAuditPlan,
+        binding: &PlanBinding,
+        i: usize,
+        scratch: &mut PlanScratch,
+    ) -> (u64, bool, bool) {
+        self.index_provider(plan, binding, i, scratch);
+        let (score, violations) = plan.eval_scratch(scratch, None);
+        let threshold = self.threshold_of(i);
+        (score, violations > 0, defaults(score, threshold))
+    }
+}
+
+/// Population → plan symbol-id translation arrays. `u32::MAX` marks a
+/// population symbol the plan never interned (no policy row can match it).
+#[derive(Debug, Clone)]
+pub(crate) struct PlanBinding {
+    attr_to_plan: Vec<u32>,
+    purpose_to_plan: Vec<u32>,
+    /// Plan attribute id → population attribute id, for datum loads.
+    /// `None` means no provider ever stated a preference or sensitivity
+    /// for that attribute, so its datum is neutral for everyone.
+    plan_attr_to_pop: Vec<Option<u32>>,
+}
+
+/// Incrementally interns providers into a [`CompiledPopulation`].
+///
+/// Two entry styles:
+/// * [`PopulationBuilder::push_profile`] — from materialized
+///   [`ProviderProfile`]s;
+/// * the scan-oriented [`PopulationBuilder::push_occurrence`] /
+///   [`PopulationBuilder::set_sensitivity`] /
+///   [`PopulationBuilder::set_threshold`] trio — used by
+///   `Ppdb::compiled_population` to build straight off batched table
+///   scans without materializing profiles.
+#[derive(Debug, Default)]
+pub struct PopulationBuilder {
+    attrs: SymbolTable,
+    purposes: SymbolTable,
+    ids: Vec<ProviderId>,
+    pref_ranges: Vec<(u32, u32)>,
+    pref_rows: Vec<PrefRow>,
+    row_of: Vec<u32>,
+    id_rows: HashMap<ProviderId, u32>,
+    /// Sparse per-id-row sensitivity entries; densified in `finish` (the
+    /// attribute table is still growing while profiles stream in).
+    sens: Vec<Vec<(u32, DatumSensitivity)>>,
+    thresholds: Vec<u64>,
+}
+
+impl PopulationBuilder {
+    /// An empty builder.
+    pub fn new() -> PopulationBuilder {
+        PopulationBuilder::default()
+    }
+
+    /// Number of occurrences pushed so far.
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// Whether nothing has been pushed.
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
+    /// Intern one profile: its preferences as a fresh occurrence, its
+    /// sensitivities and threshold merged into the id's row (overwrite
+    /// per attribute, threshold last-wins — [`crate::profile::assemble`]
+    /// semantics).
+    pub fn push_profile(&mut self, p: &ProviderProfile) {
+        let start = self.pref_rows.len() as u32;
+        for t in p.preferences.tuples() {
+            let attr = self.attrs.intern(&t.attribute);
+            let purpose = self.purposes.intern(t.tuple.purpose.name());
+            self.pref_rows.push(PrefRow {
+                attr,
+                purpose,
+                point: t.tuple.point,
+            });
+        }
+        let end = self.pref_rows.len() as u32;
+        self.ids.push(p.id());
+        self.pref_ranges.push((start, end));
+        let row = self.id_row(p.id());
+        self.row_of.push(row);
+        for (attr, s) in &p.sensitivities {
+            let a = self.attrs.intern(attr);
+            set_entry(&mut self.sens[row as usize], a, *s);
+        }
+        self.thresholds[row as usize] = p.threshold;
+    }
+
+    /// Intern an attribute name (scan path).
+    pub fn intern_attr(&mut self, name: &str) -> u32 {
+        self.attrs.intern(name)
+    }
+
+    /// Intern a purpose name (scan path).
+    pub fn intern_purpose(&mut self, name: &str) -> u32 {
+        self.purposes.intern(name)
+    }
+
+    /// Append one provider occurrence whose preference rows are already
+    /// interned `(attr_id, purpose_id, point)` triples (scan path).
+    pub fn push_occurrence(&mut self, id: ProviderId, rows: &[(u32, u32, PrivacyPoint)]) {
+        let start = self.pref_rows.len() as u32;
+        self.pref_rows
+            .extend(rows.iter().map(|&(attr, purpose, point)| PrefRow {
+                attr,
+                purpose,
+                point,
+            }));
+        let end = self.pref_rows.len() as u32;
+        self.ids.push(id);
+        self.pref_ranges.push((start, end));
+        let row = self.id_row(id);
+        self.row_of.push(row);
+    }
+
+    /// Set (overwrite) one datum sensitivity for an already-pushed id.
+    /// Unknown ids are ignored — matching the table scans, where
+    /// sensitivity rows for providers absent from the data table are
+    /// dropped.
+    pub fn set_sensitivity(&mut self, id: ProviderId, attr: u32, s: DatumSensitivity) {
+        if let Some(&row) = self.id_rows.get(&id) {
+            set_entry(&mut self.sens[row as usize], attr, s);
+        }
+    }
+
+    /// Set (overwrite) the threshold for an already-pushed id. Unknown
+    /// ids are ignored, as in [`PopulationBuilder::set_sensitivity`].
+    pub fn set_threshold(&mut self, id: ProviderId, threshold: u64) {
+        if let Some(&row) = self.id_rows.get(&id) {
+            self.thresholds[row as usize] = threshold;
+        }
+    }
+
+    /// Densify and freeze.
+    pub fn finish(self) -> CompiledPopulation {
+        let na = self.attrs.len();
+        let mut datums = vec![DatumSensitivity::neutral(); self.sens.len() * na];
+        for (row, entries) in self.sens.iter().enumerate() {
+            for &(a, s) in entries {
+                datums[row * na + a as usize] = s;
+            }
+        }
+        CompiledPopulation {
+            attrs: self.attrs,
+            purposes: self.purposes,
+            ids: self.ids,
+            pref_ranges: self.pref_ranges,
+            pref_rows: self.pref_rows,
+            row_of: self.row_of,
+            datums,
+            thresholds: self.thresholds,
+        }
+    }
+
+    fn id_row(&mut self, id: ProviderId) -> u32 {
+        match self.id_rows.entry(id) {
+            std::collections::hash_map::Entry::Occupied(e) => *e.get(),
+            std::collections::hash_map::Entry::Vacant(e) => {
+                let row = self.sens.len() as u32;
+                e.insert(row);
+                self.sens.push(Vec::new());
+                self.thresholds.push(0);
+                row
+            }
+        }
+    }
+}
+
+/// Overwrite-or-append into a sparse per-row entry list. Rows hold a
+/// handful of attributes, so a linear scan beats hashing.
+fn set_entry(entries: &mut Vec<(u32, DatumSensitivity)>, attr: u32, s: DatumSensitivity) {
+    if let Some(e) = entries.iter_mut().find(|e| e.0 == attr) {
+        e.1 = s;
+    } else {
+        entries.push((attr, s));
+    }
+}
+
+/// Counts-only aggregate of auditing one policy against a compiled
+/// population: everything Eq. 31's expansion economics and the what-if
+/// search read, with no per-provider allocations behind it.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PolicyOutcome {
+    /// Equation 16's `Violations`.
+    pub total_violations: u128,
+    /// Providers with `w_i = 1`.
+    pub violated: usize,
+    /// Providers with `default_i = 1`.
+    pub defaulted: usize,
+    /// Population size `N` (occurrences).
+    pub population: usize,
+}
+
+impl PolicyOutcome {
+    /// Definition 2's `P(W)` (census form).
+    pub fn p_violation(&self) -> f64 {
+        census_fraction(self.violated, self.population)
+    }
+
+    /// Definition 5's `P(Default)` (census form).
+    pub fn p_default(&self) -> f64 {
+        census_fraction(self.defaulted, self.population)
+    }
+
+    /// `N_future`: providers remaining after defaults (Eq. 26).
+    pub fn remaining(&self) -> usize {
+        self.population - self.defaulted
+    }
+
+    /// Definition 3: `P(W) ≤ α`.
+    pub fn is_alpha_ppdb(&self, alpha: f64) -> bool {
+        self.p_violation() <= alpha
+    }
+}
+
+impl AuditEngine {
+    /// Audit a compiled population, producing the same full
+    /// [`AuditReport`] as [`AuditEngine::run`] — bitwise-identical, in
+    /// fact: `run` routes through this.
+    pub fn audit_compiled(&self, pop: &CompiledPopulation) -> AuditReport {
+        let plan = self.compile_house();
+        let binding = pop.bind(&plan);
+        let mut scratch = PlanScratch::new();
+        let mut providers = Vec::with_capacity(pop.len());
+        let mut total: u128 = 0;
+        for i in 0..pop.len() {
+            let audit = pop.audit_provider(&plan, &binding, i, &mut scratch);
+            total += audit.score as u128;
+            providers.push(audit);
+        }
+        AuditReport {
+            providers,
+            total_violations: total,
+        }
+    }
+
+    /// Counts-only audit of the engine's own policy: aggregates identical
+    /// to `self.audit_compiled(pop)`'s, with zero heap allocated per
+    /// provider.
+    pub fn counts(&self, pop: &CompiledPopulation) -> PolicyOutcome {
+        let plan = self.compile_house();
+        let mut scratch = PlanScratch::new();
+        self.counts_pass(pop, &plan, &mut scratch)
+    }
+
+    /// Counts-only audit of a *different* policy — the cheap what-if
+    /// primitive (compile the population once, call this K times).
+    pub fn counts_with_policy(
+        &self,
+        pop: &CompiledPopulation,
+        policy: &HousePolicy,
+    ) -> PolicyOutcome {
+        let plan = self.compile_policy(policy);
+        let mut scratch = PlanScratch::new();
+        self.counts_pass(pop, &plan, &mut scratch)
+    }
+
+    /// Evaluate K candidate policies against one compiled population:
+    /// Eq. 31's search as one population compile + K string-free passes,
+    /// sharing a single scratch across passes. Outcomes are in `policies`
+    /// order, each equal to what a full re-audit would aggregate to.
+    pub fn audit_many_policies(
+        &self,
+        pop: &CompiledPopulation,
+        policies: &[HousePolicy],
+    ) -> Vec<PolicyOutcome> {
+        let mut scratch = PlanScratch::new();
+        policies
+            .iter()
+            .map(|policy| {
+                let plan = self.compile_policy(policy);
+                self.counts_pass(pop, &plan, &mut scratch)
+            })
+            .collect()
+    }
+
+    fn counts_pass(
+        &self,
+        pop: &CompiledPopulation,
+        plan: &CompiledAuditPlan,
+        scratch: &mut PlanScratch,
+    ) -> PolicyOutcome {
+        let binding = pop.bind(plan);
+        let mut total: u128 = 0;
+        let mut violated = 0usize;
+        let mut defaulted = 0usize;
+        for i in 0..pop.len() {
+            let (score, v, d) = pop.count_provider(plan, &binding, i, scratch);
+            total += score as u128;
+            violated += v as usize;
+            defaulted += d as usize;
+        }
+        PolicyOutcome {
+            total_violations: total,
+            violated,
+            defaulted,
+            population: pop.len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sensitivity::AttributeSensitivities;
+    use qpv_taxonomy::PrivacyTuple;
+
+    fn pt(v: u32, g: u32, r: u32) -> PrivacyPoint {
+        PrivacyPoint::from_raw(v, g, r)
+    }
+
+    fn worked_example() -> (AuditEngine, Vec<ProviderProfile>) {
+        let (v, g, r) = (5u32, 5u32, 5u32);
+        let policy = HousePolicy::builder("house")
+            .tuple("weight", PrivacyTuple::from_point("pr", pt(v, g, r)))
+            .build();
+        let mut weights = AttributeSensitivities::new();
+        weights.set("weight", 4);
+        let engine = AuditEngine::new(policy, ["weight"], weights);
+        let mk = |id: u64, pref: PrivacyPoint, sens: DatumSensitivity, threshold: u64| {
+            let mut profile = ProviderProfile::new(ProviderId(id), threshold);
+            profile
+                .preferences
+                .add("weight", PrivacyTuple::from_point("pr", pref));
+            profile.sensitivities.insert("weight".into(), sens);
+            profile
+        };
+        let profiles = vec![
+            mk(
+                0,
+                pt(v + 2, g + 1, r + 3),
+                DatumSensitivity::new(1, 1, 2, 1),
+                10,
+            ),
+            mk(
+                1,
+                pt(v + 2, g - 1, r + 2),
+                DatumSensitivity::new(3, 1, 5, 2),
+                50,
+            ),
+            mk(
+                2,
+                pt(v, g - 1, r - 1),
+                DatumSensitivity::new(4, 1, 3, 2),
+                100,
+            ),
+        ];
+        (engine, profiles)
+    }
+
+    #[test]
+    fn compiled_population_reproduces_table_1() {
+        let (engine, profiles) = worked_example();
+        let pop = CompiledPopulation::from_profiles(&profiles);
+        assert_eq!(pop.len(), 3);
+        assert_eq!(pop.pref_row_count(), 3);
+        let report = engine.audit_compiled(&pop);
+        let scores: Vec<u64> = report.providers.iter().map(|p| p.score).collect();
+        assert_eq!(scores, vec![0, 60, 80]);
+        assert_eq!(report.total_violations, 140);
+        assert_eq!(report, engine.run_reference(&profiles));
+    }
+
+    #[test]
+    fn counts_aggregates_match_the_full_report() {
+        let (engine, profiles) = worked_example();
+        let pop = CompiledPopulation::from_profiles(&profiles);
+        let report = engine.audit_compiled(&pop);
+        let counts = engine.counts(&pop);
+        assert_eq!(counts.total_violations, report.total_violations);
+        assert_eq!(counts.population, report.population());
+        assert_eq!(counts.p_violation(), report.p_violation());
+        assert_eq!(counts.p_default(), report.p_default());
+        assert_eq!(counts.remaining(), report.remaining());
+        assert_eq!(counts.violated, 2);
+        assert_eq!(counts.defaulted, 1);
+        assert!(counts.is_alpha_ppdb(2.0 / 3.0));
+        assert!(!counts.is_alpha_ppdb(0.5));
+    }
+
+    #[test]
+    fn audit_many_policies_equals_one_audit_per_policy() {
+        let (engine, profiles) = worked_example();
+        let pop = CompiledPopulation::from_profiles(&profiles);
+        let policies: Vec<HousePolicy> = (0..4).map(|k| engine.policy.widened_uniform(k)).collect();
+        let outcomes = engine.audit_many_policies(&pop, &policies);
+        assert_eq!(outcomes.len(), policies.len());
+        for (policy, outcome) in policies.iter().zip(&outcomes) {
+            let report = engine.run_with_policy(&profiles, policy);
+            assert_eq!(outcome.total_violations, report.total_violations);
+            assert_eq!(outcome.p_violation(), report.p_violation());
+            assert_eq!(outcome.p_default(), report.p_default());
+            assert_eq!(outcome.remaining(), report.remaining());
+        }
+    }
+
+    #[test]
+    fn duplicate_ids_merge_datums_but_keep_per_occurrence_preferences() {
+        let (_, mut profiles) = worked_example();
+        // Re-register Ted (id 1) with different preferences, sensitivity,
+        // and threshold. Preferences stay per-occurrence; the datum map
+        // and threshold merge last-wins across occurrences.
+        let mut dup = ProviderProfile::new(ProviderId(1), 7);
+        dup.preferences
+            .add("weight", PrivacyTuple::from_point("pr", pt(9, 9, 9)));
+        dup.sensitivities
+            .insert("weight".into(), DatumSensitivity::new(2, 2, 2, 2));
+        profiles.push(dup);
+        let pop = CompiledPopulation::from_profiles(&profiles);
+        assert_eq!(pop.len(), 4, "one occurrence each");
+        assert_ne!(
+            pop.pref_rows_of(1)[0].point,
+            pop.pref_rows_of(3)[0].point,
+            "each occurrence audits its own stated preferences"
+        );
+        // Merged view: the duplicate's sensitivity and threshold win for
+        // both occurrences.
+        assert_eq!(pop.threshold_of(1), 7);
+        assert_eq!(pop.threshold_of(3), 7);
+        let a = pop.attrs.get("weight").unwrap();
+        assert_eq!(pop.datum(1, a), DatumSensitivity::new(2, 2, 2, 2));
+        assert_eq!(pop.datum(3, a), DatumSensitivity::new(2, 2, 2, 2));
+    }
+
+    #[test]
+    fn scan_path_builder_matches_push_profile() {
+        let (_, profiles) = worked_example();
+        let via_profiles = CompiledPopulation::from_profiles(&profiles);
+        let mut b = PopulationBuilder::new();
+        for p in &profiles {
+            let rows: Vec<(u32, u32, PrivacyPoint)> = p
+                .preferences
+                .tuples()
+                .iter()
+                .map(|t| {
+                    (
+                        b.intern_attr(&t.attribute),
+                        b.intern_purpose(t.tuple.purpose.name()),
+                        t.tuple.point,
+                    )
+                })
+                .collect();
+            b.push_occurrence(p.id(), &rows);
+        }
+        for p in &profiles {
+            for (attr, s) in &p.sensitivities {
+                let a = b.intern_attr(attr);
+                b.set_sensitivity(p.id(), a, *s);
+            }
+            b.set_threshold(p.id(), p.threshold);
+        }
+        // Unknown ids are silently dropped, like the table scans do.
+        b.set_threshold(ProviderId(999), 1);
+        b.set_sensitivity(ProviderId(999), 0, DatumSensitivity::neutral());
+        let via_scans = b.finish();
+        assert_eq!(via_scans.len(), via_profiles.len());
+        let (engine, _) = worked_example();
+        assert_eq!(
+            engine.audit_compiled(&via_scans),
+            engine.audit_compiled(&via_profiles)
+        );
+    }
+
+    #[test]
+    fn empty_population_and_empty_policy() {
+        let (engine, profiles) = worked_example();
+        let empty = CompiledPopulation::from_profiles(&[]);
+        assert!(empty.is_empty());
+        let counts = engine.counts(&empty);
+        assert_eq!(counts.population, 0);
+        assert_eq!(counts.p_violation(), 0.0);
+        assert_eq!(counts.remaining(), 0);
+        // A policy whose tuples are all filtered out still audits.
+        let ghost = HousePolicy::builder("g")
+            .tuple("ghost", PrivacyTuple::from_point("pr", pt(1, 1, 1)))
+            .build();
+        let pop = CompiledPopulation::from_profiles(&profiles);
+        let outcome = engine.counts_with_policy(&pop, &ghost);
+        assert_eq!(outcome.total_violations, 0);
+        assert_eq!(outcome.violated, 0);
+    }
+}

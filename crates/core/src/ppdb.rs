@@ -33,6 +33,7 @@ use qpv_reldb::fault::RetryPolicy;
 
 use crate::audit::{AuditEngine, AuditReport};
 use crate::par::AuditError;
+use crate::pop::{CompiledPopulation, PopulationBuilder};
 use crate::profile::ProviderProfile;
 use crate::sensitivity::{AttributeSensitivities, DatumSensitivity};
 
@@ -455,6 +456,67 @@ impl Ppdb {
             .collect())
     }
 
+    /// Compile the stored population straight into flat structure-of-arrays
+    /// form — the same batched single-pass scans as [`Ppdb::all_profiles`],
+    /// but interning preference rows directly into a
+    /// [`CompiledPopulation`] without ever materializing
+    /// [`ProviderProfile`]s. Accumulation order mirrors `all_profiles`
+    /// exactly (preference rows in scan order; later sensitivity /
+    /// threshold rows overwrite earlier ones; duplicate data-table ids
+    /// yield one identical occurrence each), so audits over the result are
+    /// byte-identical to `from_profiles(all_profiles())`.
+    pub fn compiled_population(&mut self) -> DbResult<CompiledPopulation> {
+        let ids = self.provider_ids()?;
+        let known: std::collections::HashSet<i64> = ids.iter().map(|id| id.0 as i64).collect();
+        let mut builder = PopulationBuilder::new();
+        // One scan over the preference table, bucketed per provider id with
+        // symbols interned on the way through.
+        let mut prefs: HashMap<i64, Vec<(u32, u32, PrivacyPoint)>> =
+            HashMap::with_capacity(known.len());
+        for (_, row) in self.db.scan(T_PREFS)? {
+            let provider = int(&row, 0)?;
+            if !known.contains(&provider) {
+                continue;
+            }
+            let attr = builder.intern_attr(&text(&row, 1)?);
+            let purpose = builder.intern_purpose(&text(&row, 2)?);
+            let point = PrivacyPoint::from_raw(
+                int(&row, 3)? as u32,
+                int(&row, 4)? as u32,
+                int(&row, 5)? as u32,
+            );
+            prefs
+                .entry(provider)
+                .or_default()
+                .push((attr, purpose, point));
+        }
+        static NO_PREFS: &[(u32, u32, PrivacyPoint)] = &[];
+        for &id in &ids {
+            let rows = prefs.get(&(id.0 as i64)).map_or(NO_PREFS, Vec::as_slice);
+            builder.push_occurrence(id, rows);
+        }
+        for (_, row) in self.db.scan(T_SENS)? {
+            let provider_raw = int(&row, 0)?;
+            if !known.contains(&provider_raw) {
+                continue;
+            }
+            let provider = ProviderId(provider_raw as u64);
+            let attr = builder.intern_attr(&text(&row, 1)?);
+            let s = DatumSensitivity::new(
+                int(&row, 2)? as u32,
+                int(&row, 3)? as u32,
+                int(&row, 4)? as u32,
+                int(&row, 5)? as u32,
+            );
+            builder.set_sensitivity(provider, attr, s);
+        }
+        for (_, row) in self.db.scan(T_THRESHOLDS)? {
+            let provider = ProviderId(int(&row, 0)? as u64);
+            builder.set_threshold(provider, int(&row, 1)? as u64);
+        }
+        Ok(builder.finish())
+    }
+
     /// Build an [`AuditEngine`] from stored state.
     pub fn audit_engine(&mut self) -> DbResult<AuditEngine> {
         let policy = self.house_policy()?;
@@ -464,19 +526,23 @@ impl Ppdb {
     }
 
     /// Run a full audit against the stored policy, preferences, and data.
+    ///
+    /// Routes through [`Ppdb::compiled_population`]: the scan feeds the
+    /// flat population directly, never materializing per-provider
+    /// profiles.
     pub fn audit(&mut self) -> DbResult<AuditReport> {
         let engine = self.audit_engine()?;
-        let profiles = self.all_profiles()?;
-        Ok(engine.run(&profiles))
+        let pop = self.compiled_population()?;
+        Ok(engine.audit_compiled(&pop))
     }
 
     /// [`Ppdb::audit`] sharded across `threads` worker threads.
     ///
-    /// Storage reads (profiles, policy, weights) stay on one thread — the
+    /// Storage reads (population, policy, weights) stay on one thread — the
     /// database is single-writer — but they are batched single-pass scans
-    /// ([`Ppdb::all_profiles`]), and the audit itself runs through
-    /// [`AuditEngine::par_audit`]'s work-stealing chunks, so the report is
-    /// equal to [`Ppdb::audit`]'s for every thread count.
+    /// ([`Ppdb::compiled_population`]), and the audit itself runs through
+    /// [`AuditEngine::par_audit_compiled`]'s work-stealing chunks, so the
+    /// report is equal to [`Ppdb::audit`]'s for every thread count.
     ///
     /// Both failure domains surface as one structured [`AuditError`]:
     /// storage faults arrive as [`AuditError::Storage`], and a worker
@@ -488,8 +554,8 @@ impl Ppdb {
         threads: std::num::NonZeroUsize,
     ) -> Result<AuditReport, AuditError> {
         let engine = self.audit_engine()?;
-        let profiles = self.all_profiles()?;
-        engine.par_audit(&profiles, threads)
+        let pop = self.compiled_population()?;
+        engine.par_audit_compiled(&pop, threads)
     }
 
     /// Run an audit and append its summary to the stored audit history —
@@ -791,6 +857,51 @@ mod tests {
                 .unwrap();
             assert_eq!(parallel, sequential, "{threads} threads");
         }
+    }
+
+    /// The scan-built population must audit byte-identically to compiling
+    /// the materialized profiles — including a provider with no stated
+    /// preferences at all.
+    #[test]
+    fn compiled_population_matches_the_profile_path() {
+        let mut ppdb = fresh();
+        ppdb.set_policy(
+            &HousePolicy::builder("people")
+                .tuple("weight", PrivacyTuple::from_point("pr", pt(5, 5, 5)))
+                .tuple("age", PrivacyTuple::from_point("ads", pt(3, 2, 365)))
+                .build(),
+        )
+        .unwrap();
+        ppdb.set_attribute_weight("weight", 4).unwrap();
+        ppdb.set_attribute_weight("age", 2).unwrap();
+        for id in 0..9u64 {
+            let mut p = ProviderProfile::new(ProviderId(id), 20 + id * 7);
+            if id % 3 != 0 {
+                p.preferences.add(
+                    "weight",
+                    PrivacyTuple::from_point("pr", pt(4 + (id % 4) as u32, 5, 6)),
+                );
+            }
+            if id % 2 == 0 {
+                p.preferences
+                    .add("age", PrivacyTuple::from_point("pr", pt(2, 3, 60)));
+                p.sensitivities
+                    .insert("age".into(), DatumSensitivity::new(2, 1, 3, 1));
+            }
+            ppdb.register_provider(&p, data_row(id)).unwrap();
+        }
+        let engine = ppdb.audit_engine().unwrap();
+        let pop = ppdb.compiled_population().unwrap();
+        let profiles = ppdb.all_profiles().unwrap();
+        let from_scan = engine.audit_compiled(&pop);
+        let from_profiles =
+            engine.audit_compiled(&crate::pop::CompiledPopulation::from_profiles(&profiles));
+        assert_eq!(
+            serde_json::to_string(&from_scan).unwrap(),
+            serde_json::to_string(&from_profiles).unwrap()
+        );
+        // And both equal the string-path oracle.
+        assert_eq!(from_scan, engine.run_reference(&profiles));
     }
 
     #[test]

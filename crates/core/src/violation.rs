@@ -10,14 +10,20 @@
 use serde::{Deserialize, Serialize};
 
 use qpv_policy::{HousePolicy, ProviderPreferences};
-use qpv_taxonomy::{PrivacyPoint, Purpose, PurposeLattice, ViolationGeometry};
+use qpv_taxonomy::{AttrName, PrivacyPoint, Purpose, PurposeLattice, ViolationGeometry};
 
 /// One comparable preference/policy pair where the policy escapes the
 /// preference box — evidence for `w_i = 1`.
+///
+/// The attribute and purpose are shared `Arc<str>` handles ([`AttrName`],
+/// [`Purpose`]): the compiled path resolves them from its `SymbolTable`
+/// per violation without copying, and serialization renders them as plain
+/// JSON strings — byte-identical to the `String` representation they
+/// replaced.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ViolationWitness {
     /// The attribute involved.
-    pub attribute: String,
+    pub attribute: AttrName,
     /// The shared purpose.
     pub purpose: Purpose,
     /// The provider's effective preference point (the implicit `⟨0,0,0⟩`
@@ -93,7 +99,7 @@ pub fn witnesses(
         .filter_map(|c| {
             let geometry = ViolationGeometry::compare(&c.preference, &c.policy);
             geometry.is_violation().then(|| ViolationWitness {
-                attribute: c.attribute.to_string(),
+                attribute: AttrName::from(c.attribute),
                 purpose: c.purpose.clone(),
                 preference: c.preference,
                 implicit_preference: c.implicit_preference,
@@ -150,7 +156,7 @@ pub fn witnesses_lattice(
                 effective_point_lattice(prefs, &pt.attribute, &pt.tuple.purpose, lattice);
             let geometry = ViolationGeometry::compare(&preference, &pt.tuple.point);
             geometry.is_violation().then(|| ViolationWitness {
-                attribute: pt.attribute.clone(),
+                attribute: AttrName::from(pt.attribute.as_str()),
                 purpose: pt.tuple.purpose.clone(),
                 preference,
                 implicit_preference: implicit,

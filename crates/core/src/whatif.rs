@@ -7,12 +7,18 @@
 //! evaluate candidate policies against the live population *without*
 //! changing the stored policy, and search for the widest policy that keeps a
 //! compliance target.
+//!
+//! Scenario sweeps are where [`crate::pop::CompiledPopulation`] pays off:
+//! the population is compiled once at construction, and every candidate
+//! policy after that is one counts-only pass over the flat preference rows —
+//! no profile re-indexing, no witness allocation.
 
 use serde::{Deserialize, Serialize};
 
 use qpv_policy::HousePolicy;
 
-use crate::audit::{AuditEngine, AuditReport};
+use crate::audit::AuditEngine;
+use crate::pop::{CompiledPopulation, PolicyOutcome};
 use crate::profile::ProviderProfile;
 
 /// The summary of one evaluated scenario.
@@ -31,41 +37,52 @@ pub struct ScenarioOutcome {
 }
 
 impl ScenarioOutcome {
-    fn from_report(label: String, report: &AuditReport) -> ScenarioOutcome {
+    fn from_counts(label: String, counts: &PolicyOutcome) -> ScenarioOutcome {
         ScenarioOutcome {
             label,
-            total_violations: report.total_violations,
-            p_violation: report.p_violation(),
-            p_default: report.p_default(),
-            remaining: report.remaining(),
+            total_violations: counts.total_violations,
+            p_violation: counts.p_violation(),
+            p_default: counts.p_default(),
+            remaining: counts.remaining(),
         }
     }
 }
 
-/// Evaluates candidate policies against a fixed population.
+/// Evaluates candidate policies against a fixed population, compiled once.
 #[derive(Debug)]
 pub struct WhatIf<'a> {
     engine: &'a AuditEngine,
-    profiles: &'a [ProviderProfile],
+    pop: CompiledPopulation,
 }
 
 impl<'a> WhatIf<'a> {
-    /// Bind an engine (for its attributes and weights) and a population.
-    pub fn new(engine: &'a AuditEngine, profiles: &'a [ProviderProfile]) -> WhatIf<'a> {
-        WhatIf { engine, profiles }
+    /// Bind an engine (for its attributes and weights) and a population,
+    /// compiling the population into flat storage once up front.
+    pub fn new(engine: &'a AuditEngine, profiles: &[ProviderProfile]) -> WhatIf<'a> {
+        WhatIf::from_population(engine, CompiledPopulation::from_profiles(profiles))
     }
 
-    /// Evaluate one candidate policy.
+    /// [`WhatIf::new`], reusing an already-compiled population (e.g. one
+    /// scanned straight out of a `Ppdb`).
+    pub fn from_population(engine: &'a AuditEngine, pop: CompiledPopulation) -> WhatIf<'a> {
+        WhatIf { engine, pop }
+    }
+
+    /// Evaluate one candidate policy: a single counts-only pass.
     pub fn evaluate(&self, label: impl Into<String>, policy: &HousePolicy) -> ScenarioOutcome {
-        let report = self.engine.run_with_policy(self.profiles, policy);
-        ScenarioOutcome::from_report(label.into(), &report)
+        let counts = self.engine.counts_with_policy(&self.pop, policy);
+        ScenarioOutcome::from_counts(label.into(), &counts)
     }
 
-    /// Evaluate a batch of labelled candidates, in order.
+    /// Evaluate a batch of labelled candidates, in order — one compiled
+    /// population, K cheap passes ([`AuditEngine::audit_many_policies`]).
     pub fn evaluate_all(&self, scenarios: &[(String, HousePolicy)]) -> Vec<ScenarioOutcome> {
-        scenarios
+        let policies: Vec<HousePolicy> = scenarios.iter().map(|(_, p)| p.clone()).collect();
+        self.engine
+            .audit_many_policies(&self.pop, &policies)
             .iter()
-            .map(|(label, policy)| self.evaluate(label.clone(), policy))
+            .zip(scenarios)
+            .map(|(counts, (label, _))| ScenarioOutcome::from_counts(label.clone(), counts))
             .collect()
     }
 
@@ -181,6 +198,23 @@ mod tests {
         let whatif = WhatIf::new(&engine, &profiles);
         let wide = engine.policy.widened_uniform(10); // violates everyone but 9
         assert!(whatif.max_compliant_widening(&wide, 0.05, 5).is_none());
+    }
+
+    /// The counts-only fast path must report exactly what a full
+    /// report-building audit would.
+    #[test]
+    fn counts_path_matches_the_full_report() {
+        let (engine, profiles) = setup();
+        let whatif = WhatIf::new(&engine, &profiles);
+        for steps in [0u32, 3, 7] {
+            let policy = engine.policy.widened_uniform(steps);
+            let outcome = whatif.evaluate("x", &policy);
+            let report = engine.run_with_policy(&profiles, &policy);
+            assert_eq!(outcome.total_violations, report.total_violations);
+            assert_eq!(outcome.p_violation, report.p_violation());
+            assert_eq!(outcome.p_default, report.p_default());
+            assert_eq!(outcome.remaining, report.remaining());
+        }
     }
 
     #[test]

@@ -1,0 +1,312 @@
+//! Property suite for the compiled-population contract: every path that
+//! routes through [`qpv_core::CompiledPopulation`] — the one-pass
+//! sequential audit, the counts-only fast path, the batched multi-policy
+//! sweep, and the pooled-scratch parallel audit — produces results
+//! **bitwise identical** to the string-resolving reference path
+//! ([`qpv_core::AuditEngine::run_reference`]), flat and lattice, on
+//! arbitrary populations.
+//!
+//! The generators are shared in shape with `plan_equivalence.rs`:
+//! duplicate `(attribute, purpose)` preference tuples, purposes only the
+//! lattice knows, purposes nobody stated, attributes the table doesn't
+//! store, duplicate provider ids, and one ~100×-skewed provider.
+
+use std::num::NonZeroUsize;
+
+use proptest::prelude::*;
+
+use qpv_core::sensitivity::{AttributeSensitivities, DatumSensitivity};
+use qpv_core::{AuditEngine, CompiledPopulation, ProviderProfile};
+use qpv_policy::{HousePolicy, ProviderId};
+use qpv_taxonomy::{PrivacyPoint, PrivacyTuple, PurposeLattice};
+
+fn pt(v: u32, g: u32, r: u32) -> PrivacyPoint {
+    PrivacyPoint::from_raw(v, g, r)
+}
+
+/// A structurally varied population derived from a single seed, stressing
+/// every resolution rule the population compiles away.
+fn population(n: usize, seed: u64) -> Vec<ProviderProfile> {
+    (0..n as u64)
+        .map(|i| {
+            let x = i.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(seed);
+            let mut p = ProviderProfile::new(ProviderId(i), 10 + (x % 140));
+            p.preferences.add(
+                "weight",
+                PrivacyTuple::from_point("pr", pt(1 + (x % 5) as u32, 2, 20 + (x % 30) as u32)),
+            );
+            if x % 4 == 0 {
+                p.preferences.add(
+                    "weight",
+                    PrivacyTuple::from_point("pr", pt(4, 1 + (x % 4) as u32, 10)),
+                );
+            }
+            if x % 3 != 0 {
+                p.preferences.add(
+                    "age",
+                    PrivacyTuple::from_point(
+                        "research",
+                        pt(2 + (x % 3) as u32, 1 + (x % 4) as u32, 45),
+                    ),
+                );
+            }
+            if x % 5 == 0 {
+                p.preferences
+                    .add("weight", PrivacyTuple::from_point("ops", pt(5, 5, 90)));
+            }
+            if x % 7 == 0 {
+                p.preferences
+                    .add("weight", PrivacyTuple::from_point("mystery", pt(9, 9, 9)));
+                p.preferences
+                    .add("shoe_size", PrivacyTuple::from_point("pr", pt(9, 9, 9)));
+            }
+            p.sensitivities.insert(
+                "weight".into(),
+                DatumSensitivity::new(1 + (x % 6) as u32, 1, 1 + (x % 3) as u32, 2),
+            );
+            if x % 2 == 0 {
+                p.sensitivities
+                    .insert("age".into(), DatumSensitivity::new(2, 1, 1, 1));
+            }
+            p
+        })
+        .collect()
+}
+
+/// Blow up one provider's preference list to ~100× the average.
+fn skew(profiles: &mut [ProviderProfile], victim: usize) {
+    for i in 0..600u32 {
+        profiles[victim].preferences.add(
+            "weight",
+            PrivacyTuple::from_point("pr", pt(1 + (i % 5), 2, 20 + (i % 30))),
+        );
+    }
+}
+
+fn weights() -> AttributeSensitivities {
+    let mut w = AttributeSensitivities::new();
+    w.set("weight", 4);
+    w.set("age", 2);
+    w
+}
+
+fn policy(level: u32) -> HousePolicy {
+    let mut b = HousePolicy::builder("h").tuple(
+        "weight",
+        PrivacyTuple::from_point("pr", pt(level, 3, 30 + level)),
+    );
+    if level.is_multiple_of(2) {
+        b = b.tuple(
+            "age",
+            PrivacyTuple::from_point("research", pt(2 + level / 3, 2, 60)),
+        );
+    }
+    if level >= 5 {
+        b = b.tuple("weight", PrivacyTuple::from_point("billing", pt(3, 3, 40)));
+    }
+    if level >= 7 {
+        b = b.tuple("weight", PrivacyTuple::from_point("ads", pt(3, 3, 365)));
+    }
+    b.build()
+}
+
+/// billing ⊑ pr ⊑ ops; research ⊑ ops.
+fn lattice() -> PurposeLattice {
+    let mut l = PurposeLattice::new();
+    l.add_edge("billing", "pr").unwrap();
+    l.add_edge("pr", "ops").unwrap();
+    l.add_edge("research", "ops").unwrap();
+    l
+}
+
+fn engine(hp: &HousePolicy) -> AuditEngine {
+    AuditEngine::new(hp.clone(), ["weight", "age"], weights())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// One compiled pass == reference, flat and lattice, with the counts
+    /// fast path agreeing on every aggregate.
+    #[test]
+    fn compiled_population_equals_reference(
+        seed in 0u64..1_000_000,
+        n in 1usize..120,
+        level in 0u32..10,
+        with_lattice in 0u32..2,
+    ) {
+        let profiles = population(n, seed);
+        let mut eng = engine(&policy(level));
+        if with_lattice == 1 {
+            eng = eng.with_lattice(lattice());
+        }
+        let pop = CompiledPopulation::from_profiles(&profiles);
+        let reference = eng.run_reference(&profiles);
+        prop_assert_eq!(&eng.audit_compiled(&pop), &reference);
+        let counts = eng.counts(&pop);
+        prop_assert_eq!(counts.total_violations, reference.total_violations);
+        prop_assert_eq!(counts.p_violation(), reference.p_violation());
+        prop_assert_eq!(counts.p_default(), reference.p_default());
+        prop_assert_eq!(counts.remaining(), reference.remaining());
+    }
+
+    /// One compile + K passes == K independent reference audits.
+    #[test]
+    fn audit_many_policies_equals_reference_per_policy(
+        seed in 0u64..1_000_000,
+        n in 1usize..80,
+        levels in proptest::collection::vec(0u32..10, 1..5),
+        with_lattice in 0u32..2,
+    ) {
+        let profiles = population(n, seed);
+        let mut eng = engine(&policy(0));
+        if with_lattice == 1 {
+            eng = eng.with_lattice(lattice());
+        }
+        let pop = CompiledPopulation::from_profiles(&profiles);
+        let policies: Vec<HousePolicy> = levels.iter().map(|&l| policy(l)).collect();
+        let outcomes = eng.audit_many_policies(&pop, &policies);
+        prop_assert_eq!(outcomes.len(), policies.len());
+        for (outcome, hp) in outcomes.iter().zip(&policies) {
+            let mut one = engine(hp);
+            if with_lattice == 1 {
+                one = one.with_lattice(lattice());
+            }
+            let reference = one.run_reference(&profiles);
+            prop_assert_eq!(outcome.total_violations, reference.total_violations);
+            prop_assert_eq!(outcome.p_violation(), reference.p_violation());
+            prop_assert_eq!(outcome.p_default(), reference.p_default());
+            prop_assert_eq!(outcome.population, profiles.len());
+        }
+    }
+
+    /// The pooled-scratch parallel path over one shared population equals
+    /// the reference for every thread count, including under skew.
+    #[test]
+    fn parallel_compiled_population_equals_reference(
+        seed in 0u64..1_000_000,
+        n in 300usize..600,
+        level in 0u32..10,
+        with_lattice in 0u32..2,
+    ) {
+        let mut profiles = population(n, seed);
+        skew(&mut profiles, n / 2);
+        let mut eng = engine(&policy(level));
+        if with_lattice == 1 {
+            eng = eng.with_lattice(lattice());
+        }
+        let pop = CompiledPopulation::from_profiles(&profiles);
+        let reference = eng.run_reference(&profiles);
+        for threads in [1usize, 2, 4, 8] {
+            let parallel = eng
+                .par_audit_compiled(&pop, NonZeroUsize::new(threads).unwrap())
+                .unwrap();
+            prop_assert_eq!(&parallel, &reference, "{} threads", threads);
+        }
+    }
+}
+
+/// Duplicate provider ids: preferences stay per-occurrence while datums and
+/// thresholds resolve through the merged, last-wins view — exactly like the
+/// assembled reference structures.
+#[test]
+fn duplicate_provider_ids_match_reference() {
+    let mut profiles = population(40, 77);
+    let mut dup = ProviderProfile::new(ProviderId(3), 9999);
+    dup.preferences
+        .add("weight", PrivacyTuple::from_point("pr", pt(1, 1, 1)));
+    dup.sensitivities
+        .insert("weight".into(), DatumSensitivity::new(6, 2, 3, 1));
+    dup.sensitivities
+        .insert("age".into(), DatumSensitivity::new(5, 1, 1, 4));
+    profiles.push(dup);
+    for with_lattice in [false, true] {
+        let mut eng = engine(&policy(6));
+        if with_lattice {
+            eng = eng.with_lattice(lattice());
+        }
+        let pop = CompiledPopulation::from_profiles(&profiles);
+        let reference = eng.run_reference(&profiles);
+        assert_eq!(
+            eng.audit_compiled(&pop),
+            reference,
+            "lattice={with_lattice}"
+        );
+        let counts = eng.counts(&pop);
+        assert_eq!(counts.total_violations, reference.total_violations);
+        assert_eq!(counts.p_default(), reference.p_default());
+    }
+}
+
+/// Deterministic skew-stress: the parallel compiled-population report must
+/// be **byte-identical** (serialized JSON) to the sequential one for every
+/// thread count.
+#[test]
+fn skewed_parallel_report_is_byte_identical() {
+    let mut profiles = population(500, 1234);
+    skew(&mut profiles, 250);
+    for with_lattice in [false, true] {
+        let mut eng = engine(&policy(6));
+        if with_lattice {
+            eng = eng.with_lattice(lattice());
+        }
+        let pop = CompiledPopulation::from_profiles(&profiles);
+        let sequential = eng.audit_compiled(&pop);
+        assert_eq!(
+            sequential,
+            eng.run_reference(&profiles),
+            "lattice={with_lattice}"
+        );
+        let seq_json = serde_json::to_string(&sequential).unwrap();
+        for threads in [2usize, 3, 8] {
+            let parallel = eng
+                .par_audit_compiled(&pop, NonZeroUsize::new(threads).unwrap())
+                .unwrap();
+            assert_eq!(
+                serde_json::to_string(&parallel).unwrap(),
+                seq_json,
+                "lattice={with_lattice}, {threads} threads"
+            );
+        }
+    }
+}
+
+/// A population scanned straight out of a `Ppdb` audits byte-identically
+/// to one compiled from materialized profiles.
+#[test]
+fn ppdb_scan_population_matches_profile_compilation() {
+    use qpv_core::{Ppdb, PpdbConfig};
+    use qpv_reldb::db::Database;
+    use qpv_reldb::row::Row;
+    use qpv_reldb::schema::SchemaBuilder;
+    use qpv_reldb::types::DataType;
+    use qpv_reldb::value::Value;
+
+    let schema = SchemaBuilder::new()
+        .column("provider_id", DataType::Int)
+        .nullable_column("weight", DataType::Int)
+        .nullable_column("age", DataType::Int)
+        .build()
+        .unwrap();
+    let mut ppdb = Ppdb::create(
+        Database::in_memory(),
+        PpdbConfig::new("people", "provider_id"),
+        schema,
+    )
+    .unwrap();
+    for profile in population(30, 99) {
+        let id = profile.id().0;
+        ppdb.register_provider(
+            &profile,
+            Row::from_values([Value::Int(id as i64), Value::Int(70), Value::Int(30)]),
+        )
+        .unwrap();
+    }
+    let eng = engine(&policy(6));
+    let scanned = ppdb.compiled_population().unwrap();
+    let materialized = CompiledPopulation::from_profiles(&ppdb.all_profiles().unwrap());
+    assert_eq!(
+        serde_json::to_string(&eng.audit_compiled(&scanned)).unwrap(),
+        serde_json::to_string(&eng.audit_compiled(&materialized)).unwrap()
+    );
+}

@@ -12,7 +12,7 @@
 
 use serde::{Deserialize, Serialize};
 
-use qpv_core::{AuditEngine, ProviderProfile};
+use qpv_core::{AuditEngine, CompiledPopulation, PolicyOutcome, ProviderProfile};
 use qpv_policy::HousePolicy;
 
 use crate::utility::UtilityModel;
@@ -47,10 +47,15 @@ pub struct ExpansionRow {
 }
 
 /// Sweep runner.
+///
+/// The population is compiled once into flat structure-of-arrays form at
+/// construction ([`CompiledPopulation`]); every widening step after that is
+/// one counts-only pass, so a K-step sweep costs one compile + K cheap
+/// passes instead of K full audits.
 #[derive(Debug)]
 pub struct ExpansionSweep<'a> {
     engine: &'a AuditEngine,
-    profiles: &'a [ProviderProfile],
+    pop: CompiledPopulation,
     utility: UtilityModel,
     /// Extra utility per provider unlocked per widening step (linear offer
     /// curve `T(s) = t_per_step · s` — the simplest §9-consistent choice;
@@ -62,32 +67,46 @@ impl<'a> ExpansionSweep<'a> {
     /// Create a sweep over a population with utility parameters.
     pub fn new(
         engine: &'a AuditEngine,
-        profiles: &'a [ProviderProfile],
+        profiles: &[ProviderProfile],
+        utility: UtilityModel,
+        t_per_step: f64,
+    ) -> ExpansionSweep<'a> {
+        ExpansionSweep::from_population(
+            engine,
+            CompiledPopulation::from_profiles(profiles),
+            utility,
+            t_per_step,
+        )
+    }
+
+    /// [`ExpansionSweep::new`], reusing an already-compiled population.
+    pub fn from_population(
+        engine: &'a AuditEngine,
+        pop: CompiledPopulation,
         utility: UtilityModel,
         t_per_step: f64,
     ) -> ExpansionSweep<'a> {
         ExpansionSweep {
             engine,
-            profiles,
+            pop,
             utility,
             t_per_step,
         }
     }
 
-    /// Evaluate one candidate policy at a given step.
-    pub fn evaluate(&self, step: u32, label: &str, policy: &HousePolicy) -> ExpansionRow {
-        let report = self.engine.run_with_policy(self.profiles, policy);
-        let n_current = self.profiles.len();
-        let n_future = report.remaining();
+    /// Tabulate one evaluated step from its audit counts.
+    fn row(&self, step: u32, label: &str, counts: &PolicyOutcome) -> ExpansionRow {
+        let n_current = self.pop.len();
+        let n_future = counts.remaining();
         let t_offered = self.t_per_step * step as f64;
         let utility_future = self.utility.utility_future(n_future, t_offered);
         let utility_current = self.utility.utility_current(n_current);
         ExpansionRow {
             step,
             label: label.to_string(),
-            total_violations: report.total_violations,
-            p_violation: report.p_violation(),
-            p_default: report.p_default(),
+            total_violations: counts.total_violations,
+            p_violation: counts.p_violation(),
+            p_default: counts.p_default(),
             defaults: n_current - n_future,
             n_future,
             t_min: self.utility.break_even_extra(n_current, n_future),
@@ -98,20 +117,34 @@ impl<'a> ExpansionSweep<'a> {
         }
     }
 
-    /// Run a uniform-widening sweep of `max_steps` steps.
+    /// Evaluate one candidate policy at a given step.
+    pub fn evaluate(&self, step: u32, label: &str, policy: &HousePolicy) -> ExpansionRow {
+        let counts = self.engine.counts_with_policy(&self.pop, policy);
+        self.row(step, label, &counts)
+    }
+
+    /// Run a uniform-widening sweep of `max_steps` steps: one batched
+    /// multi-policy pass over the compiled population (Eq. 31's sweep).
     pub fn run_uniform(&self, base: &HousePolicy, max_steps: u32) -> Vec<ExpansionRow> {
-        (0..=max_steps)
-            .map(|s| self.evaluate(s, &format!("widen+{s}"), &base.widened_uniform(s)))
+        let policies: Vec<HousePolicy> = (0..=max_steps).map(|s| base.widened_uniform(s)).collect();
+        self.engine
+            .audit_many_policies(&self.pop, &policies)
+            .iter()
+            .enumerate()
+            .map(|(s, counts)| self.row(s as u32, &format!("widen+{s}"), counts))
             .collect()
     }
 
     /// Run over an explicit labelled sweep (e.g. from
-    /// `qpv_synth::workload::PolicySweep`).
+    /// `qpv_synth::workload::PolicySweep`), batched the same way.
     pub fn run_labelled(&self, steps: &[(String, HousePolicy)]) -> Vec<ExpansionRow> {
-        steps
+        let policies: Vec<HousePolicy> = steps.iter().map(|(_, p)| p.clone()).collect();
+        self.engine
+            .audit_many_policies(&self.pop, &policies)
             .iter()
+            .zip(steps)
             .enumerate()
-            .map(|(i, (label, policy))| self.evaluate(i as u32, label, policy))
+            .map(|(i, (counts, (label, _)))| self.row(i as u32, label, counts))
             .collect()
     }
 

@@ -227,6 +227,26 @@ pub fn generate_stable(spec: &PopulationSpec, n: usize, seed: u64) -> Population
     pop
 }
 
+/// [`generate_stable`]'s providers compiled straight into flat
+/// structure-of-arrays form ([`qpv_core::CompiledPopulation`]), one
+/// provider at a time — the full `Vec<ProviderProfile>` is never held.
+/// Produces exactly `CompiledPopulation::from_profiles` over
+/// [`generate_stable`]'s profiles (each provider is fed through the same
+/// per-profile interning), so audits over either are identical.
+pub fn generate_compiled(
+    spec: &PopulationSpec,
+    n: usize,
+    seed: u64,
+) -> qpv_core::CompiledPopulation {
+    let mut builder = qpv_core::PopulationBuilder::new();
+    for i in 0..n {
+        let mut rng = SmallRng::seed_from_u64(provider_seed(seed, i as u64));
+        let (profile, _, _) = generate_provider(spec, i, &mut rng);
+        builder.push_profile(&profile);
+    }
+    builder.finish()
+}
+
 /// [`generate_stable`] across `threads` worker threads, scheduled with
 /// the work-stealing chunk scheduler (`qpv_core::par_map_chunks`).
 ///
@@ -325,6 +345,30 @@ mod tests {
         let large = generate_stable(&spec(), 80, 7);
         assert_eq!(small.profiles[..], large.profiles[..50]);
         assert_eq!(small.data_rows[..], large.data_rows[..50]);
+    }
+
+    /// SoA-direct generation must be indistinguishable from generating
+    /// profiles and compiling them afterwards.
+    #[test]
+    fn compiled_generation_matches_the_profile_path() {
+        use qpv_core::{AuditEngine, CompiledPopulation};
+        let s = spec();
+        let engine = AuditEngine::new(
+            s.baseline_policy("base"),
+            s.attribute_names(),
+            s.attribute_weights(),
+        );
+        let stable = generate_stable(&s, 120, 7);
+        let direct = generate_compiled(&s, 120, 7);
+        let via_profiles = CompiledPopulation::from_profiles(&stable.profiles);
+        assert_eq!(direct.len(), via_profiles.len());
+        assert_eq!(direct.pref_row_count(), via_profiles.pref_row_count());
+        assert_eq!(direct.symbol_counts(), via_profiles.symbol_counts());
+        assert_eq!(
+            engine.audit_compiled(&direct),
+            engine.audit_compiled(&via_profiles)
+        );
+        assert_eq!(engine.audit_compiled(&direct), engine.run(&stable.profiles));
     }
 
     #[test]

@@ -35,6 +35,7 @@
 //! representable. Saturating arithmetic helpers ([`VisibilityLevel::plus`],
 //! etc.) make the example's notation directly expressible.
 
+pub mod attr;
 pub mod dimension;
 pub mod geometry;
 pub mod granularity;
@@ -44,6 +45,7 @@ pub mod retention;
 pub mod tuple;
 pub mod visibility;
 
+pub use attr::AttrName;
 pub use dimension::{Dim, Level, ParseLevelError};
 pub use geometry::{BoxRelation, ViolationGeometry};
 pub use granularity::GranularityLevel;

@@ -52,6 +52,12 @@ impl From<String> for Purpose {
     }
 }
 
+impl From<Arc<str>> for Purpose {
+    fn from(name: Arc<str>) -> Purpose {
+        Purpose(name)
+    }
+}
+
 impl Borrow<str> for Purpose {
     fn borrow(&self) -> &str {
         &self.0

@@ -2,12 +2,19 @@
 # Tier-1 gate: everything a PR must keep green, in the order that fails
 # fastest. Run from the repo root:
 #
-#   scripts/tier1.sh            # gate only
-#   scripts/tier1.sh --bench    # gate + bench JSONs
-#   scripts/tier1.sh --faults   # gate + release-mode fault-injection suite
+#   scripts/tier1.sh                # gate only (includes the bench smoke)
+#   scripts/tier1.sh --bench        # gate + bench JSONs
+#   scripts/tier1.sh --faults       # gate + release-mode fault-injection suite
+#   scripts/tier1.sh --bench-smoke  # bench smoke stage only
 #
-# The bench step writes BENCH_parallel_audit.json and BENCH_audit_plan.json
-# at the repo root (median/mean ns; see crates/bench/benches/).
+# The bench step writes BENCH_parallel_audit.json, BENCH_audit_plan.json,
+# and BENCH_compiled_population.json at the repo root (median/mean ns plus
+# host metadata; see crates/bench/benches/).
+#
+# The bench smoke runs every bench binary at tiny population sizes
+# (QPV_BENCH_SMOKE=1, see qpv_bench::bench_n) purely as a correctness
+# check: each sample asserts its reports against the oracle, so a broken
+# fast path fails here in seconds without waiting on full-size benches.
 #
 # The fault step re-runs the crash-torture matrix (crash-stop/torn-write at
 # every I/O op index) and the WAL bit/byte-flip corruption properties under
@@ -18,6 +25,17 @@
 # are captured.
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+bench_smoke() {
+    echo "== bench smoke (tiny populations, oracle-asserted) =="
+    QPV_BENCH_SMOKE=1 cargo bench -p qpv-bench
+}
+
+if [[ "${1:-}" == "--bench-smoke" ]]; then
+    bench_smoke
+    echo "tier-1 bench smoke: OK"
+    exit 0
+fi
 
 echo "== fmt =="
 cargo fmt --check
@@ -35,6 +53,14 @@ echo "== plan equivalence (release) =="
 # The compiled-plan == string-path contract, re-checked under the exact
 # optimization level the benches and production builds use.
 cargo test -q --release -p qpv-core --test plan_equivalence
+
+echo "== population equivalence (release) =="
+# Same contract for the compiled structure-of-arrays population: one
+# compile, sequential/parallel/multi-policy passes all byte-identical to
+# the string-path oracle.
+cargo test -q --release -p qpv-core --test pop_equivalence
+
+bench_smoke
 
 if [[ "${1:-}" == "--faults" ]]; then
     # Wall-clock budget: the whole fault stage must finish inside this
@@ -59,6 +85,9 @@ if [[ "${1:-}" == "--bench" ]]; then
     echo "== audit plan bench =="
     QPV_BENCH_FULL=1 QPV_BENCH_JSON="$PWD/BENCH_audit_plan.json" \
         cargo bench -p qpv-bench --bench audit_plan
+    echo "== compiled population bench =="
+    QPV_BENCH_FULL=1 QPV_BENCH_JSON="$PWD/BENCH_compiled_population.json" \
+        cargo bench -p qpv-bench --bench compiled_population
 fi
 
 echo "tier-1: OK"

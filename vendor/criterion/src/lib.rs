@@ -142,7 +142,20 @@ impl Criterion {
     }
 
     fn results_json(&self) -> String {
-        let mut out = String::from("[\n");
+        let mut out = String::from("{\n");
+        let _ = writeln!(
+            out,
+            "\"host\": {{\"cpus_allowed_list\": {:?}, \"threads_available\": {}, \
+             \"build_profile\": {:?}}},",
+            cpus_allowed_list(),
+            std::thread::available_parallelism().map_or(0, std::num::NonZeroUsize::get),
+            if cfg!(debug_assertions) {
+                "debug"
+            } else {
+                "release"
+            }
+        );
+        out.push_str("\"results\": [\n");
         for (i, r) in self.results.iter().enumerate() {
             if i > 0 {
                 out.push_str(",\n");
@@ -167,7 +180,7 @@ impl Criterion {
             }
             out.push('}');
         }
-        out.push_str("\n]\n");
+        out.push_str("\n]\n}\n");
         out
     }
 
@@ -221,6 +234,20 @@ impl Criterion {
             throughput,
         });
     }
+}
+
+/// The CPU affinity mask the kernel reports for this process
+/// (`Cpus_allowed_list` in `/proc/self/status`) — recorded in every JSON
+/// result so numbers are interpretable on pinned/containerized hosts.
+fn cpus_allowed_list() -> String {
+    std::fs::read_to_string("/proc/self/status")
+        .ok()
+        .and_then(|s| {
+            s.lines()
+                .find(|l| l.starts_with("Cpus_allowed_list:"))
+                .map(|l| l.split(':').nth(1).unwrap_or("").trim().to_string())
+        })
+        .unwrap_or_else(|| "unknown".to_string())
 }
 
 fn fmt_ns(ns: f64) -> String {
@@ -327,5 +354,12 @@ mod tests {
         let json = c.results_json();
         assert!(json.contains("\"id\": \"noop\""));
         assert!(json.contains("throughput_unit"));
+        // Host metadata rides along in every JSON emission.
+        assert!(json.contains("\"cpus_allowed_list\""));
+        assert!(json.contains("\"threads_available\""));
+        assert!(json.contains("\"build_profile\": \"debug\""));
+        // Still valid JSON overall: object with host + results array.
+        assert!(json.trim_start().starts_with('{'));
+        assert!(json.trim_end().ends_with('}'));
     }
 }
