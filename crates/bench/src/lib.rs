@@ -16,6 +16,7 @@
 //! | `incremental` | A1 — incremental vs full audit |
 //! | `purpose_lattice` | A2 — flat vs lattice purpose matching |
 //! | `audit_storage` | A3 — indexed vs scanned metadata access |
+//! | `delta_audit` | P10 — delta maintenance vs full rebuild |
 
 use std::path::PathBuf;
 

@@ -5,6 +5,13 @@
 //! [`ProviderProfile`]s against it, producing [`AuditReport`]s with every
 //! quantity the paper defines: per-provider `w_i` and `Violation_i`,
 //! `Violations`, `P(W)`, `P(Default)`, and the α-PPDB check (Definition 3).
+//!
+//! The compiled entry points ([`AuditEngine::audit_compiled`] and the
+//! counts-only paths, defined alongside [`crate::pop::CompiledPopulation`])
+//! read providers through the population's per-provider row *ranges*, never
+//! the raw row array — so they audit delta-mutated populations (which may
+//! carry freelist holes between live ranges) byte-identically to a fresh
+//! compile of the same logical population.
 
 use std::collections::HashMap;
 

@@ -18,6 +18,20 @@
 //! recompute then resolves its `(attribute, purpose)` key to ids once and
 //! probes per provider with binary search plus one flat datum load — no
 //! per-provider string hashing.
+//!
+//! The auditor is incremental along the *population* axis too:
+//! [`IncrementalAuditor::apply_delta`] consumes a
+//! [`crate::pop::PopulationDelta`], applies it to its compiled population
+//! in place, and re-scores only the occurrences the delta's event log
+//! names — `O(touched × groups)` per update instead of an `O(N)` rebuild.
+//!
+//! Internally every per-provider score is an **exact `u128` pre-clamp
+//! sum** of its per-group contributions; the `u64` clamp of the batch
+//! engine is applied only on read ([`IncrementalAuditor::score`]).
+//! Retraction is therefore exact even after a score has passed
+//! `u64::MAX`: subtracting a group's exact contribution from the exact
+//! sum restores precisely the remaining groups' total, bit-identical to
+//! a fresh rebuild.
 
 use std::collections::HashMap;
 use std::num::NonZeroUsize;
@@ -26,7 +40,9 @@ use qpv_policy::HousePolicy;
 use qpv_taxonomy::{PrivacyPoint, Purpose, ViolationGeometry};
 
 use crate::default_model::defaults;
-use crate::pop::CompiledPopulation;
+use crate::pop::{
+    CompiledPopulation, DeltaError, DeltaEvent, DeltaOutcome, PolicyOutcome, PopulationDelta,
+};
 use crate::profile::ProviderProfile;
 use crate::sensitivity::{AttributeSensitivities, DatumSensitivity, SensitivityModel};
 use crate::severity::conf;
@@ -37,8 +53,9 @@ type GroupKey = (String, Purpose);
 /// Per-provider contribution of one group.
 #[derive(Debug, Clone, Default, PartialEq)]
 struct GroupContribution {
-    /// Severity contribution per provider (indexed like `profiles`).
-    scores: Vec<u64>,
+    /// Exact severity contribution per provider (indexed like the
+    /// population; pre-clamp, so retraction can subtract it exactly).
+    scores: Vec<u128>,
     /// How many of the group's tuples violate, per provider.
     violations: Vec<u32>,
 }
@@ -60,8 +77,9 @@ impl ProviderPrefIndex {
     }
 }
 
-/// Maintains per-provider violation state across policy updates.
-#[derive(Debug)]
+/// Maintains per-provider violation state across policy updates and
+/// population deltas.
+#[derive(Debug, Clone)]
 pub struct IncrementalAuditor {
     /// The population in flat structure-of-arrays form: interned symbol
     /// tables, dense preference rows, merged datum sensitivities, and
@@ -71,8 +89,9 @@ pub struct IncrementalAuditor {
     sensitivity: SensitivityModel,
     policy: HousePolicy,
     groups: HashMap<GroupKey, GroupContribution>,
-    scores: Vec<u64>,
-    violation_counts: Vec<u32>,
+    /// Exact pre-clamp per-provider sums (clamped to `u64` on read).
+    scores: Vec<u128>,
+    violation_counts: Vec<u64>,
     /// Per-provider id-keyed preference tables (indexed like the
     /// population), keyed by the population's symbol ids.
     pref_index: Vec<ProviderPrefIndex>,
@@ -143,19 +162,7 @@ impl IncrementalAuditor {
         let sensitivity = SensitivityModel::from_attribute_weights(attribute_weights);
         let mut pref_index = Vec::with_capacity(pop.len());
         for i in 0..pop.len() {
-            let mut entries: Vec<(u32, u32, PrivacyPoint)> = pop
-                .pref_rows_of(i)
-                .iter()
-                .map(|r| (r.attr, r.purpose, r.point))
-                .collect();
-            // Stable sort + keep-first dedup reproduce `effective_point`'s
-            // find-first semantics in a binary-searchable table. Rows for
-            // attributes outside `attributes` are harmless dead weight:
-            // group keys are filtered against `attributes`, so their ids
-            // are never looked up.
-            entries.sort_by_key(|e| (e.0, e.1));
-            entries.dedup_by_key(|e| (e.0, e.1));
-            pref_index.push(ProviderPrefIndex { entries });
+            pref_index.push(index_occurrence(&pop, i));
         }
         IncrementalAuditor {
             scores: vec![0; pop.len()],
@@ -188,11 +195,10 @@ impl IncrementalAuditor {
         let new_groups = group_points(&new_policy, &self.attributes);
 
         // Groups that disappeared or changed: retract their contribution.
-        // Saturating, symmetric with accumulation below: once a score has
-        // clamped at `u64::MAX` the exact pre-clamp sum is gone, so checked
-        // subtraction could underflow; clamping at zero instead keeps the
-        // auditor total-ordered and panic-free (callers needing exactness
-        // near the clamp rebuild with `new`).
+        // Exact: per-provider sums are `u128` pre-clamp accumulators and
+        // every group's contribution was added exactly, so subtraction
+        // cannot underflow — even after the clamped-on-read `u64` score
+        // has pinned at `u64::MAX`.
         for (key, old_points) in &old_groups {
             let unchanged = new_groups.get(key).is_some_and(|n| n == old_points);
             if unchanged {
@@ -205,8 +211,8 @@ impl IncrementalAuditor {
                     .zip(contrib.violations.iter())
                     .enumerate()
                 {
-                    self.scores[i] = self.scores[i].saturating_sub(*s);
-                    self.violation_counts[i] = self.violation_counts[i].saturating_sub(*v);
+                    self.scores[i] -= *s;
+                    self.violation_counts[i] -= u64::from(*v);
                 }
             }
         }
@@ -223,8 +229,8 @@ impl IncrementalAuditor {
                 .zip(contrib.violations.iter())
                 .enumerate()
             {
-                self.scores[i] = self.scores[i].saturating_add(*s);
-                self.violation_counts[i] = self.violation_counts[i].saturating_add(*v);
+                self.scores[i] += *s;
+                self.violation_counts[i] += u64::from(*v);
             }
             self.groups.insert(key.clone(), contrib);
         }
@@ -279,24 +285,131 @@ impl IncrementalAuditor {
         // deny-all `⟨0,0,0⟩` and every datum the neutral sensitivity.
         let attr = attrs.get(attribute);
         let ids = attr.zip(purposes.get(purpose.name()));
-        let mut scores = vec![0u64; end - start];
+        let mut scores = vec![0u128; end - start];
         let mut violations = vec![0u32; end - start];
         for (i, idx) in (start..end).enumerate() {
-            let pref = ids
-                .and_then(|(a, p)| self.pref_index[idx].lookup(a, p))
-                .unwrap_or(PrivacyPoint::ZERO);
-            let datum = match attr {
-                Some(a) => self.pop.datum(idx, a),
-                None => DatumSensitivity::neutral(),
-            };
-            for point in points {
-                scores[i] = scores[i].saturating_add(conf(&pref, point, weight, datum));
-                if ViolationGeometry::compare(&pref, point).is_violation() {
-                    violations[i] += 1;
+            let (s, v) = self.score_one(idx, weight, attr, ids, points);
+            scores[i] = s;
+            violations[i] = v;
+        }
+        GroupContribution { scores, violations }
+    }
+
+    /// One provider's exact contribution to one group, with the group key
+    /// already resolved to symbol ids. The per-point `conf` terms are
+    /// `u64`s summed into a `u128`, so the sum is exact (a group would
+    /// need 2^64 points to overflow it).
+    fn score_one(
+        &self,
+        idx: usize,
+        weight: u32,
+        attr: Option<u32>,
+        ids: Option<(u32, u32)>,
+        points: &[PrivacyPoint],
+    ) -> (u128, u32) {
+        let pref = ids
+            .and_then(|(a, p)| self.pref_index[idx].lookup(a, p))
+            .unwrap_or(PrivacyPoint::ZERO);
+        let datum = match attr {
+            Some(a) => self.pop.datum(idx, a),
+            None => DatumSensitivity::neutral(),
+        };
+        let mut score = 0u128;
+        let mut violations = 0u32;
+        for point in points {
+            score += u128::from(conf(&pref, point, weight, datum));
+            if ViolationGeometry::compare(&pref, point).is_violation() {
+                violations += 1;
+            }
+        }
+        (score, violations)
+    }
+
+    /// Consume a population delta: apply it to the compiled population in
+    /// place, then replay the event log — removals `swap_remove` the
+    /// per-provider state, appends grow it, and every touched occurrence
+    /// is re-scored against the cached policy groups. Cost is
+    /// `O(touched × groups)` plus the delta application itself; nothing
+    /// scales with `N`.
+    pub fn apply_delta(&mut self, delta: &PopulationDelta) -> Result<DeltaOutcome, DeltaError> {
+        let outcome = self.pop.apply_delta(delta)?;
+        let group_pts = group_points(&self.policy, &self.attributes);
+        let mut dirty: Vec<usize> = Vec::new();
+        for ev in outcome.events() {
+            match *ev {
+                DeltaEvent::Touched(i) => dirty.push(i as usize),
+                DeltaEvent::Appended(i) => {
+                    let i = i as usize;
+                    debug_assert_eq!(i, self.scores.len());
+                    self.scores.push(0);
+                    self.violation_counts.push(0);
+                    self.pref_index.push(ProviderPrefIndex::default());
+                    for contrib in self.groups.values_mut() {
+                        contrib.scores.push(0);
+                        contrib.violations.push(0);
+                    }
+                    dirty.push(i);
+                }
+                DeltaEvent::Removed(i) => {
+                    let i = i as usize;
+                    self.scores.swap_remove(i);
+                    self.violation_counts.swap_remove(i);
+                    self.pref_index.swap_remove(i);
+                    for contrib in self.groups.values_mut() {
+                        contrib.scores.swap_remove(i);
+                        contrib.violations.swap_remove(i);
+                    }
+                    // The then-last occurrence moved into slot `i`; any
+                    // pending dirty marks follow it, and marks on the
+                    // removed occurrence die with it.
+                    let moved = self.scores.len();
+                    dirty.retain(|&d| d != i);
+                    for d in &mut dirty {
+                        if *d == moved {
+                            *d = i;
+                        }
+                    }
                 }
             }
         }
-        GroupContribution { scores, violations }
+        dirty.sort_unstable();
+        dirty.dedup();
+        for i in dirty {
+            self.rescore(i, &group_pts);
+        }
+        Ok(outcome)
+    }
+
+    /// Recompute occurrence `i` from scratch against every cached group:
+    /// rebuild its preference table from the (just-mutated) population
+    /// rows, then overwrite its slot in each group's contribution vector
+    /// and its exact sums.
+    fn rescore(&mut self, i: usize, group_pts: &HashMap<GroupKey, Vec<PrivacyPoint>>) {
+        self.pref_index[i] = index_occurrence(&self.pop, i);
+        let (attrs, purposes) = self.pop.symbols();
+        let mut fresh: Vec<(GroupKey, u128, u32)> = Vec::with_capacity(group_pts.len());
+        for (key, points) in group_pts {
+            let (attribute, purpose) = key;
+            let weight = self.sensitivity.attribute_weight(attribute, purpose.name());
+            let attr = attrs.get(attribute);
+            let ids = attr.zip(purposes.get(purpose.name()));
+            let (s, v) = self.score_one(i, weight, attr, ids, points);
+            fresh.push((key.clone(), s, v));
+        }
+        let mut total = 0u128;
+        let mut violations = 0u64;
+        for (key, s, v) in fresh {
+            let contrib = self
+                .groups
+                .get_mut(&key)
+                .expect("groups mirror the applied policy's group keys");
+            contrib.scores[i] = s;
+            contrib.violations[i] = v;
+            total += s;
+            violations += u64::from(v);
+        }
+        self.scores[i] = total;
+        self.violation_counts[i] = violations;
     }
 
     /// The current policy.
@@ -304,9 +417,18 @@ impl IncrementalAuditor {
         &self.policy
     }
 
-    /// `Violation_i` for provider at population index `i`.
+    /// The auditor's compiled population (epoch included), for callers
+    /// that want to run batch audits or what-if sweeps over the same
+    /// delta-maintained state.
+    pub fn compiled(&self) -> &CompiledPopulation {
+        &self.pop
+    }
+
+    /// `Violation_i` for provider at population index `i`. The exact
+    /// `u128` pre-clamp sum is clamped to `u64` here, on read — the same
+    /// per-provider saturation the batch engine applies.
     pub fn score(&self, i: usize) -> u64 {
-        self.scores[i]
+        clamp_score(self.scores[i])
     }
 
     /// `w_i` for provider at population index `i`.
@@ -316,12 +438,28 @@ impl IncrementalAuditor {
 
     /// `default_i` for provider at population index `i`.
     pub fn defaulted(&self, i: usize) -> bool {
-        defaults(self.scores[i], self.pop.threshold_of(i))
+        defaults(self.score(i), self.pop.threshold_of(i))
     }
 
-    /// Equation 16's `Violations`.
+    /// Equation 16's `Violations`: the sum of clamped per-provider
+    /// scores, exactly what the batch engine's report totals.
     pub fn total_violations(&self) -> u128 {
-        self.scores.iter().map(|&s| s as u128).sum()
+        self.scores
+            .iter()
+            .map(|&s| u128::from(clamp_score(s)))
+            .sum()
+    }
+
+    /// The counts-only aggregate of the current state — identical to
+    /// [`crate::AuditEngine::counts`] over the same population and
+    /// policy, and cheap enough to snapshot after every delta.
+    pub fn outcome(&self) -> PolicyOutcome {
+        PolicyOutcome {
+            total_violations: self.total_violations(),
+            violated: self.violation_counts.iter().filter(|&&c| c > 0).count(),
+            defaulted: (0..self.pop.len()).filter(|&i| self.defaulted(i)).count(),
+            population: self.pop.len(),
+        }
     }
 
     /// `P(W)` under the current policy (counted directly, no allocation).
@@ -345,6 +483,28 @@ impl IncrementalAuditor {
     pub fn population(&self) -> usize {
         self.pop.len()
     }
+}
+
+/// The batch engine's per-provider `u64` saturation, applied to the
+/// exact pre-clamp sum on read.
+fn clamp_score(s: u128) -> u64 {
+    s.min(u128::from(u64::MAX)) as u64
+}
+
+/// Build one occurrence's binary-searchable preference table from the
+/// compiled population's dense rows. Stable sort + keep-first dedup
+/// reproduce `effective_point`'s find-first semantics; rows for
+/// attributes outside the audited set are harmless dead weight (their
+/// ids are never looked up).
+fn index_occurrence(pop: &CompiledPopulation, i: usize) -> ProviderPrefIndex {
+    let mut entries: Vec<(u32, u32, PrivacyPoint)> = pop
+        .pref_rows_of(i)
+        .iter()
+        .map(|r| (r.attr, r.purpose, r.point))
+        .collect();
+    entries.sort_by_key(|e| (e.0, e.1));
+    entries.dedup_by_key(|e| (e.0, e.1));
+    ProviderPrefIndex { entries }
 }
 
 /// Group a policy's tuples by `(attribute, purpose)`, keeping only
@@ -571,14 +731,14 @@ mod tests {
         assert!(!auditor.violated(0));
     }
 
-    /// Regression for the saturation edge itself: near `u64::MAX` the
-    /// auditor clamps rather than wraps — retraction undershoots the exact
-    /// score instead of wrapping past it — and a fresh `new`-rebuild (or
-    /// [`IncrementalAuditor::from_population`]) restores exactness.
+    /// Regression for the saturation edge: the auditor keeps exact `u128`
+    /// pre-clamp sums, so retracting a group after the clamped `u64` read
+    /// has pinned at `u64::MAX` restores the remaining groups' score
+    /// *exactly* — no rebuild required, bit-identical to one.
     #[test]
-    fn clamped_retraction_is_inexact_until_rebuilt() {
-        // Group "a" saturates the provider's score on its own; group "b"
-        // contributes a small, exactly-known amount.
+    fn retraction_after_clamp_is_exact() {
+        // Group "a" saturates the provider's clamped score on its own;
+        // group "b" contributes a small, exactly-known amount.
         let mut p = ProviderProfile::new(ProviderId(0), u64::MAX);
         p.preferences
             .add("a", PrivacyTuple::from_point("pr", pt(1, 1, 1)));
@@ -605,18 +765,19 @@ mod tests {
             .tuple("b", PrivacyTuple::from_point("pr", pt(9, 9, 9)))
             .build();
         let mut auditor = IncrementalAuditor::new(vec![p.clone()], attrs.clone(), &w, both);
-        assert_eq!(auditor.score(0), u64::MAX, "group a clamps on its own");
-        // Retracting "a" clamps at zero rather than wrapping: the pre-clamp
-        // excess is unrecoverable, so the score undershoots the exact value
-        // instead of wrapping past it or panicking.
+        assert_eq!(auditor.score(0), u64::MAX, "the read clamps like batch");
+        // Retracting "a" subtracts its exact contribution from the exact
+        // pre-clamp sum: what remains is precisely group b's score.
         auditor.apply_policy(b_only.clone());
-        assert!(auditor.score(0) <= exact, "clamped, never wrapped");
-        assert_ne!(auditor.score(0), exact, "exactness is lost at the clamp");
+        assert_eq!(
+            auditor.score(0),
+            exact,
+            "retraction is exact past the clamp"
+        );
         assert!(auditor.violated(0), "the b violation is still counted");
-        // Fresh rebuilds restore exactness — via profiles and via an
-        // already-compiled population.
+        // And it agrees bit-for-bit with fresh rebuilds.
         let rebuilt = IncrementalAuditor::new(vec![p.clone()], attrs.clone(), &w, b_only.clone());
-        assert_eq!(rebuilt.score(0), exact);
+        assert_eq!(rebuilt.score(0), auditor.score(0));
         let from_pop = IncrementalAuditor::from_population(
             CompiledPopulation::from_profiles(std::slice::from_ref(&p)),
             attrs,
@@ -625,6 +786,78 @@ mod tests {
         );
         assert_eq!(from_pop.score(0), exact);
         assert!(from_pop.violated(0));
+    }
+
+    /// Delta consumption: random-ish op sequences leave the auditor in
+    /// exactly the state a fresh build over the mutated profiles reaches.
+    #[test]
+    fn apply_delta_matches_fresh_build() {
+        use crate::pop::PopulationDelta;
+        let mut profiles = population(30);
+        let attrs = vec!["weight".to_string(), "age".to_string()];
+        let mut auditor =
+            IncrementalAuditor::new(profiles.clone(), attrs.clone(), &weights(), policy(3));
+
+        let mut newcomer = ProviderProfile::new(ProviderId(100), 15);
+        newcomer
+            .preferences
+            .add("weight", PrivacyTuple::from_point("pr", pt(1, 1, 1)));
+        let delta = PopulationDelta::new()
+            .upsert(newcomer)
+            .remove(ProviderId(3))
+            .set_attribute_prefs(
+                ProviderId(7),
+                "age",
+                vec![PrivacyTuple::from_point("pr", pt(9, 9, 99))],
+            )
+            .set_sensitivity(ProviderId(7), "weight", DatumSensitivity::new(4, 4, 4, 4))
+            .set_threshold(ProviderId(11), 0)
+            .remove(ProviderId(5));
+
+        delta.apply_to_profiles(&mut profiles);
+        let outcome = auditor.apply_delta(&delta).expect("unique ids");
+        assert_eq!(outcome.epoch, auditor.compiled().epoch());
+
+        let fresh = IncrementalAuditor::new(profiles.clone(), attrs, &weights(), policy(3));
+        assert_eq!(auditor.population(), fresh.population());
+        for i in 0..fresh.population() {
+            assert_eq!(auditor.score(i), fresh.score(i), "provider slot {i}");
+            assert_eq!(auditor.violated(i), fresh.violated(i));
+            assert_eq!(auditor.defaulted(i), fresh.defaulted(i));
+        }
+        assert_eq!(auditor.outcome(), fresh.outcome());
+        // And a later policy edit still updates incrementally and agrees.
+        auditor.apply_policy(policy(6));
+        let (scores, total) = full_audit(&profiles, &policy(6));
+        for (i, s) in scores.iter().enumerate() {
+            assert_eq!(auditor.score(i), *s);
+        }
+        assert_eq!(auditor.total_violations(), total);
+    }
+
+    /// Deltas compose with policy edits in any order, and the aggregate
+    /// outcome always equals the batch engine's counts over the auditor's
+    /// own compiled population.
+    #[test]
+    fn deltas_and_policy_edits_interleave() {
+        use crate::pop::PopulationDelta;
+        let profiles = population(25);
+        let attrs = vec!["weight".to_string(), "age".to_string()];
+        let mut auditor =
+            IncrementalAuditor::new(profiles.clone(), attrs.clone(), &weights(), policy(1));
+        for (round, level) in [4u32, 0, 7].into_iter().enumerate() {
+            auditor.apply_policy(policy(level));
+            let delta = PopulationDelta::new()
+                .set_threshold(ProviderId(round as u64), 0)
+                .remove(ProviderId(20 - round as u64));
+            auditor.apply_delta(&delta).expect("unique ids");
+            let engine = AuditEngine::new(policy(level), ["weight", "age"], weights());
+            assert_eq!(
+                auditor.outcome(),
+                engine.counts(auditor.compiled()),
+                "round {round}"
+            );
+        }
     }
 
     #[test]

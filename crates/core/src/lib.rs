@@ -60,12 +60,16 @@ pub mod whatif;
 
 pub use audit::{AuditEngine, AuditReport, ProviderAudit};
 pub use default_model::{defaults, DefaultThresholds};
+pub use incremental::IncrementalAuditor;
 pub use intern::SymbolTable;
 pub use par::{
     chunk_size, default_threads, par_map_chunks, shard_bounds, AuditError, PAR_THRESHOLD,
 };
 pub use plan::{CompiledAuditPlan, PlanScratch};
-pub use pop::{CompiledPopulation, PolicyOutcome, PopulationBuilder};
+pub use pop::{
+    CompiledPopulation, DeltaError, DeltaOp, DeltaOutcome, PolicyOutcome, PopulationBuilder,
+    PopulationDelta,
+};
 pub use ppdb::{AuditLogEntry, Ppdb, PpdbConfig};
 pub use probability::{census_fraction, census_probability, estimate_probability};
 pub use profile::ProviderProfile;

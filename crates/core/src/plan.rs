@@ -26,6 +26,13 @@
 //! (`crates/core/tests/plan_equivalence.rs`) pins the compiled results
 //! bitwise-equal to the reference path — same witnesses in the same order,
 //! same saturating score accumulation order, same totals.
+//!
+//! Plans stay valid across population deltas: a
+//! [`crate::pop::CompiledPopulation`] interns symbols append-only, so
+//! `apply_delta` never renumbers an id a plan already references — new
+//! attributes simply get fresh ids the plan ignores. Only a *policy* change
+//! requires recompiling the plan, which is why the incremental auditor
+//! re-resolves policy rows per policy edit but not per population delta.
 
 use std::collections::HashMap;
 

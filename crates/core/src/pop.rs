@@ -27,6 +27,18 @@
 //!
 //! Everything here is pinned bitwise-equal to
 //! [`AuditEngine::run_reference`] by `tests/pop_equivalence.rs`.
+//!
+//! Populations are not frozen after compilation: a [`PopulationDelta`]
+//! (provider upsert/remove, per-attribute preference edits, sensitivity
+//! and threshold changes) applies **in place** via
+//! [`CompiledPopulation::apply_delta`] — free row ranges are recycled
+//! through a freelist, the population epoch bumps, and the resulting
+//! [`DeltaOutcome`] event log tells an
+//! [`crate::incremental::IncrementalAuditor`] exactly which occurrences
+//! to re-score. Churny workloads therefore cost `O(changed)` per update
+//! instead of an `O(N)` rebuild; `tests/delta_equivalence.rs` pins the
+//! delta path byte-identical to a fresh compile of the mutated
+//! population.
 
 use std::collections::HashMap;
 
@@ -83,6 +95,21 @@ pub struct CompiledPopulation {
     datums: Vec<DatumSensitivity>,
     /// Per id-row default threshold `v_i` (last occurrence wins).
     thresholds: Vec<u64>,
+    /// Bumped once per applied delta; lets downstream caches (plan
+    /// bindings, auditors, reports) detect staleness cheaply.
+    epoch: u64,
+    /// id → occurrence index, the delta-addressing map. `None` when some
+    /// id was interned more than once: "the provider with id X" is then
+    /// ambiguous and [`CompiledPopulation::apply_delta`] refuses to run.
+    index: Option<HashMap<ProviderId, u32>>,
+    /// Free `[start, end)` ranges inside `pref_rows` left behind by
+    /// removals and shrinking replacements, reused first-fit by later
+    /// delta ops (ranges are not coalesced; churn at a steady size
+    /// re-uses its own holes).
+    free_pref: Vec<(u32, u32)>,
+    /// Free merged id-rows (one `datums` stride plus one `thresholds`
+    /// slot each), reused by later inserts.
+    free_rows: Vec<u32>,
 }
 
 impl CompiledPopulation {
@@ -246,6 +273,539 @@ impl CompiledPopulation {
         let threshold = self.threshold_of(i);
         (score, violations > 0, defaults(score, threshold))
     }
+
+    /// The population epoch: 0 at compile time, +1 per applied delta.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Apply a delta in place, recycling freed row ranges and bumping the
+    /// epoch. Returns the per-occurrence event log an
+    /// [`crate::incremental::IncrementalAuditor`] replays to patch its
+    /// own state.
+    ///
+    /// Semantics (mirrored exactly by
+    /// [`PopulationDelta::apply_to_profiles`], which is the oracle the
+    /// equivalence suite compares against):
+    ///
+    /// * upserting a known id replaces that occurrence wholesale and
+    ///   keeps its position; upserting an unknown id appends;
+    /// * removal is `swap_remove` — the last occurrence moves into the
+    ///   freed slot (O(1), order is deterministic but not stable);
+    /// * preference edits replace every tuple naming the attribute,
+    ///   appending the new tuples after the untouched ones;
+    /// * ops naming an unknown id are silent no-ops, like
+    ///   [`PopulationBuilder::set_sensitivity`] on the scan path.
+    ///
+    /// Errs on populations that interned the same id twice (Assumption 5
+    /// of the paper — one data row per provider — is what makes id-based
+    /// addressing well-defined); those stay audit-only.
+    pub fn apply_delta(&mut self, delta: &PopulationDelta) -> Result<DeltaOutcome, DeltaError> {
+        if self.index.is_none() {
+            return Err(DeltaError::DuplicateOccurrences(self.first_duplicate()));
+        }
+        let mut events = Vec::with_capacity(delta.ops().len());
+        for op in delta.ops() {
+            match op {
+                DeltaOp::Upsert(p) => self.apply_upsert(p, &mut events),
+                DeltaOp::Remove(id) => self.apply_remove(*id, &mut events),
+                DeltaOp::SetAttributePrefs {
+                    id,
+                    attribute,
+                    tuples,
+                } => self.apply_set_prefs(*id, attribute, tuples, &mut events),
+                DeltaOp::SetSensitivity {
+                    id,
+                    attribute,
+                    sensitivity,
+                } => self.apply_set_sensitivity(*id, attribute, *sensitivity, &mut events),
+                DeltaOp::SetThreshold { id, threshold } => {
+                    self.apply_set_threshold(*id, *threshold, &mut events)
+                }
+            }
+        }
+        self.epoch += 1;
+        Ok(DeltaOutcome {
+            epoch: self.epoch,
+            events,
+        })
+    }
+
+    /// The occurrence index of a provider id, when deltas are available.
+    pub fn occurrence_of(&self, id: ProviderId) -> Option<usize> {
+        self.index
+            .as_ref()
+            .and_then(|ix| ix.get(&id).map(|&i| i as usize))
+    }
+
+    fn first_duplicate(&self) -> ProviderId {
+        let mut seen = std::collections::HashSet::new();
+        for &id in &self.ids {
+            if !seen.insert(id) {
+                return id;
+            }
+        }
+        unreachable!("index is None only when an id occurs twice")
+    }
+
+    /// Re-stride `datums` after the attribute table grew. New columns are
+    /// neutral everywhere: no provider can have set a sensitivity for an
+    /// attribute that was just interned. Rare (only when a delta
+    /// introduces a never-seen attribute name), and O(rows × attrs) when
+    /// it happens.
+    fn grow_attrs(&mut self, old_na: usize) {
+        let na = self.attrs.len();
+        if na == old_na {
+            return;
+        }
+        let rows = self.thresholds.len();
+        let mut datums = vec![DatumSensitivity::neutral(); rows * na];
+        for r in 0..rows {
+            datums[r * na..r * na + old_na]
+                .copy_from_slice(&self.datums[r * old_na..(r + 1) * old_na]);
+        }
+        self.datums = datums;
+    }
+
+    /// Write `rows` as occurrence `i`'s preference range, reusing its
+    /// current range when they fit (freeing the unused tail) and falling
+    /// back to [`CompiledPopulation::alloc_rows`] otherwise.
+    fn store_rows(&mut self, i: usize, rows: &[PrefRow]) {
+        let (s, e) = self.pref_ranges[i];
+        if rows.len() <= (e - s) as usize {
+            let start = s as usize;
+            self.pref_rows[start..start + rows.len()].copy_from_slice(rows);
+            let new_end = s + rows.len() as u32;
+            if new_end < e {
+                self.free_pref.push((new_end, e));
+            }
+            self.pref_ranges[i] = (s, new_end);
+        } else {
+            if s < e {
+                self.free_pref.push((s, e));
+            }
+            self.pref_ranges[i] = self.alloc_rows(rows);
+        }
+    }
+
+    /// First-fit allocation out of the freelist, else append to the tail
+    /// of `pref_rows`.
+    fn alloc_rows(&mut self, rows: &[PrefRow]) -> (u32, u32) {
+        let k = rows.len() as u32;
+        if k == 0 {
+            return (0, 0);
+        }
+        if let Some(pos) = self.free_pref.iter().position(|&(fs, fe)| fe - fs >= k) {
+            let (fs, fe) = self.free_pref[pos];
+            if fe - fs == k {
+                self.free_pref.swap_remove(pos);
+            } else {
+                self.free_pref[pos] = (fs + k, fe);
+            }
+            self.pref_rows[fs as usize..(fs + k) as usize].copy_from_slice(rows);
+            (fs, fs + k)
+        } else {
+            let start = self.pref_rows.len() as u32;
+            self.pref_rows.extend_from_slice(rows);
+            (start, start + k)
+        }
+    }
+
+    fn apply_upsert(&mut self, p: &ProviderProfile, events: &mut Vec<DeltaEvent>) {
+        let old_na = self.attrs.len();
+        let mut rows = Vec::with_capacity(p.preferences.tuples().len());
+        for t in p.preferences.tuples() {
+            rows.push(PrefRow {
+                attr: self.attrs.intern(&t.attribute),
+                purpose: self.purposes.intern(t.tuple.purpose.name()),
+                point: t.tuple.point,
+            });
+        }
+        for attr in p.sensitivities.keys() {
+            self.attrs.intern(attr);
+        }
+        self.grow_attrs(old_na);
+        let na = self.attrs.len();
+        let id = p.id();
+        match self.occurrence_of(id) {
+            Some(i) => {
+                self.store_rows(i, &rows);
+                let row = self.row_of[i] as usize;
+                for slot in &mut self.datums[row * na..(row + 1) * na] {
+                    *slot = DatumSensitivity::neutral();
+                }
+                for (attr, s) in &p.sensitivities {
+                    let a = self.attrs.get(attr).expect("interned above") as usize;
+                    self.datums[row * na + a] = *s;
+                }
+                self.thresholds[row] = p.threshold;
+                events.push(DeltaEvent::Touched(i as u32));
+            }
+            None => {
+                let range = self.alloc_rows(&rows);
+                let row = match self.free_rows.pop() {
+                    Some(r) => {
+                        let r_us = r as usize;
+                        for slot in &mut self.datums[r_us * na..(r_us + 1) * na] {
+                            *slot = DatumSensitivity::neutral();
+                        }
+                        self.thresholds[r_us] = p.threshold;
+                        r
+                    }
+                    None => {
+                        self.datums
+                            .extend(std::iter::repeat_n(DatumSensitivity::neutral(), na));
+                        self.thresholds.push(p.threshold);
+                        (self.thresholds.len() - 1) as u32
+                    }
+                };
+                for (attr, s) in &p.sensitivities {
+                    let a = self.attrs.get(attr).expect("interned above") as usize;
+                    self.datums[row as usize * na + a] = *s;
+                }
+                let i = self.ids.len() as u32;
+                self.ids.push(id);
+                self.pref_ranges.push(range);
+                self.row_of.push(row);
+                self.index
+                    .as_mut()
+                    .expect("checked in apply_delta")
+                    .insert(id, i);
+                events.push(DeltaEvent::Appended(i));
+            }
+        }
+    }
+
+    fn apply_remove(&mut self, id: ProviderId, events: &mut Vec<DeltaEvent>) {
+        let Some(i) = self
+            .index
+            .as_mut()
+            .expect("checked in apply_delta")
+            .remove(&id)
+        else {
+            return;
+        };
+        let i_us = i as usize;
+        let (s, e) = self.pref_ranges[i_us];
+        if s < e {
+            self.free_pref.push((s, e));
+        }
+        self.free_rows.push(self.row_of[i_us]);
+        self.ids.swap_remove(i_us);
+        self.pref_ranges.swap_remove(i_us);
+        self.row_of.swap_remove(i_us);
+        if i_us < self.ids.len() {
+            let moved = self.ids[i_us];
+            self.index
+                .as_mut()
+                .expect("checked in apply_delta")
+                .insert(moved, i);
+        }
+        events.push(DeltaEvent::Removed(i));
+    }
+
+    fn apply_set_prefs(
+        &mut self,
+        id: ProviderId,
+        attribute: &str,
+        tuples: &[qpv_taxonomy::PrivacyTuple],
+        events: &mut Vec<DeltaEvent>,
+    ) {
+        let Some(i) = self.occurrence_of(id) else {
+            return;
+        };
+        let old_na = self.attrs.len();
+        let a = self.attrs.intern(attribute);
+        let mut rows: Vec<PrefRow> = self
+            .pref_rows_of(i)
+            .iter()
+            .filter(|r| r.attr != a)
+            .copied()
+            .collect();
+        for t in tuples {
+            rows.push(PrefRow {
+                attr: a,
+                purpose: self.purposes.intern(t.purpose.name()),
+                point: t.point,
+            });
+        }
+        self.grow_attrs(old_na);
+        self.store_rows(i, &rows);
+        events.push(DeltaEvent::Touched(i as u32));
+    }
+
+    fn apply_set_sensitivity(
+        &mut self,
+        id: ProviderId,
+        attribute: &str,
+        s: DatumSensitivity,
+        events: &mut Vec<DeltaEvent>,
+    ) {
+        let Some(i) = self.occurrence_of(id) else {
+            return;
+        };
+        let old_na = self.attrs.len();
+        let a = self.attrs.intern(attribute) as usize;
+        self.grow_attrs(old_na);
+        let na = self.attrs.len();
+        let row = self.row_of[i] as usize;
+        self.datums[row * na + a] = s;
+        events.push(DeltaEvent::Touched(i as u32));
+    }
+
+    fn apply_set_threshold(
+        &mut self,
+        id: ProviderId,
+        threshold: u64,
+        events: &mut Vec<DeltaEvent>,
+    ) {
+        let Some(i) = self.occurrence_of(id) else {
+            return;
+        };
+        self.thresholds[self.row_of[i] as usize] = threshold;
+        events.push(DeltaEvent::Touched(i as u32));
+    }
+}
+
+/// One mutation in a [`PopulationDelta`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum DeltaOp {
+    /// Insert a provider, or replace the existing occurrence of its id
+    /// wholesale (preferences, sensitivities, threshold).
+    Upsert(ProviderProfile),
+    /// Remove a provider (`swap_remove` semantics; unknown ids no-op).
+    Remove(ProviderId),
+    /// Replace every stated preference tuple naming `attribute` with
+    /// `tuples` (appended after the provider's untouched tuples).
+    SetAttributePrefs {
+        /// The provider to edit.
+        id: ProviderId,
+        /// The attribute whose tuples are replaced.
+        attribute: String,
+        /// The new tuples for that attribute (may be empty = retract).
+        tuples: Vec<qpv_taxonomy::PrivacyTuple>,
+    },
+    /// Overwrite one datum sensitivity.
+    SetSensitivity {
+        /// The provider to edit.
+        id: ProviderId,
+        /// The datum's attribute.
+        attribute: String,
+        /// The new sensitivity.
+        sensitivity: DatumSensitivity,
+    },
+    /// Overwrite the provider's default threshold `v_i`.
+    SetThreshold {
+        /// The provider to edit.
+        id: ProviderId,
+        /// The new threshold.
+        threshold: u64,
+    },
+}
+
+/// An ordered batch of population mutations, applied atomically by
+/// [`CompiledPopulation::apply_delta`] (one epoch bump per batch).
+/// Produced by hand, by `Ppdb`'s write ops, or by
+/// `qpv_synth::workload::churn`.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct PopulationDelta {
+    ops: Vec<DeltaOp>,
+}
+
+impl PopulationDelta {
+    /// An empty delta.
+    pub fn new() -> PopulationDelta {
+        PopulationDelta::default()
+    }
+
+    /// The ops in application order.
+    pub fn ops(&self) -> &[DeltaOp] {
+        &self.ops
+    }
+
+    /// Number of ops.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Whether the delta contains no ops.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Append one op.
+    pub fn push(&mut self, op: DeltaOp) {
+        self.ops.push(op);
+    }
+
+    /// Append every op of `other`, in order.
+    pub fn merge(&mut self, other: PopulationDelta) {
+        self.ops.extend(other.ops);
+    }
+
+    /// Builder-style [`DeltaOp::Upsert`].
+    pub fn upsert(mut self, profile: ProviderProfile) -> PopulationDelta {
+        self.ops.push(DeltaOp::Upsert(profile));
+        self
+    }
+
+    /// Builder-style [`DeltaOp::Remove`].
+    pub fn remove(mut self, id: ProviderId) -> PopulationDelta {
+        self.ops.push(DeltaOp::Remove(id));
+        self
+    }
+
+    /// Builder-style [`DeltaOp::SetAttributePrefs`].
+    pub fn set_attribute_prefs(
+        mut self,
+        id: ProviderId,
+        attribute: impl Into<String>,
+        tuples: Vec<qpv_taxonomy::PrivacyTuple>,
+    ) -> PopulationDelta {
+        self.ops.push(DeltaOp::SetAttributePrefs {
+            id,
+            attribute: attribute.into(),
+            tuples,
+        });
+        self
+    }
+
+    /// Builder-style [`DeltaOp::SetSensitivity`].
+    pub fn set_sensitivity(
+        mut self,
+        id: ProviderId,
+        attribute: impl Into<String>,
+        sensitivity: DatumSensitivity,
+    ) -> PopulationDelta {
+        self.ops.push(DeltaOp::SetSensitivity {
+            id,
+            attribute: attribute.into(),
+            sensitivity,
+        });
+        self
+    }
+
+    /// Builder-style [`DeltaOp::SetThreshold`].
+    pub fn set_threshold(mut self, id: ProviderId, threshold: u64) -> PopulationDelta {
+        self.ops.push(DeltaOp::SetThreshold { id, threshold });
+        self
+    }
+
+    /// Apply the same mutations to a plain profile list — the model-side
+    /// mirror of [`CompiledPopulation::apply_delta`], including the
+    /// `swap_remove` ordering, so
+    /// `CompiledPopulation::from_profiles(&mutated)` audits byte-identical
+    /// to the delta-applied population. Assumes unique provider ids, like
+    /// the compiled path (ops bind to the first matching profile).
+    pub fn apply_to_profiles(&self, profiles: &mut Vec<ProviderProfile>) {
+        for op in &self.ops {
+            match op {
+                DeltaOp::Upsert(p) => match profiles.iter().position(|q| q.id() == p.id()) {
+                    Some(i) => profiles[i] = p.clone(),
+                    None => profiles.push(p.clone()),
+                },
+                DeltaOp::Remove(id) => {
+                    if let Some(i) = profiles.iter().position(|q| q.id() == *id) {
+                        profiles.swap_remove(i);
+                    }
+                }
+                DeltaOp::SetAttributePrefs {
+                    id,
+                    attribute,
+                    tuples,
+                } => {
+                    if let Some(q) = profiles.iter_mut().find(|q| q.id() == *id) {
+                        let mut prefs = qpv_policy::ProviderPreferences::new(*id);
+                        for t in q.preferences.tuples() {
+                            if t.attribute != *attribute {
+                                prefs.add(t.attribute.clone(), t.tuple.clone());
+                            }
+                        }
+                        for t in tuples {
+                            prefs.add(attribute.clone(), t.clone());
+                        }
+                        q.preferences = prefs;
+                    }
+                }
+                DeltaOp::SetSensitivity {
+                    id,
+                    attribute,
+                    sensitivity,
+                } => {
+                    if let Some(q) = profiles.iter_mut().find(|q| q.id() == *id) {
+                        q.sensitivities.insert(attribute.clone(), *sensitivity);
+                    }
+                }
+                DeltaOp::SetThreshold { id, threshold } => {
+                    if let Some(q) = profiles.iter_mut().find(|q| q.id() == *id) {
+                        q.threshold = *threshold;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Why [`CompiledPopulation::apply_delta`] refused a delta.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeltaError {
+    /// The population interned this provider id more than once, so
+    /// id-based delta addressing is ambiguous. Rebuild duplicate-free
+    /// (or keep auditing it batch-style — audits are unaffected).
+    DuplicateOccurrences(ProviderId),
+}
+
+impl std::fmt::Display for DeltaError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DeltaError::DuplicateOccurrences(id) => write!(
+                f,
+                "provider id {} occurs more than once; deltas address providers by id",
+                id.0
+            ),
+        }
+    }
+}
+
+impl std::error::Error for DeltaError {}
+
+/// One occurrence-level effect of an applied delta, in application
+/// order. Indices are positions *at the time the event fired* — replay
+/// them in order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum DeltaEvent {
+    /// Occurrence `i` changed in place: re-score it.
+    Touched(u32),
+    /// A fresh occurrence appeared at index `i` (the then-end).
+    Appended(u32),
+    /// Occurrence `i` was removed; the then-last occurrence (if any)
+    /// moved into slot `i` (`swap_remove`).
+    Removed(u32),
+}
+
+/// The event log of one [`CompiledPopulation::apply_delta`] call.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeltaOutcome {
+    /// The population epoch after application.
+    pub epoch: u64,
+    events: Vec<DeltaEvent>,
+}
+
+impl DeltaOutcome {
+    pub(crate) fn events(&self) -> &[DeltaEvent] {
+        &self.events
+    }
+
+    /// Number of per-occurrence events the delta produced (an upper
+    /// bound on distinct touched providers).
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the delta touched nothing.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
 }
 
 /// Population → plan symbol-id translation arrays. `u32::MAX` marks a
@@ -382,6 +942,20 @@ impl PopulationBuilder {
                 datums[row * na + a as usize] = s;
             }
         }
+        // Unique-id populations (the common case, and the paper's
+        // Assumption 5) get a delta-addressing map; duplicate-occurrence
+        // populations stay audit-only.
+        let index = if self.ids.len() == self.id_rows.len() {
+            Some(
+                self.ids
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &id)| (id, i as u32))
+                    .collect(),
+            )
+        } else {
+            None
+        };
         CompiledPopulation {
             attrs: self.attrs,
             purposes: self.purposes,
@@ -391,6 +965,10 @@ impl PopulationBuilder {
             row_of: self.row_of,
             datums,
             thresholds: self.thresholds,
+            epoch: 0,
+            index,
+            free_pref: Vec::new(),
+            free_rows: Vec::new(),
         }
     }
 
@@ -701,6 +1279,129 @@ mod tests {
             engine.audit_compiled(&via_scans),
             engine.audit_compiled(&via_profiles)
         );
+    }
+
+    /// Delta application audits identically to a fresh compile of the
+    /// mutated profile list, across every op kind.
+    #[test]
+    fn apply_delta_matches_fresh_compile_of_mutated_profiles() {
+        let (engine, profiles) = worked_example();
+        let mut pop = CompiledPopulation::from_profiles(&profiles);
+        assert_eq!(pop.epoch(), 0);
+
+        let mut newcomer = ProviderProfile::new(ProviderId(9), 30);
+        newcomer
+            .preferences
+            .add("weight", PrivacyTuple::from_point("pr", pt(6, 6, 6)));
+        newcomer
+            .sensitivities
+            .insert("weight".into(), DatumSensitivity::new(2, 1, 1, 1));
+        let mut replacement = ProviderProfile::new(ProviderId(0), 5);
+        replacement
+            .preferences
+            .add("weight", PrivacyTuple::from_point("pr", pt(1, 1, 1)));
+
+        let delta = PopulationDelta::new()
+            .upsert(newcomer)
+            .upsert(replacement)
+            .remove(ProviderId(1))
+            .set_attribute_prefs(
+                ProviderId(2),
+                "weight",
+                vec![PrivacyTuple::from_point("pr", pt(3, 3, 3))],
+            )
+            .set_sensitivity(ProviderId(2), "weight", DatumSensitivity::new(5, 5, 5, 5))
+            .set_threshold(ProviderId(2), 1)
+            .remove(ProviderId(777)); // unknown id: no-op
+
+        let mut mutated = profiles.clone();
+        delta.apply_to_profiles(&mut mutated);
+        let outcome = pop.apply_delta(&delta).expect("unique ids");
+        assert_eq!(pop.epoch(), 1);
+        assert_eq!(outcome.epoch, 1);
+        assert_eq!(outcome.len(), 6, "the unknown-id op produced no event");
+
+        let fresh = CompiledPopulation::from_profiles(&mutated);
+        assert_eq!(
+            engine.audit_compiled(&pop),
+            engine.audit_compiled(&fresh),
+            "delta-applied population audits byte-identical to a rebuild"
+        );
+    }
+
+    /// Removal + re-insert cycles reuse freed preference rows and id-rows
+    /// instead of growing the flat arrays.
+    #[test]
+    fn delta_freelists_recycle_rows() {
+        let (engine, profiles) = worked_example();
+        let mut pop = CompiledPopulation::from_profiles(&profiles);
+        let rows_before = pop.pref_rows.len();
+        let id_rows_before = pop.thresholds.len();
+        let mut mutated = profiles.clone();
+        for round in 0u64..8 {
+            let mut p = ProviderProfile::new(ProviderId(1), 10 + round);
+            p.preferences
+                .add("weight", PrivacyTuple::from_point("pr", pt(4, 4, 4)));
+            p.sensitivities
+                .insert("weight".into(), DatumSensitivity::new(1, 2, 3, 4));
+            let delta = PopulationDelta::new().remove(ProviderId(1)).upsert(p);
+            delta.apply_to_profiles(&mut mutated);
+            pop.apply_delta(&delta).expect("unique ids");
+        }
+        assert_eq!(pop.pref_rows.len(), rows_before, "pref rows recycled");
+        assert_eq!(pop.thresholds.len(), id_rows_before, "id-rows recycled");
+        let fresh = CompiledPopulation::from_profiles(&mutated);
+        assert_eq!(engine.audit_compiled(&pop), engine.audit_compiled(&fresh));
+    }
+
+    /// A delta introducing a brand-new attribute re-strides the datum
+    /// table without disturbing existing sensitivities.
+    #[test]
+    fn delta_with_new_attribute_restrides_datums() {
+        let (_, profiles) = worked_example();
+        let mut pop = CompiledPopulation::from_profiles(&profiles);
+        let delta = PopulationDelta::new()
+            .set_sensitivity(ProviderId(0), "height", DatumSensitivity::new(9, 9, 9, 9))
+            .set_attribute_prefs(
+                ProviderId(1),
+                "height",
+                vec![PrivacyTuple::from_point("pr", pt(2, 2, 2))],
+            );
+        let mut mutated = profiles.clone();
+        delta.apply_to_profiles(&mut mutated);
+        pop.apply_delta(&delta).expect("unique ids");
+        let h = pop.attrs.get("height").expect("interned by the delta");
+        let w = pop.attrs.get("weight").expect("still interned");
+        assert_eq!(pop.datum(0, h), DatumSensitivity::new(9, 9, 9, 9));
+        assert_eq!(pop.datum(1, h), DatumSensitivity::neutral());
+        assert_eq!(pop.datum(1, w), DatumSensitivity::new(3, 1, 5, 2));
+        // Audit with an engine that covers the new attribute.
+        let policy = HousePolicy::builder("h2")
+            .tuple("height", PrivacyTuple::from_point("pr", pt(5, 5, 5)))
+            .build();
+        let engine = AuditEngine::new(policy, ["weight", "height"], {
+            let mut w = AttributeSensitivities::new();
+            w.set("weight", 4);
+            w.set("height", 2);
+            w
+        });
+        let fresh = CompiledPopulation::from_profiles(&mutated);
+        assert_eq!(engine.audit_compiled(&pop), engine.audit_compiled(&fresh));
+    }
+
+    /// Duplicate-occurrence populations stay audit-only: deltas are
+    /// refused with the offending id.
+    #[test]
+    fn duplicate_occurrences_refuse_deltas() {
+        let (_, mut profiles) = worked_example();
+        profiles.push(profiles[1].clone());
+        let mut pop = CompiledPopulation::from_profiles(&profiles);
+        let delta = PopulationDelta::new().set_threshold(ProviderId(0), 3);
+        assert_eq!(
+            pop.apply_delta(&delta),
+            Err(DeltaError::DuplicateOccurrences(ProviderId(1)))
+        );
+        assert_eq!(pop.epoch(), 0, "refused deltas do not bump the epoch");
     }
 
     #[test]

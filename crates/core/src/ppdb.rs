@@ -33,7 +33,7 @@ use qpv_reldb::fault::RetryPolicy;
 
 use crate::audit::{AuditEngine, AuditReport};
 use crate::par::AuditError;
-use crate::pop::{CompiledPopulation, PopulationBuilder};
+use crate::pop::{CompiledPopulation, DeltaOp, PopulationBuilder, PopulationDelta};
 use crate::profile::ProviderProfile;
 use crate::sensitivity::{AttributeSensitivities, DatumSensitivity};
 
@@ -59,9 +59,20 @@ impl PpdbConfig {
 
 /// A relational database with the privacy-violation model stored alongside
 /// the data it protects.
+///
+/// Every write op that changes the audited population
+/// ([`Ppdb::register_provider`] / [`Ppdb::insert_provider`],
+/// [`Ppdb::remove_provider`], [`Ppdb::set_preferences`],
+/// [`Ppdb::set_sensitivity`], [`Ppdb::set_threshold`]) also appends the
+/// equivalent [`DeltaOp`] to a pending [`PopulationDelta`] — *after* the
+/// storage transaction commits, so the delta never gets ahead of durable
+/// state. [`Ppdb::take_delta`] drains it; feeding the drained delta to an
+/// [`crate::IncrementalAuditor`] keeps a live auditor tracking the store
+/// without rescans.
 pub struct Ppdb {
     db: Database,
     config: PpdbConfig,
+    pending: PopulationDelta,
 }
 
 const T_POLICY: &str = "_qpv_policy";
@@ -171,7 +182,11 @@ impl Ppdb {
                 .column("p_def", DataType::Float)
                 .build()?,
         )?;
-        Ok(Ppdb { db, config })
+        Ok(Ppdb {
+            db,
+            config,
+            pending: PopulationDelta::new(),
+        })
     }
 
     /// Attach to a database where [`Ppdb::create`] already ran (e.g. after
@@ -191,7 +206,11 @@ impl Ppdb {
                 return Err(DbError::Catalog(format!("not a PPDB: missing table {t:?}")));
             }
         }
-        Ok(Ppdb { db, config })
+        Ok(Ppdb {
+            db,
+            config,
+            pending: PopulationDelta::new(),
+        })
     }
 
     /// The underlying database (e.g. for ad-hoc SQL over the data or the
@@ -325,12 +344,22 @@ impl Ppdb {
             Ok(())
         })();
         match result {
-            Ok(()) => self.db.commit(),
+            Ok(()) => {
+                self.db.commit()?;
+                self.pending.push(DeltaOp::Upsert(profile.clone()));
+                Ok(())
+            }
             Err(e) => {
                 self.db.rollback()?;
                 Err(e)
             }
         }
+    }
+
+    /// [`Ppdb::register_provider`] under the name the delta pipeline uses:
+    /// insert a provider and emit the corresponding upsert delta.
+    pub fn insert_provider(&mut self, profile: &ProviderProfile, data: Row) -> DbResult<()> {
+        self.register_provider(profile, data)
     }
 
     /// Remove a provider entirely (their data and all model metadata) —
@@ -350,12 +379,194 @@ impl Ppdb {
             Ok(())
         })();
         match result {
-            Ok(()) => self.db.commit(),
+            Ok(()) => {
+                self.db.commit()?;
+                self.pending.push(DeltaOp::Remove(id));
+                Ok(())
+            }
             Err(e) => {
                 self.db.rollback()?;
                 Err(e)
             }
         }
+    }
+
+    /// Replace a provider's stated preferences for one attribute.
+    ///
+    /// Mirrors [`crate::DeltaOp::SetAttributePrefs`]: the provider's tuples
+    /// for other attributes keep their stored order, and the new tuples for
+    /// `attribute` come after them. Unknown providers are a silent no-op,
+    /// matching the delta semantics.
+    pub fn set_preferences(
+        &mut self,
+        id: ProviderId,
+        attribute: &str,
+        tuples: Vec<PrivacyTuple>,
+    ) -> DbResult<()> {
+        let n = id.0 as i64;
+        if !self.provider_ids()?.contains(&id) {
+            return Ok(());
+        }
+        // The SQL layer only takes single-predicate DELETEs, so rewrite the
+        // provider's whole preference set: keep rows for other attributes
+        // (in scan order), then append the replacements.
+        let mut keep: Vec<(String, PrivacyTuple)> = Vec::new();
+        for (_, row) in self.db.scan(T_PREFS)? {
+            if int(&row, 0)? == n {
+                let (attr, tuple) = decode_tuple_row(&row, 1)?;
+                if attr != attribute {
+                    keep.push((attr, tuple));
+                }
+            }
+        }
+        self.db.begin()?;
+        let result = (|| -> DbResult<()> {
+            self.db
+                .execute(&format!("DELETE FROM {T_PREFS} WHERE provider = {n}"))?;
+            for (attr, tuple) in keep
+                .iter()
+                .map(|(a, t)| (a.as_str(), t))
+                .chain(tuples.iter().map(|t| (attribute, t)))
+            {
+                self.db.insert(
+                    T_PREFS,
+                    Row::from_values([
+                        Value::Int(n),
+                        Value::Text(attr.to_string()),
+                        Value::Text(tuple.purpose.name().to_string()),
+                        Value::Int(tuple.point.visibility.raw() as i64),
+                        Value::Int(tuple.point.granularity.raw() as i64),
+                        Value::Int(tuple.point.retention.raw() as i64),
+                    ]),
+                )?;
+            }
+            Ok(())
+        })();
+        match result {
+            Ok(()) => {
+                self.db.commit()?;
+                self.pending.push(DeltaOp::SetAttributePrefs {
+                    id,
+                    attribute: attribute.to_string(),
+                    tuples,
+                });
+                Ok(())
+            }
+            Err(e) => {
+                self.db.rollback()?;
+                Err(e)
+            }
+        }
+    }
+
+    /// Set a provider's datum sensitivity for one attribute.
+    ///
+    /// Unknown providers are a silent no-op, matching
+    /// [`crate::DeltaOp::SetSensitivity`].
+    pub fn set_sensitivity(
+        &mut self,
+        id: ProviderId,
+        attribute: &str,
+        sensitivity: DatumSensitivity,
+    ) -> DbResult<()> {
+        let n = id.0 as i64;
+        if !self.provider_ids()?.contains(&id) {
+            return Ok(());
+        }
+        let mut keep: Vec<(String, DatumSensitivity)> = Vec::new();
+        for (_, row) in self.db.scan(T_SENS)? {
+            if int(&row, 0)? == n {
+                let attr = text(&row, 1)?;
+                if attr != attribute {
+                    keep.push((
+                        attr,
+                        DatumSensitivity::new(
+                            int(&row, 2)? as u32,
+                            int(&row, 3)? as u32,
+                            int(&row, 4)? as u32,
+                            int(&row, 5)? as u32,
+                        ),
+                    ));
+                }
+            }
+        }
+        self.db.begin()?;
+        let result = (|| -> DbResult<()> {
+            self.db
+                .execute(&format!("DELETE FROM {T_SENS} WHERE provider = {n}"))?;
+            for (attr, s) in keep
+                .iter()
+                .map(|(a, s)| (a.as_str(), *s))
+                .chain(std::iter::once((attribute, sensitivity)))
+            {
+                self.db.insert(
+                    T_SENS,
+                    Row::from_values([
+                        Value::Int(n),
+                        Value::Text(attr.to_string()),
+                        Value::Int(s.value as i64),
+                        Value::Int(s.visibility as i64),
+                        Value::Int(s.granularity as i64),
+                        Value::Int(s.retention as i64),
+                    ]),
+                )?;
+            }
+            Ok(())
+        })();
+        match result {
+            Ok(()) => {
+                self.db.commit()?;
+                self.pending.push(DeltaOp::SetSensitivity {
+                    id,
+                    attribute: attribute.to_string(),
+                    sensitivity,
+                });
+                Ok(())
+            }
+            Err(e) => {
+                self.db.rollback()?;
+                Err(e)
+            }
+        }
+    }
+
+    /// Set a provider's violation threshold `v_i`.
+    ///
+    /// Unknown providers are a silent no-op, matching
+    /// [`crate::DeltaOp::SetThreshold`].
+    pub fn set_threshold(&mut self, id: ProviderId, threshold: u64) -> DbResult<()> {
+        let n = id.0 as i64;
+        if !self.provider_ids()?.contains(&id) {
+            return Ok(());
+        }
+        self.db.begin()?;
+        let result = (|| -> DbResult<()> {
+            self.db
+                .execute(&format!("DELETE FROM {T_THRESHOLDS} WHERE provider = {n}"))?;
+            self.db.insert(
+                T_THRESHOLDS,
+                Row::from_values([Value::Int(n), Value::Int(threshold as i64)]),
+            )?;
+            Ok(())
+        })();
+        match result {
+            Ok(()) => {
+                self.db.commit()?;
+                self.pending.push(DeltaOp::SetThreshold { id, threshold });
+                Ok(())
+            }
+            Err(e) => {
+                self.db.rollback()?;
+                Err(e)
+            }
+        }
+    }
+
+    /// Drain the delta accumulated by write ops since the last call (or
+    /// since open). Feed it to [`crate::IncrementalAuditor::apply_delta`]
+    /// to bring a live auditor up to date with the store without a rescan.
+    pub fn take_delta(&mut self) -> PopulationDelta {
+        std::mem::take(&mut self.pending)
     }
 
     /// All provider ids with data stored, in storage order.
@@ -902,6 +1113,83 @@ mod tests {
         );
         // And both equal the string-path oracle.
         assert_eq!(from_scan, engine.run_reference(&profiles));
+    }
+
+    /// Write ops emit deltas; a live auditor fed `take_delta()` tracks the
+    /// store without ever rescanning it.
+    #[test]
+    fn live_auditor_tracks_store_through_deltas() {
+        use crate::incremental::IncrementalAuditor;
+
+        let mut ppdb = fresh();
+        ppdb.set_policy(
+            &HousePolicy::builder("people")
+                .tuple("weight", PrivacyTuple::from_point("pr", pt(5, 5, 5)))
+                .tuple("age", PrivacyTuple::from_point("ads", pt(3, 2, 365)))
+                .build(),
+        )
+        .unwrap();
+        ppdb.set_attribute_weight("weight", 4).unwrap();
+        ppdb.set_attribute_weight("age", 2).unwrap();
+        for id in 0..8u64 {
+            let mut p = ProviderProfile::new(ProviderId(id), 20 + id * 9);
+            p.preferences.add(
+                "weight",
+                PrivacyTuple::from_point("pr", pt(4 + (id % 4) as u32, 5, 6)),
+            );
+            if id % 2 == 0 {
+                p.sensitivities
+                    .insert("weight".into(), DatumSensitivity::new(2, 1, 3, 1));
+            }
+            ppdb.register_provider(&p, data_row(id)).unwrap();
+        }
+
+        // Snapshot the store into a live auditor; drain the registration
+        // backlog so it isn't applied twice.
+        let pop = ppdb.compiled_population().unwrap();
+        let attrs = ppdb.attributes().unwrap();
+        let weights = ppdb.attribute_weights().unwrap();
+        let policy = ppdb.house_policy().unwrap();
+        let mut live =
+            IncrementalAuditor::from_population(pop, attrs.clone(), &weights, policy.clone());
+        ppdb.take_delta();
+
+        // Every kind of write op, including no-ops on unknown providers.
+        ppdb.insert_provider(&sample_profile(100, 35), data_row(100))
+            .unwrap();
+        ppdb.set_preferences(
+            ProviderId(3),
+            "age",
+            vec![PrivacyTuple::from_point("ads", pt(2, 1, 400))],
+        )
+        .unwrap();
+        ppdb.set_sensitivity(ProviderId(4), "age", DatumSensitivity::new(5, 2, 1, 3))
+            .unwrap();
+        ppdb.set_threshold(ProviderId(5), 1).unwrap();
+        ppdb.set_threshold(ProviderId(999), 1).unwrap(); // unknown: no-op
+        ppdb.remove_provider(ProviderId(2)).unwrap();
+
+        let delta = ppdb.take_delta();
+        assert_eq!(delta.len(), 5, "unknown-provider op must not be recorded");
+        live.apply_delta(&delta).unwrap();
+        assert!(ppdb.take_delta().is_empty());
+
+        // The live auditor now agrees with a from-scratch audit of the
+        // store (order-independent aggregates, then per-id scores).
+        let report = ppdb.audit().unwrap();
+        let outcome = live.outcome();
+        assert_eq!(outcome.population, report.providers.len());
+        assert_eq!(outcome.total_violations, report.total_violations);
+        for pa in &report.providers {
+            let i = live.compiled().occurrence_of(pa.provider).unwrap();
+            assert_eq!(live.score(i), pa.score, "provider {:?}", pa.provider);
+            assert_eq!(
+                live.defaulted(i),
+                pa.defaulted,
+                "provider {:?}",
+                pa.provider
+            );
+        }
     }
 
     #[test]

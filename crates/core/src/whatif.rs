@@ -18,7 +18,7 @@ use serde::{Deserialize, Serialize};
 use qpv_policy::HousePolicy;
 
 use crate::audit::AuditEngine;
-use crate::pop::{CompiledPopulation, PolicyOutcome};
+use crate::pop::{CompiledPopulation, DeltaError, PolicyOutcome, PopulationDelta};
 use crate::profile::ProviderProfile;
 
 /// The summary of one evaluated scenario.
@@ -66,6 +66,20 @@ impl<'a> WhatIf<'a> {
     /// scanned straight out of a `Ppdb`).
     pub fn from_population(engine: &'a AuditEngine, pop: CompiledPopulation) -> WhatIf<'a> {
         WhatIf { engine, pop }
+    }
+
+    /// [`WhatIf::from_population`], starting from a base population plus a
+    /// delta — clone-and-apply instead of recompiling from profiles, so
+    /// pricing a scenario against a slightly mutated population costs
+    /// `O(N + changed)` (the clone) rather than a full rebuild.
+    pub fn with_delta(
+        engine: &'a AuditEngine,
+        base: &CompiledPopulation,
+        delta: &PopulationDelta,
+    ) -> Result<WhatIf<'a>, DeltaError> {
+        let mut pop = base.clone();
+        pop.apply_delta(delta)?;
+        Ok(WhatIf::from_population(engine, pop))
     }
 
     /// Evaluate one candidate policy: a single counts-only pass.
@@ -215,6 +229,41 @@ mod tests {
             assert_eq!(outcome.p_default, report.p_default());
             assert_eq!(outcome.remaining, report.remaining());
         }
+    }
+
+    /// A what-if built from base + delta prices scenarios identically to
+    /// one built from the mutated profiles — and the base stays pristine.
+    #[test]
+    fn with_delta_matches_recompiled_population() {
+        use crate::pop::PopulationDelta;
+
+        let (engine, mut profiles) = setup();
+        let base = CompiledPopulation::from_profiles(&profiles);
+        let base_epoch = base.epoch();
+
+        let mut newcomer = ProviderProfile::new(ProviderId(50), 30);
+        newcomer
+            .preferences
+            .add("weight", PrivacyTuple::from_point("pr", pt(2, 2, 30)));
+        let delta = PopulationDelta::new()
+            .upsert(newcomer)
+            .remove(ProviderId(4))
+            .set_threshold(ProviderId(7), 1);
+        let whatif = WhatIf::with_delta(&engine, &base, &delta).unwrap();
+
+        delta.apply_to_profiles(&mut profiles);
+        let fresh = WhatIf::new(&engine, &profiles);
+        for steps in [0u32, 3, 7] {
+            let policy = engine.policy.widened_uniform(steps);
+            let a = whatif.evaluate("d", &policy);
+            let b = fresh.evaluate("d", &policy);
+            assert_eq!(a.total_violations, b.total_violations);
+            assert_eq!(a.p_violation, b.p_violation);
+            assert_eq!(a.p_default, b.p_default);
+            assert_eq!(a.remaining, b.remaining);
+        }
+        assert_eq!(base.epoch(), base_epoch, "base must not be mutated");
+        assert_eq!(base.len(), 10);
     }
 
     #[test]

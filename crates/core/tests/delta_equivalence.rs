@@ -1,0 +1,307 @@
+//! Property suite for the delta pipeline: applying a random
+//! [`PopulationDelta`] sequence to a compiled population (and to a live
+//! [`IncrementalAuditor`]) lands **byte-identically** — serialized-JSON
+//! equal — on the state a fresh compile + audit of the mutated profile
+//! list produces, flat and lattice, sequential and parallel.
+//!
+//! Ops are generated as plain integer tuples and decoded deterministically
+//! here, so failing cases shrink along integers and vector length — the
+//! dimensions the vendored `proptest` knows how to minimize. The decoded
+//! mix covers every [`DeltaOp`] variant, including upserts of brand-new
+//! ids, repeated edits of the same provider, removals, retractions
+//! (empty preference replacement), and ops naming unknown providers
+//! (which must no-op on both sides).
+
+use std::num::NonZeroUsize;
+
+use proptest::prelude::*;
+
+use qpv_core::sensitivity::{AttributeSensitivities, DatumSensitivity};
+use qpv_core::{
+    AuditEngine, CompiledPopulation, DeltaOp, IncrementalAuditor, PopulationDelta, ProviderProfile,
+};
+use qpv_policy::{HousePolicy, ProviderId};
+use qpv_taxonomy::{PrivacyPoint, PrivacyTuple, PurposeLattice};
+
+fn pt(v: u32, g: u32, r: u32) -> PrivacyPoint {
+    PrivacyPoint::from_raw(v, g, r)
+}
+
+/// Same structural-variety generator as `pop_equivalence.rs`, minus the
+/// duplicate-id case: deltas refuse populations with duplicate
+/// occurrences, so every id here is unique.
+fn population(n: usize, seed: u64) -> Vec<ProviderProfile> {
+    (0..n as u64).map(|i| profile_for(i, seed)).collect()
+}
+
+/// Deterministic profile for `id`: structure varies with the mixed seed,
+/// covering multiple tuples per attribute, unknown purposes, and
+/// attributes the data table does not store.
+fn profile_for(id: u64, seed: u64) -> ProviderProfile {
+    let x = id.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(seed);
+    let mut p = ProviderProfile::new(ProviderId(id), 10 + (x % 140));
+    p.preferences.add(
+        "weight",
+        PrivacyTuple::from_point("pr", pt(1 + (x % 5) as u32, 2, 20 + (x % 30) as u32)),
+    );
+    if x.is_multiple_of(4) {
+        p.preferences.add(
+            "weight",
+            PrivacyTuple::from_point("pr", pt(4, 1 + (x % 4) as u32, 10)),
+        );
+    }
+    if !x.is_multiple_of(3) {
+        p.preferences.add(
+            "age",
+            PrivacyTuple::from_point("research", pt(2 + (x % 3) as u32, 1 + (x % 4) as u32, 45)),
+        );
+    }
+    if x.is_multiple_of(5) {
+        p.preferences
+            .add("weight", PrivacyTuple::from_point("ops", pt(5, 5, 90)));
+    }
+    if x.is_multiple_of(7) {
+        p.preferences
+            .add("weight", PrivacyTuple::from_point("mystery", pt(9, 9, 9)));
+        p.preferences
+            .add("shoe_size", PrivacyTuple::from_point("pr", pt(9, 9, 9)));
+    }
+    p.sensitivities.insert(
+        "weight".into(),
+        DatumSensitivity::new(1 + (x % 6) as u32, 1, 1 + (x % 3) as u32, 2),
+    );
+    if x.is_multiple_of(2) {
+        p.sensitivities
+            .insert("age".into(), DatumSensitivity::new(2, 1, 1, 1));
+    }
+    p
+}
+
+const ATTRS: [&str; 3] = ["weight", "age", "shoe_size"];
+const PURPOSES: [&str; 4] = ["pr", "research", "ops", "mystery"];
+
+/// Decode one `(kind, id_sel, x)` integer tuple into a [`DeltaOp`] against
+/// a population of `n` original ids. `id_sel` deliberately overshoots `n`
+/// sometimes, producing upserts of new ids and edits/removals of unknown
+/// ids (silent no-ops on both the compiled and the profile-replay side).
+fn decode_op(n: usize, kind: u32, id_sel: u64, x: u64) -> DeltaOp {
+    let id = id_sel % (n as u64 + n as u64 / 2 + 4);
+    match kind % 6 {
+        0 | 1 => DeltaOp::Upsert(profile_for(id, x)),
+        2 => DeltaOp::Remove(ProviderId(id)),
+        3 => {
+            let attribute = ATTRS[(x % ATTRS.len() as u64) as usize].to_string();
+            let tuples = (0..x % 3)
+                .map(|t| {
+                    PrivacyTuple::from_point(
+                        PURPOSES[((x + t) % PURPOSES.len() as u64) as usize],
+                        pt(
+                            1 + ((x + t) % 6) as u32,
+                            1 + (x % 4) as u32,
+                            10 + (x % 50) as u32,
+                        ),
+                    )
+                })
+                .collect();
+            DeltaOp::SetAttributePrefs {
+                id: ProviderId(id),
+                attribute,
+                tuples,
+            }
+        }
+        4 => DeltaOp::SetSensitivity {
+            id: ProviderId(id),
+            attribute: ATTRS[(x % ATTRS.len() as u64) as usize].to_string(),
+            sensitivity: DatumSensitivity::new(
+                (x % 7) as u32,
+                (x % 3) as u32,
+                ((x / 3) % 4) as u32,
+                (x % 5) as u32,
+            ),
+        },
+        _ => DeltaOp::SetThreshold {
+            id: ProviderId(id),
+            threshold: x % 300,
+        },
+    }
+}
+
+fn decode_delta(n: usize, ops: &[(u32, u64, u64)]) -> PopulationDelta {
+    let mut delta = PopulationDelta::new();
+    for &(kind, id_sel, x) in ops {
+        delta.push(decode_op(n, kind, id_sel, x));
+    }
+    delta
+}
+
+fn weights() -> AttributeSensitivities {
+    let mut w = AttributeSensitivities::new();
+    w.set("weight", 4);
+    w.set("age", 2);
+    w
+}
+
+fn policy(level: u32) -> HousePolicy {
+    let mut b = HousePolicy::builder("h").tuple(
+        "weight",
+        PrivacyTuple::from_point("pr", pt(level, 3, 30 + level)),
+    );
+    if level.is_multiple_of(2) {
+        b = b.tuple(
+            "age",
+            PrivacyTuple::from_point("research", pt(2 + level / 3, 2, 60)),
+        );
+    }
+    if level >= 5 {
+        b = b.tuple("weight", PrivacyTuple::from_point("billing", pt(3, 3, 40)));
+    }
+    if level >= 7 {
+        b = b.tuple("weight", PrivacyTuple::from_point("ads", pt(3, 3, 365)));
+    }
+    b.build()
+}
+
+/// billing ⊑ pr ⊑ ops; research ⊑ ops.
+fn lattice() -> PurposeLattice {
+    let mut l = PurposeLattice::new();
+    l.add_edge("billing", "pr").unwrap();
+    l.add_edge("pr", "ops").unwrap();
+    l.add_edge("research", "ops").unwrap();
+    l
+}
+
+fn engine(hp: &HousePolicy) -> AuditEngine {
+    AuditEngine::new(hp.clone(), ["weight", "age"], weights())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Delta-applied compiled population == fresh compile of the mutated
+    /// profiles, as serialized JSON reports: flat, lattice, and the
+    /// parallel path for several thread counts.
+    #[test]
+    fn delta_applied_population_equals_fresh_compile(
+        seed in 0u64..1_000_000,
+        n in 1usize..80,
+        level in 0u32..10,
+        ops in proptest::collection::vec((0u32..6, 0u64..200, 0u64..1_000), 1..40),
+    ) {
+        let profiles = population(n, seed);
+        let delta = decode_delta(n, &ops);
+
+        let mut pop = CompiledPopulation::from_profiles(&profiles);
+        let outcome = pop.apply_delta(&delta).unwrap();
+        prop_assert_eq!(pop.epoch(), 1);
+        prop_assert_eq!(outcome.epoch, 1);
+
+        let mut mutated = profiles;
+        delta.apply_to_profiles(&mut mutated);
+        let fresh = CompiledPopulation::from_profiles(&mutated);
+        prop_assert_eq!(pop.len(), fresh.len());
+
+        for with_lattice in [false, true] {
+            let mut eng = engine(&policy(level));
+            if with_lattice {
+                eng = eng.with_lattice(lattice());
+            }
+            let via_delta = serde_json::to_string(&eng.audit_compiled(&pop)).unwrap();
+            let via_fresh = serde_json::to_string(&eng.audit_compiled(&fresh)).unwrap();
+            prop_assert_eq!(&via_delta, &via_fresh, "lattice={}", with_lattice);
+            for threads in [2usize, 4] {
+                let par = eng
+                    .par_audit_compiled(&pop, NonZeroUsize::new(threads).unwrap())
+                    .unwrap();
+                prop_assert_eq!(
+                    &serde_json::to_string(&par).unwrap(),
+                    &via_delta,
+                    "lattice={} threads={}", with_lattice, threads
+                );
+            }
+        }
+    }
+
+    /// Delta-fed live auditor == fresh auditor over the mutated profiles:
+    /// identical per-provider scores/flags and identical JSON outcome,
+    /// whether the fresh build is sequential or parallel.
+    #[test]
+    fn delta_fed_auditor_equals_fresh_build(
+        seed in 0u64..1_000_000,
+        n in 1usize..80,
+        level in 0u32..10,
+        ops in proptest::collection::vec((0u32..6, 0u64..200, 0u64..1_000), 1..40),
+    ) {
+        let profiles = population(n, seed);
+        let delta = decode_delta(n, &ops);
+
+        let mut live = IncrementalAuditor::from_population(
+            CompiledPopulation::from_profiles(&profiles),
+            vec!["weight".into(), "age".into()],
+            &weights(),
+            policy(level),
+        );
+        live.apply_delta(&delta).unwrap();
+
+        let mut mutated = profiles;
+        delta.apply_to_profiles(&mut mutated);
+        let fresh = IncrementalAuditor::new(
+            mutated.clone(),
+            vec!["weight".into(), "age".into()],
+            &weights(),
+            policy(level),
+        );
+        prop_assert_eq!(
+            serde_json::to_string(&live.outcome()).unwrap(),
+            serde_json::to_string(&fresh.outcome()).unwrap()
+        );
+        // Occurrence order may differ (swap-remove vs rebuild), so compare
+        // per provider id.
+        prop_assert_eq!(live.population(), mutated.len());
+        for (j, p) in mutated.iter().enumerate() {
+            let i = live.compiled().occurrence_of(p.id()).unwrap();
+            prop_assert_eq!(live.score(i), fresh.score(j), "id {:?}", p.id());
+            prop_assert_eq!(live.violated(i), fresh.violated(j), "id {:?}", p.id());
+            prop_assert_eq!(live.defaulted(i), fresh.defaulted(j), "id {:?}", p.id());
+        }
+        let par = IncrementalAuditor::new_parallel(
+            mutated,
+            vec!["weight".into(), "age".into()],
+            &weights(),
+            policy(level),
+            NonZeroUsize::new(4).unwrap(),
+        );
+        prop_assert_eq!(
+            serde_json::to_string(&live.outcome()).unwrap(),
+            serde_json::to_string(&par.outcome()).unwrap()
+        );
+    }
+
+    /// Splitting one delta into two sequential batches lands on the same
+    /// state as applying it whole (epochs aside) — deltas compose.
+    #[test]
+    fn split_deltas_compose(
+        seed in 0u64..1_000_000,
+        n in 1usize..60,
+        split in 0usize..40,
+        ops in proptest::collection::vec((0u32..6, 0u64..200, 0u64..1_000), 2..40),
+    ) {
+        let profiles = population(n, seed);
+        let delta = decode_delta(n, &ops);
+        let cut = split % (ops.len() + 1);
+        let first = decode_delta(n, &ops[..cut]);
+        let second = decode_delta(n, &ops[cut..]);
+
+        let mut whole = CompiledPopulation::from_profiles(&profiles);
+        whole.apply_delta(&delta).unwrap();
+        let mut batched = CompiledPopulation::from_profiles(&profiles);
+        batched.apply_delta(&first).unwrap();
+        batched.apply_delta(&second).unwrap();
+        prop_assert_eq!(batched.epoch(), 2);
+
+        let eng = engine(&policy(6));
+        prop_assert_eq!(
+            serde_json::to_string(&eng.audit_compiled(&whole)).unwrap(),
+            serde_json::to_string(&eng.audit_compiled(&batched)).unwrap()
+        );
+    }
+}

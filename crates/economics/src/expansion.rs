@@ -12,7 +12,9 @@
 
 use serde::{Deserialize, Serialize};
 
-use qpv_core::{AuditEngine, CompiledPopulation, PolicyOutcome, ProviderProfile};
+use qpv_core::{
+    AuditEngine, CompiledPopulation, DeltaError, PolicyOutcome, PopulationDelta, ProviderProfile,
+};
 use qpv_policy::HousePolicy;
 
 use crate::utility::UtilityModel;
@@ -92,6 +94,24 @@ impl<'a> ExpansionSweep<'a> {
             utility,
             t_per_step,
         }
+    }
+
+    /// [`ExpansionSweep::from_population`], pricing an expansion against a
+    /// base population plus a [`PopulationDelta`] (Eq. 31's marginal
+    /// question under churn): clone-and-apply instead of recompiling from
+    /// profiles, leaving the base untouched for other sweeps.
+    pub fn with_delta(
+        engine: &'a AuditEngine,
+        base: &CompiledPopulation,
+        delta: &PopulationDelta,
+        utility: UtilityModel,
+        t_per_step: f64,
+    ) -> Result<ExpansionSweep<'a>, DeltaError> {
+        let mut pop = base.clone();
+        pop.apply_delta(delta)?;
+        Ok(ExpansionSweep::from_population(
+            engine, pop, utility, t_per_step,
+        ))
     }
 
     /// Tabulate one evaluated step from its audit counts.
@@ -289,6 +309,36 @@ mod tests {
                 u.is_justified(10, row.n_future, row.t_offered)
             );
         }
+    }
+
+    /// Pricing an expansion on base + delta gives the same table as
+    /// sweeping the mutated profiles, without touching the base.
+    #[test]
+    fn with_delta_matches_sweeping_mutated_profiles() {
+        let (engine, mut profiles) = setup(10);
+        let base = CompiledPopulation::from_profiles(&profiles);
+
+        let mut newcomer = ProviderProfile::new(ProviderId(40), 0);
+        let mut prefs = ProviderPreferences::new(ProviderId(40));
+        prefs.add("x", PrivacyTuple::from_point("pr", pt(6, 6, 6)));
+        newcomer.preferences = prefs;
+        newcomer
+            .sensitivities
+            .insert("x".into(), DatumSensitivity::neutral());
+        let delta = PopulationDelta::new()
+            .upsert(newcomer)
+            .remove(ProviderId(1))
+            .set_threshold(ProviderId(8), 5);
+
+        let u = UtilityModel::new(10.0);
+        let sweep = ExpansionSweep::with_delta(&engine, &base, &delta, u, 3.0).unwrap();
+        delta.apply_to_profiles(&mut profiles);
+        let fresh = ExpansionSweep::new(&engine, &profiles, u, 3.0);
+
+        let a = sweep.run_uniform(&engine.policy, 6);
+        let b = fresh.run_uniform(&engine.policy, 6);
+        assert_eq!(a, b);
+        assert_eq!(base.len(), 10, "base must not be mutated");
     }
 
     #[test]

@@ -80,24 +80,31 @@ impl FaultOp {
 /// When faults trigger, relative to the global I/O-op index.
 #[derive(Debug, Clone)]
 enum Trigger {
-    /// Never fire (counting-only plans).
+    /// Never fire (counting-only and schedule-only plans).
     Never,
     /// Fire `kind` exactly at op `n`.
     AtOp(u64, FaultKind),
     /// Fire `kind` at every op index divisible by `k` (op 0 excluded so a
     /// workload always gets at least one clean op).
     EveryKth(u64, FaultKind),
-    /// Scripted schedule: `(op_index, kind)` pairs, any order.
-    Script(Vec<(u64, FaultKind)>),
 }
 
 /// A clock-free, seed-deterministic description of which I/O ops fault and
 /// how. Construct one, wrap it in a [`FaultInjector`], and hand it to
 /// [`crate::db::Database::open_with_faults`] (or a [`FaultStore`] /
 /// [`crate::wal::Wal::open_with`] directly).
+///
+/// Every plan carries a base trigger *and* a scripted `(op_index, kind)`
+/// schedule, and both are live at once: chain [`FaultPlan::and_fail_at`]
+/// onto any constructor to layer scheduled faults over a periodic trigger —
+/// e.g. `every_kth(5, Transient).and_fail_at(37, CrashStop)` exercises a
+/// flaky medium that eventually dies, in a single deterministic run. Where
+/// a scheduled entry and the base trigger collide on the same op index, the
+/// scheduled entry wins (explicit beats periodic).
 #[derive(Debug, Clone)]
 pub struct FaultPlan {
     trigger: Trigger,
+    schedule: Vec<(u64, FaultKind)>,
     seed: u64,
 }
 
@@ -106,6 +113,7 @@ impl FaultPlan {
     pub fn none() -> FaultPlan {
         FaultPlan {
             trigger: Trigger::Never,
+            schedule: Vec::new(),
             seed: 0,
         }
     }
@@ -114,6 +122,7 @@ impl FaultPlan {
     pub fn fail_at(n: u64, kind: FaultKind) -> FaultPlan {
         FaultPlan {
             trigger: Trigger::AtOp(n, kind),
+            schedule: Vec::new(),
             seed: n,
         }
     }
@@ -122,16 +131,26 @@ impl FaultPlan {
     pub fn every_kth(k: u64, kind: FaultKind) -> FaultPlan {
         FaultPlan {
             trigger: Trigger::EveryKth(k.max(1), kind),
+            schedule: Vec::new(),
             seed: k,
         }
     }
 
-    /// Inject the scripted `(op_index, kind)` schedule.
+    /// Inject the scripted `(op_index, kind)` schedule — any number of
+    /// triggers, any order.
     pub fn script(schedule: Vec<(u64, FaultKind)>) -> FaultPlan {
         FaultPlan {
-            trigger: Trigger::Script(schedule),
+            trigger: Trigger::Never,
+            schedule,
             seed: 0,
         }
+    }
+
+    /// Add one scheduled fault on top of this plan's existing triggers.
+    /// Chainable, so multi-fault schedules compose from any base plan.
+    pub fn and_fail_at(mut self, n: u64, kind: FaultKind) -> FaultPlan {
+        self.schedule.push((n, kind));
+        self
     }
 
     /// Override the seed that torn-write prefix lengths derive from.
@@ -141,6 +160,9 @@ impl FaultPlan {
     }
 
     fn fault_for(&self, op_index: u64) -> Option<FaultKind> {
+        if let Some((_, kind)) = self.schedule.iter().find(|(n, _)| *n == op_index) {
+            return Some(*kind);
+        }
         match &self.trigger {
             Trigger::Never => None,
             Trigger::AtOp(n, kind) if *n == op_index => Some(*kind),
@@ -149,10 +171,6 @@ impl FaultPlan {
                 Some(*kind)
             }
             Trigger::EveryKth(..) => None,
-            Trigger::Script(schedule) => schedule
-                .iter()
-                .find(|(n, _)| *n == op_index)
-                .map(|(_, kind)| *kind),
         }
     }
 }
@@ -406,6 +424,27 @@ mod tests {
         assert_eq!(plan.fault_for(1), Some(FaultKind::Transient));
         assert_eq!(plan.fault_for(5), Some(FaultKind::CrashStop));
         assert_eq!(plan.fault_for(3), None);
+    }
+
+    #[test]
+    fn schedules_compose_onto_any_base_trigger() {
+        // Periodic transients plus a scheduled crash, in one plan.
+        let plan = FaultPlan::every_kth(4, FaultKind::Transient)
+            .and_fail_at(6, FaultKind::CrashStop)
+            .and_fail_at(9, FaultKind::TornWrite);
+        assert_eq!(plan.fault_for(4), Some(FaultKind::Transient));
+        assert_eq!(plan.fault_for(6), Some(FaultKind::CrashStop));
+        assert_eq!(plan.fault_for(9), Some(FaultKind::TornWrite));
+        assert_eq!(plan.fault_for(7), None);
+        // On a collision the scheduled entry wins over the periodic base.
+        let plan =
+            FaultPlan::every_kth(4, FaultKind::Transient).and_fail_at(8, FaultKind::CrashStop);
+        assert_eq!(plan.fault_for(8), Some(FaultKind::CrashStop));
+        // Chaining onto a script keeps the original entries live too.
+        let plan =
+            FaultPlan::script(vec![(2, FaultKind::SyncFail)]).and_fail_at(3, FaultKind::CrashStop);
+        assert_eq!(plan.fault_for(2), Some(FaultKind::SyncFail));
+        assert_eq!(plan.fault_for(3), Some(FaultKind::CrashStop));
     }
 
     #[test]

@@ -257,6 +257,81 @@ fn crash_at_every_io_op_preserves_committed_prefix() {
     }
 }
 
+/// Multi-fault schedules in one plan: a flaky medium (periodic transients,
+/// absorbed by the retry policy) that eventually crash-stops. The crash
+/// lands at several points of the op stream; each run must still satisfy
+/// the committed-prefix and idempotent-recovery invariants even though
+/// retries have been shifting the op indices all along.
+#[test]
+fn transient_then_crash_in_a_single_run() {
+    use qpv_reldb::fault::RetryPolicy;
+
+    fn run_flaky(dir: &Path, injector: FaultInjector) -> usize {
+        let mut db = match Database::open_with_faults(dir, Some(injector)) {
+            Ok(db) => db,
+            Err(_) => return 0,
+        };
+        db.set_retry_policy(RetryPolicy::standard());
+        let mut acked = 0;
+        for step in workload() {
+            match (step.run)(&mut db) {
+                Ok(()) => acked += 1,
+                Err(_) => break,
+            }
+        }
+        acked
+    }
+
+    let model = model_states();
+
+    // Dry run under the transient-only plan: counts the op stream as the
+    // retried workload actually emits it (each retry consumes an index).
+    let dry_dir = temp_dir("flaky-dry");
+    let dry = FaultInjector::new(FaultPlan::every_kth(5, FaultKind::Transient));
+    let acked = run_flaky(&dry_dir, dry.clone());
+    assert_eq!(acked, workload().len(), "retries must absorb transients");
+    let total_ops = dry.ops_seen();
+    std::fs::remove_dir_all(&dry_dir).unwrap();
+
+    for c in [
+        total_ops / 4,
+        total_ops / 2,
+        3 * total_ops / 4,
+        total_ops - 1,
+    ] {
+        let dir = temp_dir(&format!("flaky-crash-{c}"));
+        let plan =
+            FaultPlan::every_kth(5, FaultKind::Transient).and_fail_at(c, FaultKind::CrashStop);
+        let injector = FaultInjector::new(plan);
+        let acked = run_flaky(&dir, injector.clone());
+        assert!(injector.crashed(), "crash at op {c} never fired");
+        assert!(acked < workload().len(), "crash at op {c} was absorbed");
+
+        let mut db = Database::open(&dir)
+            .unwrap_or_else(|e| panic!("flaky crash at op {c}: recovery failed: {e}"));
+        let observed = observe(&mut db);
+        let exact = observed == model[acked];
+        let next = acked + 1 < model.len() && observed == model[acked + 1];
+        assert!(
+            exact || next,
+            "flaky crash at op {c}: recovered state matches neither \
+             {acked} nor {} acknowledged steps",
+            acked + 1
+        );
+        drop(db);
+
+        let mut db = Database::open(&dir)
+            .unwrap_or_else(|e| panic!("flaky crash at op {c}: second recovery failed: {e}"));
+        assert_eq!(
+            observe(&mut db),
+            observed,
+            "flaky crash at op {c}: recovery is not idempotent"
+        );
+        drop(db);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}
+
 #[test]
 fn transient_faults_are_absorbed_by_the_retry_policy() {
     use qpv_reldb::fault::RetryPolicy;

@@ -15,7 +15,8 @@
 //!   [`qpv_core::ProviderProfile`]s and matching data rows;
 //! * [`scenario`] — fully assembled experiment scenarios (the paper's
 //!   worked example, a healthcare registry, a social network);
-//! * [`workload`] — policy sweeps and sizing grids for the benchmarks.
+//! * [`workload`] — policy sweeps, sizing grids, and seeded churn streams
+//!   ([`workload::churn`]) for the delta-audit benchmarks.
 
 pub mod population;
 pub mod scenario;
@@ -25,3 +26,4 @@ pub mod workload;
 pub use population::{generate, generate_stable, par_generate, Population, PopulationSpec};
 pub use scenario::Scenario;
 pub use segments::{Segment, SegmentMix, SegmentParams};
+pub use workload::churn;

@@ -127,8 +127,9 @@ impl Population {
 
 /// Generate provider `i` from the given RNG: profile, data row, segment.
 /// All randomness for one provider comes from `rng`, in a fixed draw
-/// order — the invariant both generation paths share.
-fn generate_provider(
+/// order — the invariant both generation paths share (and that the churn
+/// generator in [`crate::workload`] reuses to mint replacement profiles).
+pub(crate) fn generate_provider(
     spec: &PopulationSpec,
     i: usize,
     rng: &mut SmallRng,
@@ -198,7 +199,7 @@ pub fn generate(spec: &PopulationSpec, n: usize, seed: u64) -> Population {
 
 /// Derive provider `index`'s private RNG seed from the population seed
 /// (SplitMix64 finalizer — decorrelates consecutive indexes).
-fn provider_seed(seed: u64, index: u64) -> u64 {
+pub(crate) fn provider_seed(seed: u64, index: u64) -> u64 {
     let mut z = seed
         .wrapping_add(0x9E37_79B9_7F4A_7C15)
         .wrapping_add(index.wrapping_mul(0xD1B5_4A32_D192_ED03));

@@ -1,7 +1,13 @@
-//! Experiment workloads: policy sweeps and sizing grids.
+//! Experiment workloads: policy sweeps, sizing grids, and churn streams.
 
-use qpv_policy::HousePolicy;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use qpv_core::{DatumSensitivity, DeltaOp, PopulationDelta};
+use qpv_policy::{HousePolicy, ProviderId};
 use qpv_taxonomy::{Dim, PrivacyPoint};
+
+use crate::population::{generate_provider, provider_seed, PopulationSpec};
 
 /// A labelled sequence of increasingly wide policies derived from a base —
 /// the driver for the §9 expansion experiment and the α-PPDB frontier.
@@ -58,6 +64,98 @@ impl PolicySweep {
 /// Standard population sizes for scaling benchmarks.
 pub const SCALING_SIZES: [usize; 4] = [100, 1_000, 5_000, 20_000];
 
+/// Generate a churn workload: `k` mutations against a population of `n`
+/// providers produced by [`crate::population::generate_stable`]`(spec, n,
+/// seed)`-compatible ids (`0..n`). Deterministic per `(spec, n, k, seed)`.
+///
+/// Each op draws from its own `(seed, op-index)`-keyed RNG, so the stream
+/// is reproducible and prefix-stable: `churn(spec, n, k, seed)` is a prefix
+/// of `churn(spec, n, k + m, seed)`. The op mix exercises every
+/// [`DeltaOp`] variant — provider upsert (rewrite an existing provider) and
+/// insert (fresh ids from `n` upward), removal, and per-attribute
+/// preference, sensitivity, and threshold edits. Ops target only ids alive
+/// at that point in the stream, so nothing degenerates to a no-op.
+pub fn churn(spec: &PopulationSpec, n: usize, k: usize, seed: u64) -> PopulationDelta {
+    // Decorrelate from the population stream: the same `seed` drives
+    // generation and churn without reusing any provider's draws.
+    const CHURN_SALT: u64 = 0xC0DE_C0DE_C0DE_C0DE;
+    let mut alive: Vec<u64> = (0..n as u64).collect();
+    let mut next_id = n as u64;
+    let mut delta = PopulationDelta::new();
+    for op in 0..k {
+        let mut rng = SmallRng::seed_from_u64(provider_seed(seed ^ CHURN_SALT, op as u64));
+        let kind = if alive.is_empty() {
+            1 // only inserting makes sense on an empty population
+        } else {
+            rng.gen_range(0..6)
+        };
+        match kind {
+            // Upsert an existing provider: a fresh profile under the same
+            // id, as if they re-stated their whole privacy posture.
+            0 => {
+                let id = alive[rng.gen_range(0..alive.len())];
+                let (profile, _, _) = generate_provider(spec, id as usize, &mut rng);
+                delta.push(DeltaOp::Upsert(profile));
+            }
+            // A new provider joins under a never-used id.
+            1 => {
+                let (profile, _, _) = generate_provider(spec, next_id as usize, &mut rng);
+                delta.push(DeltaOp::Upsert(profile));
+                alive.push(next_id);
+                next_id += 1;
+            }
+            // A provider leaves.
+            2 => {
+                let id = alive.swap_remove(rng.gen_range(0..alive.len()));
+                delta.push(DeltaOp::Remove(ProviderId(id)));
+            }
+            // Re-state one attribute's preferences (possibly retracting
+            // them: the regenerated profile may state no tuple for it).
+            3 => {
+                let id = alive[rng.gen_range(0..alive.len())];
+                let attr = &spec.attributes[rng.gen_range(0..spec.attributes.len())].name;
+                let (profile, _, _) = generate_provider(spec, id as usize, &mut rng);
+                let tuples = profile
+                    .preferences
+                    .tuples()
+                    .iter()
+                    .filter(|t| &t.attribute == attr)
+                    .map(|t| t.tuple.clone())
+                    .collect();
+                delta.push(DeltaOp::SetAttributePrefs {
+                    id: ProviderId(id),
+                    attribute: attr.clone(),
+                    tuples,
+                });
+            }
+            // Tweak one datum sensitivity.
+            4 => {
+                let id = alive[rng.gen_range(0..alive.len())];
+                let attr = &spec.attributes[rng.gen_range(0..spec.attributes.len())].name;
+                delta.push(DeltaOp::SetSensitivity {
+                    id: ProviderId(id),
+                    attribute: attr.clone(),
+                    sensitivity: DatumSensitivity::new(
+                        rng.gen_range(0..=5),
+                        rng.gen_range(0..=5),
+                        rng.gen_range(0..=5),
+                        rng.gen_range(0..=5),
+                    ),
+                });
+            }
+            // Adjust a default threshold.
+            _ => {
+                let id = alive[rng.gen_range(0..alive.len())];
+                delta.push(DeltaOp::SetThreshold {
+                    id: ProviderId(id),
+                    threshold: rng.gen_range(0..=200),
+                });
+            }
+        }
+    }
+    delta
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -88,6 +186,76 @@ mod tests {
         let last = &sweep.steps[3].1;
         assert_eq!(last.max_level(Dim::Retention), 4);
         assert_eq!(last.max_level(Dim::Visibility), 1);
+    }
+
+    fn churn_spec() -> PopulationSpec {
+        use crate::population::AttributeSpec;
+        use crate::segments::SegmentMix;
+        PopulationSpec {
+            attributes: vec![
+                AttributeSpec::new("weight", 4, PrivacyPoint::from_raw(2, 2, 90), (40, 180)),
+                AttributeSpec::new("age", 2, PrivacyPoint::from_raw(2, 3, 365), (18, 95)),
+            ],
+            purposes: vec!["service".into(), "research".into()],
+            mix: SegmentMix::WESTIN_2001,
+        }
+    }
+
+    #[test]
+    fn churn_is_deterministic_and_prefix_stable() {
+        let s = churn_spec();
+        let a = churn(&s, 50, 40, 9);
+        let b = churn(&s, 50, 40, 9);
+        assert_eq!(a, b);
+        let longer = churn(&s, 50, 60, 9);
+        assert_eq!(a.ops(), &longer.ops()[..40]);
+        let other = churn(&s, 50, 40, 10);
+        assert_ne!(a, other);
+    }
+
+    #[test]
+    fn churn_exercises_every_op_kind() {
+        let s = churn_spec();
+        let delta = churn(&s, 50, 120, 3);
+        assert_eq!(delta.len(), 120);
+        let mut seen = [false; 5];
+        for op in delta.ops() {
+            let i = match op {
+                DeltaOp::Upsert(_) => 0,
+                DeltaOp::Remove(_) => 1,
+                DeltaOp::SetAttributePrefs { .. } => 2,
+                DeltaOp::SetSensitivity { .. } => 3,
+                DeltaOp::SetThreshold { .. } => 4,
+            };
+            seen[i] = true;
+        }
+        assert_eq!(seen, [true; 5], "op mix incomplete: {seen:?}");
+    }
+
+    /// Applying the churn delta to the compiled population audits
+    /// identically to recompiling the mutated profiles from scratch.
+    #[test]
+    fn churn_delta_matches_profile_replay() {
+        use crate::population::generate_stable;
+        use qpv_core::{AuditEngine, CompiledPopulation};
+        let s = churn_spec();
+        let engine = AuditEngine::new(
+            s.baseline_policy("base"),
+            s.attribute_names(),
+            s.attribute_weights(),
+        );
+        let pop = generate_stable(&s, 80, 7);
+        let mut compiled = CompiledPopulation::from_profiles(&pop.profiles);
+        let delta = churn(&s, 80, 100, 11);
+        compiled.apply_delta(&delta).unwrap();
+
+        let mut profiles = pop.profiles.clone();
+        delta.apply_to_profiles(&mut profiles);
+        let fresh = CompiledPopulation::from_profiles(&profiles);
+        assert_eq!(
+            engine.audit_compiled(&compiled),
+            engine.audit_compiled(&fresh)
+        );
     }
 
     #[test]

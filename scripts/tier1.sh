@@ -8,8 +8,8 @@
 #   scripts/tier1.sh --bench-smoke  # bench smoke stage only
 #
 # The bench step writes BENCH_parallel_audit.json, BENCH_audit_plan.json,
-# and BENCH_compiled_population.json at the repo root (median/mean ns plus
-# host metadata; see crates/bench/benches/).
+# BENCH_compiled_population.json, and BENCH_delta_audit.json at the repo
+# root (median/mean ns plus host metadata; see crates/bench/benches/).
 #
 # The bench smoke runs every bench binary at tiny population sizes
 # (QPV_BENCH_SMOKE=1, see qpv_bench::bench_n) purely as a correctness
@@ -60,6 +60,13 @@ echo "== population equivalence (release) =="
 # the string-path oracle.
 cargo test -q --release -p qpv-core --test pop_equivalence
 
+echo "== delta equivalence (release) =="
+# The incremental contract: random delta sequences applied in place (to
+# the compiled population and to a live auditor) land byte-identically on
+# a fresh compile+audit of the mutated profiles, flat and lattice,
+# sequential and parallel.
+cargo test -q --release -p qpv-core --test delta_equivalence
+
 bench_smoke
 
 if [[ "${1:-}" == "--faults" ]]; then
@@ -88,6 +95,9 @@ if [[ "${1:-}" == "--bench" ]]; then
     echo "== compiled population bench =="
     QPV_BENCH_FULL=1 QPV_BENCH_JSON="$PWD/BENCH_compiled_population.json" \
         cargo bench -p qpv-bench --bench compiled_population
+    echo "== delta audit bench =="
+    QPV_BENCH_FULL=1 QPV_BENCH_JSON="$PWD/BENCH_delta_audit.json" \
+        cargo bench -p qpv-bench --bench delta_audit
 fi
 
 echo "tier-1: OK"

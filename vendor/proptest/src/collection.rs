@@ -45,12 +45,42 @@ pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S
     }
 }
 
-impl<S: Strategy> Strategy for VecStrategy<S> {
+impl<S: Strategy> Strategy for VecStrategy<S>
+where
+    S::Value: Clone,
+{
     type Value = Vec<S::Value>;
     fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
         let span = (self.size.max_exclusive - self.size.min) as u64;
         let len = self.size.min + rng.below(span.max(1)) as usize;
         (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+    fn shrink(&self, value: &Vec<S::Value>) -> Vec<Vec<S::Value>> {
+        let mut out: Vec<Vec<S::Value>> = Vec::new();
+        let (len, min) = (value.len(), self.size.min);
+        // Length shrinks first — they discard the most at once: halve the
+        // excess over the minimum, then drop just the last element.
+        let half = min + (len - min) / 2;
+        if half < len {
+            out.push(value[..half].to_vec());
+        }
+        if len > min && len - 1 != half {
+            out.push(value[..len - 1].to_vec());
+        }
+        // Then element-wise, one position at a time. Capped so a long
+        // vector of richly-shrinkable elements cannot explode the
+        // candidate list (the runner probes a bounded number anyway).
+        for (i, v) in value.iter().enumerate() {
+            if out.len() >= 256 {
+                break;
+            }
+            for c in self.element.shrink(v) {
+                let mut next = value.clone();
+                next[i] = c;
+                out.push(next);
+            }
+        }
+        out
     }
 }
 
@@ -69,6 +99,24 @@ mod tests {
         }
         let fixed = vec(any::<u8>(), 5usize);
         assert_eq!(fixed.generate(&mut rng).len(), 5);
+    }
+
+    #[test]
+    fn vec_shrink_shortens_toward_min_then_shrinks_elements() {
+        let strat = vec(0u8..10, 3..7);
+        let v = vec![5u8, 0, 9, 2, 7, 1];
+        let cands = strat.shrink(&v);
+        // Length candidates first: halve the excess over min, drop last.
+        assert_eq!(cands[0], vec![5, 0, 9, 2]);
+        assert_eq!(cands[1], vec![5, 0, 9, 2, 7]);
+        // Element-wise candidates keep the length and change one slot.
+        for c in &cands[2..] {
+            assert_eq!(c.len(), v.len());
+            assert_eq!(c.iter().zip(&v).filter(|(a, b)| a != b).count(), 1);
+        }
+        // At the minimum length only element shrinks remain.
+        let at_min = vec![0u8, 0, 0];
+        assert!(strat.shrink(&at_min).is_empty());
     }
 
     #[test]

@@ -3,8 +3,11 @@
 //!
 //! Differences from real proptest, by design:
 //!
-//! * no shrinking — a failing case panics with the generated inputs left to
-//!   the assertion message;
+//! * minimal shrinking — on failure the runner greedily probes a bounded
+//!   number of simplifications (integers halve toward their lower bound,
+//!   vectors shorten, tuples shrink component-wise; `prop_map` outputs do
+//!   not shrink), prints the smallest still-failing input, and re-runs it
+//!   so the real assertion message surfaces;
 //! * deterministic: every test derives its RNG seed from the test name, so
 //!   runs are reproducible across machines and thread counts;
 //! * `&str` strategies support a small regex subset (literals, `.`, simple
@@ -52,19 +55,70 @@ macro_rules! __proptest_fns {
                 let __config: $crate::test_runner::ProptestConfig = $cfg;
                 let mut __rng =
                     $crate::test_runner::TestRng::deterministic(stringify!($name));
+                // All bindings as one tuple strategy, so generation order
+                // (and thus the RNG stream) matches the pre-shrinking
+                // runner, and shrinking can reuse the tuple's
+                // component-wise candidates.
+                let __strats = ( $( ($strat), )+ );
                 for __case in 0..__config.cases {
-                    let ($($pat,)+) = (
-                        $( $crate::strategy::Strategy::generate(&($strat), &mut __rng), )+
+                    let __values =
+                        $crate::strategy::Strategy::generate(&__strats, &mut __rng);
+                    // Probe runs clone the inputs and catch the panic, so
+                    // only the minimal case re-runs uncaught below.
+                    if !$crate::test_runner::panics(|| {
+                        let ($($pat,)+) = ::std::clone::Clone::clone(&__values);
+                        $body
+                    }) {
+                        continue;
+                    }
+                    // Greedy bounded shrink: adopt the first still-failing
+                    // candidate and restart from it; stop when no candidate
+                    // fails or the probe budget runs out.
+                    let mut __minimal = __values;
+                    let mut __probes = 0usize;
+                    '__shrinking: loop {
+                        for __cand in
+                            $crate::strategy::Strategy::shrink(&__strats, &__minimal)
+                        {
+                            if __probes >= 256 {
+                                break '__shrinking;
+                            }
+                            __probes += 1;
+                            if $crate::test_runner::panics(|| {
+                                let ($($pat,)+) = ::std::clone::Clone::clone(&__cand);
+                                $body
+                            }) {
+                                __minimal = __cand;
+                                continue '__shrinking;
+                            }
+                        }
+                        break;
+                    }
+                    eprintln!(
+                        "proptest: case {} of {} failed; minimal failing input \
+                         ({} shrink probes): {:#?}",
+                        __case + 1,
+                        stringify!($name),
+                        __probes,
+                        __minimal
                     );
-                    let _ = __case;
+                    // Re-run the minimal case uncaught so the assertion's
+                    // own message and backtrace reach the harness.
+                    let ($($pat,)+) = __minimal;
                     $body
+                    panic!(
+                        "proptest: {} failed during shrinking but the minimal \
+                         case passed on re-run (non-deterministic test body?)",
+                        stringify!($name)
+                    );
                 }
             }
         )*
     };
 }
 
-/// Assert within a property test (no shrinking: delegates to `assert!`).
+/// Assert within a property test: delegates to `assert!`, whose panic the
+/// `proptest!` runner catches and feeds to the shrinker.
 #[macro_export]
 macro_rules! prop_assert {
     ($($args:tt)*) => { assert!($($args)*) };

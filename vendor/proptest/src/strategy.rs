@@ -13,6 +13,18 @@ pub trait Strategy {
     /// Generate one value.
     fn generate(&self, rng: &mut TestRng) -> Self::Value;
 
+    /// Candidate simplifications of a failing `value`, each strictly
+    /// "smaller" by the strategy's own measure (so greedy shrinking
+    /// terminates). The default — no candidates — is correct for any
+    /// strategy; overriding is purely a usability upgrade. Integer
+    /// strategies halve toward their lower bound, vectors shorten toward
+    /// their minimum length, tuples shrink component-wise. `prop_map` does
+    /// not shrink (the mapping is not invertible), so mapped values only
+    /// simplify via the collection that holds them.
+    fn shrink(&self, _value: &Self::Value) -> Vec<Self::Value> {
+        Vec::new()
+    }
+
     /// Transform generated values.
     fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
     where
@@ -53,6 +65,9 @@ impl<S: Strategy + ?Sized> Strategy for &S {
     fn generate(&self, rng: &mut TestRng) -> S::Value {
         (**self).generate(rng)
     }
+    fn shrink(&self, value: &S::Value) -> Vec<S::Value> {
+        (**self).shrink(value)
+    }
 }
 
 /// See [`Strategy::prop_map`].
@@ -89,6 +104,15 @@ impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
             self.whence
         );
     }
+    fn shrink(&self, value: &S::Value) -> Vec<S::Value> {
+        // Shrink the underlying value, keeping only candidates that still
+        // satisfy the predicate (so shrunk inputs stay in the domain).
+        self.inner
+            .shrink(value)
+            .into_iter()
+            .filter(|v| (self.pred)(v))
+            .collect()
+    }
 }
 
 /// A type-erased strategy.
@@ -96,11 +120,15 @@ pub struct BoxedStrategy<T>(Box<dyn DynStrategy<T>>);
 
 trait DynStrategy<T> {
     fn dyn_generate(&self, rng: &mut TestRng) -> T;
+    fn dyn_shrink(&self, value: &T) -> Vec<T>;
 }
 
 impl<S: Strategy> DynStrategy<S::Value> for S {
     fn dyn_generate(&self, rng: &mut TestRng) -> S::Value {
         self.generate(rng)
+    }
+    fn dyn_shrink(&self, value: &S::Value) -> Vec<S::Value> {
+        self.shrink(value)
     }
 }
 
@@ -108,6 +136,9 @@ impl<T> Strategy for BoxedStrategy<T> {
     type Value = T;
     fn generate(&self, rng: &mut TestRng) -> T {
         self.0.dyn_generate(rng)
+    }
+    fn shrink(&self, value: &T) -> Vec<T> {
+        self.0.dyn_shrink(value)
     }
 }
 
@@ -140,6 +171,28 @@ impl<T: Clone> Strategy for Just<T> {
 pub trait Arbitrary: Sized {
     /// Generate an unconstrained value.
     fn arbitrary(rng: &mut TestRng) -> Self;
+
+    /// Strictly-smaller candidates for shrinking (see
+    /// [`Strategy::shrink`]). Defaults to none.
+    fn shrink(_value: &Self) -> Vec<Self> {
+        Vec::new()
+    }
+}
+
+/// Shared integer shrinker: toward zero by magnitude — `0`, the halfway
+/// point, and one step closer. Every candidate has strictly smaller
+/// absolute value, so greedy shrinking cannot cycle.
+fn shrink_int_i128(v: i128) -> Vec<i128> {
+    if v == 0 {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    for c in [0, v / 2, if v > 0 { v - 1 } else { v + 1 }] {
+        if c.unsigned_abs() < v.unsigned_abs() && !out.contains(&c) {
+            out.push(c);
+        }
+    }
+    out
 }
 
 /// The strategy returned by [`any`].
@@ -155,11 +208,21 @@ impl<T: Arbitrary> Strategy for Any<T> {
     fn generate(&self, rng: &mut TestRng) -> T {
         T::arbitrary(rng)
     }
+    fn shrink(&self, value: &T) -> Vec<T> {
+        T::shrink(value)
+    }
 }
 
 impl Arbitrary for bool {
     fn arbitrary(rng: &mut TestRng) -> bool {
         rng.next_u64() & 1 == 1
+    }
+    fn shrink(value: &bool) -> Vec<bool> {
+        if *value {
+            vec![false]
+        } else {
+            Vec::new()
+        }
     }
 }
 
@@ -168,6 +231,12 @@ macro_rules! impl_arbitrary_int {
         impl Arbitrary for $t {
             fn arbitrary(rng: &mut TestRng) -> $t {
                 rng.next_u64() as $t
+            }
+            fn shrink(value: &$t) -> Vec<$t> {
+                shrink_int_i128(*value as i128)
+                    .into_iter()
+                    .map(|c| c as $t)
+                    .collect()
             }
         }
     )*};
@@ -178,11 +247,24 @@ impl Arbitrary for u128 {
     fn arbitrary(rng: &mut TestRng) -> u128 {
         ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128
     }
+    fn shrink(value: &u128) -> Vec<u128> {
+        let v = *value;
+        let mut out = Vec::new();
+        for c in [0, v / 2, v.saturating_sub(1)] {
+            if c < v && !out.contains(&c) {
+                out.push(c);
+            }
+        }
+        out
+    }
 }
 
 impl Arbitrary for i128 {
     fn arbitrary(rng: &mut TestRng) -> i128 {
         u128::arbitrary(rng) as i128
+    }
+    fn shrink(value: &i128) -> Vec<i128> {
+        shrink_int_i128(*value)
     }
 }
 
@@ -202,6 +284,19 @@ impl Arbitrary for f32 {
 
 // ---- integer ranges ----
 
+/// Range shrinker: toward the range's lower bound — `lo`, halfway between
+/// `lo` and `v`, and `v - 1`. Candidates are strictly below `v` (and at or
+/// above `lo`), so they stay in the range and shrinking terminates.
+fn shrink_toward(lo: i128, v: i128) -> Vec<i128> {
+    let mut out = Vec::new();
+    for c in [lo, lo + (v - lo) / 2, v - 1] {
+        if c >= lo && c < v && !out.contains(&c) {
+            out.push(c);
+        }
+    }
+    out
+}
+
 macro_rules! impl_range_strategy {
     ($($t:ty),*) => {$(
         impl Strategy for Range<$t> {
@@ -210,6 +305,12 @@ macro_rules! impl_range_strategy {
                 assert!(self.start < self.end, "empty range strategy");
                 let span = (self.end as i128 - self.start as i128) as u64;
                 (self.start as i128 + rng.below(span) as i128) as $t
+            }
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                shrink_toward(self.start as i128, *value as i128)
+                    .into_iter()
+                    .map(|c| c as $t)
+                    .collect()
             }
         }
 
@@ -224,6 +325,12 @@ macro_rules! impl_range_strategy {
                     return rng.next_u64() as $t;
                 }
                 (lo as i128 + rng.below(span as u64) as i128) as $t
+            }
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                shrink_toward(*self.start() as i128, *value as i128)
+                    .into_iter()
+                    .map(|c| c as $t)
+                    .collect()
             }
         }
     )*};
@@ -243,19 +350,38 @@ impl Strategy for Range<f64> {
 
 macro_rules! impl_tuple_strategy {
     ($(($($n:tt $s:ident),+))*) => {$(
-        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+        impl<$($s: Strategy),+> Strategy for ($($s,)+)
+        where
+            $($s::Value: Clone),+
+        {
             type Value = ($($s::Value,)+);
             fn generate(&self, rng: &mut TestRng) -> Self::Value {
                 ($(self.$n.generate(rng),)+)
+            }
+            fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+                // Component-wise: shrink one position at a time, holding
+                // the others fixed.
+                let mut out = Vec::new();
+                $(
+                    for c in self.$n.shrink(&value.$n) {
+                        let mut next = value.clone();
+                        next.$n = c;
+                        out.push(next);
+                    }
+                )+
+                out
             }
         }
     )*};
 }
 impl_tuple_strategy! {
+    (0 A)
     (0 A, 1 B)
     (0 A, 1 B, 2 C)
     (0 A, 1 B, 2 C, 3 D)
     (0 A, 1 B, 2 C, 3 D, 4 E)
+    (0 A, 1 B, 2 C, 3 D, 4 E, 5 F)
+    (0 A, 1 B, 2 C, 3 D, 4 E, 5 F, 6 G)
 }
 
 // ---- regex string strategies ----
@@ -451,6 +577,59 @@ mod tests {
             let lit = "ab?c*".generate(&mut r);
             assert!(lit.starts_with('a'));
         }
+    }
+
+    #[test]
+    fn range_shrink_stays_in_bounds_and_strictly_descends() {
+        let strat = -50i64..50;
+        let mut v = 37i64;
+        // Greedy descent must reach the lower bound and terminate.
+        for _ in 0..200 {
+            let cands = strat.shrink(&v);
+            for c in &cands {
+                assert!((-50..50).contains(c));
+                assert!(*c < v);
+            }
+            match cands.first() {
+                Some(&c) => v = c,
+                None => break,
+            }
+        }
+        assert_eq!(v, -50);
+        assert!(strat.shrink(&-50).is_empty());
+        assert!((0u32..=9).shrink(&0).is_empty());
+        assert_eq!((3u32..=9).shrink(&4), vec![3]);
+    }
+
+    #[test]
+    fn any_int_and_bool_shrink_toward_zero() {
+        for c in any::<i64>().shrink(&-37) {
+            assert!(c.unsigned_abs() < 37);
+        }
+        assert!(any::<u64>().shrink(&0).is_empty());
+        assert_eq!(any::<u64>().shrink(&1), vec![0]);
+        assert_eq!(any::<bool>().shrink(&true), vec![false]);
+        assert!(any::<bool>().shrink(&false).is_empty());
+    }
+
+    #[test]
+    fn tuple_and_filter_shrinks_compose() {
+        let strat = (0u8..10, 0u8..10);
+        let cands = strat.shrink(&(4, 6));
+        // One component moves at a time, the other stays fixed.
+        assert!(!cands.is_empty());
+        for (a, b) in &cands {
+            assert!((*a, *b) != (4, 6));
+            assert!(*a == 4 || *b == 6);
+        }
+        // Filtered strategies only propose candidates in the domain.
+        let even = (0u64..100).prop_filter("even", |v| v % 2 == 0);
+        for c in even.shrink(&8) {
+            assert_eq!(c % 2, 0);
+            assert!(c < 8);
+        }
+        // Mapped strategies don't shrink: the mapping is one-way.
+        assert!((0u64..9).prop_map(|v| v * 3).shrink(&12).is_empty());
     }
 
     #[test]

@@ -23,6 +23,14 @@ impl Default for ProptestConfig {
     }
 }
 
+/// Whether `f` panics — the probe primitive the `proptest!` shrinker uses
+/// to ask "does this candidate still fail?" without aborting the test.
+/// `AssertUnwindSafe` is sound here: the closure only touches clones of
+/// the generated inputs, which are discarded if it panics.
+pub fn panics(f: impl FnOnce()) -> bool {
+    std::panic::catch_unwind(std::panic::AssertUnwindSafe(f)).is_err()
+}
+
 /// xoshiro256++, seeded deterministically from the test name so failures
 /// reproduce across runs and machines.
 pub struct TestRng {

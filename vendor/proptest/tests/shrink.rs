@@ -1,0 +1,37 @@
+//! End-to-end checks of the minimal shrinker: the greedy loop lands on a
+//! local minimum, and a failing property still fails (loudly) after
+//! shrinking rather than being swallowed by the probe runs.
+
+use proptest::prelude::*;
+
+/// Greedy first-still-failing descent — the same policy the `proptest!`
+/// runner uses — driven by an explicit predicate so the end state is
+/// checkable. "Failing" here means `sum >= 100`.
+#[test]
+fn greedy_shrink_reaches_a_local_minimum() {
+    let strat = proptest::collection::vec(0u32..100, 1..20);
+    let mut v = vec![99, 3, 57, 12, 99, 40];
+    while let Some(c) = strat
+        .shrink(&v)
+        .into_iter()
+        .find(|c| c.iter().sum::<u32>() >= 100)
+    {
+        v = c;
+    }
+    // Halving lengths then decrementing elements lands exactly on the
+    // boundary: any shorter vector or smaller element drops below 100.
+    assert_eq!(v, vec![97, 3]);
+}
+
+proptest! {
+    /// The runner's failure path: probes are caught, the minimal case is
+    /// re-run uncaught, and the test still dies — visible to the harness
+    /// only through `should_panic`.
+    #[test]
+    #[should_panic]
+    fn failing_property_still_panics_after_shrinking(
+        v in proptest::collection::vec(0u32..100, 5..20)
+    ) {
+        prop_assert!(v.iter().sum::<u32>() < 50);
+    }
+}
