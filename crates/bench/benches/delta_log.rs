@@ -1,0 +1,146 @@
+//! P11: durable delta-log group commit and crash recovery vs full rescan.
+//!
+//! The delta log exists so a restarted monitor pays `O(snapshot + tail)`
+//! instead of re-scanning the store. This bench prices all three sides of
+//! that trade at N = 100k providers:
+//!
+//! * `delta_log/commit/{b}` — group-commit throughput: frame `b`
+//!   single-op deltas and fsync them as one batch (one `sync_data` per
+//!   measurement element group). Larger batches amortise the fsync.
+//! * `delta_log/recover/{tail}` — full crash recovery
+//!   ([`DeltaLog::recover`]): decode the generation snapshot (the compiled
+//!   population's SoA arrays, bulk fixed-width reads) and replay a `tail`
+//!   of committed deltas through `CompiledPopulation::apply_delta`, for
+//!   tail ∈ {0, 100, 1000}.
+//! * `delta_log/rescan` — what recovery replaced: rebuild the same
+//!   compiled population by re-reading every profile out of the Ppdb
+//!   (`all_profiles`) and recompiling. The recover/1000 : rescan ratio is
+//!   the paper point — EXPERIMENTS.md P11 records it (the acceptance bar
+//!   is ≥ 20×).
+//!
+//! Before timing, the recovered population is asserted
+//! audit-report-identical to a fresh compile + audit of the oracle-mutated
+//! profiles; every recover sample re-asserts the replayed tail length.
+//!
+//! Emit JSON with: `QPV_BENCH_JSON=BENCH_delta_log.json \
+//!     cargo bench -p qpv-bench --bench delta_log`
+
+use std::path::PathBuf;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use qpv_core::deltalog::DeltaLog;
+use qpv_core::{CompiledPopulation, Ppdb, PpdbConfig};
+use qpv_reldb::Database;
+use qpv_synth::workload::churn_batches;
+use qpv_synth::Scenario;
+use std::hint::black_box;
+
+const N: usize = 100_000;
+const COMMIT_BATCHES: [usize; 3] = [1, 8, 64];
+const TAILS: [usize; 3] = [0, 100, 1_000];
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("qpv-bench-deltalog-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn bench_delta_log(c: &mut Criterion) {
+    let n = qpv_bench::bench_n(N);
+    let scenario = Scenario::healthcare(n, 42);
+    let spec = &scenario.spec;
+    let engine = scenario.engine();
+    let initial = &scenario.population.profiles;
+    let pop = CompiledPopulation::from_profiles(initial);
+
+    let mut group = c.benchmark_group("delta_log");
+    group.sample_size(10);
+
+    // -- Group-commit throughput ------------------------------------------
+    // A pool of single-op churn deltas, framed `b` at a time per fsync.
+    let pool = churn_batches(spec, n, 1_024.min(n), 1, 7);
+    for b in COMMIT_BATCHES {
+        let dir = temp_dir(&format!("commit-{b}"));
+        let mut log = DeltaLog::create(&dir, &pop).expect("create log");
+        let mut next = 0usize;
+        group.throughput(Throughput::Elements(b as u64));
+        group.bench_with_input(BenchmarkId::new("commit", b), &b, |bench, _| {
+            bench.iter(|| {
+                for _ in 0..b {
+                    log.append(black_box(&pool[next % pool.len()]));
+                    next += 1;
+                }
+                log.sync().expect("group commit");
+            });
+        });
+        drop(log);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    // -- Recovery latency vs tail length ----------------------------------
+    group.throughput(Throughput::Elements(n as u64));
+    for tail in TAILS {
+        let tail = tail.min(n); // smoke mode shrinks the population too
+        let dir = temp_dir(&format!("recover-{tail}"));
+        let mut log = DeltaLog::create(&dir, &pop).expect("create log");
+        let deltas = churn_batches(spec, n, tail, 1, 99);
+        let mut mutated = initial.clone();
+        for delta in &deltas {
+            log.append(delta);
+            delta.apply_to_profiles(&mut mutated);
+        }
+        log.sync().expect("commit tail");
+        drop(log);
+
+        // Oracle: recovery lands audit-identical to a fresh compile of the
+        // oracle-mutated profiles.
+        let (_, rec) = DeltaLog::recover(&dir).expect("recover");
+        assert_eq!(rec.deltas_replayed as usize, deltas.len());
+        assert_eq!(
+            serde_json::to_string(&engine.audit_compiled(&rec.population)).unwrap(),
+            serde_json::to_string(
+                &engine.audit_compiled(&CompiledPopulation::from_profiles(&mutated))
+            )
+            .unwrap(),
+            "tail={tail}: recovered audit diverged from fresh compile"
+        );
+
+        let expected_deltas = deltas.len() as u64;
+        group.bench_with_input(BenchmarkId::new("recover", tail), &tail, |bench, _| {
+            bench.iter(|| {
+                let (_, rec) = DeltaLog::recover(black_box(&dir)).expect("recover");
+                assert_eq!(rec.deltas_replayed, expected_deltas);
+                black_box(rec.population.len())
+            });
+        });
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    // -- The rescan recovery replaces -------------------------------------
+    let mut ppdb = Ppdb::create(
+        Database::in_memory(),
+        PpdbConfig::new("patients", "provider_id"),
+        scenario.data_schema(),
+    )
+    .expect("create ppdb");
+    ppdb.set_policy(&scenario.baseline_policy).expect("policy");
+    for attr in &spec.attributes {
+        ppdb.set_attribute_weight(&attr.name, attr.weight)
+            .expect("weight");
+    }
+    for (profile, row) in initial.iter().zip(&scenario.population.data_rows) {
+        ppdb.register_provider(profile, row.clone())
+            .expect("register");
+    }
+    group.bench_function("rescan", |bench| {
+        bench.iter(|| {
+            let profiles = ppdb.all_profiles().expect("scan");
+            assert_eq!(profiles.len(), n);
+            black_box(CompiledPopulation::from_profiles(&profiles).len())
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_delta_log);
+criterion_main!(benches);

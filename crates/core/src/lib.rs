@@ -44,6 +44,7 @@
 
 pub mod audit;
 pub mod default_model;
+pub mod deltalog;
 pub mod incremental;
 pub mod intern;
 pub mod par;
@@ -60,6 +61,7 @@ pub mod whatif;
 
 pub use audit::{AuditEngine, AuditReport, ProviderAudit};
 pub use default_model::{defaults, DefaultThresholds};
+pub use deltalog::{DeltaLog, Monitor, MonitorAlert, MonitorConfig, Recovery};
 pub use incremental::IncrementalAuditor;
 pub use intern::SymbolTable;
 pub use par::{

@@ -45,7 +45,9 @@ use std::collections::HashMap;
 use serde::{Deserialize, Serialize};
 
 use qpv_policy::{HousePolicy, ProviderId};
-use qpv_taxonomy::PrivacyPoint;
+use qpv_reldb::encoding::{get_varint, put_varint};
+use qpv_reldb::error::{DbError, DbResult};
+use qpv_taxonomy::{Dim, PrivacyPoint};
 
 use crate::audit::{AuditEngine, AuditReport, ProviderAudit};
 use crate::default_model::defaults;
@@ -294,8 +296,11 @@ impl CompiledPopulation {
     ///   freed slot (O(1), order is deterministic but not stable);
     /// * preference edits replace every tuple naming the attribute,
     ///   appending the new tuples after the untouched ones;
-    /// * ops naming an unknown id are silent no-ops, like
-    ///   [`PopulationBuilder::set_sensitivity`] on the scan path.
+    /// * ops naming an unknown id are no-ops, like
+    ///   [`PopulationBuilder::set_sensitivity`] on the scan path — but
+    ///   counted into [`DeltaOutcome::skipped`] rather than dropped
+    ///   silently, so callers can tell "applied cleanly" from "some edits
+    ///   bound to nothing".
     ///
     /// Errs on populations that interned the same id twice (Assumption 5
     /// of the paper — one data row per provider — is what makes id-based
@@ -305,9 +310,13 @@ impl CompiledPopulation {
             return Err(DeltaError::DuplicateOccurrences(self.first_duplicate()));
         }
         let mut events = Vec::with_capacity(delta.ops().len());
+        let mut skipped = 0u64;
         for op in delta.ops() {
-            match op {
-                DeltaOp::Upsert(p) => self.apply_upsert(p, &mut events),
+            let applied = match op {
+                DeltaOp::Upsert(p) => {
+                    self.apply_upsert(p, &mut events);
+                    true
+                }
                 DeltaOp::Remove(id) => self.apply_remove(*id, &mut events),
                 DeltaOp::SetAttributePrefs {
                     id,
@@ -322,12 +331,16 @@ impl CompiledPopulation {
                 DeltaOp::SetThreshold { id, threshold } => {
                     self.apply_set_threshold(*id, *threshold, &mut events)
                 }
+            };
+            if !applied {
+                skipped += 1;
             }
         }
         self.epoch += 1;
         Ok(DeltaOutcome {
             epoch: self.epoch,
             events,
+            skipped,
         })
     }
 
@@ -476,14 +489,14 @@ impl CompiledPopulation {
         }
     }
 
-    fn apply_remove(&mut self, id: ProviderId, events: &mut Vec<DeltaEvent>) {
+    fn apply_remove(&mut self, id: ProviderId, events: &mut Vec<DeltaEvent>) -> bool {
         let Some(i) = self
             .index
             .as_mut()
             .expect("checked in apply_delta")
             .remove(&id)
         else {
-            return;
+            return false;
         };
         let i_us = i as usize;
         let (s, e) = self.pref_ranges[i_us];
@@ -502,6 +515,7 @@ impl CompiledPopulation {
                 .insert(moved, i);
         }
         events.push(DeltaEvent::Removed(i));
+        true
     }
 
     fn apply_set_prefs(
@@ -510,9 +524,9 @@ impl CompiledPopulation {
         attribute: &str,
         tuples: &[qpv_taxonomy::PrivacyTuple],
         events: &mut Vec<DeltaEvent>,
-    ) {
+    ) -> bool {
         let Some(i) = self.occurrence_of(id) else {
-            return;
+            return false;
         };
         let old_na = self.attrs.len();
         let a = self.attrs.intern(attribute);
@@ -532,6 +546,7 @@ impl CompiledPopulation {
         self.grow_attrs(old_na);
         self.store_rows(i, &rows);
         events.push(DeltaEvent::Touched(i as u32));
+        true
     }
 
     fn apply_set_sensitivity(
@@ -540,9 +555,9 @@ impl CompiledPopulation {
         attribute: &str,
         s: DatumSensitivity,
         events: &mut Vec<DeltaEvent>,
-    ) {
+    ) -> bool {
         let Some(i) = self.occurrence_of(id) else {
-            return;
+            return false;
         };
         let old_na = self.attrs.len();
         let a = self.attrs.intern(attribute) as usize;
@@ -551,6 +566,7 @@ impl CompiledPopulation {
         let row = self.row_of[i] as usize;
         self.datums[row * na + a] = s;
         events.push(DeltaEvent::Touched(i as u32));
+        true
     }
 
     fn apply_set_threshold(
@@ -558,12 +574,13 @@ impl CompiledPopulation {
         id: ProviderId,
         threshold: u64,
         events: &mut Vec<DeltaEvent>,
-    ) {
+    ) -> bool {
         let Some(i) = self.occurrence_of(id) else {
-            return;
+            return false;
         };
         self.thresholds[self.row_of[i] as usize] = threshold;
         events.push(DeltaEvent::Touched(i as u32));
+        true
     }
 }
 
@@ -641,6 +658,13 @@ impl PopulationDelta {
     /// Append every op of `other`, in order.
     pub fn merge(&mut self, other: PopulationDelta) {
         self.ops.extend(other.ops);
+    }
+
+    /// Drop the first `n` ops (clamped to the length) — the consumer side
+    /// of `Ppdb`'s peek/ack protocol, called once those ops are safely
+    /// applied downstream.
+    pub fn drain_front(&mut self, n: usize) {
+        self.ops.drain(..n.min(self.ops.len()));
     }
 
     /// Builder-style [`DeltaOp::Upsert`].
@@ -789,6 +813,13 @@ pub struct DeltaOutcome {
     /// The population epoch after application.
     pub epoch: u64,
     events: Vec<DeltaEvent>,
+    /// Ops that named an unknown provider id and therefore bound to
+    /// nothing. The mutation semantics match
+    /// [`PopulationDelta::apply_to_profiles`] either way (unknown-id
+    /// edits are no-ops on both paths); the count exists so callers can
+    /// detect a delta that partially missed — e.g. one replayed against
+    /// the wrong snapshot — instead of the misses vanishing silently.
+    pub skipped: u64,
 }
 
 impl DeltaOutcome {
@@ -1119,6 +1150,201 @@ impl AuditEngine {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Snapshot codec (crate-internal, used by `crate::deltalog`)
+// ---------------------------------------------------------------------------
+
+fn snap_corrupt(what: &str) -> DbError {
+    DbError::Corruption(format!("population snapshot: {what}"))
+}
+
+fn put_symbols(buf: &mut Vec<u8>, table: &SymbolTable) {
+    let names = table.names();
+    put_varint(buf, names.len() as u64);
+    for name in names {
+        let bytes = name.as_bytes();
+        put_varint(buf, bytes.len() as u64);
+        buf.extend_from_slice(bytes);
+    }
+}
+
+fn get_symbols(buf: &mut &[u8]) -> DbResult<SymbolTable> {
+    let n = get_varint(buf)?;
+    let mut table = SymbolTable::new();
+    for _ in 0..n {
+        let len = get_varint(buf)? as usize;
+        let bytes = take(buf, len)?;
+        let name = std::str::from_utf8(bytes).map_err(|_| snap_corrupt("non-utf8 symbol"))?;
+        table.intern(name);
+    }
+    if table.len() as u64 != n {
+        return Err(snap_corrupt("duplicate interned symbol"));
+    }
+    Ok(table)
+}
+
+fn take<'a>(buf: &mut &'a [u8], n: usize) -> DbResult<&'a [u8]> {
+    if buf.len() < n {
+        return Err(snap_corrupt("truncated"));
+    }
+    let (head, rest) = buf.split_at(n);
+    *buf = rest;
+    Ok(head)
+}
+
+fn le_u32(c: &[u8]) -> u32 {
+    u32::from_le_bytes([c[0], c[1], c[2], c[3]])
+}
+
+fn le_u64(c: &[u8]) -> u64 {
+    u64::from_le_bytes([c[0], c[1], c[2], c[3], c[4], c[5], c[6], c[7]])
+}
+
+/// Binary snapshot codec for the delta log ([`crate::deltalog`]): the SoA
+/// arrays serialized almost verbatim — bulk fixed-width little-endian rows
+/// behind varint counts — so a 100k-provider population decodes in tens of
+/// milliseconds. Re-assembling the same population from profile structs
+/// (strings, per-provider hash maps) is orders of magnitude slower, and
+/// recovery time is the whole point of snapshotting. The id → occurrence
+/// index is rebuilt on decode, not stored.
+impl CompiledPopulation {
+    pub(crate) fn encode_snapshot(&self, buf: &mut Vec<u8>) {
+        put_symbols(buf, &self.attrs);
+        put_symbols(buf, &self.purposes);
+        put_varint(buf, self.ids.len() as u64);
+        for id in &self.ids {
+            buf.extend_from_slice(&id.0.to_le_bytes());
+        }
+        for &(start, end) in &self.pref_ranges {
+            buf.extend_from_slice(&start.to_le_bytes());
+            buf.extend_from_slice(&end.to_le_bytes());
+        }
+        for &row in &self.row_of {
+            buf.extend_from_slice(&row.to_le_bytes());
+        }
+        put_varint(buf, self.pref_rows.len() as u64);
+        for row in &self.pref_rows {
+            buf.extend_from_slice(&row.attr.to_le_bytes());
+            buf.extend_from_slice(&row.purpose.to_le_bytes());
+            buf.extend_from_slice(&row.point.get(Dim::Visibility).to_le_bytes());
+            buf.extend_from_slice(&row.point.get(Dim::Granularity).to_le_bytes());
+            buf.extend_from_slice(&row.point.get(Dim::Retention).to_le_bytes());
+        }
+        put_varint(buf, self.thresholds.len() as u64);
+        for &t in &self.thresholds {
+            buf.extend_from_slice(&t.to_le_bytes());
+        }
+        for d in &self.datums {
+            buf.extend_from_slice(&d.value.to_le_bytes());
+            buf.extend_from_slice(&d.visibility.to_le_bytes());
+            buf.extend_from_slice(&d.granularity.to_le_bytes());
+            buf.extend_from_slice(&d.retention.to_le_bytes());
+        }
+        put_varint(buf, self.epoch);
+        put_varint(buf, self.free_pref.len() as u64);
+        for &(start, end) in &self.free_pref {
+            buf.extend_from_slice(&start.to_le_bytes());
+            buf.extend_from_slice(&end.to_le_bytes());
+        }
+        put_varint(buf, self.free_rows.len() as u64);
+        for &row in &self.free_rows {
+            buf.extend_from_slice(&row.to_le_bytes());
+        }
+    }
+
+    pub(crate) fn decode_snapshot(buf: &mut &[u8]) -> DbResult<CompiledPopulation> {
+        let attrs = get_symbols(buf)?;
+        let purposes = get_symbols(buf)?;
+        let n = get_varint(buf)? as usize;
+        let ids: Vec<ProviderId> = take(buf, n * 8)?
+            .chunks_exact(8)
+            .map(|c| ProviderId(le_u64(c)))
+            .collect();
+        let pref_ranges: Vec<(u32, u32)> = take(buf, n * 8)?
+            .chunks_exact(8)
+            .map(|c| (le_u32(&c[0..4]), le_u32(&c[4..8])))
+            .collect();
+        let row_of: Vec<u32> = take(buf, n * 4)?.chunks_exact(4).map(le_u32).collect();
+        let n_rows = get_varint(buf)? as usize;
+        let pref_rows: Vec<PrefRow> = take(buf, n_rows * 20)?
+            .chunks_exact(20)
+            .map(|c| PrefRow {
+                attr: le_u32(&c[0..4]),
+                purpose: le_u32(&c[4..8]),
+                point: PrivacyPoint::from_raw(
+                    le_u32(&c[8..12]),
+                    le_u32(&c[12..16]),
+                    le_u32(&c[16..20]),
+                ),
+            })
+            .collect();
+        let id_rows = get_varint(buf)? as usize;
+        let thresholds: Vec<u64> = take(buf, id_rows * 8)?
+            .chunks_exact(8)
+            .map(le_u64)
+            .collect();
+        let datums: Vec<DatumSensitivity> = take(buf, id_rows * attrs.len() * 16)?
+            .chunks_exact(16)
+            .map(|c| {
+                DatumSensitivity::new(
+                    le_u32(&c[0..4]),
+                    le_u32(&c[4..8]),
+                    le_u32(&c[8..12]),
+                    le_u32(&c[12..16]),
+                )
+            })
+            .collect();
+        let epoch = get_varint(buf)?;
+        let n_free = get_varint(buf)? as usize;
+        let free_pref: Vec<(u32, u32)> = take(buf, n_free * 8)?
+            .chunks_exact(8)
+            .map(|c| (le_u32(&c[0..4]), le_u32(&c[4..8])))
+            .collect();
+        let n_free_rows = get_varint(buf)? as usize;
+        let free_rows: Vec<u32> = take(buf, n_free_rows * 4)?
+            .chunks_exact(4)
+            .map(le_u32)
+            .collect();
+
+        // Cheap structural sanity on the CRC-validated payload, so a codec
+        // bug surfaces as `Err`, never as a panic in the audit hot loop.
+        if pref_ranges
+            .iter()
+            .chain(&free_pref)
+            .any(|&(s, e)| s > e || e as usize > n_rows)
+            || row_of.iter().any(|&r| r as usize >= id_rows.max(1))
+            || free_rows.iter().any(|&r| r as usize >= id_rows.max(1))
+        {
+            return Err(snap_corrupt("inconsistent row references"));
+        }
+
+        // Rebuild the delta-addressing index; duplicate-occurrence
+        // populations stay audit-only, exactly as in `finish()`.
+        let mut index = HashMap::with_capacity(n);
+        let mut unique = true;
+        for (i, &id) in ids.iter().enumerate() {
+            if index.insert(id, i as u32).is_some() {
+                unique = false;
+                break;
+            }
+        }
+        Ok(CompiledPopulation {
+            attrs,
+            purposes,
+            ids,
+            pref_ranges,
+            pref_rows,
+            row_of,
+            datums,
+            thresholds,
+            epoch,
+            index: unique.then_some(index),
+            free_pref,
+            free_rows,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1320,6 +1546,7 @@ mod tests {
         assert_eq!(pop.epoch(), 1);
         assert_eq!(outcome.epoch, 1);
         assert_eq!(outcome.len(), 6, "the unknown-id op produced no event");
+        assert_eq!(outcome.skipped, 1, "the unknown-id op was counted");
 
         let fresh = CompiledPopulation::from_profiles(&mutated);
         assert_eq!(

@@ -66,9 +66,13 @@ impl PpdbConfig {
 /// [`Ppdb::set_sensitivity`], [`Ppdb::set_threshold`]) also appends the
 /// equivalent [`DeltaOp`] to a pending [`PopulationDelta`] — *after* the
 /// storage transaction commits, so the delta never gets ahead of durable
-/// state. [`Ppdb::take_delta`] drains it; feeding the drained delta to an
-/// [`crate::IncrementalAuditor`] keeps a live auditor tracking the store
-/// without rescans.
+/// state. Consumers follow a peek/ack protocol: [`Ppdb::peek_delta`]
+/// exposes the pending ops without consuming them; once they are safely
+/// applied (to an [`crate::IncrementalAuditor`], a
+/// [`crate::deltalog::DeltaLog`], …) the consumer calls
+/// [`Ppdb::ack_delta`] with the count it handled. A failed apply simply
+/// never acks, so the ops stay pending and replayable — the older
+/// drain-then-apply `take_delta()` lost them on any apply error.
 pub struct Ppdb {
     db: Database,
     config: PpdbConfig,
@@ -562,11 +566,23 @@ impl Ppdb {
         }
     }
 
-    /// Drain the delta accumulated by write ops since the last call (or
-    /// since open). Feed it to [`crate::IncrementalAuditor::apply_delta`]
-    /// to bring a live auditor up to date with the store without a rescan.
-    pub fn take_delta(&mut self) -> PopulationDelta {
-        std::mem::take(&mut self.pending)
+    /// The delta accumulated by write ops since the last
+    /// [`Ppdb::ack_delta`] (or since open), without consuming it. Apply
+    /// it (e.g. via [`crate::IncrementalAuditor::apply_delta`] or append
+    /// it to a [`crate::deltalog::DeltaLog`]), then acknowledge exactly
+    /// the ops you handled with [`Ppdb::ack_delta`]. If the apply fails,
+    /// don't ack — the ops stay pending and the next peek returns them
+    /// again.
+    pub fn peek_delta(&self) -> &PopulationDelta {
+        &self.pending
+    }
+
+    /// Acknowledge the first `n` pending ops as applied, dropping them
+    /// from the pending delta. `n` is clamped to the pending length, so
+    /// `ack_delta(peek_delta().len())` is always safe even if writes
+    /// raced in between (the extra ops simply stay pending).
+    pub fn ack_delta(&mut self, n: usize) {
+        self.pending.drain_front(n.min(self.pending.len()));
     }
 
     /// All provider ids with data stored, in storage order.
@@ -1115,7 +1131,7 @@ mod tests {
         assert_eq!(from_scan, engine.run_reference(&profiles));
     }
 
-    /// Write ops emit deltas; a live auditor fed `take_delta()` tracks the
+    /// Write ops emit deltas; a live auditor fed via peek/ack tracks the
     /// store without ever rescanning it.
     #[test]
     fn live_auditor_tracks_store_through_deltas() {
@@ -1152,7 +1168,8 @@ mod tests {
         let policy = ppdb.house_policy().unwrap();
         let mut live =
             IncrementalAuditor::from_population(pop, attrs.clone(), &weights, policy.clone());
-        ppdb.take_delta();
+        let backlog = ppdb.peek_delta().len();
+        ppdb.ack_delta(backlog);
 
         // Every kind of write op, including no-ops on unknown providers.
         ppdb.insert_provider(&sample_profile(100, 35), data_row(100))
@@ -1169,10 +1186,11 @@ mod tests {
         ppdb.set_threshold(ProviderId(999), 1).unwrap(); // unknown: no-op
         ppdb.remove_provider(ProviderId(2)).unwrap();
 
-        let delta = ppdb.take_delta();
+        let delta = ppdb.peek_delta().clone();
         assert_eq!(delta.len(), 5, "unknown-provider op must not be recorded");
         live.apply_delta(&delta).unwrap();
-        assert!(ppdb.take_delta().is_empty());
+        ppdb.ack_delta(delta.len());
+        assert!(ppdb.peek_delta().is_empty());
 
         // The live auditor now agrees with a from-scratch audit of the
         // store (order-independent aggregates, then per-id scores).
@@ -1190,6 +1208,65 @@ mod tests {
                 pa.provider
             );
         }
+    }
+
+    /// Regression for the drain-then-apply bug: `take_delta()` used to
+    /// drain the pending ops before the apply ran, so a failing
+    /// `apply_delta` (here: a duplicate-occurrence population refusing
+    /// deltas) lost committed edits forever. Under peek/ack a failed
+    /// apply leaves the pending delta intact and replayable.
+    #[test]
+    fn failed_apply_leaves_delta_replayable() {
+        use crate::incremental::IncrementalAuditor;
+
+        let mut ppdb = fresh();
+        ppdb.set_policy(
+            &HousePolicy::builder("people")
+                .tuple("weight", PrivacyTuple::from_point("pr", pt(5, 5, 5)))
+                .build(),
+        )
+        .unwrap();
+        ppdb.set_attribute_weight("weight", 4).unwrap();
+        for id in 0..4u64 {
+            ppdb.register_provider(&sample_profile(id, 10 + id), data_row(id))
+                .unwrap();
+        }
+        let base = ppdb.all_profiles().unwrap();
+        let attrs = ppdb.attributes().unwrap();
+        let weights = ppdb.attribute_weights().unwrap();
+        let policy = ppdb.house_policy().unwrap();
+        let backlog = ppdb.peek_delta().len();
+        ppdb.ack_delta(backlog);
+
+        // Committed writes accumulate as pending ops.
+        ppdb.set_threshold(ProviderId(1), 7).unwrap();
+        ppdb.remove_provider(ProviderId(2)).unwrap();
+        let before = ppdb.peek_delta().clone();
+        assert_eq!(before.len(), 2);
+
+        // An auditor over a duplicate-occurrence population refuses the
+        // delta — and because nothing was acked, nothing is lost.
+        let mut dup = base.clone();
+        dup.push(base[0].clone());
+        let mut broken = IncrementalAuditor::new(dup, attrs.clone(), &weights, policy.clone());
+        assert!(broken.apply_delta(ppdb.peek_delta()).is_err());
+        assert_eq!(
+            ppdb.peek_delta(),
+            &before,
+            "failed apply must leave the pending delta untouched"
+        );
+
+        // A healthy auditor replays the same ops; only then do we ack.
+        let mut live = IncrementalAuditor::new(base, attrs, &weights, policy);
+        live.apply_delta(ppdb.peek_delta()).unwrap();
+        let n = ppdb.peek_delta().len();
+        ppdb.ack_delta(n);
+        assert!(ppdb.peek_delta().is_empty());
+
+        let report = ppdb.audit().unwrap();
+        let outcome = live.outcome();
+        assert_eq!(outcome.population, report.providers.len());
+        assert_eq!(outcome.total_violations, report.total_violations);
     }
 
     #[test]

@@ -276,6 +276,63 @@ proptest! {
         );
     }
 
+    /// The compiled path's [`DeltaOutcome::skipped`] counter agrees with
+    /// an id-set walk of the same op sequence: exactly the ops that named
+    /// an id absent *at their point in the sequence* are counted, and the
+    /// profile-replay oracle treats those same ops as no-ops (the states
+    /// still converge). Guards the silent-skip fix: unknown-id ops are
+    /// counted, never silently dropped.
+    #[test]
+    fn skipped_counter_matches_oracle_membership(
+        seed in 0u64..1_000_000,
+        n in 1usize..60,
+        ops in proptest::collection::vec((0u32..6, 0u64..200, 0u64..1_000), 1..40),
+    ) {
+        let profiles = population(n, seed);
+        let delta = decode_delta(n, &ops);
+
+        // Walk the ops against the evolving id set, exactly as the
+        // profile oracle binds them.
+        let mut present: std::collections::HashSet<u64> =
+            profiles.iter().map(|p| p.id().0).collect();
+        let mut expected_skips = 0u64;
+        for op in delta.ops() {
+            match op {
+                DeltaOp::Upsert(p) => {
+                    present.insert(p.id().0);
+                }
+                DeltaOp::Remove(id) => {
+                    if !present.remove(&id.0) {
+                        expected_skips += 1;
+                    }
+                }
+                DeltaOp::SetAttributePrefs { id, .. }
+                | DeltaOp::SetSensitivity { id, .. }
+                | DeltaOp::SetThreshold { id, .. } => {
+                    if !present.contains(&id.0) {
+                        expected_skips += 1;
+                    }
+                }
+            }
+        }
+
+        let mut pop = CompiledPopulation::from_profiles(&profiles);
+        let outcome = pop.apply_delta(&delta).unwrap();
+        prop_assert_eq!(outcome.skipped, expected_skips);
+
+        // And the skipped ops bound to nothing on the oracle side either:
+        // both paths land on the same population.
+        let mut mutated = profiles;
+        delta.apply_to_profiles(&mut mutated);
+        let fresh = CompiledPopulation::from_profiles(&mutated);
+        prop_assert_eq!(pop.len(), fresh.len());
+        let eng = engine(&policy(4));
+        prop_assert_eq!(
+            serde_json::to_string(&eng.audit_compiled(&pop)).unwrap(),
+            serde_json::to_string(&eng.audit_compiled(&fresh)).unwrap()
+        );
+    }
+
     /// Splitting one delta into two sequential batches lands on the same
     /// state as applying it whole (epochs aside) — deltas compose.
     #[test]

@@ -68,12 +68,28 @@ pub enum FaultOp {
     WalTruncate,
     /// WAL read-back ([`crate::wal::Wal::replay`]).
     WalReplay,
+    /// Delta-log group commit: append + fsync of buffered delta frames
+    /// (`qpv_core::deltalog`).
+    DeltaSync,
+    /// Delta-log read-back during recovery.
+    DeltaReplay,
+    /// Delta-log tail reset after a published snapshot.
+    DeltaTruncate,
+    /// Compiled-population snapshot file write + fsync.
+    SnapshotWrite,
+    /// Snapshot generation publish (the `CURRENT` rename swing).
+    SnapshotPublish,
+    /// Snapshot read-back during recovery.
+    SnapshotRead,
 }
 
 impl FaultOp {
     /// Whether the op writes bytes (and can therefore tear).
     fn is_write(self) -> bool {
-        matches!(self, FaultOp::PageWrite | FaultOp::WalSync)
+        matches!(
+            self,
+            FaultOp::PageWrite | FaultOp::WalSync | FaultOp::DeltaSync | FaultOp::SnapshotWrite
+        )
     }
 }
 

@@ -30,9 +30,14 @@ use crate::row::RowId;
 use crate::schema::{Column, Schema};
 use crate::types::DataType;
 
-/// CRC-32 (IEEE 802.3, reflected) lookup table, built at compile time.
-const CRC_TABLE: [u32; 256] = {
-    let mut table = [0u32; 256];
+/// CRC-32 (IEEE 802.3, reflected) lookup tables, built at compile time.
+/// `CRC_TABLES[0]` is the classic byte-at-a-time table; tables 1..8
+/// extend it for slicing-by-8, which processes 8 input bytes per step —
+/// the same polynomial and the same output as the byte loop, but ~6×
+/// the throughput, which matters once whole population snapshots (tens
+/// of MB) are checksummed on the recovery path, not just WAL frames.
+const CRC_TABLES: [[u32; 256]; 8] = {
+    let mut tables = [[0u32; 256]; 8];
     let mut i = 0;
     while i < 256 {
         let mut crc = i as u32;
@@ -45,17 +50,40 @@ const CRC_TABLE: [u32; 256] = {
             };
             bit += 1;
         }
-        table[i] = crc;
+        tables[0][i] = crc;
         i += 1;
     }
-    table
+    let mut t = 1;
+    while t < 8 {
+        let mut i = 0;
+        while i < 256 {
+            let prev = tables[t - 1][i];
+            tables[t][i] = (prev >> 8) ^ tables[0][(prev & 0xff) as usize];
+            i += 1;
+        }
+        t += 1;
+    }
+    tables
 };
 
-/// CRC-32 checksum of `bytes`.
+/// CRC-32 checksum of `bytes` (slicing-by-8).
 pub fn crc32(bytes: &[u8]) -> u32 {
     let mut crc = 0xffff_ffffu32;
-    for &b in bytes {
-        crc = (crc >> 8) ^ CRC_TABLE[((crc ^ b as u32) & 0xff) as usize];
+    let mut chunks = bytes.chunks_exact(8);
+    for c in &mut chunks {
+        let lo = u32::from_le_bytes([c[0], c[1], c[2], c[3]]) ^ crc;
+        let hi = u32::from_le_bytes([c[4], c[5], c[6], c[7]]);
+        crc = CRC_TABLES[7][(lo & 0xff) as usize]
+            ^ CRC_TABLES[6][((lo >> 8) & 0xff) as usize]
+            ^ CRC_TABLES[5][((lo >> 16) & 0xff) as usize]
+            ^ CRC_TABLES[4][(lo >> 24) as usize]
+            ^ CRC_TABLES[3][(hi & 0xff) as usize]
+            ^ CRC_TABLES[2][((hi >> 8) & 0xff) as usize]
+            ^ CRC_TABLES[1][((hi >> 16) & 0xff) as usize]
+            ^ CRC_TABLES[0][(hi >> 24) as usize];
+    }
+    for &b in chunks.remainder() {
+        crc = (crc >> 8) ^ CRC_TABLES[0][((crc ^ b as u32) & 0xff) as usize];
     }
     !crc
 }
@@ -569,6 +597,23 @@ impl Wal {
 mod tests {
     use super::*;
     use crate::schema::SchemaBuilder;
+
+    #[test]
+    fn crc32_matches_reference_vectors() {
+        // IEEE 802.3 check value, plus lengths that exercise every
+        // combination of 8-byte slices and remainder bytes.
+        assert_eq!(crc32(b"123456789"), 0xcbf4_3926);
+        assert_eq!(crc32(b""), 0);
+        let bytes: Vec<u8> = (0..64u32).map(|i| (i * 37 + 11) as u8).collect();
+        for len in 0..bytes.len() {
+            // Byte-at-a-time oracle over the same table.
+            let mut crc = 0xffff_ffffu32;
+            for &b in &bytes[..len] {
+                crc = (crc >> 8) ^ CRC_TABLES[0][((crc ^ b as u32) & 0xff) as usize];
+            }
+            assert_eq!(crc32(&bytes[..len]), !crc, "len {len}");
+        }
+    }
 
     fn sample_records() -> Vec<WalRecord> {
         let schema = SchemaBuilder::new()

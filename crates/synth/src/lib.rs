@@ -26,4 +26,4 @@ pub mod workload;
 pub use population::{generate, generate_stable, par_generate, Population, PopulationSpec};
 pub use scenario::Scenario;
 pub use segments::{Segment, SegmentMix, SegmentParams};
-pub use workload::churn;
+pub use workload::{churn, churn_batches};

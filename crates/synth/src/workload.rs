@@ -156,6 +156,35 @@ pub fn churn(spec: &PopulationSpec, n: usize, k: usize, seed: u64) -> Population
     delta
 }
 
+/// [`churn`] chopped into ingestion-sized batches: the same prefix-stable
+/// op stream as `churn(spec, n, k, seed)`, split into deltas of at most
+/// `batch` ops each — the natural feed for a continuous monitor
+/// (`qpv_core::deltalog::Monitor::ingest`), where each batch is one
+/// logged, group-committed unit. Concatenating the batches in order
+/// yields exactly the single-delta stream.
+pub fn churn_batches(
+    spec: &PopulationSpec,
+    n: usize,
+    k: usize,
+    batch: usize,
+    seed: u64,
+) -> Vec<PopulationDelta> {
+    let batch = batch.max(1);
+    let whole = churn(spec, n, k, seed);
+    let mut batches = Vec::with_capacity(k.div_ceil(batch));
+    let mut current = PopulationDelta::new();
+    for op in whole.ops() {
+        current.push(op.clone());
+        if current.len() == batch {
+            batches.push(std::mem::take(&mut current));
+        }
+    }
+    if !current.is_empty() {
+        batches.push(current);
+    }
+    batches
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -256,6 +285,29 @@ mod tests {
             engine.audit_compiled(&compiled),
             engine.audit_compiled(&fresh)
         );
+    }
+
+    /// `churn_batches` is a pure re-chunking of `churn`: concatenating
+    /// the batches reproduces the whole stream op-for-op, every batch
+    /// respects the size bound, and only the last may run short.
+    #[test]
+    fn churn_batches_rechunk_the_stream() {
+        let s = churn_spec();
+        let whole = churn(&s, 40, 50, 13);
+        for batch in [1usize, 7, 50, 64] {
+            let batches = churn_batches(&s, 40, 50, batch, 13);
+            assert!(batches.iter().all(|b| b.len() <= batch && !b.is_empty()));
+            assert!(batches[..batches.len() - 1]
+                .iter()
+                .all(|b| b.len() == batch));
+            let mut concat = PopulationDelta::new();
+            for b in &batches {
+                concat.merge(b.clone());
+            }
+            assert_eq!(concat, whole, "batch={batch}");
+        }
+        // batch = 0 is clamped, not a panic or an infinite loop.
+        assert_eq!(churn_batches(&s, 40, 5, 0, 13).len(), 5);
     }
 
     #[test]

@@ -194,6 +194,51 @@ impl PurposeLattice {
         Ok(minimal)
     }
 
+    /// Build a lattice from a whole edge list at once, keeping every edge
+    /// the cycle check accepts and returning the rejected ones as
+    /// structured [`LatticeError`]s instead of dropping them silently.
+    ///
+    /// A malformed taxonomy (a cycle, a self-loop) used to be easy to
+    /// swallow with `let _ = l.add_edge(..)` per edge — which quietly
+    /// *removes* comparability the author declared and thereby weakens
+    /// the Def. 4 coverage sets audits are built on. Callers that want
+    /// the lenient behaviour get it here with the rejects surfaced for
+    /// logging or assertion; callers that want malformed input to be
+    /// fatal should use [`PurposeLattice::try_from_edges`].
+    pub fn from_edges<N, B>(
+        edges: impl IntoIterator<Item = (N, B)>,
+    ) -> (PurposeLattice, Vec<LatticeError>)
+    where
+        N: Into<Purpose>,
+        B: Into<Purpose>,
+    {
+        let mut lattice = PurposeLattice::new();
+        let mut rejected = Vec::new();
+        for (narrower, broader) in edges {
+            if let Err(e) = lattice.add_edge(narrower, broader) {
+                rejected.push(e);
+            }
+        }
+        (lattice, rejected)
+    }
+
+    /// Strict sibling of [`PurposeLattice::from_edges`]: the first edge
+    /// the cycle check rejects fails the whole build, so a malformed
+    /// taxonomy cannot quietly produce a weaker partial order.
+    pub fn try_from_edges<N, B>(
+        edges: impl IntoIterator<Item = (N, B)>,
+    ) -> Result<PurposeLattice, LatticeError>
+    where
+        N: Into<Purpose>,
+        B: Into<Purpose>,
+    {
+        let mut lattice = PurposeLattice::new();
+        for (narrower, broader) in edges {
+            lattice.add_edge(narrower, broader)?;
+        }
+        Ok(lattice)
+    }
+
     fn reachable(&self, from: usize, to: usize) -> bool {
         if from == to {
             return true;
@@ -319,6 +364,55 @@ mod tests {
         assert_eq!(l.len(), before);
     }
 
+    /// A deliberately cyclic edge list: the bulk builders must surface
+    /// the rejected edges structurally (lenient) or fail the whole build
+    /// (strict) — never silently weaken the declared order.
+    #[test]
+    fn cyclic_input_is_surfaced_not_swallowed() {
+        let cyclic = [
+            ("billing", "operations"),
+            ("operations", "any"),
+            ("any", "billing"),   // closes a 3-cycle
+            ("ads", "marketing"), // fine
+            ("ads", "ads"),       // self-loop
+        ];
+
+        let (l, rejected) = PurposeLattice::from_edges(cyclic);
+        assert_eq!(rejected.len(), 2, "both bad edges reported: {rejected:?}");
+        assert_eq!(
+            rejected[0],
+            LatticeError::CycleDetected {
+                narrower: p("any"),
+                broader: p("billing"),
+            }
+        );
+        assert_eq!(
+            rejected[1],
+            LatticeError::CycleDetected {
+                narrower: p("ads"),
+                broader: p("ads"),
+            }
+        );
+        // The accepted edges still form the expected partial order.
+        assert!(l.dominated_by(&p("billing"), &p("any")));
+        assert!(l.dominated_by(&p("ads"), &p("marketing")));
+        assert!(!l.dominated_by(&p("any"), &p("billing")));
+
+        // Strict build: the first bad edge is fatal.
+        assert_eq!(
+            PurposeLattice::try_from_edges(cyclic).unwrap_err(),
+            LatticeError::CycleDetected {
+                narrower: p("any"),
+                broader: p("billing"),
+            }
+        );
+        // A clean list builds with no rejects on either path.
+        let clean = [("billing", "operations"), ("operations", "any")];
+        let (_, rejects) = PurposeLattice::from_edges(clean);
+        assert!(rejects.is_empty());
+        assert!(PurposeLattice::try_from_edges(clean).is_ok());
+    }
+
     #[test]
     fn empty_lattice_behaves_like_flat_matching() {
         let l = PurposeLattice::new();
@@ -331,13 +425,21 @@ mod tests {
         use super::*;
         use proptest::prelude::*;
 
-        /// Build a lattice from random edges over a small purpose universe,
-        /// silently skipping the ones the cycle check rejects — the result
-        /// is always a valid DAG.
+        /// Build a lattice from random edges over a small purpose
+        /// universe via the lenient bulk builder — the result is always
+        /// a valid DAG, and every rejection is a structured cycle
+        /// report, not a silent skip.
         fn build(edges: &[(u8, u8)]) -> PurposeLattice {
-            let mut l = PurposeLattice::new();
-            for (a, b) in edges {
-                let _ = l.add_edge(format!("p{a}"), format!("p{b}"));
+            let (l, rejected) = PurposeLattice::from_edges(
+                edges
+                    .iter()
+                    .map(|(a, b)| (format!("p{a}"), format!("p{b}"))),
+            );
+            for e in rejected {
+                assert!(
+                    matches!(e, LatticeError::CycleDetected { .. }),
+                    "bulk build may only reject cycles, got {e:?}"
+                );
             }
             l
         }

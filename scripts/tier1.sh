@@ -5,11 +5,13 @@
 #   scripts/tier1.sh                # gate only (includes the bench smoke)
 #   scripts/tier1.sh --bench        # gate + bench JSONs
 #   scripts/tier1.sh --faults       # gate + release-mode fault-injection suite
+#   scripts/tier1.sh --monitor      # gate + delta-log/monitor crash suites
 #   scripts/tier1.sh --bench-smoke  # bench smoke stage only
 #
 # The bench step writes BENCH_parallel_audit.json, BENCH_audit_plan.json,
-# BENCH_compiled_population.json, and BENCH_delta_audit.json at the repo
-# root (median/mean ns plus host metadata; see crates/bench/benches/).
+# BENCH_compiled_population.json, BENCH_delta_audit.json, and
+# BENCH_delta_log.json at the repo root (median/mean ns plus host
+# metadata; see crates/bench/benches/).
 #
 # The bench smoke runs every bench binary at tiny population sizes
 # (QPV_BENCH_SMOKE=1, see qpv_bench::bench_n) purely as a correctness
@@ -85,6 +87,21 @@ if [[ "${1:-}" == "--faults" ]]; then
         cargo test -q --release --test par_faults
 fi
 
+if [[ "${1:-}" == "--monitor" ]]; then
+    # Same shape as --faults, aimed at the continuous-monitoring stack:
+    # the delta-log torture matrix (crash-stop/torn-write at every
+    # delta-log I/O op index, plus flaky-medium retries) and the
+    # kill-and-recover monitor suite under synthetic churn. Both are
+    # clock-free and seed-pinned like the reldb matrix.
+    MONITOR_BUDGET="${QPV_MONITOR_BUDGET:-300}"
+    echo "== monitor: delta-log crash torture matrix (release, ${MONITOR_BUDGET}s budget) =="
+    RUST_BACKTRACE=1 timeout "$MONITOR_BUDGET" \
+        cargo test -q --release -p qpv-core --test deltalog_torture -- --nocapture
+    echo "== monitor: kill-and-recover under churn (release) =="
+    RUST_BACKTRACE=1 timeout "$MONITOR_BUDGET" \
+        cargo test -q --release --test monitor_recovery
+fi
+
 if [[ "${1:-}" == "--bench" ]]; then
     echo "== parallel audit bench =="
     QPV_BENCH_FULL=1 QPV_BENCH_JSON="$PWD/BENCH_parallel_audit.json" \
@@ -98,6 +115,9 @@ if [[ "${1:-}" == "--bench" ]]; then
     echo "== delta audit bench =="
     QPV_BENCH_FULL=1 QPV_BENCH_JSON="$PWD/BENCH_delta_audit.json" \
         cargo bench -p qpv-bench --bench delta_audit
+    echo "== delta log bench =="
+    QPV_BENCH_FULL=1 QPV_BENCH_JSON="$PWD/BENCH_delta_log.json" \
+        cargo bench -p qpv-bench --bench delta_log
 fi
 
 echo "tier-1: OK"
