@@ -32,10 +32,14 @@ fn bench_parallel_audit(c: &mut Criterion) {
     let engine = scenario.engine();
     let sequential = engine.run(&population.profiles);
 
+    // Skip thread counts the scheduler cannot grant (pinned containers)
+    // instead of plotting flat oversubscription curves; skips land in the
+    // JSON's "skipped" array.
+    let avail = criterion::threads_available();
     let mut group = c.benchmark_group("audit/parallel");
     group.sample_size(10);
     group.throughput(Throughput::Elements(n as u64));
-    for threads in THREADS {
+    for threads in THREADS.into_iter().filter(|&t| t <= avail) {
         let nz = NonZeroUsize::new(threads).expect("nonzero");
         group.bench_with_input(BenchmarkId::new("threads", threads), &threads, |b, _| {
             b.iter(|| {
@@ -48,21 +52,34 @@ fn bench_parallel_audit(c: &mut Criterion) {
         });
     }
     group.finish();
+    for threads in THREADS.into_iter().filter(|&t| t > avail) {
+        c.record_skip(
+            format!("audit/parallel/threads/{threads}"),
+            format!("above threads_available ({avail})"),
+        );
+    }
 }
 
 fn bench_parallel_generation(c: &mut Criterion) {
     let n = qpv_bench::bench_n(N);
     let scenario = Scenario::healthcare(64, 42);
+    let avail = criterion::threads_available();
     let mut group = c.benchmark_group("synth/par_generate");
     group.sample_size(10);
     group.throughput(Throughput::Elements(n as u64));
-    for threads in THREADS {
+    for threads in THREADS.into_iter().filter(|&t| t <= avail) {
         let nz = NonZeroUsize::new(threads).expect("nonzero");
         group.bench_with_input(BenchmarkId::new("threads", threads), &threads, |b, _| {
             b.iter(|| black_box(par_generate(&scenario.spec, n, 42, nz)));
         });
     }
     group.finish();
+    for threads in THREADS.into_iter().filter(|&t| t > avail) {
+        c.record_skip(
+            format!("synth/par_generate/threads/{threads}"),
+            format!("above threads_available ({avail})"),
+        );
+    }
 }
 
 criterion_group!(benches, bench_parallel_audit, bench_parallel_generation);

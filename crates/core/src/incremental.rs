@@ -499,7 +499,6 @@ fn clamp_score(s: u128) -> u64 {
 fn index_occurrence(pop: &CompiledPopulation, i: usize) -> ProviderPrefIndex {
     let mut entries: Vec<(u32, u32, PrivacyPoint)> = pop
         .pref_rows_of(i)
-        .iter()
         .map(|r| (r.attr, r.purpose, r.point))
         .collect();
     entries.sort_by_key(|e| (e.0, e.1));

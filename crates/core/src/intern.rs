@@ -81,9 +81,117 @@ impl SymbolTable {
     }
 }
 
+/// A deterministic streaming hasher over `u32` words (splitmix64-style
+/// mixing), used to fingerprint unique preference/datum rows for the
+/// row-intern table in [`crate::pop`]. Deliberately not `RandomState`:
+/// rebuilding the same population must produce the same fingerprints so
+/// snapshots decode into bit-identical lookup structures.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct SigHasher(u64);
+
+impl SigHasher {
+    /// A fresh hasher.
+    pub(crate) fn new() -> SigHasher {
+        SigHasher(0x9E37_79B9_7F4A_7C15)
+    }
+
+    /// Absorb one word.
+    pub(crate) fn push(&mut self, w: u32) {
+        let mut x = self
+            .0
+            .wrapping_add(w as u64)
+            .wrapping_add(0x9E37_79B9_7F4A_7C15);
+        x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        self.0 = x ^ (x >> 31);
+    }
+
+    /// The fingerprint of everything pushed so far.
+    pub(crate) fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+/// A hash → slot multimap: the lookup side of the row-intern table.
+/// Collisions chain into a short per-hash bucket; the caller supplies the
+/// full equality check, so a collision only costs an extra compare.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct HashIndex {
+    buckets: HashMap<u64, Vec<u32>>,
+}
+
+impl HashIndex {
+    /// The first slot under `hash` for which `eq` holds.
+    pub(crate) fn find(&self, hash: u64, mut eq: impl FnMut(u32) -> bool) -> Option<u32> {
+        self.buckets.get(&hash)?.iter().copied().find(|&s| eq(s))
+    }
+
+    /// Register `slot` under `hash`.
+    pub(crate) fn insert(&mut self, hash: u64, slot: u32) {
+        self.buckets.entry(hash).or_default().push(slot);
+    }
+
+    /// Unregister `slot` from `hash`'s bucket (no-op if absent).
+    pub(crate) fn remove(&mut self, hash: u64, slot: u32) {
+        if let Some(bucket) = self.buckets.get_mut(&hash) {
+            if let Some(pos) = bucket.iter().position(|&s| s == slot) {
+                bucket.swap_remove(pos);
+            }
+            if bucket.is_empty() {
+                self.buckets.remove(&hash);
+            }
+        }
+    }
+
+    /// Drop every registration.
+    pub(crate) fn clear(&mut self) {
+        self.buckets.clear();
+    }
+
+    /// Whether `slot` is registered under `hash` (test/validation support).
+    pub(crate) fn contains(&self, hash: u64, slot: u32) -> bool {
+        self.buckets.get(&hash).is_some_and(|b| b.contains(&slot))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn sig_hasher_is_deterministic_and_order_sensitive() {
+        let mut a = SigHasher::new();
+        let mut b = SigHasher::new();
+        for w in [3u32, 1, 4, 1, 5] {
+            a.push(w);
+        }
+        for w in [3u32, 1, 4, 1, 5] {
+            b.push(w);
+        }
+        assert_eq!(a.finish(), b.finish());
+        let mut c = SigHasher::new();
+        for w in [5u32, 1, 4, 1, 3] {
+            c.push(w);
+        }
+        assert_ne!(a.finish(), c.finish(), "order matters");
+    }
+
+    #[test]
+    fn hash_index_find_insert_remove() {
+        let mut ix = HashIndex::default();
+        ix.insert(7, 0);
+        ix.insert(7, 1); // collision chain
+        ix.insert(9, 2);
+        assert_eq!(ix.find(7, |s| s == 1), Some(1));
+        assert_eq!(ix.find(7, |_| false), None);
+        assert!(ix.contains(7, 0));
+        ix.remove(7, 0);
+        assert!(!ix.contains(7, 0));
+        assert_eq!(ix.find(7, |_| true), Some(1));
+        ix.remove(7, 1);
+        assert_eq!(ix.find(7, |_| true), None);
+        assert_eq!(ix.find(9, |_| true), Some(2));
+    }
 
     #[test]
     fn ids_are_dense_and_stable() {

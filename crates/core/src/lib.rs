@@ -47,6 +47,7 @@ pub mod default_model;
 pub mod deltalog;
 pub mod incremental;
 pub mod intern;
+mod packed;
 pub mod par;
 pub mod plan;
 pub mod pop;

@@ -1,0 +1,500 @@
+//! Branch-free counts evaluation over the packed unique-row lanes.
+//!
+//! [`PackedScratch::pass`] is the counts hot path behind
+//! [`crate::pop::AuditEngine::counts`] /
+//! `AuditEngine::audit_many_policies`: it scores each *unique* row of a
+//! [`CompiledPopulation`] exactly once against a
+//! [`CompiledAuditPlan`], then aggregates by the row's refcount
+//! (multiplicity). On segment-clustered populations the unique-row table
+//! is orders of magnitude smaller than the population, so the whole
+//! working set stays cache-resident for millions of providers.
+//!
+//! The evaluation itself replaces the per-provider scalar walk
+//! (`index_provider` + `eval_scratch`'s branchy per-row `if` chains)
+//! with straight-line lane arithmetic over fixed-size blocks of unique
+//! rows:
+//!
+//! 1. **fill** — scatter each row's stated preference lanes into
+//!    per-plan-row effective-preference lanes (`ev`/`eg`/`er`,
+//!    `plan_rows × BLOCK`), honoring the plan's semantics exactly: flat
+//!    mode keeps the first stated tuple per `(attr, purpose)` cell,
+//!    lattice mode max-joins every covering tuple, unstated cells stay
+//!    at the implicit deny-all `PrivacyPoint::ZERO`. Stated-ness is a
+//!    per-block *generation stamp* (`stamp` lanes vs `gen`), so no lane
+//!    is ever cleared between blocks, and a preference row's cell routes
+//!    through a CSR map indexed directly by the population's interned
+//!    `(attr, purpose)` ids — one lookup, no translation sentinels in
+//!    the inner loop;
+//! 2. **sweep** — per plan *attribute*: every plan row on the attribute
+//!    contributes `diff = policy.saturating_sub(effective_pref)` per
+//!    dimension (branch-free `u32` ops, unstamped cells masked to ZERO)
+//!    into weighted per-dimension accumulator lanes (`sv`/`sg`/`sr`),
+//!    OR-folding the violation *predicate* into a mask lane; then one
+//!    fused multiply by the attribute's datum products
+//!    (`value × along(dim)`, neutral = 1 where the population never saw
+//!    the attribute) lands the Eq. 14 severity sum in the score lane.
+//!    The factoring `Σ_r (diff_r·w_r)·(value·along) =
+//!    (Σ_r diff_r·w_r)·(value·along)` holds exactly because every plan
+//!    row of an attribute shares the same datum product — *provided
+//!    nothing saturates*. A conservative `u128` bound over the plan's
+//!    maximal diffs and the table's maximal datum products is checked
+//!    once per pass; if it cannot rule saturation out, the pass runs a
+//!    fallback sweep that replays `crate::severity::conf`'s exact
+//!    `saturating_mul`/`saturating_add` chain in plan-row order;
+//! 3. **aggregate** — violation masks reduce through packed `u64` words
+//!    (popcount-style bit iteration) weighted by refcounts; scores
+//!    weigh into the `u128` total by refcount; the defaulted count reads
+//!    per-occurrence thresholds against the shared per-unique-row score.
+//!
+//! The regrouped arithmetic is identical to [`crate::severity::conf`]'s
+//! chain — all factors are non-negative, `u32 × u32` is exact in `u64`,
+//! saturating ops over non-negatives compute `min(true value, MAX)`, and
+//! the factored path only runs when the precheck proves the true value
+//! stays below every saturation point — and `tests/pop_equivalence.rs`
+//! pins the whole pass byte-identical to `AuditEngine::run_reference`,
+//! including saturating magnitudes that force the fallback sweep.
+
+use crate::default_model::defaults;
+use crate::plan::CompiledAuditPlan;
+use crate::pop::{CompiledPopulation, PolicyOutcome};
+use qpv_taxonomy::Dim;
+
+/// Unique rows evaluated per tile. Sized so the block working set —
+/// 4 lane arrays (`ev`/`eg`/`er`/`stamp`) × plan rows × 4 bytes — stays
+/// inside L1 for realistic plans (≈24 KB at 6 plan rows); 1024 spilled
+/// to L2 and measured ~2× slower on the 100k counts path.
+const BLOCK: usize = 256;
+
+/// One compiled plan row's policy-side constants, hoisted out of the
+/// sweep loop.
+struct RowParam {
+    pv: u32,
+    pg: u32,
+    pr: u32,
+    w: u32,
+    attr: usize,
+}
+
+/// Reusable lane buffers for the packed counts pass. Allocation happens
+/// on first use and is amortized across passes (`audit_many_policies`
+/// shares one scratch over all K policies).
+#[derive(Debug, Default)]
+pub(crate) struct PackedScratch {
+    /// `(plan attr, plan purpose)` cell → plan-row indices whose
+    /// effective preference that cell feeds (flat: its own cell; lattice:
+    /// every covered purpose's cell). Plan-space staging for `csr_*`.
+    cell_rows: Vec<Vec<u32>>,
+    /// CSR offsets over population-symbol cells: entry
+    /// `pop_attr * pop_purposes + pop_purpose` spans the plan rows that
+    /// cell feeds in `csr_rows`. Rebuilt per pass, O(symbols × plan).
+    csr_off: Vec<u32>,
+    csr_rows: Vec<u32>,
+    /// CSR of plan rows grouped by plan attribute (`arow_off[a]..
+    /// arow_off[a+1]` spans `arow_idx`), driving the factored sweep.
+    arow_off: Vec<u32>,
+    arow_idx: Vec<u32>,
+    // Effective-preference lanes, `plan_rows × BLOCK`.
+    ev: Vec<u32>,
+    eg: Vec<u32>,
+    er: Vec<u32>,
+    /// Stated-ness stamps, `plan_rows × BLOCK`: `stamp[idx] == gen` marks
+    /// a cell the current block's fill stage wrote. Never cleared —
+    /// flat first-wins and lattice join-init both key off the stamp, and
+    /// the sweep masks unstamped (stale) lanes to ZERO.
+    stamp: Vec<u32>,
+    /// Current stamp generation; advances monotonically across blocks
+    /// and passes, with a lane wipe on the (never in practice) wrap.
+    gen: u32,
+    // Per-dimension weighted-diff accumulators for the factored sweep,
+    // `BLOCK` each.
+    sv: Vec<u64>,
+    sg: Vec<u64>,
+    sr: Vec<u64>,
+    /// Per-unique-row violation predicate accumulator for the block
+    /// (nonzero = at least one dimension exceeded on some plan row).
+    vmask: Vec<u32>,
+    /// Per-unique-row saturating score, full table length.
+    score: Vec<u64>,
+}
+
+impl PackedScratch {
+    pub(crate) fn new() -> PackedScratch {
+        PackedScratch::default()
+    }
+
+    /// Score every unique row once, aggregate by multiplicity. Aggregates
+    /// equal `AuditEngine::audit_compiled`'s, bit for bit.
+    pub(crate) fn pass(
+        &mut self,
+        pop: &CompiledPopulation,
+        plan: &CompiledAuditPlan,
+    ) -> PolicyOutcome {
+        let binding = pop.bind(plan);
+        let table = pop.table();
+        let (p_attr, p_purpose, p_vis, p_gran, p_ret) = table.pref_lanes();
+        let (d_value, d_vis, d_gran, d_ret) = table.datum_lanes();
+        let refs = table.refs_slice();
+        let ranges = table.ranges_slice();
+        let stride = table.stride();
+        let slots = table.slot_count();
+        let nrows = plan.rows.len();
+        let na = plan.attrs.len();
+        let np = plan.purposes.len();
+        let (pop_na, pop_np) = pop.symbol_counts();
+
+        // Map each plan (attr, purpose) cell to the plan rows it feeds,
+        // then project down to population-symbol space as a CSR so the
+        // fill loop resolves a preference row's cell with one multiply
+        // and two offset loads. Built once per pass; O(plan + symbols).
+        for cell in self.cell_rows.iter_mut() {
+            cell.clear();
+        }
+        self.cell_rows.resize_with(na * np, Vec::new);
+        for (r, row) in plan.rows.iter().enumerate() {
+            if plan.lattice_mode {
+                for &p in &plan.covers[row.covers as usize] {
+                    self.cell_rows[row.attr as usize * np + p as usize].push(r as u32);
+                }
+            } else {
+                self.cell_rows[row.attr as usize * np + row.purpose as usize].push(r as u32);
+            }
+        }
+        self.csr_off.clear();
+        self.csr_rows.clear();
+        for pa in 0..pop_na {
+            for pp in 0..pop_np {
+                self.csr_off.push(self.csr_rows.len() as u32);
+                let a = binding.attr_to_plan[pa];
+                let p = binding.purpose_to_plan[pp];
+                if a != u32::MAX && p != u32::MAX {
+                    self.csr_rows
+                        .extend_from_slice(&self.cell_rows[a as usize * np + p as usize]);
+                }
+            }
+        }
+        self.csr_off.push(self.csr_rows.len() as u32);
+        // In the overwhelmingly common shape — no duplicate policy
+        // tuples per (attr, purpose), flat mode — every cell feeds at
+        // most one plan row, and the fill loop collapses to a single
+        // table lookup per preference row.
+        let single_target = (0..pop_na * pop_np)
+            .all(|c| self.csr_off[c + 1] - self.csr_off[c] <= 1)
+            .then(|| {
+                (0..pop_na * pop_np)
+                    .map(|c| {
+                        if self.csr_off[c + 1] > self.csr_off[c] {
+                            self.csr_rows[self.csr_off[c] as usize]
+                        } else {
+                            u32::MAX
+                        }
+                    })
+                    .collect::<Vec<u32>>()
+            });
+
+        let rp: Vec<RowParam> = plan
+            .rows
+            .iter()
+            .map(|row| RowParam {
+                pv: row.point.get(Dim::Visibility),
+                pg: row.point.get(Dim::Granularity),
+                pr: row.point.get(Dim::Retention),
+                w: row.weight,
+                attr: row.attr as usize,
+            })
+            .collect();
+
+        // Plan rows grouped by attribute for the factored sweep.
+        self.arow_off.clear();
+        self.arow_idx.clear();
+        for a in 0..na {
+            self.arow_off.push(self.arow_idx.len() as u32);
+            for (r, row) in rp.iter().enumerate() {
+                if row.attr == a {
+                    self.arow_idx.push(r as u32);
+                }
+            }
+        }
+        self.arow_off.push(self.arow_idx.len() as u32);
+
+        // Saturation precheck: an upper bound on the exact Eq. 14 sum —
+        // every diff bounded by its policy point, every datum product by
+        // the table-wide lane maxima. Below u64::MAX, no saturating op
+        // anywhere in the reference chain can clip, so the factored
+        // arithmetic is exact and byte-identical; otherwise fall back to
+        // the reference-ordered saturating sweep.
+        let max_val = d_value.iter().copied().max().unwrap_or(0) as u128;
+        let max_along = d_vis
+            .iter()
+            .chain(d_gran)
+            .chain(d_ret)
+            .copied()
+            .max()
+            .unwrap_or(0) as u128;
+        let max_prod = (max_val * max_along).max(1);
+        let bound: u128 = rp
+            .iter()
+            .map(|row| (row.pv as u128 + row.pg as u128 + row.pr as u128) * row.w as u128)
+            .sum::<u128>()
+            .saturating_mul(max_prod);
+        let exact = bound < u64::MAX as u128;
+
+        self.ev.resize(nrows * BLOCK, 0);
+        self.eg.resize(nrows * BLOCK, 0);
+        self.er.resize(nrows * BLOCK, 0);
+        // Lane growth stamps at 0, i.e. stale for every live generation.
+        self.stamp.resize(nrows * BLOCK, 0);
+        self.sv.resize(BLOCK, 0);
+        self.sg.resize(BLOCK, 0);
+        self.sr.resize(BLOCK, 0);
+        self.vmask.resize(BLOCK, 0);
+        self.score.clear();
+        self.score.resize(slots, 0);
+
+        let PackedScratch {
+            csr_off,
+            csr_rows,
+            arow_off,
+            arow_idx,
+            ev,
+            eg,
+            er,
+            stamp,
+            gen,
+            sv,
+            sg,
+            sr,
+            vmask,
+            score,
+            ..
+        } = self;
+
+        let mut total: u128 = 0;
+        let mut violated: usize = 0;
+
+        let mut b0 = 0;
+        while b0 < slots {
+            let bl = BLOCK.min(slots - b0);
+
+            // A fresh generation invalidates every lane the previous
+            // block stamped — no clearing. (The wrap back to 0 would
+            // alias lanes grown at 0, so wipe once per 2^32 blocks.)
+            *gen = gen.wrapping_add(1);
+            if *gen == 0 {
+                stamp.fill(0);
+                *gen = 1;
+            }
+            let gen = *gen;
+
+            // FILL: scatter stated preferences into the plan-row lanes.
+            for ub in 0..bl {
+                let u = b0 + ub;
+                if refs[u] == 0 {
+                    continue; // dead slot: lanes stay stale, weight 0 below
+                }
+                let (s, e) = (ranges[u].0 as usize, ranges[u].1 as usize);
+                let prefs = p_attr[s..e]
+                    .iter()
+                    .zip(&p_purpose[s..e])
+                    .zip(p_vis[s..e].iter().zip(&p_gran[s..e]).zip(&p_ret[s..e]));
+                if let Some(one) = &single_target {
+                    for ((&pa, &pp), ((&tv, &tg), &tr)) in prefs {
+                        let r = one[pa as usize * pop_np + pp as usize];
+                        if r == u32::MAX {
+                            continue;
+                        }
+                        let idx = r as usize * BLOCK + ub;
+                        if stamp[idx] != gen {
+                            stamp[idx] = gen;
+                            ev[idx] = tv;
+                            eg[idx] = tg;
+                            er[idx] = tr;
+                        } else if plan.lattice_mode {
+                            ev[idx] = ev[idx].max(tv);
+                            eg[idx] = eg[idx].max(tg);
+                            er[idx] = er[idx].max(tr);
+                        }
+                        // flat mode: first stated tuple wins, rest skipped
+                    }
+                } else {
+                    for ((&pa, &pp), ((&tv, &tg), &tr)) in prefs {
+                        let cell = pa as usize * pop_np + pp as usize;
+                        let rows = &csr_rows[csr_off[cell] as usize..csr_off[cell + 1] as usize];
+                        for &r in rows {
+                            let idx = r as usize * BLOCK + ub;
+                            if stamp[idx] != gen {
+                                stamp[idx] = gen;
+                                ev[idx] = tv;
+                                eg[idx] = tg;
+                                er[idx] = tr;
+                            } else if plan.lattice_mode {
+                                ev[idx] = ev[idx].max(tv);
+                                eg[idx] = eg[idx].max(tg);
+                                er[idx] = er[idx].max(tr);
+                            }
+                        }
+                    }
+                }
+            }
+
+            // SWEEP: branch-free diffs + violation mask, factored per
+            // plan attribute. Lanes the fill stage didn't stamp mask to
+            // ZERO — the implicit deny-all.
+            vmask[..bl].fill(0);
+            let vms = &mut vmask[..bl];
+            let scs = &mut score[b0..b0 + bl];
+            if exact {
+                let mut first_attr = true;
+                for (a, pop_attr) in binding.plan_attr_to_pop.iter().enumerate() {
+                    let rows = &arow_idx[arow_off[a] as usize..arow_off[a + 1] as usize];
+                    if rows.is_empty() {
+                        continue;
+                    }
+                    // Per-dimension weighted diffs over the attribute's
+                    // plan rows: u32 lane math, widening mul-accumulate.
+                    let mut first = true;
+                    for &r in rows {
+                        let row = &rp[r as usize];
+                        let eb = r as usize * BLOCK;
+                        let evs = &ev[eb..eb + bl];
+                        let egs = &eg[eb..eb + bl];
+                        let ers = &er[eb..eb + bl];
+                        let sts = &stamp[eb..eb + bl];
+                        let svs = &mut sv[..bl];
+                        let sgs = &mut sg[..bl];
+                        let srs = &mut sr[..bl];
+                        let w = row.w as u64;
+                        for ub in 0..bl {
+                            let live = 0u32.wrapping_sub((sts[ub] == gen) as u32);
+                            let dv = row.pv.saturating_sub(evs[ub] & live);
+                            let dg = row.pg.saturating_sub(egs[ub] & live);
+                            let dr = row.pr.saturating_sub(ers[ub] & live);
+                            vms[ub] |= dv | dg | dr;
+                            if first {
+                                svs[ub] = dv as u64 * w;
+                                sgs[ub] = dg as u64 * w;
+                                srs[ub] = dr as u64 * w;
+                            } else {
+                                svs[ub] += dv as u64 * w;
+                                sgs[ub] += dg as u64 * w;
+                                srs[ub] += dr as u64 * w;
+                            }
+                        }
+                        first = false;
+                    }
+                    // Fused datum products: one multiply per dimension
+                    // lands the attribute's exact severity contribution.
+                    match pop_attr {
+                        Some(pa) => {
+                            let mut d = b0 * stride + *pa as usize;
+                            for ub in 0..bl {
+                                let val = d_value[d] as u64;
+                                let term = sv[ub] * (val * d_vis[d] as u64)
+                                    + sg[ub] * (val * d_gran[d] as u64)
+                                    + sr[ub] * (val * d_ret[d] as u64);
+                                if first_attr {
+                                    scs[ub] = term;
+                                } else {
+                                    scs[ub] += term;
+                                }
+                                d += stride;
+                            }
+                        }
+                        None => {
+                            for ub in 0..bl {
+                                let term = sv[ub] + sg[ub] + sr[ub];
+                                if first_attr {
+                                    scs[ub] = term;
+                                } else {
+                                    scs[ub] += term;
+                                }
+                            }
+                        }
+                    }
+                    first_attr = false;
+                }
+                if first_attr {
+                    scs.fill(0); // no plan rows at all
+                }
+            } else {
+                // Fallback: replay the reference's exact saturating chain
+                // in plan-row order (saturation points depend on the
+                // association, so no factoring here).
+                scs.fill(0);
+                for (r, row) in rp.iter().enumerate() {
+                    let eb = r * BLOCK;
+                    let evs = &ev[eb..eb + bl];
+                    let egs = &eg[eb..eb + bl];
+                    let ers = &er[eb..eb + bl];
+                    let sts = &stamp[eb..eb + bl];
+                    let w = row.w as u64;
+                    let pop_attr = binding.plan_attr_to_pop[row.attr];
+                    for ub in 0..bl {
+                        let live = 0u32.wrapping_sub((sts[ub] == gen) as u32);
+                        let dv = row.pv.saturating_sub(evs[ub] & live);
+                        let dg = row.pg.saturating_sub(egs[ub] & live);
+                        let dr = row.pr.saturating_sub(ers[ub] & live);
+                        vms[ub] |= dv | dg | dr;
+                        let (pv, pg, pr) = match pop_attr {
+                            Some(pa) => {
+                                let d = (b0 + ub) * stride + pa as usize;
+                                let val = d_value[d] as u64;
+                                (
+                                    val * d_vis[d] as u64,
+                                    val * d_gran[d] as u64,
+                                    val * d_ret[d] as u64,
+                                )
+                            }
+                            None => (1, 1, 1),
+                        };
+                        scs[ub] = scs[ub]
+                            .saturating_add((dv as u64 * w).saturating_mul(pv))
+                            .saturating_add((dg as u64 * w).saturating_mul(pg))
+                            .saturating_add((dr as u64 * w).saturating_mul(pr));
+                    }
+                }
+            }
+
+            // AGGREGATE: pack the violation predicates into u64 words and
+            // walk set bits, weighing each by the row's multiplicity.
+            let mut w0 = 0;
+            while w0 < bl {
+                let wl = 64.min(bl - w0);
+                let mut word: u64 = 0;
+                for (k, &m) in vmask[w0..w0 + wl].iter().enumerate() {
+                    word |= ((m != 0) as u64) << k;
+                }
+                while word != 0 {
+                    let k = word.trailing_zeros() as usize;
+                    violated += refs[b0 + w0 + k] as usize;
+                    word &= word - 1;
+                }
+                w0 += 64;
+            }
+            for ub in 0..bl {
+                let rf = refs[b0 + ub];
+                if rf != 0 {
+                    total += score[b0 + ub] as u128 * rf as u128;
+                }
+            }
+
+            b0 += BLOCK;
+        }
+
+        // DEFAULTED: thresholds are per-occurrence (merged id-rows), so
+        // this is the one O(N) loop — two array reads and a compare each.
+        let urows = pop.urows();
+        let rows = pop.rows();
+        let thresholds = pop.thresholds_slice();
+        let mut defaulted = 0usize;
+        for (&u, &row) in urows.iter().zip(rows) {
+            defaulted += defaults(score[u as usize], thresholds[row as usize]) as usize;
+        }
+
+        PolicyOutcome {
+            total_violations: total,
+            violated,
+            defaulted,
+            population: pop.len(),
+        }
+    }
+}

@@ -1,46 +1,48 @@
-//! The compiled population: structure-of-arrays provider storage.
+//! The compiled population: packed-lane, row-deduplicated provider
+//! storage.
 //!
 //! [`crate::plan::CompiledAuditPlan`] (PR 2) compiled the *house* side of
 //! the audit — policy tuples to dense rows, lattice coverage to id lists.
-//! The provider side stayed an array-of-structs: every audit re-hashes
-//! every stated preference string of every [`ProviderProfile`], and §9's
-//! policy-expansion economics (Eq. 31) repeats that work for every
-//! candidate policy. A [`CompiledPopulation`] interns the whole population
-//! **once**:
+//! PR 4 compiled the provider side into flat structure-of-arrays storage;
+//! this revision reworks that layout around two observations:
 //!
-//! * every stated preference becomes a dense `(attr_id, purpose_id,
-//!   point)` [`PrefRow`], with per-provider offset ranges into one flat
-//!   row array;
-//! * datum sensitivities densify into one flat `providers × attributes`
-//!   table (merged last-wins per provider id, exactly like
-//!   [`crate::profile::assemble`] — so duplicate-id populations resolve
-//!   identically to the reference path);
-//! * thresholds flatten into one array per distinct id.
+//! * real populations cluster into a handful of preference segments
+//!   (`qpv_synth::segments` models exactly this), so most providers'
+//!   preference rows and datum sensitivities are *identical* — the
+//!   [`RowTable`] interns each distinct (preference rows, datum row)
+//!   combination **once**, with per-occurrence row references and
+//!   refcounts as multiplicities. Segment-clustered populations shrink
+//!   the scanned table ~#segments/N, and 10M+ providers fit hot in
+//!   cache;
+//! * the counts hot path ([`AuditEngine::counts`],
+//!   [`AuditEngine::audit_many_policies`]) no longer walks per-provider
+//!   `(attr, purpose, point)` structs: preference coordinates live in
+//!   contiguous u32 *lanes* (`p_vis`/`p_gran`/`p_ret`, and a
+//!   `slots × attrs` datum-lane table), which `crate::packed` evaluates
+//!   branch-free over whole blocks — see `PackedScratch::pass`.
 //!
-//! Auditing against a plan then needs no string hashing at all: a
-//! [`PlanBinding`] translates population symbol ids to plan symbol ids
-//! through two plain arrays, built once per (population, plan) pair. The
-//! counts-only path ([`AuditEngine::counts`],
-//! [`AuditEngine::audit_many_policies`]) allocates **zero heap per
-//! provider** — witness strings are resolved from the symbol tables only
-//! when a full report is requested.
+//! Per-occurrence state is three u32/u64 arrays (`urow_of` — the interned
+//! unique-row slot, `row_of` — the merged id-row for thresholds, and the
+//! id itself); everything content-sized lives in the [`RowTable`].
+//! Thresholds stay per-id (merged last-wins across duplicate occurrences,
+//! matching [`crate::profile::assemble`]), and so does the datum row each
+//! unique row embeds.
 //!
 //! Everything here is pinned bitwise-equal to
 //! [`AuditEngine::run_reference`] by `tests/pop_equivalence.rs`.
 //!
 //! Populations are not frozen after compilation: a [`PopulationDelta`]
-//! (provider upsert/remove, per-attribute preference edits, sensitivity
-//! and threshold changes) applies **in place** via
-//! [`CompiledPopulation::apply_delta`] — free row ranges are recycled
-//! through a freelist, the population epoch bumps, and the resulting
-//! [`DeltaOutcome`] event log tells an
-//! [`crate::incremental::IncrementalAuditor`] exactly which occurrences
-//! to re-score. Churny workloads therefore cost `O(changed)` per update
-//! instead of an `O(N)` rebuild; `tests/delta_equivalence.rs` pins the
-//! delta path byte-identical to a fresh compile of the mutated
-//! population.
+//! applies **in place** via [`CompiledPopulation::apply_delta`] — each op
+//! re-interns the touched occurrence's unique row (intern-new then
+//! release-old, so shared content is never copied) and the refcounted
+//! table recycles dead slots and preference ranges through freelists.
+//! Churny workloads therefore cost `O(changed)` per update instead of an
+//! `O(N)` rebuild; `tests/delta_equivalence.rs` pins the delta path
+//! byte-identical to a fresh compile of the mutated population, including
+//! sequences that drive refcounts to zero and back.
 
 use std::collections::HashMap;
+use std::sync::OnceLock;
 
 use serde::{Deserialize, Serialize};
 
@@ -51,14 +53,15 @@ use qpv_taxonomy::{Dim, PrivacyPoint};
 
 use crate::audit::{AuditEngine, AuditReport, ProviderAudit};
 use crate::default_model::defaults;
-use crate::intern::SymbolTable;
+use crate::intern::{HashIndex, SigHasher, SymbolTable};
+use crate::packed::PackedScratch;
 use crate::plan::{CompiledAuditPlan, PlanScratch};
 use crate::probability::census_fraction;
 use crate::profile::ProviderProfile;
 use crate::sensitivity::DatumSensitivity;
 
-/// One interned stated preference: the SoA row.
-#[derive(Debug, Clone, Copy)]
+/// One interned stated preference row.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub(crate) struct PrefRow {
     /// Population attribute id.
     pub(crate) attr: u32,
@@ -68,7 +71,468 @@ pub(crate) struct PrefRow {
     pub(crate) point: PrivacyPoint,
 }
 
-/// A whole population interned into flat structure-of-arrays storage.
+/// The deduplicated unique-row table: each distinct (ordered preference
+/// rows, dense datum row) combination is stored once, in packed u32
+/// lanes, with a refcount recording how many provider occurrences
+/// reference it.
+///
+/// Invariants (checked by [`RowTable::validate`]):
+/// * `refs[u] == 0` ⇔ slot `u` is dead: its `ranges[u] == (0, 0)`, it is
+///   in `free_slots`, and it is absent from `lookup`;
+/// * live slots carry `hashes[u] == hash_slot(u)` and are registered in
+///   `lookup` under that hash;
+/// * no two live slots have identical content (interning dedups);
+/// * preference ranges of live slots and `free_pref` holes partition a
+///   prefix-closed region of the lanes (never overlap).
+#[derive(Debug, Clone, Default)]
+pub(crate) struct RowTable {
+    /// Datum-lane row width == the population's interned attribute count.
+    stride: usize,
+    // Preference lanes, indexed by the ranges below.
+    p_attr: Vec<u32>,
+    p_purpose: Vec<u32>,
+    p_vis: Vec<u32>,
+    p_gran: Vec<u32>,
+    p_ret: Vec<u32>,
+    /// Per-slot `[start, end)` preference range into the lanes.
+    ranges: Vec<(u32, u32)>,
+    /// Per-slot reference count == number of occurrences using the slot
+    /// (the multiplicity the packed counts path aggregates by). 0 = dead.
+    refs: Vec<u32>,
+    /// Per-slot content fingerprint (stale for dead slots).
+    hashes: Vec<u64>,
+    // Datum lanes: `slot_count × stride`, row-major per slot.
+    d_value: Vec<u32>,
+    d_vis: Vec<u32>,
+    d_gran: Vec<u32>,
+    d_ret: Vec<u32>,
+    /// Dead slots, reused LIFO by later interns.
+    free_slots: Vec<u32>,
+    /// Free `[start, end)` holes in the preference lanes, reused
+    /// first-fit (not coalesced; churn at a steady size re-uses its own
+    /// holes).
+    free_pref: Vec<(u32, u32)>,
+    /// Content-hash → slot lookup (deterministic hashing, so snapshots
+    /// rebuild identical structures).
+    lookup: HashIndex,
+}
+
+impl RowTable {
+    pub(crate) fn stride(&self) -> usize {
+        self.stride
+    }
+
+    /// Total slots, live and dead (the packed pass iterates all of them;
+    /// dead slots aggregate with multiplicity 0).
+    pub(crate) fn slot_count(&self) -> usize {
+        self.refs.len()
+    }
+
+    /// Live (referenced) unique rows.
+    pub(crate) fn live_slots(&self) -> usize {
+        self.refs.iter().filter(|&&r| r > 0).count()
+    }
+
+    /// Total preference rows across live unique rows.
+    pub(crate) fn live_pref_rows(&self) -> usize {
+        self.refs
+            .iter()
+            .zip(&self.ranges)
+            .filter(|(&r, _)| r > 0)
+            .map(|(_, &(s, e))| (e - s) as usize)
+            .sum()
+    }
+
+    /// Length of the preference lanes (including holes).
+    pub(crate) fn pref_lane_len(&self) -> usize {
+        self.p_attr.len()
+    }
+
+    pub(crate) fn refs_slice(&self) -> &[u32] {
+        &self.refs
+    }
+
+    pub(crate) fn ranges_slice(&self) -> &[(u32, u32)] {
+        &self.ranges
+    }
+
+    /// `(attr, purpose, vis, gran, ret)` preference lanes.
+    #[allow(clippy::type_complexity)]
+    pub(crate) fn pref_lanes(&self) -> (&[u32], &[u32], &[u32], &[u32], &[u32]) {
+        (
+            &self.p_attr,
+            &self.p_purpose,
+            &self.p_vis,
+            &self.p_gran,
+            &self.p_ret,
+        )
+    }
+
+    /// `(value, vis, gran, ret)` datum lanes, `slot_count × stride`.
+    pub(crate) fn datum_lanes(&self) -> (&[u32], &[u32], &[u32], &[u32]) {
+        (&self.d_value, &self.d_vis, &self.d_gran, &self.d_ret)
+    }
+
+    /// The preference rows of slot `u`, materialized on the fly.
+    pub(crate) fn pref_rows(&self, u: usize) -> impl Iterator<Item = PrefRow> + '_ {
+        let (s, e) = self.ranges[u];
+        (s as usize..e as usize).map(move |j| PrefRow {
+            attr: self.p_attr[j],
+            purpose: self.p_purpose[j],
+            point: PrivacyPoint::from_raw(self.p_vis[j], self.p_gran[j], self.p_ret[j]),
+        })
+    }
+
+    /// The datum sensitivity of slot `u` for a population attribute id.
+    pub(crate) fn datum(&self, u: usize, attr: u32) -> DatumSensitivity {
+        let d = u * self.stride + attr as usize;
+        DatumSensitivity::new(
+            self.d_value[d],
+            self.d_vis[d],
+            self.d_gran[d],
+            self.d_ret[d],
+        )
+    }
+
+    /// Copy slot `u`'s dense datum row into `out` (resized to `stride`).
+    pub(crate) fn copy_datums(&self, u: usize, out: &mut Vec<DatumSensitivity>) {
+        out.clear();
+        let base = u * self.stride;
+        out.extend((0..self.stride).map(|k| {
+            DatumSensitivity::new(
+                self.d_value[base + k],
+                self.d_vis[base + k],
+                self.d_gran[base + k],
+                self.d_ret[base + k],
+            )
+        }));
+    }
+
+    fn hash_sig(prefs: &[PrefRow], datums: &[DatumSensitivity]) -> u64 {
+        let mut h = SigHasher::new();
+        h.push(prefs.len() as u32);
+        for r in prefs {
+            h.push(r.attr);
+            h.push(r.purpose);
+            h.push(r.point.get(Dim::Visibility));
+            h.push(r.point.get(Dim::Granularity));
+            h.push(r.point.get(Dim::Retention));
+        }
+        for d in datums {
+            h.push(d.value);
+            h.push(d.visibility);
+            h.push(d.granularity);
+            h.push(d.retention);
+        }
+        h.finish()
+    }
+
+    /// Recompute `hash_sig` from the lanes — the exact same word
+    /// sequence, so interning and rebuilt indexes agree bit-for-bit.
+    fn hash_slot(&self, u: usize) -> u64 {
+        let (s, e) = self.ranges[u];
+        let mut h = SigHasher::new();
+        h.push(e - s);
+        for j in s as usize..e as usize {
+            h.push(self.p_attr[j]);
+            h.push(self.p_purpose[j]);
+            h.push(self.p_vis[j]);
+            h.push(self.p_gran[j]);
+            h.push(self.p_ret[j]);
+        }
+        let base = u * self.stride;
+        for k in 0..self.stride {
+            h.push(self.d_value[base + k]);
+            h.push(self.d_vis[base + k]);
+            h.push(self.d_gran[base + k]);
+            h.push(self.d_ret[base + k]);
+        }
+        h.finish()
+    }
+
+    fn matches(&self, u: u32, prefs: &[PrefRow], datums: &[DatumSensitivity]) -> bool {
+        let us = u as usize;
+        if self.refs[us] == 0 {
+            return false;
+        }
+        let (s, e) = self.ranges[us];
+        if (e - s) as usize != prefs.len() {
+            return false;
+        }
+        for (j, r) in prefs.iter().enumerate() {
+            let idx = s as usize + j;
+            if self.p_attr[idx] != r.attr
+                || self.p_purpose[idx] != r.purpose
+                || self.p_vis[idx] != r.point.get(Dim::Visibility)
+                || self.p_gran[idx] != r.point.get(Dim::Granularity)
+                || self.p_ret[idx] != r.point.get(Dim::Retention)
+            {
+                return false;
+            }
+        }
+        let base = us * self.stride;
+        for (k, d) in datums.iter().enumerate() {
+            if self.d_value[base + k] != d.value
+                || self.d_vis[base + k] != d.visibility
+                || self.d_gran[base + k] != d.granularity
+                || self.d_ret[base + k] != d.retention
+            {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Allocate a preference range out of the freelist — an exact-length
+    /// hole if one exists (so churn that re-interns the same shapes lands
+    /// back on a stable footprint instead of fragmenting), else first-fit
+    /// split of a larger hole, else append to the lane tails — and write
+    /// `prefs` into it.
+    fn alloc_pref(&mut self, prefs: &[PrefRow]) -> (u32, u32) {
+        let k = prefs.len() as u32;
+        if k == 0 {
+            return (0, 0);
+        }
+        let fit = self
+            .free_pref
+            .iter()
+            .position(|&(fs, fe)| fe - fs == k)
+            .or_else(|| self.free_pref.iter().position(|&(fs, fe)| fe - fs >= k));
+        let s = if let Some(pos) = fit {
+            let (fs, fe) = self.free_pref[pos];
+            if fe - fs == k {
+                self.free_pref.swap_remove(pos);
+            } else {
+                self.free_pref[pos] = (fs + k, fe);
+            }
+            fs
+        } else {
+            let start = self.p_attr.len() as u32;
+            let new_len = start as usize + k as usize;
+            self.p_attr.resize(new_len, 0);
+            self.p_purpose.resize(new_len, 0);
+            self.p_vis.resize(new_len, 0);
+            self.p_gran.resize(new_len, 0);
+            self.p_ret.resize(new_len, 0);
+            start
+        };
+        for (j, r) in prefs.iter().enumerate() {
+            let idx = s as usize + j;
+            self.p_attr[idx] = r.attr;
+            self.p_purpose[idx] = r.purpose;
+            self.p_vis[idx] = r.point.get(Dim::Visibility);
+            self.p_gran[idx] = r.point.get(Dim::Granularity);
+            self.p_ret[idx] = r.point.get(Dim::Retention);
+        }
+        (s, s + k)
+    }
+
+    /// Intern a (preference rows, dense datum row) combination: bump the
+    /// refcount of an existing identical slot, or claim a dead slot (else
+    /// append one) and write the content. `datums.len()` must equal the
+    /// current stride.
+    pub(crate) fn intern(&mut self, prefs: &[PrefRow], datums: &[DatumSensitivity]) -> u32 {
+        debug_assert_eq!(datums.len(), self.stride);
+        let h = Self::hash_sig(prefs, datums);
+        if let Some(u) = self.lookup.find(h, |u| self.matches(u, prefs, datums)) {
+            self.refs[u as usize] += 1;
+            return u;
+        }
+        let range = self.alloc_pref(prefs);
+        let u = match self.free_slots.pop() {
+            Some(u) => {
+                let us = u as usize;
+                self.ranges[us] = range;
+                self.refs[us] = 1;
+                self.hashes[us] = h;
+                let base = us * self.stride;
+                for (k, d) in datums.iter().enumerate() {
+                    self.d_value[base + k] = d.value;
+                    self.d_vis[base + k] = d.visibility;
+                    self.d_gran[base + k] = d.granularity;
+                    self.d_ret[base + k] = d.retention;
+                }
+                u
+            }
+            None => {
+                let u = self.refs.len() as u32;
+                self.ranges.push(range);
+                self.refs.push(1);
+                self.hashes.push(h);
+                for d in datums {
+                    self.d_value.push(d.value);
+                    self.d_vis.push(d.visibility);
+                    self.d_gran.push(d.granularity);
+                    self.d_ret.push(d.retention);
+                }
+                u
+            }
+        };
+        self.lookup.insert(h, u);
+        u
+    }
+
+    /// Drop one reference to slot `u`; at zero the slot dies — its
+    /// preference range and the slot itself go onto the freelists and it
+    /// leaves the lookup.
+    pub(crate) fn release(&mut self, u: u32) {
+        let us = u as usize;
+        debug_assert!(self.refs[us] > 0, "releasing a dead slot");
+        self.refs[us] -= 1;
+        if self.refs[us] == 0 {
+            self.lookup.remove(self.hashes[us], u);
+            let (s, e) = self.ranges[us];
+            if s < e {
+                self.free_pref.push((s, e));
+            }
+            self.ranges[us] = (0, 0);
+            self.free_slots.push(u);
+        }
+    }
+
+    /// Re-stride the datum lanes after the attribute table grew (new
+    /// columns neutral everywhere — no provider can have set a
+    /// sensitivity for an attribute that was just interned), then rebuild
+    /// hashes and lookup: the datum row is part of each slot's signature,
+    /// so the stride change invalidates every fingerprint.
+    pub(crate) fn grow(&mut self, new_stride: usize) {
+        if new_stride == self.stride {
+            return;
+        }
+        debug_assert!(new_stride > self.stride, "attribute ids are append-only");
+        let slots = self.refs.len();
+        self.d_value = restride(&self.d_value, slots, self.stride, new_stride, 1);
+        self.d_vis = restride(&self.d_vis, slots, self.stride, new_stride, 1);
+        self.d_gran = restride(&self.d_gran, slots, self.stride, new_stride, 1);
+        self.d_ret = restride(&self.d_ret, slots, self.stride, new_stride, 1);
+        self.stride = new_stride;
+        self.rebuild_index();
+    }
+
+    /// Recompute every live slot's hash and re-register it (decode path
+    /// and stride growth).
+    pub(crate) fn rebuild_index(&mut self) {
+        self.lookup.clear();
+        for u in 0..self.refs.len() {
+            if self.refs[u] > 0 {
+                let h = self.hash_slot(u);
+                self.hashes[u] = h;
+                self.lookup.insert(h, u as u32);
+            }
+        }
+    }
+
+    /// Estimated resident bytes of the table (lanes + per-slot metadata +
+    /// an allowance for the lookup map).
+    pub(crate) fn resident_bytes(&self) -> usize {
+        self.pref_lane_len() * 4 * 5
+            + self.ranges.len() * 8
+            + self.refs.len() * 4
+            + self.hashes.len() * 8
+            + self.d_value.len() * 4 * 4
+            + self.free_slots.len() * 4
+            + self.free_pref.len() * 8
+            + self.live_slots() * 48
+    }
+
+    fn slots_identical(&self, a: usize, b: usize) -> bool {
+        let (sa, ea) = self.ranges[a];
+        let (sb, eb) = self.ranges[b];
+        if ea - sa != eb - sb {
+            return false;
+        }
+        for j in 0..(ea - sa) as usize {
+            let (ja, jb) = (sa as usize + j, sb as usize + j);
+            if self.p_attr[ja] != self.p_attr[jb]
+                || self.p_purpose[ja] != self.p_purpose[jb]
+                || self.p_vis[ja] != self.p_vis[jb]
+                || self.p_gran[ja] != self.p_gran[jb]
+                || self.p_ret[ja] != self.p_ret[jb]
+            {
+                return false;
+            }
+        }
+        let (ba, bb) = (a * self.stride, b * self.stride);
+        for k in 0..self.stride {
+            if self.d_value[ba + k] != self.d_value[bb + k]
+                || self.d_vis[ba + k] != self.d_vis[bb + k]
+                || self.d_gran[ba + k] != self.d_gran[bb + k]
+                || self.d_ret[ba + k] != self.d_ret[bb + k]
+            {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Assert every structural invariant (tests and
+    /// [`CompiledPopulation::debug_validate`]; O(table²) worst case on
+    /// the hash-collision check, so keep it out of hot paths).
+    pub(crate) fn validate(&self, na: usize, np: usize) {
+        let slots = self.refs.len();
+        assert_eq!(self.ranges.len(), slots);
+        assert_eq!(self.hashes.len(), slots);
+        assert_eq!(self.d_value.len(), slots * self.stride);
+        assert_eq!(self.d_vis.len(), slots * self.stride);
+        assert_eq!(self.d_gran.len(), slots * self.stride);
+        assert_eq!(self.d_ret.len(), slots * self.stride);
+        let lane_len = self.p_attr.len();
+        assert_eq!(self.p_purpose.len(), lane_len);
+        assert_eq!(self.p_vis.len(), lane_len);
+        assert_eq!(self.p_gran.len(), lane_len);
+        assert_eq!(self.p_ret.len(), lane_len);
+        for u in 0..slots {
+            let (s, e) = self.ranges[u];
+            assert!(s <= e && e as usize <= lane_len, "range in bounds");
+            if self.refs[u] > 0 {
+                assert_eq!(self.hashes[u], self.hash_slot(u), "stale hash");
+                assert!(
+                    self.lookup.contains(self.hashes[u], u as u32),
+                    "live slot registered"
+                );
+                for j in s as usize..e as usize {
+                    assert!((self.p_attr[j] as usize) < na, "pref attr in bounds");
+                    assert!((self.p_purpose[j] as usize) < np, "pref purpose in bounds");
+                }
+            } else {
+                assert_eq!(self.ranges[u], (0, 0), "dead slot range cleared");
+                assert!(
+                    self.free_slots.contains(&(u as u32)),
+                    "dead slot on freelist"
+                );
+                assert!(
+                    !self.lookup.contains(self.hashes[u], u as u32),
+                    "dead slot deregistered"
+                );
+            }
+        }
+        for &(s, e) in &self.free_pref {
+            assert!(s < e && e as usize <= lane_len, "free range in bounds");
+        }
+        for a in 0..slots {
+            for b in a + 1..slots {
+                if self.refs[a] > 0 && self.refs[b] > 0 && self.hashes[a] == self.hashes[b] {
+                    assert!(
+                        !self.slots_identical(a, b),
+                        "live slots {a} and {b} are duplicates"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Copy `slots` rows of width `old` into rows of width `new ≥ old`,
+/// filling the fresh tail columns with `fill`.
+fn restride(lane: &[u32], slots: usize, old: usize, new: usize, fill: u32) -> Vec<u32> {
+    let mut out = vec![fill; slots * new];
+    for r in 0..slots {
+        out[r * new..r * new + old].copy_from_slice(&lane[r * old..(r + 1) * old]);
+    }
+    out
+}
+
+/// A whole population interned into packed, row-deduplicated storage.
 /// Build once ([`CompiledPopulation::from_profiles`], a
 /// [`PopulationBuilder`], or `Ppdb::compiled_population`), audit many
 /// times — see the module docs.
@@ -81,36 +545,30 @@ pub struct CompiledPopulation {
     purposes: SymbolTable,
     /// Provider ids, one per *occurrence*, in input order.
     ids: Vec<ProviderId>,
-    /// Per-occurrence `[start, end)` ranges into `pref_rows`. Preferences
-    /// are per-occurrence: when an id occurs twice with different stated
-    /// preferences, each occurrence audits its own — exactly what the
-    /// reference path does.
-    pref_ranges: Vec<(u32, u32)>,
-    /// All interned preference rows, statement order within each range.
-    pref_rows: Vec<PrefRow>,
-    /// Occurrence index → merged id-row index (`datums` / `thresholds`).
-    /// Datums and thresholds are per-*id*, merged last-wins across
-    /// occurrences, matching [`crate::profile::assemble`].
+    /// Occurrence index → unique-row slot in `table`. Preferences are
+    /// per-occurrence: when an id occurs twice with different stated
+    /// preferences, each occurrence references its own unique row.
+    urow_of: Vec<u32>,
+    /// Occurrence index → merged id-row index into `thresholds`.
+    /// Thresholds (and the datum row baked into each unique row) are
+    /// per-*id*, merged last-wins across occurrences, matching
+    /// [`crate::profile::assemble`].
     row_of: Vec<u32>,
-    /// `id_rows × attrs.len()` datum sensitivities, row-major, neutral
-    /// where never set.
-    datums: Vec<DatumSensitivity>,
+    /// The deduplicated unique-row table.
+    table: RowTable,
     /// Per id-row default threshold `v_i` (last occurrence wins).
     thresholds: Vec<u64>,
     /// Bumped once per applied delta; lets downstream caches (plan
     /// bindings, auditors, reports) detect staleness cheaply.
     epoch: u64,
-    /// id → occurrence index, the delta-addressing map. `None` when some
-    /// id was interned more than once: "the provider with id X" is then
+    /// id → occurrence index, the delta-addressing map, built lazily on
+    /// first use (10M-provider audit-only populations never pay for it).
+    /// `Some(None)`-equivalent inner `None` marks a population that
+    /// interned some id more than once: "the provider with id X" is then
     /// ambiguous and [`CompiledPopulation::apply_delta`] refuses to run.
-    index: Option<HashMap<ProviderId, u32>>,
-    /// Free `[start, end)` ranges inside `pref_rows` left behind by
-    /// removals and shrinking replacements, reused first-fit by later
-    /// delta ops (ranges are not coalesced; churn at a steady size
-    /// re-uses its own holes).
-    free_pref: Vec<(u32, u32)>,
-    /// Free merged id-rows (one `datums` stride plus one `thresholds`
-    /// slot each), reused by later inserts.
+    index: OnceLock<Option<HashMap<ProviderId, u32>>>,
+    /// Free merged id-rows (one `thresholds` slot each), reused by later
+    /// delta inserts.
     free_rows: Vec<u32>,
 }
 
@@ -144,9 +602,42 @@ impl CompiledPopulation {
         self.thresholds[self.row_of[i] as usize]
     }
 
-    /// Total interned preference rows across the population.
+    /// Total live preference rows across the *unique-row table* — the
+    /// rows an audit pass actually scans. Duplicate providers share rows,
+    /// so this is ≤ the sum of per-occurrence statement counts.
     pub fn pref_row_count(&self) -> usize {
-        self.pref_rows.len()
+        self.table.live_pref_rows()
+    }
+
+    /// Live unique (preference rows, datum row) combinations.
+    pub fn unique_row_count(&self) -> usize {
+        self.table.live_slots()
+    }
+
+    /// Occurrences per unique row: `len() / unique_row_count()` (1.0 for
+    /// the empty population). ~#providers/#segments on clustered data.
+    pub fn dedup_ratio(&self) -> f64 {
+        let u = self.unique_row_count();
+        if u == 0 {
+            1.0
+        } else {
+            self.len() as f64 / u as f64
+        }
+    }
+
+    /// Estimated resident bytes of the compiled state: per-occurrence
+    /// arrays + thresholds + the unique-row table + the delta index if it
+    /// has been built.
+    pub fn resident_bytes(&self) -> usize {
+        let idx = match self.index.get() {
+            Some(Some(m)) => m.len() * 48,
+            _ => 0,
+        };
+        self.ids.len() * (8 + 4 + 4)
+            + self.thresholds.len() * 8
+            + self.free_rows.len() * 4
+            + self.table.resident_bytes()
+            + idx
     }
 
     /// Number of distinct interned attribute / purpose names.
@@ -155,20 +646,64 @@ impl CompiledPopulation {
     }
 
     /// The interned preference rows of occurrence `i`.
-    pub(crate) fn pref_rows_of(&self, i: usize) -> &[PrefRow] {
-        let (start, end) = self.pref_ranges[i];
-        &self.pref_rows[start as usize..end as usize]
+    pub(crate) fn pref_rows_of(&self, i: usize) -> impl Iterator<Item = PrefRow> + '_ {
+        self.table.pref_rows(self.urow_of[i] as usize)
     }
 
     /// The merged datum sensitivity of occurrence `i` for a population
     /// attribute id.
     pub(crate) fn datum(&self, i: usize, attr: u32) -> DatumSensitivity {
-        self.datums[self.row_of[i] as usize * self.attrs.len() + attr as usize]
+        self.table.datum(self.urow_of[i] as usize, attr)
     }
 
     /// The population-side symbol tables (attributes, purposes).
     pub(crate) fn symbols(&self) -> (&SymbolTable, &SymbolTable) {
         (&self.attrs, &self.purposes)
+    }
+
+    /// The unique-row table (packed evaluation reads the lanes directly).
+    pub(crate) fn table(&self) -> &RowTable {
+        &self.table
+    }
+
+    /// Occurrence → unique-row slot.
+    pub(crate) fn urows(&self) -> &[u32] {
+        &self.urow_of
+    }
+
+    /// Occurrence → id-row.
+    pub(crate) fn rows(&self) -> &[u32] {
+        &self.row_of
+    }
+
+    /// Per id-row thresholds.
+    pub(crate) fn thresholds_slice(&self) -> &[u64] {
+        &self.thresholds
+    }
+
+    /// Assert the full cross-structure invariant set: refcounts equal the
+    /// number of occurrences referencing each slot, all references are in
+    /// bounds, and the table's own invariants hold. Test/debug aid; not
+    /// part of the public API contract.
+    #[doc(hidden)]
+    pub fn debug_validate(&self) {
+        let n = self.ids.len();
+        assert_eq!(self.urow_of.len(), n);
+        assert_eq!(self.row_of.len(), n);
+        let mut derived = vec![0u32; self.table.slot_count()];
+        for &u in &self.urow_of {
+            derived[u as usize] += 1;
+        }
+        assert_eq!(
+            derived,
+            self.table.refs_slice(),
+            "refcounts == occurrence references"
+        );
+        for &r in self.row_of.iter().chain(&self.free_rows) {
+            assert!((r as usize) < self.thresholds.len(), "id-row in bounds");
+        }
+        assert_eq!(self.table.stride(), self.attrs.len(), "stride == attrs");
+        self.table.validate(self.attrs.len(), self.purposes.len());
     }
 
     /// Translate this population's symbol ids to a plan's. Two array
@@ -197,7 +732,7 @@ impl CompiledPopulation {
         }
     }
 
-    /// Index occurrence `i` into the plan-shaped scratch: the SoA
+    /// Index occurrence `i` into the plan-shaped scratch: the per-provider
     /// equivalent of `CompiledAuditPlan::index_profile`, with the string
     /// hashing replaced by binding-array probes. Semantics are identical:
     /// flat mode keeps the first stated tuple per `(attr, purpose)`,
@@ -261,28 +796,40 @@ impl CompiledPopulation {
         }
     }
 
-    /// Counts-only audit of occurrence `i`: `(score, violated,
-    /// defaulted)`. Touches no strings, allocates nothing.
-    fn count_provider(
-        &self,
-        plan: &CompiledAuditPlan,
-        binding: &PlanBinding,
-        i: usize,
-        scratch: &mut PlanScratch,
-    ) -> (u64, bool, bool) {
-        self.index_provider(plan, binding, i, scratch);
-        let (score, violations) = plan.eval_scratch(scratch, None);
-        let threshold = self.threshold_of(i);
-        (score, violations > 0, defaults(score, threshold))
-    }
-
     /// The population epoch: 0 at compile time, +1 per applied delta.
     pub fn epoch(&self) -> u64 {
         self.epoch
     }
 
-    /// Apply a delta in place, recycling freed row ranges and bumping the
-    /// epoch. Returns the per-occurrence event log an
+    /// The delta-addressing map, built on first use. Inner `None` marks a
+    /// duplicate-occurrence population (audit-only).
+    fn index_map(&self) -> Option<&HashMap<ProviderId, u32>> {
+        self.index
+            .get_or_init(|| {
+                let mut m = HashMap::with_capacity(self.ids.len());
+                for (i, &id) in self.ids.iter().enumerate() {
+                    if m.insert(id, i as u32).is_some() {
+                        return None;
+                    }
+                }
+                Some(m)
+            })
+            .as_ref()
+    }
+
+    /// Mutable delta-addressing map; only called after `index_map`
+    /// confirmed uniqueness in `apply_delta`.
+    fn index_mut(&mut self) -> &mut HashMap<ProviderId, u32> {
+        self.index
+            .get_mut()
+            .expect("initialized by index_map")
+            .as_mut()
+            .expect("checked unique in apply_delta")
+    }
+
+    /// Apply a delta in place, recycling freed unique-row slots and
+    /// preference ranges and bumping the epoch. Returns the
+    /// per-occurrence event log an
     /// [`crate::incremental::IncrementalAuditor`] replays to patch its
     /// own state.
     ///
@@ -302,11 +849,17 @@ impl CompiledPopulation {
     ///   silently, so callers can tell "applied cleanly" from "some edits
     ///   bound to nothing".
     ///
+    /// Every mutation is intern-new-then-release-old on the unique-row
+    /// table: content shared with other providers is never copied or
+    /// disturbed, and a slot whose refcount hits zero goes onto the
+    /// freelist for the next intern — so steady-state churn is
+    /// `O(changed)` with no table growth.
+    ///
     /// Errs on populations that interned the same id twice (Assumption 5
     /// of the paper — one data row per provider — is what makes id-based
     /// addressing well-defined); those stay audit-only.
     pub fn apply_delta(&mut self, delta: &PopulationDelta) -> Result<DeltaOutcome, DeltaError> {
-        if self.index.is_none() {
+        if self.index_map().is_none() {
             return Err(DeltaError::DuplicateOccurrences(self.first_duplicate()));
         }
         let mut events = Vec::with_capacity(delta.ops().len());
@@ -346,8 +899,7 @@ impl CompiledPopulation {
 
     /// The occurrence index of a provider id, when deltas are available.
     pub fn occurrence_of(&self, id: ProviderId) -> Option<usize> {
-        self.index
-            .as_ref()
+        self.index_map()
             .and_then(|ix| ix.get(&id).map(|&i| i as usize))
     }
 
@@ -361,74 +913,19 @@ impl CompiledPopulation {
         unreachable!("index is None only when an id occurs twice")
     }
 
-    /// Re-stride `datums` after the attribute table grew. New columns are
-    /// neutral everywhere: no provider can have set a sensitivity for an
-    /// attribute that was just interned. Rare (only when a delta
-    /// introduces a never-seen attribute name), and O(rows × attrs) when
-    /// it happens.
-    fn grow_attrs(&mut self, old_na: usize) {
+    /// Grow the datum-lane stride to the current attribute count (no-op
+    /// when nothing was interned since the last sync).
+    fn sync_stride(&mut self) {
         let na = self.attrs.len();
-        if na == old_na {
-            return;
-        }
-        let rows = self.thresholds.len();
-        let mut datums = vec![DatumSensitivity::neutral(); rows * na];
-        for r in 0..rows {
-            datums[r * na..r * na + old_na]
-                .copy_from_slice(&self.datums[r * old_na..(r + 1) * old_na]);
-        }
-        self.datums = datums;
-    }
-
-    /// Write `rows` as occurrence `i`'s preference range, reusing its
-    /// current range when they fit (freeing the unused tail) and falling
-    /// back to [`CompiledPopulation::alloc_rows`] otherwise.
-    fn store_rows(&mut self, i: usize, rows: &[PrefRow]) {
-        let (s, e) = self.pref_ranges[i];
-        if rows.len() <= (e - s) as usize {
-            let start = s as usize;
-            self.pref_rows[start..start + rows.len()].copy_from_slice(rows);
-            let new_end = s + rows.len() as u32;
-            if new_end < e {
-                self.free_pref.push((new_end, e));
-            }
-            self.pref_ranges[i] = (s, new_end);
-        } else {
-            if s < e {
-                self.free_pref.push((s, e));
-            }
-            self.pref_ranges[i] = self.alloc_rows(rows);
-        }
-    }
-
-    /// First-fit allocation out of the freelist, else append to the tail
-    /// of `pref_rows`.
-    fn alloc_rows(&mut self, rows: &[PrefRow]) -> (u32, u32) {
-        let k = rows.len() as u32;
-        if k == 0 {
-            return (0, 0);
-        }
-        if let Some(pos) = self.free_pref.iter().position(|&(fs, fe)| fe - fs >= k) {
-            let (fs, fe) = self.free_pref[pos];
-            if fe - fs == k {
-                self.free_pref.swap_remove(pos);
-            } else {
-                self.free_pref[pos] = (fs + k, fe);
-            }
-            self.pref_rows[fs as usize..(fs + k) as usize].copy_from_slice(rows);
-            (fs, fs + k)
-        } else {
-            let start = self.pref_rows.len() as u32;
-            self.pref_rows.extend_from_slice(rows);
-            (start, start + k)
+        if na != self.table.stride() {
+            self.table.grow(na);
         }
     }
 
     fn apply_upsert(&mut self, p: &ProviderProfile, events: &mut Vec<DeltaEvent>) {
-        let old_na = self.attrs.len();
-        let mut rows = Vec::with_capacity(p.preferences.tuples().len());
+        let mut prefs = Vec::with_capacity(p.preferences.tuples().len());
         for t in p.preferences.tuples() {
-            rows.push(PrefRow {
+            prefs.push(PrefRow {
                 attr: self.attrs.intern(&t.attribute),
                 purpose: self.purposes.intern(t.tuple.purpose.name()),
                 point: t.tuple.point,
@@ -437,82 +934,57 @@ impl CompiledPopulation {
         for attr in p.sensitivities.keys() {
             self.attrs.intern(attr);
         }
-        self.grow_attrs(old_na);
+        self.sync_stride();
         let na = self.attrs.len();
+        let mut datums = vec![DatumSensitivity::neutral(); na];
+        for (attr, s) in &p.sensitivities {
+            datums[self.attrs.get(attr).expect("interned above") as usize] = *s;
+        }
         let id = p.id();
         match self.occurrence_of(id) {
             Some(i) => {
-                self.store_rows(i, &rows);
-                let row = self.row_of[i] as usize;
-                for slot in &mut self.datums[row * na..(row + 1) * na] {
-                    *slot = DatumSensitivity::neutral();
-                }
-                for (attr, s) in &p.sensitivities {
-                    let a = self.attrs.get(attr).expect("interned above") as usize;
-                    self.datums[row * na + a] = *s;
-                }
-                self.thresholds[row] = p.threshold;
+                let new_u = self.table.intern(&prefs, &datums);
+                let old_u = self.urow_of[i];
+                self.table.release(old_u);
+                self.urow_of[i] = new_u;
+                self.thresholds[self.row_of[i] as usize] = p.threshold;
                 events.push(DeltaEvent::Touched(i as u32));
             }
             None => {
-                let range = self.alloc_rows(&rows);
+                let u = self.table.intern(&prefs, &datums);
                 let row = match self.free_rows.pop() {
                     Some(r) => {
-                        let r_us = r as usize;
-                        for slot in &mut self.datums[r_us * na..(r_us + 1) * na] {
-                            *slot = DatumSensitivity::neutral();
-                        }
-                        self.thresholds[r_us] = p.threshold;
+                        self.thresholds[r as usize] = p.threshold;
                         r
                     }
                     None => {
-                        self.datums
-                            .extend(std::iter::repeat_n(DatumSensitivity::neutral(), na));
                         self.thresholds.push(p.threshold);
                         (self.thresholds.len() - 1) as u32
                     }
                 };
-                for (attr, s) in &p.sensitivities {
-                    let a = self.attrs.get(attr).expect("interned above") as usize;
-                    self.datums[row as usize * na + a] = *s;
-                }
                 let i = self.ids.len() as u32;
                 self.ids.push(id);
-                self.pref_ranges.push(range);
+                self.urow_of.push(u);
                 self.row_of.push(row);
-                self.index
-                    .as_mut()
-                    .expect("checked in apply_delta")
-                    .insert(id, i);
+                self.index_mut().insert(id, i);
                 events.push(DeltaEvent::Appended(i));
             }
         }
     }
 
     fn apply_remove(&mut self, id: ProviderId, events: &mut Vec<DeltaEvent>) -> bool {
-        let Some(i) = self
-            .index
-            .as_mut()
-            .expect("checked in apply_delta")
-            .remove(&id)
-        else {
+        let Some(i) = self.index_mut().remove(&id) else {
             return false;
         };
         let i_us = i as usize;
-        let (s, e) = self.pref_ranges[i_us];
-        if s < e {
-            self.free_pref.push((s, e));
-        }
+        self.table.release(self.urow_of[i_us]);
         self.free_rows.push(self.row_of[i_us]);
         self.ids.swap_remove(i_us);
-        self.pref_ranges.swap_remove(i_us);
+        self.urow_of.swap_remove(i_us);
         self.row_of.swap_remove(i_us);
         if i_us < self.ids.len() {
             let moved = self.ids[i_us];
-            self.index
-                .as_mut()
-                .expect("checked in apply_delta")
-                .insert(moved, i);
+            self.index_mut().insert(moved, i);
         }
         events.push(DeltaEvent::Removed(i));
         true
@@ -528,23 +1000,22 @@ impl CompiledPopulation {
         let Some(i) = self.occurrence_of(id) else {
             return false;
         };
-        let old_na = self.attrs.len();
         let a = self.attrs.intern(attribute);
-        let mut rows: Vec<PrefRow> = self
-            .pref_rows_of(i)
-            .iter()
-            .filter(|r| r.attr != a)
-            .copied()
-            .collect();
+        let mut prefs: Vec<PrefRow> = self.pref_rows_of(i).filter(|r| r.attr != a).collect();
         for t in tuples {
-            rows.push(PrefRow {
+            prefs.push(PrefRow {
                 attr: a,
                 purpose: self.purposes.intern(t.purpose.name()),
                 point: t.point,
             });
         }
-        self.grow_attrs(old_na);
-        self.store_rows(i, &rows);
+        self.sync_stride();
+        let mut datums = Vec::new();
+        self.table
+            .copy_datums(self.urow_of[i] as usize, &mut datums);
+        let new_u = self.table.intern(&prefs, &datums);
+        self.table.release(self.urow_of[i]);
+        self.urow_of[i] = new_u;
         events.push(DeltaEvent::Touched(i as u32));
         true
     }
@@ -559,12 +1030,16 @@ impl CompiledPopulation {
         let Some(i) = self.occurrence_of(id) else {
             return false;
         };
-        let old_na = self.attrs.len();
         let a = self.attrs.intern(attribute) as usize;
-        self.grow_attrs(old_na);
-        let na = self.attrs.len();
-        let row = self.row_of[i] as usize;
-        self.datums[row * na + a] = s;
+        self.sync_stride();
+        let u = self.urow_of[i] as usize;
+        let mut datums = Vec::new();
+        self.table.copy_datums(u, &mut datums);
+        datums[a] = s;
+        let prefs: Vec<PrefRow> = self.table.pref_rows(u).collect();
+        let new_u = self.table.intern(&prefs, &datums);
+        self.table.release(self.urow_of[i]);
+        self.urow_of[i] = new_u;
         events.push(DeltaEvent::Touched(i as u32));
         true
     }
@@ -843,37 +1318,52 @@ impl DeltaOutcome {
 /// population symbol the plan never interned (no policy row can match it).
 #[derive(Debug, Clone)]
 pub(crate) struct PlanBinding {
-    attr_to_plan: Vec<u32>,
-    purpose_to_plan: Vec<u32>,
+    pub(crate) attr_to_plan: Vec<u32>,
+    pub(crate) purpose_to_plan: Vec<u32>,
     /// Plan attribute id → population attribute id, for datum loads.
     /// `None` means no provider ever stated a preference or sensitivity
     /// for that attribute, so its datum is neutral for everyone.
-    plan_attr_to_pop: Vec<Option<u32>>,
+    pub(crate) plan_attr_to_pop: Vec<Option<u32>>,
 }
 
 /// Incrementally interns providers into a [`CompiledPopulation`].
 ///
 /// Two entry styles:
 /// * [`PopulationBuilder::push_profile`] — from materialized
-///   [`ProviderProfile`]s;
+///   [`ProviderProfile`]s (streaming-friendly: a one-shot push interns
+///   straight into the unique-row table and retains nothing
+///   per-provider beyond three machine words, so millions-scale
+///   generators can feed it without a full `Vec` anywhere);
 /// * the scan-oriented [`PopulationBuilder::push_occurrence`] /
 ///   [`PopulationBuilder::set_sensitivity`] /
 ///   [`PopulationBuilder::set_threshold`] trio — used by
 ///   `Ppdb::compiled_population` to build straight off batched table
 ///   scans without materializing profiles.
+///
+/// Rows edited *after* their occurrence was interned (duplicate-id
+/// merges, scan-path sensitivity sets) are tracked in a dirty map and
+/// re-interned with their final datum state in [`PopulationBuilder::finish`].
 #[derive(Debug, Default)]
 pub struct PopulationBuilder {
     attrs: SymbolTable,
     purposes: SymbolTable,
     ids: Vec<ProviderId>,
-    pref_ranges: Vec<(u32, u32)>,
-    pref_rows: Vec<PrefRow>,
+    urow_of: Vec<u32>,
     row_of: Vec<u32>,
-    id_rows: HashMap<ProviderId, u32>,
-    /// Sparse per-id-row sensitivity entries; densified in `finish` (the
-    /// attribute table is still growing while profiles stream in).
-    sens: Vec<Vec<(u32, DatumSensitivity)>>,
+    /// id-row → its first occurrence (for reading a row's current datum
+    /// state back out of the table).
+    row_occ: Vec<u32>,
+    table: RowTable,
     thresholds: Vec<u64>,
+    /// id → id-row. `None` while pushed ids are strictly increasing (the
+    /// streaming fast path: no hash map at all; lookups binary-search
+    /// `ids`); materialized on the first out-of-order or duplicate push.
+    id_rows: Option<HashMap<ProviderId, u32>>,
+    /// id-rows whose authoritative dense datum state diverged from what
+    /// their occurrences were interned with (fixed up in `finish`).
+    dirty: HashMap<u32, Vec<DatumSensitivity>>,
+    pref_buf: Vec<PrefRow>,
+    datum_buf: Vec<DatumSensitivity>,
 }
 
 impl PopulationBuilder {
@@ -892,31 +1382,115 @@ impl PopulationBuilder {
         self.ids.is_empty()
     }
 
+    /// The id-row for `id` if it was pushed before.
+    fn lookup_row(&self, id: ProviderId) -> Option<u32> {
+        match &self.id_rows {
+            Some(m) => m.get(&id).copied(),
+            None => self
+                .ids
+                .binary_search_by(|p| p.0.cmp(&id.0))
+                .ok()
+                .map(|i| self.row_of[i]),
+        }
+    }
+
+    /// The id-row a new occurrence of `id` belongs to, plus whether it is
+    /// fresh. Materializes the id map only when the strictly-increasing
+    /// streaming order breaks.
+    fn id_row(&mut self, id: ProviderId) -> (u32, bool) {
+        if self.id_rows.is_none() {
+            if self.ids.last().is_none_or(|last| id.0 > last.0) {
+                return (self.thresholds.len() as u32, true);
+            }
+            let mut m = HashMap::with_capacity(self.ids.len() + 1);
+            for (i, &pid) in self.ids.iter().enumerate() {
+                m.entry(pid).or_insert(self.row_of[i]);
+            }
+            self.id_rows = Some(m);
+        }
+        let next = self.thresholds.len() as u32;
+        match self.id_rows.as_mut().expect("materialized above").entry(id) {
+            std::collections::hash_map::Entry::Occupied(e) => (*e.get(), false),
+            std::collections::hash_map::Entry::Vacant(e) => {
+                e.insert(next);
+                (next, true)
+            }
+        }
+    }
+
+    /// A row's authoritative dense datum state at the current stride.
+    fn current_datums(&self, row: u32) -> Vec<DatumSensitivity> {
+        let mut d = match self.dirty.get(&row) {
+            Some(v) => v.clone(),
+            None => {
+                let occ = self.row_occ[row as usize] as usize;
+                let mut v = Vec::new();
+                self.table.copy_datums(self.urow_of[occ] as usize, &mut v);
+                v
+            }
+        };
+        d.resize(self.attrs.len(), DatumSensitivity::neutral());
+        d
+    }
+
+    fn sync_stride(&mut self) {
+        let na = self.attrs.len();
+        if na != self.table.stride() {
+            self.table.grow(na);
+        }
+    }
+
     /// Intern one profile: its preferences as a fresh occurrence, its
     /// sensitivities and threshold merged into the id's row (overwrite
     /// per attribute, threshold last-wins — [`crate::profile::assemble`]
     /// semantics).
     pub fn push_profile(&mut self, p: &ProviderProfile) {
-        let start = self.pref_rows.len() as u32;
+        self.pref_buf.clear();
         for t in p.preferences.tuples() {
             let attr = self.attrs.intern(&t.attribute);
             let purpose = self.purposes.intern(t.tuple.purpose.name());
-            self.pref_rows.push(PrefRow {
+            self.pref_buf.push(PrefRow {
                 attr,
                 purpose,
                 point: t.tuple.point,
             });
         }
-        let end = self.pref_rows.len() as u32;
-        self.ids.push(p.id());
-        self.pref_ranges.push((start, end));
-        let row = self.id_row(p.id());
-        self.row_of.push(row);
-        for (attr, s) in &p.sensitivities {
-            let a = self.attrs.intern(attr);
-            set_entry(&mut self.sens[row as usize], a, *s);
+        for attr in p.sensitivities.keys() {
+            self.attrs.intern(attr);
         }
-        self.thresholds[row as usize] = p.threshold;
+        self.sync_stride();
+        let na = self.attrs.len();
+        let (row, fresh) = self.id_row(p.id());
+        if fresh {
+            self.thresholds.push(p.threshold);
+            self.row_occ.push(self.ids.len() as u32);
+            self.datum_buf.clear();
+            self.datum_buf.resize(na, DatumSensitivity::neutral());
+            for (attr, s) in &p.sensitivities {
+                self.datum_buf[self.attrs.get(attr).expect("interned above") as usize] = *s;
+            }
+            let u = self.table.intern(&self.pref_buf, &self.datum_buf);
+            self.ids.push(p.id());
+            self.urow_of.push(u);
+            self.row_of.push(row);
+        } else {
+            // Duplicate id: merge sensitivities and threshold last-wins
+            // into the shared id-row; the occurrence still audits its own
+            // stated preferences. Earlier occurrences of the row are
+            // re-interned with the merged datums in `finish`.
+            let mut datums = self.current_datums(row);
+            for (attr, s) in &p.sensitivities {
+                datums[self.attrs.get(attr).expect("interned above") as usize] = *s;
+            }
+            self.thresholds[row as usize] = p.threshold;
+            let u = self.table.intern(&self.pref_buf, &datums);
+            self.ids.push(p.id());
+            self.urow_of.push(u);
+            self.row_of.push(row);
+            if !p.sensitivities.is_empty() {
+                self.dirty.insert(row, datums);
+            }
+        }
     }
 
     /// Intern an attribute name (scan path).
@@ -932,18 +1506,32 @@ impl PopulationBuilder {
     /// Append one provider occurrence whose preference rows are already
     /// interned `(attr_id, purpose_id, point)` triples (scan path).
     pub fn push_occurrence(&mut self, id: ProviderId, rows: &[(u32, u32, PrivacyPoint)]) {
-        let start = self.pref_rows.len() as u32;
-        self.pref_rows
+        self.sync_stride();
+        let na = self.attrs.len();
+        self.pref_buf.clear();
+        self.pref_buf
             .extend(rows.iter().map(|&(attr, purpose, point)| PrefRow {
                 attr,
                 purpose,
                 point,
             }));
-        let end = self.pref_rows.len() as u32;
-        self.ids.push(id);
-        self.pref_ranges.push((start, end));
-        let row = self.id_row(id);
-        self.row_of.push(row);
+        let (row, fresh) = self.id_row(id);
+        if fresh {
+            self.thresholds.push(0);
+            self.row_occ.push(self.ids.len() as u32);
+            self.datum_buf.clear();
+            self.datum_buf.resize(na, DatumSensitivity::neutral());
+            let u = self.table.intern(&self.pref_buf, &self.datum_buf);
+            self.ids.push(id);
+            self.urow_of.push(u);
+            self.row_of.push(row);
+        } else {
+            let datums = self.current_datums(row);
+            let u = self.table.intern(&self.pref_buf, &datums);
+            self.ids.push(id);
+            self.urow_of.push(u);
+            self.row_of.push(row);
+        }
     }
 
     /// Set (overwrite) one datum sensitivity for an already-pushed id.
@@ -951,79 +1539,55 @@ impl PopulationBuilder {
     /// sensitivity rows for providers absent from the data table are
     /// dropped.
     pub fn set_sensitivity(&mut self, id: ProviderId, attr: u32, s: DatumSensitivity) {
-        if let Some(&row) = self.id_rows.get(&id) {
-            set_entry(&mut self.sens[row as usize], attr, s);
+        let Some(row) = self.lookup_row(id) else {
+            return;
+        };
+        self.sync_stride();
+        let mut datums = self.current_datums(row);
+        if datums[attr as usize] != s {
+            datums[attr as usize] = s;
+            self.dirty.insert(row, datums);
         }
     }
 
     /// Set (overwrite) the threshold for an already-pushed id. Unknown
     /// ids are ignored, as in [`PopulationBuilder::set_sensitivity`].
     pub fn set_threshold(&mut self, id: ProviderId, threshold: u64) {
-        if let Some(&row) = self.id_rows.get(&id) {
+        if let Some(row) = self.lookup_row(id) {
             self.thresholds[row as usize] = threshold;
         }
     }
 
-    /// Densify and freeze.
-    pub fn finish(self) -> CompiledPopulation {
-        let na = self.attrs.len();
-        let mut datums = vec![DatumSensitivity::neutral(); self.sens.len() * na];
-        for (row, entries) in self.sens.iter().enumerate() {
-            for &(a, s) in entries {
-                datums[row * na + a as usize] = s;
+    /// Re-intern occurrences of dirty rows with their final datum state,
+    /// and freeze.
+    pub fn finish(mut self) -> CompiledPopulation {
+        self.sync_stride();
+        if !self.dirty.is_empty() {
+            let na = self.attrs.len();
+            for i in 0..self.ids.len() {
+                let Some(d) = self.dirty.get(&self.row_of[i]).cloned() else {
+                    continue;
+                };
+                let mut datums = d;
+                datums.resize(na, DatumSensitivity::neutral());
+                let prefs: Vec<PrefRow> = self.table.pref_rows(self.urow_of[i] as usize).collect();
+                let new_u = self.table.intern(&prefs, &datums);
+                self.table.release(self.urow_of[i]);
+                self.urow_of[i] = new_u;
             }
         }
-        // Unique-id populations (the common case, and the paper's
-        // Assumption 5) get a delta-addressing map; duplicate-occurrence
-        // populations stay audit-only.
-        let index = if self.ids.len() == self.id_rows.len() {
-            Some(
-                self.ids
-                    .iter()
-                    .enumerate()
-                    .map(|(i, &id)| (id, i as u32))
-                    .collect(),
-            )
-        } else {
-            None
-        };
         CompiledPopulation {
             attrs: self.attrs,
             purposes: self.purposes,
             ids: self.ids,
-            pref_ranges: self.pref_ranges,
-            pref_rows: self.pref_rows,
+            urow_of: self.urow_of,
             row_of: self.row_of,
-            datums,
+            table: self.table,
             thresholds: self.thresholds,
             epoch: 0,
-            index,
-            free_pref: Vec::new(),
+            index: OnceLock::new(),
             free_rows: Vec::new(),
         }
-    }
-
-    fn id_row(&mut self, id: ProviderId) -> u32 {
-        match self.id_rows.entry(id) {
-            std::collections::hash_map::Entry::Occupied(e) => *e.get(),
-            std::collections::hash_map::Entry::Vacant(e) => {
-                let row = self.sens.len() as u32;
-                e.insert(row);
-                self.sens.push(Vec::new());
-                self.thresholds.push(0);
-                row
-            }
-        }
-    }
-}
-
-/// Overwrite-or-append into a sparse per-row entry list. Rows hold a
-/// handful of attributes, so a linear scan beats hashing.
-fn set_entry(entries: &mut Vec<(u32, DatumSensitivity)>, attr: u32, s: DatumSensitivity) {
-    if let Some(e) = entries.iter_mut().find(|e| e.0 == attr) {
-        e.1 = s;
-    } else {
-        entries.push((attr, s));
     }
 }
 
@@ -1067,7 +1631,10 @@ impl PolicyOutcome {
 impl AuditEngine {
     /// Audit a compiled population, producing the same full
     /// [`AuditReport`] as [`AuditEngine::run`] — bitwise-identical, in
-    /// fact: `run` routes through this.
+    /// fact: `run` routes through this. This is the full/severity path
+    /// (per-provider witnesses); counts-only callers should prefer
+    /// [`AuditEngine::counts`], which runs branch-free over the packed
+    /// unique-row lanes.
     pub fn audit_compiled(&self, pop: &CompiledPopulation) -> AuditReport {
         let plan = self.compile_house();
         let binding = pop.bind(&plan);
@@ -1086,12 +1653,12 @@ impl AuditEngine {
     }
 
     /// Counts-only audit of the engine's own policy: aggregates identical
-    /// to `self.audit_compiled(pop)`'s, with zero heap allocated per
-    /// provider.
+    /// to `self.audit_compiled(pop)`'s, evaluated branch-free over the
+    /// packed unique-row lanes (each unique row scored once, aggregated
+    /// by multiplicity) with zero heap allocated per provider.
     pub fn counts(&self, pop: &CompiledPopulation) -> PolicyOutcome {
         let plan = self.compile_house();
-        let mut scratch = PlanScratch::new();
-        self.counts_pass(pop, &plan, &mut scratch)
+        PackedScratch::new().pass(pop, &plan)
     }
 
     /// Counts-only audit of a *different* policy — the cheap what-if
@@ -1102,12 +1669,11 @@ impl AuditEngine {
         policy: &HousePolicy,
     ) -> PolicyOutcome {
         let plan = self.compile_policy(policy);
-        let mut scratch = PlanScratch::new();
-        self.counts_pass(pop, &plan, &mut scratch)
+        PackedScratch::new().pass(pop, &plan)
     }
 
     /// Evaluate K candidate policies against one compiled population:
-    /// Eq. 31's search as one population compile + K string-free passes,
+    /// Eq. 31's search as one population compile + K packed passes,
     /// sharing a single scratch across passes. Outcomes are in `policies`
     /// order, each equal to what a full re-audit would aggregate to.
     pub fn audit_many_policies(
@@ -1115,38 +1681,14 @@ impl AuditEngine {
         pop: &CompiledPopulation,
         policies: &[HousePolicy],
     ) -> Vec<PolicyOutcome> {
-        let mut scratch = PlanScratch::new();
+        let mut packed = PackedScratch::new();
         policies
             .iter()
             .map(|policy| {
                 let plan = self.compile_policy(policy);
-                self.counts_pass(pop, &plan, &mut scratch)
+                packed.pass(pop, &plan)
             })
             .collect()
-    }
-
-    fn counts_pass(
-        &self,
-        pop: &CompiledPopulation,
-        plan: &CompiledAuditPlan,
-        scratch: &mut PlanScratch,
-    ) -> PolicyOutcome {
-        let binding = pop.bind(plan);
-        let mut total: u128 = 0;
-        let mut violated = 0usize;
-        let mut defaulted = 0usize;
-        for i in 0..pop.len() {
-            let (score, v, d) = pop.count_provider(plan, &binding, i, scratch);
-            total += score as u128;
-            violated += v as usize;
-            defaulted += d as usize;
-        }
-        PolicyOutcome {
-            total_violations: total,
-            violated,
-            defaulted,
-            population: pop.len(),
-        }
     }
 }
 
@@ -1200,13 +1742,24 @@ fn le_u64(c: &[u8]) -> u64 {
     u64::from_le_bytes([c[0], c[1], c[2], c[3], c[4], c[5], c[6], c[7]])
 }
 
-/// Binary snapshot codec for the delta log ([`crate::deltalog`]): the SoA
-/// arrays serialized almost verbatim — bulk fixed-width little-endian rows
-/// behind varint counts — so a 100k-provider population decodes in tens of
-/// milliseconds. Re-assembling the same population from profile structs
-/// (strings, per-provider hash maps) is orders of magnitude slower, and
-/// recovery time is the whole point of snapshotting. The id → occurrence
-/// index is rebuilt on decode, not stored.
+fn put_u32s(buf: &mut Vec<u8>, xs: &[u32]) {
+    for &x in xs {
+        buf.extend_from_slice(&x.to_le_bytes());
+    }
+}
+
+fn get_u32s(buf: &mut &[u8], n: usize) -> DbResult<Vec<u32>> {
+    Ok(take(buf, n * 4)?.chunks_exact(4).map(le_u32).collect())
+}
+
+/// Binary snapshot codec for the delta log ([`crate::deltalog`]): the
+/// packed lanes serialized almost verbatim — bulk fixed-width
+/// little-endian arrays behind varint counts — so a 100k-provider
+/// population decodes at memcpy speed. Refcounts are stored (and
+/// cross-checked against the occurrence references on decode); slot
+/// hashes and the content-lookup index are *recomputed* on decode — the
+/// hash function is deterministic, so the rebuilt structures are
+/// bit-identical to the encoder's. The id → occurrence map stays lazy.
 impl CompiledPopulation {
     pub(crate) fn encode_snapshot(&self, buf: &mut Vec<u8>) {
         put_symbols(buf, &self.attrs);
@@ -1215,41 +1768,39 @@ impl CompiledPopulation {
         for id in &self.ids {
             buf.extend_from_slice(&id.0.to_le_bytes());
         }
-        for &(start, end) in &self.pref_ranges {
-            buf.extend_from_slice(&start.to_le_bytes());
-            buf.extend_from_slice(&end.to_le_bytes());
-        }
-        for &row in &self.row_of {
-            buf.extend_from_slice(&row.to_le_bytes());
-        }
-        put_varint(buf, self.pref_rows.len() as u64);
-        for row in &self.pref_rows {
-            buf.extend_from_slice(&row.attr.to_le_bytes());
-            buf.extend_from_slice(&row.purpose.to_le_bytes());
-            buf.extend_from_slice(&row.point.get(Dim::Visibility).to_le_bytes());
-            buf.extend_from_slice(&row.point.get(Dim::Granularity).to_le_bytes());
-            buf.extend_from_slice(&row.point.get(Dim::Retention).to_le_bytes());
-        }
+        put_u32s(buf, &self.urow_of);
+        put_u32s(buf, &self.row_of);
         put_varint(buf, self.thresholds.len() as u64);
         for &t in &self.thresholds {
             buf.extend_from_slice(&t.to_le_bytes());
         }
-        for d in &self.datums {
-            buf.extend_from_slice(&d.value.to_le_bytes());
-            buf.extend_from_slice(&d.visibility.to_le_bytes());
-            buf.extend_from_slice(&d.granularity.to_le_bytes());
-            buf.extend_from_slice(&d.retention.to_le_bytes());
-        }
         put_varint(buf, self.epoch);
-        put_varint(buf, self.free_pref.len() as u64);
-        for &(start, end) in &self.free_pref {
+        put_varint(buf, self.free_rows.len() as u64);
+        put_u32s(buf, &self.free_rows);
+        let t = &self.table;
+        put_varint(buf, t.refs.len() as u64);
+        put_varint(buf, t.p_attr.len() as u64);
+        for &(start, end) in &t.ranges {
             buf.extend_from_slice(&start.to_le_bytes());
             buf.extend_from_slice(&end.to_le_bytes());
         }
-        put_varint(buf, self.free_rows.len() as u64);
-        for &row in &self.free_rows {
-            buf.extend_from_slice(&row.to_le_bytes());
+        put_u32s(buf, &t.refs);
+        put_u32s(buf, &t.p_attr);
+        put_u32s(buf, &t.p_purpose);
+        put_u32s(buf, &t.p_vis);
+        put_u32s(buf, &t.p_gran);
+        put_u32s(buf, &t.p_ret);
+        put_u32s(buf, &t.d_value);
+        put_u32s(buf, &t.d_vis);
+        put_u32s(buf, &t.d_gran);
+        put_u32s(buf, &t.d_ret);
+        put_varint(buf, t.free_pref.len() as u64);
+        for &(start, end) in &t.free_pref {
+            buf.extend_from_slice(&start.to_le_bytes());
+            buf.extend_from_slice(&end.to_le_bytes());
         }
+        put_varint(buf, t.free_slots.len() as u64);
+        put_u32s(buf, &t.free_slots);
     }
 
     pub(crate) fn decode_snapshot(buf: &mut &[u8]) -> DbResult<CompiledPopulation> {
@@ -1260,86 +1811,104 @@ impl CompiledPopulation {
             .chunks_exact(8)
             .map(|c| ProviderId(le_u64(c)))
             .collect();
-        let pref_ranges: Vec<(u32, u32)> = take(buf, n * 8)?
-            .chunks_exact(8)
-            .map(|c| (le_u32(&c[0..4]), le_u32(&c[4..8])))
-            .collect();
-        let row_of: Vec<u32> = take(buf, n * 4)?.chunks_exact(4).map(le_u32).collect();
-        let n_rows = get_varint(buf)? as usize;
-        let pref_rows: Vec<PrefRow> = take(buf, n_rows * 20)?
-            .chunks_exact(20)
-            .map(|c| PrefRow {
-                attr: le_u32(&c[0..4]),
-                purpose: le_u32(&c[4..8]),
-                point: PrivacyPoint::from_raw(
-                    le_u32(&c[8..12]),
-                    le_u32(&c[12..16]),
-                    le_u32(&c[16..20]),
-                ),
-            })
-            .collect();
+        let urow_of = get_u32s(buf, n)?;
+        let row_of = get_u32s(buf, n)?;
         let id_rows = get_varint(buf)? as usize;
         let thresholds: Vec<u64> = take(buf, id_rows * 8)?
             .chunks_exact(8)
             .map(le_u64)
             .collect();
-        let datums: Vec<DatumSensitivity> = take(buf, id_rows * attrs.len() * 16)?
-            .chunks_exact(16)
-            .map(|c| {
-                DatumSensitivity::new(
-                    le_u32(&c[0..4]),
-                    le_u32(&c[4..8]),
-                    le_u32(&c[8..12]),
-                    le_u32(&c[12..16]),
-                )
-            })
-            .collect();
         let epoch = get_varint(buf)?;
-        let n_free = get_varint(buf)? as usize;
-        let free_pref: Vec<(u32, u32)> = take(buf, n_free * 8)?
+        let n_free_rows = get_varint(buf)? as usize;
+        let free_rows = get_u32s(buf, n_free_rows)?;
+        let slots = get_varint(buf)? as usize;
+        let lane_len = get_varint(buf)? as usize;
+        let ranges: Vec<(u32, u32)> = take(buf, slots * 8)?
             .chunks_exact(8)
             .map(|c| (le_u32(&c[0..4]), le_u32(&c[4..8])))
             .collect();
-        let n_free_rows = get_varint(buf)? as usize;
-        let free_rows: Vec<u32> = take(buf, n_free_rows * 4)?
-            .chunks_exact(4)
-            .map(le_u32)
+        let refs = get_u32s(buf, slots)?;
+        let p_attr = get_u32s(buf, lane_len)?;
+        let p_purpose = get_u32s(buf, lane_len)?;
+        let p_vis = get_u32s(buf, lane_len)?;
+        let p_gran = get_u32s(buf, lane_len)?;
+        let p_ret = get_u32s(buf, lane_len)?;
+        let stride = attrs.len();
+        let d_value = get_u32s(buf, slots * stride)?;
+        let d_vis = get_u32s(buf, slots * stride)?;
+        let d_gran = get_u32s(buf, slots * stride)?;
+        let d_ret = get_u32s(buf, slots * stride)?;
+        let n_free_pref = get_varint(buf)? as usize;
+        let free_pref: Vec<(u32, u32)> = take(buf, n_free_pref * 8)?
+            .chunks_exact(8)
+            .map(|c| (le_u32(&c[0..4]), le_u32(&c[4..8])))
             .collect();
+        let n_free_slots = get_varint(buf)? as usize;
+        let free_slots = get_u32s(buf, n_free_slots)?;
 
         // Cheap structural sanity on the CRC-validated payload, so a codec
         // bug surfaces as `Err`, never as a panic in the audit hot loop.
-        if pref_ranges
+        if ranges
             .iter()
             .chain(&free_pref)
-            .any(|&(s, e)| s > e || e as usize > n_rows)
-            || row_of.iter().any(|&r| r as usize >= id_rows.max(1))
+            .any(|&(s, e)| s > e || e as usize > lane_len)
+        {
+            return Err(snap_corrupt("inconsistent preference ranges"));
+        }
+        if row_of.iter().any(|&r| r as usize >= id_rows.max(1))
             || free_rows.iter().any(|&r| r as usize >= id_rows.max(1))
         {
-            return Err(snap_corrupt("inconsistent row references"));
+            return Err(snap_corrupt("inconsistent id-row references"));
+        }
+        let mut derived = vec![0u32; slots];
+        for &u in &urow_of {
+            let us = u as usize;
+            if us >= slots {
+                return Err(snap_corrupt("unique-row reference out of bounds"));
+            }
+            derived[us] += 1;
+        }
+        if derived != refs {
+            return Err(snap_corrupt("refcounts disagree with occurrences"));
+        }
+        if free_slots.len() != refs.iter().filter(|&&r| r == 0).count()
+            || free_slots.iter().any(|&u| {
+                let us = u as usize;
+                us >= slots || refs[us] != 0
+            })
+        {
+            return Err(snap_corrupt("slot freelist disagrees with refcounts"));
         }
 
-        // Rebuild the delta-addressing index; duplicate-occurrence
-        // populations stay audit-only, exactly as in `finish()`.
-        let mut index = HashMap::with_capacity(n);
-        let mut unique = true;
-        for (i, &id) in ids.iter().enumerate() {
-            if index.insert(id, i as u32).is_some() {
-                unique = false;
-                break;
-            }
-        }
+        let mut table = RowTable {
+            stride,
+            p_attr,
+            p_purpose,
+            p_vis,
+            p_gran,
+            p_ret,
+            ranges,
+            refs,
+            hashes: vec![0; slots],
+            d_value,
+            d_vis,
+            d_gran,
+            d_ret,
+            free_slots,
+            free_pref,
+            lookup: HashIndex::default(),
+        };
+        table.rebuild_index();
         Ok(CompiledPopulation {
             attrs,
             purposes,
             ids,
-            pref_ranges,
-            pref_rows,
+            urow_of,
             row_of,
-            datums,
+            table,
             thresholds,
             epoch,
-            index: unique.then_some(index),
-            free_pref,
+            index: OnceLock::new(),
             free_rows,
         })
     }
@@ -1400,6 +1969,8 @@ mod tests {
         let pop = CompiledPopulation::from_profiles(&profiles);
         assert_eq!(pop.len(), 3);
         assert_eq!(pop.pref_row_count(), 3);
+        assert_eq!(pop.unique_row_count(), 3, "three distinct rows");
+        pop.debug_validate();
         let report = engine.audit_compiled(&pop);
         let scores: Vec<u64> = report.providers.iter().map(|p| p.score).collect();
         assert_eq!(scores, vec![0, 60, 80]);
@@ -1440,6 +2011,41 @@ mod tests {
         }
     }
 
+    /// Identical providers intern into one unique row: counts aggregate
+    /// by multiplicity and stay equal to the full per-occurrence report.
+    #[test]
+    fn identical_providers_share_one_unique_row() {
+        let (engine, profiles) = worked_example();
+        let clones: Vec<ProviderProfile> = (0..1000)
+            .map(|k| {
+                let mut p = profiles[1].clone();
+                p.preferences.provider = ProviderId(100 + k);
+                p
+            })
+            .collect();
+        let pop = CompiledPopulation::from_profiles(&clones);
+        assert_eq!(pop.len(), 1000);
+        assert_eq!(pop.unique_row_count(), 1, "all content dedups to one row");
+        assert_eq!(pop.pref_row_count(), 1);
+        assert_eq!(pop.dedup_ratio(), 1000.0);
+        pop.debug_validate();
+        let report = engine.audit_compiled(&pop);
+        let counts = engine.counts(&pop);
+        assert_eq!(counts.total_violations, report.total_violations);
+        assert_eq!(
+            counts.violated,
+            report.providers.iter().filter(|p| p.violated).count()
+        );
+        assert_eq!(
+            counts.defaulted,
+            report.providers.iter().filter(|p| p.defaulted).count()
+        );
+        assert!(
+            pop.resident_bytes() < 1000 * 64,
+            "dedup keeps resident bytes far below per-provider structs"
+        );
+    }
+
     #[test]
     fn duplicate_ids_merge_datums_but_keep_per_occurrence_preferences() {
         let (_, mut profiles) = worked_example();
@@ -1454,9 +2060,10 @@ mod tests {
         profiles.push(dup);
         let pop = CompiledPopulation::from_profiles(&profiles);
         assert_eq!(pop.len(), 4, "one occurrence each");
+        pop.debug_validate();
         assert_ne!(
-            pop.pref_rows_of(1)[0].point,
-            pop.pref_rows_of(3)[0].point,
+            pop.pref_rows_of(1).next().unwrap().point,
+            pop.pref_rows_of(3).next().unwrap().point,
             "each occurrence audits its own stated preferences"
         );
         // Merged view: the duplicate's sensitivity and threshold win for
@@ -1500,6 +2107,7 @@ mod tests {
         b.set_sensitivity(ProviderId(999), 0, DatumSensitivity::neutral());
         let via_scans = b.finish();
         assert_eq!(via_scans.len(), via_profiles.len());
+        via_scans.debug_validate();
         let (engine, _) = worked_example();
         assert_eq!(
             engine.audit_compiled(&via_scans),
@@ -1547,6 +2155,7 @@ mod tests {
         assert_eq!(outcome.epoch, 1);
         assert_eq!(outcome.len(), 6, "the unknown-id op produced no event");
         assert_eq!(outcome.skipped, 1, "the unknown-id op was counted");
+        pop.debug_validate();
 
         let fresh = CompiledPopulation::from_profiles(&mutated);
         assert_eq!(
@@ -1556,15 +2165,16 @@ mod tests {
         );
     }
 
-    /// Removal + re-insert cycles reuse freed preference rows and id-rows
-    /// instead of growing the flat arrays.
+    /// Removal + re-insert cycles reuse freed unique-row slots, lane
+    /// ranges, and id-rows instead of growing the table.
     #[test]
     fn delta_freelists_recycle_rows() {
         let (engine, profiles) = worked_example();
         let mut pop = CompiledPopulation::from_profiles(&profiles);
-        let rows_before = pop.pref_rows.len();
-        let id_rows_before = pop.thresholds.len();
         let mut mutated = profiles.clone();
+        // First round establishes the recycled slot/lane footprint (the
+        // new content is distinct from all three initial rows).
+        let mut sizes = Vec::new();
         for round in 0u64..8 {
             let mut p = ProviderProfile::new(ProviderId(1), 10 + round);
             p.preferences
@@ -1574,15 +2184,23 @@ mod tests {
             let delta = PopulationDelta::new().remove(ProviderId(1)).upsert(p);
             delta.apply_to_profiles(&mut mutated);
             pop.apply_delta(&delta).expect("unique ids");
+            pop.debug_validate();
+            sizes.push((
+                pop.table.pref_lane_len(),
+                pop.table.slot_count(),
+                pop.thresholds.len(),
+            ));
         }
-        assert_eq!(pop.pref_rows.len(), rows_before, "pref rows recycled");
-        assert_eq!(pop.thresholds.len(), id_rows_before, "id-rows recycled");
+        assert!(
+            sizes.windows(2).all(|w| w[0] == w[1]),
+            "steady-state churn recycles slots, lanes, and id-rows: {sizes:?}"
+        );
         let fresh = CompiledPopulation::from_profiles(&mutated);
         assert_eq!(engine.audit_compiled(&pop), engine.audit_compiled(&fresh));
     }
 
     /// A delta introducing a brand-new attribute re-strides the datum
-    /// table without disturbing existing sensitivities.
+    /// lanes without disturbing existing sensitivities.
     #[test]
     fn delta_with_new_attribute_restrides_datums() {
         let (_, profiles) = worked_example();
@@ -1597,6 +2215,7 @@ mod tests {
         let mut mutated = profiles.clone();
         delta.apply_to_profiles(&mut mutated);
         pop.apply_delta(&delta).expect("unique ids");
+        pop.debug_validate();
         let h = pop.attrs.get("height").expect("interned by the delta");
         let w = pop.attrs.get("weight").expect("still interned");
         assert_eq!(pop.datum(0, h), DatumSensitivity::new(9, 9, 9, 9));
@@ -1636,6 +2255,7 @@ mod tests {
         let (engine, profiles) = worked_example();
         let empty = CompiledPopulation::from_profiles(&[]);
         assert!(empty.is_empty());
+        assert_eq!(empty.dedup_ratio(), 1.0);
         let counts = engine.counts(&empty);
         assert_eq!(counts.population, 0);
         assert_eq!(counts.p_violation(), 0.0);
@@ -1648,5 +2268,37 @@ mod tests {
         let outcome = engine.counts_with_policy(&pop, &ghost);
         assert_eq!(outcome.total_violations, 0);
         assert_eq!(outcome.violated, 0);
+    }
+
+    /// The snapshot codec round-trips the packed layout exactly, and the
+    /// rebuilt lookup index keeps interning (delta application) working.
+    #[test]
+    fn snapshot_roundtrip_preserves_packed_layout() {
+        let (engine, profiles) = worked_example();
+        let mut pop = CompiledPopulation::from_profiles(&profiles);
+        // Punch a hole so freelists are non-trivial in the snapshot.
+        let delta = PopulationDelta::new().remove(ProviderId(0));
+        pop.apply_delta(&delta).expect("unique ids");
+        let mut buf = Vec::new();
+        pop.encode_snapshot(&mut buf);
+        let mut slice = buf.as_slice();
+        let mut decoded = CompiledPopulation::decode_snapshot(&mut slice).expect("decodes");
+        assert!(slice.is_empty(), "codec consumed the whole buffer");
+        decoded.debug_validate();
+        assert_eq!(decoded.epoch(), pop.epoch());
+        assert_eq!(engine.audit_compiled(&decoded), engine.audit_compiled(&pop));
+        // The rebuilt content index dedups new interns against decoded rows.
+        let mut back = profiles[0].clone();
+        back.threshold = 42;
+        let redelta = PopulationDelta::new().upsert(back);
+        pop.apply_delta(&redelta).expect("unique ids");
+        decoded.apply_delta(&redelta).expect("unique ids");
+        decoded.debug_validate();
+        assert_eq!(engine.audit_compiled(&decoded), engine.audit_compiled(&pop));
+        assert_eq!(
+            decoded.unique_row_count(),
+            pop.unique_row_count(),
+            "decoded table interns identically to the original"
+        );
     }
 }

@@ -333,6 +333,44 @@ proptest! {
         );
     }
 
+    /// After a random delta the packed counts pass — now running over a
+    /// row table carrying dead (refcount-zero) slots and freelists — still
+    /// equals the reference audit of the mutated profiles on every exact
+    /// aggregate, flat and lattice.
+    #[test]
+    fn delta_churned_counts_equal_reference(
+        seed in 0u64..1_000_000,
+        n in 1usize..80,
+        level in 0u32..10,
+        with_lattice in 0u32..2,
+        ops in proptest::collection::vec((0u32..6, 0u64..200, 0u64..1_000), 1..40),
+    ) {
+        let profiles = population(n, seed);
+        let delta = decode_delta(n, &ops);
+        let mut pop = CompiledPopulation::from_profiles(&profiles);
+        pop.apply_delta(&delta).unwrap();
+        pop.debug_validate();
+
+        let mut mutated = profiles;
+        delta.apply_to_profiles(&mut mutated);
+        let mut eng = engine(&policy(level));
+        if with_lattice == 1 {
+            eng = eng.with_lattice(lattice());
+        }
+        let reference = eng.run_reference(&mutated);
+        let counts = eng.counts(&pop);
+        prop_assert_eq!(counts.population, mutated.len());
+        prop_assert_eq!(counts.total_violations, reference.total_violations);
+        prop_assert_eq!(
+            counts.violated,
+            reference.providers.iter().filter(|p| p.violated).count()
+        );
+        prop_assert_eq!(
+            counts.defaulted,
+            reference.providers.iter().filter(|p| p.defaulted).count()
+        );
+    }
+
     /// Splitting one delta into two sequential batches lands on the same
     /// state as applying it whole (epochs aside) — deltas compose.
     #[test]
@@ -361,4 +399,85 @@ proptest! {
             serde_json::to_string(&eng.audit_compiled(&batched)).unwrap()
         );
     }
+}
+
+/// Drive every intern-table refcount to zero and back: remove the whole
+/// population, re-upsert identical content, then flap one provider's
+/// preferences between two shapes for several rounds. The freed slots
+/// must be recycled (resident footprint returns to baseline after the
+/// refill and stays flat once both flap shapes have existed), the table
+/// invariants must hold after every epoch, and the packed counts pass
+/// must agree with a fresh compile even while dead slots are present.
+#[test]
+fn refcounts_drain_to_zero_and_slots_recycle() {
+    let profiles = population(12, 99);
+    let mut pop = CompiledPopulation::from_profiles(&profiles);
+    // An empty delta forces the lazy provider index into existence so the
+    // baseline footprint is comparable with the post-churn one.
+    pop.apply_delta(&PopulationDelta::new()).unwrap();
+    let baseline_rows = pop.unique_row_count();
+    let baseline_bytes = pop.resident_bytes();
+    assert!(baseline_rows > 0);
+
+    // Drain: removing every provider takes every refcount to zero.
+    let mut drain = PopulationDelta::new();
+    for p in &profiles {
+        drain.push(DeltaOp::Remove(p.id()));
+    }
+    pop.apply_delta(&drain).unwrap();
+    pop.debug_validate();
+    assert_eq!(pop.len(), 0);
+    assert_eq!(pop.unique_row_count(), 0);
+
+    // Refill with identical content: the rows re-intern into the freed
+    // slots, so the footprint lands exactly back on the baseline.
+    let mut refill = PopulationDelta::new();
+    for p in &profiles {
+        refill.push(DeltaOp::Upsert(p.clone()));
+    }
+    pop.apply_delta(&refill).unwrap();
+    pop.debug_validate();
+    assert_eq!(pop.unique_row_count(), baseline_rows);
+    assert_eq!(pop.resident_bytes(), baseline_bytes);
+
+    // Flap one provider between two preference shapes. The first two
+    // rounds may grow the table (each shape interned once); after that
+    // every flap frees a slot of exactly the shape the next flap needs,
+    // so the footprint must be flat.
+    let victim = profiles[4].id();
+    let eng = engine(&policy(4));
+    let mut mutated = profiles.clone();
+    let mut sizes = Vec::new();
+    for round in 0..8u32 {
+        let tuples = if round.is_multiple_of(2) {
+            vec![PrivacyTuple::from_point("ops", pt(7, 7, 70))]
+        } else {
+            vec![
+                PrivacyTuple::from_point("pr", pt(2, 2, 20)),
+                PrivacyTuple::from_point("research", pt(3, 1, 45)),
+            ]
+        };
+        let mut flap = PopulationDelta::new();
+        flap.push(DeltaOp::SetAttributePrefs {
+            id: victim,
+            attribute: "weight".into(),
+            tuples,
+        });
+        pop.apply_delta(&flap).unwrap();
+        pop.debug_validate();
+        flap.apply_to_profiles(&mut mutated);
+        sizes.push(pop.resident_bytes());
+
+        let fresh = CompiledPopulation::from_profiles(&mutated);
+        assert_eq!(
+            serde_json::to_string(&eng.audit_compiled(&pop)).unwrap(),
+            serde_json::to_string(&eng.audit_compiled(&fresh)).unwrap(),
+            "round {round}"
+        );
+        assert_eq!(eng.counts(&pop), eng.counts(&fresh), "round {round}");
+    }
+    assert!(
+        sizes[2..].windows(2).all(|w| w[0] == w[1]),
+        "footprint flat after both shapes exist: {sizes:?}"
+    );
 }

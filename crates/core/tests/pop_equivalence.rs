@@ -206,6 +206,102 @@ proptest! {
     }
 }
 
+/// A segment-clustered population: preference/sensitivity content drawn
+/// from a pool of `k` templates (the [`population`] generator doubles as
+/// the template mint), thresholds individual per provider — the shape
+/// the packed unique-row dedup is built for.
+fn clustered_population(n: usize, k: usize, seed: u64) -> Vec<ProviderProfile> {
+    let templates = population(k, seed);
+    (0..n as u64)
+        .map(|i| {
+            let x = i.wrapping_mul(0xD1B5_4A32_D192_ED03).wrapping_add(seed);
+            let mut p = templates[(x % k as u64) as usize].clone();
+            p.preferences.provider = ProviderId(i);
+            p.threshold = 5 + (x % 200);
+            p
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Random segment-clustered mixes: the packed counts pass (which
+    /// scores each unique row once and aggregates by multiplicity) equals
+    /// the reference on every aggregate — including the exact violated /
+    /// defaulted counts — flat and lattice, and the dedup actually bites.
+    #[test]
+    fn clustered_mixes_packed_counts_equal_reference(
+        seed in 0u64..1_000_000,
+        n in 50usize..300,
+        k in 1usize..8,
+        level in 0u32..10,
+        with_lattice in 0u32..2,
+    ) {
+        let profiles = clustered_population(n, k, seed);
+        let mut eng = engine(&policy(level));
+        if with_lattice == 1 {
+            eng = eng.with_lattice(lattice());
+        }
+        let pop = CompiledPopulation::from_profiles(&profiles);
+        pop.debug_validate();
+        prop_assert!(pop.unique_row_count() <= k, "≤ k unique rows");
+        prop_assert!(
+            pop.dedup_ratio() >= n as f64 / k as f64 - 1e-9,
+            "dedup ratio {} at n={} k={}", pop.dedup_ratio(), n, k
+        );
+        let reference = eng.run_reference(&profiles);
+        prop_assert_eq!(&eng.audit_compiled(&pop), &reference);
+        let counts = eng.counts(&pop);
+        prop_assert_eq!(counts.total_violations, reference.total_violations);
+        prop_assert_eq!(
+            counts.violated,
+            reference.providers.iter().filter(|p| p.violated).count()
+        );
+        prop_assert_eq!(
+            counts.defaulted,
+            reference.providers.iter().filter(|p| p.defaulted).count()
+        );
+        prop_assert_eq!(counts.population, n);
+    }
+
+    /// The K-policy sweep over a clustered population (one packed scratch
+    /// shared across passes) equals per-policy reference audits.
+    #[test]
+    fn clustered_mixes_policy_sweep_equals_reference(
+        seed in 0u64..1_000_000,
+        n in 50usize..200,
+        k in 1usize..6,
+        levels in proptest::collection::vec(0u32..10, 1..5),
+        with_lattice in 0u32..2,
+    ) {
+        let profiles = clustered_population(n, k, seed);
+        let mut eng = engine(&policy(0));
+        if with_lattice == 1 {
+            eng = eng.with_lattice(lattice());
+        }
+        let pop = CompiledPopulation::from_profiles(&profiles);
+        let policies: Vec<HousePolicy> = levels.iter().map(|&l| policy(l)).collect();
+        let outcomes = eng.audit_many_policies(&pop, &policies);
+        for (outcome, hp) in outcomes.iter().zip(&policies) {
+            let mut one = engine(hp);
+            if with_lattice == 1 {
+                one = one.with_lattice(lattice());
+            }
+            let reference = one.run_reference(&profiles);
+            prop_assert_eq!(outcome.total_violations, reference.total_violations);
+            prop_assert_eq!(
+                outcome.violated,
+                reference.providers.iter().filter(|p| p.violated).count()
+            );
+            prop_assert_eq!(
+                outcome.defaulted,
+                reference.providers.iter().filter(|p| p.defaulted).count()
+            );
+        }
+    }
+}
+
 /// Duplicate provider ids: preferences stay per-occurrence while datums and
 /// thresholds resolve through the merged, last-wins view — exactly like the
 /// assembled reference structures.
@@ -268,6 +364,65 @@ fn skewed_parallel_report_is_byte_identical() {
                 "lattice={with_lattice}, {threads} threads"
             );
         }
+    }
+}
+
+/// Saturating magnitudes: policy points, attribute weights, and datum
+/// sensitivities near `u32::MAX` push the Eq. 14 severity terms past
+/// `u64::MAX`, so the packed sweep's saturation precheck must reject the
+/// factored fast path and the exact fallback must replay the reference's
+/// `saturating_mul`/`saturating_add` chain — flat and lattice, full
+/// audits and counts.
+#[test]
+fn saturating_magnitudes_force_fallback_and_match_reference() {
+    let big = u32::MAX - 3;
+    let mut profiles = population(60, 4242);
+    // Maximal datum sensitivities on some providers so the per-term
+    // product `(diff·w)·(value·along)` genuinely clips at `u64::MAX`,
+    // rather than merely tripping the pessimistic precheck.
+    for (i, p) in profiles.iter_mut().enumerate() {
+        if i % 3 == 0 {
+            p.sensitivities.insert(
+                "weight".into(),
+                DatumSensitivity::new(big, big, 1 + (i as u32 % 7), big),
+            );
+        }
+    }
+    let hp = HousePolicy::builder("h")
+        .tuple("weight", PrivacyTuple::from_point("pr", pt(big, big, big)))
+        .tuple("age", PrivacyTuple::from_point("research", pt(7, big, 60)))
+        .build();
+    let mut w = AttributeSensitivities::new();
+    w.set("weight", big);
+    w.set("age", 3);
+    for with_lattice in [false, true] {
+        let mut eng = AuditEngine::new(hp.clone(), ["weight", "age"], w.clone());
+        if with_lattice {
+            eng = eng.with_lattice(lattice());
+        }
+        let pop = CompiledPopulation::from_profiles(&profiles);
+        pop.debug_validate();
+        let reference = eng.run_reference(&profiles);
+        assert!(
+            reference.providers.iter().any(|p| p.score == u64::MAX),
+            "expected genuine chain saturation, lattice={with_lattice}"
+        );
+        assert_eq!(
+            eng.audit_compiled(&pop),
+            reference,
+            "lattice={with_lattice}"
+        );
+        let counts = eng.counts(&pop);
+        assert_eq!(counts.total_violations, reference.total_violations);
+        assert_eq!(
+            counts.violated,
+            reference.providers.iter().filter(|p| p.violated).count()
+        );
+        assert_eq!(
+            counts.defaulted,
+            reference.providers.iter().filter(|p| p.defaulted).count()
+        );
+        assert_eq!(counts.population, profiles.len());
     }
 }
 

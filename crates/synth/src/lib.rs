@@ -23,7 +23,10 @@ pub mod scenario;
 pub mod segments;
 pub mod workload;
 
-pub use population::{generate, generate_stable, par_generate, Population, PopulationSpec};
+pub use population::{
+    generate, generate_stable, par_generate, stream_clustered, stream_stable, Population,
+    PopulationSpec,
+};
 pub use scenario::Scenario;
 pub use segments::{Segment, SegmentMix, SegmentParams};
 pub use workload::{churn, churn_batches};

@@ -294,6 +294,115 @@ pub fn par_generate(
     pop
 }
 
+/// Stream [`generate_stable`]'s provider profiles one at a time, without
+/// materializing the population `Vec` — the millions-scale feed for
+/// `qpv_core::PopulationBuilder` (which retains three machine words per
+/// provider, so `n` is bounded by the compiled layout, not by profile
+/// structs). Yields exactly `generate_stable(spec, n, seed).profiles`,
+/// in order.
+pub fn stream_stable(
+    spec: &PopulationSpec,
+    n: usize,
+    seed: u64,
+) -> impl Iterator<Item = ProviderProfile> + '_ {
+    (0..n).map(move |i| {
+        let mut rng = SmallRng::seed_from_u64(provider_seed(seed, i as u64));
+        generate_provider(spec, i, &mut rng).0
+    })
+}
+
+/// Generate one quantized preference/sensitivity template for
+/// `(segment, template index)` — the same draw shapes as
+/// [`generate_provider`], but from a template-keyed RNG and with no id,
+/// threshold, or data row. Template profiles carry `ProviderId(0)`;
+/// [`stream_clustered`] stamps real ids and individual thresholds on.
+fn segment_template(
+    spec: &PopulationSpec,
+    segment: Segment,
+    rng: &mut SmallRng,
+) -> ProviderProfile {
+    let params = segment.default_params();
+    let mut profile = ProviderProfile::new(ProviderId(0), 0);
+    for attr in &spec.attributes {
+        for purpose in &spec.purposes {
+            if !params.sample_states_purpose(rng) {
+                continue;
+            }
+            let mut point = attr.baseline;
+            for dim in Dim::ALL {
+                let offset = params.sample_headroom(rng);
+                let level = (attr.baseline.get(dim) as i64 + offset as i64).max(0) as u32;
+                point = point.with(dim, level);
+            }
+            profile.preferences.add(
+                &attr.name,
+                PrivacyTuple::from_point(purpose.as_str(), point),
+            );
+        }
+        profile.sensitivities.insert(
+            attr.name.clone(),
+            DatumSensitivity::new(
+                params.sample_value_sensitivity(rng),
+                params.sample_dim_sensitivity(rng),
+                params.sample_dim_sensitivity(rng),
+                params.sample_dim_sensitivity(rng),
+            ),
+        );
+    }
+    profile
+}
+
+/// Stream a segment-*clustered* population: preference/sensitivity
+/// content is drawn from a fixed pool of `templates_per_segment`
+/// quantized templates per Westin segment (thresholds stay individual),
+/// modeling real populations where stated postures cluster into a
+/// handful of shapes. The unique-row dedup in
+/// `qpv_core::CompiledPopulation` collapses such a population to at most
+/// `3 × templates_per_segment` rows regardless of `n` — the layout the
+/// packed 10M bench exercises.
+///
+/// Deterministic per `(spec, seed, templates_per_segment)`; provider `i`
+/// depends only on its own index (shard-stable). No full `Vec` is ever
+/// held.
+pub fn stream_clustered(
+    spec: &PopulationSpec,
+    n: usize,
+    seed: u64,
+    templates_per_segment: usize,
+) -> impl Iterator<Item = ProviderProfile> + '_ {
+    let k = templates_per_segment.max(1);
+    // Template pool: small (3·k profiles), built eagerly up front.
+    let pool: Vec<Vec<ProviderProfile>> = Segment::ALL
+        .iter()
+        .enumerate()
+        .map(|(s, &segment)| {
+            (0..k)
+                .map(|t| {
+                    let mut rng = SmallRng::seed_from_u64(provider_seed(
+                        seed ^ 0xC1A5_7E2D_0000_0000,
+                        (s * k + t) as u64,
+                    ));
+                    segment_template(spec, segment, &mut rng)
+                })
+                .collect()
+        })
+        .collect();
+    (0..n).map(move |i| {
+        let mut rng = SmallRng::seed_from_u64(provider_seed(seed, i as u64));
+        let segment = spec.mix.sample(&mut rng);
+        let params = segment.default_params();
+        let s = Segment::ALL
+            .iter()
+            .position(|&x| x == segment)
+            .expect("segment in ALL");
+        let t = rng.gen_range(0..k);
+        let mut profile = pool[s][t].clone();
+        profile.preferences.provider = ProviderId(i as u64);
+        profile.threshold = params.sample_threshold(&mut rng);
+        profile
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -454,5 +563,36 @@ mod tests {
             rf.p_violation(),
             ru.p_violation()
         );
+    }
+
+    #[test]
+    fn stream_stable_yields_generate_stable_profiles() {
+        let s = spec();
+        let eager = generate_stable(&s, 150, 9);
+        let streamed: Vec<ProviderProfile> = stream_stable(&s, 150, 9).collect();
+        assert_eq!(streamed, eager.profiles);
+    }
+
+    #[test]
+    fn stream_clustered_is_deterministic_and_actually_clusters() {
+        let s = spec();
+        let a: Vec<ProviderProfile> = stream_clustered(&s, 400, 13, 4).collect();
+        let b: Vec<ProviderProfile> = stream_clustered(&s, 400, 13, 4).collect();
+        assert_eq!(a, b, "deterministic per (spec, seed, k)");
+        for (i, p) in a.iter().enumerate() {
+            assert_eq!(p.id(), ProviderId(i as u64), "ids are the stream index");
+        }
+        // Content clusters into ≤ 3 segments × 4 templates unique rows,
+        // while thresholds stay individual.
+        let pop = qpv_core::CompiledPopulation::from_profiles(&a);
+        assert!(
+            pop.unique_row_count() <= 12,
+            "{} unique rows from 12 templates",
+            pop.unique_row_count()
+        );
+        assert!(pop.dedup_ratio() > 10.0, "dedup {}", pop.dedup_ratio());
+        let distinct_thresholds: std::collections::HashSet<u64> =
+            a.iter().map(|p| p.threshold).collect();
+        assert!(distinct_thresholds.len() > 12, "thresholds are individual");
     }
 }

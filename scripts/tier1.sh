@@ -6,12 +6,14 @@
 #   scripts/tier1.sh --bench        # gate + bench JSONs
 #   scripts/tier1.sh --faults       # gate + release-mode fault-injection suite
 #   scripts/tier1.sh --monitor      # gate + delta-log/monitor crash suites
+#   scripts/tier1.sh --packed       # packed-layout stage only (release
+#                                   #   equivalence suites + packed bench smoke)
 #   scripts/tier1.sh --bench-smoke  # bench smoke stage only
 #
 # The bench step writes BENCH_parallel_audit.json, BENCH_audit_plan.json,
-# BENCH_compiled_population.json, BENCH_delta_audit.json, and
-# BENCH_delta_log.json at the repo root (median/mean ns plus host
-# metadata; see crates/bench/benches/).
+# BENCH_compiled_population.json, BENCH_delta_audit.json,
+# BENCH_delta_log.json, and BENCH_packed_population.json at the repo root
+# (median/mean ns plus host metadata; see crates/bench/benches/).
 #
 # The bench smoke runs every bench binary at tiny population sizes
 # (QPV_BENCH_SMOKE=1, see qpv_bench::bench_n) purely as a correctness
@@ -36,6 +38,22 @@ bench_smoke() {
 if [[ "${1:-}" == "--bench-smoke" ]]; then
     bench_smoke
     echo "tier-1 bench smoke: OK"
+    exit 0
+fi
+
+if [[ "${1:-}" == "--packed" ]]; then
+    # Targeted gate for the packed-lane, row-deduplicated population
+    # layout (PR 7): the equivalence suites that pin the packed counts /
+    # sweep / delta paths byte-identical to `run_reference`, under the
+    # release optimizer, plus the packed bench in smoke mode (every
+    # sample asserts its aggregates against the string-path oracle).
+    echo "== packed: population equivalence (release) =="
+    cargo test -q --release -p qpv-core --test pop_equivalence
+    echo "== packed: delta equivalence (release) =="
+    cargo test -q --release -p qpv-core --test delta_equivalence
+    echo "== packed: bench smoke (oracle-asserted) =="
+    QPV_BENCH_SMOKE=1 cargo bench -p qpv-bench --bench packed_population
+    echo "tier-1 packed: OK"
     exit 0
 fi
 
@@ -118,6 +136,9 @@ if [[ "${1:-}" == "--bench" ]]; then
     echo "== delta log bench =="
     QPV_BENCH_FULL=1 QPV_BENCH_JSON="$PWD/BENCH_delta_log.json" \
         cargo bench -p qpv-bench --bench delta_log
+    echo "== packed population bench (10M providers) =="
+    QPV_BENCH_FULL=1 QPV_BENCH_JSON="$PWD/BENCH_packed_population.json" \
+        cargo bench -p qpv-bench --bench packed_population
 fi
 
 echo "tier-1: OK"

@@ -91,6 +91,8 @@ struct BenchResult {
 /// The top-level harness state.
 pub struct Criterion {
     results: Vec<BenchResult>,
+    skipped: Vec<(String, String)>,
+    metrics: Vec<(String, f64, String)>,
     default_sample_size: usize,
     sample_budget: Duration,
 }
@@ -100,6 +102,8 @@ impl Default for Criterion {
         let full = std::env::var("QPV_BENCH_FULL").is_ok_and(|v| v == "1");
         Criterion {
             results: Vec::new(),
+            skipped: Vec::new(),
+            metrics: Vec::new(),
             default_sample_size: 10,
             sample_budget: if full {
                 Duration::from_millis(50)
@@ -110,7 +114,39 @@ impl Default for Criterion {
     }
 }
 
+/// The thread count the scheduler will actually grant this process —
+/// benches gate their thread sweeps on this so a 1-CPU container does
+/// not report flat-by-construction "scaling" curves.
+pub fn threads_available() -> usize {
+    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+}
+
 impl Criterion {
+    /// Record a benchmark that was deliberately *not* run (e.g. a thread
+    /// count above [`threads_available`]). Skips print like results and
+    /// land in a `"skipped"` array in the JSON, so a BENCH trajectory
+    /// distinguishes "not measured here" from "measured flat".
+    pub fn record_skip(&mut self, id: impl Into<String>, reason: impl Into<String>) -> &mut Self {
+        let (id, reason) = (id.into(), reason.into());
+        println!("{id:<48} skipped ({reason})");
+        self.skipped.push((id, reason));
+        self
+    }
+
+    /// Record a derived scalar measurement (bytes/provider, dedup ratio,
+    /// …) alongside the timings; lands in a `"metrics"` array in the
+    /// JSON.
+    pub fn record_metric(
+        &mut self,
+        id: impl Into<String>,
+        value: f64,
+        unit: impl Into<String>,
+    ) -> &mut Self {
+        let (id, unit) = (id.into(), unit.into());
+        println!("{id:<48} {value:.3} {unit}");
+        self.metrics.push((id, value, unit));
+        self
+    }
     /// Benchmark a closure under the given name.
     pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
         let sample_size = self.default_sample_size;
@@ -179,6 +215,23 @@ impl Criterion {
                 );
             }
             out.push('}');
+        }
+        out.push_str("\n],\n\"skipped\": [\n");
+        for (i, (id, reason)) in self.skipped.iter().enumerate() {
+            if i > 0 {
+                out.push_str(",\n");
+            }
+            let _ = write!(out, "  {{\"id\": {id:?}, \"reason\": {reason:?}}}");
+        }
+        out.push_str("\n],\n\"metrics\": [\n");
+        for (i, (id, value, unit)) in self.metrics.iter().enumerate() {
+            if i > 0 {
+                out.push_str(",\n");
+            }
+            let _ = write!(
+                out,
+                "  {{\"id\": {id:?}, \"value\": {value:.3}, \"unit\": {unit:?}}}"
+            );
         }
         out.push_str("\n]\n}\n");
         out
@@ -361,5 +414,22 @@ mod tests {
         // Still valid JSON overall: object with host + results array.
         assert!(json.trim_start().starts_with('{'));
         assert!(json.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn skips_and_metrics_land_in_the_json() {
+        let mut c = Criterion::default();
+        c.record_skip("grp/threads/8", "above threads_available (1)");
+        c.record_metric("grp/bytes_per_provider", 23.5, "bytes");
+        let json = c.results_json();
+        assert!(json.contains(
+            "\"skipped\": [\n  {\"id\": \"grp/threads/8\", \
+             \"reason\": \"above threads_available (1)\"}"
+        ));
+        assert!(json.contains(
+            "\"metrics\": [\n  {\"id\": \"grp/bytes_per_provider\", \
+             \"value\": 23.500, \"unit\": \"bytes\"}"
+        ));
+        assert!(threads_available() >= 1);
     }
 }
