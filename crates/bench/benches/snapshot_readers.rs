@@ -1,0 +1,225 @@
+//! P13: snapshot-isolated readers vs writer latency.
+//!
+//! PR 8's LSN-snapshot readers promise that audits under live writes are
+//! (a) never blocked by the writer and (b) nearly free *for* the writer:
+//! a reader resolves page versions `<= snapshot_lsn` against the version
+//! store's immutable `Arc` images, so the only shared state the writer
+//! touches on its behalf is the short version-store mutex during publish.
+//! This bench prices that promise on a durable (on-disk WAL) database:
+//!
+//! * `snapshot_readers/writer_commit/readers/{r}` — median autocommit
+//!   UPDATE latency (WAL fsync + version publish) while `r` reader
+//!   threads continuously cut snapshots and scan the table.
+//! * `snapshot_readers/begin_snapshot` — the reader-side cost of cutting
+//!   a snapshot (register + catalog resolve, no locking of the writer).
+//! * metrics `writer_p50_ns/readers/{r}` and `writer_p99_ns/readers/{r}`
+//!   — full-distribution writer latency from a fixed 300-write run, the
+//!   numbers the acceptance bar ("within 2× of the reader-free
+//!   baseline") reads. `writer_p99_ratio_vs_baseline/readers/{r}` is the
+//!   derived ratio; `reader_snapshots_per_sec/readers/{r}` shows the
+//!   concurrent read traffic the writer absorbed.
+//!
+//! Reader counts above `threads_available() - 1` (the writer needs a
+//! core too) are recorded as skips, not measured flat — on a 1-CPU
+//! container only the `readers/0` baseline runs.
+//!
+//! Every reader iteration asserts snapshot sanity: a scan either
+//! succeeds with the full row count (readers race no deletes here) or
+//! fails with the *typed* `SnapshotTooOld` reclamation error — anything
+//! else panics the bench.
+//!
+//! Emit JSON with: `QPV_BENCH_JSON=BENCH_snapshot_readers.json \
+//!     cargo bench -p qpv-bench --bench snapshot_readers`
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qpv_reldb::error::DbError;
+use qpv_reldb::{Database, SharedDatabase};
+use std::hint::black_box;
+
+const N_ROWS: usize = 2_000;
+const READERS: [usize; 4] = [0, 1, 2, 4];
+/// Writes per latency distribution (plus warmup) — small enough for
+/// smoke mode, large enough that p99 is the 3rd-worst sample.
+const DIST_WRITES: usize = 300;
+const WARMUP_WRITES: usize = 50;
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("qpv-bench-snap-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn seeded(dir: &PathBuf, rows: usize) -> SharedDatabase {
+    let mut db = Database::open(dir).expect("open bench db");
+    db.execute("CREATE TABLE people (id INT, v INT)")
+        .expect("create");
+    // Bulk-load in one transaction so setup is one sync, not `rows`.
+    db.begin().expect("begin");
+    for chunk in (0..rows).collect::<Vec<_>>().chunks(256) {
+        let values: Vec<String> = chunk.iter().map(|i| format!("({i}, 0)")).collect();
+        db.execute(&format!("INSERT INTO people VALUES {}", values.join(", ")))
+            .expect("seed rows");
+    }
+    db.commit().expect("commit seed");
+    SharedDatabase::new(db)
+}
+
+/// Spawn `r` reader threads that cut snapshots and scan until `stop`.
+/// Returns join handles; `snapshots` counts completed reads.
+fn spawn_readers(
+    shared: &SharedDatabase,
+    r: usize,
+    rows: usize,
+    stop: &Arc<AtomicBool>,
+    snapshots: &Arc<AtomicU64>,
+) -> Vec<std::thread::JoinHandle<()>> {
+    (0..r)
+        .map(|_| {
+            let shared = shared.clone();
+            let stop = Arc::clone(stop);
+            let snapshots = Arc::clone(snapshots);
+            std::thread::spawn(move || {
+                while !stop.load(Ordering::Relaxed) {
+                    match shared
+                        .begin_snapshot()
+                        .and_then(|snap| snap.count("people"))
+                    {
+                        Ok(n) => {
+                            assert_eq!(n, rows, "snapshot must see a committed row count");
+                            snapshots.fetch_add(1, Ordering::Relaxed);
+                        }
+                        // Typed reclamation is the one legal failure.
+                        Err(DbError::SnapshotTooOld { .. }) => {}
+                        Err(e) => panic!("reader failed untyped: {e}"),
+                    }
+                }
+            })
+        })
+        .collect()
+}
+
+fn percentile_ns(sorted: &[u128], p: f64) -> f64 {
+    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    sorted[idx] as f64
+}
+
+fn bench_snapshot_readers(c: &mut Criterion) {
+    let rows = qpv_bench::bench_n(N_ROWS);
+    // The writer needs a core of its own; oversubscribed reader counts
+    // would measure scheduler contention, not snapshot overhead.
+    let avail = criterion::threads_available().saturating_sub(1);
+
+    // -- Reader-side: what a snapshot cut costs ---------------------------
+    {
+        let dir = temp_dir("begin");
+        let shared = seeded(&dir, rows);
+        let mut group = c.benchmark_group("snapshot_readers");
+        group.sample_size(10);
+        group.bench_function("begin_snapshot", |b| {
+            b.iter(|| {
+                let snap = shared.begin_snapshot().expect("begin_snapshot");
+                black_box(snap.lsn())
+            });
+        });
+        group.finish();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    // -- Writer latency under 0..N concurrent readers ---------------------
+    let mut baseline_p99 = None;
+    for r in READERS.into_iter().filter(|&r| r <= avail) {
+        let dir = temp_dir(&format!("w{r}"));
+        let shared = seeded(&dir, rows);
+        let stop = Arc::new(AtomicBool::new(false));
+        let snapshots = Arc::new(AtomicU64::new(0));
+        let readers = spawn_readers(&shared, r, rows, &stop, &snapshots);
+
+        // Median via the harness (lands in "results")...
+        let mut group = c.benchmark_group("snapshot_readers");
+        group.sample_size(10);
+        let mut k = 0usize;
+        group.bench_with_input(BenchmarkId::new("writer_commit/readers", r), &r, |b, _| {
+            b.iter(|| {
+                k = (k + 1) % rows;
+                shared
+                    .execute(&format!("UPDATE people SET v = v + 1 WHERE id = {k}"))
+                    .expect("autocommit update")
+            });
+        });
+        group.finish();
+
+        // ...then the full distribution for p50/p99 (lands in "metrics").
+        for i in 0..WARMUP_WRITES {
+            shared
+                .execute(&format!(
+                    "UPDATE people SET v = v + 1 WHERE id = {}",
+                    i % rows
+                ))
+                .expect("warmup update");
+        }
+        let window = Instant::now();
+        let read_before = snapshots.load(Ordering::Relaxed);
+        let mut lat_ns: Vec<u128> = Vec::with_capacity(DIST_WRITES);
+        for i in 0..DIST_WRITES {
+            let t = Instant::now();
+            shared
+                .execute(&format!(
+                    "UPDATE people SET v = v + 1 WHERE id = {}",
+                    i % rows
+                ))
+                .expect("measured update");
+            lat_ns.push(t.elapsed().as_nanos());
+        }
+        let wall = window.elapsed().as_secs_f64();
+        let reads = snapshots.load(Ordering::Relaxed) - read_before;
+        stop.store(true, Ordering::Relaxed);
+        for handle in readers {
+            handle.join().expect("reader thread");
+        }
+
+        lat_ns.sort_unstable();
+        let p50 = percentile_ns(&lat_ns, 0.50);
+        let p99 = percentile_ns(&lat_ns, 0.99);
+        c.record_metric(
+            format!("snapshot_readers/writer_p50_ns/readers/{r}"),
+            p50,
+            "ns",
+        );
+        c.record_metric(
+            format!("snapshot_readers/writer_p99_ns/readers/{r}"),
+            p99,
+            "ns",
+        );
+        if r == 0 {
+            baseline_p99 = Some(p99);
+        } else {
+            if let Some(base) = baseline_p99 {
+                c.record_metric(
+                    format!("snapshot_readers/writer_p99_ratio_vs_baseline/readers/{r}"),
+                    p99 / base.max(1.0),
+                    "x",
+                );
+            }
+            c.record_metric(
+                format!("snapshot_readers/reader_snapshots_per_sec/readers/{r}"),
+                reads as f64 / wall.max(1e-9),
+                "snapshots/s",
+            );
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    for r in READERS.into_iter().filter(|&r| r > avail) {
+        c.record_skip(
+            format!("snapshot_readers/writer_commit/readers/{r}"),
+            format!("above threads_available - 1 ({avail})"),
+        );
+    }
+}
+
+criterion_group!(benches, bench_snapshot_readers);
+criterion_main!(benches);

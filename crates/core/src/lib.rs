@@ -62,7 +62,9 @@ pub mod whatif;
 
 pub use audit::{AuditEngine, AuditReport, ProviderAudit};
 pub use default_model::{defaults, DefaultThresholds};
-pub use deltalog::{DeltaLog, Monitor, MonitorAlert, MonitorConfig, Recovery};
+pub use deltalog::{
+    DeltaLog, Monitor, MonitorAlert, MonitorConfig, MonitorView, Recovery, SharedMonitor,
+};
 pub use incremental::IncrementalAuditor;
 pub use intern::SymbolTable;
 pub use par::{
@@ -73,7 +75,7 @@ pub use pop::{
     CompiledPopulation, DeltaError, DeltaOp, DeltaOutcome, PolicyOutcome, PopulationBuilder,
     PopulationDelta,
 };
-pub use ppdb::{AuditLogEntry, Ppdb, PpdbConfig};
+pub use ppdb::{AuditLogEntry, DeltaQueue, Ppdb, PpdbConfig, DEFAULT_DELTA_CAPACITY};
 pub use probability::{census_fraction, census_probability, estimate_probability};
 pub use profile::ProviderProfile;
 pub use sensitivity::{AttributeSensitivities, DatumSensitivity, SensitivityModel};

@@ -45,7 +45,22 @@ pub struct PpdbConfig {
     pub data_table: String,
     /// The INT column identifying the provider in that table.
     pub provider_column: String,
+    /// Maximum pending (un-acked) delta ops before model-changing writes
+    /// are refused with [`DbError::Backpressure`]. Bounds the memory a
+    /// stalled delta consumer can pin and keeps replay-on-recovery time
+    /// proportional to the cap rather than to the outage length.
+    /// Unbounded by default ([`DEFAULT_DELTA_CAPACITY`]) so batch loads
+    /// that never consume deltas keep working; deployments with a live
+    /// consumer opt in via [`PpdbConfig::with_delta_capacity`].
+    pub delta_capacity: usize,
 }
+
+/// Default [`PpdbConfig::delta_capacity`]: effectively unbounded, the
+/// pre-backpressure behaviour. Callers with a delta consumer should set
+/// a real cap (a few times the consumer's batch size) so a wedged
+/// consumer surfaces as typed [`DbError::Backpressure`] instead of
+/// unbounded memory growth.
+pub const DEFAULT_DELTA_CAPACITY: usize = usize::MAX;
 
 impl PpdbConfig {
     /// Convenience constructor.
@@ -53,7 +68,14 @@ impl PpdbConfig {
         PpdbConfig {
             data_table: data_table.into(),
             provider_column: provider_column.into(),
+            delta_capacity: DEFAULT_DELTA_CAPACITY,
         }
+    }
+
+    /// Override the pending-delta backlog cap.
+    pub fn with_delta_capacity(mut self, capacity: usize) -> PpdbConfig {
+        self.delta_capacity = capacity;
+        self
     }
 }
 
@@ -64,19 +86,39 @@ impl PpdbConfig {
 /// ([`Ppdb::register_provider`] / [`Ppdb::insert_provider`],
 /// [`Ppdb::remove_provider`], [`Ppdb::set_preferences`],
 /// [`Ppdb::set_sensitivity`], [`Ppdb::set_threshold`]) also appends the
-/// equivalent [`DeltaOp`] to a pending [`PopulationDelta`] — *after* the
-/// storage transaction commits, so the delta never gets ahead of durable
-/// state. Consumers follow a peek/ack protocol: [`Ppdb::peek_delta`]
-/// exposes the pending ops without consuming them; once they are safely
-/// applied (to an [`crate::IncrementalAuditor`], a
+/// equivalent [`DeltaOp`] to a pending, sequence-tagged [`DeltaQueue`] —
+/// *after* the storage transaction commits, so the delta never gets ahead
+/// of durable state. Consumers follow a peek/ack protocol:
+/// [`Ppdb::peek_delta`] exposes the pending ops without consuming them;
+/// once they are safely applied (to an [`crate::IncrementalAuditor`], a
 /// [`crate::deltalog::DeltaLog`], …) the consumer calls
 /// [`Ppdb::ack_delta`] with the count it handled. A failed apply simply
 /// never acks, so the ops stay pending and replayable — the older
 /// drain-then-apply `take_delta()` lost them on any apply error.
+///
+/// Two robustness properties layer on top of that protocol:
+///
+/// * **Bounded backlog.** The queue holds at most
+///   [`PpdbConfig::delta_capacity`] un-acked ops. A model-changing write
+///   that would exceed the cap is refused with
+///   [`DbError::Backpressure`] *before* its storage transaction begins,
+///   so a full backlog never leaves durable state the delta stream
+///   cannot describe. The caller sheds load (or waits for the consumer)
+///   and retries; nothing is silently dropped.
+/// * **Exactly-once consumption.** Every op carries a monotone sequence
+///   number assigned at push time. A consumer that crashes *between*
+///   applying and acking re-peeks the same ops under the same seqs
+///   ([`Ppdb::peek_delta_seq`]) and skips the prefix it already applied,
+///   then acks with [`Ppdb::ack_delta_through`] — no op is lost (un-acked
+///   ops stay queued) and none is applied twice (seqs never repeat).
+///
+/// The queue itself is a cheaply clonable handle ([`Ppdb::delta_queue`])
+/// so a consumer thread can peek/ack concurrently with the writer; see
+/// [`DeltaQueue`].
 pub struct Ppdb {
     db: Database,
     config: PpdbConfig,
-    pending: PopulationDelta,
+    deltas: DeltaQueue,
 }
 
 const T_POLICY: &str = "_qpv_policy";
@@ -106,6 +148,137 @@ pub struct AuditLogEntry {
     pub p_violation: f64,
     /// `P(Default)`.
     pub p_default: f64,
+}
+
+/// A bounded, sequence-tagged queue of pending [`DeltaOp`]s shared
+/// between the [`Ppdb`] writer and its delta consumers.
+///
+/// The handle is a cheap clone over shared state, so a consumer thread
+/// can hold one and peek/ack while the writer keeps pushing — neither
+/// side blocks on the other beyond a short internal mutex. Sequence
+/// numbers are assigned at push time, start at 0 for the first op pushed
+/// after open, and never repeat; acking is expressed *in seqs*
+/// ([`DeltaQueue::ack_through`]) so it is idempotent: a consumer that
+/// crashed after applying ops `[a, b)` but before acking simply acks
+/// through `b` again after recovery and re-applies nothing.
+///
+/// The queue is in-memory: on process restart it is rebuilt empty and
+/// seqs restart at 0, which is sound because consumers that need
+/// durability (the [`crate::deltalog::DeltaLog`]) persist acked state
+/// themselves, and un-acked in-memory ops are re-derivable from the
+/// store (the storage transaction committed first).
+#[derive(Clone)]
+pub struct DeltaQueue {
+    inner: std::sync::Arc<std::sync::Mutex<DeltaQueueInner>>,
+}
+
+struct DeltaQueueInner {
+    /// Pending ops; `ops.ops()[0]` carries seq `first_seq`.
+    ops: PopulationDelta,
+    /// Seq of the oldest pending op (== next seq to assign when empty).
+    first_seq: u64,
+    /// Refuse pushes at or above this many pending ops.
+    capacity: usize,
+}
+
+impl DeltaQueue {
+    fn new(capacity: usize) -> DeltaQueue {
+        DeltaQueue {
+            inner: std::sync::Arc::new(std::sync::Mutex::new(DeltaQueueInner {
+                ops: PopulationDelta::new(),
+                first_seq: 0,
+                capacity,
+            })),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, DeltaQueueInner> {
+        // A panic while holding this mutex means a poisoned queue; the
+        // guarded state is a plain Vec + counters that are never left
+        // mid-update, so recovering the guard is safe.
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Pending (un-acked) ops.
+    pub fn len(&self) -> usize {
+        self.lock().ops.len()
+    }
+
+    /// Whether nothing is pending.
+    pub fn is_empty(&self) -> bool {
+        self.lock().ops.is_empty()
+    }
+
+    /// The backlog cap pushes are refused at.
+    pub fn capacity(&self) -> usize {
+        self.lock().capacity
+    }
+
+    /// Seq of the oldest pending op (the next seq to assign if empty).
+    pub fn first_seq(&self) -> u64 {
+        self.lock().first_seq
+    }
+
+    /// Seq the *next* pushed op will receive; `next_seq() - first_seq()`
+    /// equals [`DeltaQueue::len`].
+    pub fn next_seq(&self) -> u64 {
+        let inner = self.lock();
+        inner.first_seq + inner.ops.len() as u64
+    }
+
+    /// Snapshot the pending ops: `(first_seq, ops)` where `ops.ops()[i]`
+    /// carries seq `first_seq + i`. The snapshot is a clone — later
+    /// pushes/acks don't mutate it, and applying it never blocks the
+    /// writer.
+    pub fn peek(&self) -> (u64, PopulationDelta) {
+        let inner = self.lock();
+        (inner.first_seq, inner.ops.clone())
+    }
+
+    /// Acknowledge every pending op with seq `< end_seq`. Clamped at both
+    /// ends (acking an already-acked or not-yet-pushed seq is a no-op /
+    /// full drain), so recovery code can always re-ack its high-water
+    /// mark without tracking what the crash interrupted.
+    pub fn ack_through(&self, end_seq: u64) {
+        let mut inner = self.lock();
+        let n = end_seq
+            .saturating_sub(inner.first_seq)
+            .min(inner.ops.len() as u64) as usize;
+        inner.ops.drain_front(n);
+        inner.first_seq += n as u64;
+    }
+
+    /// Acknowledge the first `n` pending ops (clamped to the pending
+    /// length). Prefer [`DeltaQueue::ack_through`] from concurrent
+    /// consumers — a count is relative to whatever the front was at call
+    /// time, a seq is absolute.
+    pub fn ack(&self, n: usize) {
+        let mut inner = self.lock();
+        let n = n.min(inner.ops.len());
+        inner.ops.drain_front(n);
+        inner.first_seq += n as u64;
+    }
+
+    /// Refuse with [`DbError::Backpressure`] if the queue is at capacity.
+    /// The writer calls this *before* starting the storage transaction so
+    /// a full backlog never commits state the delta stream can't record.
+    fn admit(&self) -> DbResult<()> {
+        let inner = self.lock();
+        if inner.ops.len() >= inner.capacity {
+            return Err(DbError::Backpressure {
+                pending: inner.ops.len(),
+                capacity: inner.capacity,
+            });
+        }
+        Ok(())
+    }
+
+    /// Append an op, assigning it the next seq. Only the `Ppdb` writer
+    /// pushes, and only after [`DeltaQueue::admit`] passed and the
+    /// storage txn committed.
+    fn push(&self, op: DeltaOp) {
+        self.lock().ops.push(op);
+    }
 }
 
 impl Ppdb {
@@ -186,11 +359,8 @@ impl Ppdb {
                 .column("p_def", DataType::Float)
                 .build()?,
         )?;
-        Ok(Ppdb {
-            db,
-            config,
-            pending: PopulationDelta::new(),
-        })
+        let deltas = DeltaQueue::new(config.delta_capacity);
+        Ok(Ppdb { db, config, deltas })
     }
 
     /// Attach to a database where [`Ppdb::create`] already ran (e.g. after
@@ -210,11 +380,8 @@ impl Ppdb {
                 return Err(DbError::Catalog(format!("not a PPDB: missing table {t:?}")));
             }
         }
-        Ok(Ppdb {
-            db,
-            config,
-            pending: PopulationDelta::new(),
-        })
+        let deltas = DeltaQueue::new(config.delta_capacity);
+        Ok(Ppdb { db, config, deltas })
     }
 
     /// The underlying database (e.g. for ad-hoc SQL over the data or the
@@ -312,6 +479,9 @@ impl Ppdb {
                 )));
             }
         }
+        // Refuse before the storage txn begins: a full backlog must never
+        // commit state the delta stream cannot record.
+        self.deltas.admit()?;
         self.db.begin()?;
         let result = (|| -> DbResult<()> {
             self.db.insert(&self.config.data_table, data)?;
@@ -350,7 +520,7 @@ impl Ppdb {
         match result {
             Ok(()) => {
                 self.db.commit()?;
-                self.pending.push(DeltaOp::Upsert(profile.clone()));
+                self.deltas.push(DeltaOp::Upsert(profile.clone()));
                 Ok(())
             }
             Err(e) => {
@@ -370,6 +540,9 @@ impl Ppdb {
     /// what physically happens when a provider defaults.
     pub fn remove_provider(&mut self, id: ProviderId) -> DbResult<()> {
         let n = id.0 as i64;
+        // Refuse before the storage txn begins: a full backlog must never
+        // commit state the delta stream cannot record.
+        self.deltas.admit()?;
         self.db.begin()?;
         let result = (|| -> DbResult<()> {
             self.db.execute(&format!(
@@ -385,7 +558,7 @@ impl Ppdb {
         match result {
             Ok(()) => {
                 self.db.commit()?;
-                self.pending.push(DeltaOp::Remove(id));
+                self.deltas.push(DeltaOp::Remove(id));
                 Ok(())
             }
             Err(e) => {
@@ -423,6 +596,9 @@ impl Ppdb {
                 }
             }
         }
+        // Refuse before the storage txn begins: a full backlog must never
+        // commit state the delta stream cannot record.
+        self.deltas.admit()?;
         self.db.begin()?;
         let result = (|| -> DbResult<()> {
             self.db
@@ -449,7 +625,7 @@ impl Ppdb {
         match result {
             Ok(()) => {
                 self.db.commit()?;
-                self.pending.push(DeltaOp::SetAttributePrefs {
+                self.deltas.push(DeltaOp::SetAttributePrefs {
                     id,
                     attribute: attribute.to_string(),
                     tuples,
@@ -494,6 +670,9 @@ impl Ppdb {
                 }
             }
         }
+        // Refuse before the storage txn begins: a full backlog must never
+        // commit state the delta stream cannot record.
+        self.deltas.admit()?;
         self.db.begin()?;
         let result = (|| -> DbResult<()> {
             self.db
@@ -520,7 +699,7 @@ impl Ppdb {
         match result {
             Ok(()) => {
                 self.db.commit()?;
-                self.pending.push(DeltaOp::SetSensitivity {
+                self.deltas.push(DeltaOp::SetSensitivity {
                     id,
                     attribute: attribute.to_string(),
                     sensitivity,
@@ -543,6 +722,9 @@ impl Ppdb {
         if !self.provider_ids()?.contains(&id) {
             return Ok(());
         }
+        // Refuse before the storage txn begins: a full backlog must never
+        // commit state the delta stream cannot record.
+        self.deltas.admit()?;
         self.db.begin()?;
         let result = (|| -> DbResult<()> {
             self.db
@@ -556,7 +738,7 @@ impl Ppdb {
         match result {
             Ok(()) => {
                 self.db.commit()?;
-                self.pending.push(DeltaOp::SetThreshold { id, threshold });
+                self.deltas.push(DeltaOp::SetThreshold { id, threshold });
                 Ok(())
             }
             Err(e) => {
@@ -573,8 +755,23 @@ impl Ppdb {
     /// the ops you handled with [`Ppdb::ack_delta`]. If the apply fails,
     /// don't ack — the ops stay pending and the next peek returns them
     /// again.
-    pub fn peek_delta(&self) -> &PopulationDelta {
-        &self.pending
+    ///
+    /// Returns a snapshot (clone) of the pending ops; consumers that may
+    /// crash between apply and ack should use [`Ppdb::peek_delta_seq`] so
+    /// recovery can tell which ops were already applied.
+    pub fn peek_delta(&self) -> PopulationDelta {
+        self.deltas.peek().1
+    }
+
+    /// Like [`Ppdb::peek_delta`], but also returns the sequence number of
+    /// the first pending op: `(first_seq, ops)` where `ops.ops()[i]`
+    /// carries seq `first_seq + i`. A consumer that records the seq it
+    /// applied through (durably or in its own state) can crash at any
+    /// point, re-peek, skip `applied_through - first_seq` ops, and
+    /// [`Ppdb::ack_delta_through`] — exactly-once apply with no
+    /// coordination beyond the queue.
+    pub fn peek_delta_seq(&self) -> (u64, PopulationDelta) {
+        self.deltas.peek()
     }
 
     /// Acknowledge the first `n` pending ops as applied, dropping them
@@ -582,7 +779,26 @@ impl Ppdb {
     /// `ack_delta(peek_delta().len())` is always safe even if writes
     /// raced in between (the extra ops simply stay pending).
     pub fn ack_delta(&mut self, n: usize) {
-        self.pending.drain_front(n.min(self.pending.len()));
+        self.deltas.ack(n);
+    }
+
+    /// Acknowledge every pending op with seq `< end_seq` (idempotent;
+    /// see [`DeltaQueue::ack_through`]).
+    pub fn ack_delta_through(&mut self, end_seq: u64) {
+        self.deltas.ack_through(end_seq);
+    }
+
+    /// Pending (un-acked) delta ops. Writes refuse with
+    /// [`DbError::Backpressure`] once this reaches
+    /// [`PpdbConfig::delta_capacity`].
+    pub fn delta_backlog_len(&self) -> usize {
+        self.deltas.len()
+    }
+
+    /// A clonable handle to the pending-delta queue, for consumer threads
+    /// that peek/ack concurrently with this writer.
+    pub fn delta_queue(&self) -> DeltaQueue {
+        self.deltas.clone()
     }
 
     /// All provider ids with data stored, in storage order.
@@ -1186,7 +1402,7 @@ mod tests {
         ppdb.set_threshold(ProviderId(999), 1).unwrap(); // unknown: no-op
         ppdb.remove_provider(ProviderId(2)).unwrap();
 
-        let delta = ppdb.peek_delta().clone();
+        let delta = ppdb.peek_delta();
         assert_eq!(delta.len(), 5, "unknown-provider op must not be recorded");
         live.apply_delta(&delta).unwrap();
         ppdb.ack_delta(delta.len());
@@ -1241,7 +1457,7 @@ mod tests {
         // Committed writes accumulate as pending ops.
         ppdb.set_threshold(ProviderId(1), 7).unwrap();
         ppdb.remove_provider(ProviderId(2)).unwrap();
-        let before = ppdb.peek_delta().clone();
+        let before = ppdb.peek_delta();
         assert_eq!(before.len(), 2);
 
         // An auditor over a duplicate-occurrence population refuses the
@@ -1249,16 +1465,16 @@ mod tests {
         let mut dup = base.clone();
         dup.push(base[0].clone());
         let mut broken = IncrementalAuditor::new(dup, attrs.clone(), &weights, policy.clone());
-        assert!(broken.apply_delta(ppdb.peek_delta()).is_err());
+        assert!(broken.apply_delta(&ppdb.peek_delta()).is_err());
         assert_eq!(
             ppdb.peek_delta(),
-            &before,
+            before,
             "failed apply must leave the pending delta untouched"
         );
 
         // A healthy auditor replays the same ops; only then do we ack.
         let mut live = IncrementalAuditor::new(base, attrs, &weights, policy);
-        live.apply_delta(ppdb.peek_delta()).unwrap();
+        live.apply_delta(&ppdb.peek_delta()).unwrap();
         let n = ppdb.peek_delta().len();
         ppdb.ack_delta(n);
         assert!(ppdb.peek_delta().is_empty());
@@ -1369,5 +1585,128 @@ mod tests {
         assert_eq!(rs.len(), 2);
         assert_eq!(rs.rows[0].values, vec![Value::Int(1), Value::Int(50)]);
         assert_eq!(rs.rows[1].values, vec![Value::Int(2), Value::Int(200)]);
+    }
+
+    /// Satellite regression: a consumer that stalls forever must not let
+    /// the pending backlog grow without bound. Writes hit the cap, fail
+    /// with the *typed* backpressure error (before any storage txn
+    /// begins), and resume cleanly once the consumer drains.
+    #[test]
+    fn stalled_consumer_backpressure_then_recovery() {
+        use crate::incremental::IncrementalAuditor;
+        let mut ppdb = Ppdb::create(
+            Database::in_memory(),
+            PpdbConfig::new("people", "provider_id").with_delta_capacity(3),
+            data_schema(),
+        )
+        .unwrap();
+
+        // Consumer is stalled: nobody acks. The cap admits exactly 3 ops.
+        for id in 1..=3 {
+            ppdb.register_provider(&sample_profile(id, 100), data_row(id))
+                .unwrap();
+        }
+        assert_eq!(ppdb.delta_backlog_len(), 3);
+
+        // The 4th write is refused with the typed error...
+        let err = ppdb
+            .register_provider(&sample_profile(4, 100), data_row(4))
+            .unwrap_err();
+        match err {
+            DbError::Backpressure { pending, capacity } => {
+                assert_eq!((pending, capacity), (3, 3));
+            }
+            other => panic!("expected Backpressure, got {other:?}"),
+        }
+        // ...and refused *before* the storage txn: no partial row landed,
+        // and the store still matches the 3 recorded deltas exactly.
+        assert_eq!(ppdb.provider_ids().unwrap().len(), 3);
+        assert_eq!(ppdb.delta_backlog_len(), 3);
+
+        // Repeated attempts stay refused — backpressure is stable, not
+        // one-shot.
+        assert!(matches!(
+            ppdb.set_threshold(ProviderId(1), 7).unwrap_err(),
+            DbError::Backpressure { .. }
+        ));
+
+        // Consumer wakes up, applies, acks: writes flow again and the
+        // delta stream is gapless (4 total ops across the stall).
+        let (first_seq, delta) = ppdb.peek_delta_seq();
+        assert_eq!(first_seq, 0);
+        let mut live = IncrementalAuditor::from_population(
+            CompiledPopulation::from_profiles(&[]),
+            ppdb.attributes().unwrap(),
+            &AttributeSensitivities::new(),
+            HousePolicy::new("people"),
+        );
+        live.apply_delta(&delta).unwrap();
+        ppdb.ack_delta_through(first_seq + delta.len() as u64);
+        assert_eq!(ppdb.delta_backlog_len(), 0);
+
+        ppdb.register_provider(&sample_profile(4, 100), data_row(4))
+            .unwrap();
+        let (seq, resumed) = ppdb.peek_delta_seq();
+        assert_eq!(seq, 3, "seqs continue across the stall with no gap");
+        live.apply_delta(&resumed).unwrap();
+        assert_eq!(live.outcome().population, 4);
+    }
+
+    /// Seq-tagged acks are idempotent and absolute: a consumer that
+    /// crashed after applying but before acking re-acks the same seq
+    /// range and nothing is lost or double-applied, even with writes
+    /// racing in between.
+    #[test]
+    fn ack_through_is_idempotent_under_interleaved_writes() {
+        let mut ppdb = fresh();
+        ppdb.register_provider(&sample_profile(1, 100), data_row(1))
+            .unwrap();
+        ppdb.register_provider(&sample_profile(2, 100), data_row(2))
+            .unwrap();
+        let backlog = ppdb.delta_backlog_len();
+
+        let (base, first) = ppdb.peek_delta_seq();
+        // Writer races a new op in after the peek.
+        ppdb.set_threshold(ProviderId(1), 9).unwrap();
+
+        // Consumer applied `first` then crashed pre-ack; recovery re-acks
+        // the absolute range — twice, to prove idempotence.
+        let applied_through = base + first.len() as u64;
+        ppdb.ack_delta_through(applied_through);
+        ppdb.ack_delta_through(applied_through);
+        // Only the racing op is still pending, under its original seq.
+        let (seq, rest) = ppdb.peek_delta_seq();
+        assert_eq!(seq, base + backlog as u64);
+        assert_eq!(rest.len(), 1);
+        assert!(matches!(
+            rest.ops()[0],
+            DeltaOp::SetThreshold {
+                id: ProviderId(1),
+                threshold: 9
+            }
+        ));
+        // Acking a stale (already-acked) boundary is a no-op.
+        ppdb.ack_delta_through(base);
+        assert_eq!(ppdb.delta_backlog_len(), 1);
+    }
+
+    /// The queue handle is shared state: a consumer thread peeking and
+    /// acking through its own [`DeltaQueue`] clone drains the writer's
+    /// backlog.
+    #[test]
+    fn delta_queue_handle_shares_state_across_threads() {
+        let mut ppdb = fresh();
+        ppdb.register_provider(&sample_profile(1, 100), data_row(1))
+            .unwrap();
+        let queue = ppdb.delta_queue();
+        let consumer = std::thread::spawn(move || {
+            let (base, ops) = queue.peek();
+            queue.ack_through(base + ops.len() as u64);
+            ops.len()
+        });
+        let drained = consumer.join().unwrap();
+        assert!(drained > 0);
+        assert_eq!(ppdb.delta_backlog_len(), 0);
+        assert_eq!(ppdb.delta_queue().next_seq(), drained as u64);
     }
 }

@@ -7,12 +7,13 @@
 //! [`crate::db::SharedDatabase`]), which keeps eviction and borrowing
 //! trivially sound.
 
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
 
 use crate::disk::PageStore;
 use crate::error::{DbError, DbResult};
-use crate::fault::{retry_transient, RetryPolicy};
+use crate::fault::{retry_transient_with, RetryPolicy};
 use crate::page::{Page, PAGE_SIZE};
+use crate::snapshot::VersionStore;
 
 /// Cache statistics, useful for the storage benchmarks.
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
@@ -42,6 +43,18 @@ pub struct BufferPool {
     /// Bounded retry for transient store faults. Page reads, writes, and
     /// syncs are idempotent, so retrying any of them is always safe.
     retry: RetryPolicy,
+    /// Whether retry backoffs may sleep inline. [`crate::db::SharedDatabase`]
+    /// turns this off so no thread ever sleeps while holding its mutex;
+    /// backoff then happens at that layer, outside the lock.
+    sleep_on_retry: bool,
+    /// Pages mutated since the last published commit boundary, in sorted
+    /// order so version-store publishes walk a deterministic op stream.
+    /// Only populated while snapshot tracking is on ([`BufferPool::
+    /// track_mutations`]); empty otherwise, at zero cost to the write path
+    /// beyond one branch.
+    batch: BTreeSet<u64>,
+    /// Whether mutations are being recorded for snapshot publication.
+    tracking: bool,
 }
 
 impl BufferPool {
@@ -60,12 +73,51 @@ impl BufferPool {
             next_page_id,
             stats: PoolStats::default(),
             retry: RetryPolicy::none(),
+            sleep_on_retry: true,
+            batch: BTreeSet::new(),
+            tracking: false,
         }
     }
 
     /// Set the bounded-retry policy applied to transient store faults.
     pub fn set_retry_policy(&mut self, retry: RetryPolicy) {
         self.retry = retry;
+    }
+
+    /// Forbid sleeping inside retry loops (used when the pool lives under
+    /// a shared lock; see [`crate::db::SharedDatabase`]). Transient faults
+    /// are still retried, back to back.
+    pub fn defer_retry_sleeps(&mut self) {
+        self.sleep_on_retry = false;
+    }
+
+    /// Start recording mutated page ids for snapshot publication
+    /// ([`BufferPool::publish_batch`]). Mutations made *before* tracking
+    /// starts are not recorded — the version store seeds itself with the
+    /// full committed state when snapshots are first enabled.
+    pub fn track_mutations(&mut self) {
+        self.tracking = true;
+    }
+
+    /// Publish every page mutated since the last boundary into `store` as
+    /// the committed state at `lsn`, clearing the batch.
+    ///
+    /// Evicted batch pages are faulted back in to copy their bytes, so
+    /// the store's I/O op stream stays deterministic (the batch iterates
+    /// in ascending page-id order).
+    pub fn publish_batch(&mut self, store: &VersionStore, lsn: u64) -> DbResult<()> {
+        let batch = std::mem::take(&mut self.batch);
+        for page_id in batch {
+            self.fault_in(page_id)?;
+            let frame = self.frames.get(&page_id).expect("just faulted in");
+            store.publish_page(page_id, lsn, frame.page.as_bytes())?;
+        }
+        Ok(())
+    }
+
+    /// Ids of pages mutated since the last boundary (tests/diagnostics).
+    pub fn batch_len(&self) -> usize {
+        self.batch.len()
     }
 
     /// Allocate a fresh page and return its id. The page is resident and
@@ -78,7 +130,13 @@ impl BufferPool {
         // Materialise the page in the store immediately so that page-id
         // space is dense on disk even if this page is evicted clean later.
         let retry = self.retry;
-        retry_transient(retry, || self.store.write_page(page_id, page.as_bytes()))?;
+        let sleep = self.sleep_on_retry;
+        retry_transient_with(retry, sleep, || {
+            self.store.write_page(page_id, page.as_bytes())
+        })?;
+        if self.tracking {
+            self.batch.insert(page_id);
+        }
         self.clock += 1;
         self.frames.insert(
             page_id,
@@ -99,6 +157,9 @@ impl BufferPool {
     /// Borrow a page mutably, faulting it in if needed.
     pub fn page_mut(&mut self, page_id: u64) -> DbResult<&mut Page> {
         self.fault_in(page_id)?;
+        if self.tracking {
+            self.batch.insert(page_id);
+        }
         Ok(&mut self.frames.get_mut(&page_id).expect("just faulted in").page)
     }
 
@@ -116,12 +177,15 @@ impl BufferPool {
             .collect();
         dirty.sort_unstable();
         let retry = self.retry;
+        let sleep = self.sleep_on_retry;
         for id in dirty {
             let frame = self.frames.get_mut(&id).expect("id collected above");
-            retry_transient(retry, || self.store.write_page(id, frame.page.as_bytes()))?;
+            retry_transient_with(retry, sleep, || {
+                self.store.write_page(id, frame.page.as_bytes())
+            })?;
             frame.page.mark_clean();
         }
-        retry_transient(retry, || self.store.sync())
+        retry_transient_with(retry, sleep, || self.store.sync())
     }
 
     /// Total pages ever allocated (resident or not).
@@ -155,7 +219,8 @@ impl BufferPool {
         self.make_room()?;
         let mut buf = [0u8; PAGE_SIZE];
         let retry = self.retry;
-        retry_transient(retry, || self.store.read_page(page_id, &mut buf))?;
+        let sleep = self.sleep_on_retry;
+        retry_transient_with(retry, sleep, || self.store.read_page(page_id, &mut buf))?;
         let page = Page::from_bytes(buf)?;
         self.frames.insert(
             page_id,
@@ -181,7 +246,8 @@ impl BufferPool {
         let frame = self.frames.remove(&victim).expect("victim resident");
         if frame.page.is_dirty() {
             let retry = self.retry;
-            retry_transient(retry, || {
+            let sleep = self.sleep_on_retry;
+            retry_transient_with(retry, sleep, || {
                 self.store.write_page(victim, frame.page.as_bytes())
             })?;
             self.stats.evictions += 1;

@@ -43,6 +43,24 @@ pub enum DbError {
     Eval(String),
     /// Transaction misuse (commit/abort without begin, nested begin).
     Txn(String),
+    /// A snapshot reader's page versions were reclaimed while it held the
+    /// snapshot open. The reader must drop its handle and begin a fresh
+    /// snapshot; the data itself is intact.
+    SnapshotTooOld {
+        /// The LSN the reader captured at `begin_snapshot`.
+        snapshot_lsn: u64,
+        /// The oldest LSN the version store still retains in full.
+        oldest_retained_lsn: u64,
+    },
+    /// The delta backlog is at capacity: the producer must wait for the
+    /// consumer to drain (ack) before issuing more writes. The operation
+    /// was *not* performed — no storage mutation happened.
+    Backpressure {
+        /// Entries currently queued.
+        pending: usize,
+        /// The configured backlog cap.
+        capacity: usize,
+    },
 }
 
 impl fmt::Display for DbError {
@@ -64,6 +82,17 @@ impl fmt::Display for DbError {
             DbError::SqlBind(msg) => write!(f, "sql bind error: {msg}"),
             DbError::Eval(msg) => write!(f, "evaluation error: {msg}"),
             DbError::Txn(msg) => write!(f, "transaction error: {msg}"),
+            DbError::SnapshotTooOld {
+                snapshot_lsn,
+                oldest_retained_lsn,
+            } => write!(
+                f,
+                "snapshot too old: lsn {snapshot_lsn} reclaimed (oldest retained {oldest_retained_lsn}); begin a new snapshot"
+            ),
+            DbError::Backpressure { pending, capacity } => write!(
+                f,
+                "backpressure: delta backlog full ({pending}/{capacity}); consumer must ack before more writes"
+            ),
         }
     }
 }
@@ -119,6 +148,25 @@ mod tests {
         assert!(DbError::Transient("x".into())
             .to_string()
             .contains("transient"));
+    }
+
+    #[test]
+    fn snapshot_and_backpressure_are_typed_and_permanent() {
+        // Neither clears on a blind retry of the same call: the reader must
+        // re-begin, the producer must wait for acks. `retry_transient` must
+        // not spin on them.
+        let e = DbError::SnapshotTooOld {
+            snapshot_lsn: 3,
+            oldest_retained_lsn: 9,
+        };
+        assert!(!e.is_transient());
+        assert!(e.to_string().contains("snapshot too old"));
+        let e = DbError::Backpressure {
+            pending: 128,
+            capacity: 128,
+        };
+        assert!(!e.is_transient());
+        assert!(e.to_string().contains("128/128"));
     }
 
     #[test]

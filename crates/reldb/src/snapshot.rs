@@ -1,0 +1,592 @@
+//! LSN-snapshot readers: lock-free reads while the writer commits.
+//!
+//! This module is the reader half of the engine's concurrency model (the
+//! decentdb WAL design, SNIPPETS.md Snippet 1): the writer serialises
+//! behind [`crate::db::SharedDatabase`]'s mutex, and each reader captures
+//! `wal_end_lsn` at [`begin`](crate::db::SharedDatabase::begin_snapshot)
+//! and reads page versions `<= snapshot_lsn` without ever taking the
+//! writer's lock.
+//!
+//! ## The version-visibility index
+//!
+//! [`VersionStore`] maps every page to a chain of committed images, each
+//! stamped with the LSN of the commit boundary that made it current:
+//!
+//! ```text
+//! page 7: [(lsn 0, img), (lsn 4, img), (lsn 9, img)]
+//!          └─ visible at S ∈ [0,3]  ─┘└─ S ∈ [4,8] ─┘└─ S ≥ 9
+//! ```
+//!
+//! The writer publishes into the index at every commit boundary (see
+//! `BufferPool::publish_batch`): for each page dirtied since the previous
+//! boundary, the now-committed image is appended to that page's chain.
+//! Pages dirtied by an *open* transaction are not published until its
+//! `COMMIT` syncs, so the index only ever contains committed states — a
+//! reader can never observe a torn or uncommitted page.
+//!
+//! A reader at snapshot LSN `S` resolves page `P` to the newest chain
+//! entry with `lsn_from <= S`. Because the chain entry a snapshot needs is
+//! immutable (`Arc`-shared) once published, reads require only a short
+//! index lock — never the writer's big lock — and the writer never waits
+//! for readers.
+//!
+//! ## Reclamation and `SnapshotTooOld`
+//!
+//! History is pruned after every publish: entries superseded by a newer
+//! image at or below the oldest active snapshot serve no one and are
+//! dropped. If retained *history* still exceeds
+//! [`VersionStoreConfig::max_retained_bytes`] (a stalled reader pinning
+//! old versions while the writer churns), the store advances its
+//! retention floor to the current boundary and reclaims everything below
+//! it. Readers whose snapshot predates the floor get a typed
+//! [`DbError::SnapshotTooOld`] on their next read — never a panic and
+//! never a silently stale answer — and recover by beginning a fresh
+//! snapshot.
+//!
+//! ## Fault injection
+//!
+//! Every new I/O point routes through the shared failpoint lattice
+//! ([`FaultOp::VersionPublish`], [`FaultOp::VersionRead`],
+//! [`FaultOp::VersionPrune`]), keeping torture plans total over the
+//! concurrent path. A fault on the *writer-side* ops (publish/prune)
+//! wedges the store — subsequent snapshot operations fail loudly with the
+//! injected error — but never fails the writer's own commit: by the time
+//! the store publishes, the commit is already durable, and un-committing
+//! it to satisfy an in-memory cache would invert the durability contract.
+
+use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::catalog::Catalog;
+use crate::error::{DbError, DbResult};
+use crate::fault::{FaultDecision, FaultInjector, FaultOp};
+use crate::page::{Page, PAGE_SIZE};
+use crate::row::{Row, RowId};
+use crate::schema::Schema;
+
+/// One committed 4 KiB page image.
+pub type PageImage = [u8; PAGE_SIZE];
+
+/// Tuning for the version store.
+#[derive(Debug, Clone, Copy)]
+pub struct VersionStoreConfig {
+    /// Cap on retained *history* bytes (superseded images kept alive only
+    /// for open snapshots). When exceeded, the retention floor advances
+    /// and snapshots below it are reclaimed ([`DbError::SnapshotTooOld`]).
+    /// The latest committed image of each page is the reader working set
+    /// and is never reclaimed.
+    pub max_retained_bytes: usize,
+}
+
+impl Default for VersionStoreConfig {
+    fn default() -> VersionStoreConfig {
+        VersionStoreConfig {
+            // 16k historical pages (64 MiB): a deep backlog before any
+            // reader is sacrificed.
+            max_retained_bytes: 64 << 20,
+        }
+    }
+}
+
+struct StoreInner {
+    /// Per-page committed image chains, entries sorted by ascending
+    /// `lsn_from`. The last entry is the current committed image.
+    chains: HashMap<u64, Vec<(u64, Arc<PageImage>)>>,
+    /// Catalog versions, sorted by ascending `lsn_from` (DDL and heap
+    /// growth change table metadata, which must be read at the snapshot's
+    /// boundary just like pages).
+    catalogs: Vec<(u64, Arc<Catalog>)>,
+    /// Newest published commit boundary.
+    current_lsn: u64,
+    /// Snapshots at or above this LSN are fully servable; below it,
+    /// history has been reclaimed.
+    oldest_retained_lsn: u64,
+    /// Open snapshots: LSN → handle count.
+    active: BTreeMap<u64, usize>,
+    /// Bytes held by superseded (non-latest) chain entries.
+    history_bytes: usize,
+    /// A writer-side fault (publish/prune) wedged the store: all snapshot
+    /// ops fail with this error's kind from now on.
+    wedged: Option<String>,
+}
+
+/// The version-visibility index shared by the writer and all snapshot
+/// readers. Cheap to clone (`Arc` inside).
+#[derive(Clone)]
+pub struct VersionStore {
+    inner: Arc<Mutex<StoreInner>>,
+    injector: Option<FaultInjector>,
+    config: VersionStoreConfig,
+}
+
+impl VersionStore {
+    /// An empty store whose first boundary is `base_lsn`. The caller
+    /// (`Database::ensure_snapshots`) must seed every live page at
+    /// `base_lsn` before handing out readers.
+    pub fn new(
+        base_lsn: u64,
+        config: VersionStoreConfig,
+        injector: Option<FaultInjector>,
+    ) -> VersionStore {
+        VersionStore {
+            inner: Arc::new(Mutex::new(StoreInner {
+                chains: HashMap::new(),
+                catalogs: Vec::new(),
+                current_lsn: base_lsn,
+                oldest_retained_lsn: base_lsn,
+                active: BTreeMap::new(),
+                history_bytes: 0,
+                wedged: None,
+            })),
+            injector,
+            config,
+        }
+    }
+
+    fn check(&self, op: FaultOp) -> DbResult<()> {
+        if let Some(injector) = &self.injector {
+            match injector.check(op, 0) {
+                FaultDecision::Proceed => {}
+                FaultDecision::Torn { .. } => unreachable!("version ops carry no medium bytes"),
+                FaultDecision::Fail(e) => return Err(e),
+            }
+        }
+        Ok(())
+    }
+
+    /// Mark the store broken by a writer-side failure: every subsequent
+    /// snapshot operation fails loudly with the recorded cause. Used by
+    /// the writer when a publish batch dies partway (e.g. a page fault-in
+    /// error) — a half-published boundary must never be readable.
+    pub(crate) fn wedge(&self, why: &DbError) {
+        self.inner.lock().wedged = Some(why.to_string());
+    }
+
+    fn wedged_error(msg: &str) -> DbError {
+        DbError::Io(std::io::Error::other(format!(
+            "version store wedged by injected fault: {msg}"
+        )))
+    }
+
+    /// Append `image` as page `page_id`'s committed state as of `lsn`.
+    /// Identical consecutive images are deduplicated (an aborted
+    /// transaction republishes the bytes it restored).
+    ///
+    /// Writer-side: a fault here wedges the store (reads fail loudly) but
+    /// must not fail the already-durable commit, so the caller swallows
+    /// the error after wedging.
+    pub(crate) fn publish_page(&self, page_id: u64, lsn: u64, image: &PageImage) -> DbResult<()> {
+        if let Err(e) = self.check(FaultOp::VersionPublish) {
+            self.wedge(&e);
+            return Err(e);
+        }
+        let mut inner = self.inner.lock();
+        let chain = inner.chains.entry(page_id).or_default();
+        if let Some((_, last)) = chain.last() {
+            if last.as_ref() == image {
+                return Ok(());
+            }
+        }
+        let superseded = !chain.is_empty();
+        chain.push((lsn, Arc::new(*image)));
+        if superseded {
+            // The previous latest entry becomes history.
+            inner.history_bytes += PAGE_SIZE;
+        }
+        Ok(())
+    }
+
+    /// Publish the catalog as of boundary `lsn` and advance `current_lsn`.
+    pub(crate) fn publish_catalog(&self, lsn: u64, catalog: Catalog) {
+        let mut inner = self.inner.lock();
+        let replace = match inner.catalogs.last() {
+            // Same boundary republished (e.g. seed then first commit at
+            // the same LSN after a no-op batch): keep the newest.
+            Some((last_lsn, _)) => *last_lsn == lsn,
+            None => false,
+        };
+        if replace {
+            inner.catalogs.pop();
+        }
+        inner.catalogs.push((lsn, Arc::new(catalog)));
+        inner.current_lsn = inner.current_lsn.max(lsn);
+    }
+
+    /// Drop history no open snapshot can ever read, and — if retained
+    /// history still exceeds the configured cap — advance the retention
+    /// floor over the oldest snapshots (they get [`DbError::SnapshotTooOld`]
+    /// on their next read).
+    pub(crate) fn prune(&self) {
+        let mut inner = self.inner.lock();
+        if inner.wedged.is_some() {
+            return;
+        }
+        let floor = inner
+            .active
+            .keys()
+            .next()
+            .copied()
+            .unwrap_or(inner.current_lsn)
+            .min(inner.current_lsn)
+            .max(inner.oldest_retained_lsn);
+        Self::prune_below(&mut inner, floor);
+        if inner.history_bytes > self.config.max_retained_bytes {
+            // A stalled reader is pinning more history than the budget
+            // allows: reclaim up to the current boundary and doom the
+            // stragglers to a typed retry. This is the one prune that
+            // changes reader-visible behaviour, so it is a failpoint.
+            drop(inner);
+            if let Err(e) = self.check(FaultOp::VersionPrune) {
+                self.wedge(&e);
+                return;
+            }
+            let mut inner = self.inner.lock();
+            let current = inner.current_lsn;
+            inner.oldest_retained_lsn = current;
+            Self::prune_below(&mut inner, current);
+        }
+    }
+
+    /// Remove chain entries superseded at or below `floor` (keeping, per
+    /// chain, the newest entry `<= floor` — it serves `floor` itself) and
+    /// catalog versions likewise.
+    fn prune_below(inner: &mut StoreInner, floor: u64) {
+        let mut freed = 0usize;
+        for chain in inner.chains.values_mut() {
+            // Index of the newest entry visible at `floor`.
+            let keep_from = match chain.iter().rposition(|(lsn, _)| *lsn <= floor) {
+                Some(i) => i,
+                None => continue,
+            };
+            freed += keep_from * PAGE_SIZE;
+            chain.drain(..keep_from);
+        }
+        if let Some(i) = inner.catalogs.iter().rposition(|(lsn, _)| *lsn <= floor) {
+            inner.catalogs.drain(..i);
+        }
+        inner.history_bytes = inner.history_bytes.saturating_sub(freed);
+        inner.oldest_retained_lsn = inner.oldest_retained_lsn.max(floor.min(inner.current_lsn));
+    }
+
+    /// Register an open snapshot at `lsn` (refcounted).
+    pub(crate) fn register(&self, lsn: u64) {
+        *self.inner.lock().active.entry(lsn).or_insert(0) += 1;
+    }
+
+    /// Release one handle on snapshot `lsn`, then reclaim freed history.
+    pub(crate) fn release(&self, lsn: u64) {
+        {
+            let mut inner = self.inner.lock();
+            if let Some(count) = inner.active.get_mut(&lsn) {
+                *count -= 1;
+                if *count == 0 {
+                    inner.active.remove(&lsn);
+                }
+            }
+        }
+        self.prune();
+    }
+
+    /// The committed image of `page_id` visible at snapshot `lsn`.
+    pub fn read_page(&self, page_id: u64, lsn: u64) -> DbResult<Arc<PageImage>> {
+        self.check(FaultOp::VersionRead)?;
+        let inner = self.inner.lock();
+        if let Some(msg) = &inner.wedged {
+            return Err(Self::wedged_error(msg));
+        }
+        if lsn < inner.oldest_retained_lsn {
+            return Err(DbError::SnapshotTooOld {
+                snapshot_lsn: lsn,
+                oldest_retained_lsn: inner.oldest_retained_lsn,
+            });
+        }
+        let chain = inner.chains.get(&page_id).ok_or_else(|| {
+            DbError::Corruption(format!("page {page_id} has no version chain at lsn {lsn}"))
+        })?;
+        match chain.iter().rev().find(|(from, _)| *from <= lsn) {
+            Some((_, image)) => Ok(Arc::clone(image)),
+            None => Err(DbError::Corruption(format!(
+                "page {page_id}: no version visible at lsn {lsn} (chain starts at {})",
+                chain.first().map(|(l, _)| *l).unwrap_or(0)
+            ))),
+        }
+    }
+
+    /// The catalog visible at snapshot `lsn`.
+    pub fn read_catalog(&self, lsn: u64) -> DbResult<Arc<Catalog>> {
+        let inner = self.inner.lock();
+        if let Some(msg) = &inner.wedged {
+            return Err(Self::wedged_error(msg));
+        }
+        if lsn < inner.oldest_retained_lsn {
+            return Err(DbError::SnapshotTooOld {
+                snapshot_lsn: lsn,
+                oldest_retained_lsn: inner.oldest_retained_lsn,
+            });
+        }
+        inner
+            .catalogs
+            .iter()
+            .rev()
+            .find(|(from, _)| *from <= lsn)
+            .map(|(_, c)| Arc::clone(c))
+            .ok_or_else(|| DbError::Corruption(format!("no catalog version visible at lsn {lsn}")))
+    }
+
+    /// Newest published commit boundary.
+    pub fn current_lsn(&self) -> u64 {
+        self.inner.lock().current_lsn
+    }
+
+    /// Snapshots below this LSN have been reclaimed.
+    pub fn oldest_retained_lsn(&self) -> u64 {
+        self.inner.lock().oldest_retained_lsn
+    }
+
+    /// Bytes held by superseded images (the reclaimable history).
+    pub fn history_bytes(&self) -> usize {
+        self.inner.lock().history_bytes
+    }
+
+    /// Total bytes resident in the index (latest images + history).
+    pub fn resident_bytes(&self) -> usize {
+        let inner = self.inner.lock();
+        inner
+            .chains
+            .values()
+            .map(|c| c.len() * PAGE_SIZE)
+            .sum::<usize>()
+    }
+
+    /// Number of open snapshot handles.
+    pub fn active_snapshots(&self) -> usize {
+        self.inner.lock().active.values().sum()
+    }
+}
+
+impl std::fmt::Debug for VersionStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let inner = self.inner.lock();
+        f.debug_struct("VersionStore")
+            .field("current_lsn", &inner.current_lsn)
+            .field("oldest_retained_lsn", &inner.oldest_retained_lsn)
+            .field("pages", &inner.chains.len())
+            .field("history_bytes", &inner.history_bytes)
+            .field("active", &inner.active)
+            .field("wedged", &inner.wedged)
+            .finish()
+    }
+}
+
+/// A read-only view of the database at one commit boundary.
+///
+/// Obtained from [`crate::db::SharedDatabase::begin_snapshot`]; holds no
+/// lock, so any number of readers scan concurrently with the writer. All
+/// reads resolve against the version chains at `snapshot_lsn`; if the
+/// store reclaims that history (see [`VersionStoreConfig`]) every
+/// subsequent read returns [`DbError::SnapshotTooOld`] and the caller
+/// retries with a fresh snapshot.
+pub struct SnapshotReader {
+    store: VersionStore,
+    snapshot_lsn: u64,
+    catalog: Arc<Catalog>,
+}
+
+impl SnapshotReader {
+    /// Capture a reader over `store` at boundary `snapshot_lsn`.
+    pub(crate) fn new(store: VersionStore, snapshot_lsn: u64) -> DbResult<SnapshotReader> {
+        store.register(snapshot_lsn);
+        let catalog = match store.read_catalog(snapshot_lsn) {
+            Ok(c) => c,
+            Err(e) => {
+                store.release(snapshot_lsn);
+                return Err(e);
+            }
+        };
+        Ok(SnapshotReader {
+            store,
+            snapshot_lsn,
+            catalog,
+        })
+    }
+
+    /// The commit boundary this snapshot observes.
+    pub fn lsn(&self) -> u64 {
+        self.snapshot_lsn
+    }
+
+    /// The catalog as of the snapshot.
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// The schema of `table` as of the snapshot.
+    pub fn schema(&self, table: &str) -> DbResult<&Schema> {
+        Ok(&self.catalog.require_table(table)?.schema)
+    }
+
+    fn page(&self, page_id: u64) -> DbResult<Page> {
+        let image = self.store.read_page(page_id, self.snapshot_lsn)?;
+        Page::from_bytes(*image)
+    }
+
+    /// Scan every live row of `table` in heap order, exactly as the
+    /// writer's own scan would have returned it at the snapshot boundary.
+    pub fn scan(&self, table: &str) -> DbResult<Vec<(RowId, Row)>> {
+        let meta = self.catalog.require_table(table)?;
+        let mut out = Vec::new();
+        let mut next = Some(meta.heap.first_page());
+        while let Some(page_id) = next {
+            let page = self.page(page_id)?;
+            for slot in 0..page.slot_count() {
+                if let Some(bytes) = page.get(slot) {
+                    out.push((
+                        RowId::new(page_id, slot),
+                        crate::encoding::decode_row(bytes)?,
+                    ));
+                }
+            }
+            next = page.next_page();
+        }
+        Ok(out)
+    }
+
+    /// Fetch one row by address, as of the snapshot.
+    pub fn get(&self, table: &str, rid: RowId) -> DbResult<Row> {
+        // Address validity is judged against the snapshot's heap, not the
+        // live one: a row the writer has since deleted is still here.
+        self.catalog.require_table(table)?;
+        let page = self.page(rid.page)?;
+        match page.get(rid.slot) {
+            Some(bytes) => crate::encoding::decode_row(bytes),
+            None => Err(DbError::RecordNotFound {
+                page: rid.page,
+                slot: rid.slot,
+            }),
+        }
+    }
+
+    /// Count live rows of `table` at the snapshot.
+    pub fn count(&self, table: &str) -> DbResult<usize> {
+        Ok(self.scan(table)?.len())
+    }
+}
+
+impl Drop for SnapshotReader {
+    fn drop(&mut self) {
+        self.store.release(self.snapshot_lsn);
+    }
+}
+
+impl std::fmt::Debug for SnapshotReader {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SnapshotReader")
+            .field("snapshot_lsn", &self.snapshot_lsn)
+            .field("tables", &self.catalog.tables().len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn image(fill: u8) -> PageImage {
+        let page = Page::new(0);
+        let mut bytes = *page.as_bytes();
+        // Scribble a recognisable byte into the payload area.
+        bytes[PAGE_SIZE - 1] = fill;
+        bytes
+    }
+
+    #[test]
+    fn visibility_resolves_to_newest_entry_at_or_below_snapshot() {
+        let store = VersionStore::new(0, VersionStoreConfig::default(), None);
+        store.publish_page(0, 0, &image(10)).unwrap();
+        store.publish_catalog(0, Catalog::new());
+        store.publish_page(0, 4, &image(40)).unwrap();
+        store.publish_catalog(4, Catalog::new());
+        store.publish_page(0, 9, &image(90)).unwrap();
+        store.publish_catalog(9, Catalog::new());
+        for (lsn, want) in [(0, 10), (3, 10), (4, 40), (8, 40), (9, 90), (12, 90)] {
+            let img = store.read_page(0, lsn).unwrap();
+            assert_eq!(img[PAGE_SIZE - 1], want, "lsn {lsn}");
+        }
+    }
+
+    #[test]
+    fn identical_republish_is_deduplicated() {
+        let store = VersionStore::new(0, VersionStoreConfig::default(), None);
+        store.publish_page(0, 0, &image(1)).unwrap();
+        store.publish_page(0, 3, &image(1)).unwrap(); // abort restored bytes
+        assert_eq!(store.resident_bytes(), PAGE_SIZE);
+        assert_eq!(store.history_bytes(), 0);
+    }
+
+    #[test]
+    fn prune_respects_open_snapshots() {
+        let store = VersionStore::new(0, VersionStoreConfig::default(), None);
+        store.publish_page(0, 0, &image(10)).unwrap();
+        store.publish_catalog(0, Catalog::new());
+        store.register(0); // a reader holds lsn 0 open
+        store.publish_page(0, 1, &image(11)).unwrap();
+        store.publish_catalog(1, Catalog::new());
+        store.prune();
+        // The lsn-0 image must survive for the open reader.
+        assert_eq!(store.read_page(0, 0).unwrap()[PAGE_SIZE - 1], 10);
+        store.release(0);
+        // With the reader gone, history collapses to the latest image.
+        assert_eq!(store.history_bytes(), 0);
+        assert_eq!(store.read_page(0, 1).unwrap()[PAGE_SIZE - 1], 11);
+    }
+
+    #[test]
+    fn over_budget_history_dooms_stragglers_with_typed_error() {
+        let config = VersionStoreConfig {
+            max_retained_bytes: PAGE_SIZE, // room for one historical image
+        };
+        let store = VersionStore::new(0, config, None);
+        store.publish_page(0, 0, &image(0)).unwrap();
+        store.publish_catalog(0, Catalog::new());
+        store.register(0); // stalled reader pins lsn 0
+        for lsn in 1..=4u64 {
+            store.publish_page(0, lsn, &image(lsn as u8)).unwrap();
+            store.publish_catalog(lsn, Catalog::new());
+            store.prune();
+        }
+        let err = store.read_page(0, 0).unwrap_err();
+        match err {
+            DbError::SnapshotTooOld {
+                snapshot_lsn,
+                oldest_retained_lsn,
+            } => {
+                assert_eq!(snapshot_lsn, 0);
+                assert!(oldest_retained_lsn > 0);
+            }
+            other => panic!("expected SnapshotTooOld, got {other}"),
+        }
+        // A fresh snapshot at the current boundary reads fine.
+        assert_eq!(
+            store.read_page(0, store.current_lsn()).unwrap()[PAGE_SIZE - 1],
+            4
+        );
+        store.release(0);
+    }
+
+    #[test]
+    fn publish_fault_wedges_reads_but_not_silently() {
+        use crate::fault::{FaultKind, FaultPlan};
+        // SyncFail (not CrashStop): a crash-stop injector fails every
+        // subsequent op too, which would mask the wedge path under test.
+        let injector = FaultInjector::new(FaultPlan::fail_at(0, FaultKind::SyncFail));
+        let store = VersionStore::new(0, VersionStoreConfig::default(), Some(injector));
+        assert!(store.publish_page(0, 0, &image(1)).is_err());
+        let err = store.read_page(0, 0).unwrap_err();
+        assert!(
+            err.to_string().contains("wedged"),
+            "reads after a publish fault must fail loudly: {err}"
+        );
+    }
+}

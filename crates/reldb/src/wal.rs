@@ -9,12 +9,25 @@
 //! ## Frame format
 //!
 //! ```text
-//! [len: u32 LE][crc32(payload): u32 LE][payload bytes]
+//! [len: u32 LE][crc32(lsn ‖ payload): u32 LE][lsn: u64 LE][payload bytes]
 //! ```
 //!
 //! A torn tail (crash mid-append) is detected by length/checksum validation
 //! and cleanly ignored: replay stops at the first invalid frame, which is
 //! exactly the prefix-durability WAL semantics require.
+//!
+//! ## LSNs
+//!
+//! Every frame carries the **log sequence number** of the commit boundary
+//! it belongs to: all frames buffered between two `sync` calls share one
+//! LSN (`end_lsn + 1`), and a successful sync advances `end_lsn` to it.
+//! The LSN is covered by the frame checksum, so a torn or bit-flipped LSN
+//! ends replay exactly like a torn payload. Snapshot readers key off this
+//! counter: a reader captures `wal_end_lsn` at begin and the version store
+//! (`crate::snapshot`) serves page images visible at that boundary. The
+//! counter is monotone for the lifetime of the `Wal` value — checkpoint
+//! truncation empties the log but never rewinds `end_lsn`, so an open
+//! snapshot stays well-ordered across checkpoints.
 
 use std::fs::{File, OpenOptions};
 use std::io::{Read, Seek, SeekFrom, Write};
@@ -424,6 +437,10 @@ pub struct Wal {
     path: Option<std::path::PathBuf>,
     /// Failpoints for deterministic fault injection (tests / torture runs).
     injector: Option<FaultInjector>,
+    /// LSN of the newest durably synced commit boundary. Frames appended
+    /// since then carry `end_lsn + 1`; a successful [`Wal::sync`] with a
+    /// non-empty batch advances this. Monotone for the life of the value.
+    end_lsn: u64,
 }
 
 impl Wal {
@@ -435,6 +452,7 @@ impl Wal {
             pending: Vec::new(),
             path: None,
             injector: None,
+            end_lsn: 0,
         }
     }
 
@@ -464,15 +482,39 @@ impl Wal {
             pending: Vec::new(),
             path: Some(path.to_path_buf()),
             injector,
+            end_lsn: 0,
         })
     }
 
-    /// Append a record. Buffered until [`Wal::sync`].
+    /// Append a record. Buffered until [`Wal::sync`]. The frame is stamped
+    /// with the in-flight batch's LSN (`end_lsn + 1`).
     pub fn append(&mut self, record: &WalRecord) {
         let payload = record.encode();
+        let lsn = self.end_lsn + 1;
+        let mut checked = Vec::with_capacity(8 + payload.len());
+        checked.put_u64_le(lsn);
+        checked.put_slice(&payload);
         self.pending.put_u32_le(payload.len() as u32);
-        self.pending.put_u32_le(crc32(&payload));
-        self.pending.put_slice(&payload);
+        self.pending.put_u32_le(crc32(&checked));
+        self.pending.put_slice(&checked);
+    }
+
+    /// LSN of the newest durable commit boundary.
+    pub fn end_lsn(&self) -> u64 {
+        self.end_lsn
+    }
+
+    /// The LSN the in-flight (unsynced) batch will commit as.
+    pub fn next_lsn(&self) -> u64 {
+        self.end_lsn + 1
+    }
+
+    /// Carry an LSN clock forward into this (fresh) log. A checkpoint
+    /// swaps in the next generation's empty WAL; snapshot visibility
+    /// requires LSNs to stay monotone for the process lifetime, so the
+    /// new log inherits the old one's clock rather than restarting at 0.
+    pub fn inherit_lsn(&mut self, end_lsn: u64) {
+        self.end_lsn = self.end_lsn.max(end_lsn);
     }
 
     /// Durably write all appended records.
@@ -499,7 +541,9 @@ impl Wal {
             }
         }
         let pending = std::mem::take(&mut self.pending);
-        self.write_durable(&pending)
+        self.write_durable(&pending)?;
+        self.end_lsn += 1;
+        Ok(())
     }
 
     /// Append `bytes` to the durable log and fsync.
@@ -518,7 +562,16 @@ impl Wal {
     /// Read every valid record from the start of the log. Stops cleanly at a
     /// torn tail: frames after the first invalid one were never acknowledged
     /// as durable, so ignoring them is exactly prefix durability.
+    ///
+    /// As a side effect, `end_lsn` advances to the newest LSN seen among
+    /// valid frames, so LSNs assigned after recovery continue the sequence.
     pub fn replay(&mut self) -> DbResult<Vec<WalRecord>> {
+        Ok(self.replay_frames()?.into_iter().map(|(_, r)| r).collect())
+    }
+
+    /// Like [`Wal::replay`], but yields each record with the LSN of the
+    /// commit boundary it belongs to.
+    pub fn replay_frames(&mut self) -> DbResult<Vec<(u64, WalRecord)>> {
         if let Some(injector) = &self.injector {
             match injector.check(FaultOp::WalReplay, 0) {
                 FaultDecision::Proceed => {}
@@ -537,18 +590,20 @@ impl Wal {
         };
         let mut records = Vec::new();
         let mut slice = bytes.as_slice();
-        while slice.len() >= 8 {
+        while slice.len() >= 16 {
             let len = u32::from_le_bytes([slice[0], slice[1], slice[2], slice[3]]) as usize;
             let crc = u32::from_le_bytes([slice[4], slice[5], slice[6], slice[7]]);
-            if slice.len() < 8 + len {
+            if slice.len() < 16 + len {
                 break; // torn tail
             }
-            let payload = &slice[8..8 + len];
-            if crc32(payload) != crc {
+            let checked = &slice[8..16 + len];
+            if crc32(checked) != crc {
                 break; // torn/corrupt tail
             }
-            records.push(WalRecord::decode(payload)?);
-            slice = &slice[8 + len..];
+            let lsn = u64::from_le_bytes(checked[..8].try_into().unwrap());
+            records.push((lsn, WalRecord::decode(&checked[8..])?));
+            self.end_lsn = self.end_lsn.max(lsn);
+            slice = &slice[16 + len..];
         }
         Ok(records)
     }
@@ -733,6 +788,90 @@ mod tests {
         }
         // Checksum catches it; replay returns the valid prefix (none).
         assert!(wal.replay().unwrap().is_empty());
+    }
+
+    #[test]
+    fn lsn_advances_per_commit_boundary_not_per_record() {
+        let mut wal = Wal::in_memory();
+        assert_eq!(wal.end_lsn(), 0);
+        // One batch of three records = one boundary.
+        wal.append(&WalRecord::Begin { txn: 1 });
+        wal.append(&WalRecord::Insert {
+            txn: 1,
+            table: 0,
+            rid: RowId::new(0, 0),
+            bytes: vec![7],
+        });
+        wal.append(&WalRecord::Commit { txn: 1 });
+        assert_eq!(wal.next_lsn(), 1);
+        wal.sync().unwrap();
+        assert_eq!(wal.end_lsn(), 1);
+        // Empty sync is not a boundary.
+        wal.sync().unwrap();
+        assert_eq!(wal.end_lsn(), 1);
+        // Second batch.
+        wal.append(&WalRecord::Begin { txn: 2 });
+        wal.append(&WalRecord::Abort { txn: 2 });
+        wal.sync().unwrap();
+        assert_eq!(wal.end_lsn(), 2);
+        let frames = wal.replay_frames().unwrap();
+        assert_eq!(
+            frames.iter().map(|(lsn, _)| *lsn).collect::<Vec<_>>(),
+            vec![1, 1, 1, 2, 2]
+        );
+    }
+
+    #[test]
+    fn replay_recovers_end_lsn() {
+        let dir = std::env::temp_dir().join(format!("qpv-wal-lsn-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("wal-lsn.log");
+        let _ = std::fs::remove_file(&path);
+        {
+            let mut wal = Wal::open(&path).unwrap();
+            for txn in 1..=3u64 {
+                wal.append(&WalRecord::Begin { txn });
+                wal.append(&WalRecord::Commit { txn });
+                wal.sync().unwrap();
+            }
+            assert_eq!(wal.end_lsn(), 3);
+        }
+        let mut wal = Wal::open(&path).unwrap();
+        assert_eq!(wal.end_lsn(), 0, "fresh handle before replay");
+        wal.replay().unwrap();
+        assert_eq!(wal.end_lsn(), 3, "replay restores the boundary counter");
+        assert_eq!(wal.next_lsn(), 4);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn checksum_covers_the_lsn() {
+        let mut wal = Wal::in_memory();
+        wal.append(&WalRecord::Begin { txn: 1 });
+        wal.append(&WalRecord::Commit { txn: 1 });
+        wal.sync().unwrap();
+        // Flip a byte inside the first frame's LSN field (header is
+        // [len:4][crc:4][lsn:8]); the checksum must catch it.
+        if let WalBackend::Memory(buf) = &mut wal.backend {
+            buf[10] ^= 0xff;
+        }
+        assert!(wal.replay().unwrap().is_empty());
+    }
+
+    #[test]
+    fn truncate_preserves_lsn_monotonicity() {
+        let mut wal = Wal::in_memory();
+        wal.append(&WalRecord::Begin { txn: 1 });
+        wal.append(&WalRecord::Commit { txn: 1 });
+        wal.sync().unwrap();
+        assert_eq!(wal.end_lsn(), 1);
+        wal.truncate().unwrap();
+        assert!(wal.is_empty());
+        assert_eq!(wal.end_lsn(), 1, "checkpoint never rewinds the clock");
+        wal.append(&WalRecord::Begin { txn: 2 });
+        wal.append(&WalRecord::Commit { txn: 2 });
+        wal.sync().unwrap();
+        assert_eq!(wal.end_lsn(), 2);
     }
 
     #[test]

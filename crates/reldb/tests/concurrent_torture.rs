@@ -1,0 +1,464 @@
+//! Concurrent-torture suite: snapshot readers against a live writer, under
+//! crashes and injected faults, in every observable interleaving.
+//!
+//! ## Why boundary-granularity enumeration is exhaustive
+//!
+//! A snapshot's reads resolve against immutable (`Arc`-shared) page images
+//! published at commit boundaries; between two boundaries there is nothing
+//! a reader could observe changing. An interleaving is therefore fully
+//! characterised by *(boundary the snapshot was cut at, boundary the writer
+//! has reached when the read executes)* — so running the scripted workload
+//! once, cutting a snapshot after every step, and re-reading every open
+//! snapshot after every later step enumerates the complete interleaving
+//! space at the only granularity at which schedules differ. The real-thread
+//! stress test then exercises the same invariants under genuine preemption.
+//!
+//! ## Invariants
+//!
+//! * **boundary consistency** — a snapshot cut after `k` acknowledged
+//!   steps reads exactly the serial oracle's state after `k` steps
+//!   (byte-identical, forever, no matter how far the writer advances);
+//! * **crash safety** — with a crash or torn write injected at *every* I/O
+//!   op index (version-store ops included) while snapshots are open:
+//!   recovery restores the committed prefix, re-recovery is idempotent,
+//!   and every open snapshot either still serves its boundary or fails
+//!   with a typed error — never a panic, never a silently wrong row;
+//! * **typed reclamation** — a stalled reader whose history is reclaimed
+//!   gets `DbError::SnapshotTooOld` (with both LSNs populated) and
+//!   recovers by cutting a fresh snapshot.
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use qpv_reldb::db::Database;
+use qpv_reldb::error::{DbError, DbResult};
+use qpv_reldb::fault::{FaultInjector, FaultKind, FaultPlan};
+use qpv_reldb::snapshot::{SnapshotReader, VersionStoreConfig};
+use qpv_reldb::SharedDatabase;
+
+/// One workload step: atomic from the model's point of view.
+struct Step {
+    label: &'static str,
+    run: StepFn,
+}
+
+type StepFn = Box<dyn Fn(&mut Database) -> DbResult<()>>;
+
+fn sql(label: &'static str, stmt: &'static str) -> Step {
+    Step {
+        label,
+        run: Box::new(move |db| db.execute(stmt).map(|_| ())),
+    }
+}
+
+fn batch(label: &'static str, stmts: &'static [&'static str]) -> Step {
+    Step {
+        label,
+        run: Box::new(move |db| {
+            for stmt in stmts {
+                db.execute(stmt)?;
+            }
+            Ok(())
+        }),
+    }
+}
+
+/// The scripted workload: DDL, multi-page DML, a committed and an aborted
+/// explicit transaction, vacuum, a checkpoint (which swaps the WAL and
+/// must carry the LSN clock), and post-checkpoint writes.
+fn workload() -> Vec<Step> {
+    fn bulk_insert(first: i64, n: i64) -> String {
+        let values: Vec<String> = (first..first + n)
+            .map(|i| format!("({i}, 'p{i}-{}')", "x".repeat(120)))
+            .collect();
+        format!("INSERT INTO t VALUES {}", values.join(", "))
+    }
+    let ins1: &'static str = Box::leak(bulk_insert(0, 60).into_boxed_str());
+    let ins2: &'static str = Box::leak(bulk_insert(60, 60).into_boxed_str());
+    vec![
+        sql("create-table", "CREATE TABLE t (id INT, v TEXT)"),
+        sql("create-index", "CREATE INDEX t_id ON t (id)"),
+        sql("insert-batch-1", ins1),
+        sql("update", "UPDATE t SET v = 'updated' WHERE id % 7 = 0"),
+        sql("delete", "DELETE FROM t WHERE id % 5 = 4"),
+        batch(
+            "committed-txn",
+            &[
+                "BEGIN",
+                "INSERT INTO t VALUES (1000, 'committed-txn-row')",
+                "UPDATE t SET v = 'txn-updated' WHERE id = 3",
+                "COMMIT",
+            ],
+        ),
+        batch(
+            "aborted-txn",
+            &[
+                "BEGIN",
+                "INSERT INTO t VALUES (2000, 'aborted-txn-row')",
+                "ROLLBACK",
+            ],
+        ),
+        Step {
+            label: "vacuum",
+            run: Box::new(|db| db.vacuum("t").map(|_| ())),
+        },
+        sql("create-table-2", "CREATE TABLE u (k INT)"),
+        sql("insert-u", "INSERT INTO u VALUES (1), (2), (3)"),
+        Step {
+            label: "checkpoint",
+            run: Box::new(|db| db.checkpoint()),
+        },
+        sql("insert-batch-2", ins2),
+        sql("post-ckpt-delete", "DELETE FROM u WHERE k = 2"),
+    ]
+}
+
+/// Sorted, stringified contents of every table — vacuum and recovery may
+/// relocate rows, so only set-of-rows equality is meaningful.
+type State = BTreeMap<String, Vec<String>>;
+
+fn observe(db: &mut Database) -> State {
+    let names: Vec<String> = db
+        .catalog()
+        .tables()
+        .iter()
+        .map(|t| t.name.clone())
+        .collect();
+    let mut state = State::new();
+    for name in names {
+        let mut rows: Vec<String> = db
+            .scan(&name)
+            .unwrap_or_else(|e| panic!("writer scan of {name} failed: {e}"))
+            .into_iter()
+            .map(|(_, row)| format!("{:?}", row.values))
+            .collect();
+        rows.sort_unstable();
+        state.insert(name, rows);
+    }
+    state
+}
+
+/// The same observation through a snapshot: must be byte-identical to the
+/// writer's own view at the snapshot's boundary.
+fn observe_snapshot(snap: &SnapshotReader) -> DbResult<State> {
+    let mut state = State::new();
+    for meta in snap.catalog().tables() {
+        let mut rows: Vec<String> = snap
+            .scan(&meta.name)?
+            .into_iter()
+            .map(|(_, row)| format!("{:?}", row.values))
+            .collect();
+        rows.sort_unstable();
+        state.insert(meta.name.clone(), rows);
+    }
+    Ok(state)
+}
+
+/// `model[k]` = serial-oracle state after `k` acknowledged steps.
+fn model_states() -> Vec<State> {
+    let mut db = Database::in_memory();
+    let mut states = vec![observe(&mut db)];
+    for step in workload() {
+        (step.run)(&mut db).unwrap_or_else(|e| panic!("model step {} failed: {e}", step.label));
+        states.push(observe(&mut db));
+    }
+    states
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "qpv-ctorture-{tag}-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Deterministic enumeration of every observable reader/writer
+/// interleaving (see the module docs): cut a snapshot after each step,
+/// then after *every* later step re-read *every* open snapshot and demand
+/// byte-identity with the serial oracle at its own boundary.
+#[test]
+fn every_snapshot_boundary_matches_the_serial_oracle_forever() {
+    let model = model_states();
+    let mut db = Database::in_memory();
+    // Boundary 0: the empty database.
+    let mut snaps: Vec<(usize, SnapshotReader)> = vec![(0, db.begin_snapshot().unwrap())];
+    for (k, step) in workload().into_iter().enumerate() {
+        (step.run)(&mut db).unwrap_or_else(|e| panic!("step {} failed: {e}", step.label));
+        snaps.push((k + 1, db.begin_snapshot().unwrap()));
+        // Every open snapshot, including ones cut many boundaries ago,
+        // still reads exactly its own boundary.
+        for (cut_at, snap) in &snaps {
+            let got = observe_snapshot(snap)
+                .unwrap_or_else(|e| panic!("snapshot at boundary {cut_at} failed: {e}"));
+            assert_eq!(
+                got,
+                model[*cut_at],
+                "after step {}, snapshot cut at boundary {cut_at} diverged from the oracle",
+                k + 1
+            );
+        }
+        // And the writer's own view tracks the newest model state.
+        assert_eq!(
+            observe(&mut db),
+            model[k + 1],
+            "writer diverged at step {k}"
+        );
+    }
+    // Dropping snapshots out of order exercises release/prune paths.
+    while snaps.len() > 1 {
+        snaps.swap_remove(snaps.len() / 2);
+        let (cut_at, snap) = &snaps[0];
+        assert_eq!(observe_snapshot(snap).unwrap(), model[*cut_at]);
+    }
+}
+
+/// Run the workload under `injector` with snapshot readers active: a
+/// snapshot is cut after every acknowledged step and every open snapshot
+/// is re-read as the workload advances. Returns the acknowledged count
+/// and the surviving snapshots with the boundary each was cut at.
+fn run_with_readers(dir: &Path, injector: FaultInjector) -> (usize, Vec<(usize, SnapshotReader)>) {
+    let mut db = match Database::open_with_faults(dir, Some(injector)) {
+        Ok(db) => db,
+        Err(_) => return (0, Vec::new()),
+    };
+    let mut snaps: Vec<(usize, SnapshotReader)> = Vec::new();
+    if let Ok(snap) = db.begin_snapshot() {
+        snaps.push((0, snap));
+    }
+    let mut acked = 0;
+    for step in workload() {
+        match (step.run)(&mut db) {
+            Ok(()) => acked += 1,
+            Err(_) => break,
+        }
+        // Best-effort reader activity: cutting or reading a snapshot may
+        // hit an injected fault (Err), which must stay an Err — a panic
+        // anywhere fails the harness.
+        if let Ok(snap) = db.begin_snapshot() {
+            snaps.push((acked, snap));
+        }
+        for (_, snap) in &snaps {
+            let _ = observe_snapshot(snap);
+        }
+    }
+    (acked, snaps)
+}
+
+/// Crash (even indices) or tear (odd indices, seeded) at every I/O op of
+/// the workload-with-readers — version-store publishes, reads, and prunes
+/// are failpoints in the same stream — then prove committed-prefix
+/// recovery, idempotent re-recovery, and typed (never wrong, never
+/// panicking) behaviour of every snapshot that survived the crash.
+#[test]
+fn crash_at_every_io_op_with_readers_active() {
+    let model = model_states();
+
+    // Dry-run to count the op stream, readers included (single-threaded
+    // and schedule-free, so the stream is identical across runs).
+    let dry_dir = temp_dir("dry");
+    let dry = FaultInjector::new(FaultPlan::none());
+    let (acked, snaps) = run_with_readers(&dry_dir, dry.clone());
+    assert_eq!(acked, workload().len(), "dry run must not fail");
+    // In the clean run every snapshot matches its boundary at the end.
+    for (cut_at, snap) in &snaps {
+        assert_eq!(observe_snapshot(snap).unwrap(), model[*cut_at]);
+    }
+    drop(snaps);
+    let total_ops = dry.ops_seen();
+    std::fs::remove_dir_all(&dry_dir).unwrap();
+    assert!(
+        total_ops >= 60,
+        "workload too small: only {total_ops} crash points"
+    );
+    eprintln!("concurrent torture: enumerating {total_ops} crash points");
+
+    for i in 0..total_ops {
+        let kind = if i % 2 == 0 {
+            FaultKind::CrashStop
+        } else {
+            FaultKind::TornWrite
+        };
+        let dir = temp_dir(&format!("crash-{i}"));
+        let injector = FaultInjector::new(FaultPlan::fail_at(i, kind).with_seed(i));
+        let (acked, snaps) = run_with_readers(&dir, injector);
+
+        // Graceful degradation: every surviving snapshot either still
+        // serves its exact boundary or fails with a typed error. Matching
+        // some *other* boundary's state would be a silently wrong audit.
+        for (cut_at, snap) in &snaps {
+            // Errors (SnapshotTooOld or a wedged-store read) are tolerated;
+            // only a *successful* read of the wrong state is a violation.
+            if let Ok(got) = observe_snapshot(snap) {
+                assert_eq!(
+                    got, model[*cut_at],
+                    "crash at op {i} ({kind:?}): snapshot at boundary {cut_at} \
+                     returned a state that is not its boundary"
+                );
+            }
+        }
+        drop(snaps);
+
+        // Committed-prefix recovery from the surviving bytes.
+        let mut db = Database::open(&dir)
+            .unwrap_or_else(|e| panic!("crash at op {i}: recovery failed: {e}"));
+        let observed = observe(&mut db);
+        let exact = observed == model[acked];
+        let next = acked + 1 < model.len() && observed == model[acked + 1];
+        assert!(
+            exact || next,
+            "crash at op {i} ({kind:?}): recovered state matches neither \
+             {acked} nor {} acknowledged steps",
+            acked + 1
+        );
+        // Snapshots work on the recovered database too.
+        let snap = db.begin_snapshot().unwrap();
+        assert_eq!(observe_snapshot(&snap).unwrap(), observed);
+        drop(snap);
+        drop(db);
+
+        // Idempotency: re-recovery observes the identical state.
+        let mut db = Database::open(&dir)
+            .unwrap_or_else(|e| panic!("crash at op {i}: second recovery failed: {e}"));
+        assert_eq!(
+            observe(&mut db),
+            observed,
+            "crash at op {i}: recovery is not idempotent"
+        );
+        drop(db);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}
+
+/// A stalled reader pinning history past the retention budget is doomed
+/// with the *typed* `SnapshotTooOld` — both LSNs populated, no panic, no
+/// stale rows — and recovers by cutting a fresh snapshot.
+#[test]
+fn stalled_reader_gets_typed_snapshot_too_old_and_recovers() {
+    let mut db = Database::in_memory();
+    db.set_snapshot_config(VersionStoreConfig {
+        // Two historical pages: a couple of churning commits overflow it.
+        max_retained_bytes: 2 * 4096,
+    });
+    db.execute("CREATE TABLE t (id INT, v TEXT)").unwrap();
+    db.execute("INSERT INTO t VALUES (1, 'a'), (2, 'b')")
+        .unwrap();
+    let stalled = db.begin_snapshot().unwrap();
+    assert_eq!(stalled.count("t").unwrap(), 2);
+
+    // Churn the same rows: every commit republishes the same page, so
+    // history grows by a page per commit until the budget trips.
+    for round in 0..12 {
+        db.execute(&format!("UPDATE t SET v = 'r{round}' WHERE id = 1"))
+            .unwrap();
+    }
+
+    let err = stalled.scan("t").unwrap_err();
+    match err {
+        DbError::SnapshotTooOld {
+            snapshot_lsn,
+            oldest_retained_lsn,
+        } => {
+            assert!(
+                snapshot_lsn < oldest_retained_lsn,
+                "doomed snapshot {snapshot_lsn} must predate the floor {oldest_retained_lsn}"
+            );
+            assert_eq!(snapshot_lsn, stalled.lsn());
+        }
+        other => panic!("expected SnapshotTooOld, got {other}"),
+    }
+    // Every subsequent read keeps failing the same typed way.
+    assert!(matches!(
+        stalled.get("t", qpv_reldb::RowId::new(1, 0)),
+        Err(DbError::SnapshotTooOld { .. })
+    ));
+    drop(stalled);
+
+    // Recovery: a fresh snapshot serves the current boundary.
+    let fresh = db.begin_snapshot().unwrap();
+    let rows = fresh.scan("t").unwrap();
+    assert_eq!(rows.len(), 2);
+    assert!(rows
+        .iter()
+        .any(|(_, r)| r.values[1].as_text() == Some("r11")));
+}
+
+/// Real threads: one writer committing sequential rows, three snapshot
+/// readers cutting and scanning concurrently. Every scanned state must be
+/// a committed prefix (ids exactly `0..=m`, contiguous), and re-scanning
+/// the same snapshot must be bit-stable — under genuine preemption, on
+/// however many cores the host gives us.
+#[test]
+fn threaded_readers_always_observe_a_committed_prefix() {
+    const WRITES: i64 = 250;
+    let mut db = Database::in_memory();
+    db.execute("CREATE TABLE s (id INT)").unwrap();
+    let shared = SharedDatabase::new(db);
+    // Attach the version store before spawning so readers always find
+    // the table.
+    drop(shared.begin_snapshot().unwrap());
+
+    let done = Arc::new(AtomicBool::new(false));
+    let readers: Vec<_> = (0..3)
+        .map(|r| {
+            let shared = shared.clone();
+            let done = Arc::clone(&done);
+            std::thread::spawn(move || {
+                let mut iterations = 0u64;
+                let mut last_seen = -1i64;
+                loop {
+                    let finished = done.load(Ordering::Acquire);
+                    let snap = shared.begin_snapshot().unwrap();
+                    let ids = |rows: Vec<(qpv_reldb::RowId, qpv_reldb::Row)>| {
+                        let mut ids: Vec<i64> = rows
+                            .into_iter()
+                            .map(|(_, row)| row.values[0].as_int().unwrap())
+                            .collect();
+                        ids.sort_unstable();
+                        ids
+                    };
+                    let first = ids(snap.scan("s").unwrap());
+                    // Committed prefix: exactly 0..=m with no holes.
+                    for (expect, got) in first.iter().enumerate() {
+                        assert_eq!(
+                            *got, expect as i64,
+                            "reader {r}: snapshot saw a torn prefix {first:?}"
+                        );
+                    }
+                    // Monotone across successive snapshots on one thread.
+                    let m = first.len() as i64 - 1;
+                    assert!(m >= last_seen, "reader {r}: boundary went backwards");
+                    last_seen = m;
+                    // Bit-stable on re-read while the writer races ahead.
+                    assert_eq!(first, ids(snap.scan("s").unwrap()), "reader {r}");
+                    iterations += 1;
+                    if finished {
+                        break;
+                    }
+                }
+                (iterations, last_seen)
+            })
+        })
+        .collect();
+
+    for i in 0..WRITES {
+        shared
+            .execute(&format!("INSERT INTO s VALUES ({i})"))
+            .unwrap();
+    }
+    done.store(true, Ordering::Release);
+
+    for handle in readers {
+        let (iterations, last_seen) = handle.join().expect("reader panicked");
+        assert!(iterations > 0);
+        // The final post-flag snapshot sees the completed workload.
+        assert_eq!(last_seen, WRITES - 1);
+    }
+    // The writer was never blocked into an error by readers.
+    let rs = shared.query("SELECT COUNT(*) FROM s").unwrap();
+    assert_eq!(rs.rows[0].values[0], qpv_reldb::Value::Int(WRITES));
+}

@@ -6,14 +6,17 @@
 #   scripts/tier1.sh --bench        # gate + bench JSONs
 #   scripts/tier1.sh --faults       # gate + release-mode fault-injection suite
 #   scripts/tier1.sh --monitor      # gate + delta-log/monitor crash suites
+#   scripts/tier1.sh --concurrency  # gate + snapshot-reader / delta-handoff
+#                                   #   concurrency suites (release)
 #   scripts/tier1.sh --packed       # packed-layout stage only (release
 #                                   #   equivalence suites + packed bench smoke)
 #   scripts/tier1.sh --bench-smoke  # bench smoke stage only
 #
 # The bench step writes BENCH_parallel_audit.json, BENCH_audit_plan.json,
 # BENCH_compiled_population.json, BENCH_delta_audit.json,
-# BENCH_delta_log.json, and BENCH_packed_population.json at the repo root
-# (median/mean ns plus host metadata; see crates/bench/benches/).
+# BENCH_delta_log.json, BENCH_packed_population.json, and
+# BENCH_snapshot_readers.json at the repo root (median/mean ns plus host
+# metadata; see crates/bench/benches/).
 #
 # The bench smoke runs every bench binary at tiny population sizes
 # (QPV_BENCH_SMOKE=1, see qpv_bench::bench_n) purely as a correctness
@@ -120,6 +123,29 @@ if [[ "${1:-}" == "--monitor" ]]; then
         cargo test -q --release --test monitor_recovery
 fi
 
+if [[ "${1:-}" == "--concurrency" ]]; then
+    # The PR 8 gate: snapshot-isolated readers under live writes, crashes
+    # and reclamation included, plus the exactly-once delta-handoff
+    # property, all under the release optimizer (real-thread stress only
+    # races usefully with optimized codegen). Clock-free and seed-pinned
+    # except the threaded stress tests, whose invariants are
+    # schedule-independent. The budget catches deadlocks and reader
+    # livelocks, not slowness.
+    CONC_BUDGET="${QPV_CONC_BUDGET:-300}"
+    echo "== concurrency: snapshot-reader torture matrix (release, ${CONC_BUDGET}s budget) =="
+    RUST_BACKTRACE=1 timeout "$CONC_BUDGET" \
+        cargo test -q --release -p qpv-reldb --test concurrent_torture -- --nocapture
+    echo "== concurrency: delta handoff exactly-once property (release) =="
+    RUST_BACKTRACE=1 timeout "$CONC_BUDGET" \
+        cargo test -q --release -p qpv-core --test concurrent_handoff
+    echo "== concurrency: snapshot reader bench (writer p50/p99 + JSON) =="
+    RUST_BACKTRACE=1 timeout "$CONC_BUDGET" \
+        env QPV_BENCH_SMOKE=1 QPV_BENCH_JSON="$PWD/BENCH_snapshot_readers.json" \
+        cargo bench -p qpv-bench --bench snapshot_readers
+    echo "tier-1 concurrency: OK"
+    exit 0
+fi
+
 if [[ "${1:-}" == "--bench" ]]; then
     echo "== parallel audit bench =="
     QPV_BENCH_FULL=1 QPV_BENCH_JSON="$PWD/BENCH_parallel_audit.json" \
@@ -139,6 +165,9 @@ if [[ "${1:-}" == "--bench" ]]; then
     echo "== packed population bench (10M providers) =="
     QPV_BENCH_FULL=1 QPV_BENCH_JSON="$PWD/BENCH_packed_population.json" \
         cargo bench -p qpv-bench --bench packed_population
+    echo "== snapshot readers bench =="
+    QPV_BENCH_FULL=1 QPV_BENCH_JSON="$PWD/BENCH_snapshot_readers.json" \
+        cargo bench -p qpv-bench --bench snapshot_readers
 fi
 
 echo "tier-1: OK"
